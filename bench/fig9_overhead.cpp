@@ -1,0 +1,128 @@
+// Figure 9 reproduction: CDF of the scheduling-decision time as a function
+// of the number of interfaces.
+//
+// Methodology mirrors the paper's kernel profiling: present the scheduler
+// with 1,000 packets spread across the flows, then measure the wall-clock
+// time of each "interface j is free -- which packet?" decision.  The cost
+// grows with the number of interfaces because a decision may walk over
+// flows whose service flags were set by other interfaces (Alg 3.2).
+//
+// Paper: even with 16 interfaces, decisions take < 2.5 us, i.e. > 3 Gb/s
+// for 1,000-byte packets.
+#include <chrono>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sched/midrr.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace midrr;
+
+EmpiricalCdf measure(std::size_t iface_count, std::size_t flow_count,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  MiDrrScheduler sched(1500);
+  std::vector<IfaceId> ifaces;
+  for (std::size_t j = 0; j < iface_count; ++j) {
+    ifaces.push_back(sched.add_interface());
+  }
+  std::vector<FlowId> flows;
+  for (std::size_t i = 0; i < flow_count; ++i) {
+    // Random non-empty willingness row.
+    std::vector<IfaceId> willing;
+    for (const IfaceId j : ifaces) {
+      if (rng.coin(0.5)) willing.push_back(j);
+    }
+    if (willing.empty()) {
+      willing.push_back(
+          ifaces[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(iface_count) - 1))]);
+    }
+    flows.push_back(sched.add_flow(1.0, willing));
+  }
+
+  EmpiricalCdf decision_ns;
+  // Repeat the paper's 1,000-packet experiment a few times for stable
+  // percentiles.
+  for (int round = 0; round < 20; ++round) {
+    // 1,000 packets spread across all the flows.
+    for (int p = 0; p < 1000; ++p) {
+      const FlowId f = flows[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(flow_count) - 1))];
+      sched.enqueue(Packet(f, 1000), 0);
+    }
+    // Drain, timing each decision; rotate interfaces like free NICs would.
+    std::size_t j = 0;
+    int drained = 0;
+    int idle_passes = 0;
+    while (drained < 1000 && idle_passes < static_cast<int>(iface_count)) {
+      const IfaceId iface = ifaces[j];
+      j = (j + 1) % iface_count;
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto packet = sched.dequeue(iface, 0);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (packet) {
+        ++drained;
+        idle_passes = 0;
+        decision_ns.add(static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()));
+      } else {
+        ++idle_passes;
+      }
+    }
+    // Drop any leftovers (flows whose interfaces all went idle-passed).
+    for (const FlowId f : flows) {
+      while (sched.backlog_packets(f) > 0) {
+        for (const IfaceId iface : sched.preferences().ifaces_of(f)) {
+          if (sched.dequeue(iface, 0)) break;
+        }
+      }
+    }
+  }
+  return decision_ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::cout << "Reproduction of Figure 9 (scheduling decision time CDF)\n"
+            << "32 flows, random preferences, 1,000 queued 1,000-byte "
+               "packets per round\n";
+
+  midrr::bench::Table table({"ifaces", "p50 (ns)", "p90 (ns)", "p99 (ns)",
+                             "max (ns)", "Gb/s @p99"});
+  double worst_p99 = 0.0;
+  for (const std::size_t m : {4u, 8u, 12u, 16u}) {
+    const auto cdf = measure(m, 32, 42);
+    const double p50 = cdf.quantile(0.50);
+    const double p90 = cdf.quantile(0.90);
+    const double p99 = cdf.quantile(0.99);
+    worst_p99 = std::max(worst_p99, p99);
+    // 1,000-byte packet = 8,000 bits; decisions/s = 1e9/p99.
+    const double gbps = 8000.0 / p99;
+    table.row_values(std::to_string(m), {p50, p90, p99, cdf.max(), gbps});
+  }
+
+  midrr::bench::section("paper vs measured");
+  std::cout << "  paper: p99 decision < 2,500 ns at 16 interfaces (kernel, "
+               "2008-era laptop)\n"
+            << "  measured worst p99: " << worst_p99
+            << " ns -> supports > " << 8000.0 / worst_p99
+            << " Gb/s for 1,000-byte packets\n"
+            << "  shape check: decision time grows with interface count "
+               "(more service flags to walk),\n"
+            << "  and is independent of flow count by construction (the "
+               "walk stops at the first unflagged flow).\n";
+
+  if (midrr::bench::has_flag(argc, argv, "--csv")) {
+    midrr::bench::section("raw CDF at 16 interfaces (CSV)");
+    const auto cdf = measure(16, 32, 43);
+    midrr::write_cdf_csv(std::cout, cdf, "decision_ns");
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Google-benchmark micro-suite for the scheduler hot path: enqueue and
+// dequeue cost per policy, and the miDRR decision cost as a function of
+// interface count (the microscopic version of Fig 9) and flow count (the
+// paper claims decision time is independent of it).
+#include <benchmark/benchmark.h>
+
+#include "sched/drr.hpp"
+#include "sched/midrr.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/wfq.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace midrr;
+
+/// Builds a scheduler with `m` interfaces and `n` flows (random prefs).
+std::unique_ptr<Scheduler> build(Policy policy, std::size_t m, std::size_t n,
+                                 std::uint64_t seed = 7) {
+  auto sched = make_scheduler(policy, 1500);
+  Rng rng(seed);
+  std::vector<IfaceId> ifaces;
+  for (std::size_t j = 0; j < m; ++j) ifaces.push_back(sched->add_interface());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<IfaceId> willing;
+    for (const IfaceId j : ifaces) {
+      if (rng.coin(0.5)) willing.push_back(j);
+    }
+    if (willing.empty()) willing.push_back(ifaces[i % m]);
+    sched->add_flow(1.0, willing);
+  }
+  return sched;
+}
+
+void refill(Scheduler& sched, std::size_t n, Rng& rng) {
+  for (FlowId f = 0; f < n; ++f) {
+    while (sched.backlog_packets(f) < 4) {
+      sched.enqueue(Packet(f, 1000 + static_cast<std::uint32_t>(
+                                         rng.uniform_int(0, 500))),
+                    0);
+    }
+  }
+}
+
+void BM_EnqueueDequeue(benchmark::State& state, Policy policy) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  auto sched = build(policy, m, n);
+  Rng rng(1);
+  refill(*sched, n, rng);
+  std::size_t j = 0;
+  for (auto _ : state) {
+    auto packet = sched->dequeue(static_cast<IfaceId>(j), 0);
+    j = (j + 1) % m;
+    if (packet) {
+      // Put an equivalent packet back so backlog never drains.
+      packet->seq = 0;
+      sched->enqueue(std::move(*packet), 0);
+      benchmark::DoNotOptimize(packet);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_MiDrrDecisionVsInterfaces(benchmark::State& state) {
+  BM_EnqueueDequeue(state, Policy::kMiDrr);
+}
+void BM_MiDrrDecisionVsFlows(benchmark::State& state) {
+  BM_EnqueueDequeue(state, Policy::kMiDrr);
+}
+void BM_NaiveDrrDecision(benchmark::State& state) {
+  BM_EnqueueDequeue(state, Policy::kNaiveDrr);
+}
+void BM_WfqDecision(benchmark::State& state) {
+  BM_EnqueueDequeue(state, Policy::kPerIfaceWfq);
+}
+void BM_RoundRobinDecision(benchmark::State& state) {
+  BM_EnqueueDequeue(state, Policy::kRoundRobin);
+}
+
+void BM_EnqueueOnly(benchmark::State& state) {
+  auto sched = build(Policy::kMiDrr, 4, 16);
+  FlowId f = 0;
+  for (auto _ : state) {
+    sched->enqueue(Packet(f, 1000), 0);
+    f = (f + 1) % 16;
+    if (sched->backlog_packets(0) > 1024) {
+      state.PauseTiming();
+      for (FlowId i = 0; i < 16; ++i) {
+        while (sched->dequeue(i % 4, 0)) {
+        }
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_ServiceFlagWalk(benchmark::State& state) {
+  // Worst case for Alg 3.2: every other interface constantly serves every
+  // flow, so interface 0's walk skips flagged flows.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  auto sched = build(Policy::kMiDrr, m, 32, /*seed=*/99);
+  Rng rng(2);
+  refill(*sched, 32, rng);
+  std::size_t j = 1;
+  for (auto _ : state) {
+    // Other interfaces serve (setting flags at interface 0)...
+    auto p = sched->dequeue(static_cast<IfaceId>(j), 0);
+    if (p) sched->enqueue(std::move(*p), 0);
+    j = (j % (m - 1)) + 1;
+    // ...then interface 0 must walk over the flags.
+    auto q = sched->dequeue(0, 0);
+    if (q) sched->enqueue(std::move(*q), 0);
+    benchmark::DoNotOptimize(q);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_MiDrrDecisionVsInterfaces)
+    ->Args({2, 32})
+    ->Args({4, 32})
+    ->Args({8, 32})
+    ->Args({16, 32});
+BENCHMARK(BM_MiDrrDecisionVsFlows)
+    ->Args({4, 8})
+    ->Args({4, 32})
+    ->Args({4, 128})
+    ->Args({4, 512});
+BENCHMARK(BM_NaiveDrrDecision)->Args({4, 32})->Args({16, 32});
+BENCHMARK(BM_WfqDecision)->Args({4, 32})->Args({16, 32});
+BENCHMARK(BM_RoundRobinDecision)->Args({4, 32})->Args({16, 32});
+BENCHMARK(BM_EnqueueOnly);
+BENCHMARK(BM_ServiceFlagWalk)->Arg(4)->Arg(8)->Arg(16);
+
+BENCHMARK_MAIN();

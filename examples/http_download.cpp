@@ -1,0 +1,50 @@
+// HTTP byte-range proxy example: aggregate WiFi + LTE for one download
+// while a second, pickier download shares the system (Section 5's inbound
+// story).
+//
+// A 150 MB file download is willing to use both interfaces; a software
+// update is WiFi-only.  The proxy splits each GET into 64 KB Range
+// requests, schedules the requests with miDRR, and splices the responses
+// back in order.
+#include <iostream>
+
+#include "http/proxy.hpp"
+
+int main() {
+  using namespace midrr;
+  using namespace midrr::http;
+
+  HttpRangeProxy proxy(
+      {{"wifi", RateProfile(mbps(9))}, {"lte", RateProfile(mbps(6))}},
+      {
+          {"movie", 1.0, {"wifi", "lte"}, 150'000'000},  // 150 MB
+          {"update", 1.0, {"wifi"}, 60'000'000},         // 60 MB, WiFi only
+      });
+
+  const auto result = proxy.run(180 * kSecond);
+
+  for (const auto& flow : result.flows) {
+    std::cout << flow.name << ":\n"
+              << "  delivered " << flow.delivered_bytes << " bytes in order\n"
+              << "  chunks per interface: wifi=" << flow.chunks_per_iface[0]
+              << " lte=" << flow.chunks_per_iface[1] << "\n";
+    if (flow.completed_at) {
+      std::cout << "  completed at " << to_seconds(*flow.completed_at)
+                << " s\n";
+    }
+    std::cout << "  goodput at t=30 s: "
+              << flow.mean_goodput_mbps(25 * kSecond, 35 * kSecond)
+              << " Mb/s\n";
+  }
+
+  std::cout << "\nproxy issued " << result.requests_sent
+            << " range requests, " << result.request_header_bytes
+            << " bytes of request headers.\n";
+  std::cout << "\nWhy this shape: while the update is running, the movie "
+               "gets its fair half of WiFi PLUS all of LTE (max-min with "
+               "interface preferences); when the update finishes, the "
+               "movie aggregates both interfaces at ~15 Mb/s -- the "
+               "paper's bandwidth-aggregation promise via plain HTTP "
+               "Range requests.\n";
+  return 0;
+}

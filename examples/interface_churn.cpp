@@ -1,0 +1,57 @@
+// Interface churn: the "use new capacity" property (Section 2, property 4)
+// on a commute.
+//
+// A phone streams music (cellular-preferring for continuity) and syncs
+// photos (WiFi-preferring) while WiFi hotspots come and go:
+//   home WiFi until t=20 s, nothing until the office WiFi appears at
+//   t=45 s, plus a flaky cafe hotspot in between.
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+int main() {
+  using namespace midrr;
+
+  Scenario commute;
+  commute.interface("lte", RateProfile(mbps(4)));
+  // Home WiFi: 15 Mb/s, out of range from t=20 s on.
+  commute.interface("home-wifi", RateProfile::steps({{0, mbps(15)},
+                                                     {20 * kSecond, 0.0}}));
+  // Cafe hotspot: appears at t=28 s, weak (2 Mb/s), gone at t=38 s.
+  commute.interface("cafe-wifi",
+                    RateProfile::steps({{0, 0.0},
+                                        {28 * kSecond, mbps(2)},
+                                        {38 * kSecond, 0.0}}));
+  // Office WiFi from t=45 s.
+  commute.interface("office-wifi",
+                    RateProfile::steps({{0, 0.0}, {45 * kSecond, mbps(20)}}));
+
+  commute.backlogged_flow("music", 1.0, {"lte"});
+  commute.backlogged_flow(
+      "photos", 1.0, {"home-wifi", "cafe-wifi", "office-wifi"});
+  commute.backlogged_flow(
+      "podcasts", 1.0,
+      {"lte", "home-wifi", "cafe-wifi", "office-wifi"});
+
+  ScenarioRunner runner(commute, Policy::kMiDrr);
+  const auto result = runner.run(70 * kSecond);
+
+  const auto print_window = [&](const char* label, SimTime a, SimTime b) {
+    std::cout << label << "\n";
+    for (const auto& flow : result.flows) {
+      std::cout << "  " << flow.name << ": " << flow.mean_rate_mbps(a, b)
+                << " Mb/s\n";
+    }
+  };
+  print_window("at home (home WiFi up):", 5 * kSecond, 18 * kSecond);
+  print_window("\nwalking (LTE only):", 22 * kSecond, 27 * kSecond);
+  print_window("\nat the cafe (weak hotspot):", 30 * kSecond, 37 * kSecond);
+  print_window("\nin the office (fast WiFi):", 50 * kSecond, 70 * kSecond);
+
+  std::cout << "\nEvery time an interface appeared, the flows willing to "
+               "use it absorbed its capacity within a round; every time "
+               "one vanished, its traffic folded back without manual "
+               "reconfiguration -- no flow ever lost rate it could have "
+               "kept (max-min monotonicity).\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// The kernel-bridge analog at packet level (Section 5, Figure 3).
+//
+// Applications talk to ONE virtual interface; the bridge classifies each
+// frame, schedules it with miDRR, rewrites the source MAC/IP to the chosen
+// physical interface (fixing checksums incrementally, as the kernel does),
+// and maps replies back.  This example walks single frames through the
+// pipeline and prints what changes on the wire.
+#include <fstream>
+#include <iostream>
+
+#include "bridge/bridge.hpp"
+#include "net/pcap.hpp"
+#include "sched/midrr.hpp"
+
+int main() {
+  using namespace midrr;
+  using namespace midrr::bridge;
+  using net::FrameBuilder;
+  using net::Ipv4Address;
+  using net::MacAddress;
+
+  const MacAddress virt_mac = MacAddress::local(1);
+  const Ipv4Address virt_ip(10, 200, 0, 1);
+
+  VirtualBridge bridge(std::make_unique<MiDrrScheduler>(1500), virt_mac,
+                       virt_ip);
+  const IfaceId wifi = bridge.add_physical(
+      {"wlan0", MacAddress::local(10), Ipv4Address(192, 168, 1, 50)});
+  const IfaceId lte = bridge.add_physical(
+      {"wwan0", MacAddress::local(20), Ipv4Address(100, 64, 3, 9)});
+
+  // Policy: HTTPS may use either interface; DNS sticks to LTE.
+  const FlowId https = bridge.add_flow(1.0, {wifi, lte}, "https");
+  const FlowId dns = bridge.add_flow(1.0, {lte}, "dns");
+  bridge.classifier().add_rule(
+      {.proto = net::IpProto::kTcp, .dst_port = 443, .flow = https});
+  bridge.classifier().add_rule(
+      {.proto = net::IpProto::kUdp, .dst_port = 53, .flow = dns});
+
+  // The application sends one HTTPS frame and one DNS query on the virtual
+  // interface (source = the virtual address).
+  auto https_frame = FrameBuilder()
+                         .eth_src(virt_mac)
+                         .eth_dst(MacAddress::local(99))
+                         .ip_src(virt_ip)
+                         .ip_dst(Ipv4Address(93, 184, 216, 34))
+                         .tcp(40001, 443)
+                         .payload_size(300)
+                         .build();
+  auto dns_frame = FrameBuilder()
+                       .eth_src(virt_mac)
+                       .eth_dst(MacAddress::local(99))
+                       .ip_src(virt_ip)
+                       .ip_dst(Ipv4Address(8, 8, 8, 8))
+                       .udp(50000, 53)
+                       .payload_size(40)
+                       .build();
+
+  std::cout << "app frame (HTTPS) before bridge: src "
+            << https_frame.parse()->ip.src.to_string() << " ("
+            << https_frame.parse()->eth.src.to_string() << ")\n";
+
+  bridge.send_from_app(std::move(https_frame), 0);
+  bridge.send_from_app(std::move(dns_frame), 0);
+
+  // WiFi asks for its next frame: it gets the HTTPS one, rewritten.
+  const auto on_wifi = bridge.next_frame(wifi, 0);
+  const auto on_lte = bridge.next_frame(lte, 0);
+  if (on_wifi) {
+    const auto v = on_wifi->parse();
+    std::cout << "steered out of wlan0: src " << v->ip.src.to_string()
+              << " (" << v->eth.src.to_string() << "), checksums "
+              << (on_wifi->checksums_valid() ? "valid" : "BROKEN") << "\n";
+  }
+  if (on_lte) {
+    const auto v = on_lte->parse();
+    std::cout << "steered out of wwan0: src " << v->ip.src.to_string()
+              << " dst port " << (v->udp ? v->udp->dst_port : 0)
+              << ", checksums "
+              << (on_lte->checksums_valid() ? "valid" : "BROKEN") << "\n";
+  }
+
+  // A reply arrives on WiFi addressed to the physical interface; the
+  // bridge rewrites it back before the application sees it.
+  const auto sent = on_wifi->parse();
+  auto reply = FrameBuilder()
+                   .eth_src(MacAddress::local(99))
+                   .eth_dst(MacAddress::local(10))
+                   .ip_src(sent->ip.dst)
+                   .ip_dst(sent->ip.src)
+                   .tcp(443, sent->tcp->src_port)
+                   .payload_size(500)
+                   .build();
+  const auto delivered = bridge.receive_from_network(wifi, std::move(reply));
+  if (delivered) {
+    std::cout << "reply delivered to app: dst "
+              << delivered->parse()->ip.dst.to_string()
+              << " (the virtual address again), checksums "
+              << (delivered->checksums_valid() ? "valid" : "BROKEN") << "\n";
+  }
+
+  const auto& stats = bridge.stats();
+  std::cout << "\nbridge stats: " << stats.app_frames_in << " in, "
+            << stats.frames_steered << " steered, " << stats.frames_received
+            << " received back\n";
+
+  // Bonus: the same frames as a Wireshark-readable capture.  Attach taps,
+  // push a few more frames through, write bridge_wlan0.pcap.
+  {
+    std::ofstream pcap_file("bridge_wlan0.pcap", std::ios::binary);
+    net::PcapWriter tap(pcap_file);
+    bridge.attach_tap(wifi, &tap);
+    for (int k = 0; k < 5; ++k) {
+      bridge.send_from_app(FrameBuilder()
+                               .eth_src(virt_mac)
+                               .eth_dst(MacAddress::local(99))
+                               .ip_src(virt_ip)
+                               .ip_dst(Ipv4Address(93, 184, 216, 34))
+                               .tcp(40001, 443, 1000u + (unsigned)k)
+                               .payload_size(200)
+                               .build(),
+                           k * 10 * kMillisecond);
+      bridge.next_frame(wifi, k * 10 * kMillisecond + kMillisecond);
+    }
+    bridge.attach_tap(wifi, nullptr);
+    std::cout << "wrote " << tap.frames_written()
+              << " steered frames to bridge_wlan0.pcap (open it in "
+                 "Wireshark: source IP is the rewritten 192.168.1.50)\n";
+  }
+  std::cout << "\nApplications never noticed that their packets crossed "
+               "two different physical networks with two different "
+               "addresses -- exactly the transparency the paper's kernel "
+               "bridge provides.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Mobile-device scenario: the paper's Section 1 motivation end to end.
+//
+// A phone with WiFi and LTE runs four applications with the preferences
+// the introduction describes:
+//   * netflix   -- WiFi only (cellular data is capped), weight 2
+//   * dropbox   -- WiFi only, weight 1 ("give Netflix twice Dropbox")
+//   * voip      -- LTE only (persistent connectivity while walking)
+//   * web       -- either interface
+// Midway, WiFi goes out of range for 20 s; watch the scheduler shift the
+// web flow to LTE and hand everything back when WiFi returns.
+#include <iostream>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+void report(const midrr::ScenarioResult& result, midrr::SimTime from,
+            midrr::SimTime to, const char* label) {
+  std::cout << label << "\n";
+  for (const auto& flow : result.flows) {
+    std::cout << "  " << flow.name << ": "
+              << flow.mean_rate_mbps(from, to) << " Mb/s\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace midrr;
+
+  Scenario scenario;
+  // WiFi: 12 Mb/s but out of range during [30 s, 50 s).
+  scenario.interface_with_outage("wifi", RateProfile(mbps(12)),
+                                 30 * kSecond, 50 * kSecond);
+  scenario.interface("lte", RateProfile(mbps(5)));
+
+  scenario.backlogged_flow("netflix", 2.0, {"wifi"});
+  scenario.backlogged_flow("dropbox", 1.0, {"wifi"});
+  scenario.backlogged_flow("voip", 1.0, {"lte"});
+  scenario.backlogged_flow("web", 1.0, {"wifi", "lte"});
+
+  RunnerOptions options;
+  options.cluster_interval = 5 * kSecond;
+  ScenarioRunner runner(scenario, Policy::kMiDrr, options);
+  const auto result = runner.run(80 * kSecond);
+
+  report(result, 10 * kSecond, 29 * kSecond,
+         "phase 1 (WiFi up): netflix gets 2x dropbox on WiFi; web picks "
+         "the best deal");
+  report(result, 35 * kSecond, 49 * kSecond,
+         "\nphase 2 (WiFi outage): netflix/dropbox stall (WiFi-only!), "
+         "web squeezes onto LTE with voip");
+  report(result, 55 * kSecond, 80 * kSecond,
+         "\nphase 3 (WiFi back): everything recovers");
+
+  std::cout << "\ncluster structure over time:\n";
+  for (const auto& snap : result.clusters) {
+    if (static_cast<int>(to_seconds(snap.at)) % 10 == 0) {
+      std::cout << "  t=" << to_seconds(snap.at) << "s  " << snap.rendering
+                << "\n";
+    }
+  }
+
+  std::cout << "\nNote what did NOT happen: netflix never touched LTE "
+               "(interface preferences are sacrosanct), and no capacity "
+               "was wasted while WiFi was away.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// High-level user policies compiled down to the scheduler's (Pi, phi):
+// the "system managing user preferences" of the paper's Section 3, with
+// the data-cap dynamics its introduction describes users improvising by
+// hand ("we might switch off cellular data ... when we are close to our
+// monthly data cap").
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "policy/compiler.hpp"
+
+int main() {
+  using namespace midrr;
+  using namespace midrr::policy;
+
+  // The device's interfaces, with attributes.
+  PreferenceCompiler prefs;
+  prefs.add_interface({"wifi", /*metered=*/false, 15 * kMillisecond, 0});
+  prefs.add_interface({"lte", /*metered=*/true, 45 * kMillisecond,
+                       /*monthly cap=*/8'000'000});  // tiny, for the demo
+
+  // The user's policies, in their own vocabulary:
+  prefs.set_base_weight("netflix", 2.0);  // "Netflix gets twice Dropbox"
+  prefs.add_rule({"netflix", Verb::kRequire, Selector::unmetered()});
+  prefs.add_rule({"dropbox", Verb::kRequire, Selector::unmetered()});
+  prefs.add_rule(
+      {"voip", Verb::kPrefer, Selector::low_latency(20 * kMillisecond)});
+  // web may use anything (no rule).
+
+  // The running system.
+  Scenario sc;
+  sc.interface("wifi", RateProfile(mbps(8)));
+  sc.interface("lte", RateProfile(mbps(4)));
+  sc.backlogged_flow("netflix", 1.0, {"wifi"});
+  sc.backlogged_flow("dropbox", 1.0, {"wifi"});
+  sc.backlogged_flow("voip", 1.0, {"wifi", "lte"});
+  sc.backlogged_flow("web", 1.0, {"wifi", "lte"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  auto& sched = runner.scheduler();
+  runner.run(0);  // arm the runner so the flows exist in the scheduler
+
+  const std::map<std::string, FlowId> bindings{
+      {"netflix", 0}, {"dropbox", 1}, {"voip", 2}, {"web", 3}};
+  DataCapTracker caps;
+  prefs.apply(sched, bindings, &caps);
+
+  std::cout << "compiled policies:\n";
+  for (const auto& [app, flow] : bindings) {
+    const auto policy = prefs.compile(app, &caps);
+    std::cout << "  " << app << " (phi=" << policy.weight << "): ";
+    for (const auto& iface : policy.willing) std::cout << iface << ' ';
+    std::cout << "\n";
+  }
+
+  // Run 20 s, then account the LTE usage against the monthly cap.
+  runner.run(20 * kSecond);
+  std::uint64_t lte_bytes = 0;
+  for (const auto& [app, flow] : bindings) {
+    lte_bytes += sched.sent_bytes(flow, 1);
+  }
+  caps.record("lte", lte_bytes);
+  std::cout << "\nLTE bytes after 20 s: " << caps.used("lte")
+            << " (cap: 8 MB) -> "
+            << (caps.used("lte") >= 8'000'000 ? "EXHAUSTED" : "ok") << "\n";
+  prefs.apply(sched, bindings, &caps);  // re-lower the policies
+
+  const auto result = runner.run(40 * kSecond);
+  std::cout << "\nrates before the cap hit (5-20 s) vs after (25-40 s):\n";
+  for (const auto& flow : result.flows) {
+    std::cout << "  " << flow.name << ": "
+              << flow.mean_rate_mbps(5 * kSecond, 20 * kSecond) << " -> "
+              << flow.mean_rate_mbps(25 * kSecond, 40 * kSecond)
+              << " Mb/s\n";
+  }
+  std::cout << "\nWhat happened: voip already sat on WiFi (its low-latency "
+               "preference), web alone was burning LTE; once the cap "
+               "exhausted, the re-lowered policy pulled web off LTE and "
+               "everyone now shares WiFi at the compiled weights (netflix "
+               "phi=2 gets the biggest slice) -- no app was reconfigured, "
+               "only the policy was re-lowered.\n";
+  return 0;
+}

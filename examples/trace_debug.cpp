@@ -1,0 +1,45 @@
+// Watching miDRR think: attach a TraceRecorder to the scheduler and print
+// the grant/skip/send stream for the paper's Fig 1(c) example.  The SKIP
+// lines ARE the algorithm -- interface 1 telling interface 0's flow "you
+// were served elsewhere since I last looked".
+#include <iostream>
+
+#include "sched/midrr.hpp"
+#include "sched/observer.hpp"
+
+int main() {
+  using namespace midrr;
+
+  MiDrrScheduler sched(1500);
+  TraceRecorder trace(64);
+  sched.set_observer(&trace);
+
+  const IfaceId if0 = sched.add_interface("if0");
+  const IfaceId if1 = sched.add_interface("if1");
+  const FlowId a = sched.add_flow(1.0, {if0, if1}, "a");
+  const FlowId b = sched.add_flow(1.0, {if1}, "b");
+
+  // Both flows backlogged; alternate the interfaces like two equal links.
+  for (int i = 0; i < 32; ++i) {
+    sched.enqueue(Packet(a, 1500), 0);
+    sched.enqueue(Packet(b, 1500), 0);
+  }
+  for (int round = 0; round < 8; ++round) {
+    const SimTime now = round * 12 * kMillisecond;
+    sched.dequeue(if0, now);
+    sched.dequeue(if1, now + 6 * kMillisecond);
+  }
+
+  std::cout << "event stream (flow0 = a {if0,if1}, flow1 = b {if1}):\n"
+            << trace.render() << "\n";
+  std::cout << "counters:\n"
+            << "  a served on if0: " << trace.sends(a, if0) << " packets\n"
+            << "  a served on if1: " << trace.sends(a, if1)
+            << " packets  <- the flag keeps this at ~zero\n"
+            << "  a skipped by if1: " << trace.skips(a, if1) << " times\n"
+            << "  b served on if1: " << trace.sends(b, if1) << " packets\n";
+  std::cout << "\nEvery 'iface1 SKIP flow0' line is one bit of coordination "
+               "doing the work that per-rate\nbookkeeping would otherwise "
+               "require -- the entire paper in a trace.\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+#include "bridge/bridge.hpp"
+
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+
+namespace midrr::bridge {
+
+VirtualBridge::VirtualBridge(std::unique_ptr<Scheduler> scheduler,
+                             net::MacAddress virt_mac,
+                             net::Ipv4Address virt_ip)
+    : scheduler_(std::move(scheduler)),
+      virt_mac_(virt_mac),
+      virt_ip_(virt_ip) {
+  MIDRR_REQUIRE(scheduler_ != nullptr, "bridge needs a scheduler");
+}
+
+IfaceId VirtualBridge::add_physical(const PhysicalInterface& phys) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const IfaceId id = scheduler_->add_interface(phys.name);
+  if (physical_.size() <= id) {
+    physical_.resize(static_cast<std::size_t>(id) + 1);
+  }
+  physical_[id] = phys;
+  return id;
+}
+
+FlowId VirtualBridge::add_flow(double weight,
+                               const std::vector<IfaceId>& willing,
+                               std::string name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->add_flow(weight, willing, std::move(name));
+}
+
+std::optional<FlowId> VirtualBridge::send_from_app(net::Frame frame,
+                                                   SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.app_frames_in;
+
+  const auto view = frame.parse();
+  if (!view) {
+    ++stats_.app_frames_dropped_unclassified;
+    return std::nullopt;
+  }
+  const auto tuple = FiveTuple::from(*view);
+  if (!tuple) {
+    ++stats_.app_frames_dropped_unclassified;
+    return std::nullopt;
+  }
+  const FlowId flow = classifier_.classify(*tuple);
+  if (flow == kInvalidFlow || !scheduler_->preferences().flow_exists(flow)) {
+    ++stats_.app_frames_dropped_unclassified;
+    return std::nullopt;
+  }
+
+  Packet packet(flow, static_cast<std::uint32_t>(frame.size()));
+  packet.frame = std::make_shared<net::Frame>(std::move(frame));
+  const EnqueueResult result = scheduler_->enqueue(std::move(packet), now);
+  if (!result.accepted) {
+    ++stats_.app_frames_dropped_queue;
+    return std::nullopt;
+  }
+  return flow;
+}
+
+std::optional<net::Frame> VirtualBridge::next_frame(IfaceId iface,
+                                                    SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto packet = scheduler_->dequeue(iface, now);
+  if (!packet) return std::nullopt;
+  MIDRR_ASSERT(packet->frame != nullptr, "bridge packet without frame");
+  MIDRR_ASSERT(iface < physical_.size(), "unknown physical interface");
+  const PhysicalInterface& phys = physical_[iface];
+
+  // Copy-on-steer: the queued frame is immutable; the wire copy gets the
+  // physical source addresses and fixed-up checksums.
+  net::Frame wire = *packet->frame;
+  wire.rewrite_source(phys.mac, phys.ip);
+
+  // Track the connection for the return path: the reply will arrive on
+  // this interface with src/dst mirrored relative to the rewritten frame.
+  const auto view = wire.parse();
+  if (view) {
+    if (const auto sent = FiveTuple::from(*view)) {
+      FiveTuple reply;
+      reply.src_ip = sent->dst_ip;
+      reply.dst_ip = sent->src_ip;  // the physical interface's address
+      reply.src_port = sent->dst_port;
+      reply.dst_port = sent->src_port;
+      reply.proto = sent->proto;
+      TrackedConnection conn;
+      conn.flow = packet->flow;
+      if (const auto original_view = packet->frame->parse()) {
+        if (const auto original = FiveTuple::from(*original_view)) {
+          conn.original = *original;
+        }
+      }
+      conntrack_[reply] = conn;
+    }
+  }
+
+  ++stats_.frames_steered;
+  if (iface < taps_.size() && taps_[iface] != nullptr) {
+    taps_[iface]->record(now, wire.bytes());
+  }
+  return wire;
+}
+
+void VirtualBridge::attach_tap(IfaceId iface, net::PcapWriter* tap) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (taps_.size() <= iface) {
+    taps_.resize(static_cast<std::size_t>(iface) + 1, nullptr);
+  }
+  taps_[iface] = tap;
+}
+
+bool VirtualBridge::has_traffic(IfaceId iface) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->has_eligible(iface);
+}
+
+std::optional<net::Frame> VirtualBridge::receive_from_network(
+    IfaceId iface, net::Frame frame, SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.frames_received;
+  if (iface < taps_.size() && taps_[iface] != nullptr) {
+    taps_[iface]->record(now, frame.bytes());
+  }
+  const auto view = frame.parse();
+  if (!view) {
+    ++stats_.frames_received_unmatched;
+    return std::nullopt;
+  }
+  const auto tuple = FiveTuple::from(*view);
+  if (!tuple || conntrack_.find(*tuple) == conntrack_.end()) {
+    ++stats_.frames_received_unmatched;
+    MIDRR_LOG_DEBUG() << "bridge: unmatched inbound frame on iface " << iface;
+    return std::nullopt;
+  }
+  // Restore the application-visible addressing.
+  frame.rewrite_destination(virt_mac_, virt_ip_);
+  return frame;
+}
+
+}  // namespace midrr::bridge

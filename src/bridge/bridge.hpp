@@ -1,0 +1,116 @@
+// The virtual-interface bridge: the C++ analog of the paper's 1,010-line
+// Linux kernel module (Section 5, Figure 3).
+//
+// Applications see ONE virtual interface with a stable address.  The bridge
+// classifies each outgoing frame into a flow, queues it under the chosen
+// scheduling policy, and -- when a physical interface is free -- steers the
+// next scheduled frame out of that interface, rewriting the source MAC/IP
+// to the physical interface's own (with incremental checksum fix-up, as the
+// kernel does) so upstream routers accept it.  A connection-tracking table
+// remembers the (interface, rewritten 5-tuple) so inbound replies can be
+// rewritten back to the virtual address and handed to the application
+// unchanged.
+//
+// Thread-safety: like the kernel prototype, a single mutex guards the
+// scheduler; enter via the public methods only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bridge/classifier.hpp"
+#include "net/packet.hpp"
+#include "net/pcap.hpp"
+#include "sched/scheduler.hpp"
+
+namespace midrr::bridge {
+
+/// Addressing of one physical interface.
+struct PhysicalInterface {
+  std::string name;
+  net::MacAddress mac;
+  net::Ipv4Address ip;
+};
+
+struct BridgeStats {
+  std::uint64_t app_frames_in = 0;
+  std::uint64_t app_frames_dropped_unclassified = 0;
+  std::uint64_t app_frames_dropped_queue = 0;
+  std::uint64_t frames_steered = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_received_unmatched = 0;
+};
+
+class VirtualBridge {
+ public:
+  /// The bridge owns its scheduler (policy injected).
+  VirtualBridge(std::unique_ptr<Scheduler> scheduler, net::MacAddress virt_mac,
+                net::Ipv4Address virt_ip);
+
+  // --- Configuration -----------------------------------------------------
+
+  /// Registers a physical interface; returns the scheduler's id for it.
+  IfaceId add_physical(const PhysicalInterface& phys);
+
+  /// Registers a policy flow (weight + willing interfaces); returns its id.
+  FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
+                  std::string name = {});
+
+  FlowClassifier& classifier() { return classifier_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  const BridgeStats& stats() const { return stats_; }
+  net::Ipv4Address virtual_ip() const { return virt_ip_; }
+
+  /// Attaches a pcap tap to a physical interface: every frame steered out
+  /// of it (post-rewrite) and every matched inbound frame (pre-restore) is
+  /// recorded -- tcpdump on the virtual device, effectively.  The writer
+  /// must outlive the bridge; pass nullptr to detach.
+  void attach_tap(IfaceId iface, net::PcapWriter* tap);
+
+  // --- Outbound path -------------------------------------------------------
+
+  /// An application sent a frame on the virtual interface.  Returns the
+  /// flow it was queued under, or nullopt if it was dropped (no matching
+  /// flow / queue full).  Callers then kick their transmitters.
+  std::optional<FlowId> send_from_app(net::Frame frame, SimTime now);
+
+  /// Physical interface `iface` is free: returns the next frame to put on
+  /// the wire, already rewritten to the interface's source addresses.
+  std::optional<net::Frame> next_frame(IfaceId iface, SimTime now);
+
+  /// True if some frame is eligible for `iface`.
+  bool has_traffic(IfaceId iface) const;
+
+  // --- Inbound path --------------------------------------------------------
+
+  /// A frame arrived on physical interface `iface`.  If it matches a
+  /// tracked connection, returns the frame rewritten back to the virtual
+  /// interface's addresses (to hand to the application); otherwise nullopt.
+  std::optional<net::Frame> receive_from_network(IfaceId iface,
+                                                 net::Frame frame,
+                                                 SimTime now = 0);
+
+ private:
+  struct TrackedConnection {
+    FiveTuple original;  ///< as the application sent it
+    FlowId flow = kInvalidFlow;
+  };
+
+  std::unique_ptr<Scheduler> scheduler_;
+  FlowClassifier classifier_;
+  net::MacAddress virt_mac_;
+  net::Ipv4Address virt_ip_;
+  std::vector<PhysicalInterface> physical_;  // by IfaceId
+  // Return-path table: (iface, remote ip/port, local port, proto) -> conn.
+  std::unordered_map<FiveTuple, TrackedConnection, FiveTupleHash> conntrack_;
+  std::vector<net::PcapWriter*> taps_;  // by IfaceId; nullptr = no tap
+  BridgeStats stats_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace midrr::bridge

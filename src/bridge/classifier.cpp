@@ -1,0 +1,71 @@
+#include "bridge/classifier.hpp"
+
+namespace midrr::bridge {
+
+std::optional<FiveTuple> FiveTuple::from(const net::FrameView& view) {
+  FiveTuple t;
+  t.src_ip = view.ip.src;
+  t.dst_ip = view.ip.dst;
+  t.proto = view.ip.protocol;
+  if (view.tcp) {
+    t.src_port = view.tcp->src_port;
+    t.dst_port = view.tcp->dst_port;
+  } else if (view.udp) {
+    t.src_port = view.udp->src_port;
+    t.dst_port = view.udp->dst_port;
+  } else {
+    return std::nullopt;
+  }
+  return t;
+}
+
+std::size_t FiveTupleHash::operator()(const FiveTuple& t) const {
+  // FNV-1a over the tuple fields.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(t.src_ip.value());
+  mix(t.dst_ip.value());
+  mix(t.src_port);
+  mix(t.dst_port);
+  mix(static_cast<std::uint64_t>(t.proto));
+  return static_cast<std::size_t>(h);
+}
+
+bool ClassifierRule::matches(const FiveTuple& t) const {
+  if (proto && *proto != t.proto) return false;
+  if (src_port && *src_port != t.src_port) return false;
+  if (dst_port && *dst_port != t.dst_port) return false;
+  if (dst_ip && *dst_ip != t.dst_ip) return false;
+  return true;
+}
+
+void FlowClassifier::add_rule(ClassifierRule rule) {
+  rules_.push_back(rule);
+}
+
+void FlowClassifier::pin(const FiveTuple& tuple, FlowId flow) {
+  pinned_[tuple] = flow;
+}
+
+FlowId FlowClassifier::classify(const FiveTuple& tuple) const {
+  const auto pinned = pinned_.find(tuple);
+  if (pinned != pinned_.end()) return pinned->second;
+  for (const ClassifierRule& rule : rules_) {
+    if (rule.matches(tuple)) return rule.flow;
+  }
+  return default_flow_;
+}
+
+void FlowClassifier::remove_flow(FlowId flow) {
+  for (auto it = pinned_.begin(); it != pinned_.end();) {
+    it = (it->second == flow) ? pinned_.erase(it) : std::next(it);
+  }
+  std::erase_if(rules_,
+                [flow](const ClassifierRule& r) { return r.flow == flow; });
+  if (default_flow_ == flow) default_flow_ = kInvalidFlow;
+}
+
+}  // namespace midrr::bridge

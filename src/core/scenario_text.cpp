@@ -1,0 +1,384 @@
+#include "core/scenario_text.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace midrr {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw ScenarioParseError("scenario line " + std::to_string(line) + ": " +
+                           message);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, sep)) out.push_back(trim(part));
+  return out;
+}
+
+double parse_number(const std::string& text, const char* what) {
+  std::size_t pos = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw ScenarioParseError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  if (pos != text.size()) {
+    throw ScenarioParseError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+double parse_rate_bps(const std::string& raw) {
+  const std::string text = lower(trim(raw));
+  struct Unit {
+    const char* suffix;
+    double factor;
+  };
+  static constexpr Unit units[] = {
+      {"gbps", 1e9}, {"mbps", 1e6}, {"kbps", 1e3}, {"bps", 1.0}};
+  for (const Unit& u : units) {
+    const std::string suffix = u.suffix;
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return parse_number(text.substr(0, text.size() - suffix.size()),
+                          "rate") *
+             u.factor;
+    }
+  }
+  return parse_number(text, "rate");
+}
+
+SimDuration parse_duration_ns(const std::string& raw) {
+  const std::string text = lower(trim(raw));
+  struct Unit {
+    const char* suffix;
+    double factor;  // to nanoseconds
+  };
+  static constexpr Unit units[] = {{"ms", 1e6},
+                                   {"us", 1e3},
+                                   {"ns", 1.0},
+                                   {"s", 1e9},
+                                   {"m", 60e9},
+                                   {"h", 3600e9}};
+  for (const Unit& u : units) {
+    const std::string suffix = u.suffix;
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      const std::string number = text.substr(0, text.size() - suffix.size());
+      // Guard against "ms" being matched as the "s" of "...m" etc. by the
+      // ordering above (longest suffixes first).
+      return static_cast<SimDuration>(parse_number(number, "duration") *
+                                      u.factor);
+    }
+  }
+  return static_cast<SimDuration>(parse_number(text, "duration"));
+}
+
+std::uint64_t parse_bytes(const std::string& raw) {
+  const std::string text = lower(trim(raw));
+  struct Unit {
+    const char* suffix;
+    double factor;
+  };
+  static constexpr Unit units[] = {
+      {"gb", 1e9}, {"mb", 1e6}, {"kb", 1e3}, {"b", 1.0}};
+  for (const Unit& u : units) {
+    const std::string suffix = u.suffix;
+    if (text.size() > suffix.size() &&
+        text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      return static_cast<std::uint64_t>(
+          parse_number(text.substr(0, text.size() - suffix.size()), "size") *
+          u.factor);
+    }
+  }
+  return static_cast<std::uint64_t>(parse_number(text, "size"));
+}
+
+Policy parse_policy(const std::string& raw) {
+  const std::string text = lower(trim(raw));
+  if (text == "midrr") return Policy::kMiDrr;
+  if (text == "naive-drr" || text == "drr") return Policy::kNaiveDrr;
+  if (text == "wfq" || text == "per-iface-wfq") return Policy::kPerIfaceWfq;
+  if (text == "rr" || text == "round-robin") return Policy::kRoundRobin;
+  if (text == "fifo") return Policy::kFifo;
+  if (text == "priority" || text == "strict-priority") {
+    return Policy::kStrictPriority;
+  }
+  if (text == "oracle") return Policy::kOracle;
+  throw ScenarioParseError("unknown policy '" + raw + "'");
+}
+
+namespace {
+
+RateProfile parse_rate_profile(const std::string& value, std::size_t line) {
+  // Either a single rate, or "t0:rate0, t1:rate1, ..." steps.
+  if (value.find(':') == std::string::npos) {
+    return RateProfile(parse_rate_bps(value));
+  }
+  std::vector<std::pair<SimTime, double>> steps;
+  for (const std::string& part : split(value, ',')) {
+    const auto colon = part.find(':');
+    if (colon == std::string::npos) fail(line, "bad rate step '" + part + "'");
+    steps.emplace_back(parse_duration_ns(part.substr(0, colon)),
+                       parse_rate_bps(part.substr(colon + 1)));
+  }
+  try {
+    return RateProfile::steps(std::move(steps));
+  } catch (const std::exception& e) {
+    fail(line, std::string("bad rate profile: ") + e.what());
+  }
+}
+
+SizeDistribution parse_packet_spec(const std::string& value,
+                                   std::size_t line) {
+  const std::string text = lower(trim(value));
+  if (text.rfind("uniform:", 0) == 0) {
+    const auto range = split(text.substr(8), '-');
+    if (range.size() != 2) fail(line, "bad uniform packet spec");
+    return SizeDistribution::uniform(
+        static_cast<std::uint32_t>(parse_bytes(range[0])),
+        static_cast<std::uint32_t>(parse_bytes(range[1])));
+  }
+  if (text.rfind("bimodal:", 0) == 0) {
+    // bimodal:SMALL-LARGE:P
+    const auto parts = split(text.substr(8), ':');
+    if (parts.size() != 2) fail(line, "bad bimodal packet spec");
+    const auto sizes = split(parts[0], '-');
+    if (sizes.size() != 2) fail(line, "bad bimodal packet sizes");
+    return SizeDistribution::bimodal(
+        static_cast<std::uint32_t>(parse_bytes(sizes[0])),
+        static_cast<std::uint32_t>(parse_bytes(sizes[1])),
+        parse_number(parts[1], "probability"));
+  }
+  return SizeDistribution::fixed(
+      static_cast<std::uint32_t>(parse_bytes(text)));
+}
+
+SourceFactory parse_source_spec(const std::string& value,
+                                const SizeDistribution& sizes,
+                                std::size_t line) {
+  const auto parts = split(lower(trim(value)), ':');
+  const std::string& kind = parts[0];
+  if (kind == "backlogged") {
+    std::uint64_t volume = 0;
+    if (parts.size() >= 2) volume = parse_bytes(parts[1]);
+    if (parts.size() > 2) fail(line, "bad backlogged source spec");
+    return [sizes, volume] {
+      return std::make_unique<BackloggedSource>(sizes, volume);
+    };
+  }
+  if (kind == "cbr") {
+    if (parts.size() < 2 || parts.size() > 3) fail(line, "bad cbr spec");
+    const double rate = parse_rate_bps(parts[1]);
+    const std::uint64_t volume =
+        parts.size() == 3 ? parse_bytes(parts[2]) : 0;
+    // CBR uses a fixed packet; take the distribution's max as its size.
+    const std::uint32_t packet = sizes.max_size();
+    return [rate, packet, volume] {
+      return std::make_unique<CbrSource>(rate, packet, volume);
+    };
+  }
+  if (kind == "poisson") {
+    if (parts.size() < 2 || parts.size() > 3) fail(line, "bad poisson spec");
+    const double rate = parse_rate_bps(parts[1]);
+    const std::uint64_t volume =
+        parts.size() == 3 ? parse_bytes(parts[2]) : 0;
+    return [rate, sizes, volume] {
+      return std::make_unique<PoissonSource>(rate, sizes, volume);
+    };
+  }
+  if (kind == "onoff") {
+    if (parts.size() != 4) fail(line, "bad onoff spec (rate:on:off)");
+    const double rate = parse_rate_bps(parts[1]);
+    const double on = to_seconds(parse_duration_ns(parts[2]));
+    const double off = to_seconds(parse_duration_ns(parts[3]));
+    const std::uint32_t packet = sizes.max_size();
+    return [rate, packet, on, off] {
+      return std::make_unique<OnOffSource>(rate, packet, on, off);
+    };
+  }
+  fail(line, "unknown source kind '" + kind + "'");
+}
+
+struct Section {
+  std::string kind;  // "interface" | "flow" | "run"
+  std::string name;
+  std::size_t line = 0;
+  std::map<std::string, std::pair<std::string, std::size_t>> entries;
+};
+
+}  // namespace
+
+ParsedScenario parse_scenario(std::istream& in) {
+  std::vector<Section> sections;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    std::string text = trim(hash == std::string::npos ? raw
+                                                      : raw.substr(0, hash));
+    if (text.empty()) continue;
+    if (text.front() == '[') {
+      if (text.back() != ']') fail(line_no, "unterminated section header");
+      const auto inner = trim(text.substr(1, text.size() - 2));
+      const auto space = inner.find(' ');
+      Section section;
+      section.kind = lower(space == std::string::npos
+                               ? inner
+                               : inner.substr(0, space));
+      section.name =
+          space == std::string::npos ? "" : trim(inner.substr(space + 1));
+      section.line = line_no;
+      if (section.kind != "interface" && section.kind != "flow" &&
+          section.kind != "run") {
+        fail(line_no, "unknown section '" + section.kind + "'");
+      }
+      if (section.kind != "run" && section.name.empty()) {
+        fail(line_no, section.kind + " section needs a name");
+      }
+      sections.push_back(std::move(section));
+      continue;
+    }
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    if (sections.empty()) fail(line_no, "entry before any section");
+    const std::string key = lower(trim(text.substr(0, eq)));
+    const std::string value = trim(text.substr(eq + 1));
+    auto& entries = sections.back().entries;
+    if (entries.count(key) > 0) fail(line_no, "duplicate key '" + key + "'");
+    entries[key] = {value, line_no};
+  }
+
+  ParsedScenario out;
+  bool any_interface = false;
+
+  const auto take = [](Section& s, const std::string& key)
+      -> std::optional<std::pair<std::string, std::size_t>> {
+    auto it = s.entries.find(key);
+    if (it == s.entries.end()) return std::nullopt;
+    auto value = it->second;
+    s.entries.erase(it);
+    return value;
+  };
+  const auto reject_leftovers = [](const Section& s) {
+    if (!s.entries.empty()) {
+      fail(s.entries.begin()->second.second,
+           "unknown key '" + s.entries.begin()->first + "' in [" + s.kind +
+               (s.name.empty() ? "" : " " + s.name) + "]");
+    }
+  };
+
+  for (Section& section : sections) {
+    if (section.kind == "interface") {
+      any_interface = true;
+      const auto rate = take(section, "rate");
+      if (!rate) fail(section.line, "interface needs a rate");
+      RateProfile profile = parse_rate_profile(rate->first, rate->second);
+      if (const auto down = take(section, "down")) {
+        const auto parts = split(down->first, '.');
+        // "30s..50s" splits into {"30s", "", "50s"}.
+        if (parts.size() != 3 || !parts[1].empty()) {
+          fail(down->second, "bad outage 'FROM..UNTIL'");
+        }
+        out.scenario.interface_with_outage(section.name, std::move(profile),
+                                           parse_duration_ns(parts[0]),
+                                           parse_duration_ns(parts[2]));
+      } else {
+        out.scenario.interface(section.name, std::move(profile));
+      }
+      reject_leftovers(section);
+    } else if (section.kind == "flow") {
+      FlowSpec spec;
+      spec.name = section.name;
+      if (const auto weight = take(section, "weight")) {
+        spec.weight = parse_number(weight->first, "weight");
+      }
+      const auto ifaces = take(section, "ifaces");
+      if (!ifaces) fail(section.line, "flow needs an ifaces list");
+      spec.ifaces = split(ifaces->first, ',');
+      if (const auto start = take(section, "start")) {
+        spec.start = parse_duration_ns(start->first);
+      }
+      SizeDistribution sizes = SizeDistribution::fixed(1500);
+      if (const auto packet = take(section, "packet")) {
+        sizes = parse_packet_spec(packet->first, packet->second);
+      }
+      const auto source = take(section, "source");
+      spec.make_source = parse_source_spec(
+          source ? source->first : "backlogged", sizes,
+          source ? source->second : section.line);
+      reject_leftovers(section);
+      out.scenario.flow(std::move(spec));
+    } else {  // run
+      if (const auto policy = take(section, "policy")) {
+        out.run.policy = parse_policy(policy->first);
+      }
+      if (const auto duration = take(section, "duration")) {
+        out.run.duration = parse_duration_ns(duration->first);
+      }
+      if (const auto quantum = take(section, "quantum")) {
+        out.run.options.quantum_base =
+            static_cast<std::uint32_t>(parse_bytes(quantum->first));
+      }
+      if (const auto clusters = take(section, "clusters")) {
+        out.run.options.cluster_interval = parse_duration_ns(clusters->first);
+      }
+      if (const auto seed = take(section, "seed")) {
+        out.run.options.seed = static_cast<std::uint64_t>(
+            parse_number(seed->first, "seed"));
+      }
+      if (const auto jitter = take(section, "jitter")) {
+        out.run.options.link_jitter =
+            parse_number(jitter->first, "jitter");
+        if (out.run.options.link_jitter < 0.0 ||
+            out.run.options.link_jitter >= 1.0) {
+          fail(jitter->second, "jitter must be in [0, 1)");
+        }
+      }
+      reject_leftovers(section);
+    }
+  }
+
+  if (!any_interface) {
+    throw ScenarioParseError("scenario declares no interfaces");
+  }
+  return out;
+}
+
+ParsedScenario parse_scenario_text(const std::string& text) {
+  std::istringstream in(text);
+  return parse_scenario(in);
+}
+
+}  // namespace midrr

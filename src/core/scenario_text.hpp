@@ -1,0 +1,70 @@
+// Text format for scheduling scenarios, so experiments can be described in
+// files and run with tools/midrr_sim instead of writing C++.
+//
+//   # phone.scn -- comments start with '#'
+//   [interface wifi]
+//   rate = 10mbps                  # constant, or a step list:
+//   # rate = 0:10mbps, 20s:0, 45s:20mbps
+//   down = 30s..50s                # optional administrative outage
+//
+//   [flow netflix]
+//   weight = 2
+//   ifaces = wifi, lte
+//   source = backlogged            # backlogged[:VOLUME] | cbr:RATE |
+//                                  # poisson:RATE | onoff:RATE:ON:OFF
+//   packet = 1500                  # bytes (fixed) or "uniform:100-1500"
+//   start  = 5s
+//
+//   [run]
+//   policy   = midrr               # midrr|naive-drr|wfq|rr|fifo|priority|oracle
+//   duration = 60s
+//   quantum  = 1500
+//   clusters = 5s                  # cluster snapshot interval (0 = off)
+//   jitter   = 0.05                # link service-time jitter fraction
+//   seed     = 1
+//
+// Units: rates "10mbps"/"500kbps"/"2gbps"/plain bits-per-second; durations
+// "90s"/"250ms"/"2m"; sizes "64KB"/"100MB"/plain bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace midrr {
+
+struct RunConfig {
+  Policy policy = Policy::kMiDrr;
+  SimTime duration = 60 * kSecond;
+  RunnerOptions options;
+};
+
+struct ParsedScenario {
+  Scenario scenario;
+  RunConfig run;
+};
+
+/// Thrown on malformed scenario text, with a line number in the message.
+class ScenarioParseError : public std::runtime_error {
+ public:
+  explicit ScenarioParseError(const std::string& what_arg)
+      : std::runtime_error(what_arg) {}
+};
+
+/// Parses a scenario description; throws ScenarioParseError on bad input.
+ParsedScenario parse_scenario(std::istream& in);
+ParsedScenario parse_scenario_text(const std::string& text);
+
+// --- unit parsing helpers (exposed for reuse and tests) -------------------
+
+/// "10mbps" -> 1e7; "500kbps" -> 5e5; "2gbps" -> 2e9; "1234" -> 1234 bps.
+double parse_rate_bps(const std::string& text);
+/// "90s" -> 90e9 ns; "250ms"; "2m" (minutes); "1234" -> ns.
+SimDuration parse_duration_ns(const std::string& text);
+/// "64KB" -> 65536... no: decimal: 64000; "100MB" -> 1e8; "1500" -> 1500.
+std::uint64_t parse_bytes(const std::string& text);
+/// "midrr" / "naive-drr" / "wfq" / "rr" / "fifo" / "priority" / "oracle".
+Policy parse_policy(const std::string& text);
+
+}  // namespace midrr

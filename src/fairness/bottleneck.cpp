@@ -1,0 +1,102 @@
+#include "fairness/bottleneck.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace midrr::fair {
+
+MaxMinResult solve_max_min_bottleneck(const MaxMinInput& input) {
+  input.validate();
+  const std::size_t n = input.flow_count();
+  const std::size_t m = input.iface_count();
+  MIDRR_REQUIRE(m <= 20, "bottleneck solver is exponential in interfaces");
+
+  MaxMinResult result;
+  result.rates_bps.assign(n, 0.0);
+  result.levels.assign(n, 0.0);
+  result.alloc_bps.assign(n, std::vector<double>(m, 0.0));
+  if (n == 0) return result;
+
+  // Flows with no usable interface freeze at zero immediately.
+  std::vector<bool> frozen(n, false);
+  std::vector<double> capacity = input.capacities_bps;
+  std::vector<bool> iface_gone(m, false);
+  std::size_t remaining = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool any = false;
+    for (std::size_t j = 0; j < m; ++j) any = any || input.willing[i][j];
+    if (!any) {
+      frozen[i] = true;
+    } else {
+      ++remaining;
+    }
+  }
+
+  std::size_t guard = 0;
+  while (remaining > 0) {
+    MIDRR_ASSERT(++guard <= m + 1, "bottleneck iteration failed to converge");
+
+    // Live interface ids for subset enumeration.
+    std::vector<std::size_t> live;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!iface_gone[j]) live.push_back(j);
+    }
+    MIDRR_ASSERT(!live.empty(), "flows remain but no interfaces do");
+
+    double best_level = std::numeric_limits<double>::infinity();
+    unsigned best_subset = 0;
+    const unsigned subsets = 1u << live.size();
+    for (unsigned mask = 1; mask < subsets; ++mask) {
+      double cap = 0.0;
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (mask & (1u << k)) cap += capacity[live[k]];
+      }
+      // Flows confined to this subset (every live willing iface inside).
+      double weight = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (frozen[i]) continue;
+        bool confined = true;
+        for (std::size_t k = 0; k < live.size(); ++k) {
+          if (input.willing[i][live[k]] && !(mask & (1u << k))) {
+            confined = false;
+            break;
+          }
+        }
+        if (confined) weight += input.weights[i];
+      }
+      if (weight <= 0.0) continue;
+      const double level = cap / weight;
+      if (level < best_level) {
+        best_level = level;
+        best_subset = mask;
+      }
+    }
+    MIDRR_ASSERT(best_level < std::numeric_limits<double>::infinity(),
+                 "no bottleneck subset found");
+
+    // Freeze the confined flows at the bottleneck level; retire the subset.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      bool confined = true;
+      for (std::size_t k = 0; k < live.size(); ++k) {
+        if (input.willing[i][live[k]] && !(best_subset & (1u << k))) {
+          confined = false;
+          break;
+        }
+      }
+      if (confined) {
+        frozen[i] = true;
+        result.levels[i] = best_level;
+        result.rates_bps[i] = input.weights[i] * best_level;
+        --remaining;
+      }
+    }
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      if (best_subset & (1u << k)) iface_gone[live[k]] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace midrr::fair

@@ -1,0 +1,28 @@
+// A second, independent weighted max-min solver: bottleneck-set iteration.
+//
+// At each step, consider every non-empty subset S of the remaining
+// interfaces and the flows *confined* to S (all their willing interfaces
+// lie inside S).  The subset minimizing
+//
+//      level(S) = capacity(S) / total_weight(confined(S))
+//
+// is the bottleneck: its confined flows can never do better than level(S),
+// and every other flow can do at least as well, so they freeze at exactly
+// that level; S's capacity is exactly consumed by them, both are removed,
+// and the iteration continues (Megiddo 1974's lexicographic argument).
+//
+// Exponential in the interface count (fine for m <= ~16, the paper's
+// range) but entirely different machinery from the water-filling /
+// max-flow solver in maxmin.hpp -- the two cross-validate each other in
+// tests/test_solver_crosscheck.cpp over thousands of random instances.
+#pragma once
+
+#include "fairness/maxmin.hpp"
+
+namespace midrr::fair {
+
+/// Same contract as solve_max_min (rates only; no split matrix).
+/// Requires iface_count() <= 20.
+MaxMinResult solve_max_min_bottleneck(const MaxMinInput& input);
+
+}  // namespace midrr::fair

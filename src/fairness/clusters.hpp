@@ -1,0 +1,59 @@
+// Rate clusters (Definition 2) and the Theorem 2 max-min conditions.
+//
+// Given an allocation split r_ij (from the reference solver, or measured
+// bytes from a running scheduler), this module partitions flows and
+// interfaces into the clusters the paper describes -- connected components
+// of the "actively serves" bipartite graph -- and checks the two Theorem 2
+// conditions:
+//   1. flows actively served by a common interface have equal normalized
+//      rate r_i / phi_i;
+//   2. a flow willing-but-not-active on an interface has normalized rate
+//      >= the rate of the cluster that interface belongs to.
+//
+// The benches for Fig 8 / Fig 11 print these clusters over time; the
+// Theorem 2 property tests assert the conditions on solver outputs and the
+// inverse (violations detected on perturbed allocations).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fairness/maxmin.hpp"
+
+namespace midrr::fair {
+
+struct Cluster {
+  std::vector<std::size_t> flows;   ///< flow indices in the cluster
+  std::vector<std::size_t> ifaces;  ///< interface indices in the cluster
+  double normalized_rate = 0.0;     ///< common r_i / phi_i of member flows
+};
+
+struct ClusterAnalysis {
+  std::vector<Cluster> clusters;
+  /// Per-flow index of its cluster (SIZE_MAX for idle zero-rate flows).
+  std::vector<std::size_t> flow_cluster;
+  /// Per-interface index of its cluster (SIZE_MAX for unused interfaces).
+  std::vector<std::size_t> iface_cluster;
+};
+
+/// Partitions flows/interfaces into clusters by the active-service graph:
+/// an edge exists where alloc[i][j] exceeds `active_fraction` of flow i's
+/// total rate (filters measurement noise in empirical allocations).
+ClusterAnalysis analyze_clusters(const MaxMinInput& input,
+                                 const std::vector<std::vector<double>>& alloc,
+                                 double active_fraction = 1e-3);
+
+/// Checks the Theorem 2 conditions on an allocation; returns a description
+/// of the first violation, or nullopt if the allocation is max-min
+/// consistent within `rel_tol`.
+std::optional<std::string> check_max_min_conditions(
+    const MaxMinInput& input, const std::vector<std::vector<double>>& alloc,
+    double rel_tol = 1e-6);
+
+/// One-line rendering ("{a | if1} @3.00  {b,c | if2} @3.33") for benches.
+std::string format_clusters(const ClusterAnalysis& analysis,
+                            const std::vector<std::string>& flow_names,
+                            const std::vector<std::string>& iface_names);
+
+}  // namespace midrr::fair

@@ -1,0 +1,137 @@
+#include "fairness/fluid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace midrr::fair {
+
+FluidSystem::FluidSystem(std::vector<double> capacities_bps)
+    : capacities_(std::move(capacities_bps)) {
+  for (double c : capacities_) {
+    MIDRR_REQUIRE(c >= 0.0, "negative capacity");
+  }
+}
+
+std::size_t FluidSystem::add_flow(double weight, std::vector<bool> willing) {
+  MIDRR_REQUIRE(weight > 0.0, "weight must be positive");
+  MIDRR_REQUIRE(willing.size() == capacities_.size(),
+                "willingness row size mismatch");
+  weights_.push_back(weight);
+  willing_.push_back(std::move(willing));
+  backlog_.push_back(0.0);
+  service_.push_back(0.0);
+  rates_.push_back(0.0);
+  drained_.push_back(std::nullopt);
+  return weights_.size() - 1;
+}
+
+void FluidSystem::add_arrival(std::size_t flow, SimTime at,
+                              std::uint64_t bytes) {
+  MIDRR_REQUIRE(flow < weights_.size(), "unknown flow");
+  MIDRR_REQUIRE(at >= now_, "arrival in the past");
+  arrivals_.emplace(at, std::make_pair(flow, bytes));
+}
+
+void FluidSystem::recompute_rates() {
+  // Max-min over backlogged flows only; idle flows get rate 0.
+  std::vector<std::size_t> active;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (backlog_[i] > 1e-9) active.push_back(i);
+  }
+  std::fill(rates_.begin(), rates_.end(), 0.0);
+  if (active.empty()) return;
+
+  MaxMinInput input;
+  input.capacities_bps = capacities_;
+  for (std::size_t i : active) {
+    input.weights.push_back(weights_[i]);
+    std::vector<bool> row(capacities_.size());
+    for (std::size_t j = 0; j < capacities_.size(); ++j) {
+      row[j] = willing_[i][j];
+    }
+    input.willing.push_back(std::move(row));
+  }
+  const MaxMinResult result = solve_max_min(input);
+  for (std::size_t k = 0; k < active.size(); ++k) {
+    rates_[active[k]] = result.rates_bps[k];
+  }
+}
+
+SimTime FluidSystem::next_completion_time() const {
+  SimTime best = kSimTimeMax;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (backlog_[i] > 1e-9 && rates_[i] > 0.0) {
+      const double seconds = backlog_[i] * 8.0 / rates_[i];
+      const SimTime t =
+          now_ + std::max<SimDuration>(1, from_seconds(seconds));
+      best = std::min(best, t);
+    }
+  }
+  return best;
+}
+
+void FluidSystem::integrate_to(SimTime t) {
+  MIDRR_ASSERT(t >= now_, "fluid time went backwards");
+  const double dt = to_seconds(t - now_);
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (rates_[i] <= 0.0 || backlog_[i] <= 0.0) continue;
+    const double drained = std::min(backlog_[i], rates_[i] * dt / 8.0);
+    backlog_[i] -= drained;
+    service_[i] += drained;
+    if (backlog_[i] <= 1e-9) {
+      backlog_[i] = 0.0;
+      drained_[i] = t;
+    }
+  }
+  now_ = t;
+}
+
+void FluidSystem::run_until(SimTime horizon) {
+  recompute_rates();
+  std::uint64_t guard = 0;
+  while (now_ < horizon) {
+    MIDRR_ASSERT(++guard < 1'000'000, "fluid system failed to converge");
+    const SimTime arrival = arrivals_.empty() ? kSimTimeMax
+                                              : arrivals_.begin()->first;
+    const SimTime completion = next_completion_time();
+    const SimTime next = std::min({arrival, completion, horizon});
+    integrate_to(next);
+    bool changed = false;
+    while (!arrivals_.empty() && arrivals_.begin()->first <= now_) {
+      const auto [flow, bytes] = arrivals_.begin()->second;
+      arrivals_.erase(arrivals_.begin());
+      if (backlog_[flow] <= 0.0 && bytes > 0) drained_[flow] = std::nullopt;
+      backlog_[flow] += static_cast<double>(bytes);
+      changed = true;
+    }
+    if (changed || next == completion) recompute_rates();
+    if (arrivals_.empty() && next_completion_time() == kSimTimeMax &&
+        completion == kSimTimeMax) {
+      break;  // steady state with nothing left to do
+    }
+  }
+}
+
+double FluidSystem::backlog_bytes(std::size_t flow) const {
+  MIDRR_REQUIRE(flow < backlog_.size(), "unknown flow");
+  return backlog_[flow];
+}
+
+double FluidSystem::service_bytes(std::size_t flow) const {
+  MIDRR_REQUIRE(flow < service_.size(), "unknown flow");
+  return service_[flow];
+}
+
+std::optional<SimTime> FluidSystem::drained_at(std::size_t flow) const {
+  MIDRR_REQUIRE(flow < drained_.size(), "unknown flow");
+  return drained_[flow];
+}
+
+double FluidSystem::current_rate_bps(std::size_t flow) const {
+  MIDRR_REQUIRE(flow < rates_.size(), "unknown flow");
+  return rates_[flow];
+}
+
+}  // namespace midrr::fair

@@ -1,0 +1,67 @@
+// Fluid-limit multi-interface GPS: the idealized bit-by-bit reference.
+//
+// At every instant, backlogged flows are served at exactly the weighted
+// max-min rates given the preference graph -- the allocation an ideal
+// (non-causal, infinitely divisible) scheduler would deliver.  The fluid
+// system advances between "events" (arrivals and backlog completions) and
+// recomputes the allocation at each event.
+//
+// Two uses:
+//  * the Theorem 1 counterexample test: the finishing order of two head
+//    packets under ideal scheduling flips depending on *future* arrivals,
+//    so no causal earliest-finishing-time scheduler exists;
+//  * an oracle for convergence tests (miDRR's long-run service should track
+//    the fluid system's within the Lemma 5/6 bounds).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fairness/maxmin.hpp"
+#include "util/time.hpp"
+
+namespace midrr::fair {
+
+class FluidSystem {
+ public:
+  /// `capacities_bps[j]` is interface j's constant rate.
+  explicit FluidSystem(std::vector<double> capacities_bps);
+
+  /// Adds a flow with weight and willingness row; returns its index.
+  std::size_t add_flow(double weight, std::vector<bool> willing);
+
+  /// Schedules `bytes` of arrival for `flow` at absolute time `at`.
+  void add_arrival(std::size_t flow, SimTime at, std::uint64_t bytes);
+
+  /// Runs until all backlog is drained or `horizon` is reached.
+  void run_until(SimTime horizon);
+
+  SimTime now() const { return now_; }
+  double backlog_bytes(std::size_t flow) const;
+  /// Cumulative service in bytes.
+  double service_bytes(std::size_t flow) const;
+  /// Time the flow's backlog last hit zero; nullopt if never (or refilled).
+  std::optional<SimTime> drained_at(std::size_t flow) const;
+  /// Instantaneous max-min rate of the flow at the current time.
+  double current_rate_bps(std::size_t flow) const;
+
+ private:
+  void recompute_rates();
+  /// Advances the fluid state to `t` (no events may lie in between).
+  void integrate_to(SimTime t);
+  SimTime next_completion_time() const;
+
+  std::vector<double> capacities_;
+  std::vector<double> weights_;
+  std::vector<std::vector<bool>> willing_;
+  std::vector<double> backlog_;
+  std::vector<double> service_;
+  std::vector<double> rates_;
+  std::vector<std::optional<SimTime>> drained_;
+  std::multimap<SimTime, std::pair<std::size_t, std::uint64_t>> arrivals_;
+  SimTime now_ = 0;
+};
+
+}  // namespace midrr::fair

@@ -1,0 +1,50 @@
+// Dinic's maximum-flow algorithm over double-valued capacities.
+//
+// Used by the max-min reference solver for its feasibility oracle.  The
+// graphs here are tiny (flows + interfaces + 2 nodes), so numeric epsilon
+// handling matters more than asymptotics: residual capacities below `eps`
+// are treated as saturated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace midrr::fair {
+
+class MaxFlowGraph {
+ public:
+  explicit MaxFlowGraph(std::size_t node_count, double eps = 1e-9);
+
+  /// Adds a directed edge u -> v with the given capacity; returns an edge
+  /// id usable with flow_on() after solving.
+  std::size_t add_edge(std::size_t u, std::size_t v, double capacity);
+
+  /// Computes the max flow from s to t; callable once per instance.
+  double solve(std::size_t s, std::size_t t);
+
+  /// Flow pushed over the edge returned by add_edge.
+  double flow_on(std::size_t edge_id) const;
+
+  /// Residual reachability from `from` (after solve): true if any
+  /// augmenting path with residual capacity > eps exists to `to`.
+  bool residual_reachable(std::size_t from, std::size_t to) const;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    double cap;
+    std::size_t rev;  // index of the reverse edge in adj_[to]
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  double dfs(std::size_t v, std::size_t t, double pushed);
+
+  double eps_;
+  std::vector<std::vector<Edge>> adj_;
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (node, idx)
+  std::vector<double> original_cap_;
+};
+
+}  // namespace midrr::fair

@@ -1,0 +1,40 @@
+#include "fairness/metrics.hpp"
+
+#include "sched/scheduler.hpp"
+#include "util/assert.hpp"
+
+namespace midrr::fair {
+
+double directional_fm(std::uint64_t service_i_bytes, double weight_i,
+                      std::uint64_t service_j_bytes, double weight_j) {
+  MIDRR_REQUIRE(weight_i > 0.0 && weight_j > 0.0, "weights must be positive");
+  return static_cast<double>(service_i_bytes) / weight_i -
+         static_cast<double>(service_j_bytes) / weight_j;
+}
+
+ServiceSnapshot::ServiceSnapshot(const Scheduler& scheduler) {
+  const auto flows = scheduler.preferences().flows();
+  const std::size_t slots = scheduler.preferences().flow_slots();
+  sent_bytes_.assign(slots, 0);
+  for (const auto flow : flows) {
+    sent_bytes_[flow] = scheduler.sent_bytes(flow);
+  }
+}
+
+std::uint64_t ServiceSnapshot::service_since(const ServiceSnapshot& earlier,
+                                             std::uint32_t flow) const {
+  const std::uint64_t now_v = flow < sent_bytes_.size() ? sent_bytes_[flow] : 0;
+  const std::uint64_t then_v =
+      flow < earlier.sent_bytes_.size() ? earlier.sent_bytes_[flow] : 0;
+  MIDRR_REQUIRE(now_v >= then_v, "snapshots taken out of order");
+  return now_v - then_v;
+}
+
+double ServiceSnapshot::fm_since(const ServiceSnapshot& earlier,
+                                 std::uint32_t flow_i, double weight_i,
+                                 std::uint32_t flow_j, double weight_j) const {
+  return directional_fm(service_since(earlier, flow_i), weight_i,
+                        service_since(earlier, flow_j), weight_j);
+}
+
+}  // namespace midrr::fair

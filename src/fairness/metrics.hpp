@@ -1,0 +1,45 @@
+// The paper's directional fairness metric (Definition 3) and service
+// tracking over intervals.
+//
+//   FM_{i->j}(t1, t2] = S_i(t1, t2]/phi_i - S_j(t1, t2]/phi_j
+//
+// Lemma 5 bounds FM_{i->j} > -2*MaxSize when flow i is served at a higher
+// rate; Lemma 6 bounds |FM_{i->j}| < Q' + 2*MaxSize for flows sharing an
+// interface.  ServiceSnapshot makes those bounds testable on any running
+// Scheduler by differencing its byte counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace midrr {
+class Scheduler;
+}
+
+namespace midrr::fair {
+
+/// FM from raw interval service in bytes.
+double directional_fm(std::uint64_t service_i_bytes, double weight_i,
+                      std::uint64_t service_j_bytes, double weight_j);
+
+/// Captures S_i for every flow of a scheduler at one instant.
+class ServiceSnapshot {
+ public:
+  /// Snapshot of all live flows (indexed by FlowId; gaps are zero).
+  explicit ServiceSnapshot(const Scheduler& scheduler);
+  ServiceSnapshot() = default;
+
+  /// Bytes flow sent between `earlier` and this snapshot.
+  std::uint64_t service_since(const ServiceSnapshot& earlier,
+                              std::uint32_t flow) const;
+
+  /// FM_{i->j} between `earlier` and this snapshot.
+  double fm_since(const ServiceSnapshot& earlier, std::uint32_t flow_i,
+                  double weight_i, std::uint32_t flow_j,
+                  double weight_j) const;
+
+ private:
+  std::vector<std::uint64_t> sent_bytes_;
+};
+
+}  // namespace midrr::fair

@@ -1,0 +1,20 @@
+// Identifiers shared across the library.
+//
+// FlowId names an application flow (the unit the user attaches preferences
+// to); IfaceId names a physical network interface.  Both are dense small
+// integers handed out by the owning registry (Preferences / bridges), which
+// lets schedulers use flat vectors for their per-flow / per-interface state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace midrr {
+
+using FlowId = std::uint32_t;
+using IfaceId = std::uint32_t;
+
+inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
+inline constexpr IfaceId kInvalidIface = std::numeric_limits<IfaceId>::max();
+
+}  // namespace midrr

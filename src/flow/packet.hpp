@@ -1,0 +1,33 @@
+// The unit of scheduling.
+//
+// A Packet is what the schedulers move: flow membership, a size, and
+// timestamps.  When the packet entered through the virtual-interface bridge
+// it also carries the actual wire frame (shared, immutable until the bridge
+// rewrites its own copy on transmit).  Simulation-only packets carry no
+// frame and are pure (flow, size) records, which keeps the hot path cheap.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "flow/ids.hpp"
+#include "net/packet.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+
+struct Packet {
+  FlowId flow = kInvalidFlow;
+  std::uint32_t size_bytes = 0;
+  std::uint64_t seq = 0;         ///< per-flow sequence number (FIFO check)
+  SimTime enqueued_at = 0;       ///< when the packet entered its flow queue
+  std::shared_ptr<const net::Frame> frame;  ///< wire frame, if any
+
+  Packet() = default;
+  Packet(FlowId f, std::uint32_t size, std::uint64_t sequence = 0,
+         SimTime t = 0)
+      : flow(f), size_bytes(size), seq(sequence), enqueued_at(t) {}
+};
+
+}  // namespace midrr

@@ -1,0 +1,135 @@
+#include "flow/preferences.hpp"
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+IfaceId Preferences::add_interface(std::string name) {
+  IfaceEntry e;
+  e.live = true;
+  e.name = name.empty() ? ("iface" + std::to_string(ifaces_.size())) : std::move(name);
+  ifaces_.push_back(std::move(e));
+  for (auto& f : flows_) {
+    f.willing.resize(ifaces_.size(), false);
+  }
+  ++version_;
+  return static_cast<IfaceId>(ifaces_.size() - 1);
+}
+
+FlowId Preferences::add_flow(double weight, const std::vector<IfaceId>& willing,
+                             std::string name) {
+  MIDRR_REQUIRE(weight > 0.0, "flow weight must be positive");
+  FlowEntry e;
+  e.live = true;
+  e.weight = weight;
+  e.willing.assign(ifaces_.size(), false);
+  e.name = name.empty() ? ("flow" + std::to_string(flows_.size())) : std::move(name);
+  for (IfaceId j : willing) {
+    MIDRR_REQUIRE(iface_exists(j), "willing list references unknown interface");
+    e.willing[j] = true;
+  }
+  flows_.push_back(std::move(e));
+  ++version_;
+  return static_cast<FlowId>(flows_.size() - 1);
+}
+
+void Preferences::remove_flow(FlowId flow) {
+  flow_entry(flow).live = false;
+  ++version_;
+}
+
+void Preferences::remove_interface(IfaceId iface) {
+  MIDRR_REQUIRE(iface_exists(iface), "removing unknown interface");
+  ifaces_[iface].live = false;
+  ++version_;
+}
+
+bool Preferences::flow_exists(FlowId flow) const {
+  return flow < flows_.size() && flows_[flow].live;
+}
+
+bool Preferences::iface_exists(IfaceId iface) const {
+  return iface < ifaces_.size() && ifaces_[iface].live;
+}
+
+const Preferences::FlowEntry& Preferences::flow_entry(FlowId flow) const {
+  MIDRR_REQUIRE(flow_exists(flow), "unknown flow id");
+  return flows_[flow];
+}
+
+Preferences::FlowEntry& Preferences::flow_entry(FlowId flow) {
+  MIDRR_REQUIRE(flow_exists(flow), "unknown flow id");
+  return flows_[flow];
+}
+
+bool Preferences::willing(FlowId flow, IfaceId iface) const {
+  const auto& f = flow_entry(flow);
+  if (!iface_exists(iface)) return false;
+  return iface < f.willing.size() && f.willing[iface];
+}
+
+void Preferences::set_willing(FlowId flow, IfaceId iface, bool value) {
+  MIDRR_REQUIRE(iface_exists(iface), "unknown interface id");
+  auto& f = flow_entry(flow);
+  f.willing[iface] = value;
+  ++version_;
+}
+
+double Preferences::weight(FlowId flow) const { return flow_entry(flow).weight; }
+
+void Preferences::set_weight(FlowId flow, double weight) {
+  MIDRR_REQUIRE(weight > 0.0, "flow weight must be positive");
+  flow_entry(flow).weight = weight;
+  ++version_;
+}
+
+const std::string& Preferences::flow_name(FlowId flow) const {
+  return flow_entry(flow).name;
+}
+
+const std::string& Preferences::iface_name(IfaceId iface) const {
+  MIDRR_REQUIRE(iface_exists(iface), "unknown interface id");
+  return ifaces_[iface].name;
+}
+
+std::vector<FlowId> Preferences::flows_willing(IfaceId iface) const {
+  MIDRR_REQUIRE(iface_exists(iface), "unknown interface id");
+  std::vector<FlowId> out;
+  for (FlowId i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].live && iface < flows_[i].willing.size() &&
+        flows_[i].willing[iface]) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<IfaceId> Preferences::ifaces_of(FlowId flow) const {
+  const auto& f = flow_entry(flow);
+  std::vector<IfaceId> out;
+  for (IfaceId j = 0; j < f.willing.size(); ++j) {
+    if (f.willing[j] && iface_exists(j)) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<FlowId> Preferences::flows() const {
+  std::vector<FlowId> out;
+  for (FlowId i = 0; i < flows_.size(); ++i) {
+    if (flows_[i].live) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<IfaceId> Preferences::ifaces() const {
+  std::vector<IfaceId> out;
+  for (IfaceId j = 0; j < ifaces_.size(); ++j) {
+    if (ifaces_[j].live) out.push_back(j);
+  }
+  return out;
+}
+
+std::size_t Preferences::flow_count() const { return flows().size(); }
+std::size_t Preferences::iface_count() const { return ifaces().size(); }
+
+}  // namespace midrr

@@ -1,0 +1,96 @@
+// User preferences: the interface-preference matrix Pi and the
+// rate-preference weights phi of the paper's Section 2 model (Fig 2).
+//
+// Preferences is the registry of flows and interfaces: it mints dense ids,
+// stores the bipartite willingness graph, and validates inputs (weights must
+// be positive; a flow may have an empty preference row -- it then simply
+// never gets scheduled, which tests cover).  Schedulers observe it through
+// the read-only API and are notified of changes by their owner.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/ids.hpp"
+
+namespace midrr {
+
+/// The (Pi, phi) preference state for a set of flows and interfaces.
+class Preferences {
+ public:
+  /// Registers a new interface; returns its dense id.
+  IfaceId add_interface(std::string name = {});
+
+  /// Registers a new flow with rate-preference weight `weight` (> 0) and
+  /// the given willingness row; returns its dense id.
+  FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
+                  std::string name = {});
+
+  /// Removes a flow; its id is never reused.
+  void remove_flow(FlowId flow);
+
+  /// Removes an interface (e.g. WiFi went away); its id is never reused.
+  void remove_interface(IfaceId iface);
+
+  bool flow_exists(FlowId flow) const;
+  bool iface_exists(IfaceId iface) const;
+
+  /// pi_{flow,iface}: is the flow willing to use the interface?
+  bool willing(FlowId flow, IfaceId iface) const;
+
+  /// Updates one entry of Pi.
+  void set_willing(FlowId flow, IfaceId iface, bool value);
+
+  /// phi_flow.
+  double weight(FlowId flow) const;
+  void set_weight(FlowId flow, double weight);
+
+  const std::string& flow_name(FlowId flow) const;
+  const std::string& iface_name(IfaceId iface) const;
+
+  /// Flows willing to use `iface` (the paper's F_j), in id order.
+  std::vector<FlowId> flows_willing(IfaceId iface) const;
+
+  /// Interfaces flow `flow` is willing to use, in id order.
+  std::vector<IfaceId> ifaces_of(FlowId flow) const;
+
+  /// All live flow / interface ids in id order.
+  std::vector<FlowId> flows() const;
+  std::vector<IfaceId> ifaces() const;
+
+  std::size_t flow_count() const;
+  std::size_t iface_count() const;
+
+  /// One past the largest id ever handed out (ids are never reused, so
+  /// dense per-flow / per-interface arrays must be sized by slots, not by
+  /// the live count).
+  std::size_t flow_slots() const { return flows_.size(); }
+  std::size_t iface_slots() const { return ifaces_.size(); }
+
+  /// Monotone counter bumped on every mutation; lets cached views (e.g. a
+  /// scheduler's per-interface flow rings) detect staleness cheaply.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  struct FlowEntry {
+    bool live = false;
+    double weight = 1.0;
+    std::vector<bool> willing;  // indexed by IfaceId
+    std::string name;
+  };
+  struct IfaceEntry {
+    bool live = false;
+    std::string name;
+  };
+
+  const FlowEntry& flow_entry(FlowId flow) const;
+  FlowEntry& flow_entry(FlowId flow);
+
+  std::vector<FlowEntry> flows_;
+  std::vector<IfaceEntry> ifaces_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace midrr

@@ -1,0 +1,43 @@
+#include "flow/queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+bool FlowQueue::enqueue(Packet p) {
+  MIDRR_REQUIRE(p.size_bytes > 0, "zero-size packet");
+  if (capacity_bytes_ != 0 &&
+      backlog_bytes_ + p.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += p.size_bytes;
+    return false;
+  }
+  backlog_bytes_ += p.size_bytes;
+  ++stats_.enqueued_packets;
+  stats_.enqueued_bytes += p.size_bytes;
+  packets_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> FlowQueue::dequeue() {
+  if (packets_.empty()) return std::nullopt;
+  Packet p = std::move(packets_.front());
+  packets_.pop_front();
+  MIDRR_ASSERT(backlog_bytes_ >= p.size_bytes, "backlog accounting underflow");
+  backlog_bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  return p;
+}
+
+std::optional<std::uint32_t> FlowQueue::head_size() const {
+  if (packets_.empty()) return std::nullopt;
+  return packets_.front().size_bytes;
+}
+
+void FlowQueue::clear() {
+  backlog_bytes_ = 0;
+  packets_.clear();
+}
+
+}  // namespace midrr

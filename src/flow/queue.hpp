@@ -1,0 +1,60 @@
+// Per-flow FIFO packet queue with byte accounting and an optional capacity
+// bound (tail drop), plus the service counters S_i(t1, t2] that the paper's
+// fairness metric (Definition 3) is computed from.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "flow/packet.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+
+/// Counters of everything a flow queue has seen; the raw material for the
+/// directional fairness metric and for goodput reporting.
+struct FlowQueueStats {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t enqueued_bytes = 0;
+  std::uint64_t dequeued_packets = 0;
+  std::uint64_t dequeued_bytes = 0;  ///< S_i(0, now] in bytes
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// FIFO queue for one flow.
+class FlowQueue {
+ public:
+  /// `capacity_bytes` of 0 means unbounded.
+  explicit FlowQueue(std::uint64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Appends a packet; returns false (and drops it) if the byte bound would
+  /// be exceeded.
+  bool enqueue(Packet p);
+
+  /// Removes and returns the head packet; nullopt when empty.
+  std::optional<Packet> dequeue();
+
+  /// Size in bytes of the head-of-line packet (the paper's Size_i);
+  /// nullopt when empty.
+  std::optional<std::uint32_t> head_size() const;
+
+  bool empty() const { return packets_.empty(); }
+  std::uint64_t backlog_bytes() const { return backlog_bytes_; }  ///< BL_i
+  std::size_t backlog_packets() const { return packets_.size(); }
+
+  const FlowQueueStats& stats() const { return stats_; }
+
+  /// Discards all queued packets (flow removal).
+  void clear();
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::uint64_t backlog_bytes_ = 0;
+  std::deque<Packet> packets_;
+  FlowQueueStats stats_;
+};
+
+}  // namespace midrr

@@ -1,0 +1,56 @@
+#include "http/reassembler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr::http {
+
+void RangeReassembler::add(ByteRange range) {
+  std::uint64_t start = range.first;
+  std::uint64_t end = range.last + 1;  // exclusive
+
+  // Clip what is already delivered.
+  start = std::max(start, prefix_);
+  if (start >= end) return;
+
+  // Merge with overlapping/adjacent pending ranges.
+  auto it = pending_.upper_bound(start);
+  if (it != pending_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = pending_.erase(prev);
+    }
+  }
+  while (it != pending_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = pending_.erase(it);
+  }
+
+  // Recount distinct bytes: compute how much of [start, end) was new.
+  // Everything previously counted is either < prefix_ or inside ranges we
+  // just erased; the erase loop above already folded those into [start,end),
+  // so recompute received_ from scratch cheaply via the delta:
+  // new bytes = (end - start) - (previously pending bytes inside [start,end)).
+  // To keep it simple and exact we track received_ incrementally below.
+  pending_[start] = end;
+
+  // Advance the prefix over now-contiguous data.
+  auto head = pending_.begin();
+  while (head != pending_.end() && head->first <= prefix_) {
+    prefix_ = std::max(prefix_, head->second);
+    head = pending_.erase(head);
+  }
+
+  // Recompute received_ = prefix_ + sum of pending range lengths.
+  std::uint64_t total = prefix_;
+  for (const auto& [s, e] : pending_) {
+    MIDRR_ASSERT(e > s, "empty pending range");
+    total += e - s;
+  }
+  received_ = total;
+}
+
+}  // namespace midrr::http

@@ -1,0 +1,39 @@
+// Response splicing: byte-range chunks arrive out of order (different
+// interfaces, different speeds); the application must receive the object
+// as one in-order stream.  RangeReassembler tracks received ranges and
+// exposes the contiguous prefix -- the bytes the proxy can release, i.e.
+// the flow's *goodput* (what Fig 10 plots).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "http/message.hpp"
+
+namespace midrr::http {
+
+class RangeReassembler {
+ public:
+  /// Records a received chunk; overlapping/duplicate bytes are merged.
+  void add(ByteRange range);
+
+  /// First byte not yet deliverable in order (0 while nothing arrived).
+  std::uint64_t contiguous_prefix() const { return prefix_; }
+
+  /// Total distinct bytes received (including out-of-order ones).
+  std::uint64_t bytes_received() const { return received_; }
+
+  /// Bytes received but not yet deliverable (buffered past a gap).
+  std::uint64_t buffered_bytes() const { return received_ - prefix_; }
+
+  /// Number of disjoint ranges waiting past the first gap.
+  std::size_t pending_ranges() const { return pending_.size(); }
+
+ private:
+  std::uint64_t prefix_ = 0;    // [0, prefix_) delivered
+  std::uint64_t received_ = 0;  // distinct bytes seen
+  // Disjoint, non-adjacent ranges beyond the prefix: start -> end (excl.).
+  std::map<std::uint64_t, std::uint64_t> pending_;
+};
+
+}  // namespace midrr::http

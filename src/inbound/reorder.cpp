@@ -1,0 +1,40 @@
+#include "inbound/reorder.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr::inbound {
+
+ReorderBuffer::Delivery ReorderBuffer::offer(std::uint64_t seq,
+                                             std::uint32_t bytes) {
+  MIDRR_REQUIRE(bytes > 0, "zero-size packet offered to reorder buffer");
+  Delivery out;
+  if (seq < next_ || pending_.count(seq) > 0) {
+    out.duplicate = true;
+    ++duplicates_;
+    return out;
+  }
+  if (seq != next_) {
+    out.was_out_of_order = true;
+    ++out_of_order_;
+    pending_[seq] = bytes;
+    buffered_bytes_ += bytes;
+    max_buffered_ = std::max(max_buffered_, buffered_bytes_);
+    return out;
+  }
+  // In sequence: deliver it plus any now-contiguous buffered packets.
+  out.delivered_bytes = bytes;
+  ++next_;
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == next_) {
+    out.delivered_bytes += it->second;
+    buffered_bytes_ -= it->second;
+    ++next_;
+    it = pending_.erase(it);
+  }
+  delivered_bytes_ += out.delivered_bytes;
+  return out;
+}
+
+}  // namespace midrr::inbound

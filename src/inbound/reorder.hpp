@@ -1,0 +1,47 @@
+// Per-flow packet reorder buffer for the inbound (downlink) path.
+//
+// When one flow's packets ride several last-mile paths with different
+// latencies they arrive out of order; the device buffers them and releases
+// the in-sequence prefix to the application.  Occupancy of this buffer is
+// the memory cost of multi-path aggregation -- the benches report it
+// alongside goodput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/time.hpp"
+
+namespace midrr::inbound {
+
+class ReorderBuffer {
+ public:
+  /// Result of offering one packet to the buffer.
+  struct Delivery {
+    std::uint64_t delivered_bytes = 0;  ///< released in-order right now
+    bool was_out_of_order = false;      ///< packet had to be buffered first
+    bool duplicate = false;             ///< already seen; dropped
+  };
+
+  /// Offers packet `seq` (0-based, consecutive per flow) of `bytes`.
+  Delivery offer(std::uint64_t seq, std::uint32_t bytes);
+
+  std::uint64_t next_expected() const { return next_; }
+  std::uint64_t buffered_bytes() const { return buffered_bytes_; }
+  std::size_t buffered_packets() const { return pending_.size(); }
+  std::uint64_t delivered_bytes() const { return delivered_bytes_; }
+  std::uint64_t max_buffered_bytes() const { return max_buffered_; }
+  std::uint64_t out_of_order_arrivals() const { return out_of_order_; }
+  std::uint64_t duplicates() const { return duplicates_; }
+
+ private:
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, std::uint32_t> pending_;  // seq -> bytes
+  std::uint64_t buffered_bytes_ = 0;
+  std::uint64_t max_buffered_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t out_of_order_ = 0;
+  std::uint64_t duplicates_ = 0;
+};
+
+}  // namespace midrr::inbound

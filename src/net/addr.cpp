@@ -1,0 +1,94 @@
+#include "net/addr.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace midrr::net {
+
+namespace {
+
+std::optional<int> parse_hex_byte(const std::string& s) {
+  if (s.size() != 2) return std::nullopt;
+  int v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return std::nullopt;
+    v = v * 16 + digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<MacAddress> MacAddress::parse(const std::string& text) {
+  std::array<Byte, 6> octets{};
+  std::istringstream in(text);
+  std::string part;
+  std::size_t i = 0;
+  while (std::getline(in, part, ':')) {
+    if (i >= 6) return std::nullopt;
+    const auto v = parse_hex_byte(part);
+    if (!v) return std::nullopt;
+    octets[i++] = static_cast<Byte>(*v);
+  }
+  if (i != 6) return std::nullopt;
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::local(std::uint32_t index) {
+  // 0x02 sets the locally-administered bit and keeps unicast.
+  return MacAddress({0x02, 0x1d, 0x72,
+                     static_cast<Byte>((index >> 16) & 0xFF),
+                     static_cast<Byte>((index >> 8) & 0xFF),
+                     static_cast<Byte>(index & 0xFF)});
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+void MacAddress::write(BufWriter& w) const {
+  w.bytes(std::span<const Byte>(octets_.data(), octets_.size()));
+}
+
+MacAddress MacAddress::read(BufReader& r) {
+  const auto raw = r.bytes(6);
+  std::array<Byte, 6> octets{};
+  std::copy(raw.begin(), raw.end(), octets.begin());
+  return MacAddress(octets);
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string part;
+  std::uint32_t value = 0;
+  std::size_t i = 0;
+  while (std::getline(in, part, '.')) {
+    if (i >= 4 || part.empty() || part.size() > 3) return std::nullopt;
+    int v = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9') return std::nullopt;
+      v = v * 10 + (c - '0');
+    }
+    if (v > 255) return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(v);
+    ++i;
+  }
+  if (i != 4) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  std::ostringstream out;
+  out << ((value_ >> 24) & 0xFF) << '.' << ((value_ >> 16) & 0xFF) << '.'
+      << ((value_ >> 8) & 0xFF) << '.' << (value_ & 0xFF);
+  return out.str();
+}
+
+}  // namespace midrr::net

@@ -1,0 +1,74 @@
+// Link-layer and network-layer addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/bytes.hpp"
+
+namespace midrr::net {
+
+/// 48-bit IEEE 802 MAC address.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<Byte, 6> octets)
+      : octets_(octets) {}
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  static std::optional<MacAddress> parse(const std::string& text);
+
+  /// Broadcast address ff:ff:ff:ff:ff:ff.
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  /// A locally administered unicast address derived from an index; used to
+  /// mint distinct virtual-interface MACs.
+  static MacAddress local(std::uint32_t index);
+
+  const std::array<Byte, 6>& octets() const { return octets_; }
+  bool is_broadcast() const { return *this == broadcast(); }
+  bool is_multicast() const { return (octets_[0] & 0x01) != 0; }
+
+  std::string to_string() const;
+
+  void write(BufWriter& w) const;
+  static MacAddress read(BufReader& r);
+
+  friend auto operator<=>(const MacAddress&, const MacAddress&) = default;
+
+ private:
+  std::array<Byte, 6> octets_{};
+};
+
+/// IPv4 address held in host order.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(Byte a, Byte b, Byte c, Byte d)
+      : value_((static_cast<std::uint32_t>(a) << 24) |
+               (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) |
+               static_cast<std::uint32_t>(d)) {}
+
+  /// Parses dotted-quad "a.b.c.d"; returns nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(const std::string& text);
+
+  std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  void write(BufWriter& w) const { w.u32(value_); }
+  static Ipv4Address read(BufReader& r) { return Ipv4Address(r.u32()); }
+
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace midrr::net

@@ -1,0 +1,135 @@
+#include "net/bytes.hpp"
+
+#include <sstream>
+
+namespace midrr::net {
+
+void BufReader::check(std::size_t n) const {
+  if (n > remaining()) {
+    throw BufferOverrun("read of " + std::to_string(n) + " bytes at offset " +
+                        std::to_string(offset_) + " exceeds buffer of " +
+                        std::to_string(data_.size()));
+  }
+}
+
+std::uint8_t BufReader::u8() {
+  check(1);
+  return data_[offset_++];
+}
+
+std::uint16_t BufReader::u16() {
+  check(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[offset_]) << 8) |
+      static_cast<std::uint16_t>(data_[offset_ + 1]));
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t BufReader::u32() {
+  check(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<std::uint32_t>(data_[offset_ + static_cast<std::size_t>(i)]);
+  }
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t BufReader::u64() {
+  check(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<std::uint64_t>(data_[offset_ + static_cast<std::size_t>(i)]);
+  }
+  offset_ += 8;
+  return v;
+}
+
+std::span<const Byte> BufReader::bytes(std::size_t n) {
+  check(n);
+  auto out = data_.subspan(offset_, n);
+  offset_ += n;
+  return out;
+}
+
+void BufReader::skip(std::size_t n) {
+  check(n);
+  offset_ += n;
+}
+
+void BufReader::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    throw BufferOverrun("seek to " + std::to_string(offset) +
+                        " beyond buffer of " + std::to_string(data_.size()));
+  }
+  offset_ = offset;
+}
+
+void BufWriter::check(std::size_t n) const {
+  if (n > remaining()) {
+    throw BufferOverrun("write of " + std::to_string(n) + " bytes at offset " +
+                        std::to_string(offset_) + " exceeds buffer of " +
+                        std::to_string(data_.size()));
+  }
+}
+
+void BufWriter::u8(std::uint8_t v) {
+  check(1);
+  data_[offset_++] = v;
+}
+
+void BufWriter::u16(std::uint16_t v) {
+  check(2);
+  data_[offset_] = static_cast<Byte>(v >> 8);
+  data_[offset_ + 1] = static_cast<Byte>(v & 0xFF);
+  offset_ += 2;
+}
+
+void BufWriter::u32(std::uint32_t v) {
+  check(4);
+  for (int i = 3; i >= 0; --i) {
+    data_[offset_++] = static_cast<Byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void BufWriter::u64(std::uint64_t v) {
+  check(8);
+  for (int i = 7; i >= 0; --i) {
+    data_[offset_++] = static_cast<Byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+void BufWriter::bytes(std::span<const Byte> src) {
+  check(src.size());
+  std::copy(src.begin(), src.end(), data_.begin() + static_cast<std::ptrdiff_t>(offset_));
+  offset_ += src.size();
+}
+
+void BufWriter::fill(Byte value, std::size_t n) {
+  check(n);
+  std::fill_n(data_.begin() + static_cast<std::ptrdiff_t>(offset_), n, value);
+  offset_ += n;
+}
+
+void BufWriter::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    throw BufferOverrun("seek to " + std::to_string(offset) +
+                        " beyond buffer of " + std::to_string(data_.size()));
+  }
+  offset_ = offset;
+}
+
+std::string hex_dump(std::span<const Byte> data, std::size_t max_bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::ostringstream out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) out << ' ';
+    out << digits[data[i] >> 4] << digits[data[i] & 0xF];
+  }
+  if (n < data.size()) out << " ... (+" << (data.size() - n) << " bytes)";
+  return out.str();
+}
+
+}  // namespace midrr::net

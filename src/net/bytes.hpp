@@ -1,0 +1,85 @@
+// Byte-order-safe buffer access.
+//
+// All wire formats in this library are big-endian; BufReader/BufWriter are
+// bounds-checked cursors over a byte span.  Out-of-range access throws
+// (it indicates a malformed packet or a library bug, never a hot-path
+// condition we silently tolerate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace midrr::net {
+
+using Byte = std::uint8_t;
+using ByteBuffer = std::vector<Byte>;
+
+/// Thrown when a read/write would step outside the underlying buffer.
+class BufferOverrun : public std::out_of_range {
+ public:
+  explicit BufferOverrun(const std::string& what_arg)
+      : std::out_of_range(what_arg) {}
+};
+
+/// Bounds-checked big-endian reader over a constant byte span.
+class BufReader {
+ public:
+  explicit BufReader(std::span<const Byte> data) : data_(data) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+  bool exhausted() const { return remaining() == 0; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Reads `n` raw bytes.
+  std::span<const Byte> bytes(std::size_t n);
+
+  /// Moves the cursor forward without reading.
+  void skip(std::size_t n);
+
+  /// Repositions the cursor absolutely.
+  void seek(std::size_t offset);
+
+ private:
+  void check(std::size_t n) const;
+
+  std::span<const Byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Bounds-checked big-endian writer over a mutable byte span.
+class BufWriter {
+ public:
+  explicit BufWriter(std::span<Byte> data) : data_(data) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const Byte> src);
+  void fill(Byte value, std::size_t n);
+  void seek(std::size_t offset);
+
+ private:
+  void check(std::size_t n) const;
+
+  std::span<Byte> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Hex dump of a byte range ("de ad be ef ..."), for diagnostics and tests.
+std::string hex_dump(std::span<const Byte> data, std::size_t max_bytes = 64);
+
+}  // namespace midrr::net

@@ -1,0 +1,70 @@
+#include "net/checksum.hpp"
+
+namespace midrr::net {
+
+void ChecksumAccumulator::add(std::span<const Byte> data) {
+  std::size_t i = 0;
+  if (odd_ && !data.empty()) {
+    // Complete the dangling byte from the previous range: it was the high
+    // byte; this one is the low byte of the same 16-bit word.
+    sum_ += data[0];
+    odd_ = false;
+    i = 1;
+  }
+  for (; i + 1 < data.size(); i += 2) {
+    sum_ += (static_cast<std::uint64_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < data.size()) {
+    sum_ += static_cast<std::uint64_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::add_u16(std::uint16_t v) {
+  const Byte bytes[2] = {static_cast<Byte>(v >> 8), static_cast<Byte>(v & 0xFF)};
+  add(std::span<const Byte>(bytes, 2));
+}
+
+void ChecksumAccumulator::add_u32(std::uint32_t v) {
+  add_u16(static_cast<std::uint16_t>(v >> 16));
+  add_u16(static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::uint16_t ChecksumAccumulator::finish() const {
+  std::uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xFFFF) + (s >> 16);
+  }
+  return static_cast<std::uint16_t>(~s & 0xFFFF);
+}
+
+std::uint16_t internet_checksum(std::span<const Byte> data) {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
+
+std::uint16_t checksum_update(std::uint16_t old_checksum,
+                              std::uint16_t old_word, std::uint16_t new_word) {
+  // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')
+  std::uint32_t sum = static_cast<std::uint16_t>(~old_checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::uint16_t checksum_update32(std::uint16_t old_checksum,
+                                std::uint32_t old_value,
+                                std::uint32_t new_value) {
+  std::uint16_t c = checksum_update(old_checksum,
+                                    static_cast<std::uint16_t>(old_value >> 16),
+                                    static_cast<std::uint16_t>(new_value >> 16));
+  c = checksum_update(c, static_cast<std::uint16_t>(old_value & 0xFFFF),
+                      static_cast<std::uint16_t>(new_value & 0xFFFF));
+  return c;
+}
+
+}  // namespace midrr::net

@@ -1,0 +1,45 @@
+// Internet checksum (RFC 1071) and incremental update (RFC 1624).
+//
+// The virtual-interface bridge rewrites IP addresses on every forwarded
+// packet (see src/bridge/), so both full recomputation and the cheap
+// incremental form the Linux kernel uses are provided.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/addr.hpp"
+#include "net/bytes.hpp"
+
+namespace midrr::net {
+
+/// Accumulates 16-bit one's-complement sums across multiple byte ranges
+/// (header + pseudo-header + payload) and folds at the end.
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const Byte> data);
+  void add_u16(std::uint16_t v);
+  void add_u32(std::uint32_t v);
+
+  /// Folded one's-complement result, ready to store in a header field.
+  std::uint16_t finish() const;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true when a dangling high byte is pending
+};
+
+/// One-shot checksum of a byte range.
+std::uint16_t internet_checksum(std::span<const Byte> data);
+
+/// RFC 1624 incremental update: returns the new checksum after a 16-bit
+/// word in the covered data changes from `old_word` to `new_word`.
+std::uint16_t checksum_update(std::uint16_t old_checksum,
+                              std::uint16_t old_word, std::uint16_t new_word);
+
+/// Incremental update for a 32-bit change (e.g. an IPv4 address rewrite).
+std::uint16_t checksum_update32(std::uint16_t old_checksum,
+                                std::uint32_t old_value,
+                                std::uint32_t new_value);
+
+}  // namespace midrr::net

@@ -1,0 +1,139 @@
+#include "net/headers.hpp"
+
+#include "net/checksum.hpp"
+#include "util/assert.hpp"
+
+namespace midrr::net {
+
+void EthernetHeader::write(BufWriter& w) const {
+  dst.write(w);
+  src.write(w);
+  w.u16(static_cast<std::uint16_t>(ether_type));
+}
+
+EthernetHeader EthernetHeader::read(BufReader& r) {
+  EthernetHeader h;
+  h.dst = MacAddress::read(r);
+  h.src = MacAddress::read(r);
+  h.ether_type = static_cast<EtherType>(r.u16());
+  return h;
+}
+
+void Ipv4Header::write(BufWriter& w) const {
+  MIDRR_REQUIRE(version == 4, "not an IPv4 header");
+  MIDRR_REQUIRE(ihl >= 5, "IPv4 IHL below minimum");
+  w.u8(static_cast<std::uint8_t>((version << 4) | ihl));
+  w.u8(dscp_ecn);
+  w.u16(total_length);
+  w.u16(identification);
+  w.u16(flags_fragment);
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(header_checksum);
+  src.write(w);
+  dst.write(w);
+}
+
+Ipv4Header Ipv4Header::read(BufReader& r) {
+  Ipv4Header h;
+  const std::uint8_t vihl = r.u8();
+  h.version = vihl >> 4;
+  h.ihl = vihl & 0x0F;
+  if (h.version != 4) {
+    throw BufferOverrun("IPv4 parse: version " + std::to_string(h.version));
+  }
+  if (h.ihl < 5) {
+    throw BufferOverrun("IPv4 parse: IHL " + std::to_string(h.ihl) + " < 5");
+  }
+  h.dscp_ecn = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  h.flags_fragment = r.u16();
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  h.header_checksum = r.u16();
+  h.src = Ipv4Address::read(r);
+  h.dst = Ipv4Address::read(r);
+  // Options (if any) are skipped here; callers that need them read the
+  // remaining (ihl-5)*4 bytes themselves.
+  if (h.ihl > 5) {
+    r.skip((std::size_t{h.ihl} - 5) * 4);
+  }
+  return h;
+}
+
+std::uint16_t Ipv4Header::compute_checksum() const {
+  // Serialize into a scratch buffer with the checksum field zeroed, then
+  // checksum it.  Headers with options are checksummed by the caller over
+  // the raw bytes; this helper covers the option-less header it emits.
+  ByteBuffer buf(kMinSize, 0);
+  Ipv4Header copy = *this;
+  copy.header_checksum = 0;
+  copy.ihl = 5;
+  BufWriter w(buf);
+  copy.write(w);
+  return internet_checksum(buf);
+}
+
+void TcpHeader::write(BufWriter& w) const {
+  MIDRR_REQUIRE(data_offset >= 5, "TCP data offset below minimum");
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(static_cast<std::uint8_t>(data_offset << 4));
+  w.u8(flags);
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(urgent);
+}
+
+TcpHeader TcpHeader::read(BufReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  h.data_offset = static_cast<std::uint8_t>(r.u8() >> 4);
+  if (h.data_offset < 5) {
+    throw BufferOverrun("TCP parse: data offset " +
+                        std::to_string(h.data_offset) + " < 5");
+  }
+  h.flags = r.u8();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  h.urgent = r.u16();
+  if (h.data_offset > 5) {
+    r.skip((std::size_t{h.data_offset} - 5) * 4);
+  }
+  return h;
+}
+
+void UdpHeader::write(BufWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+UdpHeader UdpHeader::read(BufReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  return h;
+}
+
+std::uint16_t l4_checksum(const Ipv4Address& src, const Ipv4Address& dst,
+                          IpProto proto, std::span<const Byte> segment) {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(static_cast<std::uint16_t>(proto));
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace midrr::net

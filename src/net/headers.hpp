@@ -1,0 +1,118 @@
+// Wire-format headers: Ethernet II, IPv4, TCP, UDP.
+//
+// Each header type is a plain value with `read`/`write` against the
+// bounds-checked buffer cursors and explicit checksum helpers.  Only the
+// fields the bridge and tests need are modeled richly; the rest round-trip
+// verbatim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/addr.hpp"
+#include "net/bytes.hpp"
+
+namespace midrr::net {
+
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+  kIpv6 = 0x86DD,
+};
+
+/// Ethernet II frame header (no 802.1Q tag support; the paper's bridge
+/// operates on untagged frames).
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddress dst;
+  MacAddress src;
+  EtherType ether_type = EtherType::kIpv4;
+
+  void write(BufWriter& w) const;
+  static EthernetHeader read(BufReader& r);
+};
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// IPv4 header without options (IHL fixed at 5, as emitted by the bridge;
+/// packets carrying options are parsed and the options preserved opaquely).
+struct Ipv4Header {
+  static constexpr std::size_t kMinSize = 20;
+
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;  // 32-bit words; >= 5
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  // DF set, offset 0
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kTcp;
+  std::uint16_t header_checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  std::size_t header_length() const { return std::size_t{ihl} * 4; }
+  std::size_t payload_length() const { return total_length - header_length(); }
+
+  /// Serializes with `header_checksum` as stored; call compute_checksum
+  /// first (or fix up afterwards) for a valid packet.
+  void write(BufWriter& w) const;
+  static Ipv4Header read(BufReader& r);
+
+  /// Checksum over this header with the checksum field taken as zero.
+  std::uint16_t compute_checksum() const;
+  bool checksum_valid() const { return compute_checksum() == header_checksum; }
+};
+
+/// TCP header (options preserved opaquely via data_offset).
+struct TcpHeader {
+  static constexpr std::size_t kMinSize = 20;
+
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;  // 32-bit words; >= 5
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  std::size_t header_length() const { return std::size_t{data_offset} * 4; }
+
+  void write(BufWriter& w) const;
+  static TcpHeader read(BufReader& r);
+};
+
+/// UDP header.
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload
+  std::uint16_t checksum = 0;
+
+  void write(BufWriter& w) const;
+  static UdpHeader read(BufReader& r);
+};
+
+/// Checksum over the TCP/UDP pseudo-header plus the L4 segment bytes
+/// (`segment` must contain the L4 header with its checksum field zeroed,
+/// followed by the payload).
+std::uint16_t l4_checksum(const Ipv4Address& src, const Ipv4Address& dst,
+                          IpProto proto, std::span<const Byte> segment);
+
+}  // namespace midrr::net

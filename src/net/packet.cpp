@@ -1,0 +1,251 @@
+#include "net/packet.hpp"
+
+#include "net/checksum.hpp"
+#include "util/assert.hpp"
+
+namespace midrr::net {
+
+std::optional<FrameView> Frame::parse() const {
+  BufReader r(bytes_);
+  FrameView v;
+  v.eth = EthernetHeader::read(r);
+  if (v.eth.ether_type != EtherType::kIpv4) return std::nullopt;
+  v.l3_offset = r.offset();
+  v.ip = Ipv4Header::read(r);
+  if (v.ip.total_length < v.ip.header_length()) {
+    throw BufferOverrun("IPv4 total_length smaller than header");
+  }
+  if (v.l3_offset + v.ip.total_length > bytes_.size()) {
+    throw BufferOverrun("frame truncated relative to IPv4 total_length");
+  }
+  v.l4_offset = v.l3_offset + v.ip.header_length();
+  r.seek(v.l4_offset);
+  switch (v.ip.protocol) {
+    case IpProto::kTcp: {
+      v.tcp = TcpHeader::read(r);
+      v.payload_offset = v.l4_offset + v.tcp->header_length();
+      break;
+    }
+    case IpProto::kUdp: {
+      v.udp = UdpHeader::read(r);
+      v.payload_offset = v.l4_offset + UdpHeader::kSize;
+      break;
+    }
+    default:
+      v.payload_offset = v.l4_offset;
+      break;
+  }
+  v.payload_length = v.l3_offset + v.ip.total_length - v.payload_offset;
+  return v;
+}
+
+void Frame::rewrite_ip(bool rewrite_src, const MacAddress& mac,
+                       const Ipv4Address& new_ip) {
+  const auto view = parse();
+  MIDRR_REQUIRE(view.has_value(), "cannot rewrite a non-IPv4 frame");
+
+  // Ethernet address (no checksum covers it).
+  {
+    BufWriter w(bytes_);
+    if (rewrite_src) {
+      w.seek(6);  // src MAC follows the 6-byte dst MAC
+    }
+    mac.write(w);
+  }
+
+  const Ipv4Address old_ip = rewrite_src ? view->ip.src : view->ip.dst;
+  const std::size_t addr_offset =
+      view->l3_offset + (rewrite_src ? 12 : 16);  // fixed IPv4 field offsets
+
+  // IPv4 address field.
+  {
+    BufWriter w(bytes_);
+    w.seek(addr_offset);
+    new_ip.write(w);
+  }
+
+  // Incremental IPv4 header checksum fix-up (RFC 1624).
+  {
+    const std::uint16_t new_ip_csum = checksum_update32(
+        view->ip.header_checksum, old_ip.value(), new_ip.value());
+    BufWriter w(bytes_);
+    w.seek(view->l3_offset + 10);
+    w.u16(new_ip_csum);
+  }
+
+  // L4 checksum covers the pseudo-header (addresses), so fix it too.
+  if (view->tcp.has_value()) {
+    const std::uint16_t new_csum = checksum_update32(
+        view->tcp->checksum, old_ip.value(), new_ip.value());
+    BufWriter w(bytes_);
+    w.seek(view->l4_offset + 16);
+    w.u16(new_csum);
+  } else if (view->udp.has_value() && view->udp->checksum != 0) {
+    const std::uint16_t new_csum = checksum_update32(
+        view->udp->checksum, old_ip.value(), new_ip.value());
+    BufWriter w(bytes_);
+    w.seek(view->l4_offset + 6);
+    w.u16(new_csum == 0 ? 0xFFFF : new_csum);  // UDP: 0 means "no checksum"
+  }
+}
+
+void Frame::rewrite_source(const MacAddress& new_src_mac,
+                           const Ipv4Address& new_src_ip) {
+  rewrite_ip(/*rewrite_src=*/true, new_src_mac, new_src_ip);
+}
+
+void Frame::rewrite_destination(const MacAddress& new_dst_mac,
+                                const Ipv4Address& new_dst_ip) {
+  rewrite_ip(/*rewrite_src=*/false, new_dst_mac, new_dst_ip);
+}
+
+bool Frame::checksums_valid() const {
+  const auto view = parse();
+  if (!view) return false;
+
+  // IPv4 header checksum over the raw header bytes must fold to zero.
+  const auto ip_header = std::span<const Byte>(bytes_).subspan(
+      view->l3_offset, view->ip.header_length());
+  if (internet_checksum(ip_header) != 0) return false;
+
+  const std::size_t l4_length =
+      view->l3_offset + view->ip.total_length - view->l4_offset;
+  const auto segment =
+      std::span<const Byte>(bytes_).subspan(view->l4_offset, l4_length);
+  if (view->tcp.has_value()) {
+    // Checksumming the segment with the checksum field in place folds to 0.
+    ChecksumAccumulator acc;
+    acc.add_u32(view->ip.src.value());
+    acc.add_u32(view->ip.dst.value());
+    acc.add_u16(static_cast<std::uint16_t>(IpProto::kTcp));
+    acc.add_u16(static_cast<std::uint16_t>(l4_length));
+    acc.add(segment);
+    return acc.finish() == 0;
+  }
+  if (view->udp.has_value()) {
+    if (view->udp->checksum == 0) return true;  // checksum disabled
+    ChecksumAccumulator acc;
+    acc.add_u32(view->ip.src.value());
+    acc.add_u32(view->ip.dst.value());
+    acc.add_u16(static_cast<std::uint16_t>(IpProto::kUdp));
+    acc.add_u16(static_cast<std::uint16_t>(l4_length));
+    acc.add(segment);
+    return acc.finish() == 0;
+  }
+  return true;
+}
+
+FrameBuilder& FrameBuilder::eth_src(const MacAddress& mac) {
+  eth_.src = mac;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::eth_dst(const MacAddress& mac) {
+  eth_.dst = mac;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::ip_src(const Ipv4Address& ip) {
+  ip_.src = ip;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::ip_dst(const Ipv4Address& ip) {
+  ip_.dst = ip;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::ip_ttl(std::uint8_t ttl) {
+  ip_.ttl = ttl;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::ip_id(std::uint16_t id) {
+  ip_.identification = id;
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                                std::uint32_t seq, std::uint8_t flags) {
+  TcpHeader h;
+  h.src_port = src_port;
+  h.dst_port = dst_port;
+  h.seq = seq;
+  h.flags = flags;
+  tcp_ = h;
+  udp_.reset();
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::udp(std::uint16_t src_port,
+                                std::uint16_t dst_port) {
+  UdpHeader h;
+  h.src_port = src_port;
+  h.dst_port = dst_port;
+  udp_ = h;
+  tcp_.reset();
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::payload(std::span<const Byte> data) {
+  payload_.assign(data.begin(), data.end());
+  return *this;
+}
+
+FrameBuilder& FrameBuilder::payload_size(std::size_t n) {
+  payload_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload_[i] = static_cast<Byte>(i & 0xFF);
+  }
+  return *this;
+}
+
+Frame FrameBuilder::build() const {
+  MIDRR_REQUIRE(tcp_.has_value() || udp_.has_value(),
+                "FrameBuilder: choose tcp() or udp() before build()");
+  const std::size_t l4_header_size =
+      tcp_ ? TcpHeader::kMinSize : UdpHeader::kSize;
+  const std::size_t l4_length = l4_header_size + payload_.size();
+  const std::size_t ip_total = Ipv4Header::kMinSize + l4_length;
+  MIDRR_REQUIRE(ip_total <= 0xFFFF, "frame exceeds IPv4 maximum size");
+
+  ByteBuffer buf(EthernetHeader::kSize + ip_total, 0);
+
+  Ipv4Header ip = ip_;
+  ip.protocol = tcp_ ? IpProto::kTcp : IpProto::kUdp;
+  ip.total_length = static_cast<std::uint16_t>(ip_total);
+  ip.header_checksum = ip.compute_checksum();
+
+  // Serialize the L4 segment first (checksum zero), checksum it, then emit
+  // everything in order.
+  ByteBuffer segment(l4_length, 0);
+  {
+    BufWriter w(segment);
+    if (tcp_) {
+      TcpHeader t = *tcp_;
+      t.checksum = 0;
+      t.write(w);
+    } else {
+      UdpHeader u = *udp_;
+      u.length = static_cast<std::uint16_t>(l4_length);
+      u.checksum = 0;
+      u.write(w);
+    }
+    w.bytes(payload_);
+  }
+  std::uint16_t l4_csum = l4_checksum(ip.src, ip.dst, ip.protocol, segment);
+  if (udp_ && l4_csum == 0) l4_csum = 0xFFFF;  // UDP: zero is reserved
+  {
+    BufWriter w(segment);
+    w.seek(tcp_ ? 16u : 6u);
+    w.u16(l4_csum);
+  }
+
+  BufWriter w(buf);
+  eth_.write(w);
+  ip.write(w);
+  w.bytes(segment);
+  return Frame(std::move(buf));
+}
+
+}  // namespace midrr::net

@@ -1,0 +1,98 @@
+// Wire frames: an owned byte buffer plus structured build/parse helpers for
+// the Ethernet/IPv4/TCP|UDP frames the virtual-interface bridge forwards.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "net/headers.hpp"
+
+namespace midrr::net {
+
+/// Parsed view of a frame's headers (copies of the header fields plus the
+/// offsets needed to locate and rewrite them in place).
+struct FrameView {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  std::optional<TcpHeader> tcp;
+  std::optional<UdpHeader> udp;
+  std::size_t l3_offset = 0;       // start of the IPv4 header
+  std::size_t l4_offset = 0;       // start of the TCP/UDP header
+  std::size_t payload_offset = 0;  // start of the application payload
+  std::size_t payload_length = 0;
+};
+
+/// An Ethernet frame as a contiguous owned buffer.
+///
+/// Frames are immutable from the scheduler's point of view; only the bridge
+/// rewrites them (addresses + checksums) via the explicit rewrite methods,
+/// which keep all checksums consistent.
+class Frame {
+ public:
+  Frame() = default;
+  explicit Frame(ByteBuffer bytes) : bytes_(std::move(bytes)) {}
+
+  std::span<const Byte> bytes() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  /// Parses the frame's headers.  Throws BufferOverrun on truncated or
+  /// malformed frames; returns nullopt for non-IPv4 ether types.
+  std::optional<FrameView> parse() const;
+
+  /// Rewrites the source MAC+IP (outbound steering: the bridge replaces the
+  /// virtual interface's addresses with the chosen physical interface's)
+  /// and incrementally fixes the IPv4 header checksum and the L4 checksum
+  /// (TCP/UDP checksums cover the pseudo-header, which includes addresses).
+  void rewrite_source(const MacAddress& new_src_mac,
+                      const Ipv4Address& new_src_ip);
+
+  /// Rewrites the destination MAC+IP (inbound: restore the virtual
+  /// interface's address before handing the packet to the application).
+  void rewrite_destination(const MacAddress& new_dst_mac,
+                           const Ipv4Address& new_dst_ip);
+
+  /// Recomputes the IPv4 header checksum and L4 checksum from scratch and
+  /// verifies both; used by tests and the receive path.
+  bool checksums_valid() const;
+
+ private:
+  void rewrite_ip(bool rewrite_src, const MacAddress& mac,
+                  const Ipv4Address& ip);
+
+  ByteBuffer bytes_;
+};
+
+/// Builder for well-formed test/application frames.
+class FrameBuilder {
+ public:
+  FrameBuilder& eth_src(const MacAddress& mac);
+  FrameBuilder& eth_dst(const MacAddress& mac);
+  FrameBuilder& ip_src(const Ipv4Address& ip);
+  FrameBuilder& ip_dst(const Ipv4Address& ip);
+  FrameBuilder& ip_ttl(std::uint8_t ttl);
+  FrameBuilder& ip_id(std::uint16_t id);
+  /// Selects TCP with the given ports (default protocol).
+  FrameBuilder& tcp(std::uint16_t src_port, std::uint16_t dst_port,
+                    std::uint32_t seq = 0, std::uint8_t flags = TcpHeader::kAck);
+  /// Selects UDP with the given ports.
+  FrameBuilder& udp(std::uint16_t src_port, std::uint16_t dst_port);
+  /// Application payload bytes (copied).
+  FrameBuilder& payload(std::span<const Byte> data);
+  /// Payload of `n` deterministic filler bytes.
+  FrameBuilder& payload_size(std::size_t n);
+
+  /// Builds the frame with all lengths and checksums computed.
+  Frame build() const;
+
+ private:
+  EthernetHeader eth_{};
+  Ipv4Header ip_{};
+  std::optional<TcpHeader> tcp_{};
+  std::optional<UdpHeader> udp_{};
+  ByteBuffer payload_{};
+};
+
+}  // namespace midrr::net

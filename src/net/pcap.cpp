@@ -1,0 +1,116 @@
+#include "net/pcap.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace midrr::net {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;  // big/little per host; we fix LE
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+// All multi-byte fields little-endian (the common on-disk convention).
+void write_u32(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+      static_cast<char>((v >> 16) & 0xFF), static_cast<char>((v >> 24) & 0xFF)};
+  out.write(bytes, 4);
+}
+
+void write_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xFF),
+                         static_cast<char>((v >> 8) & 0xFF)};
+  out.write(bytes, 2);
+}
+
+bool read_u32(std::istream& in, std::uint32_t& v) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  v = static_cast<std::uint32_t>(bytes[0]) |
+      (static_cast<std::uint32_t>(bytes[1]) << 8) |
+      (static_cast<std::uint32_t>(bytes[2]) << 16) |
+      (static_cast<std::uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+bool read_u16(std::istream& in, std::uint16_t& v) {
+  unsigned char bytes[2];
+  if (!in.read(reinterpret_cast<char*>(bytes), 2)) return false;
+  v = static_cast<std::uint16_t>(bytes[0] |
+                                 (static_cast<std::uint16_t>(bytes[1]) << 8));
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen)
+    : out_(out), snaplen_(snaplen) {
+  MIDRR_REQUIRE(snaplen > 0, "snaplen must be positive");
+  write_u32(out_, kMagic);
+  write_u16(out_, kVersionMajor);
+  write_u16(out_, kVersionMinor);
+  write_u32(out_, 0);  // thiszone
+  write_u32(out_, 0);  // sigfigs
+  write_u32(out_, snaplen_);
+  write_u32(out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::record(SimTime at, std::span<const Byte> frame) {
+  const auto seconds = static_cast<std::uint32_t>(at / kSecond);
+  const auto micros =
+      static_cast<std::uint32_t>((at % kSecond) / kMicrosecond);
+  const auto captured = static_cast<std::uint32_t>(
+      std::min<std::size_t>(frame.size(), snaplen_));
+  write_u32(out_, seconds);
+  write_u32(out_, micros);
+  write_u32(out_, captured);
+  write_u32(out_, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()), captured);
+  ++frames_;
+}
+
+std::optional<std::vector<PcapRecord>> read_pcap(std::istream& in) {
+  std::uint32_t magic = 0;
+  if (!read_u32(in, magic) || magic != kMagic) return std::nullopt;
+  std::uint16_t major = 0;
+  std::uint16_t minor = 0;
+  std::uint32_t zone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  if (!read_u16(in, major) || !read_u16(in, minor) || !read_u32(in, zone) ||
+      !read_u32(in, sigfigs) || !read_u32(in, snaplen) ||
+      !read_u32(in, linktype)) {
+    return std::nullopt;
+  }
+  if (linktype != kLinkTypeEthernet) return std::nullopt;
+
+  std::vector<PcapRecord> records;
+  while (true) {
+    std::uint32_t seconds = 0;
+    if (!read_u32(in, seconds)) break;  // clean EOF
+    std::uint32_t micros = 0;
+    std::uint32_t captured = 0;
+    std::uint32_t original = 0;
+    if (!read_u32(in, micros) || !read_u32(in, captured) ||
+        !read_u32(in, original)) {
+      return std::nullopt;  // truncated record header
+    }
+    PcapRecord record;
+    record.at = static_cast<SimTime>(seconds) * kSecond +
+                static_cast<SimTime>(micros) * kMicrosecond;
+    record.frame.resize(captured);
+    if (!in.read(reinterpret_cast<char*>(record.frame.data()), captured)) {
+      return std::nullopt;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace midrr::net

@@ -1,0 +1,53 @@
+// pcap capture files (the classic libpcap format, readable by
+// Wireshark/tcpdump) for frames crossing the virtual bridge.
+//
+// Writing real capture files makes the bridge's steering decisions
+// inspectable with standard tooling: one capture per physical interface
+// shows exactly which flows went where and how the headers were rewritten.
+// Format reference: the de-facto standard 24-byte global header followed by
+// 16-byte per-record headers, LINKTYPE_ETHERNET.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/bytes.hpp"
+#include "util/time.hpp"
+
+namespace midrr::net {
+
+/// Writes a pcap stream (magic 0xa1b2c3d4, microsecond timestamps,
+/// LINKTYPE_ETHERNET).  The stream is caller-owned and must outlive the
+/// writer.
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+
+  /// Appends one frame with the given simulated timestamp.
+  void record(SimTime at, std::span<const Byte> frame);
+
+  std::uint64_t frames_written() const { return frames_; }
+
+ private:
+  void u32(std::uint32_t v);
+  void u16(std::uint16_t v);
+
+  std::ostream& out_;
+  std::uint32_t snaplen_;
+  std::uint64_t frames_ = 0;
+};
+
+/// A parsed pcap record (for tests and offline analysis).
+struct PcapRecord {
+  SimTime at = 0;
+  ByteBuffer frame;
+};
+
+/// Reads back a pcap stream written by PcapWriter (same endianness);
+/// returns nullopt if the magic or structure is wrong.
+std::optional<std::vector<PcapRecord>> read_pcap(std::istream& in);
+
+}  // namespace midrr::net

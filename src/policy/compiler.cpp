@@ -1,0 +1,171 @@
+#include "policy/compiler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr::policy {
+
+Selector Selector::by_name(std::string name) {
+  Selector s;
+  s.kind = Kind::kByName;
+  s.name = std::move(name);
+  return s;
+}
+
+Selector Selector::metered() {
+  Selector s;
+  s.kind = Kind::kMetered;
+  return s;
+}
+
+Selector Selector::unmetered() {
+  Selector s;
+  s.kind = Kind::kUnmetered;
+  return s;
+}
+
+Selector Selector::low_latency(SimDuration bound) {
+  Selector s;
+  s.kind = Kind::kLowLatency;
+  s.latency_bound = bound;
+  return s;
+}
+
+Selector Selector::any() { return Selector{}; }
+
+bool Selector::matches(const InterfaceAttributes& iface) const {
+  switch (kind) {
+    case Kind::kByName:
+      return iface.name == name;
+    case Kind::kMetered:
+      return iface.metered;
+    case Kind::kUnmetered:
+      return !iface.metered;
+    case Kind::kLowLatency:
+      return iface.typical_latency <= latency_bound;
+    case Kind::kAny:
+      return true;
+  }
+  return false;
+}
+
+void DataCapTracker::record(const std::string& iface, std::uint64_t bytes) {
+  used_[iface] += bytes;
+}
+
+std::uint64_t DataCapTracker::used(const std::string& iface) const {
+  const auto it = used_.find(iface);
+  return it == used_.end() ? 0 : it->second;
+}
+
+void DataCapTracker::reset(const std::string& iface) { used_.erase(iface); }
+
+void PreferenceCompiler::add_interface(InterfaceAttributes attrs) {
+  MIDRR_REQUIRE(!attrs.name.empty(), "interface needs a name");
+  for (auto& existing : ifaces_) {
+    if (existing.name == attrs.name) {
+      existing = std::move(attrs);
+      return;
+    }
+  }
+  ifaces_.push_back(std::move(attrs));
+}
+
+void PreferenceCompiler::remove_interface(const std::string& name) {
+  std::erase_if(ifaces_, [&name](const InterfaceAttributes& i) {
+    return i.name == name;
+  });
+}
+
+void PreferenceCompiler::add_rule(PolicyRule rule) {
+  MIDRR_REQUIRE(!rule.app.empty(), "rule needs an app pattern");
+  MIDRR_REQUIRE(rule.verb != Verb::kBoost || rule.boost > 0.0,
+                "boost factor must be positive");
+  rules_.push_back(std::move(rule));
+}
+
+void PreferenceCompiler::set_base_weight(const std::string& app,
+                                         double weight) {
+  MIDRR_REQUIRE(weight > 0.0, "base weight must be positive");
+  base_weights_[app] = weight;
+}
+
+AppPolicy PreferenceCompiler::compile(const std::string& app,
+                                      const DataCapTracker* caps) const {
+  // Start from every known interface, minus cap-exhausted metered ones
+  // (re-added below only by an explicit by-name REQUIRE).
+  std::vector<const InterfaceAttributes*> allowed;
+  std::vector<const InterfaceAttributes*> exhausted;
+  for (const auto& iface : ifaces_) {
+    const bool capped =
+        caps != nullptr && iface.data_cap_bytes > 0 &&
+        caps->used(iface.name) >= iface.data_cap_bytes;
+    (capped ? exhausted : allowed).push_back(&iface);
+  }
+
+  double weight = 1.0;
+  if (const auto it = base_weights_.find(app); it != base_weights_.end()) {
+    weight = it->second;
+  }
+
+  for (const PolicyRule& rule : rules_) {
+    if (rule.app != "*" && rule.app != app) continue;
+    switch (rule.verb) {
+      case Verb::kRequire: {
+        // Keep matches; an explicit by-name REQUIRE may resurrect a
+        // cap-exhausted interface (the user said so).
+        if (rule.selector.kind == Selector::Kind::kByName) {
+          for (const auto* iface : exhausted) {
+            if (rule.selector.matches(*iface)) allowed.push_back(iface);
+          }
+        }
+        std::erase_if(allowed, [&rule](const InterfaceAttributes* i) {
+          return !rule.selector.matches(*i);
+        });
+        break;
+      }
+      case Verb::kForbid:
+        std::erase_if(allowed, [&rule](const InterfaceAttributes* i) {
+          return rule.selector.matches(*i);
+        });
+        break;
+      case Verb::kPrefer: {
+        std::vector<const InterfaceAttributes*> preferred;
+        for (const auto* iface : allowed) {
+          if (rule.selector.matches(*iface)) preferred.push_back(iface);
+        }
+        if (!preferred.empty()) allowed = std::move(preferred);
+        break;
+      }
+      case Verb::kBoost:
+        weight *= rule.boost;
+        break;
+    }
+  }
+
+  AppPolicy out;
+  out.weight = weight;
+  for (const auto* iface : allowed) out.willing.push_back(iface->name);
+  return out;
+}
+
+void PreferenceCompiler::apply(Scheduler& scheduler,
+                               const std::map<std::string, FlowId>& bindings,
+                               const DataCapTracker* caps) const {
+  for (const auto& [app, flow] : bindings) {
+    if (!scheduler.preferences().flow_exists(flow)) continue;
+    const AppPolicy policy = compile(app, caps);
+    scheduler.set_weight(flow, policy.weight);
+    for (const IfaceId iface : scheduler.preferences().ifaces()) {
+      const std::string& iface_name =
+          scheduler.preferences().iface_name(iface);
+      const bool willing =
+          std::find(policy.willing.begin(), policy.willing.end(),
+                    iface_name) != policy.willing.end();
+      scheduler.set_willing(flow, iface, willing);
+    }
+  }
+}
+
+}  // namespace midrr::policy

@@ -1,0 +1,119 @@
+// The "system managing user preferences" the paper's Section 3 hands the
+// scheduler its inputs from: users express policies in terms of interface
+// *attributes* ("Netflix only over unmetered links", "VoIP prefers low
+// latency", "stop using cellular once the monthly cap is near"), and this
+// compiler lowers them to the scheduler's concrete inputs -- a willingness
+// row of Pi and a weight phi per application -- re-lowering them when
+// conditions change (data cap exhausted, interfaces appearing/vanishing).
+//
+// Verbs:
+//   kRequire  keep only matching interfaces (intersection);
+//   kForbid   remove matching interfaces;
+//   kPrefer   if any matching interface survives, use only those
+//             (soft: falls back to the full set when none match);
+//   kBoost    multiply the app's weight (rate preference).
+//
+// Rules apply in insertion order; app patterns are exact names or "*".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "util/time.hpp"
+
+namespace midrr::policy {
+
+struct InterfaceAttributes {
+  std::string name;
+  bool metered = false;               ///< counts against a data cap
+  SimDuration typical_latency = 20 * kMillisecond;
+  std::uint64_t data_cap_bytes = 0;   ///< 0 = uncapped
+};
+
+enum class Verb { kRequire, kForbid, kPrefer, kBoost };
+
+/// Which interfaces a rule matches.
+struct Selector {
+  static Selector by_name(std::string name);
+  static Selector metered();
+  static Selector unmetered();
+  /// Latency at or below `bound`.
+  static Selector low_latency(SimDuration bound = 30 * kMillisecond);
+  static Selector any();
+
+  bool matches(const InterfaceAttributes& iface) const;
+
+  enum class Kind { kByName, kMetered, kUnmetered, kLowLatency, kAny };
+  Kind kind = Kind::kAny;
+  std::string name;
+  SimDuration latency_bound = 0;
+};
+
+struct PolicyRule {
+  std::string app;  ///< exact app name or "*"
+  Verb verb = Verb::kRequire;
+  Selector selector;
+  double boost = 1.0;  ///< for kBoost
+};
+
+/// The compiled scheduler inputs for one application.
+struct AppPolicy {
+  std::vector<std::string> willing;  ///< interface names (Pi row)
+  double weight = 1.0;               ///< phi
+};
+
+/// Tracks bytes consumed on capped interfaces; an exhausted cap removes the
+/// interface from every app that does not REQUIRE it by name (the "switch
+/// off cellular near the cap" behavior the paper's intro describes users
+/// improvising by hand).
+class DataCapTracker {
+ public:
+  void record(const std::string& iface, std::uint64_t bytes);
+  std::uint64_t used(const std::string& iface) const;
+  void reset(const std::string& iface);  ///< new billing month
+
+ private:
+  std::map<std::string, std::uint64_t> used_;
+};
+
+class PreferenceCompiler {
+ public:
+  /// Declares an interface with its attributes (replaces an existing entry
+  /// of the same name).
+  void add_interface(InterfaceAttributes attrs);
+  void remove_interface(const std::string& name);
+
+  /// Appends a rule; rules evaluate in insertion order.
+  void add_rule(PolicyRule rule);
+
+  /// Base weight for an app (before kBoost rules); default 1.
+  void set_base_weight(const std::string& app, double weight);
+
+  /// Lowers the rules to (willing, weight) for `app`.  `caps`, when given,
+  /// masks out cap-exhausted metered interfaces (unless required by name).
+  AppPolicy compile(const std::string& app,
+                    const DataCapTracker* caps = nullptr) const;
+
+  /// Pushes compiled policies into a live scheduler for the given
+  /// app -> flow bindings (interface names resolved via the scheduler's
+  /// registry; unknown names are ignored so policies survive interfaces
+  /// that are currently absent).
+  void apply(Scheduler& scheduler,
+             const std::map<std::string, FlowId>& bindings,
+             const DataCapTracker* caps = nullptr) const;
+
+  const std::vector<InterfaceAttributes>& interfaces() const {
+    return ifaces_;
+  }
+
+ private:
+  std::vector<InterfaceAttributes> ifaces_;
+  std::vector<PolicyRule> rules_;
+  std::map<std::string, double> base_weights_;
+};
+
+}  // namespace midrr::policy

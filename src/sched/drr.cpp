@@ -1,0 +1,193 @@
+#include "sched/drr.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+DrrFamilyScheduler::DrrFamilyScheduler(std::uint32_t quantum_base)
+    : quantum_base_(quantum_base) {
+  MIDRR_REQUIRE(quantum_base > 0, "quantum base must be positive");
+}
+
+std::int64_t DrrFamilyScheduler::quantum_of(FlowId flow) const {
+  // Quanta are normalized by the smallest live weight so that EVERY flow's
+  // quantum is >= quantum_base (callers keep quantum_base >= MTU).  A
+  // quantum below the packet size would make the scheduler rotate through
+  // the ring several times at the same instant; for miDRR those extra
+  // same-instant passes clear a competitor's service flag and then serve it
+  // before any other interface has had time to re-set the flag, which
+  // destroys the flag's "served recently elsewhere" meaning.  (Classical
+  // DRR recommends quantum >= MTU for the same O(1) reason.)
+  const double w = preferences().weight(flow);
+  if (min_weight_version_ != preferences().version()) {
+    min_weight_version_ = preferences().version();
+    min_weight_ = w;
+    for (const FlowId f : preferences().flows()) {
+      min_weight_ = std::min(min_weight_, preferences().weight(f));
+    }
+  }
+  const auto q = static_cast<std::int64_t>(std::llround(
+      w / min_weight_ * static_cast<double>(quantum_base_)));
+  return q > 0 ? q : 1;
+}
+
+std::uint64_t DrrFamilyScheduler::turns(FlowId flow, IfaceId iface) const {
+  if (flow >= turn_count_.size() || iface >= turn_count_[flow].size()) {
+    return 0;
+  }
+  return turn_count_[flow][iface];
+}
+
+FlowRing& DrrFamilyScheduler::ring(IfaceId iface) {
+  MIDRR_ASSERT(iface < rings_.size(), "ring for unknown interface");
+  return rings_[iface];
+}
+
+const FlowRing* DrrFamilyScheduler::ring_if_present(IfaceId iface) const {
+  return iface < rings_.size() ? &rings_[iface] : nullptr;
+}
+
+void DrrFamilyScheduler::remove_from_all_rings(FlowId flow) {
+  for (IfaceId j = 0; j < rings_.size(); ++j) {
+    if (rings_[j].contains(flow)) rings_[j].remove(flow);
+  }
+}
+
+void DrrFamilyScheduler::on_interface_added(IfaceId iface) {
+  if (rings_.size() <= iface) rings_.resize(static_cast<std::size_t>(iface) + 1);
+  for (auto& row : turn_count_) {
+    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  }
+}
+
+void DrrFamilyScheduler::on_interface_removed(IfaceId iface) {
+  // Flows stay queued; they simply lose this ring.  Their deficit state is
+  // untouched (they keep whatever turns they had earned elsewhere).
+  if (iface < rings_.size()) rings_[iface] = FlowRing{};
+}
+
+void DrrFamilyScheduler::on_flow_added(FlowId flow) {
+  if (turn_count_.size() <= flow) {
+    turn_count_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  turn_count_[flow].assign(rings_.size(), 0);
+}
+
+void DrrFamilyScheduler::on_flow_removed(FlowId flow) {
+  remove_from_all_rings(flow);
+  reset_deficit(flow);
+}
+
+void DrrFamilyScheduler::on_willing_changed(FlowId flow, IfaceId iface,
+                                            bool value) {
+  if (iface >= rings_.size()) return;
+  FlowRing& r = rings_[iface];
+  if (value) {
+    if (!r.contains(flow) && !queue(flow).empty()) r.insert(flow);
+  } else {
+    if (r.contains(flow)) r.remove(flow);
+  }
+}
+
+void DrrFamilyScheduler::on_backlogged(FlowId flow) {
+  for (IfaceId j : preferences().ifaces_of(flow)) {
+    if (j < rings_.size() && !rings_[j].contains(flow)) {
+      rings_[j].insert(flow);
+    }
+  }
+}
+
+void DrrFamilyScheduler::enter_turn(IfaceId iface, FlowRing& r,
+                                    bool advance_first, SimTime now) {
+  if (advance_first) r.advance();
+  walk(iface, r, now);
+  const FlowId flow = r.current();
+  std::int64_t& dc = deficit(flow, iface);
+  dc += quantum_of(flow);
+  if (flow < turn_count_.size() && iface < turn_count_[flow].size()) {
+    ++turn_count_[flow][iface];
+  }
+  turn_granted(flow, iface);
+  if (observer_ != nullptr) {
+    observer_->on_turn_granted(now, flow, iface, dc);
+  }
+  r.open_turn();
+}
+
+std::optional<Packet> DrrFamilyScheduler::select(IfaceId iface, SimTime now) {
+  FlowRing& r = ring(iface);
+  // Iteration guard: every pass through the loop grants one quantum, so
+  // the number of passes before some head-of-line packet fits is bounded
+  // by ring_size * ceil(max_packet / min_quantum).  The guard only trips
+  // on a library bug (e.g. an empty flow left in a ring).
+  std::uint64_t guard = 0;
+  // Worst case: a quantum of 1 byte needs max-IPv4-packet grants per flow
+  // before the head packet fits.
+  const std::uint64_t guard_limit = (r.size() + 2) * 70000;
+  while (!r.empty()) {
+    if (!r.turn_open()) {
+      enter_turn(iface, r, /*advance_first=*/false, now);
+    }
+    const FlowId flow = r.current();
+    const auto head = queue(flow).head_size();
+    MIDRR_ASSERT(head.has_value(), "empty flow found in an active ring");
+    std::int64_t& dc = deficit(flow, iface);
+    if (static_cast<std::int64_t>(*head) <= dc) {
+      auto packet = queue(flow).dequeue();
+      dc -= static_cast<std::int64_t>(*head);
+      packet_served(flow, iface);
+      if (observer_ != nullptr) {
+        observer_->on_packet_sent(now, flow, iface, packet->size_bytes);
+      }
+      if (queue(flow).empty()) {
+        // BL_i = 0: reset the deficit and leave the backlogged set.
+        reset_deficit(flow);
+        remove_from_all_rings(flow);
+        if (observer_ != nullptr) observer_->on_flow_drained(now, flow);
+      }
+      return packet;
+    }
+    enter_turn(iface, r, /*advance_first=*/true, now);
+    MIDRR_ASSERT(++guard < guard_limit,
+                 "DRR turn loop failed to make progress");
+  }
+  return std::nullopt;
+}
+
+NaiveDrrScheduler::NaiveDrrScheduler(std::uint32_t quantum_base)
+    : DrrFamilyScheduler(quantum_base) {}
+
+std::int64_t& NaiveDrrScheduler::deficit(FlowId flow, IfaceId iface) {
+  MIDRR_ASSERT(flow < dc_.size(), "deficit row missing");
+  auto& row = dc_[flow];
+  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  return row[iface];
+}
+
+void NaiveDrrScheduler::reset_deficit(FlowId flow) {
+  if (flow < dc_.size()) {
+    dc_[flow].assign(dc_[flow].size(), 0);
+  }
+}
+
+void NaiveDrrScheduler::on_flow_added(FlowId flow) {
+  DrrFamilyScheduler::on_flow_added(flow);
+  if (dc_.size() <= flow) dc_.resize(static_cast<std::size_t>(flow) + 1);
+  dc_[flow].assign(preferences().iface_slots(), 0);
+}
+
+void NaiveDrrScheduler::on_interface_added(IfaceId iface) {
+  DrrFamilyScheduler::on_interface_added(iface);
+  for (auto& row : dc_) {
+    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  }
+}
+
+std::int64_t NaiveDrrScheduler::deficit_of(FlowId flow, IfaceId iface) const {
+  if (flow >= dc_.size() || iface >= dc_[flow].size()) return 0;
+  return dc_[flow][iface];
+}
+
+}  // namespace midrr

@@ -1,0 +1,123 @@
+// Deficit Round Robin (Shreedhar & Varghese) -- the paper's Algorithm 3.1 --
+// as a reusable base for the DRR family, plus the naive multi-interface
+// baseline that runs DRR independently per interface with no coordination.
+//
+// The paper shows naive per-interface DRR converges to the same (wrong)
+// allocation as per-interface WFQ when interface preferences are present:
+// on the Fig 1(c) example it gives flows (a, b) 1.5 / 0.5 Mb/s instead of
+// the max-min fair 1 / 1.  It is implemented here exactly so the benches
+// can demonstrate that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/observer.hpp"
+#include "sched/ring.hpp"
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+/// Shared mechanics of the DRR family: per-interface rings of active flows,
+/// the turn/quantum/deficit loop of Algorithm 3.1, and service-turn
+/// accounting.  Subclasses choose (a) how the deficit counter is keyed
+/// (per flow vs per flow-interface) and (b) how the ring walks to the next
+/// flow of a turn (plain successor vs miDRR's service-flag walk).
+class DrrFamilyScheduler : public Scheduler {
+ public:
+  /// Number of service turns (quantum grants) flow has received on iface;
+  /// the m_i(t1, t2] of Lemma 4 in differenced form.
+  std::uint64_t turns(FlowId flow, IfaceId iface) const;
+
+  std::uint32_t quantum_base() const { return quantum_base_; }
+
+  /// Attaches an observer of grants/skips/sends/drains (nullptr detaches).
+  /// The observer must outlive the scheduler or be detached first.
+  void set_observer(SchedulerObserver* observer) { observer_ = observer; }
+
+  /// Q_i in bytes: phi_i / phi_min * quantum_base, so the smallest-weight
+  /// flow gets exactly quantum_base and ratios follow the rate preferences.
+  std::int64_t quantum_of(FlowId flow) const;
+
+ protected:
+  explicit DrrFamilyScheduler(std::uint32_t quantum_base);
+
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId iface) override;
+  void on_interface_removed(IfaceId iface) override;
+  void on_flow_added(FlowId flow) override;
+  void on_flow_removed(FlowId flow) override;
+  void on_willing_changed(FlowId flow, IfaceId iface, bool value) override;
+  void on_backlogged(FlowId flow) override;
+
+  // --- subclass policy ----------------------------------------------------
+
+  /// Reference to the deficit counter used when `iface` serves `flow`.
+  virtual std::int64_t& deficit(FlowId flow, IfaceId iface) = 0;
+
+  /// Resets all deficit state of a flow (BL_i reached 0 / flow removed).
+  virtual void reset_deficit(FlowId flow) = 0;
+
+  /// Positions `ring` (current position already at the first candidate) on
+  /// the flow that gets the next turn.  Plain DRR: no-op.  miDRR: the
+  /// Algorithm 3.2 service-flag walk.
+  virtual void walk(IfaceId /*iface*/, FlowRing& /*ring*/,
+                    SimTime /*now*/) {}
+
+  /// The attached observer, or nullptr (for subclasses emitting events).
+  SchedulerObserver* observer() const { return observer_; }
+
+  /// Called when `flow` is granted a turn on `iface`.  miDRR sets the
+  /// flow's service flags at every other interface here.
+  virtual void turn_granted(FlowId /*flow*/, IfaceId /*iface*/) {}
+
+  /// Called for every packet actually sent (Table 1's task list sets the
+  /// service flags "when interface k serves flow i", i.e. per send, which
+  /// keeps the flags fresh when a turn spans several packets).
+  virtual void packet_served(FlowId /*flow*/, IfaceId /*iface*/) {}
+
+  // --- shared helpers ------------------------------------------------------
+
+  FlowRing& ring(IfaceId iface);
+  const FlowRing* ring_if_present(IfaceId iface) const;
+  void remove_from_all_rings(FlowId flow);
+
+ private:
+  /// Steps the ring into the next turn: optionally advance off the current
+  /// flow, run the policy walk, grant the quantum.
+  void enter_turn(IfaceId iface, FlowRing& r, bool advance_first,
+                  SimTime now);
+
+  SchedulerObserver* observer_ = nullptr;
+  std::uint32_t quantum_base_;
+  std::vector<FlowRing> rings_;                         // by IfaceId
+  std::vector<std::vector<std::uint64_t>> turn_count_;  // [flow][iface]
+  // Cache of the minimum live weight (quantum normalization).
+  mutable double min_weight_ = 1.0;
+  mutable std::uint64_t min_weight_version_ = ~0ull;
+};
+
+/// DRR run independently on each interface: deficit counters are keyed by
+/// (flow, interface) and there is no cross-interface signaling.  With a
+/// single interface this is exactly classical DRR.
+class NaiveDrrScheduler final : public DrrFamilyScheduler {
+ public:
+  explicit NaiveDrrScheduler(std::uint32_t quantum_base = 1500);
+
+  std::string policy_name() const override { return "naive-DRR"; }
+
+  /// Test accessor: the deficit counter of (flow, iface).
+  std::int64_t deficit_of(FlowId flow, IfaceId iface) const;
+
+ protected:
+  std::int64_t& deficit(FlowId flow, IfaceId iface) override;
+  void reset_deficit(FlowId flow) override;
+  void on_flow_added(FlowId flow) override;
+  void on_interface_added(IfaceId iface) override;
+
+ private:
+  std::vector<std::vector<std::int64_t>> dc_;  // [flow][iface]
+};
+
+}  // namespace midrr

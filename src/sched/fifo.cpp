@@ -1,0 +1,28 @@
+#include "sched/fifo.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+void FifoScheduler::on_flow_removed(FlowId flow) {
+  std::erase(order_, flow);
+}
+
+std::optional<Packet> FifoScheduler::select(IfaceId iface, SimTime) {
+  // Oldest entry whose flow is willing to use this interface.  The global
+  // order holds one entry per queued packet; per-flow order within it
+  // matches the per-flow FIFO queues, so taking the first willing entry
+  // and popping that flow's head packet preserves arrival order.
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    const FlowId flow = *it;
+    if (!preferences().willing(flow, iface)) continue;
+    MIDRR_ASSERT(!queue(flow).empty(), "FIFO mirror out of sync");
+    order_.erase(it);
+    return queue(flow).dequeue();
+  }
+  return std::nullopt;
+}
+
+}  // namespace midrr

@@ -1,0 +1,39 @@
+// FIFO-aggregate baseline: one global arrival-order queue; an interface
+// sends the oldest queued packet whose flow is willing to use it.
+//
+// No fairness of any kind -- a heavy flow starves everyone sharing its
+// interfaces -- but work-conserving and preference-respecting.  Included as
+// the "what a device does without a real scheduler" baseline for the
+// ablation bench and tests.
+#pragma once
+
+#include <deque>
+
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  FifoScheduler() = default;
+
+  std::string policy_name() const override { return "fifo"; }
+
+ protected:
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId) override {}
+  void on_interface_removed(IfaceId) override {}
+  void on_flow_added(FlowId) override {}
+  void on_flow_removed(FlowId flow) override;
+  void on_willing_changed(FlowId, IfaceId, bool) override {}
+  void on_backlogged(FlowId) override {}
+  void on_enqueued(FlowId flow) override { order_.push_back(flow); }
+
+ private:
+  // Global arrival order: one entry per queued packet.  Entries whose flow
+  // has since been removed are skipped lazily.
+  std::deque<FlowId> order_;
+};
+
+}  // namespace midrr

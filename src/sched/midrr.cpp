@@ -1,0 +1,98 @@
+#include "sched/midrr.hpp"
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+MiDrrScheduler::MiDrrScheduler(std::uint32_t quantum_base, bool shared_deficit)
+    : DrrFamilyScheduler(quantum_base), shared_deficit_(shared_deficit) {}
+
+std::int64_t& MiDrrScheduler::deficit(FlowId flow, IfaceId iface) {
+  MIDRR_ASSERT(flow < dc_.size(), "deficit entry missing");
+  if (shared_deficit_) return dc_[flow];
+  auto& row = dc_per_[flow];
+  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  return row[iface];
+}
+
+void MiDrrScheduler::reset_deficit(FlowId flow) {
+  if (flow < dc_.size()) dc_[flow] = 0;
+  if (flow < dc_per_.size()) dc_per_[flow].assign(dc_per_[flow].size(), 0);
+}
+
+void MiDrrScheduler::walk(IfaceId iface, FlowRing& ring, SimTime now) {
+  // Algorithm 3.2: while the candidate's service flag is set, clear it and
+  // move on.  Terminates because flags are only cleared during the walk and
+  // nothing sets them mid-walk, so a full cycle ends at a cleared flag.
+  std::uint8_t* flag = &sf_[ring.current()][iface];
+  while (*flag != 0) {
+    *flag = 0;
+    ++flags_skipped_;
+    if (observer() != nullptr) {
+      observer()->on_flag_skip(now, ring.current(), iface);
+    }
+    ring.advance();
+    flag = &sf_[ring.current()][iface];
+  }
+}
+
+void MiDrrScheduler::turn_granted(FlowId flow, IfaceId iface) {
+  // Tell every other interface that this flow has just been served:
+  // SF_{flow,k} = 1 for all k != iface.
+  auto& row = sf_[flow];
+  for (IfaceId k = 0; k < row.size(); ++k) {
+    if (k != iface) row[k] = 1;
+  }
+}
+
+void MiDrrScheduler::packet_served(FlowId, IfaceId) {
+  // Intentionally empty: flags are set per TURN (Algorithm 3.2), not per
+  // packet.  Setting them on every send was tried and over-suppresses: a
+  // flow aggregating two interfaces keeps its flag at each permanently set
+  // from the other's sends and loses its share of shared interfaces
+  // (e.g. Fig 6 phase 2 collapses).  The pseudocode's per-turn granularity
+  // is what makes aggregation work.
+}
+
+void MiDrrScheduler::on_flow_added(FlowId flow) {
+  DrrFamilyScheduler::on_flow_added(flow);
+  if (dc_.size() <= flow) dc_.resize(static_cast<std::size_t>(flow) + 1, 0);
+  dc_[flow] = 0;
+  if (dc_per_.size() <= flow) {
+    dc_per_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  dc_per_[flow].assign(preferences().iface_slots(), 0);
+  if (sf_.size() <= flow) sf_.resize(static_cast<std::size_t>(flow) + 1);
+  // Service flags for new flows are initialized to zero (Table 1).
+  sf_[flow].assign(preferences().iface_slots(), 0);
+}
+
+void MiDrrScheduler::on_interface_added(IfaceId iface) {
+  DrrFamilyScheduler::on_interface_added(iface);
+  for (auto& row : sf_) {
+    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  }
+}
+
+void MiDrrScheduler::on_flow_removed(FlowId flow) {
+  DrrFamilyScheduler::on_flow_removed(flow);
+  if (flow < sf_.size()) sf_[flow].assign(sf_[flow].size(), 0);
+}
+
+std::int64_t MiDrrScheduler::deficit_of(FlowId flow) const {
+  if (shared_deficit_) return flow < dc_.size() ? dc_[flow] : 0;
+  // Per-interface mode: report the largest per-interface counter (the
+  // Lemma 3 bound applies to each one individually).
+  std::int64_t worst = 0;
+  if (flow < dc_per_.size()) {
+    for (const std::int64_t v : dc_per_[flow]) worst = std::max(worst, v);
+  }
+  return worst;
+}
+
+bool MiDrrScheduler::service_flag(FlowId flow, IfaceId iface) const {
+  if (flow >= sf_.size() || iface >= sf_[flow].size()) return false;
+  return sf_[flow][iface] != 0;
+}
+
+}  // namespace midrr

@@ -1,0 +1,101 @@
+#include "sched/observer.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+const char* to_string(TraceRecorder::Event event) {
+  switch (event) {
+    case TraceRecorder::Event::kGrant: return "GRANT";
+    case TraceRecorder::Event::kSkip: return "SKIP";
+    case TraceRecorder::Event::kSend: return "SEND";
+    case TraceRecorder::Event::kDrain: return "DRAIN";
+  }
+  return "?";
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
+  MIDRR_REQUIRE(capacity > 0, "trace capacity must be positive");
+}
+
+void TraceRecorder::push(Entry entry) {
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(entry);
+  ++total_;
+}
+
+void TraceRecorder::bump(std::vector<std::vector<std::uint64_t>>& table,
+                         FlowId flow, IfaceId iface) {
+  if (table.size() <= flow) table.resize(static_cast<std::size_t>(flow) + 1);
+  auto& row = table[flow];
+  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  ++row[iface];
+}
+
+std::uint64_t TraceRecorder::counter(
+    const std::vector<std::vector<std::uint64_t>>& table, FlowId flow,
+    IfaceId iface) const {
+  if (flow >= table.size() || iface >= table[flow].size()) return 0;
+  return table[flow][iface];
+}
+
+void TraceRecorder::on_turn_granted(SimTime now, FlowId flow, IfaceId iface,
+                                    std::int64_t deficit_after) {
+  push({now, Event::kGrant, flow, iface, deficit_after});
+  bump(grants_, flow, iface);
+}
+
+void TraceRecorder::on_flag_skip(SimTime now, FlowId flow, IfaceId iface) {
+  push({now, Event::kSkip, flow, iface, 0});
+  bump(skips_, flow, iface);
+}
+
+void TraceRecorder::on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
+                                   std::uint32_t bytes) {
+  push({now, Event::kSend, flow, iface, bytes});
+  bump(sends_, flow, iface);
+}
+
+void TraceRecorder::on_flow_drained(SimTime now, FlowId flow) {
+  push({now, Event::kDrain, flow, kInvalidIface, 0});
+}
+
+std::uint64_t TraceRecorder::grants(FlowId flow, IfaceId iface) const {
+  return counter(grants_, flow, iface);
+}
+
+std::uint64_t TraceRecorder::skips(FlowId flow, IfaceId iface) const {
+  return counter(skips_, flow, iface);
+}
+
+std::uint64_t TraceRecorder::sends(FlowId flow, IfaceId iface) const {
+  return counter(sends_, flow, iface);
+}
+
+std::string TraceRecorder::render(std::size_t max_lines) const {
+  std::ostringstream out;
+  const std::size_t start =
+      entries_.size() > max_lines ? entries_.size() - max_lines : 0;
+  for (std::size_t i = start; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    out << "t=" << to_seconds(e.at) * 1e3 << "ms ";
+    if (e.iface != kInvalidIface) out << "iface" << e.iface << ' ';
+    out << to_string(e.event) << " flow" << e.flow;
+    if (e.event == Event::kGrant) out << " dc=" << e.value;
+    if (e.event == Event::kSend) out << " bytes=" << e.value;
+    out << '\n';
+  }
+  return out.str();
+}
+
+void TraceRecorder::clear() {
+  entries_.clear();
+  grants_.clear();
+  skips_.clear();
+  sends_.clear();
+  total_ = 0;
+}
+
+}  // namespace midrr

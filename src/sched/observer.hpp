@@ -1,0 +1,97 @@
+// Scheduler observability: a hook interface for the DRR family's three
+// micro-events -- turn grants, service-flag skips, packet hand-offs -- plus
+// a ring-buffer recorder that turns them into an inspectable timeline.
+//
+// This is how you SEE miDRR think: on Fig 1(c), the recorder shows
+// interface 2 skipping flow a (flag set by interface 1) every round, which
+// is the entire mechanism in one trace line.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+
+/// Observer of scheduler micro-events.  All callbacks default to no-ops;
+/// implementations must be cheap (called on the hot path).
+class SchedulerObserver {
+ public:
+  virtual ~SchedulerObserver() = default;
+
+  /// Flow was granted a service turn on iface; `deficit_after` includes
+  /// the fresh quantum.
+  virtual void on_turn_granted(SimTime /*now*/, FlowId /*flow*/,
+                               IfaceId /*iface*/,
+                               std::int64_t /*deficit_after*/) {}
+
+  /// The Algorithm 3.2 walk skipped flow on iface (its service flag was
+  /// set; it has been cleared).
+  virtual void on_flag_skip(SimTime /*now*/, FlowId /*flow*/,
+                            IfaceId /*iface*/) {}
+
+  /// A packet of `bytes` was handed to iface.
+  virtual void on_packet_sent(SimTime /*now*/, FlowId /*flow*/,
+                              IfaceId /*iface*/, std::uint32_t /*bytes*/) {}
+
+  /// The flow's queue drained (it left the backlogged set).
+  virtual void on_flow_drained(SimTime /*now*/, FlowId /*flow*/) {}
+};
+
+/// Ring-buffer recorder with per-(flow, iface) counters.
+class TraceRecorder final : public SchedulerObserver {
+ public:
+  enum class Event : std::uint8_t { kGrant, kSkip, kSend, kDrain };
+
+  struct Entry {
+    SimTime at = 0;
+    Event event = Event::kGrant;
+    FlowId flow = kInvalidFlow;
+    IfaceId iface = kInvalidIface;
+    std::int64_t value = 0;  ///< deficit after grant / bytes sent
+  };
+
+  /// Keeps at most `capacity` most-recent events.
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  void on_turn_granted(SimTime now, FlowId flow, IfaceId iface,
+                       std::int64_t deficit_after) override;
+  void on_flag_skip(SimTime now, FlowId flow, IfaceId iface) override;
+  void on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
+                      std::uint32_t bytes) override;
+  void on_flow_drained(SimTime now, FlowId flow) override;
+
+  const std::deque<Entry>& entries() const { return entries_; }
+  std::uint64_t grants(FlowId flow, IfaceId iface) const;
+  std::uint64_t skips(FlowId flow, IfaceId iface) const;
+  std::uint64_t sends(FlowId flow, IfaceId iface) const;
+  std::uint64_t total_events() const { return total_; }
+
+  /// "t=12.5ms iface1 SKIP flow0" ... one line per recent entry.
+  std::string render(std::size_t max_lines = 50) const;
+
+  void clear();
+
+ private:
+  void push(Entry entry);
+  std::uint64_t counter(
+      const std::vector<std::vector<std::uint64_t>>& table, FlowId flow,
+      IfaceId iface) const;
+  static void bump(std::vector<std::vector<std::uint64_t>>& table,
+                   FlowId flow, IfaceId iface);
+
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+  std::uint64_t total_ = 0;
+  std::vector<std::vector<std::uint64_t>> grants_;  // [flow][iface]
+  std::vector<std::vector<std::uint64_t>> skips_;
+  std::vector<std::vector<std::uint64_t>> sends_;
+};
+
+const char* to_string(TraceRecorder::Event event);
+
+}  // namespace midrr

@@ -1,0 +1,122 @@
+#include "sched/oracle.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+OracleMaxMinScheduler::OracleMaxMinScheduler(CapacityProvider capacity_bps,
+                                             SimDuration recompute_interval)
+    : capacity_(std::move(capacity_bps)),
+      recompute_interval_(recompute_interval) {
+  MIDRR_REQUIRE(capacity_ != nullptr, "oracle needs a capacity provider");
+  MIDRR_REQUIRE(recompute_interval > 0, "recompute interval must be > 0");
+}
+
+void OracleMaxMinScheduler::on_interface_added(IfaceId iface) {
+  for (auto& row : target_bytes_) {
+    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0.0);
+  }
+  for (auto& row : served_bytes_) {
+    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0.0);
+  }
+  dirty_ = true;
+}
+
+void OracleMaxMinScheduler::on_flow_added(FlowId flow) {
+  if (target_bytes_.size() <= flow) {
+    target_bytes_.resize(static_cast<std::size_t>(flow) + 1);
+    served_bytes_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  target_bytes_[flow].assign(preferences().iface_slots(), 0.0);
+  served_bytes_[flow].assign(preferences().iface_slots(), 0.0);
+  dirty_ = true;
+}
+
+void OracleMaxMinScheduler::recompute(SimTime now) {
+  // Solve the max-min program over the *backlogged* flows with the current
+  // capacities -- the global knowledge this strawman assumes.
+  const auto flows = preferences().flows();
+  const auto ifaces = preferences().ifaces();
+
+  fair::MaxMinInput input;
+  std::vector<FlowId> active;
+  for (const FlowId f : flows) {
+    if (queue(f).empty()) continue;
+    active.push_back(f);
+    input.weights.push_back(preferences().weight(f));
+  }
+  for (const IfaceId j : ifaces) {
+    input.capacities_bps.push_back(std::max(0.0, capacity_(j)));
+  }
+  for (const FlowId f : active) {
+    std::vector<bool> row;
+    for (const IfaceId j : ifaces) {
+      row.push_back(preferences().willing(f, j));
+    }
+    input.willing.push_back(std::move(row));
+  }
+
+  alloc_bps_.assign(preferences().flow_slots(),
+                    std::vector<double>(preferences().iface_slots(), 0.0));
+  if (!active.empty()) {
+    const auto solved = fair::solve_max_min(input);
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      for (std::size_t jj = 0; jj < ifaces.size(); ++jj) {
+        alloc_bps_[active[k]][ifaces[jj]] = solved.alloc_bps[k][jj];
+      }
+    }
+  }
+  ++recomputations_;
+  last_recompute_ = now;
+  dirty_ = false;
+}
+
+void OracleMaxMinScheduler::advance_targets(SimTime now) {
+  const double dt = to_seconds(now - last_advance_);
+  if (dt > 0.0) {
+    for (std::size_t i = 0; i < alloc_bps_.size(); ++i) {
+      for (std::size_t j = 0; j < alloc_bps_[i].size(); ++j) {
+        if (alloc_bps_[i][j] > 0.0 && i < target_bytes_.size() &&
+            j < target_bytes_[i].size()) {
+          target_bytes_[i][j] += alloc_bps_[i][j] * dt / 8.0;
+        }
+      }
+    }
+  }
+  last_advance_ = now;
+}
+
+std::optional<Packet> OracleMaxMinScheduler::select(IfaceId iface,
+                                                    SimTime now) {
+  if (dirty_ || now - last_recompute_ >= recompute_interval_) {
+    advance_targets(now);
+    recompute(now);
+  } else {
+    advance_targets(now);
+  }
+
+  // Serve the backlogged willing flow lagging furthest behind its fluid
+  // target on this interface; stay work-conserving even when every flow is
+  // at/ahead of target (pick the max lag regardless of sign).
+  FlowId best = kInvalidFlow;
+  double best_lag = -std::numeric_limits<double>::infinity();
+  for (const FlowId flow : preferences().flows_willing(iface)) {
+    if (queue(flow).empty()) continue;
+    const double lag =
+        target_bytes_[flow][iface] - served_bytes_[flow][iface];
+    if (lag > best_lag) {
+      best_lag = lag;
+      best = flow;
+    }
+  }
+  if (best == kInvalidFlow) return std::nullopt;
+  auto packet = queue(best).dequeue();
+  served_bytes_[best][iface] += packet->size_bytes;
+  if (queue(best).empty()) dirty_ = true;
+  return packet;
+}
+
+}  // namespace midrr

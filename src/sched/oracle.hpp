@@ -1,0 +1,68 @@
+// The "obvious solution" of Section 3, made real: a scheduler with global
+// knowledge.
+//
+// The paper sketches (and rejects as impractical) a design where
+// "interfaces exchange information about the rates flows are receiving
+// from every interface" and know their own instantaneous capacities.  This
+// oracle implements exactly that: whenever the backlogged set or the
+// capacities change, it re-solves the weighted max-min program and then
+// serves, on each free interface, the flow lagging furthest behind its
+// fluid target r_ij * elapsed.
+//
+// It exists to quantify what miDRR gives up: the benches compare the two
+// against the reference allocation -- miDRR gets (almost) the oracle's
+// fairness with one bit of state per (flow, interface) and no capacity
+// knowledge at all.
+#pragma once
+
+#include <functional>
+
+#include "fairness/maxmin.hpp"
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+class OracleMaxMinScheduler final : public Scheduler {
+ public:
+  /// `capacity_bps(iface)` must report the interface's current capacity
+  /// (the global knowledge the paper says real interfaces do not have).
+  using CapacityProvider = std::function<double(IfaceId)>;
+
+  explicit OracleMaxMinScheduler(CapacityProvider capacity_bps,
+                                 SimDuration recompute_interval = 50 *
+                                                                  kMillisecond);
+
+  std::string policy_name() const override { return "oracle-maxmin"; }
+
+  /// How many times the max-min program has been re-solved (the
+  /// communication/computation cost miDRR avoids).
+  std::uint64_t recomputations() const { return recomputations_; }
+
+ protected:
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId iface) override;
+  void on_interface_removed(IfaceId) override { dirty_ = true; }
+  void on_flow_added(FlowId flow) override;
+  void on_flow_removed(FlowId) override { dirty_ = true; }
+  void on_willing_changed(FlowId, IfaceId, bool) override { dirty_ = true; }
+  void on_weight_changed(FlowId) override { dirty_ = true; }
+  void on_backlogged(FlowId) override { dirty_ = true; }
+
+ private:
+  void advance_targets(SimTime now);
+  void recompute(SimTime now);
+
+  CapacityProvider capacity_;
+  SimDuration recompute_interval_;
+  bool dirty_ = true;
+  SimTime last_advance_ = 0;
+  SimTime last_recompute_ = 0;
+  std::uint64_t recomputations_ = 0;
+  // Fluid targets and achieved service, in bytes, per (flow, iface).
+  std::vector<std::vector<double>> target_bytes_;
+  std::vector<std::vector<double>> served_bytes_;
+  std::vector<std::vector<double>> alloc_bps_;
+};
+
+}  // namespace midrr

@@ -1,0 +1,21 @@
+#include "sched/priority.hpp"
+
+namespace midrr {
+
+std::optional<Packet> StrictPriorityScheduler::select(IfaceId iface,
+                                                      SimTime) {
+  FlowId best = kInvalidFlow;
+  double best_weight = -1.0;
+  for (const FlowId flow : preferences().flows_willing(iface)) {
+    if (queue(flow).empty()) continue;
+    const double w = preferences().weight(flow);
+    if (w > best_weight) {
+      best_weight = w;
+      best = flow;
+    }
+  }
+  if (best == kInvalidFlow) return std::nullopt;
+  return queue(best).dequeue();
+}
+
+}  // namespace midrr

@@ -1,0 +1,29 @@
+// Strict-priority baseline: each interface always serves its backlogged
+// willing flow with the LARGEST weight (ties: lowest id).  Demonstrates why
+// rate preferences must be relative shares, not priorities: low-weight
+// flows starve whenever a heavier flow shares every one of their
+// interfaces.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+class StrictPriorityScheduler final : public Scheduler {
+ public:
+  StrictPriorityScheduler() = default;
+
+  std::string policy_name() const override { return "strict-priority"; }
+
+ protected:
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId) override {}
+  void on_interface_removed(IfaceId) override {}
+  void on_flow_added(FlowId) override {}
+  void on_flow_removed(FlowId) override {}
+  void on_willing_changed(FlowId, IfaceId, bool) override {}
+  void on_backlogged(FlowId) override {}
+};
+
+}  // namespace midrr

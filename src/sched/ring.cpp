@@ -1,0 +1,53 @@
+#include "sched/ring.hpp"
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+FlowId FlowRing::current() const {
+  MIDRR_REQUIRE(!order_.empty(), "current() on empty ring");
+  return *current_;
+}
+
+FlowId FlowRing::advance() {
+  MIDRR_REQUIRE(!order_.empty(), "advance() on empty ring");
+  ++current_;
+  if (current_ == order_.end()) current_ = order_.begin();
+  return *current_;
+}
+
+void FlowRing::insert(FlowId flow) {
+  MIDRR_REQUIRE(!contains(flow), "flow already in ring");
+  if (order_.empty()) {
+    order_.push_back(flow);
+    current_ = order_.begin();
+    pos_[flow] = current_;
+    turn_open_ = false;  // the newcomer has not been granted a quantum yet
+    return;
+  }
+  // Insert before the current element: the ring is traversed forward, so
+  // this flow is visited after every other flow of the current round.
+  auto it = order_.insert(current_, flow);
+  pos_[flow] = it;
+}
+
+void FlowRing::remove(FlowId flow) {
+  auto found = pos_.find(flow);
+  MIDRR_REQUIRE(found != pos_.end(), "removing flow not in ring");
+  auto it = found->second;
+  if (it == current_) {
+    ++current_;
+    if (current_ == order_.end() && order_.size() > 1) {
+      current_ = order_.begin();
+    }
+    turn_open_ = false;
+  }
+  order_.erase(it);
+  pos_.erase(found);
+  if (order_.empty()) {
+    current_ = order_.end();
+    turn_open_ = false;
+  }
+}
+
+}  // namespace midrr

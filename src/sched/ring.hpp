@@ -1,0 +1,52 @@
+// FlowRing: the per-interface round-robin list of active flows.
+//
+// DRR-family schedulers keep, for each interface j, the ring of backlogged
+// flows willing to use j (the paper's F_j intersected with B) together with
+// the current position C_j.  Insertion places a flow so that the scheduler
+// reaches it at the end of the current round; removal of the current flow
+// hands the position to its successor and marks that the successor has not
+// yet been granted its quantum ("turn not open").
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "flow/ids.hpp"
+
+namespace midrr {
+
+class FlowRing {
+ public:
+  bool empty() const { return order_.empty(); }
+  std::size_t size() const { return order_.size(); }
+  bool contains(FlowId flow) const { return pos_.count(flow) > 0; }
+
+  /// True while the current flow has been granted its quantum for this
+  /// turn; cleared on insertion into an empty ring and on removal of the
+  /// current flow.
+  bool turn_open() const { return turn_open_; }
+  void open_turn() { turn_open_ = true; }
+
+  /// The flow at position C_j.  Ring must be non-empty.
+  FlowId current() const;
+
+  /// Moves C_j to the next flow in round-robin order and returns it.
+  FlowId advance();
+
+  /// Adds a newly backlogged flow.  It is placed immediately before the
+  /// current position, i.e. it will be reached last in the current round
+  /// (a new flow must not preempt flows already waiting their turn).
+  void insert(FlowId flow);
+
+  /// Removes a flow (it drained, ended, or became unwilling).  If it was
+  /// the current flow, the successor becomes current and the turn closes.
+  void remove(FlowId flow);
+
+ private:
+  std::list<FlowId> order_;
+  std::list<FlowId>::iterator current_ = order_.end();
+  std::unordered_map<FlowId, std::list<FlowId>::iterator> pos_;
+  bool turn_open_ = false;
+};
+
+}  // namespace midrr

@@ -1,0 +1,34 @@
+// Packet-by-packet round robin per interface: the simplest baseline.
+// One packet per flow per turn regardless of size or weight; unfair for
+// mixed packet sizes and blind to rate preferences, included for the
+// ablation benches and as the smallest possible policy implementation.
+#pragma once
+
+#include <vector>
+
+#include "sched/ring.hpp"
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  RoundRobinScheduler() = default;
+
+  std::string policy_name() const override { return "round-robin"; }
+
+ protected:
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId iface) override;
+  void on_interface_removed(IfaceId iface) override;
+  void on_flow_added(FlowId /*flow*/) override {}
+  void on_flow_removed(FlowId flow) override;
+  void on_willing_changed(FlowId flow, IfaceId iface, bool value) override;
+  void on_backlogged(FlowId flow) override;
+
+ private:
+  std::vector<FlowRing> rings_;  // by IfaceId
+};
+
+}  // namespace midrr

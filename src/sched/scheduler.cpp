@@ -1,0 +1,175 @@
+#include "sched/scheduler.hpp"
+
+#include "sched/drr.hpp"
+#include "sched/fifo.hpp"
+#include "sched/midrr.hpp"
+#include "sched/priority.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/wfq.hpp"
+#include "util/assert.hpp"
+
+namespace midrr {
+
+IfaceId Scheduler::add_interface(std::string name) {
+  const IfaceId iface = prefs_.add_interface(std::move(name));
+  for (auto& row : sent_) {
+    row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  }
+  on_interface_added(iface);
+  return iface;
+}
+
+void Scheduler::remove_interface(IfaceId iface) {
+  MIDRR_REQUIRE(prefs_.iface_exists(iface), "removing unknown interface");
+  on_interface_removed(iface);
+  prefs_.remove_interface(iface);
+}
+
+FlowId Scheduler::add_flow(double weight, const std::vector<IfaceId>& willing,
+                           std::string name,
+                           std::uint64_t queue_capacity_bytes) {
+  const FlowId flow = prefs_.add_flow(weight, willing, std::move(name));
+  if (queues_.size() <= flow) {
+    queues_.resize(static_cast<std::size_t>(flow) + 1);
+    sent_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  queues_[flow] = FlowQueue(queue_capacity_bytes);
+  sent_[flow].assign(prefs_.iface_slots(), 0);
+  on_flow_added(flow);
+  return flow;
+}
+
+void Scheduler::remove_flow(FlowId flow) {
+  MIDRR_REQUIRE(prefs_.flow_exists(flow), "removing unknown flow");
+  on_flow_removed(flow);
+  queues_[flow].clear();
+  prefs_.remove_flow(flow);
+}
+
+void Scheduler::set_willing(FlowId flow, IfaceId iface, bool value) {
+  if (prefs_.willing(flow, iface) == value) return;
+  prefs_.set_willing(flow, iface, value);
+  on_willing_changed(flow, iface, value);
+}
+
+void Scheduler::set_weight(FlowId flow, double weight) {
+  prefs_.set_weight(flow, weight);
+  on_weight_changed(flow);
+}
+
+FlowQueue& Scheduler::queue(FlowId flow) {
+  MIDRR_REQUIRE(prefs_.flow_exists(flow), "unknown flow");
+  return queues_[flow];
+}
+
+const FlowQueue& Scheduler::queue(FlowId flow) const {
+  MIDRR_REQUIRE(prefs_.flow_exists(flow), "unknown flow");
+  return queues_[flow];
+}
+
+EnqueueResult Scheduler::enqueue(Packet packet, SimTime now) {
+  MIDRR_REQUIRE(prefs_.flow_exists(packet.flow), "enqueue for unknown flow");
+  const FlowId flow = packet.flow;
+  FlowQueue& q = queues_[flow];
+  const bool was_empty = q.empty();
+  packet.enqueued_at = now;
+  EnqueueResult result;
+  result.accepted = q.enqueue(std::move(packet));
+  result.became_backlogged = result.accepted && was_empty;
+  if (result.became_backlogged) {
+    on_backlogged(flow);
+  }
+  if (result.accepted) {
+    on_enqueued(flow);
+  }
+  return result;
+}
+
+std::optional<Packet> Scheduler::dequeue(IfaceId iface, SimTime now) {
+  MIDRR_REQUIRE(prefs_.iface_exists(iface), "dequeue for unknown interface");
+  auto packet = select(iface, now);
+  if (packet) {
+    MIDRR_ASSERT(prefs_.willing(packet->flow, iface),
+                 "policy violated an interface preference");
+    note_sent(packet->flow, iface, packet->size_bytes);
+  }
+  return packet;
+}
+
+bool Scheduler::has_eligible(IfaceId iface) const {
+  if (!prefs_.iface_exists(iface)) return false;
+  for (FlowId flow : prefs_.flows_willing(iface)) {
+    if (!queues_[flow].empty()) return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::backlog_bytes(FlowId flow) const {
+  return queue(flow).backlog_bytes();
+}
+
+std::size_t Scheduler::backlog_packets(FlowId flow) const {
+  return queue(flow).backlog_packets();
+}
+
+const FlowQueueStats& Scheduler::queue_stats(FlowId flow) const {
+  return queue(flow).stats();
+}
+
+void Scheduler::note_sent(FlowId flow, IfaceId iface, std::uint32_t bytes) {
+  auto& row = sent_[flow];
+  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
+  row[iface] += bytes;
+}
+
+std::uint64_t Scheduler::sent_bytes(FlowId flow, IfaceId iface) const {
+  if (flow >= sent_.size() || iface >= sent_[flow].size()) return 0;
+  return sent_[flow][iface];
+}
+
+std::uint64_t Scheduler::sent_bytes(FlowId flow) const {
+  if (flow >= sent_.size()) return 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t v : sent_[flow]) total += v;
+  return total;
+}
+
+const char* to_string(Policy policy) {
+  switch (policy) {
+    case Policy::kMiDrr: return "miDRR";
+    case Policy::kNaiveDrr: return "naive-DRR";
+    case Policy::kPerIfaceWfq: return "per-iface-WFQ";
+    case Policy::kRoundRobin: return "round-robin";
+    case Policy::kFifo: return "fifo";
+    case Policy::kStrictPriority: return "strict-priority";
+    case Policy::kOracle: return "oracle-maxmin";
+  }
+  return "?";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Policy policy,
+                                          std::uint32_t quantum_base) {
+  switch (policy) {
+    case Policy::kMiDrr:
+      return std::make_unique<MiDrrScheduler>(quantum_base);
+    case Policy::kNaiveDrr:
+      return std::make_unique<NaiveDrrScheduler>(quantum_base);
+    case Policy::kPerIfaceWfq:
+      return std::make_unique<PerIfaceWfqScheduler>();
+    case Policy::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case Policy::kFifo:
+      return std::make_unique<FifoScheduler>();
+    case Policy::kStrictPriority:
+      return std::make_unique<StrictPriorityScheduler>();
+    case Policy::kOracle:
+      MIDRR_REQUIRE(false,
+                    "the oracle needs a capacity provider; construct "
+                    "OracleMaxMinScheduler directly (ScenarioRunner wires "
+                    "this up automatically)");
+  }
+  MIDRR_REQUIRE(false, "unknown policy");
+  return nullptr;
+}
+
+}  // namespace midrr

@@ -1,0 +1,153 @@
+// Scheduler: the common contract and shared machinery for every packet
+// scheduling policy in this library.
+//
+// A Scheduler owns the preference state (Pi, phi), one FIFO queue per flow,
+// and the service accounting needed to verify fairness.  The data-path
+// contract is the paper's: `dequeue(j, now)` answers "interface j is free;
+// which packet should it send?".  Policies (DRR, miDRR, WFQ, ...) implement
+// `select()` plus topology-change hooks.
+//
+// Thread-safety: schedulers are externally synchronized.  The in-kernel
+// prototype the paper describes guards scheduling with a single mutex; the
+// bridge layer (src/bridge) does the same around its scheduler, and the
+// simulator is single-threaded by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "flow/packet.hpp"
+#include "flow/preferences.hpp"
+#include "flow/queue.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+
+/// Result of an enqueue: whether the packet was accepted, and whether the
+/// flow transitioned from idle to backlogged (the caller should then kick
+/// the transmitters of every interface the flow is willing to use).
+struct EnqueueResult {
+  bool accepted = false;
+  bool became_backlogged = false;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // --- Topology & preferences -------------------------------------------
+
+  /// Registers an interface; returns its id.
+  IfaceId add_interface(std::string name = {});
+
+  /// Deregisters an interface (e.g. WiFi out of range).  Queued packets
+  /// stay with their flows and drain through remaining interfaces.
+  void remove_interface(IfaceId iface);
+
+  /// Registers a flow with weight `weight` (phi_i > 0) willing to use the
+  /// listed interfaces (its row of Pi).  Its queue holds at most
+  /// `queue_capacity_bytes` (0 = unbounded, the default); beyond that,
+  /// enqueue tail-drops (the kernel bridge's qdisc behavior).
+  FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
+                  std::string name = {}, std::uint64_t queue_capacity_bytes = 0);
+
+  /// Deregisters a flow and discards its queue.
+  void remove_flow(FlowId flow);
+
+  /// Flips one entry of Pi at runtime.
+  void set_willing(FlowId flow, IfaceId iface, bool value);
+
+  /// Changes a flow's rate-preference weight phi_i.
+  void set_weight(FlowId flow, double weight);
+
+  const Preferences& preferences() const { return prefs_; }
+
+  // --- Data path ----------------------------------------------------------
+
+  /// Adds a packet to its flow's queue.
+  EnqueueResult enqueue(Packet packet, SimTime now);
+
+  /// Returns the next packet interface `iface` should transmit, or nullopt
+  /// if no willing flow is backlogged.  Guaranteed to return a packet of a
+  /// flow with pi_{flow,iface} = 1 (interface preferences are sacrosanct).
+  std::optional<Packet> dequeue(IfaceId iface, SimTime now);
+
+  /// True if some willing flow has backlog on `iface`.
+  virtual bool has_eligible(IfaceId iface) const;
+
+  // --- Introspection (tests, fairness verification, reporting) ----------
+
+  std::uint64_t backlog_bytes(FlowId flow) const;
+  std::size_t backlog_packets(FlowId flow) const;
+  const FlowQueueStats& queue_stats(FlowId flow) const;
+
+  /// Bytes this scheduler has handed to interface `iface` from flow `flow`
+  /// (the allocation matrix r_ij, in byte form).
+  std::uint64_t sent_bytes(FlowId flow, IfaceId iface) const;
+
+  /// Total bytes sent by a flow across all interfaces (S_i of Def. 3).
+  std::uint64_t sent_bytes(FlowId flow) const;
+
+  /// Human-readable policy name (reporting).
+  virtual std::string policy_name() const = 0;
+
+ protected:
+  Scheduler() = default;
+
+  /// Policy hook: choose and pop the next packet for `iface`.
+  virtual std::optional<Packet> select(IfaceId iface, SimTime now) = 0;
+
+  // Topology-change hooks; called after the registry is updated.
+  virtual void on_interface_added(IfaceId iface) = 0;
+  virtual void on_interface_removed(IfaceId iface) = 0;
+  virtual void on_flow_added(FlowId flow) = 0;
+  virtual void on_flow_removed(FlowId flow) = 0;
+  virtual void on_willing_changed(FlowId flow, IfaceId iface, bool value) = 0;
+  virtual void on_weight_changed(FlowId /*flow*/) {}
+  /// Called when a flow transitions idle -> backlogged.
+  virtual void on_backlogged(FlowId flow) = 0;
+
+  /// Called for every accepted packet (after on_backlogged, if both fire).
+  virtual void on_enqueued(FlowId /*flow*/) {}
+
+  FlowQueue& queue(FlowId flow);
+  const FlowQueue& queue(FlowId flow) const;
+
+  /// Records a completed hand-off for the allocation matrix; select()
+  /// implementations call this for every packet they return.
+  void note_sent(FlowId flow, IfaceId iface, std::uint32_t bytes);
+
+  Preferences prefs_;
+
+ private:
+  std::vector<FlowQueue> queues_;                       // by FlowId
+  std::vector<std::vector<std::uint64_t>> sent_;        // [flow][iface]
+};
+
+/// The scheduling policies this library ships.
+enum class Policy {
+  kMiDrr,           ///< the paper's contribution (Alg 3.1 + 3.2)
+  kNaiveDrr,        ///< DRR independently per interface (no service flags)
+  kPerIfaceWfq,     ///< SCFQ-style weighted fair queueing per interface
+  kRoundRobin,      ///< packet-by-packet round robin per interface
+  kFifo,            ///< one global arrival-order queue (no fairness)
+  kStrictPriority,  ///< highest weight wins (starves light flows)
+  kOracle,          ///< Section 3's global-knowledge strawman; requires a
+                    ///< capacity provider (see OracleMaxMinScheduler)
+};
+
+const char* to_string(Policy policy);
+
+/// Factory. `quantum_base` (bytes) scales DRR-family quanta: Q_i =
+/// max(1, round(phi_i * quantum_base)); ignored by WFQ / round robin.
+std::unique_ptr<Scheduler> make_scheduler(Policy policy,
+                                          std::uint32_t quantum_base = 1500);
+
+}  // namespace midrr

@@ -1,0 +1,98 @@
+#include "sched/wfq.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+double PerIfaceWfqScheduler::virtual_time(IfaceId iface) const {
+  return iface < vtime_.size() ? vtime_[iface] : 0.0;
+}
+
+void PerIfaceWfqScheduler::on_interface_added(IfaceId iface) {
+  if (active_.size() <= iface) {
+    active_.resize(static_cast<std::size_t>(iface) + 1);
+    vtime_.resize(static_cast<std::size_t>(iface) + 1, 0.0);
+  }
+  for (auto& row : finish_) {
+    if (row.size() <= iface) {
+      row.resize(static_cast<std::size_t>(iface) + 1, 0.0);
+    }
+  }
+}
+
+void PerIfaceWfqScheduler::on_interface_removed(IfaceId iface) {
+  if (iface < active_.size()) active_[iface].clear();
+}
+
+void PerIfaceWfqScheduler::on_flow_added(FlowId flow) {
+  if (finish_.size() <= flow) {
+    finish_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  finish_[flow].assign(preferences().iface_slots(), 0.0);
+}
+
+void PerIfaceWfqScheduler::deactivate_everywhere(FlowId flow) {
+  for (auto& s : active_) s.erase(flow);
+}
+
+void PerIfaceWfqScheduler::on_flow_removed(FlowId flow) {
+  deactivate_everywhere(flow);
+}
+
+void PerIfaceWfqScheduler::on_willing_changed(FlowId flow, IfaceId iface,
+                                              bool value) {
+  if (iface >= active_.size()) return;
+  if (value && !queue(flow).empty()) {
+    active_[iface].insert(flow);
+    finish_[flow][iface] = std::max(finish_[flow][iface], vtime_[iface]);
+  } else if (!value) {
+    active_[iface].erase(flow);
+  }
+}
+
+void PerIfaceWfqScheduler::on_backlogged(FlowId flow) {
+  for (IfaceId j : preferences().ifaces_of(flow)) {
+    if (j < active_.size()) {
+      active_[j].insert(flow);
+      // A (re-)entering flow starts no earlier than the tag currently in
+      // service; while continuously backlogged its finish tag accumulates
+      // on its own (clamping to V at every pick would starve low-weight
+      // flows, whose candidate tag would be recomputed forward each time).
+      finish_[flow][j] = std::max(finish_[flow][j], vtime_[j]);
+    }
+  }
+}
+
+std::optional<Packet> PerIfaceWfqScheduler::select(IfaceId iface, SimTime) {
+  MIDRR_ASSERT(iface < active_.size(), "select on unknown interface");
+  auto& act = active_[iface];
+  if (act.empty()) return std::nullopt;
+
+  // Pick the flow whose head packet has the smallest candidate finish tag.
+  FlowId best = kInvalidFlow;
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (FlowId flow : act) {
+    const auto head = queue(flow).head_size();
+    MIDRR_ASSERT(head.has_value(), "empty flow in WFQ active set");
+    const double fin = finish_[flow][iface] +
+                       static_cast<double>(*head) / preferences().weight(flow);
+    if (fin < best_finish) {
+      best_finish = fin;
+      best = flow;
+    }
+  }
+  MIDRR_ASSERT(best != kInvalidFlow, "WFQ found no candidate");
+
+  auto packet = queue(best).dequeue();
+  finish_[best][iface] = best_finish;
+  vtime_[iface] = best_finish;  // SCFQ: V_j tracks the tag in service
+  if (queue(best).empty()) {
+    deactivate_everywhere(best);
+  }
+  return packet;
+}
+
+}  // namespace midrr

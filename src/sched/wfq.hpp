@@ -1,0 +1,54 @@
+// Per-interface weighted fair queueing baseline.
+//
+// This is the strawman of the paper's Section 1/2: run WFQ independently on
+// each interface, with no cross-interface awareness.  Implementation is
+// SCFQ-style (self-clocked fair queueing, Golestani): each interface keeps
+// its own virtual time V_j (the finish tag of the packet it last chose) and
+// each (flow, interface) pair a last finish tag F_ij; the interface picks
+// the backlogged willing flow whose head packet has the smallest candidate
+// finish tag max(F_ij, V_j) + L / phi_i.
+//
+// On a single interface this provides the weighted fair allocation (and so
+// passes the same single-interface fairness tests as DRR); with interface
+// preferences it produces the paper's canonical failure: on Fig 1(c) flow a
+// gets 1.5 Mb/s and flow b 0.5 Mb/s instead of 1/1.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace midrr {
+
+class PerIfaceWfqScheduler final : public Scheduler {
+ public:
+  PerIfaceWfqScheduler() = default;
+
+  std::string policy_name() const override { return "per-iface-WFQ"; }
+
+  /// Test accessor: interface j's virtual time.
+  double virtual_time(IfaceId iface) const;
+
+ protected:
+  std::optional<Packet> select(IfaceId iface, SimTime now) override;
+
+  void on_interface_added(IfaceId iface) override;
+  void on_interface_removed(IfaceId iface) override;
+  void on_flow_added(FlowId flow) override;
+  void on_flow_removed(FlowId flow) override;
+  void on_willing_changed(FlowId flow, IfaceId iface, bool value) override;
+  void on_backlogged(FlowId flow) override;
+
+ private:
+  // Active (backlogged, willing) flows per interface; kept sorted by flow
+  // id so selection is deterministic.
+  std::vector<std::set<FlowId>> active_;            // [iface]
+  std::vector<double> vtime_;                       // [iface]
+  std::vector<std::vector<double>> finish_;         // [flow][iface]
+
+  void deactivate_everywhere(FlowId flow);
+};
+
+}  // namespace midrr

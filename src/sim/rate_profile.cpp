@@ -1,0 +1,86 @@
+#include "sim/rate_profile.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace midrr {
+
+RateProfile::RateProfile(double rate_bps) {
+  MIDRR_REQUIRE(rate_bps >= 0.0, "negative link rate");
+  points_.emplace_back(0, rate_bps);
+}
+
+RateProfile RateProfile::steps(
+    std::vector<std::pair<SimTime, double>> points) {
+  MIDRR_REQUIRE(!points.empty(), "rate profile needs at least one step");
+  MIDRR_REQUIRE(points.front().first == 0, "rate profile must start at t=0");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    MIDRR_REQUIRE(points[i].second >= 0.0, "negative link rate");
+    if (i > 0) {
+      MIDRR_REQUIRE(points[i].first > points[i - 1].first,
+                    "rate profile times must be strictly increasing");
+    }
+  }
+  RateProfile p;
+  p.points_ = std::move(points);
+  return p;
+}
+
+RateProfile RateProfile::square_wave(double hi_bps, double lo_bps,
+                                     SimDuration period, SimTime until) {
+  MIDRR_REQUIRE(period > 0, "square wave period must be positive");
+  std::vector<std::pair<SimTime, double>> pts;
+  bool hi = true;
+  for (SimTime t = 0; t <= until; t += period / 2) {
+    pts.emplace_back(t, hi ? hi_bps : lo_bps);
+    hi = !hi;
+  }
+  return steps(std::move(pts));
+}
+
+RateProfile RateProfile::gilbert_elliott(double good_bps, double bad_bps,
+                                         SimDuration mean_good,
+                                         SimDuration mean_bad, SimTime until,
+                                         std::uint64_t seed) {
+  MIDRR_REQUIRE(mean_good > 0 && mean_bad > 0,
+                "sojourn means must be positive");
+  MIDRR_REQUIRE(good_bps >= 0.0 && bad_bps >= 0.0, "negative link rate");
+  Rng rng(seed);
+  std::vector<std::pair<SimTime, double>> pts;
+  bool good = true;
+  SimTime t = 0;
+  while (t <= until) {
+    pts.emplace_back(t, good ? good_bps : bad_bps);
+    const double mean_s = to_seconds(good ? mean_good : mean_bad);
+    t += std::max<SimDuration>(kMillisecond,
+                               from_seconds(rng.exponential(mean_s)));
+    good = !good;
+  }
+  return steps(std::move(pts));
+}
+
+double RateProfile::rate_at(SimTime t) const {
+  // Last step with start <= t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime value, const auto& p) { return value < p.first; });
+  MIDRR_ASSERT(it != points_.begin(), "profile must cover t >= 0");
+  return std::prev(it)->second;
+}
+
+SimTime RateProfile::next_change_after(SimTime t) const {
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime value, const auto& p) { return value < p.first; });
+  return it == points_.end() ? kSimTimeMax : it->first;
+}
+
+double RateProfile::peak_rate() const {
+  double peak = 0.0;
+  for (const auto& [t, r] : points_) peak = std::max(peak, r);
+  return peak;
+}
+
+}  // namespace midrr

@@ -1,0 +1,56 @@
+// Piecewise-constant link capacity over time.
+//
+// Wireless links in the paper's experiments fluctuate (Fig 10 varies the
+// interface speed as the run progresses); a RateProfile captures that as a
+// step function of bits-per-second values.  A rate of zero models a link
+// that is down (the transmitter sleeps until the next change point).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace midrr {
+
+class RateProfile {
+ public:
+  /// Constant rate forever.
+  explicit RateProfile(double rate_bps);
+
+  /// Steps: (start_time, rate) pairs; first must start at 0, times strictly
+  /// increasing, rates >= 0.
+  static RateProfile steps(std::vector<std::pair<SimTime, double>> points);
+
+  /// A square wave alternating between hi and lo every `period/2`.
+  static RateProfile square_wave(double hi_bps, double lo_bps,
+                                 SimDuration period, SimTime until);
+
+  /// A Gilbert-Elliott-style wireless channel: alternates between a GOOD
+  /// state at `good_bps` and a BAD state at `bad_bps` (possibly 0 = outage),
+  /// with exponentially distributed sojourn times -- the classic two-state
+  /// model of a fading link.  Deterministic given `seed`.
+  static RateProfile gilbert_elliott(double good_bps, double bad_bps,
+                                     SimDuration mean_good,
+                                     SimDuration mean_bad, SimTime until,
+                                     std::uint64_t seed);
+
+  /// The rate in effect at time t.
+  double rate_at(SimTime t) const;
+
+  /// The next time > t at which the rate changes; kSimTimeMax if none.
+  SimTime next_change_after(SimTime t) const;
+
+  /// Largest rate anywhere in the profile.
+  double peak_rate() const;
+
+  const std::vector<std::pair<SimTime, double>>& points() const {
+    return points_;
+  }
+
+ private:
+  RateProfile() = default;
+  std::vector<std::pair<SimTime, double>> points_;
+};
+
+}  // namespace midrr

@@ -1,0 +1,43 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+void Simulator::schedule_at(SimTime at, Action action) {
+  MIDRR_REQUIRE(at >= now_, "scheduling into the past");
+  MIDRR_REQUIRE(action != nullptr, "null event action");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(SimDuration delay, Action action) {
+  MIDRR_REQUIRE(delay >= 0, "negative delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the action handle (std::function copy) and pop.
+  Entry e = queue_.top();
+  queue_.pop();
+  MIDRR_ASSERT(e.at >= now_, "event queue went backwards");
+  now_ = e.at;
+  ++executed_;
+  e.action();
+  return true;
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    step();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace midrr

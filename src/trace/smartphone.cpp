@@ -1,0 +1,116 @@
+#include "trace/smartphone.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+
+namespace midrr::trace {
+
+double SmartphoneTraceResult::p_at_least(std::uint32_t n) const {
+  if (active_cdf.empty()) return 0.0;
+  return 1.0 - active_cdf.cdf(static_cast<double>(n) - 0.5);
+}
+
+std::vector<FlowSession> generate_flow_sessions(
+    const SmartphoneTraceConfig& config) {
+  MIDRR_REQUIRE(config.total > 0, "trace length must be positive");
+  MIDRR_REQUIRE(config.flow_duration_shape > 1.0,
+                "Pareto shape must exceed 1 for a finite mean");
+  Rng rng(config.seed);
+  std::vector<FlowSession> sessions;
+
+  const auto add_flow = [&](SimTime start, double duration_s, bool burst) {
+    FlowSession s;
+    s.start = start;
+    s.duration = std::min(config.total, start + from_seconds(std::max(
+                                            duration_s, 0.05))) -
+                 start;
+    s.from_burst = burst;
+    sessions.push_back(s);
+  };
+
+  // Pareto with mean m and shape a has scale xm = m * (a - 1) / a.
+  const auto pareto_duration = [&](double mean, double shape) {
+    const double xm = mean * (shape - 1.0) / shape;
+    return rng.pareto(xm, shape);
+  };
+
+  // Single-flow sessions.
+  {
+    const double mean_gap_s = 60.0 / config.flow_arrivals_per_minute;
+    SimTime t = 0;
+    while (true) {
+      t += from_seconds(rng.exponential(mean_gap_s));
+      if (t >= config.total) break;
+      add_flow(t,
+               pareto_duration(config.flow_duration_mean_s,
+                               config.flow_duration_shape),
+               false);
+    }
+  }
+
+  // Web-page bursts: several parallel flows starting together.
+  if (config.burst_arrivals_per_minute > 0.0) {
+    const double mean_gap_s = 60.0 / config.burst_arrivals_per_minute;
+    SimTime t = 0;
+    while (true) {
+      t += from_seconds(rng.exponential(mean_gap_s));
+      if (t >= config.total) break;
+      const auto k = static_cast<std::uint32_t>(rng.uniform_int(
+          config.burst_flows_min, config.burst_flows_max));
+      for (std::uint32_t i = 0; i < k; ++i) {
+        add_flow(t + from_seconds(rng.uniform(0.0, 0.5)),
+                 rng.exponential(config.burst_flow_duration_mean_s), true);
+      }
+    }
+  }
+
+  std::sort(sessions.begin(), sessions.end(),
+            [](const FlowSession& a, const FlowSession& b) {
+              return a.start < b.start;
+            });
+  return sessions;
+}
+
+SmartphoneTraceResult generate_smartphone_trace(
+    const SmartphoneTraceConfig& config) {
+  const auto sessions = generate_flow_sessions(config);
+
+  // Flow start/end events as +1/-1 deltas on a time-sorted map.
+  std::map<SimTime, std::int32_t> deltas;
+  const std::uint64_t total_flows = sessions.size();
+  for (const FlowSession& s : sessions) {
+    deltas[s.start] += 1;
+    deltas[std::min(s.start + s.duration, config.total)] -= 1;
+  }
+
+  // Sweep time, sampling the concurrency level at fixed intervals.
+  SmartphoneTraceResult result;
+  result.total_flows = total_flows;
+  std::int64_t level = 0;
+  auto it = deltas.begin();
+  std::uint64_t active_samples = 0;
+  std::uint64_t samples = 0;
+  for (SimTime t = 0; t < config.total; t += config.sample_interval) {
+    while (it != deltas.end() && it->first <= t) {
+      level += it->second;
+      ++it;
+    }
+    MIDRR_ASSERT(level >= 0, "negative concurrency level");
+    ++samples;
+    if (level >= 1) {
+      ++active_samples;
+      result.active_cdf.add(static_cast<double>(level));
+      result.max_concurrent =
+          std::max(result.max_concurrent, static_cast<std::uint32_t>(level));
+    }
+  }
+  result.fraction_active =
+      samples > 0 ? static_cast<double>(active_samples) /
+                        static_cast<double>(samples)
+                  : 0.0;
+  return result;
+}
+
+}  // namespace midrr::trace

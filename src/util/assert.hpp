@@ -1,0 +1,64 @@
+// Assertion and precondition helpers for the midrr library.
+//
+// Two levels are provided:
+//   MIDRR_REQUIRE(cond, msg)  -- precondition on a public API boundary.
+//                                Always checked; throws midrr::PreconditionError.
+//   MIDRR_ASSERT(cond, msg)   -- internal invariant. Checked in all builds
+//                                (the costs are negligible next to packet
+//                                processing) and throws midrr::InvariantError
+//                                so tests can observe violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace midrr {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+/// Thrown when an internal invariant of the library is broken (a bug).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void precondition_failed(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + cond + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+
+[[noreturn]] inline void invariant_failed(const char* cond, const char* file,
+                                          int line, const std::string& msg) {
+  throw InvariantError(std::string("invariant violated: ") + cond + " at " +
+                       file + ":" + std::to_string(line) +
+                       (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace detail
+}  // namespace midrr
+
+#define MIDRR_REQUIRE(cond, msg)                                         \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::midrr::detail::precondition_failed(#cond, __FILE__, __LINE__,    \
+                                           (msg));                       \
+    }                                                                    \
+  } while (false)
+
+#define MIDRR_ASSERT(cond, msg)                                          \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::midrr::detail::invariant_failed(#cond, __FILE__, __LINE__,       \
+                                        (msg));                          \
+    }                                                                    \
+  } while (false)

@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header)
+    : out_(out), columns_(header.size()) {
+  MIDRR_REQUIRE(!header.empty(), "CSV header must not be empty");
+  row(header);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  MIDRR_REQUIRE(fields.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row_values(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << v;
+    fields.push_back(ss.str());
+  }
+  row(fields);
+}
+
+void write_time_series_csv(std::ostream& out,
+                           const std::vector<const TimeSeries*>& series) {
+  CsvWriter csv(out, {"series", "t_seconds", "value"});
+  for (const TimeSeries* s : series) {
+    MIDRR_REQUIRE(s != nullptr, "null time series");
+    for (const auto& [t, v] : s->points()) {
+      std::ostringstream ts;
+      ts << to_seconds(t);
+      std::ostringstream vs;
+      vs << v;
+      csv.row({s->name(), ts.str(), vs.str()});
+    }
+  }
+}
+
+void write_cdf_csv(std::ostream& out, const EmpiricalCdf& cdf,
+                   const std::string& value_label) {
+  CsvWriter csv(out, {value_label, "cum_probability"});
+  for (const auto& [v, p] : cdf.curve()) {
+    std::ostringstream vs;
+    vs << v;
+    std::ostringstream ps;
+    ps << p;
+    csv.row({vs.str(), ps.str()});
+  }
+}
+
+}  // namespace midrr

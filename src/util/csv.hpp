@@ -1,0 +1,43 @@
+// CSV emission for the benchmark harness.
+//
+// Every figure-reproducing bench both prints a human-readable summary to
+// stdout and (optionally) writes the raw series as CSV so the figures can be
+// re-plotted externally.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace midrr {
+
+/// Streams rows of a fixed-width CSV table. Fields containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& fields);
+  void row_values(const std::vector<double>& values);
+
+  std::size_t columns() const { return columns_; }
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+/// Writes several time series as long-format CSV: series,name / t_seconds /
+/// value.  Series may have different lengths.
+void write_time_series_csv(std::ostream& out,
+                           const std::vector<const TimeSeries*>& series);
+
+/// Writes a CDF curve as CSV: value,cum_probability.
+void write_cdf_csv(std::ostream& out, const EmpiricalCdf& cdf,
+                   const std::string& value_label);
+
+}  // namespace midrr

@@ -1,0 +1,35 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace midrr {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger() : sink_(&std::cerr) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(std::ostream* sink) {
+  sink_ = (sink != nullptr) ? sink : &std::cerr;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  (*sink_) << "[" << to_string(level) << "] " << message << '\n';
+}
+
+}  // namespace midrr

@@ -1,0 +1,73 @@
+// Minimal leveled logger.
+//
+// The library itself logs nothing at Info by default; simulations and the
+// benchmark harness raise the level when tracing a run.  Output goes to a
+// caller-provided std::ostream (stderr by default) so tests can capture it.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace midrr {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+const char* to_string(LogLevel level);
+
+/// Process-wide logger configuration; not thread-safe by design (the
+/// simulator is single-threaded; the kernel-bridge analog takes a lock
+/// around scheduling, not logging).
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void set_sink(std::ostream* sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  LogLevel level_ = LogLevel::kWarn;
+  std::ostream* sink_;
+};
+
+namespace detail {
+
+/// Builds one log line in a temporary stream and flushes it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Logger::instance().write(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace midrr
+
+#define MIDRR_LOG(level)                                  \
+  if (!::midrr::Logger::instance().enabled(level)) {      \
+  } else                                                  \
+    ::midrr::detail::LogLine(level)
+
+#define MIDRR_LOG_TRACE() MIDRR_LOG(::midrr::LogLevel::kTrace)
+#define MIDRR_LOG_DEBUG() MIDRR_LOG(::midrr::LogLevel::kDebug)
+#define MIDRR_LOG_INFO() MIDRR_LOG(::midrr::LogLevel::kInfo)
+#define MIDRR_LOG_WARN() MIDRR_LOG(::midrr::LogLevel::kWarn)
+#define MIDRR_LOG_ERROR() MIDRR_LOG(::midrr::LogLevel::kError)

@@ -1,0 +1,80 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components of the library (traffic sources, trace
+// generators, property-test scenario generators) draw from an explicitly
+// seeded midrr::Rng so every run is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+/// A seeded pseudo-random generator with the handful of distributions the
+/// library needs.  Thin wrapper over std::mt19937_64; never seeded from
+/// entropy implicitly.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    MIDRR_REQUIRE(lo <= hi, "uniform_int with empty range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    MIDRR_REQUIRE(lo <= hi, "uniform with inverted range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with probability `p` of true.
+  bool coin(double p) {
+    MIDRR_REQUIRE(p >= 0.0 && p <= 1.0, "coin probability outside [0,1]");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) {
+    MIDRR_REQUIRE(mean > 0.0, "exponential with non-positive mean");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Geometric-ish integer >= 1 with the given mean (>= 1).
+  std::int64_t geometric_at_least_one(double mean) {
+    MIDRR_REQUIRE(mean >= 1.0, "geometric mean must be >= 1");
+    if (mean == 1.0) return 1;
+    std::geometric_distribution<std::int64_t> d(1.0 / mean);
+    return 1 + d(engine_);
+  }
+
+  /// Pareto-distributed value with scale `xm` and shape `alpha`.
+  /// Used for heavy-tailed flow sizes (web-like workloads).
+  double pareto(double xm, double alpha) {
+    MIDRR_REQUIRE(xm > 0.0 && alpha > 0.0, "pareto parameters must be > 0");
+    const double u = uniform(std::numeric_limits<double>::min(), 1.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    MIDRR_REQUIRE(!weights.empty(), "weighted_index with no weights");
+    std::discrete_distribution<std::size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Derives an independent child generator; useful to give each component
+  /// its own stream while keeping a single master seed.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace midrr

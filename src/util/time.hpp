@@ -1,0 +1,64 @@
+// Simulated-time primitives.
+//
+// Simulation time is kept as an integral nanosecond count so that event
+// ordering is exact and runs are bit-reproducible; rates are double
+// bits-per-second.  Conversions between (bytes, rate) and durations live
+// here so rounding policy is in one place: transmission durations round up
+// to the next nanosecond, so a link can never send faster than its rate.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+/// Simulated duration in nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimDuration kNanosecond = 1;
+inline constexpr SimDuration kMicrosecond = 1'000;
+inline constexpr SimDuration kMillisecond = 1'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000;
+
+/// Converts a duration in (fractional) seconds to nanoseconds, rounding to
+/// nearest.
+constexpr SimDuration from_seconds(double seconds) {
+  return static_cast<SimDuration>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts nanoseconds to fractional seconds (for reporting only).
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Duration needed to transmit `bytes` at `rate_bps` bits per second,
+/// rounded up to a whole nanosecond.  `rate_bps` must be positive.
+inline SimDuration transmission_time(std::uint64_t bytes, double rate_bps) {
+  MIDRR_REQUIRE(rate_bps > 0.0, "transmission over a zero/negative-rate link");
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / rate_bps;
+  return static_cast<SimDuration>(
+      std::ceil(seconds * static_cast<double>(kSecond)));
+}
+
+/// Average rate in bits per second achieved by sending `bytes` over `d`.
+inline double rate_bps(std::uint64_t bytes, SimDuration d) {
+  MIDRR_REQUIRE(d > 0, "rate over an empty interval");
+  return static_cast<double>(bytes) * 8.0 / to_seconds(d);
+}
+
+/// Convenience literals-ish helpers (Mb/s is the paper's reporting unit).
+constexpr double mbps(double v) { return v * 1e6; }
+constexpr double kbps(double v) { return v * 1e3; }
+constexpr double gbps(double v) { return v * 1e9; }
+constexpr double to_mbps(double bps) { return bps / 1e6; }
+
+}  // namespace midrr

@@ -1,0 +1,115 @@
+// Theorem 1: with interface preferences, no causal scheduler can compute
+// the relative finishing order of head-of-line packets, because the order
+// depends on FUTURE arrivals.  We reproduce the paper's Section 2.1
+// counterexample on the fluid (ideal bit-by-bit) system.
+//
+// Setup: flows a (willing if1+if2) and b (willing if2 only), equal weights,
+// both interfaces 1 Mb/s.  Head packets at t=0: p_a = L/2 bits, p_b = L.
+//   Scenario 1 (no future arrivals): each flow runs at 1 Mb/s;
+//     p_b (L bits at 1 Mb/s) finishes BEFORE p_a would if a stayed at its
+//     max-min rate... in the paper's fluid argument f_a = L, f_b = L/2 in
+//     virtual time: b finishes first.
+//   Scenario 2 (three flows arrive on if2 right after t=0): flow a keeps
+//     1 Mb/s via if1, but b drops to 1/4 Mb/s; now p_a finishes first.
+#include <gtest/gtest.h>
+
+#include "fairness/fluid.hpp"
+
+namespace midrr::fair {
+namespace {
+
+constexpr double kLinkBps = 1e6;
+constexpr std::uint64_t kL = 125'000;  // 1 Mbit in bytes
+
+TEST(Theorem1, ScenarioOneBFinishesFirst) {
+  FluidSystem fluid({kLinkBps, kLinkBps});
+  const auto a = fluid.add_flow(1.0, {true, true});
+  const auto b = fluid.add_flow(1.0, {false, true});
+  fluid.add_arrival(a, 0, kL / 2);
+  fluid.add_arrival(b, 0, kL);
+  fluid.run_until(100 * kSecond);
+  ASSERT_TRUE(fluid.drained_at(a).has_value());
+  ASSERT_TRUE(fluid.drained_at(b).has_value());
+  // a has L/2 bits: at >= 1 Mb/s it drains in <= 0.5 s; b needs 1 s.
+  EXPECT_LT(*fluid.drained_at(a), *fluid.drained_at(b));
+  // ...so with only these two packets a actually finishes first in wall
+  // time; the paper's PGPS argument is about *virtual* finishing tags.
+  // The causality flip below is what matters: b's completion time changes
+  // radically with future arrivals while a's does not.
+  EXPECT_NEAR(to_seconds(*fluid.drained_at(b)), 1.0, 0.01);
+}
+
+TEST(Theorem1, ScenarioTwoFutureArrivalsFlipRelativeService) {
+  // Same start, but 3 new flows (if2-only) arrive just after t=0 with
+  // large backlogs.
+  FluidSystem fluid({kLinkBps, kLinkBps});
+  const auto a = fluid.add_flow(1.0, {true, true});
+  const auto b = fluid.add_flow(1.0, {false, true});
+  fluid.add_arrival(a, 0, kL / 2);
+  fluid.add_arrival(b, 0, kL);
+  for (int k = 0; k < 3; ++k) {
+    const auto f = fluid.add_flow(1.0, {false, true});
+    fluid.add_arrival(f, kMillisecond, 10 * kL);
+  }
+  fluid.run_until(100 * kSecond);
+  ASSERT_TRUE(fluid.drained_at(a).has_value());
+  ASSERT_TRUE(fluid.drained_at(b).has_value());
+  // Flow a is unaffected (~0.5 s); flow b now shares if2 four ways and
+  // takes ~4x longer (~4 s).
+  EXPECT_NEAR(to_seconds(*fluid.drained_at(a)), 0.5, 0.02);
+  EXPECT_GT(to_seconds(*fluid.drained_at(b)), 3.5);
+}
+
+TEST(Theorem1, WithoutPreferencesFateSharingPreservesOrder) {
+  // Fig 1(b) variant: both flows willing on both interfaces.  New arrivals
+  // slow a and b proportionally (fate-sharing), so their relative order is
+  // stable regardless of the future.
+  for (const bool with_arrivals : {false, true}) {
+    FluidSystem fluid({kLinkBps, kLinkBps});
+    const auto a = fluid.add_flow(1.0, {true, true});
+    const auto b = fluid.add_flow(1.0, {true, true});
+    fluid.add_arrival(a, 0, kL / 2);
+    fluid.add_arrival(b, 0, kL);
+    if (with_arrivals) {
+      for (int k = 0; k < 3; ++k) {
+        const auto f = fluid.add_flow(1.0, {true, true});
+        fluid.add_arrival(f, kMillisecond, 10 * kL);
+      }
+    }
+    fluid.run_until(1000 * kSecond);
+    ASSERT_TRUE(fluid.drained_at(a).has_value());
+    ASSERT_TRUE(fluid.drained_at(b).has_value());
+    EXPECT_LT(*fluid.drained_at(a), *fluid.drained_at(b))
+        << "with_arrivals=" << with_arrivals;
+  }
+}
+
+TEST(FluidSystem, MatchesMaxMinRatesInstantaneously) {
+  FluidSystem fluid({3e6, 10e6});
+  const auto a = fluid.add_flow(1.0, {true, false});
+  const auto b = fluid.add_flow(2.0, {true, true});
+  const auto c = fluid.add_flow(1.0, {false, true});
+  fluid.add_arrival(a, 0, 100'000'000);
+  fluid.add_arrival(b, 0, 100'000'000);
+  fluid.add_arrival(c, 0, 100'000'000);
+  fluid.run_until(kSecond);
+  EXPECT_NEAR(fluid.current_rate_bps(a), 3e6, 1e3);
+  EXPECT_NEAR(fluid.current_rate_bps(b), 6.667e6, 1e4);
+  EXPECT_NEAR(fluid.current_rate_bps(c), 3.333e6, 1e4);
+}
+
+TEST(FluidSystem, ServiceAccumulatesConsistently) {
+  FluidSystem fluid({1e6});
+  const auto a = fluid.add_flow(1.0, {true});
+  fluid.add_arrival(a, 0, 250'000);  // 2 s at 1 Mb/s
+  fluid.run_until(kSecond);
+  EXPECT_NEAR(fluid.service_bytes(a), 125'000.0, 100.0);
+  EXPECT_NEAR(fluid.backlog_bytes(a), 125'000.0, 100.0);
+  fluid.run_until(5 * kSecond);
+  EXPECT_NEAR(fluid.service_bytes(a), 250'000.0, 100.0);
+  ASSERT_TRUE(fluid.drained_at(a).has_value());
+  EXPECT_NEAR(to_seconds(*fluid.drained_at(a)), 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace midrr::fair

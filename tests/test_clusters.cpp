@@ -1,0 +1,142 @@
+// Unit tests for cluster detection (Definition 2) and the Theorem 2
+// max-min conditions checker -- both directions: solver outputs satisfy the
+// conditions, and hand-crafted violations are caught.
+#include <gtest/gtest.h>
+
+#include "fairness/clusters.hpp"
+#include "fairness/maxmin.hpp"
+
+namespace midrr::fair {
+namespace {
+
+constexpr double kMbps = 1e6;
+
+MaxMinInput fig6_input() {
+  MaxMinInput in;
+  in.weights = {1.0, 2.0, 1.0};
+  in.capacities_bps = {3 * kMbps, 10 * kMbps};
+  in.willing = {{true, false}, {false, true}, {false, true}};
+  return in;
+}
+
+TEST(Clusters, Fig6PhaseOneTwoClusters) {
+  const auto in = fig6_input();
+  const auto solved = solve_max_min(in);
+  const auto analysis = analyze_clusters(in, solved.alloc_bps);
+  ASSERT_EQ(analysis.clusters.size(), 2u);
+  // {a | if1} at 3 Mb/s normalized; {b, c | if2} at 3.33 Mb/s normalized.
+  EXPECT_NE(analysis.flow_cluster[0], analysis.flow_cluster[1]);
+  EXPECT_EQ(analysis.flow_cluster[1], analysis.flow_cluster[2]);
+  EXPECT_EQ(analysis.iface_cluster[0], analysis.flow_cluster[0]);
+  EXPECT_EQ(analysis.iface_cluster[1], analysis.flow_cluster[1]);
+  const double r_a =
+      analysis.clusters[analysis.flow_cluster[0]].normalized_rate;
+  const double r_bc =
+      analysis.clusters[analysis.flow_cluster[1]].normalized_rate;
+  EXPECT_NEAR(r_a, 3 * kMbps, 1e4);
+  EXPECT_NEAR(r_bc, 10.0 / 3.0 * kMbps, 1e4);
+}
+
+TEST(Clusters, AggregatedFlowMergesClusters) {
+  // After flow a ends (Fig 6 middle phase): b uses both interfaces, so b, c,
+  // if1 and if2 form a single cluster.
+  MaxMinInput in;
+  in.weights = {2.0, 1.0};
+  in.capacities_bps = {3 * kMbps, 10 * kMbps};
+  in.willing = {{true, true}, {false, true}};
+  const auto solved = solve_max_min(in);
+  const auto analysis = analyze_clusters(in, solved.alloc_bps);
+  ASSERT_EQ(analysis.clusters.size(), 1u);
+  EXPECT_EQ(analysis.clusters[0].flows.size(), 2u);
+  EXPECT_EQ(analysis.clusters[0].ifaces.size(), 2u);
+  EXPECT_NEAR(analysis.clusters[0].normalized_rate, 13.0 / 3.0 * kMbps, 1e4);
+}
+
+TEST(Clusters, IdleFlowHasNoCluster) {
+  MaxMinInput in;
+  in.weights = {1.0, 1.0};
+  in.capacities_bps = {5 * kMbps};
+  in.willing = {{true}, {false}};
+  const auto solved = solve_max_min(in);
+  const auto analysis = analyze_clusters(in, solved.alloc_bps);
+  ASSERT_EQ(analysis.clusters.size(), 1u);
+  EXPECT_EQ(analysis.flow_cluster[1], std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Theorem2, SolverOutputSatisfiesConditions) {
+  const auto in = fig6_input();
+  const auto solved = solve_max_min(in);
+  EXPECT_EQ(check_max_min_conditions(in, solved.alloc_bps), std::nullopt);
+}
+
+TEST(Theorem2, DetectsUnequalSharingViolation) {
+  // Two flows share one 2 Mb/s interface but at 1.5/0.5 -- condition 1.
+  MaxMinInput in;
+  in.weights = {1.0, 1.0};
+  in.capacities_bps = {2 * kMbps};
+  in.willing = {{true}, {true}};
+  const std::vector<std::vector<double>> bad = {{1.5 * kMbps}, {0.5 * kMbps}};
+  const auto violation = check_max_min_conditions(in, bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("condition 1"), std::string::npos);
+}
+
+TEST(Theorem2, DetectsStarvedWillingFlowViolation) {
+  // The WFQ failure of Fig 1(c): a=1.5 (0.5 of it on if2), b=0.5.
+  // Flow b is willing on if2 where a is active at a higher level ->
+  // condition 2... actually a and b share if2 at different levels, which is
+  // condition 1; also craft a pure condition-2 case: b idle on if2 entirely.
+  MaxMinInput in;
+  in.weights = {1.0, 1.0};
+  in.capacities_bps = {1 * kMbps, 1 * kMbps};
+  in.willing = {{true, true}, {false, true}};
+  // a hogs both interfaces; b gets nothing despite being willing on if2.
+  const std::vector<std::vector<double>> bad = {{1 * kMbps, 1 * kMbps},
+                                                {0.0, 0.0}};
+  const auto violation = check_max_min_conditions(in, bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("condition 2"), std::string::npos);
+}
+
+TEST(Theorem2, DetectsPreferenceViolation) {
+  MaxMinInput in;
+  in.weights = {1.0};
+  in.capacities_bps = {1 * kMbps, 1 * kMbps};
+  in.willing = {{false, true}};
+  const std::vector<std::vector<double>> bad = {{0.5 * kMbps, 0.5 * kMbps}};
+  const auto violation = check_max_min_conditions(in, bad);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("unwilling"), std::string::npos);
+}
+
+TEST(Theorem2, WeightedSharingIsNotAViolation) {
+  // 2:1 sharing with 2:1 weights is exactly condition 1 in weighted form.
+  MaxMinInput in;
+  in.weights = {2.0, 1.0};
+  in.capacities_bps = {3 * kMbps};
+  in.willing = {{true}, {true}};
+  const std::vector<std::vector<double>> good = {{2 * kMbps}, {1 * kMbps}};
+  EXPECT_EQ(check_max_min_conditions(in, good), std::nullopt);
+}
+
+TEST(Theorem2, EmptyAllocationIsConsistent) {
+  MaxMinInput in;
+  in.weights = {1.0};
+  in.capacities_bps = {1 * kMbps};
+  in.willing = {{true}};
+  const std::vector<std::vector<double>> zero = {{0.0}};
+  EXPECT_EQ(check_max_min_conditions(in, zero), std::nullopt);
+}
+
+TEST(Clusters, FormatRendersNamesAndRates) {
+  const auto in = fig6_input();
+  const auto solved = solve_max_min(in);
+  const auto analysis = analyze_clusters(in, solved.alloc_bps);
+  const auto text =
+      format_clusters(analysis, {"a", "b", "c"}, {"if1", "if2"});
+  EXPECT_NE(text.find("{a | if1}"), std::string::npos);
+  EXPECT_NE(text.find("{b,c | if2}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace midrr::fair

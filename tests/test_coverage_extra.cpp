@@ -1,0 +1,139 @@
+// Last-mile coverage: observer on plain DRR, scenario-text jitter knob,
+// policy compiler on an empty world, and the bridge under UDP traffic.
+#include <gtest/gtest.h>
+
+#include "bridge/bridge.hpp"
+#include "core/scenario_text.hpp"
+#include "policy/compiler.hpp"
+#include "sched/drr.hpp"
+#include "sched/midrr.hpp"
+#include "sched/observer.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(ObserverOnNaiveDrr, GrantsAndSendsButNeverSkips) {
+  NaiveDrrScheduler s(1500);
+  TraceRecorder trace;
+  s.set_observer(&trace);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 10; ++i) {
+    s.enqueue(Packet(a, 1000), 0);
+    s.enqueue(Packet(b, 1000), 0);
+  }
+  for (int i = 0; i < 20; ++i) s.dequeue(j, 0);
+  EXPECT_EQ(trace.sends(a, j) + trace.sends(b, j), 20u);
+  EXPECT_EQ(trace.skips(a, j), 0u) << "naive DRR has no flags to skip on";
+  EXPECT_EQ(trace.skips(b, j), 0u);
+  // One 1500-byte quantum covers 1.5 of the 1000-byte packets, so ten
+  // packets need about seven grants.
+  EXPECT_GE(trace.grants(a, j), 6u);
+}
+
+TEST(ScenarioTextJitter, ParsedAndBounded) {
+  const auto parsed = parse_scenario_text(R"(
+[interface i]
+rate = 1mbps
+[flow f]
+ifaces = i
+[run]
+jitter = 0.05
+)");
+  EXPECT_DOUBLE_EQ(parsed.run.options.link_jitter, 0.05);
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "[flow f]\nifaces = i\n"
+                                   "[run]\njitter = 1.5\n"),
+               ScenarioParseError);
+}
+
+TEST(PolicyCompiler, NoInterfacesCompilesToEmpty) {
+  policy::PreferenceCompiler c;
+  const auto p = c.compile("anything");
+  EXPECT_TRUE(p.willing.empty());
+  EXPECT_DOUBLE_EQ(p.weight, 1.0);
+}
+
+TEST(PolicyCompiler, ReAddingInterfaceReplacesAttributes) {
+  policy::PreferenceCompiler c;
+  c.add_interface({"wifi", /*metered=*/false, 10 * kMillisecond, 0});
+  c.add_interface({"wifi", /*metered=*/true, 10 * kMillisecond, 0});
+  ASSERT_EQ(c.interfaces().size(), 1u);
+  EXPECT_TRUE(c.interfaces()[0].metered);
+}
+
+TEST(BridgeUdp, DnsStyleTrafficSteersAndReturns) {
+  using namespace midrr::bridge;
+  using net::FrameBuilder;
+  using net::Ipv4Address;
+  using net::MacAddress;
+  const Ipv4Address virt_ip(10, 200, 0, 1);
+  VirtualBridge bridge(std::make_unique<MiDrrScheduler>(1500),
+                       MacAddress::local(0), virt_ip);
+  const IfaceId lte = bridge.add_physical(
+      {"wwan0", MacAddress::local(2), Ipv4Address(100, 64, 3, 9)});
+  const FlowId dns = bridge.add_flow(1.0, {lte}, "dns");
+  bridge.classifier().add_rule(
+      {.proto = net::IpProto::kUdp, .dst_port = 53, .flow = dns});
+
+  auto query = FrameBuilder()
+                   .eth_src(MacAddress::local(0))
+                   .eth_dst(MacAddress::local(9))
+                   .ip_src(virt_ip)
+                   .ip_dst(Ipv4Address(8, 8, 8, 8))
+                   .udp(51000, 53)
+                   .payload_size(32)
+                   .build();
+  ASSERT_EQ(bridge.send_from_app(std::move(query), 0), dns);
+  const auto wire = bridge.next_frame(lte, 0);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_TRUE(wire->checksums_valid());
+  const auto view = wire->parse();
+  ASSERT_TRUE(view->udp.has_value());
+  EXPECT_EQ(view->ip.src.to_string(), "100.64.3.9");
+
+  auto answer = FrameBuilder()
+                    .eth_src(MacAddress::local(9))
+                    .eth_dst(MacAddress::local(2))
+                    .ip_src(Ipv4Address(8, 8, 8, 8))
+                    .ip_dst(view->ip.src)
+                    .udp(53, view->udp->src_port)
+                    .payload_size(64)
+                    .build();
+  const auto delivered = bridge.receive_from_network(lte, std::move(answer));
+  ASSERT_TRUE(delivered.has_value());
+  EXPECT_EQ(delivered->parse()->ip.dst, virt_ip);
+  EXPECT_TRUE(delivered->checksums_valid());
+}
+
+TEST(BridgeQueueCap, DropsAccountedInStats) {
+  using namespace midrr::bridge;
+  using net::FrameBuilder;
+  using net::Ipv4Address;
+  using net::MacAddress;
+  const Ipv4Address virt_ip(10, 200, 0, 1);
+  VirtualBridge bridge(std::make_unique<MiDrrScheduler>(1500),
+                       MacAddress::local(0), virt_ip);
+  const IfaceId wifi = bridge.add_physical(
+      {"wlan0", MacAddress::local(1), Ipv4Address(192, 168, 1, 2)});
+  // Tiny queue: two ~550-byte frames fit, the third drops.
+  const FlowId f = bridge.scheduler().add_flow(1.0, {wifi}, "f", 1200);
+  bridge.classifier().set_default_flow(f);
+  for (int i = 0; i < 3; ++i) {
+    bridge.send_from_app(FrameBuilder()
+                             .eth_src(MacAddress::local(0))
+                             .eth_dst(MacAddress::local(9))
+                             .ip_src(virt_ip)
+                             .ip_dst(Ipv4Address(1, 1, 1, 1))
+                             .tcp(1000, 80)
+                             .payload_size(500)
+                             .build(),
+                         0);
+  }
+  EXPECT_EQ(bridge.stats().app_frames_dropped_queue, 1u);
+  EXPECT_EQ(bridge.scheduler().backlog_packets(f), 2u);
+}
+
+}  // namespace
+}  // namespace midrr

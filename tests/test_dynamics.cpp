@@ -1,0 +1,160 @@
+// Dynamic behaviour: the paper's "use new capacity" property (Section 2,
+// property 4) plus failure injection -- interfaces dying and reviving,
+// flows arriving late and leaving, capacity changes mid-run.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(Dynamics, LateFlowGetsItsFairShare) {
+  // One flow owns a 2 Mb/s interface; a second equal-weight flow arrives at
+  // t = 10 s; both converge to 1 Mb/s.
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(2)));
+  sc.backlogged_flow("early", 1.0, {"if1"});
+  sc.backlogged_flow("late", 1.0, {"if1"}, 0, 1500, 10 * kSecond);
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(40 * kSecond);
+  EXPECT_NEAR(result.flow_named("early").mean_rate_mbps(2 * kSecond,
+                                                        9 * kSecond),
+              2.0, 0.1);
+  EXPECT_NEAR(result.flow_named("early").mean_rate_mbps(20 * kSecond,
+                                                        40 * kSecond),
+              1.0, 0.07);
+  EXPECT_NEAR(result.flow_named("late").mean_rate_mbps(20 * kSecond,
+                                                       40 * kSecond),
+              1.0, 0.07);
+}
+
+TEST(Dynamics, NewInterfaceCapacityIsUsed) {
+  // An interface that is down until t = 15 s comes up; the flow willing to
+  // use it should absorb the new capacity (property 4).
+  Scenario sc;
+  sc.interface("always", RateProfile(mbps(1)));
+  sc.interface("later", RateProfile::steps({{0, 0.0}, {15 * kSecond, mbps(2)}}));
+  sc.backlogged_flow("a", 1.0, {"always", "later"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(40 * kSecond);
+  EXPECT_NEAR(result.flow_named("a").mean_rate_mbps(5 * kSecond, 14 * kSecond),
+              1.0, 0.07);
+  EXPECT_NEAR(result.flow_named("a").mean_rate_mbps(20 * kSecond, 40 * kSecond),
+              3.0, 0.15);
+}
+
+TEST(Dynamics, InterfaceOutageRedistributesLoad) {
+  // Two interfaces; flow "both" can use either, flow "pinned" only if2.
+  // During if1's outage, both flows share if2.
+  Scenario sc;
+  sc.interface_with_outage("if1", RateProfile(mbps(2)), 10 * kSecond,
+                           20 * kSecond);
+  sc.interface("if2", RateProfile(mbps(2)));
+  sc.backlogged_flow("both", 1.0, {"if1", "if2"});
+  sc.backlogged_flow("pinned", 1.0, {"if2"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(35 * kSecond);
+  // Before outage: both=2 (if1), pinned=2 (if2).
+  EXPECT_NEAR(result.flow_named("both").mean_rate_mbps(3 * kSecond,
+                                                       9 * kSecond),
+              2.0, 0.15);
+  EXPECT_NEAR(result.flow_named("pinned").mean_rate_mbps(3 * kSecond,
+                                                         9 * kSecond),
+              2.0, 0.15);
+  // During outage: they share if2 at 1 each.
+  EXPECT_NEAR(result.flow_named("both").mean_rate_mbps(13 * kSecond,
+                                                       19 * kSecond),
+              1.0, 0.12);
+  EXPECT_NEAR(result.flow_named("pinned").mean_rate_mbps(13 * kSecond,
+                                                         19 * kSecond),
+              1.0, 0.12);
+  // After recovery both return to 2.
+  EXPECT_NEAR(result.flow_named("both").mean_rate_mbps(25 * kSecond,
+                                                       34 * kSecond),
+              2.0, 0.15);
+}
+
+TEST(Dynamics, FlowCompletionFreesCapacityForCluster) {
+  // Equal flows on one interface; when one completes the other doubles.
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(2)));
+  sc.backlogged_flow("short", 1.0, {"if1"}, 1'250'000);  // 10 s at 1 Mb/s
+  sc.backlogged_flow("long", 1.0, {"if1"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(30 * kSecond);
+  const auto& short_flow = result.flow_named("short");
+  ASSERT_TRUE(short_flow.completed_at.has_value());
+  EXPECT_NEAR(to_seconds(*short_flow.completed_at), 10.0, 1.0);
+  EXPECT_NEAR(result.flow_named("long").mean_rate_mbps(15 * kSecond,
+                                                       30 * kSecond),
+              2.0, 0.1);
+}
+
+TEST(Dynamics, CapacityIncreaseRaisesWholeCluster) {
+  Scenario sc;
+  sc.interface("if1",
+               RateProfile::steps({{0, mbps(2)}, {10 * kSecond, mbps(6)}}));
+  sc.backlogged_flow("x", 1.0, {"if1"});
+  sc.backlogged_flow("y", 2.0, {"if1"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(30 * kSecond);
+  // Weighted 1:2 split of 2 Mb/s then of 6 Mb/s.
+  EXPECT_NEAR(result.flow_named("x").mean_rate_mbps(3 * kSecond, 9 * kSecond),
+              0.667, 0.07);
+  EXPECT_NEAR(result.flow_named("y").mean_rate_mbps(3 * kSecond, 9 * kSecond),
+              1.333, 0.10);
+  EXPECT_NEAR(result.flow_named("x").mean_rate_mbps(15 * kSecond, 30 * kSecond),
+              2.0, 0.12);
+  EXPECT_NEAR(result.flow_named("y").mean_rate_mbps(15 * kSecond, 30 * kSecond),
+              4.0, 0.20);
+}
+
+TEST(Dynamics, ArrivalProcessFlowsCoexistWithBacklogged) {
+  // A 0.5 Mb/s CBR flow (not backlogged) under miDRR keeps its arrival rate
+  // while a backlogged flow soaks up the rest of a 2 Mb/s link.
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(2)));
+  FlowSpec cbr;
+  cbr.name = "voip";
+  cbr.weight = 1.0;
+  cbr.ifaces = {"if1"};
+  cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(0.5), 200); };
+  sc.flow(std::move(cbr));
+  sc.backlogged_flow("bulk", 1.0, {"if1"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(30 * kSecond);
+  EXPECT_NEAR(result.flow_named("voip").mean_rate_mbps(5 * kSecond,
+                                                       30 * kSecond),
+              0.5, 0.05);
+  EXPECT_NEAR(result.flow_named("bulk").mean_rate_mbps(5 * kSecond,
+                                                       30 * kSecond),
+              1.5, 0.08);
+}
+
+TEST(Dynamics, ZeroCapacityInterfaceNeverBlocksOthers) {
+  Scenario sc;
+  sc.interface("dead", RateProfile(0.0));
+  sc.interface("live", RateProfile(mbps(1)));
+  sc.backlogged_flow("a", 1.0, {"dead", "live"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(20 * kSecond);
+  EXPECT_NEAR(result.flow_named("a").mean_rate_mbps(5 * kSecond, 20 * kSecond),
+              1.0, 0.06);
+  EXPECT_EQ(result.flow_named("a").bytes_per_iface[0], 0u);
+}
+
+TEST(Dynamics, FlowWithNoInterfacesStaysIdle) {
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(1)));
+  sc.backlogged_flow("connected", 1.0, {"if1"});
+  sc.backlogged_flow("stranded", 1.0, {});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(10 * kSecond);
+  EXPECT_EQ(result.flow_named("stranded").bytes_sent, 0u);
+  EXPECT_NEAR(result.flow_named("connected").mean_rate_mbps(2 * kSecond,
+                                                            10 * kSecond),
+              1.0, 0.06);
+}
+
+}  // namespace
+}  // namespace midrr

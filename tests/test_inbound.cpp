@@ -1,0 +1,147 @@
+// Tests for the Figure 4 "ideal implementation": the in-network
+// aggregation proxy scheduling inbound packets across last-mile paths, and
+// the device-side reorder buffer.
+#include <gtest/gtest.h>
+
+#include "inbound/remote_proxy.hpp"
+
+namespace midrr::inbound {
+namespace {
+
+SourceFactory backlogged(std::uint32_t packet = 1500,
+                         std::uint64_t volume = 0) {
+  return [packet, volume] {
+    return std::make_unique<BackloggedSource>(SizeDistribution::fixed(packet),
+                                              volume);
+  };
+}
+
+TEST(ReorderBuffer, InOrderPassesThrough) {
+  ReorderBuffer rb;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    const auto d = rb.offer(s, 100);
+    EXPECT_EQ(d.delivered_bytes, 100u);
+    EXPECT_FALSE(d.was_out_of_order);
+  }
+  EXPECT_EQ(rb.delivered_bytes(), 500u);
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+  EXPECT_EQ(rb.max_buffered_bytes(), 0u);
+}
+
+TEST(ReorderBuffer, GapBuffersThenFlushes) {
+  ReorderBuffer rb;
+  EXPECT_EQ(rb.offer(1, 100).delivered_bytes, 0u);
+  EXPECT_EQ(rb.offer(2, 100).delivered_bytes, 0u);
+  EXPECT_EQ(rb.buffered_bytes(), 200u);
+  EXPECT_EQ(rb.out_of_order_arrivals(), 2u);
+  const auto d = rb.offer(0, 100);
+  EXPECT_EQ(d.delivered_bytes, 300u) << "gap fill releases the whole run";
+  EXPECT_EQ(rb.buffered_bytes(), 0u);
+  EXPECT_EQ(rb.next_expected(), 3u);
+  EXPECT_EQ(rb.max_buffered_bytes(), 200u);
+}
+
+TEST(ReorderBuffer, DuplicatesDropped) {
+  ReorderBuffer rb;
+  rb.offer(0, 100);
+  EXPECT_TRUE(rb.offer(0, 100).duplicate);
+  rb.offer(2, 100);
+  EXPECT_TRUE(rb.offer(2, 100).duplicate);
+  EXPECT_EQ(rb.duplicates(), 2u);
+  EXPECT_EQ(rb.buffered_bytes(), 100u);
+}
+
+TEST(ReorderBuffer, RejectsZeroBytes) {
+  ReorderBuffer rb;
+  EXPECT_THROW(rb.offer(0, 0), PreconditionError);
+}
+
+TEST(RemoteProxy, SinglePathDelivery) {
+  RemoteProxy proxy({{"wifi", RateProfile(mbps(8)), 5 * kMillisecond}},
+                    {{"dl", 1.0, {"wifi"}, backlogged()}});
+  const auto result = proxy.run(20 * kSecond);
+  EXPECT_NEAR(result.flows[0].mean_goodput_mbps(5 * kSecond, 20 * kSecond),
+              8.0, 0.4);
+  EXPECT_EQ(result.flows[0].out_of_order_arrivals, 0u)
+      << "a single path cannot reorder";
+}
+
+TEST(RemoteProxy, AggregatesTwoPathsWithEqualLatency) {
+  RemoteProxy proxy({{"wifi", RateProfile(mbps(6)), 10 * kMillisecond},
+                     {"lte", RateProfile(mbps(3)), 10 * kMillisecond}},
+                    {{"dl", 1.0, {"wifi", "lte"}, backlogged()}});
+  const auto result = proxy.run(20 * kSecond);
+  EXPECT_NEAR(result.flows[0].mean_goodput_mbps(5 * kSecond, 20 * kSecond),
+              9.0, 0.5);
+  EXPECT_GT(result.flows[0].bytes_per_path[0], 0u);
+  EXPECT_GT(result.flows[0].bytes_per_path[1], 0u);
+}
+
+TEST(RemoteProxy, LatencySkewCostsReorderBuffer) {
+  const auto run_with_skew = [](SimDuration lte_latency) {
+    RemoteProxy proxy({{"wifi", RateProfile(mbps(6)), 5 * kMillisecond},
+                       {"lte", RateProfile(mbps(6)), lte_latency}},
+                      {{"dl", 1.0, {"wifi", "lte"}, backlogged()}});
+    return proxy.run(20 * kSecond);
+  };
+  const auto balanced = run_with_skew(5 * kMillisecond);
+  const auto skewed = run_with_skew(80 * kMillisecond);
+  // Both aggregate ~12 Mb/s...
+  EXPECT_NEAR(balanced.flows[0].mean_goodput_mbps(5 * kSecond, 20 * kSecond),
+              12.0, 0.6);
+  EXPECT_NEAR(skewed.flows[0].mean_goodput_mbps(5 * kSecond, 20 * kSecond),
+              12.0, 0.6);
+  // ...but latency skew pays in device memory.
+  EXPECT_GT(skewed.flows[0].max_reorder_buffer_bytes,
+            4 * balanced.flows[0].max_reorder_buffer_bytes);
+}
+
+TEST(RemoteProxy, Fig1cFairnessOnTheDownlink) {
+  // The whole point of Fig 4: the inbound direction gets the same max-min
+  // guarantees as the outbound bridge.
+  RemoteProxy proxy({{"if1", RateProfile(mbps(1)), kMillisecond},
+                     {"if2", RateProfile(mbps(1)), kMillisecond}},
+                    {{"a", 1.0, {"if1", "if2"}, backlogged()},
+                     {"b", 1.0, {"if2"}, backlogged()}});
+  const auto result = proxy.run(30 * kSecond);
+  EXPECT_NEAR(result.flow_named("a").mean_goodput_mbps(10 * kSecond,
+                                                       30 * kSecond),
+              1.0, 0.07);
+  EXPECT_NEAR(result.flow_named("b").mean_goodput_mbps(10 * kSecond,
+                                                       30 * kSecond),
+              1.0, 0.07);
+}
+
+TEST(RemoteProxy, WeightedSharingOnSharedPath) {
+  RemoteProxy proxy({{"if1", RateProfile(mbps(3)), kMillisecond}},
+                    {{"heavy", 2.0, {"if1"}, backlogged()},
+                     {"light", 1.0, {"if1"}, backlogged()}});
+  const auto result = proxy.run(30 * kSecond);
+  EXPECT_NEAR(result.flow_named("heavy").mean_goodput_mbps(10 * kSecond,
+                                                           30 * kSecond),
+              2.0, 0.15);
+  EXPECT_NEAR(result.flow_named("light").mean_goodput_mbps(10 * kSecond,
+                                                           30 * kSecond),
+              1.0, 0.10);
+}
+
+TEST(RemoteProxy, CbrFlowUnharmedByBulkAggregation) {
+  RemoteProxy proxy(
+      {{"if1", RateProfile(mbps(5)), kMillisecond},
+       {"if2", RateProfile(mbps(5)), 20 * kMillisecond}},
+      {{"bulk", 1.0, {"if1", "if2"}, backlogged()},
+       {"voip",
+        1.0,
+        {"if1"},
+        [] { return std::make_unique<CbrSource>(mbps(0.2), 200); }}});
+  const auto result = proxy.run(20 * kSecond);
+  EXPECT_NEAR(result.flow_named("voip").mean_goodput_mbps(5 * kSecond,
+                                                          20 * kSecond),
+              0.2, 0.03);
+  EXPECT_NEAR(result.flow_named("bulk").mean_goodput_mbps(5 * kSecond,
+                                                          20 * kSecond),
+              9.8, 0.5);
+}
+
+}  // namespace
+}  // namespace midrr::inbound

@@ -1,0 +1,145 @@
+// Executable versions of the paper's Section 4 lemmas on a running miDRR:
+//   Lemma 3: 0 <= DC_i <= MaxSize at the end of each service turn;
+//   Lemma 5: FM_{i->j} > -2*MaxSize' for i served at a higher rate than j;
+//   Lemma 6: |FM_{i->j}| < Q' + 2*MaxSize' for flows sharing an interface.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "fairness/metrics.hpp"
+#include "sched/midrr.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(Lemma3, DeficitBoundedDuringLongRun) {
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId b = s.add_flow(2.0, {j1});
+  const FlowId c = s.add_flow(1.0, {j0});
+  Rng rng(17);
+  auto sizes = SizeDistribution::bimodal(40, 1500, 0.4);
+  for (int round = 0; round < 2000; ++round) {
+    // Keep everyone backlogged.
+    for (FlowId f : {a, b, c}) {
+      while (s.backlog_packets(f) < 3) {
+        s.enqueue(Packet(f, sizes.sample(rng)), 0);
+      }
+    }
+    s.dequeue(round % 2 == 0 ? j0 : j1, 0);
+    // Deficit stays within [0, MaxSize + Q_i) at all observation points
+    // (the Lemma 3 bound holds at end-of-turn; between turns one quantum
+    // may be pending).
+    EXPECT_GE(s.deficit_of(a), 0);
+    EXPECT_GE(s.deficit_of(b), 0);
+    EXPECT_GE(s.deficit_of(c), 0);
+    EXPECT_LE(s.deficit_of(a), 1500 + s.quantum_of(a));
+    EXPECT_LE(s.deficit_of(b), 1500 + s.quantum_of(b));
+    EXPECT_LE(s.deficit_of(c), 1500 + s.quantum_of(c));
+  }
+}
+
+class LemmaScenarioTest : public ::testing::Test {
+ protected:
+  // Fig 1(c)-like: a is in a faster cluster than b and c; b and c share if2.
+  // if1 = 4 Mb/s (a alone), if2 = 2 Mb/s (b, c share).
+  void SetUp() override {
+    scenario_.interface("if1", RateProfile(mbps(4)));
+    scenario_.interface("if2", RateProfile(mbps(2)));
+    scenario_.backlogged_flow("a", 1.0, {"if1"});
+    scenario_.backlogged_flow("b", 1.0, {"if2"});
+    scenario_.backlogged_flow("c", 1.0, {"if2"});
+  }
+  Scenario scenario_;
+};
+
+TEST_F(LemmaScenarioTest, Lemma5FasterFlowNeverLagsByTwoMaxPackets) {
+  RunnerOptions opt;
+  opt.quantum_base = 1500;
+  ScenarioRunner runner(scenario_, Policy::kMiDrr, opt);
+
+  // Sample FM over many adjacent intervals during the steady state.
+  auto& sched = runner.scheduler();
+  runner.run(5 * kSecond);  // warm up
+  constexpr double kMaxSize = 1500.0;
+  fair::ServiceSnapshot prev(sched);
+  for (int k = 0; k < 40; ++k) {
+    runner.run((5 + k) * kSecond + 500 * kMillisecond);
+    fair::ServiceSnapshot cur(sched);
+    // Flow a (id 0) is served at ~4 Mb/s; flows b=1, c=2 at ~1 Mb/s.
+    const double fm_ab = cur.fm_since(prev, 0, 1.0, 1, 1.0);
+    const double fm_ac = cur.fm_since(prev, 0, 1.0, 2, 1.0);
+    EXPECT_GT(fm_ab, -2.0 * kMaxSize);
+    EXPECT_GT(fm_ac, -2.0 * kMaxSize);
+    prev = cur;
+  }
+}
+
+TEST_F(LemmaScenarioTest, Lemma6SharedInterfaceServiceGapBounded) {
+  RunnerOptions opt;
+  opt.quantum_base = 1500;
+  ScenarioRunner runner(scenario_, Policy::kMiDrr, opt);
+  auto& sched = runner.scheduler();
+  runner.run(5 * kSecond);
+  constexpr double kMaxSize = 1500.0;
+  const double q_prime = 1500.0;  // Q_i / phi_i with phi = 1
+  fair::ServiceSnapshot prev(sched);
+  for (int k = 0; k < 40; ++k) {
+    runner.run((5 + k) * kSecond + 500 * kMillisecond);
+    fair::ServiceSnapshot cur(sched);
+    // b (1) and c (2) always share if2.
+    const double fm_bc = cur.fm_since(prev, 1, 1.0, 2, 1.0);
+    EXPECT_LT(std::abs(fm_bc), q_prime + 2.0 * kMaxSize);
+    prev = cur;
+  }
+}
+
+TEST(DirectionalFm, DefinitionMatchesPaper) {
+  // S_i = 3000 bytes at weight 2, S_j = 1000 at weight 1:
+  // FM = 3000/2 - 1000/1 = 500.
+  EXPECT_DOUBLE_EQ(fair::directional_fm(3000, 2.0, 1000, 1.0), 500.0);
+  EXPECT_DOUBLE_EQ(fair::directional_fm(1000, 1.0, 3000, 2.0), -500.0);
+  EXPECT_THROW(fair::directional_fm(1, 0.0, 1, 1.0), PreconditionError);
+}
+
+TEST(ServiceSnapshot, DifferencesAreMonotone) {
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  fair::ServiceSnapshot t0(s);
+  for (int i = 0; i < 5; ++i) s.enqueue(Packet(a, 1000), 0);
+  for (int i = 0; i < 3; ++i) s.dequeue(j, 0);
+  fair::ServiceSnapshot t1(s);
+  EXPECT_EQ(t1.service_since(t0, a), 3000u);
+  EXPECT_THROW(t0.service_since(t1, a), PreconditionError);
+}
+
+TEST(Lemma6, TighterQuantumTightensFairness) {
+  // Ablation-style check: the Lemma 6 bound scales with Q'; with a smaller
+  // quantum the observed |FM| between equal-weight flows sharing an
+  // interface shrinks accordingly.
+  for (const std::uint32_t quantum : {300u, 3000u}) {
+    Scenario sc;
+    sc.interface("if1", RateProfile(mbps(2)));
+    sc.backlogged_flow("x", 1.0, {"if1"}, 0, 300);
+    sc.backlogged_flow("y", 1.0, {"if1"}, 0, 300);
+    RunnerOptions opt;
+    opt.quantum_base = quantum;
+    ScenarioRunner runner(sc, Policy::kMiDrr, opt);
+    auto& sched = runner.scheduler();
+    runner.run(2 * kSecond);
+    fair::ServiceSnapshot prev(sched);
+    double worst = 0.0;
+    for (int k = 0; k < 20; ++k) {
+      runner.run(2 * kSecond + (k + 1) * 100 * kMillisecond);
+      fair::ServiceSnapshot cur(sched);
+      worst = std::max(worst, std::abs(cur.fm_since(prev, 0, 1.0, 1, 1.0)));
+      prev = cur;
+    }
+    EXPECT_LT(worst, quantum + 2.0 * 300.0) << "quantum " << quantum;
+  }
+}
+
+}  // namespace
+}  // namespace midrr

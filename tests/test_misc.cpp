@@ -1,0 +1,162 @@
+// Remaining coverage: queue-capacity drops end to end, the logging
+// facility, and scheduler corner cases not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "sched/midrr.hpp"
+#include "sched/wfq.hpp"
+#include "util/logging.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(QueueCapacity, OverdrivenSourceTailDrops) {
+  // A 4 Mb/s CBR source into a 1 Mb/s link with a small queue: ~75% of the
+  // traffic must tail-drop, and accounting must add up.
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(1)));
+  FlowSpec cbr;
+  cbr.name = "push";
+  cbr.ifaces = {"if1"};
+  cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(4), 1000); };
+  sc.flow(std::move(cbr));
+  RunnerOptions opt;
+  opt.queue_capacity_bytes = 8000;  // eight packets
+  ScenarioRunner runner(sc, Policy::kMiDrr, opt);
+  const auto result = runner.run(20 * kSecond);
+  const auto& flow = result.flows[0];
+  EXPECT_NEAR(flow.mean_rate_mbps(5 * kSecond, 20 * kSecond), 1.0, 0.06)
+      << "egress is capped by the link";
+  EXPECT_GT(flow.dropped_packets, 5000u) << "~7500 drops expected over 20 s";
+  EXPECT_EQ(flow.dropped_bytes, flow.dropped_packets * 1000u);
+}
+
+TEST(QueueCapacity, UnboundedByDefault) {
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(1)));
+  FlowSpec cbr;
+  cbr.name = "push";
+  cbr.ifaces = {"if1"};
+  cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(2), 1000); };
+  sc.flow(std::move(cbr));
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(5 * kSecond);
+  EXPECT_EQ(result.flows[0].dropped_packets, 0u);
+}
+
+TEST(QueueCapacity, BoundedDelayFollowsFromBoundedQueue) {
+  // Little's law sanity: with an 8-packet queue on a 1 Mb/s link, delay is
+  // bounded by ~ queue_bytes * 8 / rate = 64 ms (plus one transmission).
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(1)));
+  FlowSpec cbr;
+  cbr.name = "push";
+  cbr.ifaces = {"if1"};
+  cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(4), 1000); };
+  sc.flow(std::move(cbr));
+  RunnerOptions opt;
+  opt.queue_capacity_bytes = 8000;
+  ScenarioRunner runner(sc, Policy::kMiDrr, opt);
+  const auto result = runner.run(10 * kSecond);
+  EXPECT_LT(result.flows[0].delay_ns.max(),
+            static_cast<double>(90 * kMillisecond));
+}
+
+TEST(Logging, LevelsFilterAndFormat) {
+  std::ostringstream sink;
+  auto& logger = Logger::instance();
+  const LogLevel old_level = logger.level();
+  logger.set_sink(&sink);
+  logger.set_level(LogLevel::kInfo);
+
+  MIDRR_LOG_DEBUG() << "hidden " << 1;
+  MIDRR_LOG_INFO() << "visible " << 42;
+  MIDRR_LOG_ERROR() << "bad " << 3.5;
+
+  logger.set_level(old_level);
+  logger.set_sink(nullptr);
+
+  const std::string out = sink.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[INFO] visible 42"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] bad 3.5"), std::string::npos);
+}
+
+TEST(Logging, ToStringCoversLevels) {
+  EXPECT_STREQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::kOff), "OFF");
+}
+
+TEST(WfqEdge, DrainAndRefillKeepsVirtualTimeMonotone) {
+  PerIfaceWfqScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  for (int round = 0; round < 5; ++round) {
+    const double v_before = s.virtual_time(j);
+    s.enqueue(Packet(a, 1000), 0);
+    s.enqueue(Packet(a, 1000), 0);
+    while (s.dequeue(j, 0)) {
+    }
+    EXPECT_GE(s.virtual_time(j), v_before);
+  }
+}
+
+TEST(MiDrrEdge, SixteenInterfacesOneFlowAggregatesAll) {
+  MiDrrScheduler s(1500);
+  std::vector<IfaceId> ifaces;
+  for (int j = 0; j < 16; ++j) ifaces.push_back(s.add_interface());
+  const FlowId f = s.add_flow(1.0, ifaces);
+  for (int i = 0; i < 200; ++i) s.enqueue(Packet(f, 1500), 0);
+  int served = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (const IfaceId j : ifaces) {
+      if (s.dequeue(j, 0)) ++served;
+    }
+  }
+  EXPECT_EQ(served, 160) << "every interface must serve the sole flow";
+}
+
+TEST(MiDrrEdge, JumboAndTinyPacketsCoexist) {
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId jumbo = s.add_flow(1.0, {j});
+  const FlowId tiny = s.add_flow(1.0, {j});
+  for (int i = 0; i < 20; ++i) {
+    s.enqueue(Packet(jumbo, 9000), 0);
+    for (int k = 0; k < 225; ++k) s.enqueue(Packet(tiny, 40), 0);
+  }
+  std::uint64_t served = 0;
+  while (s.dequeue(j, 0)) ++served;
+  // Equal weights, equal byte totals -> roughly equal service in bytes.
+  const double ratio = static_cast<double>(s.sent_bytes(jumbo)) /
+                       static_cast<double>(s.sent_bytes(tiny));
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+}
+
+TEST(MiDrrEdge, SharedDeficitModeStillCorrectOnPaperScenarios) {
+  // The Table-1-literal variant must agree with the default on Fig 1(c).
+  MiDrrScheduler s(1500, /*shared_deficit=*/true);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId b = s.add_flow(1.0, {j1});
+  for (int i = 0; i < 2000; ++i) {
+    s.enqueue(Packet(a, 1500), 0);
+    s.enqueue(Packet(b, 1500), 0);
+  }
+  // Alternate the interfaces like equal-rate links would.
+  for (int i = 0; i < 1000; ++i) {
+    s.dequeue(j0, 0);
+    s.dequeue(j1, 0);
+  }
+  const double ratio = static_cast<double>(s.sent_bytes(a)) /
+                       static_cast<double>(s.sent_bytes(b));
+  EXPECT_NEAR(ratio, 1.0, 0.05);
+  EXPECT_EQ(s.sent_bytes(b, j0), 0u);
+}
+
+}  // namespace
+}  // namespace midrr

@@ -1,0 +1,217 @@
+// Unit tests for the wire-format layer: buffers, addresses, checksums,
+// headers, frame build/parse/rewrite round trips.
+#include <gtest/gtest.h>
+
+#include "net/addr.hpp"
+#include "net/bytes.hpp"
+#include "net/checksum.hpp"
+#include "net/headers.hpp"
+#include "net/packet.hpp"
+
+namespace midrr::net {
+namespace {
+
+TEST(Bytes, BigEndianRoundTrip) {
+  ByteBuffer buf(15, 0);
+  BufWriter w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ull);
+  BufReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ull);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, OverrunThrows) {
+  ByteBuffer buf(3, 0);
+  BufReader r(buf);
+  r.u16();
+  EXPECT_THROW(r.u16(), BufferOverrun);
+  BufWriter w(buf);
+  w.u16(1);
+  EXPECT_THROW(w.u32(1), BufferOverrun);
+  EXPECT_THROW(r.seek(4), BufferOverrun);
+}
+
+TEST(Bytes, HexDump) {
+  ByteBuffer buf{0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(hex_dump(buf), "de ad be ef");
+  EXPECT_EQ(hex_dump(buf, 2), "de ad ... (+2 bytes)");
+}
+
+TEST(Addr, MacParseFormat) {
+  const auto mac = MacAddress::parse("02:1d:72:00:00:2a");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->to_string(), "02:1d:72:00:00:2a");
+  EXPECT_FALSE(mac->is_broadcast());
+  EXPECT_FALSE(mac->is_multicast());
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::parse("02:1d:72:00:00").has_value());
+  EXPECT_FALSE(MacAddress::parse("zz:1d:72:00:00:2a").has_value());
+  EXPECT_EQ(MacAddress::local(42).to_string(), "02:1d:72:00:00:2a");
+}
+
+TEST(Addr, Ipv4ParseFormat) {
+  const auto ip = Ipv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->to_string(), "192.168.1.42");
+  EXPECT_EQ(ip->value(), 0xC0A8012Au);
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).to_string(), "10.0.0.1");
+}
+
+TEST(Checksum, Rfc1071Example) {
+  // Classic example: words 0x0001, 0xf203, 0xf4f5, 0xf6f7 -> sum 0x2ddf0
+  // -> folded 0xddf2 -> checksum ~0xddf2 = 0x220d.
+  const ByteBuffer data{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthAndSplitRanges) {
+  const ByteBuffer data{0x01, 0x02, 0x03};
+  const auto whole = internet_checksum(data);
+  ChecksumAccumulator acc;
+  acc.add(std::span<const Byte>(data.data(), 1));
+  acc.add(std::span<const Byte>(data.data() + 1, 2));
+  EXPECT_EQ(acc.finish(), whole);
+}
+
+TEST(Checksum, ChecksummedDataFoldsToZero) {
+  ByteBuffer data{0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00,
+                  0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                  0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<Byte>(csum >> 8);
+  data[11] = static_cast<Byte>(csum & 0xFF);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, IncrementalUpdateMatchesRecompute) {
+  ByteBuffer data{0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x40, 0x00,
+                  0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                  0x0a, 0x00, 0x00, 0x02};
+  const std::uint16_t old_csum = internet_checksum(data);
+  // Change the source address 10.0.0.1 -> 172.16.5.9 and verify RFC 1624.
+  const std::uint32_t old_ip = 0x0a000001;
+  const std::uint32_t new_ip = 0xac100509;
+  data[12] = 0xac; data[13] = 0x10; data[14] = 0x05; data[15] = 0x09;
+  const std::uint16_t fresh = internet_checksum(data);
+  EXPECT_EQ(checksum_update32(old_csum, old_ip, new_ip), fresh);
+}
+
+Frame make_tcp_frame(std::size_t payload = 100) {
+  return FrameBuilder()
+      .eth_src(MacAddress::local(1))
+      .eth_dst(MacAddress::local(2))
+      .ip_src(Ipv4Address(10, 0, 0, 1))
+      .ip_dst(Ipv4Address(93, 184, 216, 34))
+      .tcp(49152, 443, 1000)
+      .payload_size(payload)
+      .build();
+}
+
+TEST(Frame, BuildParsesBack) {
+  const Frame frame = make_tcp_frame(64);
+  const auto view = frame.parse();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ip.src.to_string(), "10.0.0.1");
+  EXPECT_EQ(view->ip.dst.to_string(), "93.184.216.34");
+  ASSERT_TRUE(view->tcp.has_value());
+  EXPECT_EQ(view->tcp->src_port, 49152);
+  EXPECT_EQ(view->tcp->dst_port, 443);
+  EXPECT_EQ(view->payload_length, 64u);
+  EXPECT_EQ(frame.size(), EthernetHeader::kSize + 20 + 20 + 64);
+}
+
+TEST(Frame, BuildProducesValidChecksums) {
+  EXPECT_TRUE(make_tcp_frame().checksums_valid());
+  const Frame udp = FrameBuilder()
+                        .eth_src(MacAddress::local(1))
+                        .eth_dst(MacAddress::local(2))
+                        .ip_src(Ipv4Address(10, 0, 0, 1))
+                        .ip_dst(Ipv4Address(8, 8, 8, 8))
+                        .udp(5353, 53)
+                        .payload_size(33)
+                        .build();
+  EXPECT_TRUE(udp.checksums_valid());
+}
+
+TEST(Frame, SourceRewritePreservesChecksums) {
+  Frame frame = make_tcp_frame();
+  frame.rewrite_source(MacAddress::local(77), Ipv4Address(192, 168, 7, 7));
+  EXPECT_TRUE(frame.checksums_valid()) << "incremental fix-up broke checksum";
+  const auto view = frame.parse();
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->ip.src.to_string(), "192.168.7.7");
+  EXPECT_EQ(view->eth.src, MacAddress::local(77));
+  // Destination untouched.
+  EXPECT_EQ(view->ip.dst.to_string(), "93.184.216.34");
+  EXPECT_EQ(view->tcp->src_port, 49152);
+}
+
+TEST(Frame, DestinationRewritePreservesChecksums) {
+  Frame frame = make_tcp_frame();
+  frame.rewrite_destination(MacAddress::local(5), Ipv4Address(10, 9, 9, 9));
+  EXPECT_TRUE(frame.checksums_valid());
+  const auto view = frame.parse();
+  EXPECT_EQ(view->ip.dst.to_string(), "10.9.9.9");
+  EXPECT_EQ(view->eth.dst, MacAddress::local(5));
+}
+
+TEST(Frame, UdpRewriteHandlesChecksum) {
+  Frame frame = FrameBuilder()
+                    .eth_src(MacAddress::local(1))
+                    .eth_dst(MacAddress::local(2))
+                    .ip_src(Ipv4Address(10, 0, 0, 1))
+                    .ip_dst(Ipv4Address(8, 8, 4, 4))
+                    .udp(1234, 53)
+                    .payload_size(40)
+                    .build();
+  frame.rewrite_source(MacAddress::local(9), Ipv4Address(172, 16, 0, 9));
+  EXPECT_TRUE(frame.checksums_valid());
+}
+
+TEST(Frame, CorruptionDetected) {
+  Frame frame = make_tcp_frame();
+  ByteBuffer bytes(frame.bytes().begin(), frame.bytes().end());
+  bytes[EthernetHeader::kSize + 20 + 20 + 10] ^= 0xFF;  // flip payload byte
+  const Frame corrupted{ByteBuffer(bytes)};
+  EXPECT_FALSE(corrupted.checksums_valid());
+}
+
+TEST(Frame, TruncatedFrameThrows) {
+  const Frame frame = make_tcp_frame();
+  ByteBuffer bytes(frame.bytes().begin(), frame.bytes().end() - 30);
+  const Frame truncated{ByteBuffer(bytes)};
+  EXPECT_THROW(truncated.parse(), BufferOverrun);
+}
+
+TEST(Frame, NonIpv4ReturnsNullopt) {
+  ByteBuffer bytes(EthernetHeader::kSize, 0);
+  BufWriter w(bytes);
+  EthernetHeader eth;
+  eth.ether_type = EtherType::kArp;
+  eth.write(w);
+  const Frame frame{std::move(bytes)};
+  EXPECT_FALSE(frame.parse().has_value());
+}
+
+TEST(Headers, Ipv4HeaderChecksumSelfTest) {
+  Ipv4Header h;
+  h.total_length = 40;
+  h.src = Ipv4Address(1, 2, 3, 4);
+  h.dst = Ipv4Address(5, 6, 7, 8);
+  h.header_checksum = h.compute_checksum();
+  EXPECT_TRUE(h.checksum_valid());
+  h.ttl = 63;  // mutate -> stale checksum
+  EXPECT_FALSE(h.checksum_valid());
+}
+
+}  // namespace
+}  // namespace midrr::net

@@ -1,0 +1,165 @@
+// Tests for the preference compiler: lowering attribute-level user policies
+// to the scheduler's (Pi, phi) inputs, including data-cap dynamics.
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+#include "policy/compiler.hpp"
+#include "sched/midrr.hpp"
+
+namespace midrr::policy {
+namespace {
+
+PreferenceCompiler phone() {
+  PreferenceCompiler c;
+  c.add_interface({"wifi", /*metered=*/false, 15 * kMillisecond, 0});
+  c.add_interface({"lte", /*metered=*/true, 45 * kMillisecond,
+                   /*cap=*/2'000'000'000});
+  c.add_interface({"ethernet", /*metered=*/false, 2 * kMillisecond, 0});
+  return c;
+}
+
+TEST(Selector, Matching) {
+  const InterfaceAttributes wifi{"wifi", false, 15 * kMillisecond, 0};
+  const InterfaceAttributes lte{"lte", true, 45 * kMillisecond, 0};
+  EXPECT_TRUE(Selector::by_name("wifi").matches(wifi));
+  EXPECT_FALSE(Selector::by_name("wifi").matches(lte));
+  EXPECT_TRUE(Selector::metered().matches(lte));
+  EXPECT_FALSE(Selector::metered().matches(wifi));
+  EXPECT_TRUE(Selector::unmetered().matches(wifi));
+  EXPECT_TRUE(Selector::low_latency(20 * kMillisecond).matches(wifi));
+  EXPECT_FALSE(Selector::low_latency(20 * kMillisecond).matches(lte));
+  EXPECT_TRUE(Selector::any().matches(lte));
+}
+
+TEST(Compiler, NoRulesAllowsEverything) {
+  const auto policy = phone().compile("anything");
+  EXPECT_EQ(policy.willing.size(), 3u);
+  EXPECT_DOUBLE_EQ(policy.weight, 1.0);
+}
+
+TEST(Compiler, RequireUnmetered) {
+  auto c = phone();
+  c.add_rule({"netflix", Verb::kRequire, Selector::unmetered()});
+  const auto policy = c.compile("netflix");
+  EXPECT_EQ(policy.willing,
+            (std::vector<std::string>{"wifi", "ethernet"}));
+  // Other apps unaffected.
+  EXPECT_EQ(c.compile("other").willing.size(), 3u);
+}
+
+TEST(Compiler, ForbidMetered) {
+  auto c = phone();
+  c.add_rule({"*", Verb::kForbid, Selector::metered()});
+  EXPECT_EQ(c.compile("any").willing,
+            (std::vector<std::string>{"wifi", "ethernet"}));
+}
+
+TEST(Compiler, PreferIsSoft) {
+  auto c = phone();
+  c.add_rule({"voip", Verb::kPrefer, Selector::low_latency(20 * kMillisecond)});
+  EXPECT_EQ(c.compile("voip").willing,
+            (std::vector<std::string>{"wifi", "ethernet"}));
+  // When nothing matches the preference, fall back to everything.
+  auto c2 = phone();
+  c2.add_rule({"voip", Verb::kPrefer, Selector::low_latency(kMillisecond)});
+  EXPECT_EQ(c2.compile("voip").willing.size(), 3u);
+}
+
+TEST(Compiler, RulesStackInOrder) {
+  auto c = phone();
+  c.add_rule({"sync", Verb::kForbid, Selector::metered()});
+  c.add_rule({"sync", Verb::kPrefer, Selector::by_name("ethernet")});
+  EXPECT_EQ(c.compile("sync").willing,
+            (std::vector<std::string>{"ethernet"}));
+}
+
+TEST(Compiler, BoostMultipliesWeight) {
+  auto c = phone();
+  c.set_base_weight("video", 2.0);
+  c.add_rule({"video", Verb::kBoost, Selector::any(), 1.5});
+  EXPECT_DOUBLE_EQ(c.compile("video").weight, 3.0);
+  EXPECT_THROW(c.add_rule({"x", Verb::kBoost, Selector::any(), 0.0}),
+               PreconditionError);
+}
+
+TEST(Compiler, ConflictingRulesCanEmptyTheRow) {
+  auto c = phone();
+  c.add_rule({"odd", Verb::kRequire, Selector::metered()});
+  c.add_rule({"odd", Verb::kForbid, Selector::metered()});
+  EXPECT_TRUE(c.compile("odd").willing.empty())
+      << "an over-constrained app simply gets no interfaces";
+}
+
+TEST(DataCap, ExhaustedMeteredInterfaceDisappears) {
+  auto c = phone();
+  DataCapTracker caps;
+  EXPECT_EQ(c.compile("app", &caps).willing.size(), 3u);
+  caps.record("lte", 2'000'000'000);  // hits the 2 GB cap exactly
+  EXPECT_EQ(c.compile("app", &caps).willing,
+            (std::vector<std::string>{"wifi", "ethernet"}));
+  caps.reset("lte");  // new billing month
+  EXPECT_EQ(c.compile("app", &caps).willing.size(), 3u);
+}
+
+TEST(DataCap, ExplicitRequireByNameOverridesCap) {
+  auto c = phone();
+  c.add_rule({"emergency", Verb::kRequire, Selector::by_name("lte")});
+  DataCapTracker caps;
+  caps.record("lte", 3'000'000'000);
+  EXPECT_EQ(c.compile("emergency", &caps).willing,
+            (std::vector<std::string>{"lte"}));
+  // Everyone else lost lte.
+  EXPECT_EQ(c.compile("other", &caps).willing.size(), 2u);
+}
+
+TEST(Apply, PushesPolicyIntoLiveScheduler) {
+  MiDrrScheduler sched(1500);
+  const IfaceId wifi = sched.add_interface("wifi");
+  const IfaceId lte = sched.add_interface("lte");
+  const FlowId netflix = sched.add_flow(1.0, {wifi, lte}, "netflix");
+  const FlowId voip = sched.add_flow(1.0, {wifi, lte}, "voip");
+
+  auto c = phone();
+  c.remove_interface("ethernet");  // the phone has no ethernet today
+  c.add_rule({"netflix", Verb::kRequire, Selector::unmetered()});
+  c.add_rule({"netflix", Verb::kBoost, Selector::any(), 2.0});
+  c.add_rule({"voip", Verb::kRequire, Selector::by_name("lte")});
+  c.apply(sched, {{"netflix", netflix}, {"voip", voip}});
+
+  EXPECT_TRUE(sched.preferences().willing(netflix, wifi));
+  EXPECT_FALSE(sched.preferences().willing(netflix, lte));
+  EXPECT_FALSE(sched.preferences().willing(voip, wifi));
+  EXPECT_TRUE(sched.preferences().willing(voip, lte));
+  EXPECT_DOUBLE_EQ(sched.preferences().weight(netflix), 2.0);
+}
+
+TEST(Apply, ReapplyAfterCapFlipsRedirectsTraffic) {
+  // End to end: traffic actually moves off the capped interface when the
+  // compiler re-lowers the policy mid-run.
+  Scenario sc;
+  sc.interface("wifi", RateProfile(mbps(5)));
+  sc.interface("lte", RateProfile(mbps(5)));
+  sc.backlogged_flow("app", 1.0, {"wifi", "lte"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  runner.run(5 * kSecond);
+
+  auto& sched = runner.scheduler();
+  const FlowId app = 0;
+  const std::uint64_t lte_before = sched.sent_bytes(app, 1);
+  EXPECT_GT(lte_before, 0u);
+
+  PreferenceCompiler c;
+  c.add_interface({"wifi", false, 15 * kMillisecond, 0});
+  c.add_interface({"lte", true, 45 * kMillisecond, /*cap=*/1});
+  DataCapTracker caps;
+  caps.record("lte", lte_before);  // cap (1 byte) long exceeded
+  c.apply(sched, {{"app", app}}, &caps);
+
+  runner.run(10 * kSecond);
+  EXPECT_EQ(sched.sent_bytes(app, 1), lte_before)
+      << "no further bytes on the capped interface";
+  EXPECT_GT(sched.sent_bytes(app, 0), 0u);
+}
+
+}  // namespace
+}  // namespace midrr::policy

@@ -1,0 +1,114 @@
+// Unit tests for the round-robin flow ring.
+#include <gtest/gtest.h>
+
+#include "sched/ring.hpp"
+#include "util/assert.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(FlowRing, InsertIntoEmpty) {
+  FlowRing r;
+  EXPECT_TRUE(r.empty());
+  r.insert(7);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.current(), 7u);
+  EXPECT_FALSE(r.turn_open()) << "new entrant has no quantum yet";
+}
+
+TEST(FlowRing, AdvanceWraps) {
+  FlowRing r;
+  r.insert(1);
+  r.insert(2);
+  r.insert(3);
+  const FlowId first = r.current();
+  std::vector<FlowId> seen{first};
+  for (int i = 0; i < 5; ++i) seen.push_back(r.advance());
+  // Full cycle of 3 then repeat.
+  EXPECT_EQ(seen[0], seen[3]);
+  EXPECT_EQ(seen[1], seen[4]);
+  EXPECT_EQ(seen[2], seen[5]);
+  EXPECT_NE(seen[0], seen[1]);
+  EXPECT_NE(seen[1], seen[2]);
+}
+
+TEST(FlowRing, NewFlowVisitedAtEndOfRound) {
+  FlowRing r;
+  r.insert(1);    // current = 1
+  r.advance();    // still 1 (ring of one)
+  r.insert(2);    // must come after 1 in the rotation
+  EXPECT_EQ(r.current(), 1u);
+  EXPECT_EQ(r.advance(), 2u);
+  EXPECT_EQ(r.advance(), 1u);
+}
+
+TEST(FlowRing, RemoveNonCurrentKeepsPosition) {
+  FlowRing r;
+  r.insert(1);
+  r.insert(2);
+  r.insert(3);
+  const FlowId cur = r.current();
+  r.open_turn();
+  // Remove some non-current flow.
+  const FlowId victim = (cur == 2) ? 3 : 2;
+  r.remove(victim);
+  EXPECT_EQ(r.current(), cur);
+  EXPECT_TRUE(r.turn_open());
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(FlowRing, RemoveCurrentClosesTurnAndMovesOn) {
+  FlowRing r;
+  r.insert(1);
+  r.insert(2);
+  r.open_turn();
+  const FlowId cur = r.current();
+  r.remove(cur);
+  EXPECT_FALSE(r.turn_open());
+  EXPECT_NE(r.current(), cur);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(FlowRing, RemoveLastEmptiesRing) {
+  FlowRing r;
+  r.insert(5);
+  r.remove(5);
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.turn_open());
+  // Reuse after emptying works.
+  r.insert(6);
+  EXPECT_EQ(r.current(), 6u);
+}
+
+TEST(FlowRing, ContainsAndDuplicates) {
+  FlowRing r;
+  r.insert(1);
+  EXPECT_TRUE(r.contains(1));
+  EXPECT_FALSE(r.contains(2));
+  EXPECT_THROW(r.insert(1), PreconditionError);
+  EXPECT_THROW(r.remove(2), PreconditionError);
+}
+
+TEST(FlowRing, CurrentOnEmptyThrows) {
+  FlowRing r;
+  EXPECT_THROW(r.current(), PreconditionError);
+  EXPECT_THROW(r.advance(), PreconditionError);
+}
+
+TEST(FlowRing, RemoveCurrentAtTailWrapsToHead) {
+  FlowRing r;
+  r.insert(1);
+  r.insert(2);
+  r.insert(3);
+  // Walk current to the list tail, then remove it.
+  FlowId cur = r.current();
+  FlowId next = r.advance();
+  FlowId last = r.advance();
+  r.remove(last);
+  // Current must be a still-present flow.
+  EXPECT_TRUE(r.current() == cur || r.current() == next);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+}  // namespace
+}  // namespace midrr

@@ -1,0 +1,134 @@
+// Integration: the paper's Section 6.2 simulation (Figure 6) end to end.
+//
+// Topology (Fig 6a): if1 = 3 Mb/s, if2 = 10 Mb/s.
+//   flow a: weight 1, willing {if1},       ends at ~66 s
+//   flow b: weight 2, willing {if1, if2},  ends at ~85 s
+//   flow c: weight 1, willing {if2},       backlogged throughout
+//
+// Expected rate timeline (Fig 6b):
+//   [0, 66):  a = 3,  b = 6.67, c = 3.33   (b:c share if2 2:1)
+//   [66, 85): b = 8.67 (aggregating if1+if2), c = 4.33
+//   [85, ..): c = 10
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace midrr {
+namespace {
+
+// Volumes chosen so the flows complete at the paper's times given the
+// max-min rates above: a: 3 Mb/s * 66 s; b: 6.67*66 + 8.67*19 Mb.
+constexpr std::uint64_t kVolumeA = 24'750'000;  // bytes
+constexpr std::uint64_t kVolumeB = 75'583'333;  // bytes
+
+Scenario fig6_scenario() {
+  Scenario sc;
+  sc.interface("if1", RateProfile(mbps(3)));
+  sc.interface("if2", RateProfile(mbps(10)));
+  sc.backlogged_flow("a", 1.0, {"if1"}, kVolumeA);
+  sc.backlogged_flow("b", 2.0, {"if1", "if2"}, kVolumeB);
+  sc.backlogged_flow("c", 1.0, {"if2"});
+  return sc;
+}
+
+class Fig6Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Scenario sc = fig6_scenario();
+    RunnerOptions opt;
+    opt.cluster_interval = kSecond;
+    runner_ = new ScenarioRunner(sc, Policy::kMiDrr, opt);
+    result_ = new ScenarioResult(runner_->run(100 * kSecond));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete runner_;
+    result_ = nullptr;
+    runner_ = nullptr;
+  }
+
+  static ScenarioRunner* runner_;
+  static ScenarioResult* result_;
+};
+
+ScenarioRunner* Fig6Test::runner_ = nullptr;
+ScenarioResult* Fig6Test::result_ = nullptr;
+
+TEST_F(Fig6Test, PhaseOneWeightedShares) {
+  const auto& r = *result_;
+  EXPECT_NEAR(r.flow_named("a").mean_rate_mbps(10 * kSecond, 60 * kSecond),
+              3.0, 0.15);
+  EXPECT_NEAR(r.flow_named("b").mean_rate_mbps(10 * kSecond, 60 * kSecond),
+              6.67, 0.25);
+  EXPECT_NEAR(r.flow_named("c").mean_rate_mbps(10 * kSecond, 60 * kSecond),
+              3.33, 0.20);
+}
+
+TEST_F(Fig6Test, FlowACompletesNearPaperTime) {
+  const auto& a = result_->flow_named("a");
+  ASSERT_TRUE(a.completed_at.has_value());
+  EXPECT_NEAR(to_seconds(*a.completed_at), 66.0, 2.0);
+}
+
+TEST_F(Fig6Test, PhaseTwoAggregationAcrossInterfaces) {
+  const auto& r = *result_;
+  // After a completes, b immediately climbs to ~8.67 Mb/s using BOTH
+  // interfaces; c rises to ~4.33.
+  EXPECT_NEAR(r.flow_named("b").mean_rate_mbps(70 * kSecond, 83 * kSecond),
+              8.67, 0.35);
+  EXPECT_NEAR(r.flow_named("c").mean_rate_mbps(70 * kSecond, 83 * kSecond),
+              4.33, 0.30);
+}
+
+TEST_F(Fig6Test, FlowBCompletesNearPaperTime) {
+  const auto& b = result_->flow_named("b");
+  ASSERT_TRUE(b.completed_at.has_value());
+  EXPECT_NEAR(to_seconds(*b.completed_at), 85.0, 2.5);
+}
+
+TEST_F(Fig6Test, PhaseThreeLastFlowTakesEverything) {
+  EXPECT_NEAR(
+      result_->flow_named("c").mean_rate_mbps(90 * kSecond, 99 * kSecond),
+      10.0, 0.30);
+}
+
+TEST_F(Fig6Test, FlowBUsesBothInterfacesOverall) {
+  const auto& b = result_->flow_named("b");
+  // if1 carries b only during phase 2 (~19 s x 3 Mb/s ~ 7 MB).
+  EXPECT_GT(b.bytes_per_iface[0], 4'000'000u);
+  EXPECT_GT(b.bytes_per_iface[1], 40'000'000u);
+}
+
+TEST_F(Fig6Test, InterfacePreferencesRespected) {
+  const auto& a = result_->flow_named("a");
+  const auto& c = result_->flow_named("c");
+  EXPECT_EQ(a.bytes_per_iface[1], 0u) << "flow a must never touch if2";
+  EXPECT_EQ(c.bytes_per_iface[0], 0u) << "flow c must never touch if1";
+}
+
+TEST_F(Fig6Test, ClusterTimelineMatchesFig8) {
+  // Phase 1: two clusters ({a|if1}, {b,c|if2}); phase 2: one merged
+  // cluster; phase 3: {c | if2} (if1 idle).
+  const auto at = [&](SimTime t) -> const ClusterSnapshot& {
+    const ClusterSnapshot* best = &result_->clusters.front();
+    for (const auto& snap : result_->clusters) {
+      if (snap.at <= t) best = &snap;
+    }
+    return *best;
+  };
+  EXPECT_EQ(at(30 * kSecond).analysis.clusters.size(), 2u);
+  EXPECT_EQ(at(75 * kSecond).analysis.clusters.size(), 1u);
+  const auto& final_snap = at(95 * kSecond);
+  ASSERT_EQ(final_snap.analysis.clusters.size(), 1u);
+  EXPECT_EQ(final_snap.analysis.clusters[0].flows.size(), 1u);
+}
+
+TEST_F(Fig6Test, ConvergenceWithinFirstSeconds) {
+  // Fig 6(c): flow a starts below its fair share but corrects quickly; by
+  // t in [3 s, 5 s] it is within 20% of 3 Mb/s.
+  const auto& a = result_->flow_named("a");
+  EXPECT_NEAR(a.mean_rate_mbps(3 * kSecond, 5 * kSecond), 3.0, 0.6);
+}
+
+}  // namespace
+}  // namespace midrr

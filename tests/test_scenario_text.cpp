@@ -1,0 +1,202 @@
+// Tests for the scenario text format (src/core/scenario_text.hpp) and its
+// unit parsers.
+#include <gtest/gtest.h>
+
+#include "core/scenario_text.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(UnitParsing, Rates) {
+  EXPECT_DOUBLE_EQ(parse_rate_bps("10mbps"), 10e6);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("500kbps"), 500e3);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("2gbps"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("1234"), 1234.0);
+  EXPECT_DOUBLE_EQ(parse_rate_bps(" 3.5Mbps "), 3.5e6);
+  EXPECT_DOUBLE_EQ(parse_rate_bps("100bps"), 100.0);
+  EXPECT_THROW(parse_rate_bps("fast"), ScenarioParseError);
+  EXPECT_THROW(parse_rate_bps("10 mbps"), ScenarioParseError);
+}
+
+TEST(UnitParsing, Durations) {
+  EXPECT_EQ(parse_duration_ns("90s"), 90 * kSecond);
+  EXPECT_EQ(parse_duration_ns("250ms"), 250 * kMillisecond);
+  EXPECT_EQ(parse_duration_ns("2m"), 120 * kSecond);
+  EXPECT_EQ(parse_duration_ns("1h"), 3600 * kSecond);
+  EXPECT_EQ(parse_duration_ns("42us"), 42 * kMicrosecond);
+  EXPECT_EQ(parse_duration_ns("7ns"), 7);
+  EXPECT_EQ(parse_duration_ns("1000"), 1000);
+  EXPECT_THROW(parse_duration_ns("soon"), ScenarioParseError);
+}
+
+TEST(UnitParsing, Bytes) {
+  EXPECT_EQ(parse_bytes("1500"), 1500u);
+  EXPECT_EQ(parse_bytes("64KB"), 64000u);
+  EXPECT_EQ(parse_bytes("100MB"), 100'000'000u);
+  EXPECT_EQ(parse_bytes("2GB"), 2'000'000'000u);
+  EXPECT_EQ(parse_bytes("40b"), 40u);
+  EXPECT_THROW(parse_bytes("big"), ScenarioParseError);
+}
+
+TEST(UnitParsing, Policies) {
+  EXPECT_EQ(parse_policy("midrr"), Policy::kMiDrr);
+  EXPECT_EQ(parse_policy("naive-drr"), Policy::kNaiveDrr);
+  EXPECT_EQ(parse_policy("WFQ"), Policy::kPerIfaceWfq);
+  EXPECT_EQ(parse_policy("rr"), Policy::kRoundRobin);
+  EXPECT_EQ(parse_policy("fifo"), Policy::kFifo);
+  EXPECT_EQ(parse_policy("priority"), Policy::kStrictPriority);
+  EXPECT_EQ(parse_policy("oracle"), Policy::kOracle);
+  EXPECT_THROW(parse_policy("best"), ScenarioParseError);
+}
+
+constexpr const char* kFullScenario = R"(
+# comment
+[interface wifi]
+rate = 0:10mbps, 20s:0, 45s:20mbps
+[interface lte]
+rate = 5mbps
+down = 30s..40s
+
+[flow video]
+weight = 2
+ifaces = wifi, lte
+source = backlogged:100MB
+packet = 1500
+start = 5s
+
+[flow voip]
+ifaces = lte
+source = cbr:96kbps
+packet = 200
+
+[flow web]
+ifaces = wifi
+source = poisson:1mbps
+packet = bimodal:80-1500:0.3
+
+[run]
+policy = wfq
+duration = 90s
+quantum = 3000
+clusters = 5s
+seed = 7
+)";
+
+TEST(ScenarioText, ParsesFullScenario) {
+  const auto parsed = parse_scenario_text(kFullScenario);
+  ASSERT_EQ(parsed.scenario.interfaces().size(), 2u);
+  EXPECT_EQ(parsed.scenario.interfaces()[0].name, "wifi");
+  EXPECT_DOUBLE_EQ(
+      parsed.scenario.interfaces()[0].profile.rate_at(10 * kSecond), 10e6);
+  EXPECT_DOUBLE_EQ(
+      parsed.scenario.interfaces()[0].profile.rate_at(30 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(
+      parsed.scenario.interfaces()[0].profile.rate_at(50 * kSecond), 20e6);
+  EXPECT_EQ(parsed.scenario.interfaces()[1].down_from, 30 * kSecond);
+  EXPECT_EQ(parsed.scenario.interfaces()[1].down_until, 40 * kSecond);
+
+  ASSERT_EQ(parsed.scenario.flows().size(), 3u);
+  const auto& video = parsed.scenario.flows()[0];
+  EXPECT_EQ(video.name, "video");
+  EXPECT_DOUBLE_EQ(video.weight, 2.0);
+  EXPECT_EQ(video.ifaces, (std::vector<std::string>{"wifi", "lte"}));
+  EXPECT_EQ(video.start, 5 * kSecond);
+  ASSERT_NE(video.make_source, nullptr);
+
+  EXPECT_EQ(parsed.run.policy, Policy::kPerIfaceWfq);
+  EXPECT_EQ(parsed.run.duration, 90 * kSecond);
+  EXPECT_EQ(parsed.run.options.quantum_base, 3000u);
+  EXPECT_EQ(parsed.run.options.cluster_interval, 5 * kSecond);
+  EXPECT_EQ(parsed.run.options.seed, 7u);
+}
+
+TEST(ScenarioText, ParsedScenarioActuallyRuns) {
+  auto parsed = parse_scenario_text(R"(
+[interface if1]
+rate = 2mbps
+[flow x]
+ifaces = if1
+[flow y]
+ifaces = if1
+[run]
+duration = 10s
+)");
+  ScenarioRunner runner(parsed.scenario, parsed.run.policy,
+                        parsed.run.options);
+  const auto result = runner.run(parsed.run.duration);
+  EXPECT_NEAR(result.flow_named("x").mean_rate_mbps(5 * kSecond,
+                                                    10 * kSecond),
+              1.0, 0.1);
+}
+
+TEST(ScenarioText, DefaultsApplied) {
+  const auto parsed = parse_scenario_text(
+      "[interface i]\nrate = 1mbps\n[flow f]\nifaces = i\n");
+  EXPECT_EQ(parsed.run.policy, Policy::kMiDrr);
+  EXPECT_EQ(parsed.run.duration, 60 * kSecond);
+  EXPECT_DOUBLE_EQ(parsed.scenario.flows()[0].weight, 1.0);
+}
+
+TEST(ScenarioText, ErrorsCarryLineNumbers) {
+  try {
+    parse_scenario_text("[interface i]\nrate = 1mbps\nbogus line\n");
+    FAIL() << "expected ScenarioParseError";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ScenarioText, RejectsBadInput) {
+  EXPECT_THROW(parse_scenario_text(""), ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[flow f]\nifaces = x\n"),
+               ScenarioParseError);  // no interfaces
+  EXPECT_THROW(parse_scenario_text("[interface i]\n"),  // missing rate
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "[flow f]\n"),  // missing ifaces
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "color = red\n"),  // unknown key
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[widget w]\n"), ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "rate = 2mbps\n"),  // duplicate key
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("key = value\n"),  // entry before section
+               ScenarioParseError);
+  EXPECT_THROW(parse_scenario_text("[interface]\n"),  // unnamed
+               ScenarioParseError);
+}
+
+TEST(ScenarioText, SourceKinds) {
+  for (const char* source :
+       {"backlogged", "backlogged:5MB", "cbr:1mbps", "cbr:1mbps:10MB",
+        "poisson:2mbps", "onoff:4mbps:100ms:500ms"}) {
+    const std::string text = std::string("[interface i]\nrate = 1mbps\n") +
+                             "[flow f]\nifaces = i\nsource = " + source +
+                             "\n";
+    const auto parsed = parse_scenario_text(text);
+    EXPECT_NE(parsed.scenario.flows()[0].make_source, nullptr) << source;
+    EXPECT_NE(parsed.scenario.flows()[0].make_source(), nullptr) << source;
+  }
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "[flow f]\nifaces = i\n"
+                                   "source = warp\n"),
+               ScenarioParseError);
+}
+
+TEST(ScenarioText, PacketSpecs) {
+  for (const char* packet : {"1500", "uniform:100-1500", "bimodal:40-1500:0.5"}) {
+    const std::string text = std::string("[interface i]\nrate = 1mbps\n") +
+                             "[flow f]\nifaces = i\npacket = " + packet +
+                             "\n";
+    EXPECT_NO_THROW(parse_scenario_text(text)) << packet;
+  }
+  EXPECT_THROW(parse_scenario_text("[interface i]\nrate = 1mbps\n"
+                                   "[flow f]\nifaces = i\n"
+                                   "packet = uniform:100\n"),
+               ScenarioParseError);
+}
+
+}  // namespace
+}  // namespace midrr

@@ -1,0 +1,343 @@
+// White-box unit tests of the scheduler mechanics: rings, deficit counters,
+// quanta, service flags, preference enforcement, and topology churn.
+#include <gtest/gtest.h>
+
+#include "sched/drr.hpp"
+#include "sched/midrr.hpp"
+#include "sched/round_robin.hpp"
+#include "sched/wfq.hpp"
+
+namespace midrr {
+namespace {
+
+Packet pkt(FlowId flow, std::uint32_t size) { return Packet(flow, size); }
+
+TEST(SchedulerRegistry, AddRemoveFlowAndInterface) {
+  MiDrrScheduler s(1500);
+  const IfaceId wifi = s.add_interface("wifi");
+  const IfaceId lte = s.add_interface("lte");
+  const FlowId f = s.add_flow(1.0, {wifi, lte}, "video");
+  EXPECT_TRUE(s.preferences().willing(f, wifi));
+  EXPECT_TRUE(s.preferences().willing(f, lte));
+  EXPECT_EQ(s.preferences().flow_name(f), "video");
+  s.remove_flow(f);
+  EXPECT_FALSE(s.preferences().flow_exists(f));
+  s.remove_interface(lte);
+  EXPECT_FALSE(s.preferences().iface_exists(lte));
+}
+
+TEST(SchedulerRegistry, RejectsNonPositiveWeight) {
+  MiDrrScheduler s;
+  s.add_interface();
+  EXPECT_THROW(s.add_flow(0.0, {0}), PreconditionError);
+  EXPECT_THROW(s.add_flow(-1.0, {0}), PreconditionError);
+}
+
+TEST(SchedulerRegistry, RejectsUnknownInterfaceInWillingList) {
+  MiDrrScheduler s;
+  EXPECT_THROW(s.add_flow(1.0, {7}), PreconditionError);
+}
+
+TEST(SchedulerDataPath, DequeueEmptyInterfaceReturnsNothing) {
+  MiDrrScheduler s;
+  const IfaceId j = s.add_interface();
+  EXPECT_FALSE(s.dequeue(j, 0).has_value());
+  EXPECT_FALSE(s.has_eligible(j));
+}
+
+TEST(SchedulerDataPath, NeverViolatesInterfacePreference) {
+  // Flow only willing on iface 0; iface 1 must never receive its packets.
+  MiDrrScheduler s;
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId f = s.add_flow(1.0, {j0});
+  s.enqueue(pkt(f, 100), 0);
+  s.enqueue(pkt(f, 100), 0);
+  EXPECT_FALSE(s.dequeue(j1, 0).has_value());
+  const auto p = s.dequeue(j0, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->flow, f);
+}
+
+TEST(SchedulerDataPath, FifoWithinFlow) {
+  MiDrrScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId f = s.add_flow(1.0, {j});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    Packet p(f, 100, i);
+    s.enqueue(std::move(p), 0);
+  }
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto p = s.dequeue(j, 0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+}
+
+TEST(SchedulerDataPath, EnqueueReportsBackloggedTransition) {
+  MiDrrScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId f = s.add_flow(1.0, {j});
+  auto r1 = s.enqueue(pkt(f, 100), 0);
+  EXPECT_TRUE(r1.accepted);
+  EXPECT_TRUE(r1.became_backlogged);
+  auto r2 = s.enqueue(pkt(f, 100), 0);
+  EXPECT_TRUE(r2.accepted);
+  EXPECT_FALSE(r2.became_backlogged);
+}
+
+TEST(Drr, EqualWeightsAlternateByBytes) {
+  // Two flows, same weight, same packet size: service alternates turns and
+  // long-run byte counts stay equal.
+  NaiveDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 200; ++i) {
+    s.enqueue(pkt(a, 1000), 0);
+    s.enqueue(pkt(b, 1000), 0);
+  }
+  for (int i = 0; i < 300; ++i) s.dequeue(j, 0);
+  const auto sa = s.sent_bytes(a);
+  const auto sb = s.sent_bytes(b);
+  EXPECT_NEAR(static_cast<double>(sa), static_cast<double>(sb), 3000.0);
+}
+
+TEST(Drr, WeightsGiveProportionalService) {
+  NaiveDrrScheduler s(1000);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(2.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 600; ++i) {
+    s.enqueue(pkt(a, 500), 0);
+    s.enqueue(pkt(b, 500), 0);
+  }
+  for (int i = 0; i < 600; ++i) s.dequeue(j, 0);
+  const double ratio = static_cast<double>(s.sent_bytes(a)) /
+                       static_cast<double>(s.sent_bytes(b));
+  EXPECT_NEAR(ratio, 2.0, 0.1);
+}
+
+TEST(Drr, MixedPacketSizesStillFairInBytes) {
+  // DRR's whole point vs packet round robin: fairness in bytes even when
+  // one flow sends large packets and the other small ones.
+  NaiveDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId big = s.add_flow(1.0, {j});
+  const FlowId small = s.add_flow(1.0, {j});
+  for (int i = 0; i < 200; ++i) s.enqueue(pkt(big, 1500), 0);
+  for (int i = 0; i < 3000; ++i) s.enqueue(pkt(small, 100), 0);
+  std::uint64_t served = 0;
+  while (served < 200'000) {
+    const auto p = s.dequeue(j, 0);
+    if (!p) break;
+    served += p->size_bytes;
+  }
+  const double ratio = static_cast<double>(s.sent_bytes(big)) /
+                       static_cast<double>(s.sent_bytes(small));
+  EXPECT_NEAR(ratio, 1.0, 0.1);
+}
+
+TEST(Drr, DeficitBoundLemma3) {
+  // After any dequeue, every flow's deficit stays within [0, MaxSize).
+  NaiveDrrScheduler s(300);  // quantum smaller than packets
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 100; ++i) {
+    s.enqueue(pkt(a, 1000), 0);
+    s.enqueue(pkt(b, 700), 0);
+  }
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(s.dequeue(j, 0).has_value());
+    EXPECT_GE(s.deficit_of(a, j), 0);
+    EXPECT_GE(s.deficit_of(b, j), 0);
+    // While backlogged, DC < max packet size after a served turn: the
+    // paper's Lemma 3 bound (deficit can exceed packet size transiently
+    // mid-turn only when quantum > packet, not here).
+    EXPECT_LT(s.deficit_of(a, j), 1000 + 300);
+    EXPECT_LT(s.deficit_of(b, j), 700 + 300);
+  }
+}
+
+TEST(Drr, DeficitResetWhenFlowDrains) {
+  NaiveDrrScheduler s(5000);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  s.enqueue(pkt(a, 1000), 0);
+  ASSERT_TRUE(s.dequeue(j, 0).has_value());
+  EXPECT_EQ(s.deficit_of(a, j), 0) << "deficit must reset on drain";
+}
+
+TEST(MiDrr, ServiceFlagSetForOtherInterfacesOnly) {
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const IfaceId j2 = s.add_interface();
+  const FlowId f = s.add_flow(1.0, {j0, j1, j2});
+  s.enqueue(pkt(f, 100), 0);
+  s.enqueue(pkt(f, 100), 0);
+  ASSERT_TRUE(s.dequeue(j1, 0).has_value());
+  EXPECT_TRUE(s.service_flag(f, j0));
+  EXPECT_FALSE(s.service_flag(f, j1));
+  EXPECT_TRUE(s.service_flag(f, j2));
+}
+
+TEST(MiDrr, FlagClearedWhenSkipped) {
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId b = s.add_flow(1.0, {j1});
+  for (int i = 0; i < 4; ++i) {
+    s.enqueue(pkt(a, 1000), 0);
+    s.enqueue(pkt(b, 1000), 0);
+  }
+  // j0 serves a -> flag at j1 set.
+  ASSERT_TRUE(s.dequeue(j0, 0).has_value());
+  ASSERT_TRUE(s.service_flag(a, j1));
+  // j1 now walks: skips a (clearing its flag) and serves b.
+  const auto p = s.dequeue(j1, 0);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->flow, b);
+  EXPECT_FALSE(s.service_flag(a, j1));
+}
+
+TEST(MiDrr, SoleFlowWithSetFlagIsStillServed) {
+  // Work conservation: a set flag must not idle an interface whose only
+  // backlogged flow it belongs to.
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  for (int i = 0; i < 4; ++i) s.enqueue(pkt(a, 1000), 0);
+  ASSERT_TRUE(s.dequeue(j0, 0).has_value());  // sets flag at j1
+  ASSERT_TRUE(s.service_flag(a, j1));
+  const auto p = s.dequeue(j1, 0);  // must clear and serve anyway
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->flow, a);
+}
+
+TEST(MiDrr, SharedDeficitAllowsAggregation) {
+  // One flow on two interfaces: both serve it; total service is the sum.
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  for (int i = 0; i < 100; ++i) s.enqueue(pkt(a, 1000), 0);
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(s.dequeue(j0, 0).has_value());
+    ASSERT_TRUE(s.dequeue(j1, 0).has_value());
+  }
+  EXPECT_GT(s.sent_bytes(a, j0), 0u);
+  EXPECT_GT(s.sent_bytes(a, j1), 0u);
+  EXPECT_EQ(s.sent_bytes(a), 60'000u);
+}
+
+TEST(MiDrr, QuantumScalesWithWeight) {
+  MiDrrScheduler s(1000);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(2.5, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  EXPECT_EQ(s.quantum_of(a), 2500);
+  EXPECT_EQ(s.quantum_of(b), 1000);
+  // Quanta are normalized by the minimum live weight: the smallest-weight
+  // flow always gets quantum_base, never a sub-MTU quantum.
+  s.set_weight(b, 0.5);
+  EXPECT_EQ(s.quantum_of(b), 1000);
+  EXPECT_EQ(s.quantum_of(a), 5000);
+}
+
+TEST(Wfq, SingleInterfaceWeightedFairness) {
+  PerIfaceWfqScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(3.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 800; ++i) {
+    s.enqueue(pkt(a, 500), 0);
+    s.enqueue(pkt(b, 500), 0);
+  }
+  for (int i = 0; i < 800; ++i) s.dequeue(j, 0);
+  const double ratio = static_cast<double>(s.sent_bytes(a)) /
+                       static_cast<double>(s.sent_bytes(b));
+  EXPECT_NEAR(ratio, 3.0, 0.15);
+}
+
+TEST(RoundRobin, AlternatesPackets) {
+  RoundRobinScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 10; ++i) {
+    s.enqueue(pkt(a, 100), 0);
+    s.enqueue(pkt(b, 2000), 0);
+  }
+  // Packet RR alternates regardless of size: equal packet counts.
+  std::uint64_t count_a = 0;
+  std::uint64_t count_b = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto p = s.dequeue(j, 0);
+    ASSERT_TRUE(p.has_value());
+    (p->flow == a ? count_a : count_b)++;
+  }
+  EXPECT_EQ(count_a, 5u);
+  EXPECT_EQ(count_b, 5u);
+}
+
+TEST(SchedulerChurn, RemoveInterfaceMidstream) {
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  for (int i = 0; i < 10; ++i) s.enqueue(pkt(a, 1000), 0);
+  ASSERT_TRUE(s.dequeue(j0, 0).has_value());
+  s.remove_interface(j0);
+  // Remaining backlog drains through j1.
+  int drained = 0;
+  while (s.dequeue(j1, 0).has_value()) ++drained;
+  EXPECT_EQ(drained, 9);
+}
+
+TEST(SchedulerChurn, SetWillingFalseStopsService) {
+  MiDrrScheduler s(1500);
+  const IfaceId j0 = s.add_interface();
+  const IfaceId j1 = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j0, j1});
+  for (int i = 0; i < 4; ++i) s.enqueue(pkt(a, 1000), 0);
+  s.set_willing(a, j0, false);
+  EXPECT_FALSE(s.dequeue(j0, 0).has_value());
+  EXPECT_TRUE(s.dequeue(j1, 0).has_value());
+  // And re-enabling restores service.
+  s.set_willing(a, j0, true);
+  EXPECT_TRUE(s.dequeue(j0, 0).has_value());
+}
+
+TEST(SchedulerChurn, RemoveFlowDiscardsBacklog) {
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId b = s.add_flow(1.0, {j});
+  for (int i = 0; i < 4; ++i) {
+    s.enqueue(pkt(a, 1000), 0);
+    s.enqueue(pkt(b, 1000), 0);
+  }
+  s.remove_flow(a);
+  int from_b = 0;
+  while (auto p = s.dequeue(j, 0)) {
+    EXPECT_EQ(p->flow, b);
+    ++from_b;
+  }
+  EXPECT_EQ(from_b, 4);
+}
+
+TEST(SchedulerChurn, TurnCountersTrackGrants) {
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow(1.0, {j});
+  for (int i = 0; i < 3; ++i) s.enqueue(pkt(a, 1500), 0);
+  s.dequeue(j, 0);
+  EXPECT_GE(s.turns(a, j), 1u);
+}
+
+}  // namespace
+}  // namespace midrr

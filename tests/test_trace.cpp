@@ -1,0 +1,89 @@
+// Tests for the synthetic smartphone trace (the Fig 7 substitute): the
+// generator must reproduce the paper's two reported statistics and behave
+// sanely across its knobs.
+#include <gtest/gtest.h>
+
+#include "trace/smartphone.hpp"
+
+namespace midrr::trace {
+namespace {
+
+TEST(SmartphoneTrace, MatchesPaperStatisticsWithDefaults) {
+  const auto result = generate_smartphone_trace();
+  // "10% of the time, we have 7 or more ongoing flows"
+  EXPECT_GT(result.p_at_least(7), 0.05);
+  EXPECT_LT(result.p_at_least(7), 0.20);
+  // "the maximum number of concurrent flows hit a maximum of 35"
+  EXPECT_GE(result.max_concurrent, 25u);
+  EXPECT_LE(result.max_concurrent, 50u);
+  EXPECT_GT(result.total_flows, 10'000u);
+}
+
+TEST(SmartphoneTrace, Deterministic) {
+  SmartphoneTraceConfig c;
+  c.total = 24 * 3600 * kSecond;
+  const auto a = generate_smartphone_trace(c);
+  const auto b = generate_smartphone_trace(c);
+  EXPECT_EQ(a.max_concurrent, b.max_concurrent);
+  EXPECT_DOUBLE_EQ(a.p_at_least(7), b.p_at_least(7));
+  EXPECT_EQ(a.total_flows, b.total_flows);
+}
+
+TEST(SmartphoneTrace, SeedChangesTrace) {
+  SmartphoneTraceConfig c;
+  c.total = 24 * 3600 * kSecond;
+  const auto a = generate_smartphone_trace(c);
+  c.seed = 99;
+  const auto b = generate_smartphone_trace(c);
+  EXPECT_NE(a.total_flows, b.total_flows);
+}
+
+TEST(SmartphoneTrace, MoreArrivalsMoreConcurrency) {
+  SmartphoneTraceConfig low;
+  low.total = 24 * 3600 * kSecond;
+  low.flow_arrivals_per_minute = 1.0;
+  low.burst_arrivals_per_minute = 0.1;
+  SmartphoneTraceConfig high = low;
+  high.flow_arrivals_per_minute = 12.0;
+  high.burst_arrivals_per_minute = 2.0;
+  const auto r_low = generate_smartphone_trace(low);
+  const auto r_high = generate_smartphone_trace(high);
+  EXPECT_LT(r_low.p_at_least(7), r_high.p_at_least(7));
+  EXPECT_LT(r_low.active_cdf.quantile(0.5), r_high.active_cdf.quantile(0.5));
+}
+
+TEST(SmartphoneTrace, NoBurstsLowersTail) {
+  SmartphoneTraceConfig c;
+  c.total = 24 * 3600 * kSecond;
+  SmartphoneTraceConfig no_bursts = c;
+  no_bursts.burst_arrivals_per_minute = 0.0;
+  const auto with_bursts = generate_smartphone_trace(c);
+  const auto without = generate_smartphone_trace(no_bursts);
+  EXPECT_LT(without.max_concurrent, with_bursts.max_concurrent);
+}
+
+TEST(SmartphoneTrace, CdfIsMonotoneAndNormalized) {
+  SmartphoneTraceConfig c;
+  c.total = 24 * 3600 * kSecond;
+  const auto r = generate_smartphone_trace(c);
+  const auto curve = r.active_cdf.curve();
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+  EXPECT_GE(curve.front().first, 1.0) << "active CDF starts at N >= 1";
+}
+
+TEST(SmartphoneTrace, ValidatesConfig) {
+  SmartphoneTraceConfig c;
+  c.flow_duration_shape = 1.0;
+  EXPECT_THROW(generate_smartphone_trace(c), PreconditionError);
+  SmartphoneTraceConfig c2;
+  c2.total = 0;
+  EXPECT_THROW(generate_smartphone_trace(c2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace midrr::trace

@@ -1,0 +1,185 @@
+// Unit tests for the measurement substrate (stats, time, rng, csv).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+namespace {
+
+TEST(Time, ConversionRoundTrip) {
+  EXPECT_EQ(from_seconds(1.5), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(2 * kSecond + 500 * kMillisecond), 2.5);
+}
+
+TEST(Time, TransmissionTimeRoundsUp) {
+  // 1000 bytes at 1 Mb/s = exactly 8 ms.
+  EXPECT_EQ(transmission_time(1000, 1e6), 8 * kMillisecond);
+  // At 3 Mb/s: 8000/3e6 s = 2666666.66..ns -> rounds up to 2666667.
+  EXPECT_EQ(transmission_time(1000, 3e6), 2666667);
+  EXPECT_THROW(transmission_time(1000, 0.0), PreconditionError);
+}
+
+TEST(Time, RateBps) {
+  EXPECT_DOUBLE_EQ(rate_bps(1000, 8 * kMillisecond), 1e6);
+  EXPECT_DOUBLE_EQ(to_mbps(mbps(3.5)), 3.5);
+}
+
+TEST(OnlineStats, Moments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-3.0);   // underflow -> first bucket
+  h.add(42.0);   // overflow -> last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_DOUBLE_EQ(h.bucket_mid(0), 0.5);
+}
+
+TEST(EmpiricalCdf, QuantilesAndCurve) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 100.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(10.0), 0.10);
+  EXPECT_DOUBLE_EQ(cdf.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(1000.0), 1.0);
+  const auto curve = cdf.curve();
+  EXPECT_EQ(curve.size(), 100u);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, WeightedSamples) {
+  EmpiricalCdf cdf;
+  cdf.add_weighted(1.0, 9.0);
+  cdf.add_weighted(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.cdf(1.0), 0.9);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.95), 2.0);
+  EXPECT_NEAR(cdf.mean(), 1.1, 1e-12);
+}
+
+TEST(RateMeter, WindowedRate) {
+  RateMeter meter(100 * kMillisecond, 10);  // 1 s window
+  // 1000 bytes every 100 ms for 2 s -> 80 kb/s.
+  for (int i = 0; i < 20; ++i) {
+    meter.record(i * 100 * kMillisecond, 1000);
+  }
+  EXPECT_NEAR(meter.rate_bps(2 * kSecond), 80'000.0, 1.0);
+  EXPECT_EQ(meter.total_bytes(), 20'000u);
+}
+
+TEST(RateMeter, RateDropsWhenIdle) {
+  RateMeter meter(100 * kMillisecond, 10);
+  meter.record(0, 10'000);
+  EXPECT_GT(meter.rate_bps(500 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(meter.rate_bps(5 * kSecond), 0.0);
+}
+
+TEST(RateMeter, RejectsOutOfOrder) {
+  RateMeter meter(kMillisecond);
+  meter.record(10 * kMillisecond, 1);
+  EXPECT_THROW(meter.record(5 * kMillisecond, 1), PreconditionError);
+}
+
+TEST(TimeSeries, MeanOverWindow) {
+  TimeSeries ts("x");
+  ts.add(0, 1.0);
+  ts.add(kSecond, 2.0);
+  ts.add(2 * kSecond, 3.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(0, 3 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(kSecond, 2 * kSecond), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_over(5 * kSecond, 6 * kSecond), 0.0);
+}
+
+TEST(JainIndex, PerfectAndSkewed) {
+  EXPECT_DOUBLE_EQ(jain_index({1.0, 1.0, 1.0}), 1.0);
+  // One flow hogging: J = n^2 / (n * n) ... for {1,0,0}: 1/3.
+  EXPECT_NEAR(jain_index({1.0, 0.0, 0.0}), 1.0 / 3.0, 1e-12);
+  // Weighted: rates proportional to weights are perfectly fair.
+  EXPECT_DOUBLE_EQ(jain_index({2.0, 1.0}, {2.0, 1.0}), 1.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, RangesRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    const double u = rng.uniform(0.25, 0.75);
+    EXPECT_GE(u, 0.25);
+    EXPECT_LT(u, 0.75);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(3);
+  OnlineStats s;
+  for (int i = 0; i < 20'000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(11);
+  std::vector<double> w{1.0, 3.0};
+  int count1 = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (rng.weighted_index(w) == 1) ++count1;
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / 10'000.0, 0.75, 0.02);
+}
+
+TEST(Csv, EscapingAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"name", "value"});
+  csv.row({"plain", "1"});
+  csv.row({"with,comma", "quote\"inside"});
+  EXPECT_EQ(out.str(),
+            "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"\n");
+  EXPECT_THROW(csv.row({"only-one"}), PreconditionError);
+}
+
+TEST(Csv, TimeSeriesLongFormat) {
+  TimeSeries ts("rate");
+  ts.add(kSecond, 2.5);
+  std::ostringstream out;
+  write_time_series_csv(out, {&ts});
+  EXPECT_EQ(out.str(), "series,t_seconds,value\nrate,1,2.5\n");
+}
+
+}  // namespace
+}  // namespace midrr

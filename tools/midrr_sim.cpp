@@ -1,0 +1,125 @@
+// midrr_sim: run a scheduling scenario described in a text file.
+//
+//   midrr_sim phone.scn               # run, print per-flow rates
+//   midrr_sim phone.scn --csv         # also dump the raw rate series
+//   midrr_sim phone.scn --policy wfq  # override the file's policy
+//   cat phone.scn | midrr_sim -       # read from stdin
+//
+// See src/core/scenario_text.hpp for the file format and examples/*.scn
+// for ready-made scenarios.
+#include <fstream>
+#include <iostream>
+
+#include "core/scenario_text.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: midrr_sim <scenario-file|-> [--policy NAME] [--csv]\n"
+         "  runs the scenario and prints steady-state rates, completions\n"
+         "  and (if enabled in the file) cluster snapshots.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midrr;
+
+  if (argc < 2) return usage();
+  std::string path;
+  std::optional<Policy> policy_override;
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) return usage();
+      try {
+        policy_override = parse_policy(argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) return usage();
+
+  ParsedScenario parsed;
+  try {
+    if (path == "-") {
+      parsed = parse_scenario(std::cin);
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::cerr << "error: cannot open '" << path << "'\n";
+        return 1;
+      }
+      parsed = parse_scenario(file);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (policy_override) parsed.run.policy = *policy_override;
+
+  try {
+    ScenarioRunner runner(parsed.scenario, parsed.run.policy,
+                          parsed.run.options);
+    const auto result = runner.run(parsed.run.duration);
+
+    std::cout << "policy: " << result.policy
+              << "   duration: " << to_seconds(result.duration) << " s\n\n";
+    std::cout << "flows (rate over the second half of the run):\n";
+    for (const auto& flow : result.flows) {
+      std::cout << "  " << flow.name << ": "
+                << flow.mean_rate_mbps(result.duration / 2, result.duration)
+                << " Mb/s, " << flow.bytes_sent << " bytes total";
+      if (flow.completed_at) {
+        std::cout << ", completed at " << to_seconds(*flow.completed_at)
+                  << " s";
+      }
+      if (!flow.delay_ns.empty()) {
+        std::cout << ", p99 delay "
+                  << flow.delay_ns.quantile(0.99) / 1e6 << " ms";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\ninterfaces:\n";
+    for (const auto& iface : result.ifaces) {
+      std::cout << "  " << iface.name << ": " << iface.bytes_sent
+                << " bytes, busy "
+                << 100.0 * to_seconds(iface.busy_time) /
+                       to_seconds(result.duration)
+                << "%\n";
+    }
+    if (!result.clusters.empty()) {
+      std::cout << "\nclusters:\n";
+      std::string last;
+      for (const auto& snap : result.clusters) {
+        if (snap.rendering != last) {
+          std::cout << "  t=" << to_seconds(snap.at) << " s: "
+                    << snap.rendering << "\n";
+          last = snap.rendering;
+        }
+      }
+    }
+    if (csv) {
+      std::cout << "\n";
+      std::vector<const TimeSeries*> series;
+      for (const auto& flow : result.flows) series.push_back(&flow.rate_mbps);
+      write_time_series_csv(std::cout, series);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
