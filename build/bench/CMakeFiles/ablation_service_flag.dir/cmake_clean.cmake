@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_service_flag.dir/ablation_service_flag.cpp.o"
+  "CMakeFiles/ablation_service_flag.dir/ablation_service_flag.cpp.o.d"
+  "ablation_service_flag"
+  "ablation_service_flag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_service_flag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

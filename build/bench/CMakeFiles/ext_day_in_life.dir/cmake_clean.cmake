@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_day_in_life.dir/ext_day_in_life.cpp.o"
+  "CMakeFiles/ext_day_in_life.dir/ext_day_in_life.cpp.o.d"
+  "ext_day_in_life"
+  "ext_day_in_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_day_in_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_fading_links.dir/ext_fading_links.cpp.o"
+  "CMakeFiles/ext_fading_links.dir/ext_fading_links.cpp.o.d"
+  "ext_fading_links"
+  "ext_fading_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_fading_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

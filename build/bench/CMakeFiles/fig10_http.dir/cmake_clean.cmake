@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_http.dir/fig10_http.cpp.o"
+  "CMakeFiles/fig10_http.dir/fig10_http.cpp.o.d"
+  "fig10_http"
+  "fig10_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_http_clusters.dir/fig11_http_clusters.cpp.o"
+  "CMakeFiles/fig11_http_clusters.dir/fig11_http_clusters.cpp.o.d"
+  "fig11_http_clusters"
+  "fig11_http_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_http_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

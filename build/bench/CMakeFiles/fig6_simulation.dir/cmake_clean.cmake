@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_simulation.dir/fig6_simulation.cpp.o"
+  "CMakeFiles/fig6_simulation.dir/fig6_simulation.cpp.o.d"
+  "fig6_simulation"
+  "fig6_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

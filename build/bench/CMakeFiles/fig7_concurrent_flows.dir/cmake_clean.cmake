@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_concurrent_flows.dir/fig7_concurrent_flows.cpp.o"
+  "CMakeFiles/fig7_concurrent_flows.dir/fig7_concurrent_flows.cpp.o.d"
+  "fig7_concurrent_flows"
+  "fig7_concurrent_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_concurrent_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_clusters.dir/fig8_clusters.cpp.o"
+  "CMakeFiles/fig8_clusters.dir/fig8_clusters.cpp.o.d"
+  "fig8_clusters"
+  "fig8_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_scalability.dir/sweep_scalability.cpp.o"
+  "CMakeFiles/sweep_scalability.dir/sweep_scalability.cpp.o.d"
+  "sweep_scalability"
+  "sweep_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_tasks.dir/datacenter_tasks.cpp.o"
+  "CMakeFiles/datacenter_tasks.dir/datacenter_tasks.cpp.o.d"
+  "datacenter_tasks"
+  "datacenter_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_download.dir/http_download.cpp.o"
+  "CMakeFiles/http_download.dir/http_download.cpp.o.d"
+  "http_download"
+  "http_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

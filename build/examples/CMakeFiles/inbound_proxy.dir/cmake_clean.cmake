@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inbound_proxy.dir/inbound_proxy.cpp.o"
+  "CMakeFiles/inbound_proxy.dir/inbound_proxy.cpp.o.d"
+  "inbound_proxy"
+  "inbound_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inbound_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

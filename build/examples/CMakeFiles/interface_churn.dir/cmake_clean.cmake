@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interface_churn.dir/interface_churn.cpp.o"
+  "CMakeFiles/interface_churn.dir/interface_churn.cpp.o.d"
+  "interface_churn"
+  "interface_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interface_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_bridge.dir/kernel_bridge.cpp.o"
+  "CMakeFiles/kernel_bridge.dir/kernel_bridge.cpp.o.d"
+  "kernel_bridge"
+  "kernel_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

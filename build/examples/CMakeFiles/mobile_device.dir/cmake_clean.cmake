@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_device.dir/mobile_device.cpp.o"
+  "CMakeFiles/mobile_device.dir/mobile_device.cpp.o.d"
+  "mobile_device"
+  "mobile_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

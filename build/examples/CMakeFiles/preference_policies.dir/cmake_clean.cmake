@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_policies.dir/preference_policies.cpp.o"
+  "CMakeFiles/preference_policies.dir/preference_policies.cpp.o.d"
+  "preference_policies"
+  "preference_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

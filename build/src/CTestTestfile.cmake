@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("sim")
+subdirs("flow")
+subdirs("sched")
+subdirs("fairness")
+subdirs("core")
+subdirs("inbound")
+subdirs("policy")
+subdirs("bridge")
+subdirs("http")
+subdirs("trace")

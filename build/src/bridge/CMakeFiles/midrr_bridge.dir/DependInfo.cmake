@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bridge/bridge.cpp" "src/bridge/CMakeFiles/midrr_bridge.dir/bridge.cpp.o" "gcc" "src/bridge/CMakeFiles/midrr_bridge.dir/bridge.cpp.o.d"
+  "/root/repo/src/bridge/classifier.cpp" "src/bridge/CMakeFiles/midrr_bridge.dir/classifier.cpp.o" "gcc" "src/bridge/CMakeFiles/midrr_bridge.dir/classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/midrr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/midrr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/midrr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/midrr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/midrr_fair.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_bridge.dir/bridge.cpp.o"
+  "CMakeFiles/midrr_bridge.dir/bridge.cpp.o.d"
+  "CMakeFiles/midrr_bridge.dir/classifier.cpp.o"
+  "CMakeFiles/midrr_bridge.dir/classifier.cpp.o.d"
+  "libmidrr_bridge.a"
+  "libmidrr_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for midrr_bridge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_core.dir/scenario.cpp.o"
+  "CMakeFiles/midrr_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/midrr_core.dir/scenario_text.cpp.o"
+  "CMakeFiles/midrr_core.dir/scenario_text.cpp.o.d"
+  "libmidrr_core.a"
+  "libmidrr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

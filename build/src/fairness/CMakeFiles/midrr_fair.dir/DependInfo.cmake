@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fairness/bottleneck.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/bottleneck.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/fairness/clusters.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/clusters.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/clusters.cpp.o.d"
+  "/root/repo/src/fairness/fluid.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/fluid.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/fluid.cpp.o.d"
+  "/root/repo/src/fairness/maxflow.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/maxflow.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/maxflow.cpp.o.d"
+  "/root/repo/src/fairness/maxmin.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/maxmin.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/maxmin.cpp.o.d"
+  "/root/repo/src/fairness/metrics.cpp" "src/fairness/CMakeFiles/midrr_fair.dir/metrics.cpp.o" "gcc" "src/fairness/CMakeFiles/midrr_fair.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/midrr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/midrr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/midrr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/midrr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_fair.dir/bottleneck.cpp.o"
+  "CMakeFiles/midrr_fair.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/midrr_fair.dir/clusters.cpp.o"
+  "CMakeFiles/midrr_fair.dir/clusters.cpp.o.d"
+  "CMakeFiles/midrr_fair.dir/fluid.cpp.o"
+  "CMakeFiles/midrr_fair.dir/fluid.cpp.o.d"
+  "CMakeFiles/midrr_fair.dir/maxflow.cpp.o"
+  "CMakeFiles/midrr_fair.dir/maxflow.cpp.o.d"
+  "CMakeFiles/midrr_fair.dir/maxmin.cpp.o"
+  "CMakeFiles/midrr_fair.dir/maxmin.cpp.o.d"
+  "CMakeFiles/midrr_fair.dir/metrics.cpp.o"
+  "CMakeFiles/midrr_fair.dir/metrics.cpp.o.d"
+  "libmidrr_fair.a"
+  "libmidrr_fair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_fair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_flow.dir/preferences.cpp.o"
+  "CMakeFiles/midrr_flow.dir/preferences.cpp.o.d"
+  "CMakeFiles/midrr_flow.dir/queue.cpp.o"
+  "CMakeFiles/midrr_flow.dir/queue.cpp.o.d"
+  "CMakeFiles/midrr_flow.dir/source.cpp.o"
+  "CMakeFiles/midrr_flow.dir/source.cpp.o.d"
+  "libmidrr_flow.a"
+  "libmidrr_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

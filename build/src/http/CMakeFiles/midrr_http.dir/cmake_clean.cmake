@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_http.dir/message.cpp.o"
+  "CMakeFiles/midrr_http.dir/message.cpp.o.d"
+  "CMakeFiles/midrr_http.dir/proxy.cpp.o"
+  "CMakeFiles/midrr_http.dir/proxy.cpp.o.d"
+  "CMakeFiles/midrr_http.dir/reassembler.cpp.o"
+  "CMakeFiles/midrr_http.dir/reassembler.cpp.o.d"
+  "libmidrr_http.a"
+  "libmidrr_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_inbound.dir/remote_proxy.cpp.o"
+  "CMakeFiles/midrr_inbound.dir/remote_proxy.cpp.o.d"
+  "CMakeFiles/midrr_inbound.dir/reorder.cpp.o"
+  "CMakeFiles/midrr_inbound.dir/reorder.cpp.o.d"
+  "libmidrr_inbound.a"
+  "libmidrr_inbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_inbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

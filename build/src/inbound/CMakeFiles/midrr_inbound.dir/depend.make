@@ -1,0 +1,2 @@
+# Empty dependencies file for midrr_inbound.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_net.dir/addr.cpp.o"
+  "CMakeFiles/midrr_net.dir/addr.cpp.o.d"
+  "CMakeFiles/midrr_net.dir/bytes.cpp.o"
+  "CMakeFiles/midrr_net.dir/bytes.cpp.o.d"
+  "CMakeFiles/midrr_net.dir/checksum.cpp.o"
+  "CMakeFiles/midrr_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/midrr_net.dir/headers.cpp.o"
+  "CMakeFiles/midrr_net.dir/headers.cpp.o.d"
+  "CMakeFiles/midrr_net.dir/packet.cpp.o"
+  "CMakeFiles/midrr_net.dir/packet.cpp.o.d"
+  "CMakeFiles/midrr_net.dir/pcap.cpp.o"
+  "CMakeFiles/midrr_net.dir/pcap.cpp.o.d"
+  "libmidrr_net.a"
+  "libmidrr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

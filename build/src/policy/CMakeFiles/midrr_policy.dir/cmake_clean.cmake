@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_policy.dir/compiler.cpp.o"
+  "CMakeFiles/midrr_policy.dir/compiler.cpp.o.d"
+  "libmidrr_policy.a"
+  "libmidrr_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/drr.cpp" "src/sched/CMakeFiles/midrr_sched.dir/drr.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/drr.cpp.o.d"
+  "/root/repo/src/sched/fifo.cpp" "src/sched/CMakeFiles/midrr_sched.dir/fifo.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/fifo.cpp.o.d"
+  "/root/repo/src/sched/midrr.cpp" "src/sched/CMakeFiles/midrr_sched.dir/midrr.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/midrr.cpp.o.d"
+  "/root/repo/src/sched/observer.cpp" "src/sched/CMakeFiles/midrr_sched.dir/observer.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/observer.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/sched/CMakeFiles/midrr_sched.dir/oracle.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/oracle.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/sched/CMakeFiles/midrr_sched.dir/priority.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/priority.cpp.o.d"
+  "/root/repo/src/sched/ring.cpp" "src/sched/CMakeFiles/midrr_sched.dir/ring.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/ring.cpp.o.d"
+  "/root/repo/src/sched/round_robin.cpp" "src/sched/CMakeFiles/midrr_sched.dir/round_robin.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/round_robin.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/midrr_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/wfq.cpp" "src/sched/CMakeFiles/midrr_sched.dir/wfq.cpp.o" "gcc" "src/sched/CMakeFiles/midrr_sched.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/midrr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/midrr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/midrr_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/midrr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_sched.dir/drr.cpp.o"
+  "CMakeFiles/midrr_sched.dir/drr.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/fifo.cpp.o"
+  "CMakeFiles/midrr_sched.dir/fifo.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/midrr.cpp.o"
+  "CMakeFiles/midrr_sched.dir/midrr.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/observer.cpp.o"
+  "CMakeFiles/midrr_sched.dir/observer.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/oracle.cpp.o"
+  "CMakeFiles/midrr_sched.dir/oracle.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/priority.cpp.o"
+  "CMakeFiles/midrr_sched.dir/priority.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/ring.cpp.o"
+  "CMakeFiles/midrr_sched.dir/ring.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/round_robin.cpp.o"
+  "CMakeFiles/midrr_sched.dir/round_robin.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/midrr_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/midrr_sched.dir/wfq.cpp.o"
+  "CMakeFiles/midrr_sched.dir/wfq.cpp.o.d"
+  "libmidrr_sched.a"
+  "libmidrr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_sim.dir/link.cpp.o"
+  "CMakeFiles/midrr_sim.dir/link.cpp.o.d"
+  "CMakeFiles/midrr_sim.dir/rate_profile.cpp.o"
+  "CMakeFiles/midrr_sim.dir/rate_profile.cpp.o.d"
+  "CMakeFiles/midrr_sim.dir/simulator.cpp.o"
+  "CMakeFiles/midrr_sim.dir/simulator.cpp.o.d"
+  "libmidrr_sim.a"
+  "libmidrr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_trace.dir/smartphone.cpp.o"
+  "CMakeFiles/midrr_trace.dir/smartphone.cpp.o.d"
+  "libmidrr_trace.a"
+  "libmidrr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

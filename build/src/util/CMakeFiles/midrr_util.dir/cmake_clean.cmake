@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr_util.dir/csv.cpp.o"
+  "CMakeFiles/midrr_util.dir/csv.cpp.o.d"
+  "CMakeFiles/midrr_util.dir/logging.cpp.o"
+  "CMakeFiles/midrr_util.dir/logging.cpp.o.d"
+  "CMakeFiles/midrr_util.dir/stats.cpp.o"
+  "CMakeFiles/midrr_util.dir/stats.cpp.o.d"
+  "libmidrr_util.a"
+  "libmidrr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmidrr_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clusters.dir/test_clusters.cpp.o"
+  "CMakeFiles/test_clusters.dir/test_clusters.cpp.o.d"
+  "test_clusters"
+  "test_clusters.pdb"
+  "test_clusters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

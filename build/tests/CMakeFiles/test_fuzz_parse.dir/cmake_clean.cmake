@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_parse.dir/test_fuzz_parse.cpp.o"
+  "CMakeFiles/test_fuzz_parse.dir/test_fuzz_parse.cpp.o.d"
+  "test_fuzz_parse"
+  "test_fuzz_parse.pdb"
+  "test_fuzz_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inbound.dir/test_inbound.cpp.o"
+  "CMakeFiles/test_inbound.dir/test_inbound.cpp.o.d"
+  "test_inbound"
+  "test_inbound.pdb"
+  "test_inbound[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

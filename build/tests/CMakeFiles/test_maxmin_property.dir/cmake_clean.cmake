@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maxmin_property.dir/test_maxmin_property.cpp.o"
+  "CMakeFiles/test_maxmin_property.dir/test_maxmin_property.cpp.o.d"
+  "test_maxmin_property"
+  "test_maxmin_property.pdb"
+  "test_maxmin_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maxmin_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

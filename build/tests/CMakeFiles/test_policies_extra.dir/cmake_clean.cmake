@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policies_extra.dir/test_policies_extra.cpp.o"
+  "CMakeFiles/test_policies_extra.dir/test_policies_extra.cpp.o.d"
+  "test_policies_extra"
+  "test_policies_extra.pdb"
+  "test_policies_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policies_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

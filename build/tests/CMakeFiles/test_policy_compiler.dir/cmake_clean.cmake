@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_compiler.dir/test_policy_compiler.cpp.o"
+  "CMakeFiles/test_policy_compiler.dir/test_policy_compiler.cpp.o.d"
+  "test_policy_compiler"
+  "test_policy_compiler.pdb"
+  "test_policy_compiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

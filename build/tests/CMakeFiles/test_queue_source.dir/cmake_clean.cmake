@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_source.dir/test_queue_source.cpp.o"
+  "CMakeFiles/test_queue_source.dir/test_queue_source.cpp.o.d"
+  "test_queue_source"
+  "test_queue_source.pdb"
+  "test_queue_source[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_fig6.dir/test_scenario_fig6.cpp.o"
+  "CMakeFiles/test_scenario_fig6.dir/test_scenario_fig6.cpp.o.d"
+  "test_scenario_fig6"
+  "test_scenario_fig6.pdb"
+  "test_scenario_fig6[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_fig6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_text.dir/test_scenario_text.cpp.o"
+  "CMakeFiles/test_scenario_text.dir/test_scenario_text.cpp.o.d"
+  "test_scenario_text"
+  "test_scenario_text.pdb"
+  "test_scenario_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

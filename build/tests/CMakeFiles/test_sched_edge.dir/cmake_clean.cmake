@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_edge.dir/test_sched_edge.cpp.o"
+  "CMakeFiles/test_sched_edge.dir/test_sched_edge.cpp.o.d"
+  "test_sched_edge"
+  "test_sched_edge.pdb"
+  "test_sched_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

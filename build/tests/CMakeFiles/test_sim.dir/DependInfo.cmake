@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/test_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/midrr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fairness/CMakeFiles/midrr_fair.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/midrr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/midrr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/midrr_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/midrr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/midrr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bridge/CMakeFiles/midrr_bridge.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/midrr_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/midrr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/inbound/CMakeFiles/midrr_inbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/midrr_policy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr-sim.dir/midrr_sim.cpp.o"
+  "CMakeFiles/midrr-sim.dir/midrr_sim.cpp.o.d"
+  "midrr_sim"
+  "midrr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

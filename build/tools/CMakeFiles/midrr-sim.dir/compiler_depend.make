@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for midrr-sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midrr-solve.dir/midrr_solve.cpp.o"
+  "CMakeFiles/midrr-solve.dir/midrr_solve.cpp.o.d"
+  "midrr_solve"
+  "midrr_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midrr-solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_sim_runs_scenario_file "/root/repo/build/tools/midrr_sim" "/root/repo/examples/phone.scn")
+set_tests_properties(tool_sim_runs_scenario_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_policy_override "/root/repo/build/tools/midrr_sim" "/root/repo/examples/phone.scn" "--policy" "wfq")
+set_tests_properties(tool_sim_policy_override PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sim_rejects_missing_file "/root/repo/build/tools/midrr_sim" "/nonexistent.scn")
+set_tests_properties(tool_sim_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_solve_fig1c "/root/repo/build/tools/midrr_solve" "--caps" "1mbps,1mbps" "--weights" "1,1" "--willing" "11,01")
+set_tests_properties(tool_solve_fig1c PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_solve_rejects_bad_row "/root/repo/build/tools/midrr_solve" "--caps" "1mbps" "--willing" "101")
+set_tests_properties(tool_solve_rejects_bad_row PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_solve_usage "/root/repo/build/tools/midrr_solve")
+set_tests_properties(tool_solve_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
