@@ -177,7 +177,7 @@ int main(int, char**) {
               willing.push_back(static_cast<IfaceId>(j));
             }
           }
-          const FlowId f = sched.add_flow(inst.input.weights[i], willing);
+          const FlowId f = sched.add_flow({.weight = inst.input.weights[i], .willing = willing});
           sources.push_back(std::make_unique<BackloggedSource>(
               SizeDistribution::fixed(1500), 0));
           for (const auto size : sources.back()->on_start(rng)) {

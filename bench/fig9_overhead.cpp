@@ -42,7 +42,7 @@ EmpiricalCdf measure(std::size_t iface_count, std::size_t flow_count,
           ifaces[static_cast<std::size_t>(rng.uniform_int(
               0, static_cast<std::int64_t>(iface_count) - 1))]);
     }
-    flows.push_back(sched.add_flow(1.0, willing));
+    flows.push_back(sched.add_flow({.weight = 1.0, .willing = willing}));
   }
 
   EmpiricalCdf decision_ns;

@@ -52,7 +52,7 @@ NamedScenario voip_bulk() {
   NamedScenario ns;
   ns.title = "VoIP (CBR 100 kb/s) vs two bulk flows on 2 Mb/s";
   ns.scenario.interface("if1", RateProfile(mbps(2)));
-  FlowSpec voip;
+  ScenarioFlowSpec voip;
   voip.name = "voip";
   voip.ifaces = {"if1"};
   voip.make_source = [] { return std::make_unique<CbrSource>(mbps(0.1), 200); };

@@ -20,7 +20,8 @@ struct SweepPoint {
   std::size_t ifaces;
 };
 
-void run_point(const SweepPoint& p, midrr::bench::Table& table) {
+void run_point(const SweepPoint& p, SimDuration burst_opportunity,
+               midrr::bench::Table& table) {
   Rng rng(7);
   Scenario sc;
   std::vector<std::string> iface_names;
@@ -39,7 +40,8 @@ void run_point(const SweepPoint& p, midrr::bench::Table& table) {
 
   const SimTime sim_duration = 20 * kSecond;
   const auto t0 = std::chrono::steady_clock::now();
-  ScenarioRunner runner(sc, Policy::kMiDrr);
+  ScenarioRunner runner(sc, Policy::kMiDrr,
+                        RunnerOptions{.burst_opportunity = burst_opportunity});
   const auto result = runner.run(sim_duration);
   const auto t1 = std::chrono::steady_clock::now();
 
@@ -52,7 +54,8 @@ void run_point(const SweepPoint& p, midrr::bench::Table& table) {
   const double sim_per_wall = to_seconds(sim_duration) / wall_s;
   const double decisions_per_s = static_cast<double>(packets) / wall_s;
   table.row_values(
-      std::to_string(p.flows) + "x" + std::to_string(p.ifaces),
+      std::to_string(p.flows) + "x" + std::to_string(p.ifaces) +
+          (burst_opportunity > 0 ? " burst" : ""),
       {sim_per_wall, decisions_per_s / 1e6,
        decisions_per_s > 0 ? 1e9 / decisions_per_s : 0.0});
 }
@@ -68,8 +71,12 @@ int main(int, char**) {
   for (const SweepPoint p : {SweepPoint{4, 2}, SweepPoint{16, 2},
                              SweepPoint{16, 4}, SweepPoint{64, 4},
                              SweepPoint{64, 8}, SweepPoint{256, 8},
-                             SweepPoint{256, 16}, SweepPoint{1024, 16}}) {
-    run_point(p, table);
+                             SweepPoint{1024, 8}, SweepPoint{256, 16},
+                             SweepPoint{1024, 16}}) {
+    run_point(p, /*burst_opportunity=*/0, table);
+    // Same point with batched transmit opportunities (25 ms of link time
+    // per simulator event; departures stay per-packet).
+    run_point(p, /*burst_opportunity=*/25 * kMillisecond, table);
   }
   std::cout << "\nreading guide: this measures the WHOLE simulation loop\n"
                "(event queue, source refill -- the harness's own O(flows)\n"

@@ -30,8 +30,8 @@ int main() {
       {"wwan0", MacAddress::local(20), Ipv4Address(100, 64, 3, 9)});
 
   // Policy: HTTPS may use either interface; DNS sticks to LTE.
-  const FlowId https = bridge.add_flow(1.0, {wifi, lte}, "https");
-  const FlowId dns = bridge.add_flow(1.0, {lte}, "dns");
+  const FlowId https = bridge.add_flow({.weight = 1.0, .willing = {wifi, lte}, .name = "https"});
+  const FlowId dns = bridge.add_flow({.weight = 1.0, .willing = {lte}, .name = "dns"});
   bridge.classifier().add_rule(
       {.proto = net::IpProto::kTcp, .dst_port = 443, .flow = https});
   bridge.classifier().add_rule(

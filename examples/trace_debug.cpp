@@ -16,8 +16,8 @@ int main() {
 
   const IfaceId if0 = sched.add_interface("if0");
   const IfaceId if1 = sched.add_interface("if1");
-  const FlowId a = sched.add_flow(1.0, {if0, if1}, "a");
-  const FlowId b = sched.add_flow(1.0, {if1}, "b");
+  const FlowId a = sched.add_flow({.weight = 1.0, .willing = {if0, if1}, .name = "a"});
+  const FlowId b = sched.add_flow({.weight = 1.0, .willing = {if1}, .name = "b"});
 
   // Both flows backlogged; alternate the interfaces like two equal links.
   for (int i = 0; i < 32; ++i) {

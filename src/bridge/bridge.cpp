@@ -24,11 +24,16 @@ IfaceId VirtualBridge::add_physical(const PhysicalInterface& phys) {
   return id;
 }
 
+FlowId VirtualBridge::add_flow(const FlowSpec& spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return scheduler_->add_flow(spec);
+}
+
 FlowId VirtualBridge::add_flow(double weight,
                                const std::vector<IfaceId>& willing,
                                std::string name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return scheduler_->add_flow(weight, willing, std::move(name));
+  return add_flow(
+      FlowSpec{.weight = weight, .willing = willing, .name = std::move(name)});
 }
 
 std::optional<FlowId> VirtualBridge::send_from_app(net::Frame frame,
@@ -62,18 +67,15 @@ std::optional<FlowId> VirtualBridge::send_from_app(net::Frame frame,
   return flow;
 }
 
-std::optional<net::Frame> VirtualBridge::next_frame(IfaceId iface,
-                                                    SimTime now) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  const auto packet = scheduler_->dequeue(iface, now);
-  if (!packet) return std::nullopt;
-  MIDRR_ASSERT(packet->frame != nullptr, "bridge packet without frame");
+net::Frame VirtualBridge::steer_locked(const Packet& packet, IfaceId iface,
+                                       SimTime now) {
+  MIDRR_ASSERT(packet.frame != nullptr, "bridge packet without frame");
   MIDRR_ASSERT(iface < physical_.size(), "unknown physical interface");
   const PhysicalInterface& phys = physical_[iface];
 
   // Copy-on-steer: the queued frame is immutable; the wire copy gets the
   // physical source addresses and fixed-up checksums.
-  net::Frame wire = *packet->frame;
+  net::Frame wire = *packet.frame;
   wire.rewrite_source(phys.mac, phys.ip);
 
   // Track the connection for the return path: the reply will arrive on
@@ -88,8 +90,8 @@ std::optional<net::Frame> VirtualBridge::next_frame(IfaceId iface,
       reply.dst_port = sent->src_port;
       reply.proto = sent->proto;
       TrackedConnection conn;
-      conn.flow = packet->flow;
-      if (const auto original_view = packet->frame->parse()) {
+      conn.flow = packet.flow;
+      if (const auto original_view = packet.frame->parse()) {
         if (const auto original = FiveTuple::from(*original_view)) {
           conn.original = *original;
         }
@@ -103,6 +105,28 @@ std::optional<net::Frame> VirtualBridge::next_frame(IfaceId iface,
     taps_[iface]->record(now, wire.bytes());
   }
   return wire;
+}
+
+std::optional<net::Frame> VirtualBridge::next_frame(IfaceId iface,
+                                                    SimTime now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto packet = scheduler_->dequeue(iface, now);
+  if (!packet) return std::nullopt;
+  return steer_locked(*packet, iface, now);
+}
+
+std::size_t VirtualBridge::next_burst(IfaceId iface, std::uint64_t byte_budget,
+                                      SimTime now,
+                                      std::vector<net::Frame>& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Packet> batch;
+  const std::size_t count = scheduler_->dequeue_burst(iface, byte_budget, now,
+                                                      batch);
+  out.reserve(out.size() + count);
+  for (const Packet& packet : batch) {
+    out.push_back(steer_locked(packet, iface, now));
+  }
+  return count;
 }
 
 void VirtualBridge::attach_tap(IfaceId iface, net::PcapWriter* tap) {

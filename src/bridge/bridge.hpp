@@ -57,9 +57,13 @@ class VirtualBridge {
   /// Registers a physical interface; returns the scheduler's id for it.
   IfaceId add_physical(const PhysicalInterface& phys);
 
+  /// Registers a policy flow; returns its id.
+  FlowId add_flow(const FlowSpec& spec);
+
   /// Registers a policy flow (weight + willing interfaces); returns its id.
-  FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
-                  std::string name = {});
+  [[deprecated("use add_flow(const FlowSpec&)")]] FlowId add_flow(
+      double weight, const std::vector<IfaceId>& willing,
+      std::string name = {});
 
   FlowClassifier& classifier() { return classifier_; }
   Scheduler& scheduler() { return *scheduler_; }
@@ -83,6 +87,13 @@ class VirtualBridge {
   /// the wire, already rewritten to the interface's source addresses.
   std::optional<net::Frame> next_frame(IfaceId iface, SimTime now);
 
+  /// Batched variant: drains up to `byte_budget` of scheduled frames for
+  /// `iface` in ONE scheduler pass under ONE lock acquisition (the per-frame
+  /// mutex round-trip dominates next_frame at NIC ring-refill rates).
+  /// Frames are appended to `out` already rewritten; returns the count.
+  std::size_t next_burst(IfaceId iface, std::uint64_t byte_budget, SimTime now,
+                         std::vector<net::Frame>& out);
+
   /// True if some frame is eligible for `iface`.
   bool has_traffic(IfaceId iface) const;
 
@@ -100,6 +111,10 @@ class VirtualBridge {
     FiveTuple original;  ///< as the application sent it
     FlowId flow = kInvalidFlow;
   };
+
+  /// Rewrites a dequeued packet for the wire, records conntrack + tap.
+  /// Caller must hold mutex_.
+  net::Frame steer_locked(const Packet& packet, IfaceId iface, SimTime now);
 
   std::unique_ptr<Scheduler> scheduler_;
   FlowClassifier classifier_;

@@ -23,7 +23,7 @@ Scenario& Scenario::interface_with_outage(std::string name,
   return *this;
 }
 
-Scenario& Scenario::flow(FlowSpec spec) {
+Scenario& Scenario::flow(ScenarioFlowSpec spec) {
   MIDRR_REQUIRE(spec.make_source != nullptr, "flow needs a source factory");
   MIDRR_REQUIRE(spec.weight > 0.0, "flow weight must be positive");
   flows_.push_back(std::move(spec));
@@ -34,7 +34,7 @@ Scenario& Scenario::backlogged_flow(std::string name, double weight,
                                     std::vector<std::string> ifaces,
                                     std::uint64_t total_bytes,
                                     std::uint32_t packet_size, SimTime start) {
-  FlowSpec spec;
+  ScenarioFlowSpec spec;
   spec.name = std::move(name);
   spec.weight = weight;
   spec.ifaces = std::move(ifaces);
@@ -88,7 +88,9 @@ ScenarioRunner::ScenarioRunner(const Scenario& scenario, Policy policy,
           return 0.0;
         });
   } else {
-    scheduler_ = make_scheduler(policy, options.quantum_base);
+    scheduler_ =
+        make_scheduler(policy, SchedulerOptions{.quantum_base =
+                                                    options.quantum_base});
   }
 
   // Interfaces first so flow willingness rows can reference them.
@@ -98,15 +100,7 @@ ScenarioRunner::ScenarioRunner(const Scenario& scenario, Policy policy,
       auto p = scheduler_->dequeue(j, now);
       if (p) {
         // Refill backlogged sources as soon as a packet leaves the queue.
-        for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
-          if (flows_[idx]->id == p->flow) {
-            for (const std::uint32_t size :
-                 flows_[idx]->source->on_dequeue(p->size_bytes, rng_)) {
-              enqueue_for(idx, size);
-            }
-            break;
-          }
-        }
+        refill_source(p->flow, p->size_bytes);
       }
       return p;
     };
@@ -115,6 +109,31 @@ ScenarioRunner::ScenarioRunner(const Scenario& scenario, Policy policy,
     };
     links_.push_back(std::make_unique<LinkTransmitter>(
         sim_, id, spec.profile, std::move(provider), std::move(departure)));
+    if (options_.burst_opportunity > 0) {
+      // Batched draining: pull whole transmit opportunities through
+      // dequeue_burst, refilling backlogged sources after each chunk so a
+      // deep burst does not starve against a shallow source window.
+      links_.back()->set_burst(
+          [this](IfaceId j, std::uint64_t budget, SimTime now,
+                 std::vector<Packet>& out) -> std::size_t {
+            std::size_t total = 0;
+            std::uint64_t bytes = 0;
+            while (bytes < budget) {
+              const std::size_t first = out.size();
+              if (scheduler_->dequeue_burst(j, budget - bytes, now, out) ==
+                  0) {
+                break;
+              }
+              for (std::size_t k = first; k < out.size(); ++k) {
+                bytes += out[k].size_bytes;
+                refill_source(out[k].flow, out[k].size_bytes);
+              }
+              total += out.size() - first;
+            }
+            return total;
+          },
+          options_.burst_opportunity);
+    }
     if (options_.link_jitter > 0.0) {
       links_.back()->set_jitter(options_.link_jitter,
                                 options_.seed * 1000003 + id);
@@ -126,7 +145,7 @@ ScenarioRunner::ScenarioRunner(const Scenario& scenario, Policy policy,
     }
   }
 
-  for (const FlowSpec& spec : scenario.flows()) {
+  for (const ScenarioFlowSpec& spec : scenario.flows()) {
     flows_.push_back(std::make_unique<FlowRuntime>(
         options_.sample_interval, options_.rate_window_bins, spec.name));
   }
@@ -137,7 +156,7 @@ ScenarioRunner::ScenarioRunner(const Scenario& scenario, Policy policy,
 ScenarioRunner::~ScenarioRunner() = default;
 
 void ScenarioRunner::start_flow(std::size_t index) {
-  const FlowSpec& spec = scenario_.flows()[index];
+  const ScenarioFlowSpec& spec = scenario_.flows()[index];
   FlowRuntime& rt = *flows_[index];
   MIDRR_ASSERT(!rt.started, "flow started twice");
 
@@ -154,8 +173,16 @@ void ScenarioRunner::start_flow(std::size_t index) {
     MIDRR_REQUIRE(found, "flow references unknown interface " + name);
   }
 
-  rt.id = scheduler_->add_flow(spec.weight, willing, spec.name,
-                               options_.queue_capacity_bytes);
+  rt.id = scheduler_->add_flow(
+      FlowSpec{.weight = spec.weight,
+               .willing = std::move(willing),
+               .name = spec.name,
+               .queue_capacity_bytes = options_.queue_capacity_bytes});
+  if (index_by_flow_id_.size() <= rt.id) {
+    index_by_flow_id_.resize(static_cast<std::size_t>(rt.id) + 1,
+                             flows_.size());
+  }
+  index_by_flow_id_[rt.id] = index;
   rt.source = spec.make_source();
   rt.started = true;
 
@@ -170,6 +197,20 @@ void ScenarioRunner::enqueue_for(std::size_t index, std::uint32_t size) {
   Packet p(rt.id, size);
   const EnqueueResult result = scheduler_->enqueue(std::move(p), sim_.now());
   if (result.became_backlogged) kick_transmitters(rt.id);
+}
+
+std::size_t ScenarioRunner::index_of(FlowId flow) const {
+  return flow < index_by_flow_id_.size() ? index_by_flow_id_[flow]
+                                         : flows_.size();
+}
+
+void ScenarioRunner::refill_source(FlowId flow, std::uint32_t dequeued_bytes) {
+  const std::size_t idx = index_of(flow);
+  MIDRR_ASSERT(idx < flows_.size(), "dequeue for unknown flow");
+  for (const std::uint32_t size :
+       flows_[idx]->source->on_dequeue(dequeued_bytes, rng_)) {
+    enqueue_for(idx, size);
+  }
 }
 
 void ScenarioRunner::pump_arrivals(std::size_t index) {
@@ -193,19 +234,16 @@ void ScenarioRunner::kick_transmitters(FlowId flow) {
 
 void ScenarioRunner::on_departure(IfaceId iface, const Packet& packet,
                                   SimTime at) {
-  for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
-    FlowRuntime& rt = *flows_[idx];
-    if (rt.id != packet.flow) continue;
-    rt.meter.record(at, packet.size_bytes);
-    rt.delay_ns.add(static_cast<double>(at - packet.enqueued_at));
-    window_bytes_[idx][iface] += packet.size_bytes;
-    if (!rt.completed_at && rt.source->exhausted() &&
-        scheduler_->backlog_bytes(rt.id) == 0) {
-      rt.completed_at = at;
-    }
-    return;
+  const std::size_t idx = index_of(packet.flow);
+  MIDRR_ASSERT(idx < flows_.size(), "departure for unknown flow");
+  FlowRuntime& rt = *flows_[idx];
+  rt.meter.record(at, packet.size_bytes);
+  rt.delay_ns.add(static_cast<double>(at - packet.enqueued_at));
+  window_bytes_[idx][iface] += packet.size_bytes;
+  if (!rt.completed_at && rt.source->exhausted() &&
+      scheduler_->backlog_bytes(rt.id) == 0) {
+    rt.completed_at = at;
   }
-  MIDRR_ASSERT(false, "departure for unknown flow");
 }
 
 void ScenarioRunner::sample_rates() {
@@ -255,7 +293,9 @@ void ScenarioRunner::snapshot_clusters() {
   snap.at = sim_.now();
   snap.analysis = fair::analyze_clusters(current_input(), alloc);
   std::vector<std::string> flow_names;
-  for (const FlowSpec& spec : scenario_.flows()) flow_names.push_back(spec.name);
+  for (const ScenarioFlowSpec& spec : scenario_.flows()) {
+    flow_names.push_back(spec.name);
+  }
   std::vector<std::string> iface_names;
   for (const InterfaceSpec& spec : scenario_.interfaces()) {
     iface_names.push_back(spec.name);

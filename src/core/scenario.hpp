@@ -34,7 +34,10 @@ struct InterfaceSpec {
   std::optional<SimTime> down_until;
 };
 
-struct FlowSpec {
+/// Declarative description of one flow in a scenario.  (Distinct from
+/// midrr::FlowSpec, the scheduler-level registration record: this one names
+/// interfaces by string, carries a start time and a traffic source.)
+struct ScenarioFlowSpec {
   std::string name;
   double weight = 1.0;
   std::vector<std::string> ifaces;  ///< names of willing interfaces
@@ -52,7 +55,7 @@ class Scenario {
                                   SimTime down_from, SimTime down_until);
 
   /// Adds a flow.
-  Scenario& flow(FlowSpec spec);
+  Scenario& flow(ScenarioFlowSpec spec);
 
   /// Convenience: a backlogged flow (optionally volume-bounded) with fixed
   /// `packet_size`-byte packets.
@@ -63,11 +66,11 @@ class Scenario {
                             SimTime start = 0);
 
   const std::vector<InterfaceSpec>& interfaces() const { return ifaces_; }
-  const std::vector<FlowSpec>& flows() const { return flows_; }
+  const std::vector<ScenarioFlowSpec>& flows() const { return flows_; }
 
  private:
   std::vector<InterfaceSpec> ifaces_;
-  std::vector<FlowSpec> flows_;
+  std::vector<ScenarioFlowSpec> flows_;
 };
 
 struct ClusterSnapshot {
@@ -124,6 +127,12 @@ struct RunnerOptions {
   /// Per-transmission service-time jitter fraction (see
   /// LinkTransmitter::set_jitter); 0 = fully deterministic links.
   double link_jitter = 0.0;
+  /// Batched transmission: when positive, each link drains up to this much
+  /// transmission time per simulator event (LinkTransmitter::set_burst fed
+  /// by Scheduler::dequeue_burst) instead of one event per packet.
+  /// Departure timestamps stay per-packet; scheduling decisions within a
+  /// burst all see the burst-start clock.  0 = classic per-packet events.
+  SimDuration burst_opportunity = 0;
 };
 
 class ScenarioRunner {
@@ -144,6 +153,8 @@ class ScenarioRunner {
 
   void start_flow(std::size_t index);
   void enqueue_for(std::size_t index, std::uint32_t size);
+  void refill_source(FlowId flow, std::uint32_t dequeued_bytes);
+  std::size_t index_of(FlowId flow) const;
   void pump_arrivals(std::size_t index);
   void kick_transmitters(FlowId flow);
   void on_departure(IfaceId iface, const Packet& packet, SimTime at);
@@ -158,6 +169,7 @@ class ScenarioRunner {
   Rng rng_;
   std::vector<std::unique_ptr<LinkTransmitter>> links_;
   std::vector<std::unique_ptr<FlowRuntime>> flows_;
+  std::vector<std::size_t> index_by_flow_id_;  // FlowId -> flows_ index
   std::vector<std::vector<std::uint64_t>> window_bytes_;  // [flow][iface]
   std::vector<ClusterSnapshot> cluster_log_;
   SimTime horizon_ = 0;

@@ -319,7 +319,7 @@ ParsedScenario parse_scenario(std::istream& in) {
       }
       reject_leftovers(section);
     } else if (section.kind == "flow") {
-      FlowSpec spec;
+      ScenarioFlowSpec spec;
       spec.name = section.name;
       if (const auto weight = take(section, "weight")) {
         spec.weight = parse_number(weight->first, "weight");

@@ -40,7 +40,9 @@ HttpRangeProxy::HttpRangeProxy(std::vector<ProxyInterfaceSpec> ifaces,
       options_(options),
       // Quantum = one chunk: a scheduling turn corresponds to one range
       // request, which is exactly the granularity the proxy controls.
-      scheduler_(make_scheduler(options.policy, options.chunk_bytes)) {
+      scheduler_(make_scheduler(options.policy,
+                                SchedulerOptions{.quantum_base =
+                                                     options.chunk_bytes})) {
   MIDRR_REQUIRE(!iface_specs_.empty(), "proxy needs interfaces");
   MIDRR_REQUIRE(options_.chunk_bytes > 0, "chunk size must be positive");
 
@@ -92,7 +94,8 @@ HttpRangeProxy::HttpRangeProxy(std::vector<ProxyInterfaceSpec> ifaces,
       }
       MIDRR_REQUIRE(found, "proxy flow references unknown interface " + name);
     }
-    state->id = scheduler_->add_flow(spec.weight, willing, spec.name);
+    state->id = scheduler_->add_flow(FlowSpec{
+        .weight = spec.weight, .willing = std::move(willing), .name = spec.name});
     state->total_bytes = spec.total_bytes;
     flows_.push_back(std::move(state));
   }

@@ -35,7 +35,9 @@ RemoteProxy::RemoteProxy(std::vector<PathSpec> paths,
     : path_specs_(std::move(paths)),
       flow_specs_(std::move(flows)),
       options_(options),
-      scheduler_(make_scheduler(options.policy, options.quantum_base)),
+      scheduler_(make_scheduler(options.policy,
+                                SchedulerOptions{.quantum_base =
+                                                     options.quantum_base})),
       rng_(options.seed) {
   MIDRR_REQUIRE(!path_specs_.empty(), "remote proxy needs paths");
 
@@ -81,7 +83,8 @@ RemoteProxy::RemoteProxy(std::vector<PathSpec> paths,
       }
       MIDRR_REQUIRE(found, "inbound flow references unknown path " + name);
     }
-    state->id = scheduler_->add_flow(spec.weight, willing, spec.name);
+    state->id = scheduler_->add_flow(FlowSpec{
+        .weight = spec.weight, .willing = std::move(willing), .name = spec.name});
     state->source = spec.make_source();
     flows_.push_back(std::move(state));
   }

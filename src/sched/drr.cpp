@@ -34,10 +34,7 @@ std::int64_t DrrFamilyScheduler::quantum_of(FlowId flow) const {
 }
 
 std::uint64_t DrrFamilyScheduler::turns(FlowId flow, IfaceId iface) const {
-  if (flow >= turn_count_.size() || iface >= turn_count_[flow].size()) {
-    return 0;
-  }
-  return turn_count_[flow][iface];
+  return turn_count_.get(flow, iface);
 }
 
 FlowRing& DrrFamilyScheduler::ring(IfaceId iface) {
@@ -57,9 +54,7 @@ void DrrFamilyScheduler::remove_from_all_rings(FlowId flow) {
 
 void DrrFamilyScheduler::on_interface_added(IfaceId iface) {
   if (rings_.size() <= iface) rings_.resize(static_cast<std::size_t>(iface) + 1);
-  for (auto& row : turn_count_) {
-    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  }
+  turn_count_.ensure(preferences().flow_slots(), preferences().iface_slots());
 }
 
 void DrrFamilyScheduler::on_interface_removed(IfaceId iface) {
@@ -69,10 +64,9 @@ void DrrFamilyScheduler::on_interface_removed(IfaceId iface) {
 }
 
 void DrrFamilyScheduler::on_flow_added(FlowId flow) {
-  if (turn_count_.size() <= flow) {
-    turn_count_.resize(static_cast<std::size_t>(flow) + 1);
-  }
-  turn_count_[flow].assign(rings_.size(), 0);
+  turn_count_.ensure(static_cast<std::size_t>(flow) + 1,
+                     preferences().iface_slots());
+  turn_count_.fill_row(flow, 0);
 }
 
 void DrrFamilyScheduler::on_flow_removed(FlowId flow) {
@@ -106,12 +100,12 @@ void DrrFamilyScheduler::enter_turn(IfaceId iface, FlowRing& r,
   const FlowId flow = r.current();
   std::int64_t& dc = deficit(flow, iface);
   dc += quantum_of(flow);
-  if (flow < turn_count_.size() && iface < turn_count_[flow].size()) {
-    ++turn_count_[flow][iface];
-  }
+  turn_count_.ensure(static_cast<std::size_t>(flow) + 1,
+                     static_cast<std::size_t>(iface) + 1);
+  ++turn_count_.at(flow, iface);
   turn_granted(flow, iface);
-  if (observer_ != nullptr) {
-    observer_->on_turn_granted(now, flow, iface, dc);
+  if (observer() != nullptr) {
+    observer()->on_turn_granted(now, flow, iface, dc);
   }
   r.open_turn();
 }
@@ -138,14 +132,12 @@ std::optional<Packet> DrrFamilyScheduler::select(IfaceId iface, SimTime now) {
       auto packet = queue(flow).dequeue();
       dc -= static_cast<std::int64_t>(*head);
       packet_served(flow, iface);
-      if (observer_ != nullptr) {
-        observer_->on_packet_sent(now, flow, iface, packet->size_bytes);
-      }
+      // The send/drain observer events are emitted by the Scheduler base
+      // (note_dequeued), common to every policy.
       if (queue(flow).empty()) {
         // BL_i = 0: reset the deficit and leave the backlogged set.
         reset_deficit(flow);
         remove_from_all_rings(flow);
-        if (observer_ != nullptr) observer_->on_flow_drained(now, flow);
       }
       return packet;
     }
@@ -160,34 +152,28 @@ NaiveDrrScheduler::NaiveDrrScheduler(std::uint32_t quantum_base)
     : DrrFamilyScheduler(quantum_base) {}
 
 std::int64_t& NaiveDrrScheduler::deficit(FlowId flow, IfaceId iface) {
-  MIDRR_ASSERT(flow < dc_.size(), "deficit row missing");
-  auto& row = dc_[flow];
-  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  return row[iface];
+  dc_.ensure(static_cast<std::size_t>(flow) + 1,
+             static_cast<std::size_t>(iface) + 1);
+  return dc_.at(flow, iface);
 }
 
 void NaiveDrrScheduler::reset_deficit(FlowId flow) {
-  if (flow < dc_.size()) {
-    dc_[flow].assign(dc_[flow].size(), 0);
-  }
+  if (flow < dc_.rows()) dc_.fill_row(flow, 0);
 }
 
 void NaiveDrrScheduler::on_flow_added(FlowId flow) {
   DrrFamilyScheduler::on_flow_added(flow);
-  if (dc_.size() <= flow) dc_.resize(static_cast<std::size_t>(flow) + 1);
-  dc_[flow].assign(preferences().iface_slots(), 0);
+  dc_.ensure(static_cast<std::size_t>(flow) + 1, preferences().iface_slots());
+  dc_.fill_row(flow, 0);
 }
 
 void NaiveDrrScheduler::on_interface_added(IfaceId iface) {
   DrrFamilyScheduler::on_interface_added(iface);
-  for (auto& row : dc_) {
-    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  }
+  dc_.ensure(preferences().flow_slots(), preferences().iface_slots());
 }
 
 std::int64_t NaiveDrrScheduler::deficit_of(FlowId flow, IfaceId iface) const {
-  if (flow >= dc_.size() || iface >= dc_[flow].size()) return 0;
-  return dc_[flow][iface];
+  return dc_.get(flow, iface);
 }
 
 }  // namespace midrr

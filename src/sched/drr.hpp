@@ -15,6 +15,7 @@
 #include "sched/observer.hpp"
 #include "sched/ring.hpp"
 #include "sched/scheduler.hpp"
+#include "util/flat_matrix.hpp"
 
 namespace midrr {
 
@@ -30,10 +31,6 @@ class DrrFamilyScheduler : public Scheduler {
   std::uint64_t turns(FlowId flow, IfaceId iface) const;
 
   std::uint32_t quantum_base() const { return quantum_base_; }
-
-  /// Attaches an observer of grants/skips/sends/drains (nullptr detaches).
-  /// The observer must outlive the scheduler or be detached first.
-  void set_observer(SchedulerObserver* observer) { observer_ = observer; }
 
   /// Q_i in bytes: phi_i / phi_min * quantum_base, so the smallest-weight
   /// flow gets exactly quantum_base and ratios follow the rate preferences.
@@ -65,9 +62,6 @@ class DrrFamilyScheduler : public Scheduler {
   virtual void walk(IfaceId /*iface*/, FlowRing& /*ring*/,
                     SimTime /*now*/) {}
 
-  /// The attached observer, or nullptr (for subclasses emitting events).
-  SchedulerObserver* observer() const { return observer_; }
-
   /// Called when `flow` is granted a turn on `iface`.  miDRR sets the
   /// flow's service flags at every other interface here.
   virtual void turn_granted(FlowId /*flow*/, IfaceId /*iface*/) {}
@@ -89,10 +83,9 @@ class DrrFamilyScheduler : public Scheduler {
   void enter_turn(IfaceId iface, FlowRing& r, bool advance_first,
                   SimTime now);
 
-  SchedulerObserver* observer_ = nullptr;
   std::uint32_t quantum_base_;
-  std::vector<FlowRing> rings_;                         // by IfaceId
-  std::vector<std::vector<std::uint64_t>> turn_count_;  // [flow][iface]
+  std::vector<FlowRing> rings_;                     // by IfaceId
+  FlowIfaceMatrix<std::uint64_t> turn_count_;       // [flow][iface], flat
   // Cache of the minimum live weight (quantum normalization).
   mutable double min_weight_ = 1.0;
   mutable std::uint64_t min_weight_version_ = ~0ull;
@@ -117,7 +110,7 @@ class NaiveDrrScheduler final : public DrrFamilyScheduler {
   void on_interface_added(IfaceId iface) override;
 
  private:
-  std::vector<std::vector<std::int64_t>> dc_;  // [flow][iface]
+  FlowIfaceMatrix<std::int64_t> dc_;  // [flow][iface], flat
 };
 
 }  // namespace midrr

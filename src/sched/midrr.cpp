@@ -10,21 +10,21 @@ MiDrrScheduler::MiDrrScheduler(std::uint32_t quantum_base, bool shared_deficit)
 std::int64_t& MiDrrScheduler::deficit(FlowId flow, IfaceId iface) {
   MIDRR_ASSERT(flow < dc_.size(), "deficit entry missing");
   if (shared_deficit_) return dc_[flow];
-  auto& row = dc_per_[flow];
-  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  return row[iface];
+  dc_per_.ensure(static_cast<std::size_t>(flow) + 1,
+                 static_cast<std::size_t>(iface) + 1);
+  return dc_per_.at(flow, iface);
 }
 
 void MiDrrScheduler::reset_deficit(FlowId flow) {
   if (flow < dc_.size()) dc_[flow] = 0;
-  if (flow < dc_per_.size()) dc_per_[flow].assign(dc_per_[flow].size(), 0);
+  if (flow < dc_per_.rows()) dc_per_.fill_row(flow, 0);
 }
 
 void MiDrrScheduler::walk(IfaceId iface, FlowRing& ring, SimTime now) {
   // Algorithm 3.2: while the candidate's service flag is set, clear it and
   // move on.  Terminates because flags are only cleared during the walk and
   // nothing sets them mid-walk, so a full cycle ends at a cleared flag.
-  std::uint8_t* flag = &sf_[ring.current()][iface];
+  std::uint8_t* flag = &sf_.at(ring.current(), iface);
   while (*flag != 0) {
     *flag = 0;
     ++flags_skipped_;
@@ -32,15 +32,15 @@ void MiDrrScheduler::walk(IfaceId iface, FlowRing& ring, SimTime now) {
       observer()->on_flag_skip(now, ring.current(), iface);
     }
     ring.advance();
-    flag = &sf_[ring.current()][iface];
+    flag = &sf_.at(ring.current(), iface);
   }
 }
 
 void MiDrrScheduler::turn_granted(FlowId flow, IfaceId iface) {
   // Tell every other interface that this flow has just been served:
   // SF_{flow,k} = 1 for all k != iface.
-  auto& row = sf_[flow];
-  for (IfaceId k = 0; k < row.size(); ++k) {
+  std::uint8_t* row = sf_.row(flow);
+  for (IfaceId k = 0; k < sf_.cols(); ++k) {
     if (k != iface) row[k] = 1;
   }
 }
@@ -58,25 +58,23 @@ void MiDrrScheduler::on_flow_added(FlowId flow) {
   DrrFamilyScheduler::on_flow_added(flow);
   if (dc_.size() <= flow) dc_.resize(static_cast<std::size_t>(flow) + 1, 0);
   dc_[flow] = 0;
-  if (dc_per_.size() <= flow) {
-    dc_per_.resize(static_cast<std::size_t>(flow) + 1);
-  }
-  dc_per_[flow].assign(preferences().iface_slots(), 0);
-  if (sf_.size() <= flow) sf_.resize(static_cast<std::size_t>(flow) + 1);
+  dc_per_.ensure(static_cast<std::size_t>(flow) + 1,
+                 preferences().iface_slots());
+  dc_per_.fill_row(flow, 0);
   // Service flags for new flows are initialized to zero (Table 1).
-  sf_[flow].assign(preferences().iface_slots(), 0);
+  sf_.ensure(static_cast<std::size_t>(flow) + 1, preferences().iface_slots());
+  sf_.fill_row(flow, 0);
 }
 
 void MiDrrScheduler::on_interface_added(IfaceId iface) {
   DrrFamilyScheduler::on_interface_added(iface);
-  for (auto& row : sf_) {
-    if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  }
+  sf_.ensure(preferences().flow_slots(), preferences().iface_slots());
+  dc_per_.ensure(preferences().flow_slots(), preferences().iface_slots());
 }
 
 void MiDrrScheduler::on_flow_removed(FlowId flow) {
   DrrFamilyScheduler::on_flow_removed(flow);
-  if (flow < sf_.size()) sf_[flow].assign(sf_[flow].size(), 0);
+  if (flow < sf_.rows()) sf_.fill_row(flow, 0);
 }
 
 std::int64_t MiDrrScheduler::deficit_of(FlowId flow) const {
@@ -84,15 +82,17 @@ std::int64_t MiDrrScheduler::deficit_of(FlowId flow) const {
   // Per-interface mode: report the largest per-interface counter (the
   // Lemma 3 bound applies to each one individually).
   std::int64_t worst = 0;
-  if (flow < dc_per_.size()) {
-    for (const std::int64_t v : dc_per_[flow]) worst = std::max(worst, v);
+  if (flow < dc_per_.rows()) {
+    const std::int64_t* row = dc_per_.row(flow);
+    for (std::size_t j = 0; j < dc_per_.cols(); ++j) {
+      worst = std::max(worst, row[j]);
+    }
   }
   return worst;
 }
 
 bool MiDrrScheduler::service_flag(FlowId flow, IfaceId iface) const {
-  if (flow >= sf_.size() || iface >= sf_[flow].size()) return false;
-  return sf_[flow][iface] != 0;
+  return sf_.get(flow, iface) != 0;
 }
 
 }  // namespace midrr

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sched/drr.hpp"
+#include "util/flat_matrix.hpp"
 
 namespace midrr {
 
@@ -67,9 +68,9 @@ class MiDrrScheduler final : public DrrFamilyScheduler {
 
  private:
   bool shared_deficit_;
-  std::vector<std::int64_t> dc_;                   // [flow] (shared mode)
-  std::vector<std::vector<std::int64_t>> dc_per_;  // [flow][iface]
-  std::vector<std::vector<std::uint8_t>> sf_;      // [flow][iface]
+  std::vector<std::int64_t> dc_;              // [flow] (shared mode)
+  FlowIfaceMatrix<std::int64_t> dc_per_;      // [flow][iface], flat
+  FlowIfaceMatrix<std::uint8_t> sf_;          // [flow][iface], flat
   std::uint64_t flags_skipped_ = 0;
 };
 

@@ -26,19 +26,11 @@ void TraceRecorder::push(Entry entry) {
   ++total_;
 }
 
-void TraceRecorder::bump(std::vector<std::vector<std::uint64_t>>& table,
-                         FlowId flow, IfaceId iface) {
-  if (table.size() <= flow) table.resize(static_cast<std::size_t>(flow) + 1);
-  auto& row = table[flow];
-  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  ++row[iface];
-}
-
-std::uint64_t TraceRecorder::counter(
-    const std::vector<std::vector<std::uint64_t>>& table, FlowId flow,
-    IfaceId iface) const {
-  if (flow >= table.size() || iface >= table[flow].size()) return 0;
-  return table[flow][iface];
+void TraceRecorder::bump(FlowIfaceMatrix<std::uint64_t>& table, FlowId flow,
+                         IfaceId iface) {
+  table.ensure(static_cast<std::size_t>(flow) + 1,
+               static_cast<std::size_t>(iface) + 1);
+  ++table.at(flow, iface);
 }
 
 void TraceRecorder::on_turn_granted(SimTime now, FlowId flow, IfaceId iface,
@@ -63,15 +55,15 @@ void TraceRecorder::on_flow_drained(SimTime now, FlowId flow) {
 }
 
 std::uint64_t TraceRecorder::grants(FlowId flow, IfaceId iface) const {
-  return counter(grants_, flow, iface);
+  return grants_.get(flow, iface);
 }
 
 std::uint64_t TraceRecorder::skips(FlowId flow, IfaceId iface) const {
-  return counter(skips_, flow, iface);
+  return skips_.get(flow, iface);
 }
 
 std::uint64_t TraceRecorder::sends(FlowId flow, IfaceId iface) const {
-  return counter(sends_, flow, iface);
+  return sends_.get(flow, iface);
 }
 
 std::string TraceRecorder::render(std::size_t max_lines) const {

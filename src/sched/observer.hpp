@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "flow/ids.hpp"
+#include "util/flat_matrix.hpp"
 #include "util/time.hpp"
 
 namespace midrr {
@@ -78,18 +79,15 @@ class TraceRecorder final : public SchedulerObserver {
 
  private:
   void push(Entry entry);
-  std::uint64_t counter(
-      const std::vector<std::vector<std::uint64_t>>& table, FlowId flow,
-      IfaceId iface) const;
-  static void bump(std::vector<std::vector<std::uint64_t>>& table,
-                   FlowId flow, IfaceId iface);
+  static void bump(FlowIfaceMatrix<std::uint64_t>& table, FlowId flow,
+                   IfaceId iface);
 
   std::size_t capacity_;
   std::deque<Entry> entries_;
   std::uint64_t total_ = 0;
-  std::vector<std::vector<std::uint64_t>> grants_;  // [flow][iface]
-  std::vector<std::vector<std::uint64_t>> skips_;
-  std::vector<std::vector<std::uint64_t>> sends_;
+  FlowIfaceMatrix<std::uint64_t> grants_;  // [flow][iface], flat
+  FlowIfaceMatrix<std::uint64_t> skips_;
+  FlowIfaceMatrix<std::uint64_t> sends_;
 };
 
 const char* to_string(TraceRecorder::Event event);

@@ -4,48 +4,57 @@
 
 namespace midrr {
 
+void FlowRing::ensure_slot(FlowId flow) {
+  if (flow >= next_.size()) {
+    next_.resize(static_cast<std::size_t>(flow) + 1, kInvalidFlow);
+    prev_.resize(static_cast<std::size_t>(flow) + 1, kInvalidFlow);
+  }
+}
+
 FlowId FlowRing::current() const {
-  MIDRR_REQUIRE(!order_.empty(), "current() on empty ring");
-  return *current_;
+  MIDRR_REQUIRE(size_ > 0, "current() on empty ring");
+  return current_;
 }
 
 FlowId FlowRing::advance() {
-  MIDRR_REQUIRE(!order_.empty(), "advance() on empty ring");
-  ++current_;
-  if (current_ == order_.end()) current_ = order_.begin();
-  return *current_;
+  MIDRR_REQUIRE(size_ > 0, "advance() on empty ring");
+  current_ = next_[current_];
+  return current_;
 }
 
 void FlowRing::insert(FlowId flow) {
   MIDRR_REQUIRE(!contains(flow), "flow already in ring");
-  if (order_.empty()) {
-    order_.push_back(flow);
-    current_ = order_.begin();
-    pos_[flow] = current_;
+  ensure_slot(flow);
+  if (size_ == 0) {
+    next_[flow] = flow;
+    prev_[flow] = flow;
+    current_ = flow;
     turn_open_ = false;  // the newcomer has not been granted a quantum yet
-    return;
+  } else {
+    // Link before the current element: the ring is traversed forward, so
+    // this flow is visited after every other flow of the current round.
+    const FlowId tail = prev_[current_];
+    next_[tail] = flow;
+    prev_[flow] = tail;
+    next_[flow] = current_;
+    prev_[current_] = flow;
   }
-  // Insert before the current element: the ring is traversed forward, so
-  // this flow is visited after every other flow of the current round.
-  auto it = order_.insert(current_, flow);
-  pos_[flow] = it;
+  ++size_;
 }
 
 void FlowRing::remove(FlowId flow) {
-  auto found = pos_.find(flow);
-  MIDRR_REQUIRE(found != pos_.end(), "removing flow not in ring");
-  auto it = found->second;
-  if (it == current_) {
-    ++current_;
-    if (current_ == order_.end() && order_.size() > 1) {
-      current_ = order_.begin();
-    }
+  MIDRR_REQUIRE(contains(flow), "removing flow not in ring");
+  if (flow == current_) {
+    current_ = next_[flow];
     turn_open_ = false;
   }
-  order_.erase(it);
-  pos_.erase(found);
-  if (order_.empty()) {
-    current_ = order_.end();
+  next_[prev_[flow]] = next_[flow];
+  prev_[next_[flow]] = prev_[flow];
+  next_[flow] = kInvalidFlow;
+  prev_[flow] = kInvalidFlow;
+  --size_;
+  if (size_ == 0) {
+    current_ = kInvalidFlow;
     turn_open_ = false;
   }
 }

@@ -6,10 +6,19 @@
 // reaches it at the end of the current round; removal of the current flow
 // hands the position to its successor and marks that the successor has not
 // yet been granted its quantum ("turn not open").
+//
+// Representation: an intrusive, index-linked circular doubly-linked list.
+// next_[f] / prev_[f] are flow ids (kInvalidFlow while f is not a member),
+// stored in flat arrays indexed by FlowId -- flow ids are dense and never
+// reused, so the arrays only ever grow.  Every operation is O(1), membership
+// is one array load, and steady-state insert/remove/advance performs zero
+// heap allocation (unlike the previous std::list + std::unordered_map
+// layout, which allocated a node per insert and chased two pointers per
+// advance).
 #pragma once
 
-#include <list>
-#include <unordered_map>
+#include <cstddef>
+#include <vector>
 
 #include "flow/ids.hpp"
 
@@ -17,9 +26,11 @@ namespace midrr {
 
 class FlowRing {
  public:
-  bool empty() const { return order_.empty(); }
-  std::size_t size() const { return order_.size(); }
-  bool contains(FlowId flow) const { return pos_.count(flow) > 0; }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  bool contains(FlowId flow) const {
+    return flow < next_.size() && next_[flow] != kInvalidFlow;
+  }
 
   /// True while the current flow has been granted its quantum for this
   /// turn; cleared on insertion into an empty ring and on removal of the
@@ -43,9 +54,12 @@ class FlowRing {
   void remove(FlowId flow);
 
  private:
-  std::list<FlowId> order_;
-  std::list<FlowId>::iterator current_ = order_.end();
-  std::unordered_map<FlowId, std::list<FlowId>::iterator> pos_;
+  void ensure_slot(FlowId flow);
+
+  std::vector<FlowId> next_;  // by FlowId; kInvalidFlow = not in ring
+  std::vector<FlowId> prev_;
+  FlowId current_ = kInvalidFlow;
+  std::size_t size_ = 0;
   bool turn_open_ = false;
 };
 

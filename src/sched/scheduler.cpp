@@ -3,6 +3,7 @@
 #include "sched/drr.hpp"
 #include "sched/fifo.hpp"
 #include "sched/midrr.hpp"
+#include "sched/observer.hpp"
 #include "sched/priority.hpp"
 #include "sched/round_robin.hpp"
 #include "sched/wfq.hpp"
@@ -12,9 +13,7 @@ namespace midrr {
 
 IfaceId Scheduler::add_interface(std::string name) {
   const IfaceId iface = prefs_.add_interface(std::move(name));
-  for (auto& row : sent_) {
-    row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  }
+  sent_.ensure(prefs_.flow_slots(), prefs_.iface_slots());
   on_interface_added(iface);
   return iface;
 }
@@ -25,18 +24,27 @@ void Scheduler::remove_interface(IfaceId iface) {
   prefs_.remove_interface(iface);
 }
 
+FlowId Scheduler::add_flow(const FlowSpec& spec) {
+  const FlowId flow = prefs_.add_flow(spec.weight, spec.willing, spec.name);
+  if (queues_.size() <= flow) {
+    queues_.resize(static_cast<std::size_t>(flow) + 1);
+  }
+  queues_[flow] = FlowQueue(spec.queue_capacity_bytes);
+  sent_.ensure(prefs_.flow_slots(), prefs_.iface_slots());
+  sent_.fill_row(flow, 0);
+  on_flow_added(flow);
+  return flow;
+}
+
 FlowId Scheduler::add_flow(double weight, const std::vector<IfaceId>& willing,
                            std::string name,
                            std::uint64_t queue_capacity_bytes) {
-  const FlowId flow = prefs_.add_flow(weight, willing, std::move(name));
-  if (queues_.size() <= flow) {
-    queues_.resize(static_cast<std::size_t>(flow) + 1);
-    sent_.resize(static_cast<std::size_t>(flow) + 1);
-  }
-  queues_[flow] = FlowQueue(queue_capacity_bytes);
-  sent_[flow].assign(prefs_.iface_slots(), 0);
-  on_flow_added(flow);
-  return flow;
+  FlowSpec spec;
+  spec.weight = weight;
+  spec.willing = willing;
+  spec.name = std::move(name);
+  spec.queue_capacity_bytes = queue_capacity_bytes;
+  return add_flow(spec);
 }
 
 void Scheduler::remove_flow(FlowId flow) {
@@ -85,15 +93,42 @@ EnqueueResult Scheduler::enqueue(Packet packet, SimTime now) {
   return result;
 }
 
+void Scheduler::note_dequeued(const Packet& packet, IfaceId iface,
+                              SimTime now) {
+  MIDRR_ASSERT(prefs_.willing(packet.flow, iface),
+               "policy violated an interface preference");
+  note_sent(packet.flow, iface, packet.size_bytes);
+  if (observer_ != nullptr) {
+    observer_->on_packet_sent(now, packet.flow, iface, packet.size_bytes);
+    if (queues_[packet.flow].empty()) {
+      observer_->on_flow_drained(now, packet.flow);
+    }
+  }
+}
+
 std::optional<Packet> Scheduler::dequeue(IfaceId iface, SimTime now) {
   MIDRR_REQUIRE(prefs_.iface_exists(iface), "dequeue for unknown interface");
   auto packet = select(iface, now);
   if (packet) {
-    MIDRR_ASSERT(prefs_.willing(packet->flow, iface),
-                 "policy violated an interface preference");
-    note_sent(packet->flow, iface, packet->size_bytes);
+    note_dequeued(*packet, iface, now);
   }
   return packet;
+}
+
+std::size_t Scheduler::dequeue_burst(IfaceId iface, std::uint64_t byte_budget,
+                                     SimTime now, std::vector<Packet>& out) {
+  MIDRR_REQUIRE(prefs_.iface_exists(iface), "dequeue for unknown interface");
+  std::size_t count = 0;
+  std::uint64_t bytes = 0;
+  while (bytes < byte_budget) {
+    auto packet = select(iface, now);
+    if (!packet) break;
+    note_dequeued(*packet, iface, now);
+    bytes += packet->size_bytes;
+    out.push_back(std::move(*packet));
+    ++count;
+  }
+  return count;
 }
 
 bool Scheduler::has_eligible(IfaceId iface) const {
@@ -117,20 +152,20 @@ const FlowQueueStats& Scheduler::queue_stats(FlowId flow) const {
 }
 
 void Scheduler::note_sent(FlowId flow, IfaceId iface, std::uint32_t bytes) {
-  auto& row = sent_[flow];
-  if (row.size() <= iface) row.resize(static_cast<std::size_t>(iface) + 1, 0);
-  row[iface] += bytes;
+  sent_.ensure(static_cast<std::size_t>(flow) + 1,
+               static_cast<std::size_t>(iface) + 1);
+  sent_.at(flow, iface) += bytes;
 }
 
 std::uint64_t Scheduler::sent_bytes(FlowId flow, IfaceId iface) const {
-  if (flow >= sent_.size() || iface >= sent_[flow].size()) return 0;
-  return sent_[flow][iface];
+  return sent_.get(flow, iface);
 }
 
 std::uint64_t Scheduler::sent_bytes(FlowId flow) const {
-  if (flow >= sent_.size()) return 0;
+  if (flow >= sent_.rows()) return 0;
   std::uint64_t total = 0;
-  for (std::uint64_t v : sent_[flow]) total += v;
+  const std::uint64_t* row = sent_.row(flow);
+  for (std::size_t j = 0; j < sent_.cols(); ++j) total += row[j];
   return total;
 }
 
@@ -148,28 +183,44 @@ const char* to_string(Policy policy) {
 }
 
 std::unique_ptr<Scheduler> make_scheduler(Policy policy,
-                                          std::uint32_t quantum_base) {
+                                          const SchedulerOptions& options) {
+  std::unique_ptr<Scheduler> sched;
   switch (policy) {
     case Policy::kMiDrr:
-      return std::make_unique<MiDrrScheduler>(quantum_base);
+      sched = std::make_unique<MiDrrScheduler>(options.quantum_base,
+                                               options.shared_deficit);
+      break;
     case Policy::kNaiveDrr:
-      return std::make_unique<NaiveDrrScheduler>(quantum_base);
+      sched = std::make_unique<NaiveDrrScheduler>(options.quantum_base);
+      break;
     case Policy::kPerIfaceWfq:
-      return std::make_unique<PerIfaceWfqScheduler>();
+      sched = std::make_unique<PerIfaceWfqScheduler>();
+      break;
     case Policy::kRoundRobin:
-      return std::make_unique<RoundRobinScheduler>();
+      sched = std::make_unique<RoundRobinScheduler>();
+      break;
     case Policy::kFifo:
-      return std::make_unique<FifoScheduler>();
+      sched = std::make_unique<FifoScheduler>();
+      break;
     case Policy::kStrictPriority:
-      return std::make_unique<StrictPriorityScheduler>();
+      sched = std::make_unique<StrictPriorityScheduler>();
+      break;
     case Policy::kOracle:
       MIDRR_REQUIRE(false,
                     "the oracle needs a capacity provider; construct "
                     "OracleMaxMinScheduler directly (ScenarioRunner wires "
                     "this up automatically)");
   }
-  MIDRR_REQUIRE(false, "unknown policy");
-  return nullptr;
+  MIDRR_REQUIRE(sched != nullptr, "unknown policy");
+  if (options.observer != nullptr) sched->set_observer(options.observer);
+  return sched;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(Policy policy,
+                                          std::uint32_t quantum_base) {
+  SchedulerOptions options;
+  options.quantum_base = quantum_base;
+  return make_scheduler(policy, options);
 }
 
 }  // namespace midrr

@@ -4,8 +4,11 @@
 // A Scheduler owns the preference state (Pi, phi), one FIFO queue per flow,
 // and the service accounting needed to verify fairness.  The data-path
 // contract is the paper's: `dequeue(j, now)` answers "interface j is free;
-// which packet should it send?".  Policies (DRR, miDRR, WFQ, ...) implement
-// `select()` plus topology-change hooks.
+// which packet should it send?".  Transmitters that get a whole transmit
+// opportunity at once (simulator links in burst mode, the kernel bridge)
+// use `dequeue_burst(j, byte_budget, now)` to drain it in one call.
+// Policies (DRR, miDRR, WFQ, ...) implement `select()` plus
+// topology-change hooks.
 //
 // Thread-safety: schedulers are externally synchronized.  The in-kernel
 // prototype the paper describes guards scheduling with a single mutex; the
@@ -23,9 +26,12 @@
 #include "flow/packet.hpp"
 #include "flow/preferences.hpp"
 #include "flow/queue.hpp"
+#include "util/flat_matrix.hpp"
 #include "util/time.hpp"
 
 namespace midrr {
+
+class SchedulerObserver;
 
 /// Result of an enqueue: whether the packet was accepted, and whether the
 /// flow transitioned from idle to backlogged (the caller should then kick
@@ -33,6 +39,30 @@ namespace midrr {
 struct EnqueueResult {
   bool accepted = false;
   bool became_backlogged = false;
+};
+
+/// Everything a flow registration needs, by name.  `willing` is the flow's
+/// row of the interface-preference matrix Pi; `weight` is phi_i (> 0);
+/// `queue_capacity_bytes` bounds its queue (0 = unbounded; beyond the
+/// bound, enqueue tail-drops, the kernel bridge's qdisc behavior).
+struct FlowSpec {
+  double weight = 1.0;
+  std::vector<IfaceId> willing{};
+  std::string name{};
+  std::uint64_t queue_capacity_bytes = 0;
+};
+
+/// Construction-time scheduler configuration.  `quantum_base` (bytes)
+/// scales DRR-family quanta: Q_i = max(1, round(phi_i / phi_min *
+/// quantum_base)); ignored by WFQ / round robin / FIFO.  `shared_deficit`
+/// selects miDRR's ablation mode (one deficit counter per flow instead of
+/// per flow-interface; see MiDrrScheduler).  A non-null `observer` is
+/// attached before the scheduler is returned (it must outlive the
+/// scheduler or be detached with set_observer(nullptr)).
+struct SchedulerOptions {
+  std::uint32_t quantum_base = 1500;
+  bool shared_deficit = false;
+  SchedulerObserver* observer = nullptr;
 };
 
 class Scheduler {
@@ -51,10 +81,11 @@ class Scheduler {
   /// stay with their flows and drain through remaining interfaces.
   void remove_interface(IfaceId iface);
 
-  /// Registers a flow with weight `weight` (phi_i > 0) willing to use the
-  /// listed interfaces (its row of Pi).  Its queue holds at most
-  /// `queue_capacity_bytes` (0 = unbounded, the default); beyond that,
-  /// enqueue tail-drops (the kernel bridge's qdisc behavior).
+  /// Registers a flow from a named-field spec; returns its id.
+  FlowId add_flow(const FlowSpec& spec);
+
+  /// Deprecated positional form; migrate to add_flow(const FlowSpec&).
+  [[deprecated("use add_flow(const FlowSpec&)")]]
   FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
                   std::string name = {}, std::uint64_t queue_capacity_bytes = 0);
 
@@ -69,6 +100,16 @@ class Scheduler {
 
   const Preferences& preferences() const { return prefs_; }
 
+  // --- Observability ------------------------------------------------------
+
+  /// Attaches an observer of scheduling micro-events (nullptr detaches).
+  /// Every policy emits on_packet_sent / on_flow_drained from the shared
+  /// dequeue path; the DRR family additionally emits on_turn_granted /
+  /// on_flag_skip.  The observer must outlive the scheduler or be detached
+  /// first.
+  void set_observer(SchedulerObserver* observer) { observer_ = observer; }
+  SchedulerObserver* observer() const { return observer_; }
+
   // --- Data path ----------------------------------------------------------
 
   /// Adds a packet to its flow's queue.
@@ -78,6 +119,15 @@ class Scheduler {
   /// if no willing flow is backlogged.  Guaranteed to return a packet of a
   /// flow with pi_{flow,iface} = 1 (interface preferences are sacrosanct).
   std::optional<Packet> dequeue(IfaceId iface, SimTime now);
+
+  /// Batched dequeue: appends to `out` the exact packet sequence repeated
+  /// dequeue(iface, now) calls would produce, stopping once the cumulative
+  /// size reaches `byte_budget` (the last packet may overshoot it -- a
+  /// transmit opportunity is never wasted on a partial fit) or nothing is
+  /// eligible.  Returns the number of packets appended.  One call per
+  /// transmit opportunity instead of one virtual dispatch per packet.
+  virtual std::size_t dequeue_burst(IfaceId iface, std::uint64_t byte_budget,
+                                    SimTime now, std::vector<Packet>& out);
 
   /// True if some willing flow has backlog on `iface`.
   virtual bool has_eligible(IfaceId iface) const;
@@ -124,11 +174,16 @@ class Scheduler {
   /// implementations call this for every packet they return.
   void note_sent(FlowId flow, IfaceId iface, std::uint32_t bytes);
 
+  /// Shared post-select bookkeeping of the dequeue paths: preference
+  /// check, allocation accounting, observer send/drain events.
+  void note_dequeued(const Packet& packet, IfaceId iface, SimTime now);
+
   Preferences prefs_;
 
  private:
-  std::vector<FlowQueue> queues_;                       // by FlowId
-  std::vector<std::vector<std::uint64_t>> sent_;        // [flow][iface]
+  std::vector<FlowQueue> queues_;              // by FlowId
+  FlowIfaceMatrix<std::uint64_t> sent_;        // [flow][iface], flat
+  SchedulerObserver* observer_ = nullptr;
 };
 
 /// The scheduling policies this library ships.
@@ -145,9 +200,15 @@ enum class Policy {
 
 const char* to_string(Policy policy);
 
-/// Factory. `quantum_base` (bytes) scales DRR-family quanta: Q_i =
-/// max(1, round(phi_i * quantum_base)); ignored by WFQ / round robin.
+/// Factory.  Options default to a 1500-byte quantum base, per-interface
+/// deficit counters, and no observer.
 std::unique_ptr<Scheduler> make_scheduler(Policy policy,
-                                          std::uint32_t quantum_base = 1500);
+                                          const SchedulerOptions& options = {});
+
+/// Deprecated positional form; migrate to
+/// make_scheduler(policy, SchedulerOptions{...}).
+[[deprecated("use make_scheduler(Policy, const SchedulerOptions&)")]]
+std::unique_ptr<Scheduler> make_scheduler(Policy policy,
+                                          std::uint32_t quantum_base);
 
 }  // namespace midrr

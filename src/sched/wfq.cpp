@@ -16,11 +16,7 @@ void PerIfaceWfqScheduler::on_interface_added(IfaceId iface) {
     active_.resize(static_cast<std::size_t>(iface) + 1);
     vtime_.resize(static_cast<std::size_t>(iface) + 1, 0.0);
   }
-  for (auto& row : finish_) {
-    if (row.size() <= iface) {
-      row.resize(static_cast<std::size_t>(iface) + 1, 0.0);
-    }
-  }
+  finish_.ensure(preferences().flow_slots(), preferences().iface_slots());
 }
 
 void PerIfaceWfqScheduler::on_interface_removed(IfaceId iface) {
@@ -28,10 +24,9 @@ void PerIfaceWfqScheduler::on_interface_removed(IfaceId iface) {
 }
 
 void PerIfaceWfqScheduler::on_flow_added(FlowId flow) {
-  if (finish_.size() <= flow) {
-    finish_.resize(static_cast<std::size_t>(flow) + 1);
-  }
-  finish_[flow].assign(preferences().iface_slots(), 0.0);
+  finish_.ensure(static_cast<std::size_t>(flow) + 1,
+                 preferences().iface_slots());
+  finish_.fill_row(flow, 0.0);
 }
 
 void PerIfaceWfqScheduler::deactivate_everywhere(FlowId flow) {
@@ -47,7 +42,7 @@ void PerIfaceWfqScheduler::on_willing_changed(FlowId flow, IfaceId iface,
   if (iface >= active_.size()) return;
   if (value && !queue(flow).empty()) {
     active_[iface].insert(flow);
-    finish_[flow][iface] = std::max(finish_[flow][iface], vtime_[iface]);
+    finish_.at(flow, iface) = std::max(finish_.at(flow, iface), vtime_[iface]);
   } else if (!value) {
     active_[iface].erase(flow);
   }
@@ -61,7 +56,7 @@ void PerIfaceWfqScheduler::on_backlogged(FlowId flow) {
       // service; while continuously backlogged its finish tag accumulates
       // on its own (clamping to V at every pick would starve low-weight
       // flows, whose candidate tag would be recomputed forward each time).
-      finish_[flow][j] = std::max(finish_[flow][j], vtime_[j]);
+      finish_.at(flow, j) = std::max(finish_.at(flow, j), vtime_[j]);
     }
   }
 }
@@ -77,7 +72,7 @@ std::optional<Packet> PerIfaceWfqScheduler::select(IfaceId iface, SimTime) {
   for (FlowId flow : act) {
     const auto head = queue(flow).head_size();
     MIDRR_ASSERT(head.has_value(), "empty flow in WFQ active set");
-    const double fin = finish_[flow][iface] +
+    const double fin = finish_.at(flow, iface) +
                        static_cast<double>(*head) / preferences().weight(flow);
     if (fin < best_finish) {
       best_finish = fin;
@@ -87,7 +82,7 @@ std::optional<Packet> PerIfaceWfqScheduler::select(IfaceId iface, SimTime) {
   MIDRR_ASSERT(best != kInvalidFlow, "WFQ found no candidate");
 
   auto packet = queue(best).dequeue();
-  finish_[best][iface] = best_finish;
+  finish_.at(best, iface) = best_finish;
   vtime_[iface] = best_finish;  // SCFQ: V_j tracks the tag in service
   if (queue(best).empty()) {
     deactivate_everywhere(best);

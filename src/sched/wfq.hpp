@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sched/scheduler.hpp"
+#include "util/flat_matrix.hpp"
 
 namespace midrr {
 
@@ -46,7 +47,7 @@ class PerIfaceWfqScheduler final : public Scheduler {
   // id so selection is deterministic.
   std::vector<std::set<FlowId>> active_;            // [iface]
   std::vector<double> vtime_;                       // [iface]
-  std::vector<std::vector<double>> finish_;         // [flow][iface]
+  FlowIfaceMatrix<double> finish_;                  // [flow][iface], flat
 
   void deactivate_everywhere(FlowId flow);
 };

@@ -8,11 +8,23 @@
 //
 // The provider pull happens *at transmission time*, never ahead of it, so
 // scheduling decisions always see the freshest queue and flag state.
+//
+// Burst mode (set_burst): instead of one simulator event per packet, the
+// transmitter drains a whole transmit opportunity from a BurstProvider
+// (Scheduler::dequeue_burst) and schedules ONE completion event for the
+// batch.  Departures are still reported with each packet's exact
+// completion time; what changes is that all packets of a burst are chosen
+// at the burst's start (scheduling state is `opportunity` older at the
+// tail of a burst) and the link rate is sampled once per burst.  This
+// trades a bounded amount of decision freshness for an order of magnitude
+// fewer simulator events -- the per-packet constant factor that dominates
+// large sweeps.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "flow/ids.hpp"
 #include "flow/packet.hpp"
@@ -26,6 +38,12 @@ namespace midrr {
 /// eligible right now.  (Scheduler::dequeue matches this signature.)
 using PacketProvider =
     std::function<std::optional<Packet>(IfaceId, SimTime now)>;
+
+/// Supplies up to `byte_budget` worth of packets for an interface in one
+/// call, appended to `out`; returns how many were appended.
+/// (Scheduler::dequeue_burst matches this signature.)
+using BurstProvider = std::function<std::size_t(
+    IfaceId, std::uint64_t byte_budget, SimTime now, std::vector<Packet>& out)>;
 
 /// Observes completed transmissions.
 using DepartureCallback =
@@ -44,6 +62,13 @@ class LinkTransmitter {
   /// by set_enabled(false); its queue contents stay with the scheduler).
   void set_enabled(bool enabled);
   bool enabled() const { return enabled_; }
+
+  /// Enables batched draining: when idle, pull up to `opportunity` worth
+  /// of transmission time from `provider` in one call and simulate the
+  /// batch under a single completion event.  Pass a null provider to
+  /// return to per-packet operation.  The per-packet provider is still
+  /// required (construction) and is unused while burst mode is active.
+  void set_burst(BurstProvider provider, SimDuration opportunity);
 
   /// Multiplies every transmission duration by uniform[1-f, 1+f] -- the
   /// service-time jitter real wireless MACs exhibit (rate adaptation,
@@ -66,12 +91,19 @@ class LinkTransmitter {
 
  private:
   void try_send();
+  void try_send_burst(double rate);
   void complete(Packet p, SimDuration duration);
+  void complete_burst(SimTime started_at);
+  SimDuration jittered(SimDuration duration);
 
   Simulator& sim_;
   IfaceId iface_;
   RateProfile profile_;
   PacketProvider provider_;
+  BurstProvider burst_provider_;
+  SimDuration burst_opportunity_ = 0;
+  std::vector<Packet> burst_;             // in-flight batch (burst mode)
+  std::vector<SimDuration> burst_durations_;
   DepartureCallback on_departure_;
   bool busy_ = false;
   bool enabled_ = true;

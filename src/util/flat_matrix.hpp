@@ -1,0 +1,89 @@
+// FlowIfaceMatrix: a row-major flat arena for per-(flow, interface) state.
+//
+// The schedulers keep several [flow][iface] tables (deficit counters,
+// service flags, sent-byte counters, turn counts).  Nested
+// vector<vector<T>> puts every row behind its own heap pointer, so the
+// per-packet hot path chases two cache lines per access.  This class stores
+// the whole table in ONE contiguous buffer with a fixed column stride:
+// element (i, j) lives at data[i * stride + j], and a row is a plain T*
+// the inner scheduling loops can walk.
+//
+// Rows and columns only ever grow (flow / interface ids are dense and never
+// reused).  Growing rows is an amortized O(1) append; growing columns
+// re-lays the buffer out (an interface registration -- control path, rare).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace midrr {
+
+template <typename T>
+class FlowIfaceMatrix {
+ public:
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Grows the table to at least rows x cols, value-initializing new cells
+  /// and preserving existing contents.  Never shrinks.
+  void ensure(std::size_t rows, std::size_t cols) {
+    if (cols > cols_ && cols <= stride_) {
+      // Slack from a previous geometric stride growth; the uncovered cells
+      // are still value-initialized (nothing ever wrote past cols_).
+      cols_ = cols;
+    } else if (cols > cols_) {
+      // Column growth changes the stride: re-lay out the buffer.  Grow
+      // geometrically so registering interfaces one by one stays O(n).
+      std::size_t new_stride = cols_ == 0 ? cols : cols_;
+      while (new_stride < cols) new_stride *= 2;
+      std::vector<T> wider(rows_ * new_stride, T{});
+      for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t c = 0; c < cols_; ++c) {
+          wider[r * new_stride + c] = data_[r * stride_ + c];
+        }
+      }
+      data_.swap(wider);
+      stride_ = new_stride;
+      cols_ = cols;
+    }
+    if (rows > rows_) {
+      data_.resize(rows * stride_, T{});
+      rows_ = rows;
+    }
+  }
+
+  /// Unchecked element access; (row, col) must be within ensure()d bounds.
+  T& at(std::size_t row, std::size_t col) { return data_[row * stride_ + col]; }
+  const T& at(std::size_t row, std::size_t col) const {
+    return data_[row * stride_ + col];
+  }
+
+  /// Bounds-tolerant read: cells never written read as T{} (introspection
+  /// accessors accept ids the table has not grown to yet).
+  T get(std::size_t row, std::size_t col) const {
+    return row < rows_ && col < cols_ ? data_[row * stride_ + col] : T{};
+  }
+
+  /// Pointer to the first element of a row (cols() contiguous elements).
+  T* row(std::size_t r) { return data_.data() + r * stride_; }
+  const T* row(std::size_t r) const { return data_.data() + r * stride_; }
+
+  /// Overwrites every cell of row `r` (within cols()) with `value`.
+  void fill_row(std::size_t r, T value) {
+    T* p = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) p[c] = value;
+  }
+
+  void clear() {
+    data_.clear();
+    rows_ = cols_ = stride_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace midrr

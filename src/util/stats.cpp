@@ -142,15 +142,17 @@ RateMeter::RateMeter(SimDuration bin, std::size_t window_bins)
 std::int64_t RateMeter::bin_index(SimTime t) const { return t / bin_; }
 
 void RateMeter::record(SimTime t, std::uint64_t bytes) {
-  MIDRR_REQUIRE(t >= last_time_, "rate meter fed out-of-order timestamps");
-  last_time_ = t;
+  MIDRR_REQUIRE(bin_index(t) >= gc_floor_,
+                "rate meter fed a timestamp older than its retention window");
+  last_time_ = std::max(last_time_, t);
   bins_[bin_index(t)] += bytes;
   total_bytes_ += bytes;
   // Garbage-collect bins that can no longer affect any window query at or
-  // after `t` (keep a little slack so queries slightly in the past work).
-  const std::int64_t keep_from =
-      bin_index(t) - 2 * static_cast<std::int64_t>(window_bins_);
-  while (!bins_.empty() && bins_.begin()->first < keep_from) {
+  // after the newest time seen (keep a little slack so queries and records
+  // slightly in the past still work).
+  gc_floor_ = bin_index(last_time_) -
+              2 * static_cast<std::int64_t>(window_bins_);
+  while (!bins_.empty() && bins_.begin()->first < gc_floor_) {
     bins_.erase(bins_.begin());
   }
 }

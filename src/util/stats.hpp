@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -103,7 +104,10 @@ class RateMeter {
   /// `bin` is the sampling granularity, `window_bins` the smoothing window.
   explicit RateMeter(SimDuration bin, std::size_t window_bins = 1);
 
-  /// Records `bytes` transferred at simulated time `t` (monotone non-dec.).
+  /// Records `bytes` transferred at simulated time `t`.  Bounded reordering
+  /// is accepted: `t` may lag the newest record by up to the retention
+  /// window (2x the smoothing window), which covers burst-mode links
+  /// replaying one batch of per-packet departures per interface.
   void record(SimTime t, std::uint64_t bytes);
 
   /// Average rate in bits per second over the window ending at time `t`.
@@ -123,6 +127,7 @@ class RateMeter {
   std::map<std::int64_t, std::uint64_t> bins_;
   std::uint64_t total_bytes_ = 0;
   SimTime last_time_ = 0;
+  std::int64_t gc_floor_ = std::numeric_limits<std::int64_t>::min();
 };
 
 /// An append-only (time, value) series with named identity; the CSV/plot

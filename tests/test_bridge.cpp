@@ -79,7 +79,7 @@ TEST(Classifier, DefaultIsDrop) {
 TEST(Bridge, SteersAndRewritesSource) {
   BridgeFixture fx;
   const FlowId video =
-      fx.bridge.add_flow(1.0, {fx.wifi, fx.lte}, "video");
+      fx.bridge.add_flow({.weight = 1.0, .willing = {fx.wifi, fx.lte}, .name = "video"});
   fx.bridge.classifier().add_rule({.dst_port = 443, .flow = video});
 
   ASSERT_EQ(fx.bridge.send_from_app(app_frame(40000, 443), 0), video);
@@ -106,7 +106,7 @@ TEST(Bridge, UnclassifiedTrafficDropped) {
 
 TEST(Bridge, InterfacePreferenceEnforced) {
   BridgeFixture fx;
-  const FlowId wifi_only = fx.bridge.add_flow(1.0, {fx.wifi}, "wifi-only");
+  const FlowId wifi_only = fx.bridge.add_flow({.weight = 1.0, .willing = {fx.wifi}, .name = "wifi-only"});
   fx.bridge.classifier().set_default_flow(wifi_only);
   fx.bridge.send_from_app(app_frame(1111, 80), 0);
   EXPECT_FALSE(fx.bridge.next_frame(fx.lte, 0).has_value());
@@ -115,7 +115,7 @@ TEST(Bridge, InterfacePreferenceEnforced) {
 
 TEST(Bridge, ReturnPathRestoresVirtualAddress) {
   BridgeFixture fx;
-  const FlowId flow = fx.bridge.add_flow(1.0, {fx.lte}, "f");
+  const FlowId flow = fx.bridge.add_flow({.weight = 1.0, .willing = {fx.lte}, .name = "f"});
   fx.bridge.classifier().set_default_flow(flow);
   fx.bridge.send_from_app(app_frame(50123, 80), 0);
   const auto wire = fx.bridge.next_frame(fx.lte, 0);
@@ -160,8 +160,8 @@ TEST(BridgeIntegration, Fig1cFairnessThroughTheFullStack) {
   // mirrored so b is lte-only: expect ~1 Mb/s each (the paper's Fig 1(c)).
   BridgeFixture fx;
   Simulator sim;
-  const FlowId a = fx.bridge.add_flow(1.0, {fx.wifi, fx.lte}, "a");
-  const FlowId b = fx.bridge.add_flow(1.0, {fx.lte}, "b");
+  const FlowId a = fx.bridge.add_flow({.weight = 1.0, .willing = {fx.wifi, fx.lte}, .name = "a"});
+  const FlowId b = fx.bridge.add_flow({.weight = 1.0, .willing = {fx.lte}, .name = "b"});
   fx.bridge.classifier().add_rule({.dst_port = 443, .flow = a});
   fx.bridge.classifier().add_rule({.dst_port = 80, .flow = b});
 

@@ -17,8 +17,8 @@ TEST(ObserverOnNaiveDrr, GrantsAndSendsButNeverSkips) {
   TraceRecorder trace;
   s.set_observer(&trace);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 10; ++i) {
     s.enqueue(Packet(a, 1000), 0);
     s.enqueue(Packet(b, 1000), 0);
@@ -73,7 +73,7 @@ TEST(BridgeUdp, DnsStyleTrafficSteersAndReturns) {
                        MacAddress::local(0), virt_ip);
   const IfaceId lte = bridge.add_physical(
       {"wwan0", MacAddress::local(2), Ipv4Address(100, 64, 3, 9)});
-  const FlowId dns = bridge.add_flow(1.0, {lte}, "dns");
+  const FlowId dns = bridge.add_flow({.weight = 1.0, .willing = {lte}, .name = "dns"});
   bridge.classifier().add_rule(
       {.proto = net::IpProto::kUdp, .dst_port = 53, .flow = dns});
 
@@ -118,7 +118,7 @@ TEST(BridgeQueueCap, DropsAccountedInStats) {
   const IfaceId wifi = bridge.add_physical(
       {"wlan0", MacAddress::local(1), Ipv4Address(192, 168, 1, 2)});
   // Tiny queue: two ~550-byte frames fit, the third drops.
-  const FlowId f = bridge.scheduler().add_flow(1.0, {wifi}, "f", 1200);
+  const FlowId f = bridge.scheduler().add_flow({.weight = 1.0, .willing = {wifi}, .name = "f", .queue_capacity_bytes = 1200});
   bridge.classifier().set_default_flow(f);
   for (int i = 0; i < 3; ++i) {
     bridge.send_from_app(FrameBuilder()

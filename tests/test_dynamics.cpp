@@ -114,7 +114,7 @@ TEST(Dynamics, ArrivalProcessFlowsCoexistWithBacklogged) {
   // while a backlogged flow soaks up the rest of a 2 Mb/s link.
   Scenario sc;
   sc.interface("if1", RateProfile(mbps(2)));
-  FlowSpec cbr;
+  ScenarioFlowSpec cbr;
   cbr.name = "voip";
   cbr.weight = 1.0;
   cbr.ifaces = {"if1"};

@@ -15,9 +15,9 @@ TEST(Lemma3, DeficitBoundedDuringLongRun) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
-  const FlowId b = s.add_flow(2.0, {j1});
-  const FlowId c = s.add_flow(1.0, {j0});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
+  const FlowId b = s.add_flow({.weight = 2.0, .willing = {j1}});
+  const FlowId c = s.add_flow({.weight = 1.0, .willing = {j0}});
   Rng rng(17);
   auto sizes = SizeDistribution::bimodal(40, 1500, 0.4);
   for (int round = 0; round < 2000; ++round) {
@@ -106,7 +106,7 @@ TEST(DirectionalFm, DefinitionMatchesPaper) {
 TEST(ServiceSnapshot, DifferencesAreMonotone) {
   MiDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   fair::ServiceSnapshot t0(s);
   for (int i = 0; i < 5; ++i) s.enqueue(Packet(a, 1000), 0);
   for (int i = 0; i < 3; ++i) s.dequeue(j, 0);

@@ -17,7 +17,7 @@ TEST(QueueCapacity, OverdrivenSourceTailDrops) {
   // traffic must tail-drop, and accounting must add up.
   Scenario sc;
   sc.interface("if1", RateProfile(mbps(1)));
-  FlowSpec cbr;
+  ScenarioFlowSpec cbr;
   cbr.name = "push";
   cbr.ifaces = {"if1"};
   cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(4), 1000); };
@@ -36,7 +36,7 @@ TEST(QueueCapacity, OverdrivenSourceTailDrops) {
 TEST(QueueCapacity, UnboundedByDefault) {
   Scenario sc;
   sc.interface("if1", RateProfile(mbps(1)));
-  FlowSpec cbr;
+  ScenarioFlowSpec cbr;
   cbr.name = "push";
   cbr.ifaces = {"if1"};
   cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(2), 1000); };
@@ -51,7 +51,7 @@ TEST(QueueCapacity, BoundedDelayFollowsFromBoundedQueue) {
   // bounded by ~ queue_bytes * 8 / rate = 64 ms (plus one transmission).
   Scenario sc;
   sc.interface("if1", RateProfile(mbps(1)));
-  FlowSpec cbr;
+  ScenarioFlowSpec cbr;
   cbr.name = "push";
   cbr.ifaces = {"if1"};
   cbr.make_source = [] { return std::make_unique<CbrSource>(mbps(4), 1000); };
@@ -93,7 +93,7 @@ TEST(Logging, ToStringCoversLevels) {
 TEST(WfqEdge, DrainAndRefillKeepsVirtualTimeMonotone) {
   PerIfaceWfqScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int round = 0; round < 5; ++round) {
     const double v_before = s.virtual_time(j);
     s.enqueue(Packet(a, 1000), 0);
@@ -108,7 +108,7 @@ TEST(MiDrrEdge, SixteenInterfacesOneFlowAggregatesAll) {
   MiDrrScheduler s(1500);
   std::vector<IfaceId> ifaces;
   for (int j = 0; j < 16; ++j) ifaces.push_back(s.add_interface());
-  const FlowId f = s.add_flow(1.0, ifaces);
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = ifaces});
   for (int i = 0; i < 200; ++i) s.enqueue(Packet(f, 1500), 0);
   int served = 0;
   for (int round = 0; round < 10; ++round) {
@@ -122,8 +122,8 @@ TEST(MiDrrEdge, SixteenInterfacesOneFlowAggregatesAll) {
 TEST(MiDrrEdge, JumboAndTinyPacketsCoexist) {
   MiDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId jumbo = s.add_flow(1.0, {j});
-  const FlowId tiny = s.add_flow(1.0, {j});
+  const FlowId jumbo = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId tiny = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 20; ++i) {
     s.enqueue(Packet(jumbo, 9000), 0);
     for (int k = 0; k < 225; ++k) s.enqueue(Packet(tiny, 40), 0);
@@ -141,8 +141,8 @@ TEST(MiDrrEdge, SharedDeficitModeStillCorrectOnPaperScenarios) {
   MiDrrScheduler s(1500, /*shared_deficit=*/true);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
-  const FlowId b = s.add_flow(1.0, {j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j1}});
   for (int i = 0; i < 2000; ++i) {
     s.enqueue(Packet(a, 1500), 0);
     s.enqueue(Packet(b, 1500), 0);

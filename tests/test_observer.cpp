@@ -50,8 +50,8 @@ TEST(Observer, Fig1cSkipPatternVisible) {
   s.set_observer(&trace);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1}, "a");
-  const FlowId b = s.add_flow(1.0, {j1}, "b");
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}, .name = "a"});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j1}, .name = "b"});
   for (int i = 0; i < 200; ++i) {
     s.enqueue(Packet(a, 1500), 0);
     s.enqueue(Packet(b, 1500), 0);
@@ -75,7 +75,7 @@ TEST(Observer, DrainEventOnQueueEmpty) {
   TraceRecorder trace;
   s.set_observer(&trace);
   const IfaceId j = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(f, 500), 0);
   s.dequeue(j, 7);
   ASSERT_EQ(trace.entries().back().event, TraceRecorder::Event::kDrain);
@@ -87,7 +87,7 @@ TEST(Observer, DetachStopsEvents) {
   TraceRecorder trace;
   s.set_observer(&trace);
   const IfaceId j = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(f, 500), 0);
   s.dequeue(j, 0);
   const auto before = trace.total_events();

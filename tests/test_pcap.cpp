@@ -88,7 +88,7 @@ TEST(PcapTap, BridgeCapturesSteeredFrames) {
                        MacAddress::local(0), virt_ip);
   const IfaceId wifi = bridge.add_physical(
       {"wlan0", MacAddress::local(10), Ipv4Address(192, 168, 1, 2)});
-  const FlowId flow = bridge.add_flow(1.0, {wifi}, "f");
+  const FlowId flow = bridge.add_flow({.weight = 1.0, .willing = {wifi}, .name = "f"});
   bridge.classifier().set_default_flow(flow);
 
   std::stringstream capture;

@@ -14,8 +14,8 @@ namespace {
 TEST(Fifo, ServesInArrivalOrderAcrossFlows) {
   FifoScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(a, 100, 0), 0);
   s.enqueue(Packet(b, 100, 1), 0);
   s.enqueue(Packet(a, 100, 2), 0);
@@ -28,8 +28,8 @@ TEST(Fifo, SkipsUnwillingFlowsWithoutStalling) {
   FifoScheduler s;
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId pinned = s.add_flow(1.0, {j0});
-  const FlowId both = s.add_flow(1.0, {j0, j1});
+  const FlowId pinned = s.add_flow({.weight = 1.0, .willing = {j0}});
+  const FlowId both = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   s.enqueue(Packet(pinned, 100), 0);  // oldest, but j1-unwilling
   s.enqueue(Packet(both, 100), 0);
   const auto p = s.dequeue(j1, 0);
@@ -46,7 +46,7 @@ TEST(Fifo, HeavyFlowStarvesLightOne) {
   // volume, not to user preference.
   Scenario sc;
   sc.interface("if1", RateProfile(mbps(2)));
-  FlowSpec heavy;
+  ScenarioFlowSpec heavy;
   heavy.name = "heavy";
   heavy.ifaces = {"if1"};
   heavy.make_source = [] {
@@ -54,7 +54,7 @@ TEST(Fifo, HeavyFlowStarvesLightOne) {
                                               0, /*depth=*/64);
   };
   sc.flow(std::move(heavy));
-  FlowSpec light;
+  ScenarioFlowSpec light;
   light.name = "light";
   light.ifaces = {"if1"};
   light.make_source = [] {
@@ -75,8 +75,8 @@ TEST(Fifo, HeavyFlowStarvesLightOne) {
 TEST(StrictPriority, HeaviestFlowMonopolizes) {
   StrictPriorityScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId low = s.add_flow(1.0, {j});
-  const FlowId high = s.add_flow(2.0, {j});
+  const FlowId low = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId high = s.add_flow({.weight = 2.0, .willing = {j}});
   for (int i = 0; i < 3; ++i) {
     s.enqueue(Packet(low, 100), 0);
     s.enqueue(Packet(high, 100), 0);
@@ -94,8 +94,8 @@ TEST(StrictPriority, LightFlowLivesOnItsOwnInterface) {
   StrictPriorityScheduler s;
   const IfaceId shared = s.add_interface();
   const IfaceId own = s.add_interface();
-  const FlowId heavy = s.add_flow(5.0, {shared});
-  const FlowId light = s.add_flow(1.0, {shared, own});
+  const FlowId heavy = s.add_flow({.weight = 5.0, .willing = {shared}});
+  const FlowId light = s.add_flow({.weight = 1.0, .willing = {shared, own}});
   s.enqueue(Packet(heavy, 100), 0);
   s.enqueue(Packet(light, 100), 0);
   EXPECT_EQ(s.dequeue(shared, 0)->flow, heavy);
@@ -203,7 +203,7 @@ TEST(DelayTracking, QuantumLatencyTradeoff) {
   for (const std::uint32_t quantum : {1500u, 30000u}) {
     Scenario sc;
     sc.interface("if1", RateProfile(mbps(2)));
-    FlowSpec voip;
+    ScenarioFlowSpec voip;
     voip.name = "voip";
     voip.ifaces = {"if1"};
     voip.make_source = [] {

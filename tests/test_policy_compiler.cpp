@@ -116,8 +116,8 @@ TEST(Apply, PushesPolicyIntoLiveScheduler) {
   MiDrrScheduler sched(1500);
   const IfaceId wifi = sched.add_interface("wifi");
   const IfaceId lte = sched.add_interface("lte");
-  const FlowId netflix = sched.add_flow(1.0, {wifi, lte}, "netflix");
-  const FlowId voip = sched.add_flow(1.0, {wifi, lte}, "voip");
+  const FlowId netflix = sched.add_flow({.weight = 1.0, .willing = {wifi, lte}, .name = "netflix"});
+  const FlowId voip = sched.add_flow({.weight = 1.0, .willing = {wifi, lte}, .name = "voip"});
 
   auto c = phone();
   c.remove_interface("ethernet");  // the phone has no ethernet today

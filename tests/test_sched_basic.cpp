@@ -4,6 +4,7 @@
 
 #include "sched/drr.hpp"
 #include "sched/midrr.hpp"
+#include "sched/observer.hpp"
 #include "sched/round_robin.hpp"
 #include "sched/wfq.hpp"
 
@@ -16,7 +17,7 @@ TEST(SchedulerRegistry, AddRemoveFlowAndInterface) {
   MiDrrScheduler s(1500);
   const IfaceId wifi = s.add_interface("wifi");
   const IfaceId lte = s.add_interface("lte");
-  const FlowId f = s.add_flow(1.0, {wifi, lte}, "video");
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {wifi, lte}, .name = "video"});
   EXPECT_TRUE(s.preferences().willing(f, wifi));
   EXPECT_TRUE(s.preferences().willing(f, lte));
   EXPECT_EQ(s.preferences().flow_name(f), "video");
@@ -29,13 +30,13 @@ TEST(SchedulerRegistry, AddRemoveFlowAndInterface) {
 TEST(SchedulerRegistry, RejectsNonPositiveWeight) {
   MiDrrScheduler s;
   s.add_interface();
-  EXPECT_THROW(s.add_flow(0.0, {0}), PreconditionError);
-  EXPECT_THROW(s.add_flow(-1.0, {0}), PreconditionError);
+  EXPECT_THROW(s.add_flow({.weight = 0.0, .willing = {0}}), PreconditionError);
+  EXPECT_THROW(s.add_flow({.weight = -1.0, .willing = {0}}), PreconditionError);
 }
 
 TEST(SchedulerRegistry, RejectsUnknownInterfaceInWillingList) {
   MiDrrScheduler s;
-  EXPECT_THROW(s.add_flow(1.0, {7}), PreconditionError);
+  EXPECT_THROW(s.add_flow({.weight = 1.0, .willing = {7}}), PreconditionError);
 }
 
 TEST(SchedulerDataPath, DequeueEmptyInterfaceReturnsNothing) {
@@ -50,7 +51,7 @@ TEST(SchedulerDataPath, NeverViolatesInterfacePreference) {
   MiDrrScheduler s;
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j0});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j0}});
   s.enqueue(pkt(f, 100), 0);
   s.enqueue(pkt(f, 100), 0);
   EXPECT_FALSE(s.dequeue(j1, 0).has_value());
@@ -62,7 +63,7 @@ TEST(SchedulerDataPath, NeverViolatesInterfacePreference) {
 TEST(SchedulerDataPath, FifoWithinFlow) {
   MiDrrScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
   for (std::uint64_t i = 0; i < 5; ++i) {
     Packet p(f, 100, i);
     s.enqueue(std::move(p), 0);
@@ -77,7 +78,7 @@ TEST(SchedulerDataPath, FifoWithinFlow) {
 TEST(SchedulerDataPath, EnqueueReportsBackloggedTransition) {
   MiDrrScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
   auto r1 = s.enqueue(pkt(f, 100), 0);
   EXPECT_TRUE(r1.accepted);
   EXPECT_TRUE(r1.became_backlogged);
@@ -91,8 +92,8 @@ TEST(Drr, EqualWeightsAlternateByBytes) {
   // long-run byte counts stay equal.
   NaiveDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 200; ++i) {
     s.enqueue(pkt(a, 1000), 0);
     s.enqueue(pkt(b, 1000), 0);
@@ -106,8 +107,8 @@ TEST(Drr, EqualWeightsAlternateByBytes) {
 TEST(Drr, WeightsGiveProportionalService) {
   NaiveDrrScheduler s(1000);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(2.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 2.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 600; ++i) {
     s.enqueue(pkt(a, 500), 0);
     s.enqueue(pkt(b, 500), 0);
@@ -123,8 +124,8 @@ TEST(Drr, MixedPacketSizesStillFairInBytes) {
   // one flow sends large packets and the other small ones.
   NaiveDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId big = s.add_flow(1.0, {j});
-  const FlowId small = s.add_flow(1.0, {j});
+  const FlowId big = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId small = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 200; ++i) s.enqueue(pkt(big, 1500), 0);
   for (int i = 0; i < 3000; ++i) s.enqueue(pkt(small, 100), 0);
   std::uint64_t served = 0;
@@ -142,8 +143,8 @@ TEST(Drr, DeficitBoundLemma3) {
   // After any dequeue, every flow's deficit stays within [0, MaxSize).
   NaiveDrrScheduler s(300);  // quantum smaller than packets
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 100; ++i) {
     s.enqueue(pkt(a, 1000), 0);
     s.enqueue(pkt(b, 700), 0);
@@ -163,7 +164,7 @@ TEST(Drr, DeficitBoundLemma3) {
 TEST(Drr, DeficitResetWhenFlowDrains) {
   NaiveDrrScheduler s(5000);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(pkt(a, 1000), 0);
   ASSERT_TRUE(s.dequeue(j, 0).has_value());
   EXPECT_EQ(s.deficit_of(a, j), 0) << "deficit must reset on drain";
@@ -174,7 +175,7 @@ TEST(MiDrr, ServiceFlagSetForOtherInterfacesOnly) {
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
   const IfaceId j2 = s.add_interface();
-  const FlowId f = s.add_flow(1.0, {j0, j1, j2});
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j0, j1, j2}});
   s.enqueue(pkt(f, 100), 0);
   s.enqueue(pkt(f, 100), 0);
   ASSERT_TRUE(s.dequeue(j1, 0).has_value());
@@ -187,8 +188,8 @@ TEST(MiDrr, FlagClearedWhenSkipped) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
-  const FlowId b = s.add_flow(1.0, {j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j1}});
   for (int i = 0; i < 4; ++i) {
     s.enqueue(pkt(a, 1000), 0);
     s.enqueue(pkt(b, 1000), 0);
@@ -209,7 +210,7 @@ TEST(MiDrr, SoleFlowWithSetFlagIsStillServed) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   for (int i = 0; i < 4; ++i) s.enqueue(pkt(a, 1000), 0);
   ASSERT_TRUE(s.dequeue(j0, 0).has_value());  // sets flag at j1
   ASSERT_TRUE(s.service_flag(a, j1));
@@ -223,7 +224,7 @@ TEST(MiDrr, SharedDeficitAllowsAggregation) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   for (int i = 0; i < 100; ++i) s.enqueue(pkt(a, 1000), 0);
   for (int i = 0; i < 30; ++i) {
     ASSERT_TRUE(s.dequeue(j0, 0).has_value());
@@ -237,8 +238,8 @@ TEST(MiDrr, SharedDeficitAllowsAggregation) {
 TEST(MiDrr, QuantumScalesWithWeight) {
   MiDrrScheduler s(1000);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(2.5, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 2.5, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   EXPECT_EQ(s.quantum_of(a), 2500);
   EXPECT_EQ(s.quantum_of(b), 1000);
   // Quanta are normalized by the minimum live weight: the smallest-weight
@@ -251,8 +252,8 @@ TEST(MiDrr, QuantumScalesWithWeight) {
 TEST(Wfq, SingleInterfaceWeightedFairness) {
   PerIfaceWfqScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(3.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 3.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 800; ++i) {
     s.enqueue(pkt(a, 500), 0);
     s.enqueue(pkt(b, 500), 0);
@@ -266,8 +267,8 @@ TEST(Wfq, SingleInterfaceWeightedFairness) {
 TEST(RoundRobin, AlternatesPackets) {
   RoundRobinScheduler s;
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 10; ++i) {
     s.enqueue(pkt(a, 100), 0);
     s.enqueue(pkt(b, 2000), 0);
@@ -288,7 +289,7 @@ TEST(SchedulerChurn, RemoveInterfaceMidstream) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   for (int i = 0; i < 10; ++i) s.enqueue(pkt(a, 1000), 0);
   ASSERT_TRUE(s.dequeue(j0, 0).has_value());
   s.remove_interface(j0);
@@ -302,7 +303,7 @@ TEST(SchedulerChurn, SetWillingFalseStopsService) {
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   for (int i = 0; i < 4; ++i) s.enqueue(pkt(a, 1000), 0);
   s.set_willing(a, j0, false);
   EXPECT_FALSE(s.dequeue(j0, 0).has_value());
@@ -315,8 +316,8 @@ TEST(SchedulerChurn, SetWillingFalseStopsService) {
 TEST(SchedulerChurn, RemoveFlowDiscardsBacklog) {
   MiDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 4; ++i) {
     s.enqueue(pkt(a, 1000), 0);
     s.enqueue(pkt(b, 1000), 0);
@@ -333,10 +334,101 @@ TEST(SchedulerChurn, RemoveFlowDiscardsBacklog) {
 TEST(SchedulerChurn, TurnCountersTrackGrants) {
   MiDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 3; ++i) s.enqueue(pkt(a, 1500), 0);
   s.dequeue(j, 0);
   EXPECT_GE(s.turns(a, j), 1u);
+}
+
+// --- dequeue_burst ---------------------------------------------------------
+
+/// Builds a three-interface, four-flow workload with mixed weights, packet
+/// sizes and preferences on a freshly constructed scheduler.
+void load_burst_workload(Scheduler& s) {
+  const IfaceId j0 = s.add_interface("j0");
+  const IfaceId j1 = s.add_interface("j1");
+  const IfaceId j2 = s.add_interface("j2");
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
+  const FlowId b = s.add_flow({.weight = 2.0, .willing = {j1}});
+  const FlowId c = s.add_flow({.weight = 0.5, .willing = {j0, j1, j2}});
+  const FlowId d = s.add_flow({.weight = 3.0, .willing = {j2}});
+  const std::uint32_t sizes[] = {1500, 700, 40, 1500, 300, 1000};
+  int k = 0;
+  for (const FlowId f : {a, b, c, d}) {
+    for (int i = 0; i < 12; ++i) {
+      s.enqueue(Packet(f, sizes[static_cast<std::size_t>(k++ % 6)]), 0);
+    }
+  }
+}
+
+/// dequeue_burst must produce exactly the packets that the same number of
+/// repeated single dequeues would, for every policy: the burst path is an
+/// amortization, never a different scheduling discipline.
+TEST(DequeueBurst, MatchesRepeatedSingleDequeueAcrossPolicies) {
+  for (const Policy policy :
+       {Policy::kMiDrr, Policy::kNaiveDrr, Policy::kPerIfaceWfq,
+        Policy::kRoundRobin, Policy::kFifo, Policy::kStrictPriority}) {
+    SCOPED_TRACE(to_string(policy));
+    auto burst_sched = make_scheduler(policy);
+    auto single_sched = make_scheduler(policy);
+    load_burst_workload(*burst_sched);
+    load_burst_workload(*single_sched);
+
+    for (IfaceId j = 0; j < 3u; ++j) {
+      // Alternate budgets so bursts start and stop at varied ring positions.
+      for (const std::uint64_t budget : {4000u, 1u, 2500u, 100000u}) {
+        std::vector<Packet> burst;
+        burst_sched->dequeue_burst(j, budget, 0, burst);
+        for (const Packet& got : burst) {
+          const auto want = single_sched->dequeue(j, 0);
+          ASSERT_TRUE(want.has_value());
+          EXPECT_EQ(got.flow, want->flow);
+          EXPECT_EQ(got.size_bytes, want->size_bytes);
+        }
+        if (budget >= 100000u) {
+          // The big budget drained everything eligible; the single-step
+          // scheduler must agree there is nothing left.
+          EXPECT_EQ(burst_sched->has_eligible(j), single_sched->has_eligible(j));
+        }
+      }
+    }
+  }
+}
+
+TEST(DequeueBurst, StopsAtBudgetWithLastPacketOvershoot) {
+  MiDrrScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
+  for (int i = 0; i < 10; ++i) s.enqueue(pkt(f, 1000), 0);
+
+  std::vector<Packet> out;
+  // 2500 bytes of budget: 1000 + 1000 < 2500, so a third packet starts
+  // (bursts never waste the tail of an opportunity on a partial fit).
+  EXPECT_EQ(s.dequeue_burst(j, 2500, 0, out), 3u);
+  EXPECT_EQ(out.size(), 3u);
+
+  out.clear();
+  EXPECT_EQ(s.dequeue_burst(j, 0, 0, out), 0u) << "zero budget sends nothing";
+  EXPECT_TRUE(out.empty());
+
+  out.clear();
+  EXPECT_EQ(s.dequeue_burst(j, 1, 0, out), 1u)
+      << "any positive budget sends at least the head packet";
+}
+
+TEST(DequeueBurst, CountsBytesAndEmitsObserverEvents) {
+  TraceRecorder trace;
+  auto s = make_scheduler(Policy::kMiDrr, {.observer = &trace});
+  const IfaceId j = s->add_interface();
+  const FlowId f = s->add_flow({.weight = 1.0, .willing = {j}});
+  for (int i = 0; i < 3; ++i) s->enqueue(pkt(f, 500), 0);
+
+  std::vector<Packet> out;
+  EXPECT_EQ(s->dequeue_burst(j, 100000, 0, out), 3u);
+  EXPECT_EQ(s->sent_bytes(f), 1500u);
+  EXPECT_EQ(s->sent_bytes(f, j), 1500u);
+  EXPECT_EQ(trace.sends(f, j), 3u)
+      << "base-path dequeues must reach the observer";
 }
 
 }  // namespace

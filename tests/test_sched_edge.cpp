@@ -17,8 +17,8 @@ TEST(QuantumCache, InvalidatesWhenMinWeightFlowLeaves) {
   // smallest-weight flow must re-normalize everyone.
   MiDrrScheduler s(1000);
   const IfaceId j = s.add_interface();
-  const FlowId big = s.add_flow(4.0, {j});
-  const FlowId small = s.add_flow(0.5, {j});
+  const FlowId big = s.add_flow({.weight = 4.0, .willing = {j}});
+  const FlowId small = s.add_flow({.weight = 0.5, .willing = {j}});
   EXPECT_EQ(s.quantum_of(big), 8000);
   EXPECT_EQ(s.quantum_of(small), 1000);
   s.remove_flow(small);
@@ -28,8 +28,8 @@ TEST(QuantumCache, InvalidatesWhenMinWeightFlowLeaves) {
 TEST(QuantumCache, InvalidatesOnReweight) {
   MiDrrScheduler s(1000);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   EXPECT_EQ(s.quantum_of(a), 1000);
   s.set_weight(b, 0.25);
   EXPECT_EQ(s.quantum_of(a), 4000);
@@ -41,8 +41,8 @@ TEST(MiDrrEdge, WillingnessFlipDuringActiveTurn) {
   // ring or serve the flow again on that interface.
   MiDrrScheduler s(3000);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
-  const FlowId b = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  const FlowId b = s.add_flow({.weight = 1.0, .willing = {j}});
   for (int i = 0; i < 4; ++i) {
     s.enqueue(Packet(a, 1000), 0);
     s.enqueue(Packet(b, 1000), 0);
@@ -62,7 +62,7 @@ TEST(MiDrrEdge, InterfaceAddedAfterBackloggedFlows) {
   // ring as soon as willingness is granted.
   MiDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0}});
   for (int i = 0; i < 4; ++i) s.enqueue(Packet(a, 1000), 0);
   const IfaceId j1 = s.add_interface();
   EXPECT_FALSE(s.dequeue(j1, 0).has_value());
@@ -73,10 +73,10 @@ TEST(MiDrrEdge, InterfaceAddedAfterBackloggedFlows) {
 TEST(MiDrrEdge, ReaddingFlowAfterRemovalIsClean) {
   MiDrrScheduler s(1500);
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(a, 1000), 0);
   s.remove_flow(a);
-  const FlowId b = s.add_flow(2.0, {j});
+  const FlowId b = s.add_flow({.weight = 2.0, .willing = {j}});
   EXPECT_NE(a, b);
   s.enqueue(Packet(b, 1000), 0);
   const auto p = s.dequeue(j, 0);
@@ -88,7 +88,7 @@ TEST(MiDrrEdge, ReaddingFlowAfterRemovalIsClean) {
 TEST(WfqEdge, InterfaceAddedLaterGetsOwnVirtualClock) {
   PerIfaceWfqScheduler s;
   const IfaceId j0 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0}});
   for (int i = 0; i < 10; ++i) s.enqueue(Packet(a, 1000), 0);
   for (int i = 0; i < 5; ++i) s.dequeue(j0, 0);
   const IfaceId j1 = s.add_interface();
@@ -101,7 +101,7 @@ TEST(WfqEdge, InterfaceAddedLaterGetsOwnVirtualClock) {
 TEST(OracleEdge, ZeroCapacityEverywhereIdles) {
   OracleMaxMinScheduler s([](IfaceId) { return 0.0; });
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(a, 1000), 0);
   // Zero capacity -> zero targets; the oracle still serves (work
   // conservation: max lag regardless of sign), it just has no preference.
@@ -111,10 +111,10 @@ TEST(OracleEdge, ZeroCapacityEverywhereIdles) {
 TEST(OracleEdge, FlowChurnKeepsTargetsConsistent) {
   OracleMaxMinScheduler s([](IfaceId) { return 1e6; });
   const IfaceId j = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
   s.enqueue(Packet(a, 1000), 0);
   EXPECT_TRUE(s.dequeue(j, kSecond).has_value());
-  const FlowId b = s.add_flow(2.0, {j});
+  const FlowId b = s.add_flow({.weight = 2.0, .willing = {j}});
   for (int i = 0; i < 6; ++i) {
     s.enqueue(Packet(a, 1000), 2 * kSecond);
     s.enqueue(Packet(b, 1000), 2 * kSecond);
@@ -175,7 +175,7 @@ TEST(NaiveDrrEdge, PerIfaceDeficitsIndependent) {
   NaiveDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();
   const IfaceId j1 = s.add_interface();
-  const FlowId a = s.add_flow(1.0, {j0, j1});
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j0, j1}});
   for (int i = 0; i < 8; ++i) s.enqueue(Packet(a, 1000), 0);
   s.dequeue(j0, 0);
   // j0's leftover deficit (500) must not leak into j1's.

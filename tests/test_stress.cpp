@@ -30,7 +30,7 @@ TEST_P(SchedulerStressTest, RandomOperationSequenceKeepsInvariants) {
   const std::uint64_t seed = std::get<1>(GetParam());
   Rng rng(seed);
 
-  auto sched = make_scheduler(policy, 1500);
+  auto sched = make_scheduler(policy);
 
   std::vector<IfaceId> live_ifaces;
   std::vector<FlowId> live_flows;
@@ -46,7 +46,7 @@ TEST_P(SchedulerStressTest, RandomOperationSequenceKeepsInvariants) {
       if (rng.coin(0.6)) willing.push_back(j);
     }
     const FlowId f =
-        sched->add_flow(rng.uniform(0.25, 4.0), willing);
+        sched->add_flow({.weight = rng.uniform(0.25, 4.0), .willing = willing});
     live_flows.push_back(f);
     next_seq[f] = 0;
     expect_seq[f] = 0;
