@@ -1,0 +1,148 @@
+// rt_throughput: sweep the real-time runtime's worker count and record
+// packets/s plus enqueue->dequeue latency percentiles into BENCH_rt.json.
+//
+//   rt_throughput [--duration S] [--out FILE]
+//
+// Sweeps workers in {1, 2, 4, 8} (shards = workers, the scaling
+// configuration) at 256 and 1024 flows over 8 unpaced interfaces.  Each
+// cell saturates the runtime with one producer thread and reports the
+// steady-state drain rate.  NOTE: results depend on the host's core count;
+// the JSON records std::thread::hardware_concurrency() so a reader can
+// tell a 1-core CI box (where workers time-slice one core and pps cannot
+// scale) from a real multicore run.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/load_generator.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+struct Cell {
+  std::size_t flows;
+  std::size_t workers;
+  double pps = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  std::uint64_t dequeued = 0;
+  double duration_s = 0;
+};
+
+Cell run_cell(std::size_t flows, std::size_t workers, double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kIfaces = 8;
+  RuntimeOptions options;
+  options.workers = workers;
+  options.shards = workers;  // the scaling configuration
+  options.producers = 1;
+  options.max_flows = flows;
+
+  Runtime runtime(options);
+  for (std::size_t j = 0; j < kIfaces; ++j) {
+    runtime.add_interface("if" + std::to_string(j));
+  }
+  for (std::size_t i = 0; i < flows; ++i) {
+    RtFlowSpec spec;
+    spec.willing.push_back(static_cast<IfaceId>(i % kIfaces));
+    spec.willing.push_back(static_cast<IfaceId>((i + 1) % kIfaces));
+    runtime.control().add_flow(spec);
+  }
+
+  runtime.start();
+  LoadGeneratorOptions load;
+  load.producers = 1;
+  load.packet_bytes = 1000;
+  LoadGenerator generator(runtime, load);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  generator.start();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  generator.stop();
+  runtime.stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const RuntimeStats stats = runtime.stats();
+  Cell cell;
+  cell.flows = flows;
+  cell.workers = workers;
+  cell.dequeued = stats.dequeued;
+  cell.duration_s = elapsed;
+  cell.pps = static_cast<double>(stats.dequeued) / elapsed;
+  cell.p50_ns = stats.latency_p50_ns;
+  cell.p99_ns = stats.latency_p99_ns;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double duration_s = 2.0;
+  std::string out_path = "BENCH_rt.json";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key == "--duration") duration_s = std::stod(argv[i + 1]);
+    else if (key == "--out") out_path = argv[i + 1];
+    else {
+      std::cerr << "usage: rt_throughput [--duration S] [--out FILE]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<std::size_t> flow_counts = {256, 1024};
+  const std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
+
+  std::vector<Cell> cells;
+  for (const std::size_t flows : flow_counts) {
+    for (const std::size_t workers : worker_counts) {
+      std::cerr << "rt_throughput: " << flows << " flows, " << workers
+                << " workers..." << std::flush;
+      const Cell cell = run_cell(flows, workers, duration_s);
+      std::cerr << " " << cell.pps / 1e6 << " Mpps, p50 "
+                << cell.p50_ns / 1e3 << " us, p99 " << cell.p99_ns / 1e3
+                << " us\n";
+      cells.push_back(cell);
+    }
+  }
+
+  std::ostringstream json;
+  json << "{\n"
+       << "  \"bench\": \"rt_throughput\",\n"
+       << "  \"ifaces\": 8,\n"
+       << "  \"producers\": 1,\n"
+       << "  \"packet_bytes\": 1000,\n"
+       << "  \"shards\": \"= workers\",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"note\": \"pps scaling across workers requires as many free "
+          "cores; on a 1-core host the sweep measures overhead, not "
+          "speedup\",\n"
+       << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    json << "    {\"flows\": " << c.flows << ", \"workers\": " << c.workers
+         << ", \"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
+         << ", \"duration_s\": " << c.duration_s
+         << ", \"latency_p50_ns\": " << c.p50_ns
+         << ", \"latency_p99_ns\": " << c.p99_ns << "}"
+         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json.str();
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "runtime/control_plane.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+
+ControlPlane::ControlPlane(ShardApplier& applier,
+                           std::vector<std::uint32_t> shard_of_iface,
+                           std::size_t max_flows)
+    : applier_(applier),
+      shard_of_iface_(std::move(shard_of_iface)),
+      max_flows_(max_flows),
+      cell_(std::make_unique<RuntimeSnapshot>()) {
+  MIDRR_REQUIRE(max_flows_ > 0, "max_flows must be positive");
+  latest_.iface_count = shard_of_iface_.size();
+  latest_.version = 1;
+  publish_locked(clone_locked());
+}
+
+std::unique_ptr<RuntimeSnapshot> ControlPlane::clone_locked() const {
+  return std::make_unique<RuntimeSnapshot>(latest_);
+}
+
+void ControlPlane::publish_locked(std::unique_ptr<RuntimeSnapshot> next) {
+  cell_.publish(std::unique_ptr<const RuntimeSnapshot>(next.release()));
+}
+
+std::uint64_t ControlPlane::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_.version;
+}
+
+std::vector<std::uint32_t> ControlPlane::shards_of(
+    const std::vector<IfaceId>& willing) const {
+  std::vector<std::uint32_t> shards;
+  for (const IfaceId j : willing) {
+    MIDRR_REQUIRE(j < shard_of_iface_.size(), "unknown interface in Pi row");
+    shards.push_back(shard_of_iface_[j]);
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+std::vector<IfaceId> ControlPlane::willing_in_shard(
+    const std::vector<IfaceId>& willing, std::uint32_t shard) const {
+  std::vector<IfaceId> subset;
+  for (const IfaceId j : willing) {
+    if (shard_of_iface_[j] == shard) subset.push_back(j);
+  }
+  return subset;
+}
+
+FlowId ControlPlane::add_flow(const RtFlowSpec& spec) {
+  MIDRR_REQUIRE(spec.weight > 0.0, "flow weight must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Validate everything BEFORE consuming a flow id: a rejected add must
+  // not burn a slot of the (never-reused) id space.
+  SnapshotFlow entry;
+  entry.live = true;
+  entry.weight = spec.weight;
+  entry.willing = spec.willing;
+  std::sort(entry.willing.begin(), entry.willing.end());
+  entry.willing.erase(std::unique(entry.willing.begin(), entry.willing.end()),
+                      entry.willing.end());
+  entry.shards = shards_of(entry.willing);  // throws on unknown interfaces
+  entry.name = spec.name;
+  MIDRR_REQUIRE(next_flow_ < max_flows_,
+                "flow arena exhausted (RuntimeOptions::max_flows)");
+  const FlowId flow = next_flow_++;
+  entry.id = flow;
+
+  // Data plane first: every hosting shard must know the flow before any
+  // producer can route a packet to it.
+  for (const std::uint32_t s : entry.shards) {
+    applier_.shard_add_flow(s, flow, spec,
+                            willing_in_shard(entry.willing, s));
+  }
+
+  if (latest_.flows.size() <= flow) latest_.flows.resize(flow + 1);
+  latest_.flows[flow] = std::move(entry);
+  latest_.live.insert(
+      std::lower_bound(latest_.live.begin(), latest_.live.end(), flow), flow);
+  ++latest_.version;
+  publish_locked(clone_locked());
+  return flow;
+}
+
+void ControlPlane::remove_flow(FlowId flow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
+                "removing unknown flow");
+  const std::vector<std::uint32_t> shards = latest_.flows[flow].shards;
+
+  // Publish first: producers holding the new snapshot stop offering, then
+  // the shards forget the flow (stragglers in ingress rings get dropped by
+  // the fan-in stage).
+  latest_.flows[flow].live = false;
+  latest_.flows[flow].shards.clear();
+  latest_.live.erase(
+      std::find(latest_.live.begin(), latest_.live.end(), flow));
+  ++latest_.version;
+  publish_locked(clone_locked());
+
+  for (const std::uint32_t s : shards) applier_.shard_remove_flow(s, flow);
+}
+
+void ControlPlane::set_weight(FlowId flow, double weight) {
+  MIDRR_REQUIRE(weight > 0.0, "flow weight must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
+                "reweighting unknown flow");
+  for (const std::uint32_t s : latest_.flows[flow].shards) {
+    applier_.shard_set_weight(s, flow, weight);
+  }
+  latest_.flows[flow].weight = weight;
+  ++latest_.version;
+  publish_locked(clone_locked());
+}
+
+void ControlPlane::set_willing(FlowId flow, IfaceId iface, bool value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
+                "set_willing for unknown flow");
+  MIDRR_REQUIRE(iface < shard_of_iface_.size(),
+                "set_willing for unknown interface");
+  SnapshotFlow& entry = latest_.flows[flow];
+  const bool had = std::binary_search(entry.willing.begin(),
+                                      entry.willing.end(), iface);
+  if (had == value) return;
+
+  const std::uint32_t shard = shard_of_iface_[iface];
+  const bool hosted =
+      std::binary_search(entry.shards.begin(), entry.shards.end(), shard);
+
+  std::vector<IfaceId> new_willing = entry.willing;
+  if (value) {
+    new_willing.insert(
+        std::lower_bound(new_willing.begin(), new_willing.end(), iface),
+        iface);
+  } else {
+    new_willing.erase(
+        std::find(new_willing.begin(), new_willing.end(), iface));
+  }
+  const bool still_hosted = !willing_in_shard(new_willing, shard).empty();
+
+  if (value && !hosted) {
+    // Coverage grows: register the flow in the new shard before publishing.
+    RtFlowSpec spec;
+    spec.weight = entry.weight;
+    spec.willing = new_willing;
+    spec.name = entry.name;
+    applier_.shard_add_flow(shard, flow, spec, {iface});
+    entry.shards.insert(
+        std::lower_bound(entry.shards.begin(), entry.shards.end(), shard),
+        shard);
+  } else if (value) {
+    applier_.shard_set_willing(shard, flow, iface, true);
+  }
+
+  entry.willing = std::move(new_willing);
+  ++latest_.version;
+
+  if (!value && hosted && !still_hosted) {
+    // Coverage shrinks: publish first, then drop the flow from the shard
+    // (its queue there is discarded -- same as interface-loss semantics in
+    // the simulator: packets stay with the flow only within a scheduler).
+    entry.shards.erase(
+        std::find(entry.shards.begin(), entry.shards.end(), shard));
+    publish_locked(clone_locked());
+    applier_.shard_remove_flow(shard, flow);
+    return;
+  }
+  if (!value && hosted) {
+    publish_locked(clone_locked());
+    applier_.shard_set_willing(shard, flow, iface, false);
+    return;
+  }
+  publish_locked(clone_locked());
+}
+
+}  // namespace midrr::rt

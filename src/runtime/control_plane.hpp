@@ -1,0 +1,137 @@
+// ControlPlane: the runtime's slow path.  Flow add/remove and (Pi, phi)
+// preference edits are applied to the shard schedulers under their locks,
+// then published to the lock-free fast path as a new immutable
+// RuntimeSnapshot via an epoch-RCU cell (runtime/rcu.hpp).
+//
+// The paper's Section 4 requires that preference dynamics never disturb
+// in-flight scheduling; here that translates to: producers and workers
+// read a consistent (Pi, phi) snapshot without blocking, and an update
+// becomes visible as one atomic pointer swap -- a reader sees either the
+// whole old configuration or the whole new one, never a torn mix (the
+// snapshot-swap test pins exactly this).
+//
+// The control plane does not touch schedulers directly; it drives a
+// ShardApplier (implemented by Runtime) so the registry/diff logic is unit
+// testable without threads.  Update ordering:
+//   * add_flow / willingness growth: apply to shards FIRST, then publish --
+//     a producer can only route a packet to a shard after the shard knows
+//     the flow.
+//   * remove_flow / willingness shrink: publish FIRST, then apply --
+//     producers stop offering before the shard forgets the flow; packets
+//     already sitting in ingress rings for a forgotten flow are dropped by
+//     the fan-in stage (counted, never fatal).
+// Writers are serialized by an internal mutex; readers never block.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "runtime/rcu.hpp"
+
+namespace midrr::rt {
+
+/// Flow registration for the runtime: like sched::FlowSpec but with GLOBAL
+/// interface ids (the runtime translates to per-shard scheduler ids).
+struct RtFlowSpec {
+  double weight = 1.0;
+  std::vector<IfaceId> willing{};  ///< global interface ids
+  std::string name{};
+  std::uint64_t queue_capacity_bytes = 512 * 1024;  ///< per shard; 0 = unbounded
+};
+
+/// One flow's entry in the published configuration.
+struct SnapshotFlow {
+  FlowId id = kInvalidFlow;
+  bool live = false;
+  double weight = 1.0;
+  std::vector<IfaceId> willing{};        ///< global iface ids, ascending
+  std::vector<std::uint32_t> shards{};   ///< shards hosting this flow, ascending
+  std::string name{};
+};
+
+/// An immutable configuration snapshot.  Built by the control plane,
+/// published via RCU, read lock-free by producers and workers.
+struct RuntimeSnapshot {
+  std::uint64_t version = 0;
+  std::vector<SnapshotFlow> flows{};  ///< indexed by FlowId (slots, not live count)
+  std::vector<FlowId> live{};         ///< live flow ids, ascending
+  std::size_t iface_count = 0;
+
+  const SnapshotFlow* flow(FlowId id) const {
+    return id < flows.size() && flows[id].live ? &flows[id] : nullptr;
+  }
+};
+
+/// What the control plane needs from the data plane: apply one mutation to
+/// one shard's scheduler (under that shard's lock).  Implemented by
+/// Runtime; mocked in tests.
+class ShardApplier {
+ public:
+  virtual ~ShardApplier() = default;
+
+  /// Registers `flow` in `shard` with the subset of `willing` hosted there.
+  virtual void shard_add_flow(std::uint32_t shard, FlowId flow,
+                              const RtFlowSpec& spec,
+                              const std::vector<IfaceId>& willing_subset) = 0;
+  virtual void shard_remove_flow(std::uint32_t shard, FlowId flow) = 0;
+  virtual void shard_set_weight(std::uint32_t shard, FlowId flow,
+                                double weight) = 0;
+  virtual void shard_set_willing(std::uint32_t shard, FlowId flow,
+                                 IfaceId iface, bool value) = 0;
+};
+
+class ControlPlane {
+ public:
+  /// `shard_of_iface[j]` maps global interface j to its shard.
+  ControlPlane(ShardApplier& applier, std::vector<std::uint32_t> shard_of_iface,
+               std::size_t max_flows);
+
+  // --- Mutations (any thread; serialized internally) ---------------------
+
+  /// Registers a flow; returns its global id.  Ids are dense and never
+  /// reused (same contract as Preferences).
+  FlowId add_flow(const RtFlowSpec& spec);
+
+  void remove_flow(FlowId flow);
+
+  /// phi update: applied to every hosting shard, published atomically.
+  void set_weight(FlowId flow, double weight);
+
+  /// Pi update: may grow or shrink the flow's shard coverage; the control
+  /// plane computes the diff and adds/removes the flow from shards as
+  /// needed (packets queued in a departed shard are discarded, mirroring
+  /// remove_flow semantics there).
+  void set_willing(FlowId flow, IfaceId iface, bool value);
+
+  // --- Read side ---------------------------------------------------------
+
+  /// Claims a reader slot for the calling thread (hold one per thread,
+  /// reuse it for every read).
+  Rcu<RuntimeSnapshot>::Reader reader() { return Rcu<RuntimeSnapshot>::Reader(cell_); }
+
+  std::uint64_t version() const;
+  std::size_t max_flows() const { return max_flows_; }
+  std::size_t iface_count() const { return shard_of_iface_.size(); }
+
+ private:
+  std::unique_ptr<RuntimeSnapshot> clone_locked() const;
+  void publish_locked(std::unique_ptr<RuntimeSnapshot> next);
+  std::vector<std::uint32_t> shards_of(const std::vector<IfaceId>& willing) const;
+  std::vector<IfaceId> willing_in_shard(const std::vector<IfaceId>& willing,
+                                        std::uint32_t shard) const;
+
+  ShardApplier& applier_;
+  std::vector<std::uint32_t> shard_of_iface_;
+  std::size_t max_flows_;
+
+  mutable std::mutex mu_;      // serializes writers; guards latest_
+  RuntimeSnapshot latest_;     // writer's working copy (source of truth)
+  FlowId next_flow_ = 0;
+  Rcu<RuntimeSnapshot> cell_;
+};
+
+}  // namespace midrr::rt

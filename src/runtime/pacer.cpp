@@ -1,0 +1,69 @@
+#include "runtime/pacer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+
+TokenBucketPacer::TokenBucketPacer(std::uint64_t depth_bytes)
+    : depth_(static_cast<double>(depth_bytes)), tokens_(depth_) {
+  MIDRR_REQUIRE(depth_bytes > 0, "pacer depth must be positive");
+}
+
+TokenBucketPacer::TokenBucketPacer(RateProfile profile,
+                                   std::uint64_t depth_bytes)
+    : profile_(std::move(profile)),
+      depth_(static_cast<double>(depth_bytes)),
+      tokens_(0.0) {
+  // The bucket starts EMPTY, not full: a profile that begins at rate 0
+  // models a down link, and a start-of-run burst would violate "a link
+  // never sends faster than its profile" on exactly the first drain.
+  MIDRR_REQUIRE(depth_bytes > 0, "pacer depth must be positive");
+}
+
+void TokenBucketPacer::refill(SimTime now_ns) {
+  if (!profile_ || now_ns <= last_ns_) return;
+  // Integrate the piecewise-constant profile over (last_ns_, now_ns].
+  SimTime t = last_ns_;
+  while (t < now_ns) {
+    const double rate_bps = profile_->rate_at(t);
+    const SimTime next = std::min(now_ns, profile_->next_change_after(t));
+    if (rate_bps > 0.0) {
+      tokens_ += rate_bps / 8.0 * to_seconds(next - t);
+    }
+    t = next;
+  }
+  tokens_ = std::min(tokens_, depth_);
+  last_ns_ = now_ns;
+}
+
+std::uint64_t TokenBucketPacer::budget_bytes(SimTime now_ns) {
+  if (!profile_) return static_cast<std::uint64_t>(depth_);
+  refill(now_ns);
+  if (tokens_ < 1.0) return 0;
+  return static_cast<std::uint64_t>(tokens_);
+}
+
+void TokenBucketPacer::consume(std::uint64_t bytes) {
+  if (!profile_) return;
+  tokens_ -= static_cast<double>(bytes);
+}
+
+SimTime TokenBucketPacer::ns_until_bytes(std::uint64_t bytes, SimTime now_ns) {
+  if (!profile_) return 0;
+  refill(now_ns);
+  const double need = static_cast<double>(bytes) - tokens_;
+  if (need <= 0.0) return 0;
+  const double rate_bps = profile_->rate_at(now_ns);
+  if (rate_bps <= 0.0) {
+    // Link is down: sleep until the profile's next change point (or
+    // "forever", which callers clamp to their own maximum).
+    const SimTime change = profile_->next_change_after(now_ns);
+    return change == kSimTimeMax ? kSimTimeMax : change - now_ns;
+  }
+  return static_cast<SimTime>(std::ceil(need * 8.0 / rate_bps * 1e9));
+}
+
+}  // namespace midrr::rt

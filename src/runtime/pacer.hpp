@@ -1,0 +1,65 @@
+// Token-bucket pacer: converts an interface's (time-varying) capacity into
+// per-drain byte budgets for the runtime's worker loops.
+//
+// The capacity is a sim::RateProfile evaluated against the runtime clock
+// (nanoseconds since Runtime::start), so the same step/square-wave/
+// Gilbert-Elliott profiles the discrete-event simulator uses drive the
+// real-time engine -- a fading WiFi link is one constructor argument away.
+//
+// Tokens accumulate by exact piecewise integration of the profile between
+// refills, capped at `depth_bytes` (the burst the link may send after an
+// idle period).  consume() may push the balance negative when a packet
+// overshoots the granted budget (a transmit opportunity is never wasted on
+// a partial fit -- same contract as Scheduler::dequeue_burst); the deficit
+// is paid back before new budget is granted, so long-run throughput tracks
+// the profile exactly.
+//
+// Thread-safety: none.  Each pacer belongs to exactly one interface, and
+// each interface to exactly one worker thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/rate_profile.hpp"
+#include "util/time.hpp"
+
+namespace midrr::rt {
+
+class TokenBucketPacer {
+ public:
+  /// Unlimited pacer: budget_bytes() always grants `depth_bytes`.
+  /// (Benchmarks use this to measure the engine, not the emulated link.)
+  explicit TokenBucketPacer(std::uint64_t depth_bytes = 256 * 1024);
+
+  /// Paced by `profile` (bits per second over runtime-nanoseconds), with a
+  /// bucket depth of `depth_bytes`.
+  TokenBucketPacer(RateProfile profile, std::uint64_t depth_bytes);
+
+  bool unlimited() const { return !profile_.has_value(); }
+
+  /// Refills from the profile up to `now_ns` and returns the whole bytes
+  /// available to send right now (0 while paying back an overshoot or while
+  /// the link is down).
+  std::uint64_t budget_bytes(SimTime now_ns);
+
+  /// Spends `bytes` of budget; may overshoot what budget_bytes granted.
+  void consume(std::uint64_t bytes);
+
+  /// Hint: nanoseconds until roughly `bytes` of budget accumulate (0 if
+  /// already available).  Workers use it to bound their idle sleep; it is
+  /// an estimate based on the instantaneous rate, not a promise.
+  SimTime ns_until_bytes(std::uint64_t bytes, SimTime now_ns);
+
+  double tokens() const { return tokens_; }  ///< test introspection
+
+ private:
+  void refill(SimTime now_ns);
+
+  std::optional<RateProfile> profile_;
+  double depth_;
+  double tokens_;
+  SimTime last_ns_ = 0;
+};
+
+}  // namespace midrr::rt

@@ -1,0 +1,176 @@
+// Epoch-based read-copy-update cell: one pointer to an immutable snapshot,
+// read by many threads without ever blocking, replaced by a (serialized)
+// writer that waits out a grace period before freeing the old snapshot.
+//
+// This is the control plane's publication mechanism (the paper's Section 4
+// dynamics -- flow arrival/departure and (Pi, phi) edits -- must never
+// stall the datapath).  The scheme is the classic user-space RCU epoch
+// design, sized for a fixed worst case instead of dynamic registration:
+//
+//   * A fixed array of per-reader slots, one cache line each.  A reader
+//     thread claims a slot once (Reader RAII) and reuses it for every
+//     critical section.
+//   * Global epoch counter E, starting at 1.  read(): slot.epoch = E
+//     (announce), then load the pointer; both seq_cst so the announce is
+//     globally visible before the pointer load.  Guard destruction stores 0
+//     ("quiescent", release).
+//   * publish(): swap the pointer (seq_cst), bump E, then wait until every
+//     claimed slot is either quiescent or announces an epoch >= the new E.
+//     Any reader still inside a critical section that might hold the OLD
+//     pointer announced an epoch < new-E, so when the scan passes, no
+//     reader can still dereference it and the writer deletes it.
+//
+// Readers: two uncontended atomic stores + two loads per critical section,
+// no CAS, no waiting -- they never block, regardless of writer activity.
+// Writers: serialized by a mutex and may spin-yield for one grace period;
+// fine for control-plane rates (updates per second, not per packet).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "runtime/spsc_ring.hpp"  // kCacheLine
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+
+template <typename T>
+class Rcu {
+ public:
+  /// Maximum number of simultaneously registered reader threads.
+  static constexpr std::size_t kMaxReaders = 128;
+
+  explicit Rcu(std::unique_ptr<const T> initial)
+      : current_(initial.release()) {
+    MIDRR_REQUIRE(current_.load() != nullptr, "RCU cell needs an initial value");
+  }
+
+  ~Rcu() { delete current_.load(std::memory_order_acquire); }
+
+  Rcu(const Rcu&) = delete;
+  Rcu& operator=(const Rcu&) = delete;
+
+  /// A claimed reader slot; one per reader THREAD, reused across critical
+  /// sections.  Claiming is a one-time CAS scan; destruction releases the
+  /// slot for other threads.
+  class Reader {
+   public:
+    explicit Reader(Rcu& cell) : cell_(&cell) {
+      for (std::size_t i = 0; i < kMaxReaders; ++i) {
+        bool expected = false;
+        if (cell.slots_[i].claimed.compare_exchange_strong(
+                expected, true, std::memory_order_acq_rel)) {
+          slot_ = i;
+          return;
+        }
+      }
+      MIDRR_REQUIRE(false, "RCU reader slots exhausted (kMaxReaders)");
+    }
+
+    ~Reader() {
+      if (cell_ != nullptr) {
+        cell_->slots_[slot_].epoch.store(0, std::memory_order_release);
+        cell_->slots_[slot_].claimed.store(false, std::memory_order_release);
+      }
+    }
+
+    Reader(Reader&& other) noexcept : cell_(other.cell_), slot_(other.slot_) {
+      other.cell_ = nullptr;
+    }
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+    Reader& operator=(Reader&&) = delete;
+
+    /// An open read-side critical section.  The snapshot stays valid until
+    /// the Guard is destroyed; never hold one across blocking calls.
+    class Guard {
+     public:
+      const T* get() const { return ptr_; }
+      const T* operator->() const { return ptr_; }
+      const T& operator*() const { return *ptr_; }
+
+      ~Guard() {
+        if (slot_ != nullptr) slot_->epoch.store(0, std::memory_order_release);
+      }
+      Guard(Guard&& other) noexcept : ptr_(other.ptr_), slot_(other.slot_) {
+        other.slot_ = nullptr;
+      }
+      Guard(const Guard&) = delete;
+      Guard& operator=(const Guard&) = delete;
+      Guard& operator=(Guard&&) = delete;
+
+     private:
+      friend class Reader;
+      Guard(const T* ptr, typename Rcu::Slot* slot) : ptr_(ptr), slot_(slot) {}
+      const T* ptr_;
+      typename Rcu::Slot* slot_;
+    };
+
+    /// Enters a critical section: announce the epoch, then load the
+    /// pointer.  seq_cst on both gives the store-load ordering the grace
+    /// period scan relies on (announce visible before the pointer read).
+    /// Guards from the SAME Reader must not be nested (one slot per
+    /// reader: the inner Guard's destruction would end the outer critical
+    /// section early).
+    Guard lock() {
+      auto& slot = cell_->slots_[slot_];
+      // A stale (smaller) announced epoch is safe -- it only makes the
+      // writer wait for us conservatively -- so one plain store suffices.
+      slot.epoch.store(cell_->epoch_.load(std::memory_order_seq_cst),
+                       std::memory_order_seq_cst);
+      const T* ptr = cell_->current_.load(std::memory_order_seq_cst);
+      return Guard(ptr, &slot);
+    }
+
+   private:
+    Rcu* cell_;
+    std::size_t slot_ = 0;
+  };
+
+  /// Replaces the snapshot and blocks until the previous one is
+  /// unreachable, then deletes it.  Writers are serialized.  Safe to call
+  /// from a reader thread only OUTSIDE any Guard (a writer waiting on its
+  /// own open critical section would deadlock).
+  void publish(std::unique_ptr<const T> next) {
+    MIDRR_REQUIRE(next != nullptr, "publishing a null snapshot");
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    const T* old = current_.exchange(next.release(), std::memory_order_seq_cst);
+    const std::uint64_t target =
+        epoch_.fetch_add(1, std::memory_order_seq_cst) + 1;
+    wait_for_grace_period(target);
+    delete old;
+  }
+
+  /// Current version counter (bumped once per publish); mostly for tests.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::atomic<std::uint64_t> epoch{0};  // 0 = quiescent
+    std::atomic<bool> claimed{false};
+  };
+
+  void wait_for_grace_period(std::uint64_t target) const {
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      const Slot& slot = slots_[i];
+      // seq_cst load pairs with the reader's announce; `claimed` can turn
+      // false concurrently, which only ends the wait early -- a slot being
+      // released implies its owner left the critical section.
+      while (slot.claimed.load(std::memory_order_acquire)) {
+        const std::uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+        if (e == 0 || e >= target) break;
+        std::this_thread::yield();
+      }
+    }
+  }
+
+  std::atomic<const T*> current_;
+  std::atomic<std::uint64_t> epoch_{1};
+  mutable std::mutex writer_mu_;
+  Slot slots_[kMaxReaders];
+};
+
+}  // namespace midrr::rt

@@ -1,0 +1,458 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+
+namespace {
+
+/// How long an idle worker sleeps when nobody kicks it.  Token buckets
+/// keep accruing while a worker sleeps (refill integrates elapsed time),
+/// so this bounds wakeup latency, not throughput; pacer depths are sized
+/// to absorb several park periods (see auto_depth below).
+constexpr std::chrono::nanoseconds kParkSlice{500'000};  // 500 us
+
+/// Max packets pulled from ONE ingress ring per fan-in pass; bounds the
+/// shard-lock hold time of the fan-in stage.
+constexpr std::size_t kFanInBatch = 256;
+
+std::uint64_t auto_depth(const RateProfile& profile,
+                         std::uint64_t configured,
+                         std::uint64_t burst_bytes) {
+  if (configured != 0) return configured;
+  // Depth = the larger of one dequeue burst and ~5 ms at peak rate, so a
+  // worker sleeping a few park slices can catch the link back up to its
+  // long-run rate instead of clipping it.
+  const double five_ms_bytes = profile.peak_rate() / 8.0 * 0.005;
+  return std::max<std::uint64_t>(
+      burst_bytes, static_cast<std::uint64_t>(five_ms_bytes) + 1);
+}
+
+}  // namespace
+
+// --- IngressPort ---------------------------------------------------------
+
+bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes) {
+  std::uint32_t shard;
+  {
+    const auto guard = reader_.lock();
+    const SnapshotFlow* entry = guard->flow(flow);
+    if (entry == nullptr || entry->shards.empty()) {
+      ++rejected_;
+      rt_.ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    shard = entry->shards.size() == 1
+                ? entry->shards.front()
+                : entry->shards[rr_++ % entry->shards.size()];
+  }
+  Packet packet(flow, size_bytes);
+  packet.enqueued_at = rt_.now_ns();
+  auto& ring = *rt_.shards_[shard]->ingress[producer_];
+  if (!ring.push(std::move(packet))) {
+    ++rejected_;
+    rt_.ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++offered_;
+  rt_.offered_.fetch_add(1, std::memory_order_relaxed);
+  rt_.kick(rt_.shards_[shard]->home_worker);
+  return true;
+}
+
+Rcu<RuntimeSnapshot>::Reader::Guard IngressPort::snapshot() {
+  return reader_.lock();
+}
+
+// --- Runtime: construction & topology ------------------------------------
+
+Runtime::Runtime(const RuntimeOptions& options)
+    : options_(options),
+      sent_by_flow_(options.max_flows),
+      epoch_(std::chrono::steady_clock::now()) {
+  MIDRR_REQUIRE(options_.workers >= 1, "runtime needs at least one worker");
+  MIDRR_REQUIRE(options_.shards >= 1, "runtime needs at least one shard");
+  MIDRR_REQUIRE(options_.producers >= 1, "runtime needs at least one producer");
+  MIDRR_REQUIRE(options_.policy != Policy::kOracle,
+                "the oracle scheduler is simulator-only");
+  MIDRR_REQUIRE(options_.sched.observer == nullptr,
+                "scheduler observers are not supported under the runtime "
+                "(they would run inside the shard locks)");
+  MIDRR_REQUIRE(options_.burst_bytes > 0, "burst_bytes must be positive");
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->sched = make_scheduler(options_.policy, options_.sched);
+    for (std::size_t p = 0; p < options_.producers; ++p) {
+      shard->ingress.push_back(
+          std::make_unique<SpscRing<Packet>>(options_.ring_capacity));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+IfaceId Runtime::add_interface(std::string name, RateProfile capacity) {
+  MIDRR_REQUIRE(!started_, "interfaces must be added before start()");
+  MIDRR_REQUIRE(control_ == nullptr,
+                "interfaces must be added before the control plane is used");
+  const IfaceId iface = static_cast<IfaceId>(ifaces_.size());
+  auto rec = std::make_unique<IfaceRec>();
+  rec->name = std::move(name);
+  rec->shard = static_cast<std::uint32_t>(iface % shards_.size());
+  const std::uint64_t depth =
+      auto_depth(capacity, options_.pacer_depth_bytes, options_.burst_bytes);
+  rec->pacer = TokenBucketPacer(std::move(capacity), depth);
+  Shard& shard = *shards_[rec->shard];
+  rec->local_id = shard.sched->add_interface(rec->name);
+  if (shard.local_of_iface.size() <= iface) {
+    shard.local_of_iface.resize(iface + 1, kInvalidIface);
+  }
+  shard.local_of_iface[iface] = rec->local_id;
+  shard.ifaces.push_back(iface);
+  ifaces_.push_back(std::move(rec));
+  return iface;
+}
+
+IfaceId Runtime::add_interface(std::string name) {
+  MIDRR_REQUIRE(!started_, "interfaces must be added before start()");
+  MIDRR_REQUIRE(control_ == nullptr,
+                "interfaces must be added before the control plane is used");
+  const IfaceId iface = static_cast<IfaceId>(ifaces_.size());
+  auto rec = std::make_unique<IfaceRec>();
+  rec->name = std::move(name);
+  rec->shard = static_cast<std::uint32_t>(iface % shards_.size());
+  rec->pacer = TokenBucketPacer(
+      options_.pacer_depth_bytes != 0 ? options_.pacer_depth_bytes
+                                      : options_.burst_bytes);
+  Shard& shard = *shards_[rec->shard];
+  rec->local_id = shard.sched->add_interface(rec->name);
+  if (shard.local_of_iface.size() <= iface) {
+    shard.local_of_iface.resize(iface + 1, kInvalidIface);
+  }
+  shard.local_of_iface[iface] = rec->local_id;
+  shard.ifaces.push_back(iface);
+  ifaces_.push_back(std::move(rec));
+  return iface;
+}
+
+ControlPlane& Runtime::control() {
+  if (control_ == nullptr) {
+    // First use freezes the interface set (the iface -> shard map is baked
+    // into the control plane and into every published snapshot).
+    std::vector<std::uint32_t> shard_of_iface;
+    shard_of_iface.reserve(ifaces_.size());
+    for (const auto& rec : ifaces_) shard_of_iface.push_back(rec->shard);
+    // The cast happens here, inside a Runtime member, because the
+    // ShardApplier base is private (it is an implementation detail, not
+    // part of Runtime's public face).
+    control_ = std::make_unique<ControlPlane>(static_cast<ShardApplier&>(*this),
+                                              std::move(shard_of_iface),
+                                              options_.max_flows);
+  }
+  return *control_;
+}
+
+// --- Runtime: lifecycle ---------------------------------------------------
+
+void Runtime::start() {
+  MIDRR_REQUIRE(!started_, "runtime already started (no restart support)");
+  MIDRR_REQUIRE(!ifaces_.empty(), "runtime needs at least one interface");
+  control();  // materialize the control plane before any thread runs
+  started_ = true;
+
+  const auto worker_count = options_.workers;
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    auto worker = std::make_unique<Worker>();
+    worker->index = static_cast<std::uint32_t>(w);
+    workers_.push_back(std::move(worker));
+  }
+  // Interfaces round-robin across workers; each shard's fan-in runs on a
+  // "home" worker so every SPSC ring keeps a single consumer thread.
+  for (IfaceId j = 0; j < ifaces_.size(); ++j) {
+    IfaceRec& rec = *ifaces_[j];
+    rec.worker = static_cast<std::uint32_t>(j % worker_count);
+    workers_[rec.worker]->ifaces.push_back(j);
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
+    shard.home_worker = static_cast<std::uint32_t>(s % worker_count);
+    workers_[shard.home_worker]->home_shards.push_back(
+        static_cast<std::uint32_t>(s));
+    for (const IfaceId j : shard.ifaces) {
+      const std::uint32_t w = ifaces_[j]->worker;
+      auto& kick_list = shard.kick_on_enqueue;
+      if (std::find(kick_list.begin(), kick_list.end(), w) == kick_list.end()) {
+        kick_list.push_back(w);
+      }
+    }
+  }
+
+  epoch_ = std::chrono::steady_clock::now();
+  running_.store(true, std::memory_order_release);
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_main(w->index); });
+  }
+}
+
+void Runtime::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    return;
+  }
+  for (auto& worker : workers_) kick(worker->index);
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+IngressPort Runtime::port(std::size_t producer) {
+  MIDRR_REQUIRE(started_, "ports are available after start()");
+  MIDRR_REQUIRE(producer < options_.producers, "producer index out of range");
+  return IngressPort(*this, producer, control().reader());
+}
+
+SimTime Runtime::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+// --- Runtime: ShardApplier (control plane -> shard schedulers) -----------
+
+void Runtime::shard_add_flow(std::uint32_t shard_index, FlowId flow,
+                             const RtFlowSpec& spec,
+                             const std::vector<IfaceId>& willing_subset) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  FlowSpec fs;
+  fs.weight = spec.weight;
+  for (const IfaceId j : willing_subset) {
+    fs.willing.push_back(shard.local_of_iface[j]);
+  }
+  fs.name = spec.name;
+  fs.queue_capacity_bytes = spec.queue_capacity_bytes;
+  const FlowId local = shard.sched->add_flow(fs);
+  if (shard.local_of_flow.size() <= flow) {
+    shard.local_of_flow.resize(flow + 1, kInvalidFlow);
+  }
+  shard.local_of_flow[flow] = local;
+  if (shard.global_of_flow.size() <= local) {
+    shard.global_of_flow.resize(local + 1, kInvalidFlow);
+  }
+  shard.global_of_flow[local] = flow;
+}
+
+void Runtime::shard_remove_flow(std::uint32_t shard_index, FlowId flow) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const FlowId local = shard.local_of_flow[flow];
+  shard.local_of_flow[flow] = kInvalidFlow;
+  shard.global_of_flow[local] = kInvalidFlow;
+  shard.sched->remove_flow(local);
+}
+
+void Runtime::shard_set_weight(std::uint32_t shard_index, FlowId flow,
+                               double weight) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sched->set_weight(shard.local_of_flow[flow], weight);
+}
+
+void Runtime::shard_set_willing(std::uint32_t shard_index, FlowId flow,
+                                IfaceId iface, bool value) {
+  Shard& shard = *shards_[shard_index];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.sched->set_willing(shard.local_of_flow[flow],
+                           shard.local_of_iface[iface], value);
+}
+
+// --- Runtime: worker loops ------------------------------------------------
+
+void Runtime::worker_main(std::uint32_t w) {
+  Worker& me = *workers_[w];
+  std::vector<Packet> scratch;
+  scratch.reserve(kFanInBatch * options_.producers);
+  std::vector<Packet> burst;
+  burst.reserve(256);
+  while (running_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    for (const std::uint32_t s : me.home_shards) {
+      did_work |= drain_ingress(s, me, scratch);
+    }
+    for (const IfaceId j : me.ifaces) {
+      did_work |= drain_iface(j, me, burst);
+    }
+    if (!did_work) park(me, kParkSlice.count());
+  }
+}
+
+bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
+                            std::vector<Packet>& scratch) {
+  Shard& shard = *shards_[shard_index];
+  scratch.clear();
+  for (auto& ring : shard.ingress) {
+    ring->pop_batch(scratch, kFanInBatch);
+  }
+  if (scratch.empty()) return false;
+  std::uint64_t accepted = 0;
+  std::uint64_t gone = 0;
+  std::uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Packet& packet : scratch) {
+      const FlowId global = packet.flow;
+      const FlowId local = global < shard.local_of_flow.size()
+                               ? shard.local_of_flow[global]
+                               : kInvalidFlow;
+      if (local == kInvalidFlow) {
+        // The flow was removed after this packet entered the ring; the
+        // control plane published first, so this is a bounded straggler.
+        ++gone;
+        continue;
+      }
+      packet.flow = local;
+      const SimTime stamped = packet.enqueued_at;
+      const EnqueueResult result =
+          shard.sched->enqueue(std::move(packet), stamped);
+      if (result.accepted) {
+        ++accepted;
+      } else {
+        ++dropped;  // per-flow queue bound (tail drop)
+      }
+    }
+  }
+  scratch.clear();
+  me.enqueued.fetch_add(accepted, std::memory_order_relaxed);
+  me.fanin_drops.fetch_add(gone, std::memory_order_relaxed);
+  me.tail_drops.fetch_add(dropped, std::memory_order_relaxed);
+  if (accepted > 0) {
+    for (const std::uint32_t w : shard.kick_on_enqueue) {
+      if (w != me.index) kick(w);
+    }
+  }
+  return true;
+}
+
+bool Runtime::drain_iface(IfaceId iface, Worker& me,
+                          std::vector<Packet>& burst) {
+  IfaceRec& rec = *ifaces_[iface];
+  std::uint64_t budget = rec.pacer.budget_bytes(now_ns());
+  if (budget == 0) return false;
+  budget = std::min(budget, options_.burst_bytes);
+  Shard& shard = *shards_[rec.shard];
+  burst.clear();
+  std::size_t count;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    count = shard.sched->dequeue_burst(rec.local_id, budget, now_ns(), burst);
+    // Translate scheduler-local flow ids back to global ids while the maps
+    // are still protected; everything after this runs lock-free.
+    for (Packet& packet : burst) {
+      packet.flow = shard.global_of_flow[packet.flow];
+    }
+  }
+  if (count == 0) return false;
+  const SimTime drained_at = now_ns();
+  std::uint64_t bytes = 0;
+  for (const Packet& packet : burst) {
+    bytes += packet.size_bytes;
+    const SimTime waited = drained_at - packet.enqueued_at;
+    me.latency.record(waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+    sent_by_flow_[packet.flow].fetch_add(packet.size_bytes,
+                                         std::memory_order_relaxed);
+  }
+  rec.pacer.consume(bytes);
+  rec.packets.fetch_add(count, std::memory_order_relaxed);
+  rec.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  me.dequeued.fetch_add(count, std::memory_order_relaxed);
+  me.dequeued_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  me.bursts.fetch_add(1, std::memory_order_relaxed);
+  burst.clear();
+  return true;
+}
+
+bool Runtime::ingress_pending(const Worker& me) const {
+  for (const std::uint32_t s : me.home_shards) {
+    for (const auto& ring : shards_[s]->ingress) {
+      if (!ring->empty_approx()) return true;
+    }
+  }
+  return false;
+}
+
+void Runtime::park(Worker& me, SimTime hint_ns) {
+  me.parks.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(me.park_mu);
+  me.asleep.store(true, std::memory_order_seq_cst);
+  if (!me.kicked.load(std::memory_order_seq_cst) &&
+      running_.load(std::memory_order_acquire) && !ingress_pending(me)) {
+    me.park_cv.wait_for(lock, std::chrono::nanoseconds(hint_ns), [&] {
+      return me.kicked.load(std::memory_order_relaxed) ||
+             !running_.load(std::memory_order_relaxed);
+    });
+  }
+  me.kicked.store(false, std::memory_order_relaxed);
+  me.asleep.store(false, std::memory_order_seq_cst);
+}
+
+void Runtime::kick(std::uint32_t worker) {
+  if (worker >= workers_.size()) return;  // pre-start offers: nobody to wake
+  Worker& target = *workers_[worker];
+  target.kicked.store(true, std::memory_order_seq_cst);
+  if (target.asleep.load(std::memory_order_seq_cst)) {
+    // Taking the mutex orders us against the worker's check-then-wait; the
+    // notify can then never fall between its predicate check and its wait.
+    std::lock_guard<std::mutex> lock(target.park_mu);
+    target.park_cv.notify_one();
+  }
+}
+
+// --- Runtime: introspection ----------------------------------------------
+
+RuntimeStats Runtime::stats() const {
+  RuntimeStats out;
+  out.offered = offered_.load(std::memory_order_relaxed);
+  out.ring_rejects = ring_rejects_.load(std::memory_order_relaxed);
+  LatencyHistogram merged;
+  for (const auto& worker : workers_) {
+    out.enqueued += worker->enqueued.load(std::memory_order_relaxed);
+    out.fanin_drops += worker->fanin_drops.load(std::memory_order_relaxed);
+    out.tail_drops += worker->tail_drops.load(std::memory_order_relaxed);
+    out.dequeued += worker->dequeued.load(std::memory_order_relaxed);
+    out.dequeued_bytes +=
+        worker->dequeued_bytes.load(std::memory_order_relaxed);
+    out.bursts += worker->bursts.load(std::memory_order_relaxed);
+    out.parks += worker->parks.load(std::memory_order_relaxed);
+    merged.merge_from(worker->latency);
+  }
+  out.latency_count = merged.count();
+  out.latency_mean_ns = merged.mean_ns();
+  out.latency_p50_ns = merged.quantile(0.50);
+  out.latency_p90_ns = merged.quantile(0.90);
+  out.latency_p99_ns = merged.quantile(0.99);
+  out.latency_p999_ns = merged.quantile(0.999);
+  return out;
+}
+
+std::uint64_t Runtime::sent_bytes(FlowId flow) const {
+  if (flow >= sent_by_flow_.size()) return 0;
+  return sent_by_flow_[flow].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Runtime::iface_sent_bytes(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return ifaces_[iface]->bytes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Runtime::iface_sent_packets(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return ifaces_[iface]->packets.load(std::memory_order_relaxed);
+}
+
+}  // namespace midrr::rt

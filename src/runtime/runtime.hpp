@@ -1,0 +1,251 @@
+// Runtime: the sharded real-time (wall-clock) execution engine.
+//
+// The discrete-event simulator answers "is the policy fair?"; the runtime
+// answers "does the implementation serve packets, concurrently, at rate?".
+// It runs any library Scheduler behind real threads:
+//
+//   producers (P threads, external or LoadGenerator)
+//       |  lock-free SPSC ingress rings, one per (shard, producer)
+//       v
+//   fan-in stage (run by each shard's home worker): batches ring contents
+//       into the shard's scheduler under the shard mutex
+//       v
+//   shard schedulers (S instances of any midrr::Scheduler; interfaces are
+//       partitioned round-robin across shards)
+//       v
+//   per-interface drain loops (W worker threads; each interface belongs to
+//       exactly one worker): token-bucket pacer -> dequeue_burst under the
+//       shard mutex -> out-of-lock latency/throughput accounting
+//
+// Sharding semantics: within a shard the policy is bit-for-bit the paper's
+// (miDRR service flags couple all of the shard's interfaces).  Flows whose
+// preference row spans shards are registered in each hosting shard and
+// their packets are spread round-robin across those shards; coupling
+// ACROSS shards is deliberately absent, trading global max-min optimality
+// for linear scalability.  `shards = 1` (the default) preserves the
+// paper's semantics exactly while still using W workers; `shards = W` is
+// the fully sharded configuration the throughput bench sweeps.
+//
+// Locking order (strict): shard mutex is a leaf -- nothing else is
+// acquired under it.  Control-plane writers take ControlPlane::mu_, then
+// shard mutexes one at a time.  RCU read guards are never held across a
+// shard mutex acquisition by producers (IngressPort routes, then pushes).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/packet.hpp"
+#include "runtime/control_plane.hpp"
+#include "runtime/pacer.hpp"
+#include "runtime/spsc_ring.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/rate_profile.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/time.hpp"
+
+namespace midrr::rt {
+
+struct RuntimeOptions {
+  Policy policy = Policy::kMiDrr;     ///< kOracle is not supported here
+  SchedulerOptions sched{};           ///< observer must stay null
+  std::size_t workers = 1;            ///< drain threads (>= 1)
+  std::size_t shards = 1;             ///< scheduler instances (>= 1)
+  std::size_t producers = 1;          ///< ingress rings per shard (>= 1)
+  std::size_t ring_capacity = 4096;   ///< per ingress ring (rounded to 2^k)
+  std::uint64_t burst_bytes = 64 * 1024;   ///< max bytes per dequeue_burst
+  std::uint64_t pacer_depth_bytes = 0;     ///< 0 = auto from peak rate
+  std::size_t max_flows = 4096;       ///< flow-id arena bound
+};
+
+/// Aggregated counters; a consistent-enough racy snapshot (every counter is
+/// monotone, so deltas between two stats() calls are meaningful).
+struct RuntimeStats {
+  std::uint64_t offered = 0;        ///< packets accepted into ingress rings
+  std::uint64_t ring_rejects = 0;   ///< offers refused (ring full / no route)
+  std::uint64_t enqueued = 0;       ///< packets handed to shard schedulers
+  std::uint64_t fanin_drops = 0;    ///< ingress packets for flows gone at fan-in
+  std::uint64_t tail_drops = 0;     ///< scheduler queue-capacity drops
+  std::uint64_t dequeued = 0;       ///< packets drained by workers
+  std::uint64_t dequeued_bytes = 0;
+  std::uint64_t bursts = 0;         ///< dequeue_burst calls that moved packets
+  std::uint64_t parks = 0;          ///< times a worker went to sleep
+  std::uint64_t latency_count = 0;  ///< samples behind the quantiles below
+  double latency_mean_ns = 0;
+  double latency_p50_ns = 0;
+  double latency_p90_ns = 0;
+  double latency_p99_ns = 0;
+  double latency_p999_ns = 0;
+};
+
+class Runtime;
+
+/// A producer's handle into the runtime: routes packets to shards via the
+/// current RCU snapshot and pushes them into this producer's SPSC rings.
+/// One port per producer index, used by exactly one thread at a time.
+class IngressPort {
+ public:
+  /// Offers a packet for `flow` of `size_bytes`.  Stamps the enqueue
+  /// timestamp, routes to a hosting shard (round-robin for multi-shard
+  /// flows), pushes, and kicks the shard's home worker if it sleeps.
+  /// Returns false -- without blocking -- when the flow has no hosting
+  /// shard or the target ring is full (backpressure; the caller retries or
+  /// drops).
+  bool offer(FlowId flow, std::uint32_t size_bytes);
+
+  /// Read access to the current configuration snapshot (for pick-a-flow
+  /// loops); never hold the guard across blocking calls.
+  Rcu<RuntimeSnapshot>::Reader::Guard snapshot();
+
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  friend class Runtime;
+  IngressPort(Runtime& rt, std::size_t producer,
+              Rcu<RuntimeSnapshot>::Reader reader)
+      : rt_(rt), producer_(producer), reader_(std::move(reader)) {}
+
+  Runtime& rt_;
+  std::size_t producer_;
+  Rcu<RuntimeSnapshot>::Reader reader_;
+  std::uint64_t offered_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t rr_ = 0;  ///< round-robin cursor for multi-shard flows
+};
+
+class Runtime final : private ShardApplier {
+ public:
+  explicit Runtime(const RuntimeOptions& options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- Topology (before start) ------------------------------------------
+
+  /// Registers an interface paced by `capacity` (evaluated on the runtime
+  /// clock).  Must be called before start().
+  IfaceId add_interface(std::string name, RateProfile capacity);
+
+  /// Registers an unpaced interface (drains as fast as the engine allows).
+  IfaceId add_interface(std::string name);
+
+  // --- Lifecycle ---------------------------------------------------------
+
+  void start();
+  void stop();  ///< idempotent; joins all workers
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  // --- Control & data plane ---------------------------------------------
+
+  /// Flow add/remove and (Pi, phi) updates; callable before or during a
+  /// run, from any thread.
+  ControlPlane& control();
+
+  /// One per producer index in [0, options.producers); each port is used
+  /// by one thread at a time.
+  IngressPort port(std::size_t producer);
+
+  /// Nanoseconds since start() on the runtime's steady clock.
+  SimTime now_ns() const;
+
+  // --- Introspection -----------------------------------------------------
+
+  RuntimeStats stats() const;
+
+  /// Bytes drained for `flow` across all shards and interfaces (the
+  /// runtime-level S_i used by the fairness smoke test).
+  std::uint64_t sent_bytes(FlowId flow) const;
+
+  std::uint64_t iface_sent_bytes(IfaceId iface) const;
+  std::uint64_t iface_sent_packets(IfaceId iface) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t worker_count() const { return workers_.size(); }
+  std::size_t iface_count() const { return ifaces_.size(); }
+
+ private:
+  friend class IngressPort;
+
+  struct Shard {
+    std::mutex mu;  // guards sched + id maps; leaf in the lock order
+    std::unique_ptr<Scheduler> sched;
+    std::vector<IfaceId> local_of_iface;  // by global IfaceId (pre-start)
+    std::vector<FlowId> local_of_flow;    // by global FlowId (guarded by mu)
+    std::vector<FlowId> global_of_flow;   // by local FlowId (guarded by mu)
+    std::vector<std::unique_ptr<SpscRing<Packet>>> ingress;  // [producer]
+    std::vector<IfaceId> ifaces;          // global ids hosted here (pre-start)
+    std::uint32_t home_worker = 0;        // runs this shard's fan-in
+    std::vector<std::uint32_t> kick_on_enqueue;  // workers owning our ifaces
+  };
+
+  struct IfaceRec {
+    std::string name;
+    std::uint32_t shard = 0;
+    std::uint32_t worker = 0;
+    IfaceId local_id = 0;
+    TokenBucketPacer pacer;  // touched only by the owning worker thread
+    std::atomic<std::uint64_t> packets{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  struct Worker {
+    std::uint32_t index = 0;
+    std::thread thread;
+    std::vector<IfaceId> ifaces;             // owned (global ids)
+    std::vector<std::uint32_t> home_shards;  // shards whose fan-in we run
+    LatencyHistogram latency;
+    std::atomic<std::uint64_t> dequeued{0};
+    std::atomic<std::uint64_t> dequeued_bytes{0};
+    std::atomic<std::uint64_t> bursts{0};
+    std::atomic<std::uint64_t> enqueued{0};
+    std::atomic<std::uint64_t> fanin_drops{0};
+    std::atomic<std::uint64_t> tail_drops{0};
+    std::atomic<std::uint64_t> parks{0};
+    // Parking: kicked is the wakeup token, asleep gates the notify.
+    std::mutex park_mu;
+    std::condition_variable park_cv;
+    std::atomic<bool> asleep{false};
+    std::atomic<bool> kicked{false};
+  };
+
+  // ShardApplier (control plane -> data plane, takes shard locks).
+  void shard_add_flow(std::uint32_t shard, FlowId flow, const RtFlowSpec& spec,
+                      const std::vector<IfaceId>& willing_subset) override;
+  void shard_remove_flow(std::uint32_t shard, FlowId flow) override;
+  void shard_set_weight(std::uint32_t shard, FlowId flow,
+                        double weight) override;
+  void shard_set_willing(std::uint32_t shard, FlowId flow, IfaceId iface,
+                         bool value) override;
+
+  void worker_main(std::uint32_t w);
+  bool drain_ingress(std::uint32_t shard_index, Worker& me,
+                     std::vector<Packet>& scratch);
+  bool drain_iface(IfaceId iface, Worker& me, std::vector<Packet>& burst);
+  void park(Worker& me, SimTime hint_ns);
+  void kick(std::uint32_t worker);
+  bool ingress_pending(const Worker& me) const;
+
+  RuntimeOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<IfaceRec>> ifaces_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::atomic<std::uint64_t>> sent_by_flow_;  // [max_flows]
+  std::atomic<std::uint64_t> offered_{0};
+  std::atomic<std::uint64_t> ring_rejects_{0};
+  std::unique_ptr<ControlPlane> control_;  // built lazily at start()
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace midrr::rt

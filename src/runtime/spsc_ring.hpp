@@ -1,0 +1,122 @@
+// Bounded lock-free single-producer / single-consumer ring buffer -- the
+// ingress queue between one packet producer and the runtime's fan-in stage.
+//
+// Classic two-index design (Lamport queue with cached indices a la Vyukov /
+// folly::ProducerConsumerQueue): the producer owns `tail_`, the consumer
+// owns `head_`, and each side keeps a cached copy of the other's index so
+// the common case touches only one shared cache line.  Capacity is rounded
+// up to a power of two so wrapping is a mask, and indices are free-running
+// 64-bit counters (no ABA, no empty/full ambiguity).
+//
+// Memory-ordering contract (see docs/RUNTIME.md for the full story):
+//   * push(): writes the slot, then tail_.store(release).  The consumer's
+//     tail_.load(acquire) therefore happens-after the slot write -- the
+//     element is fully visible before it is claimable.
+//   * pop(): moves the slot out, then head_.store(release).  The producer's
+//     head_.load(acquire) happens-after the move -- the slot is never
+//     overwritten while the consumer still reads it.
+//
+// Exactly ONE thread may push at a time and ONE thread may pop at a time.
+// The consumer side may migrate between threads (the runtime hands a
+// shard's ingress rings to that shard's home worker) only when the old and
+// new consumer are synchronized by some other happens-before edge (thread
+// join, mutex); concurrent consumers are undefined behavior.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+
+/// Destructive-interference padding granularity.  A fixed 64 instead of
+/// std::hardware_destructive_interference_size: the standard constant is
+/// ABI-unstable across -mtune settings (GCC warns on any ODR-relevant use),
+/// and 64 is correct for every platform this builds on (x86-64, AArch64).
+inline constexpr std::size_t kCacheLine = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2); the
+  /// ring holds exactly that many elements.
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {
+    MIDRR_REQUIRE(capacity > 0, "SPSC ring needs a positive capacity");
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side.  Returns false when the ring is full (the caller
+  /// decides whether that is backpressure or a drop).
+  bool push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= slots_.size()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= slots_.size()) return false;  // full
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  Returns false when the ring is empty.
+  bool pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;  // empty
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: pops up to `max` elements, appending to `out`.
+  /// One acquire-load of the producer index covers the whole batch.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+    }
+    std::uint64_t n = tail_cache_ - head;
+    if (n == 0) return 0;
+    if (n > max) n = max;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.push_back(std::move(slots_[(head + i) & mask_]));
+    }
+    head_.store(head + n, std::memory_order_release);
+    return static_cast<std::size_t>(n);
+  }
+
+  /// Approximate occupancy (exact only when called by the producer or the
+  /// consumer; racy but monotone-consistent from anywhere else).
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  // Consumer-owned line: consumer index + its cache of the producer index.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t tail_cache_ = 0;
+  // Producer-owned line: producer index + its cache of the consumer index.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail_{0};
+  std::uint64_t head_cache_ = 0;
+};
+
+}  // namespace midrr::rt

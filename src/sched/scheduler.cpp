@@ -118,6 +118,10 @@ std::optional<Packet> Scheduler::dequeue(IfaceId iface, SimTime now) {
 std::size_t Scheduler::dequeue_burst(IfaceId iface, std::uint64_t byte_budget,
                                      SimTime now, std::vector<Packet>& out) {
   MIDRR_REQUIRE(prefs_.iface_exists(iface), "dequeue for unknown interface");
+  // A zero budget must be a guaranteed no-op: no select() call, so no DRR
+  // turn is granted and no deficit/service-flag state moves.  Callers that
+  // clamp signed budgets (the runtime's pacer) rely on this.
+  if (byte_budget == 0) return 0;
   std::size_t count = 0;
   std::uint64_t bytes = 0;
   while (bytes < byte_budget) {

@@ -10,10 +10,15 @@
 // Policies (DRR, miDRR, WFQ, ...) implement `select()` plus
 // topology-change hooks.
 //
-// Thread-safety: schedulers are externally synchronized.  The in-kernel
-// prototype the paper describes guards scheduling with a single mutex; the
-// bridge layer (src/bridge) does the same around its scheduler, and the
-// simulator is single-threaded by construction.
+// Thread-safety: schedulers are externally synchronized -- hold one lock
+// around EVERY call, including const ones.  Audit notes (why const is not
+// enough): MiDrrScheduler::quantum_of refreshes a mutable min-weight
+// cache, and has_eligible walks flows_willing, which may materialize its
+// result; neither is safe to race with a writer.  The in-kernel prototype
+// the paper describes guards scheduling with a single mutex; the bridge
+// layer (src/bridge) does the same, the simulator is single-threaded by
+// construction, and the real-time runtime (src/runtime) wraps each shard's
+// scheduler in that shard's mutex (see docs/RUNTIME.md).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,290 @@
+// ControlPlane + Rcu: registry/diff logic against a mock ShardApplier
+// (apply-vs-publish ordering, shard coverage growth and shrink), and the
+// snapshot-swap guarantee -- concurrent readers see a whole old or whole
+// new configuration, never a torn mix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/control_plane.hpp"
+#include "runtime/rcu.hpp"
+#include "util/assert.hpp"
+
+namespace midrr::rt {
+namespace {
+
+/// Records every mutation, interleaved with the publish version at which it
+/// arrived (so ordering relative to publication is checkable).
+class RecordingApplier : public ShardApplier {
+ public:
+  struct Op {
+    std::string kind;
+    std::uint32_t shard;
+    FlowId flow;
+    std::vector<IfaceId> willing_subset;
+  };
+
+  void shard_add_flow(std::uint32_t shard, FlowId flow, const RtFlowSpec&,
+                      const std::vector<IfaceId>& willing_subset) override {
+    ops.push_back({"add", shard, flow, willing_subset});
+  }
+  void shard_remove_flow(std::uint32_t shard, FlowId flow) override {
+    ops.push_back({"remove", shard, flow, {}});
+  }
+  void shard_set_weight(std::uint32_t shard, FlowId flow, double) override {
+    ops.push_back({"weight", shard, flow, {}});
+  }
+  void shard_set_willing(std::uint32_t shard, FlowId flow, IfaceId iface,
+                         bool value) override {
+    ops.push_back({value ? "willing+" : "willing-", shard, flow, {iface}});
+  }
+
+  std::vector<Op> ops;
+};
+
+// Topology for most tests: 4 interfaces on 2 shards (0,1,0,1).
+std::vector<std::uint32_t> two_shards() { return {0, 1, 0, 1}; }
+
+TEST(ControlPlane, AddFlowReachesEveryHostingShardWithLocalSubset) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0, 1, 2};  // shard 0 hosts {0, 2}, shard 1 hosts {1}
+  const FlowId f = cp.add_flow(spec);
+  ASSERT_EQ(applier.ops.size(), 2u);
+  EXPECT_EQ(applier.ops[0].kind, "add");
+  EXPECT_EQ(applier.ops[0].shard, 0u);
+  EXPECT_EQ(applier.ops[0].willing_subset, (std::vector<IfaceId>{0, 2}));
+  EXPECT_EQ(applier.ops[1].shard, 1u);
+  EXPECT_EQ(applier.ops[1].willing_subset, (std::vector<IfaceId>{1}));
+
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  const SnapshotFlow* entry = guard->flow(f);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->shards, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(guard->live, std::vector<FlowId>{f});
+}
+
+TEST(ControlPlane, AddAppliesBeforePublishRemovePublishesBefore) {
+  // The ordering invariant, observed through the applier: at the moment
+  // shard_add_flow runs the snapshot must NOT yet route to the flow; at the
+  // moment shard_remove_flow runs the snapshot must ALREADY have dropped it.
+  class OrderChecker : public ShardApplier {
+   public:
+    void shard_add_flow(std::uint32_t, FlowId flow, const RtFlowSpec&,
+                        const std::vector<IfaceId>&) override {
+      auto reader = cp->reader();
+      EXPECT_EQ(reader.lock()->flow(flow), nullptr)
+          << "flow routable before the shard knew it";
+    }
+    void shard_remove_flow(std::uint32_t, FlowId flow) override {
+      auto reader = cp->reader();
+      EXPECT_EQ(reader.lock()->flow(flow), nullptr)
+          << "flow still routable after the shard forgot it";
+    }
+    void shard_set_weight(std::uint32_t, FlowId, double) override {}
+    void shard_set_willing(std::uint32_t, FlowId, IfaceId, bool) override {}
+    ControlPlane* cp = nullptr;
+  };
+
+  OrderChecker applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  applier.cp = &cp;
+  RtFlowSpec spec;
+  spec.willing = {0, 1};
+  const FlowId f = cp.add_flow(spec);
+  cp.remove_flow(f);
+}
+
+TEST(ControlPlane, SetWillingGrowsAndShrinksShardCoverage) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0};  // shard 0 only
+  const FlowId f = cp.add_flow(spec);
+  applier.ops.clear();
+
+  cp.set_willing(f, 1, true);  // first iface on shard 1: coverage grows
+  ASSERT_EQ(applier.ops.size(), 1u);
+  EXPECT_EQ(applier.ops[0].kind, "add");
+  EXPECT_EQ(applier.ops[0].shard, 1u);
+  EXPECT_EQ(applier.ops[0].willing_subset, std::vector<IfaceId>{1});
+
+  cp.set_willing(f, 3, true);  // second iface on shard 1: plain flip
+  ASSERT_EQ(applier.ops.size(), 2u);
+  EXPECT_EQ(applier.ops[1].kind, "willing+");
+
+  cp.set_willing(f, 1, false);  // shard 1 still hosts iface 3: plain flip
+  ASSERT_EQ(applier.ops.size(), 3u);
+  EXPECT_EQ(applier.ops[2].kind, "willing-");
+
+  cp.set_willing(f, 3, false);  // last iface on shard 1: coverage shrinks
+  ASSERT_EQ(applier.ops.size(), 4u);
+  EXPECT_EQ(applier.ops[3].kind, "remove");
+  EXPECT_EQ(applier.ops[3].shard, 1u);
+
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->flow(f)->shards, std::vector<std::uint32_t>{0});
+  EXPECT_EQ(guard->flow(f)->willing, std::vector<IfaceId>{0});
+}
+
+TEST(ControlPlane, RedundantWillingFlipIsANoOp) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0};
+  const FlowId f = cp.add_flow(spec);
+  const std::uint64_t v = cp.version();
+  applier.ops.clear();
+  cp.set_willing(f, 0, true);   // already willing
+  cp.set_willing(f, 1, false);  // already not
+  EXPECT_TRUE(applier.ops.empty());
+  EXPECT_EQ(cp.version(), v);
+}
+
+TEST(ControlPlane, RejectsBadInputs) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 2);
+  EXPECT_THROW(cp.add_flow({.weight = 0.0}), PreconditionError);
+  EXPECT_THROW(cp.remove_flow(0), PreconditionError);
+  RtFlowSpec bad;
+  bad.willing = {9};  // unknown interface
+  EXPECT_THROW(cp.add_flow(bad), PreconditionError);
+  RtFlowSpec ok;
+  ok.willing = {0};
+  const FlowId f = cp.add_flow(ok);
+  cp.add_flow(ok);
+  EXPECT_THROW(cp.add_flow(ok), PreconditionError) << "arena bound";
+  EXPECT_THROW(cp.set_weight(f, -1.0), PreconditionError);
+  cp.remove_flow(f);
+  EXPECT_THROW(cp.set_weight(f, 1.0), PreconditionError) << "dead flow";
+}
+
+TEST(ControlPlane, FlowIdsAreDenseAndNeverReused) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 8);
+  RtFlowSpec spec;
+  spec.willing = {0};
+  const FlowId a = cp.add_flow(spec);
+  const FlowId b = cp.add_flow(spec);
+  cp.remove_flow(a);
+  const FlowId c = cp.add_flow(spec);
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(c, b + 1) << "removing a flow must not recycle its id";
+}
+
+TEST(ControlPlaneSwap, ReadersNeverSeeATornConfiguration) {
+  // The writer cycles (1, {0}) -> (2, {0}) -> (2, {0, 1}) -> (2, {0}) ->
+  // (1, {0}), one control-plane call per step.  Every PUBLISHED state has
+  // the invariant "willing {0, 1} implies weight 2"; the state (1, {0, 1})
+  // never exists.  Reader threads continuously validate that whichever
+  // snapshot they hold is one of the three published states -- seeing the
+  // never-published mix (or a live list disagreeing with the flow slot)
+  // means a torn read.  Under TSan this doubles as the data-race check on
+  // the RCU cell.
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 4);
+  RtFlowSpec spec;
+  spec.weight = 1.0;
+  spec.willing = {0};
+  const FlowId f = cp.add_flow(spec);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      auto reader = cp.reader();
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto guard = reader.lock();
+        const SnapshotFlow* entry = guard->flow(f);
+        if (entry == nullptr) {
+          ++torn;  // the flow is never removed in this test
+          continue;
+        }
+        const bool narrow =  // willing {0}: weight may be mid-cycle 1 or 2
+            entry->willing == std::vector<IfaceId>{0} &&
+            (entry->weight == 1.0 || entry->weight == 2.0);
+        const bool wide =    // willing {0, 1} only ever published with 2
+            entry->weight == 2.0 &&
+            entry->willing == std::vector<IfaceId>{0, 1};
+        if (!(narrow || wide)) ++torn;
+        if (guard->live != std::vector<FlowId>{f}) ++torn;
+      }
+    });
+  }
+
+  for (int i = 0; i < 100; ++i) {
+    cp.set_weight(f, 2.0);
+    cp.set_willing(f, 1, true);   // now (2.0, {0, 1})
+    cp.set_willing(f, 1, false);
+    cp.set_weight(f, 1.0);        // back to (1.0, {0})
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
+}
+
+TEST(ControlPlaneSwap, TornWindowExistsMidUpdate) {
+  // Sanity check OF THE TEST ABOVE: between set_weight and set_willing the
+  // intermediate (2.0, {0}) configuration IS visible -- the atomicity unit
+  // is one control-plane call, not a transaction.  This pins the published
+  // intermediate state so the previous test is known to be discriminating.
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 4);
+  RtFlowSpec spec;
+  spec.weight = 1.0;
+  spec.willing = {0};
+  const FlowId f = cp.add_flow(spec);
+  cp.set_weight(f, 2.0);
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->flow(f)->weight, 2.0);
+  EXPECT_EQ(guard->flow(f)->willing, std::vector<IfaceId>{0});
+}
+
+TEST(Rcu, PublishWaitsForInCriticalSectionReader) {
+  // A reader inside a critical section pins the old snapshot: publish()
+  // from another thread must not return (and must not delete the old
+  // value) until the guard drops.
+  Rcu<int> cell(std::make_unique<int>(1));
+  auto reader = Rcu<int>::Reader(cell);
+  std::atomic<bool> published{false};
+
+  auto guard = std::make_unique<Rcu<int>::Reader::Guard>(reader.lock());
+  EXPECT_EQ(**guard, 1);
+  std::thread writer([&] {
+    cell.publish(std::make_unique<int>(2));
+    published.store(true, std::memory_order_release);
+  });
+  // The writer must be stuck in the grace period while we hold the guard.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(published.load(std::memory_order_acquire));
+  EXPECT_EQ(**guard, 1) << "old snapshot must stay valid while pinned";
+  guard.reset();  // leave the critical section
+  writer.join();
+  EXPECT_TRUE(published.load());
+  EXPECT_EQ(*reader.lock(), 2);
+}
+
+TEST(Rcu, SlotsAreReclaimedWhenReadersRetire) {
+  Rcu<int> cell(std::make_unique<int>(0));
+  for (std::size_t round = 0; round < 3; ++round) {
+    std::vector<Rcu<int>::Reader> readers;
+    for (std::size_t i = 0; i < Rcu<int>::kMaxReaders; ++i) {
+      readers.emplace_back(cell);  // would throw if slots leaked
+    }
+    EXPECT_THROW(Rcu<int>::Reader extra(cell), PreconditionError);
+  }
+}
+
+}  // namespace
+}  // namespace midrr::rt

@@ -171,6 +171,59 @@ TEST(RunnerEdge, UnknownInterfaceNameInFlowRejectedAtStart) {
   EXPECT_THROW(runner.run(kSecond), PreconditionError);
 }
 
+TEST(DequeueBurstEdge, ZeroBudgetIsANoOp) {
+  // A zero byte budget must return without granting a DRR turn: no deficit
+  // moves, no service flag is set, and a later real budget sees the exact
+  // state a fresh scheduler would have.
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  for (int i = 0; i < 4; ++i) s.enqueue(Packet(a, 1000), 0);
+  std::vector<Packet> out;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.dequeue_burst(j, 0, 0, out), 0u);
+  }
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(s.deficit_of(a), 0);
+  EXPECT_EQ(s.backlog_packets(a), 4u);
+  // The first real budget still serves normally.
+  EXPECT_EQ(s.dequeue_burst(j, 1000, 0, out), 1u);
+}
+
+TEST(DequeueBurstEdge, EmptyRingReturnsZeroRepeatably) {
+  // Draining an interface with no eligible flow -- never backlogged, or
+  // drained dry mid-burst -- must return 0 cleanly, any number of times.
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  std::vector<Packet> out;
+  EXPECT_EQ(s.dequeue_burst(j, 1 << 20, 0, out), 0u);  // never backlogged
+  s.enqueue(Packet(a, 1000), 0);
+  EXPECT_EQ(s.dequeue_burst(j, 1 << 20, 0, out), 1u);  // drains dry
+  EXPECT_EQ(s.dequeue_burst(j, 1 << 20, 0, out), 0u);  // empty again
+  EXPECT_EQ(s.dequeue_burst(j, 1 << 20, 0, out), 0u);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(DequeueBurstEdge, SubPacketBudgetOvershootsByOnePacket) {
+  // A budget smaller than the head packet still sends it (a transmit
+  // opportunity is never wasted on a partial fit) -- but exactly one.
+  MiDrrScheduler s(1500);
+  const IfaceId j = s.add_interface();
+  const FlowId a = s.add_flow({.weight = 1.0, .willing = {j}});
+  for (int i = 0; i < 4; ++i) s.enqueue(Packet(a, 1000), 0);
+  std::vector<Packet> out;
+  EXPECT_EQ(s.dequeue_burst(j, 1, 0, out), 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size_bytes, 1000u);
+}
+
+TEST(DequeueBurstEdge, UnknownInterfaceStillRejected) {
+  MiDrrScheduler s(1500);
+  std::vector<Packet> out;
+  EXPECT_THROW(s.dequeue_burst(7, 0, 0, out), PreconditionError);
+}
+
 TEST(NaiveDrrEdge, PerIfaceDeficitsIndependent) {
   NaiveDrrScheduler s(1500);
   const IfaceId j0 = s.add_interface();

@@ -1,0 +1,224 @@
+// midrr_rt: drive the real-time runtime from the command line.
+//
+//   midrr_rt --flows 1024 --ifaces 8 --workers 4 --duration 10
+//
+// Builds a runtime with the requested topology (interfaces optionally
+// paced), registers `--flows` flows round-robin-willing across the
+// interfaces, saturates it with the load generator for `--duration`
+// seconds, and prints throughput plus enqueue->dequeue latency
+// percentiles.  With `--json` the report is a single JSON object on
+// stdout (what bench/rt_throughput collects into BENCH_rt.json).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario_text.hpp"  // parse_rate_bps
+#include "runtime/load_generator.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: midrr_rt [options]\n"
+         "  --flows N       flows, willing on 2 interfaces each (default 64)\n"
+         "  --ifaces N      interfaces (default 4)\n"
+         "  --workers N     worker threads (default 1)\n"
+         "  --shards N      scheduler shards (default = workers)\n"
+         "  --producers N   load-generator threads (default 1)\n"
+         "  --duration S    seconds to run (default 2)\n"
+         "  --rate R        per-interface capacity, e.g. 100mbps"
+         " (default: unpaced)\n"
+         "  --packet B      packet size in bytes (default 1000)\n"
+         "  --policy P      midrr|drr|wfq|rr|fifo|priority (default midrr)\n"
+         "  --churn         exercise the control plane during the run\n"
+         "  --json          machine-readable report on stdout\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  std::size_t flows = 64;
+  std::size_t ifaces = 4;
+  std::size_t workers = 1;
+  std::size_t shards = 0;  // 0 = match workers
+  std::size_t producers = 1;
+  double duration_s = 2.0;
+  double rate_bps = 0.0;
+  std::uint32_t packet_bytes = 1000;
+  Policy policy = Policy::kMiDrr;
+  bool churn = false;
+  bool json = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string key = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + key);
+        return argv[++i];
+      };
+      if (key == "--flows") flows = std::stoul(value());
+      else if (key == "--ifaces") ifaces = std::stoul(value());
+      else if (key == "--workers") workers = std::stoul(value());
+      else if (key == "--shards") shards = std::stoul(value());
+      else if (key == "--producers") producers = std::stoul(value());
+      else if (key == "--duration") duration_s = std::stod(value());
+      else if (key == "--rate") rate_bps = parse_rate_bps(value());
+      else if (key == "--packet")
+        packet_bytes = static_cast<std::uint32_t>(std::stoul(value()));
+      else if (key == "--policy") policy = parse_policy(value());
+      else if (key == "--churn") churn = true;
+      else if (key == "--json") json = true;
+      else return usage();
+    }
+    if (flows == 0 || ifaces == 0 || duration_s <= 0.0) return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
+
+  if (shards == 0) shards = workers;
+
+  RuntimeOptions options;
+  options.policy = policy;
+  options.workers = workers;
+  options.shards = shards;
+  options.producers = producers;
+  // Flow ids are never reused, so the arena must cover every churn add
+  // (one per ~1 ms of runtime) on top of the static flows.
+  options.max_flows =
+      flows + 16 +
+      (churn ? static_cast<std::size_t>(duration_s * 1200.0) + 64 : 0);
+
+  try {
+    Runtime runtime(options);
+    for (std::size_t j = 0; j < ifaces; ++j) {
+      const std::string name = "if" + std::to_string(j);
+      if (rate_bps > 0.0) {
+        runtime.add_interface(name, RateProfile(rate_bps));
+      } else {
+        runtime.add_interface(name);
+      }
+    }
+    // Each flow is willing on two adjacent interfaces (wrap-around), the
+    // minimal topology where miDRR's cross-interface coupling matters.
+    for (std::size_t i = 0; i < flows; ++i) {
+      RtFlowSpec spec;
+      spec.weight = 1.0;
+      spec.name = "f" + std::to_string(i);
+      spec.willing.push_back(static_cast<IfaceId>(i % ifaces));
+      if (ifaces > 1) {
+        spec.willing.push_back(static_cast<IfaceId>((i + 1) % ifaces));
+      }
+      runtime.control().add_flow(spec);
+    }
+
+    runtime.start();
+    LoadGeneratorOptions load;
+    load.producers = producers;
+    load.packet_bytes = packet_bytes;
+    LoadGenerator generator(runtime, load);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    generator.start();
+
+    // Optional control-plane churn: add/retire flows and flip preferences
+    // while the datapath runs (this is the TSan soak's job).
+    std::uint64_t churn_ops = 0;
+    const auto deadline =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(duration_s));
+    if (churn) {
+      auto& control = runtime.control();
+      std::vector<FlowId> extra;
+      while (std::chrono::steady_clock::now() < deadline) {
+        RtFlowSpec spec;
+        spec.name = "churn" + std::to_string(churn_ops);
+        spec.willing.push_back(static_cast<IfaceId>(churn_ops % ifaces));
+        const FlowId id = control.add_flow(spec);
+        control.set_weight(id, 2.0);
+        control.set_willing(
+            id, static_cast<IfaceId>((churn_ops + 1) % ifaces), true);
+        extra.push_back(id);
+        if (extra.size() > 8) {
+          control.remove_flow(extra.front());
+          extra.erase(extra.begin());
+        }
+        ++churn_ops;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    } else {
+      std::this_thread::sleep_until(deadline);
+    }
+
+    generator.stop();
+    runtime.stop();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const RuntimeStats stats = runtime.stats();
+    const double pps = static_cast<double>(stats.dequeued) / elapsed;
+    const double gbps_out =
+        static_cast<double>(stats.dequeued_bytes) * 8.0 / elapsed / 1e9;
+
+    if (json) {
+      std::ostringstream out;
+      out << "{"
+          << "\"policy\":\"" << to_string(policy) << "\","
+          << "\"flows\":" << flows << ","
+          << "\"ifaces\":" << ifaces << ","
+          << "\"workers\":" << workers << ","
+          << "\"shards\":" << shards << ","
+          << "\"producers\":" << producers << ","
+          << "\"duration_s\":" << elapsed << ","
+          << "\"offered\":" << stats.offered << ","
+          << "\"ring_rejects\":" << stats.ring_rejects << ","
+          << "\"enqueued\":" << stats.enqueued << ","
+          << "\"dequeued\":" << stats.dequeued << ","
+          << "\"dequeued_bytes\":" << stats.dequeued_bytes << ","
+          << "\"fanin_drops\":" << stats.fanin_drops << ","
+          << "\"tail_drops\":" << stats.tail_drops << ","
+          << "\"churn_ops\":" << churn_ops << ","
+          << "\"pps\":" << pps << ","
+          << "\"gbps\":" << gbps_out << ","
+          << "\"latency_p50_ns\":" << stats.latency_p50_ns << ","
+          << "\"latency_p90_ns\":" << stats.latency_p90_ns << ","
+          << "\"latency_p99_ns\":" << stats.latency_p99_ns << ","
+          << "\"latency_p999_ns\":" << stats.latency_p999_ns << ","
+          << "\"latency_mean_ns\":" << stats.latency_mean_ns
+          << "}";
+      std::cout << out.str() << "\n";
+    } else {
+      std::cout << "midrr_rt: " << to_string(policy) << ", " << flows
+                << " flows x " << ifaces << " ifaces, " << workers
+                << " workers / " << shards << " shards, " << elapsed
+                << " s\n"
+                << "  offered   " << stats.offered << " pkts ("
+                << stats.ring_rejects << " ring rejects)\n"
+                << "  dequeued  " << stats.dequeued << " pkts  ("
+                << pps / 1e6 << " Mpps, " << gbps_out << " Gb/s)\n"
+                << "  drops     " << stats.fanin_drops << " fan-in, "
+                << stats.tail_drops << " tail\n";
+      if (churn) std::cout << "  churn     " << churn_ops << " control ops\n";
+      std::cout << "  latency   p50 " << stats.latency_p50_ns / 1e3
+                << " us, p90 " << stats.latency_p90_ns / 1e3 << " us, p99 "
+                << stats.latency_p99_ns / 1e3 << " us, p99.9 "
+                << stats.latency_p999_ns / 1e3 << " us (mean "
+                << stats.latency_mean_ns / 1e3 << " us, n="
+                << stats.latency_count << ")\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
