@@ -4,8 +4,11 @@
 //   rt_throughput [--duration S] [--out FILE]
 //
 // Sweeps workers in {1, 2, 4, 8} (shards = workers, the scaling
-// configuration) at 256 and 1024 flows over 8 unpaced interfaces.  Each
-// cell saturates the runtime with one producer thread and reports the
+// configuration) at 256 and 1024 flows over 8 unpaced interfaces, each
+// cell twice: telemetry off and telemetry on (a live MetricsRegistry with
+// the full runtime + per-shard scheduler instrumentation, no tracing).
+// The on/off pps ratio is the metrics hot-path overhead.  Each cell
+// saturates the runtime with one producer thread and reports the
 // steady-state drain rate.  NOTE: results depend on the host's core count;
 // the JSON records std::thread::hardware_concurrency() so a reader can
 // tell a 1-core CI box (where workers time-slice one core and pps cannot
@@ -20,12 +23,14 @@
 
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
 struct Cell {
   std::size_t flows;
   std::size_t workers;
+  bool telemetry = false;
   double pps = 0;
   double p50_ns = 0;
   double p99_ns = 0;
@@ -33,16 +38,20 @@ struct Cell {
   double duration_s = 0;
 };
 
-Cell run_cell(std::size_t flows, std::size_t workers, double duration_s) {
+Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
+              bool telemetry) {
   using namespace midrr;
   using namespace midrr::rt;
 
   constexpr std::size_t kIfaces = 8;
+  // Outlives the runtime: registered callbacks point into runtime state.
+  midrr::telemetry::MetricsRegistry registry;
   RuntimeOptions options;
   options.workers = workers;
   options.shards = workers;  // the scaling configuration
   options.producers = 1;
   options.max_flows = flows;
+  if (telemetry) options.metrics = &registry;
 
   Runtime runtime(options);
   for (std::size_t j = 0; j < kIfaces; ++j) {
@@ -74,6 +83,7 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s) {
   Cell cell;
   cell.flows = flows;
   cell.workers = workers;
+  cell.telemetry = telemetry;
   cell.dequeued = stats.dequeued;
   cell.duration_s = elapsed;
   cell.pps = static_cast<double>(stats.dequeued) / elapsed;
@@ -103,13 +113,16 @@ int main(int argc, char** argv) {
   std::vector<Cell> cells;
   for (const std::size_t flows : flow_counts) {
     for (const std::size_t workers : worker_counts) {
-      std::cerr << "rt_throughput: " << flows << " flows, " << workers
-                << " workers..." << std::flush;
-      const Cell cell = run_cell(flows, workers, duration_s);
-      std::cerr << " " << cell.pps / 1e6 << " Mpps, p50 "
-                << cell.p50_ns / 1e3 << " us, p99 " << cell.p99_ns / 1e3
-                << " us\n";
-      cells.push_back(cell);
+      for (const bool telemetry : {false, true}) {
+        std::cerr << "rt_throughput: " << flows << " flows, " << workers
+                  << " workers, telemetry " << (telemetry ? "on" : "off")
+                  << "..." << std::flush;
+        const Cell cell = run_cell(flows, workers, duration_s, telemetry);
+        std::cerr << " " << cell.pps / 1e6 << " Mpps, p50 "
+                  << cell.p50_ns / 1e3 << " us, p99 " << cell.p99_ns / 1e3
+                  << " us\n";
+        cells.push_back(cell);
+      }
     }
   }
 
@@ -129,13 +142,29 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     json << "    {\"flows\": " << c.flows << ", \"workers\": " << c.workers
+         << ", \"telemetry\": " << (c.telemetry ? "true" : "false")
          << ", \"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
          << ", \"duration_s\": " << c.duration_s
          << ", \"latency_p50_ns\": " << c.p50_ns
          << ", \"latency_p99_ns\": " << c.p99_ns << "}"
          << (i + 1 < cells.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  // Adjacent off/on pairs share a configuration; their ratio isolates the
+  // metrics hot-path cost (relaxed atomic bumps in the observer + workers).
+  json << "  ],\n  \"telemetry_overhead\": [\n";
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+    const Cell& off = cells[i];
+    const Cell& on = cells[i + 1];
+    if (off.telemetry || !on.telemetry) continue;  // defensive: expect pairs
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"flows\": " << off.flows << ", \"workers\": " << off.workers
+         << ", \"pps_off\": " << off.pps << ", \"pps_on\": " << on.pps
+         << ", \"on_over_off\": " << (off.pps > 0 ? on.pps / off.pps : 0)
+         << "}";
+  }
+  json << "\n  ]\n}\n";
 
   std::ofstream out(out_path);
   if (!out) {

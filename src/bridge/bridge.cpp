@@ -1,5 +1,6 @@
 #include "bridge/bridge.hpp"
 
+#include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
 
@@ -163,6 +164,47 @@ std::optional<net::Frame> VirtualBridge::receive_from_network(
   // Restore the application-visible addressing.
   frame.rewrite_destination(virt_mac_, virt_ip_);
   return frame;
+}
+
+void VirtualBridge::register_metrics(telemetry::MetricsRegistry& registry,
+                                     const std::string& instance) {
+  const telemetry::LabelSet labels{{"bridge", instance}};
+  // Each callback takes the bridge mutex for one field read; scrape-rate
+  // only, and the mutex is never held while calling into the registry.
+  const auto field = [this](std::uint64_t BridgeStats::*member) {
+    return [this, member] {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      return static_cast<double>(stats_.*member);
+    };
+  };
+  registry.counter_fn("midrr_bridge_app_frames_in_total",
+                      "Frames applications sent on the virtual interface.",
+                      labels, field(&BridgeStats::app_frames_in));
+  registry.counter_fn("midrr_bridge_unclassified_drops_total",
+                      "App frames dropped because no classifier rule "
+                      "mapped them to a flow.",
+                      labels,
+                      field(&BridgeStats::app_frames_dropped_unclassified));
+  registry.counter_fn("midrr_bridge_queue_drops_total",
+                      "App frames dropped by a flow's queue bound.", labels,
+                      field(&BridgeStats::app_frames_dropped_queue));
+  registry.counter_fn("midrr_bridge_frames_steered_total",
+                      "Frames steered out of physical interfaces "
+                      "(post-rewrite).",
+                      labels, field(&BridgeStats::frames_steered));
+  registry.counter_fn("midrr_bridge_frames_received_total",
+                      "Frames arriving on physical interfaces.", labels,
+                      field(&BridgeStats::frames_received));
+  registry.counter_fn("midrr_bridge_unmatched_inbound_total",
+                      "Inbound frames with no conntrack match (not for the "
+                      "virtual interface).",
+                      labels, field(&BridgeStats::frames_received_unmatched));
+  registry.gauge_fn("midrr_bridge_conntrack_entries",
+                    "Tracked (interface, 5-tuple) connections.", labels,
+                    [this] {
+                      const std::lock_guard<std::mutex> lock(mutex_);
+                      return static_cast<double>(conntrack_.size());
+                    });
 }
 
 }  // namespace midrr::bridge

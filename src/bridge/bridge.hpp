@@ -28,6 +28,10 @@
 #include "net/pcap.hpp"
 #include "sched/scheduler.hpp"
 
+namespace midrr::telemetry {
+class MetricsRegistry;  // bridge.cpp links the telemetry layer
+}
+
 namespace midrr::bridge {
 
 /// Addressing of one physical interface.
@@ -69,6 +73,14 @@ class VirtualBridge {
   Scheduler& scheduler() { return *scheduler_; }
   const BridgeStats& stats() const { return stats_; }
   net::Ipv4Address virtual_ip() const { return virt_ip_; }
+
+  /// Registers the bridge's counters (frames in/steered/received, the two
+  /// drop classes, conntrack size) in `registry` under a
+  /// {bridge="<instance>"} label.  Callbacks take the bridge mutex at
+  /// scrape time; both the bridge and the registry must outlive the last
+  /// scrape.
+  void register_metrics(telemetry::MetricsRegistry& registry,
+                        const std::string& instance = "bridge0");
 
   /// Attaches a pcap tap to a physical interface: every frame steered out
   /// of it (post-rewrite) and every matched inbound frame (pre-restore) is

@@ -40,9 +40,10 @@ HttpRangeProxy::HttpRangeProxy(std::vector<ProxyInterfaceSpec> ifaces,
       options_(options),
       // Quantum = one chunk: a scheduling turn corresponds to one range
       // request, which is exactly the granularity the proxy controls.
-      scheduler_(make_scheduler(options.policy,
-                                SchedulerOptions{.quantum_base =
-                                                     options.chunk_bytes})) {
+      scheduler_(make_scheduler(
+          options.policy,
+          SchedulerOptions{.quantum_base = options.chunk_bytes,
+                           .observer = options.observer})) {
   MIDRR_REQUIRE(!iface_specs_.empty(), "proxy needs interfaces");
   MIDRR_REQUIRE(options_.chunk_bytes > 0, "chunk size must be positive");
 

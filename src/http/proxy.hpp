@@ -47,6 +47,10 @@ struct ProxyOptions {
   SimDuration sample_interval = 500 * kMillisecond;
   std::size_t rate_window_bins = 4;
   SimDuration cluster_interval = 0;  ///< 0 = no cluster snapshots
+  /// Optional scheduler observer (chunk grants/skips/sends become visible;
+  /// a telemetry::MetricsObserver here turns them into Prometheus
+  /// counters).  Must outlive the proxy; may be null.
+  SchedulerObserver* observer = nullptr;
 };
 
 struct ProxyFlowResult {
@@ -86,6 +90,11 @@ class HttpRangeProxy {
   ProxyResult run(SimTime duration);
 
   Scheduler& scheduler() { return *scheduler_; }
+
+  /// Live counters (also in ProxyResult; these are readable mid-run from a
+  /// telemetry gauge_fn callback).
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t request_header_bytes() const { return request_header_bytes_; }
 
  private:
   struct FlowState;

@@ -117,6 +117,9 @@ class ControlPlane {
   std::size_t max_flows() const { return max_flows_; }
   std::size_t iface_count() const { return shard_of_iface_.size(); }
 
+  /// RCU epoch distance to the slowest in-flight reader (telemetry gauge).
+  std::uint64_t max_reader_lag() const { return cell_.max_reader_lag(); }
+
  private:
   std::unique_ptr<RuntimeSnapshot> clone_locked() const;
   void publish_locked(std::unique_ptr<RuntimeSnapshot> next);

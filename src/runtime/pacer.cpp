@@ -10,6 +10,7 @@ namespace midrr::rt {
 TokenBucketPacer::TokenBucketPacer(std::uint64_t depth_bytes)
     : depth_(static_cast<double>(depth_bytes)), tokens_(depth_) {
   MIDRR_REQUIRE(depth_bytes > 0, "pacer depth must be positive");
+  publish_tokens();
 }
 
 TokenBucketPacer::TokenBucketPacer(RateProfile profile,
@@ -37,6 +38,7 @@ void TokenBucketPacer::refill(SimTime now_ns) {
   }
   tokens_ = std::min(tokens_, depth_);
   last_ns_ = now_ns;
+  publish_tokens();
 }
 
 std::uint64_t TokenBucketPacer::budget_bytes(SimTime now_ns) {
@@ -49,6 +51,7 @@ std::uint64_t TokenBucketPacer::budget_bytes(SimTime now_ns) {
 void TokenBucketPacer::consume(std::uint64_t bytes) {
   if (!profile_) return;
   tokens_ -= static_cast<double>(bytes);
+  publish_tokens();
 }
 
 SimTime TokenBucketPacer::ns_until_bytes(std::uint64_t bytes, SimTime now_ns) {

@@ -18,6 +18,7 @@
 // each interface to exactly one worker thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -36,6 +37,24 @@ class TokenBucketPacer {
   /// bucket depth of `depth_bytes`.
   TokenBucketPacer(RateProfile profile, std::uint64_t depth_bytes);
 
+  // Movable despite the atomic mirror (pacers are configured before the
+  // worker threads exist; moves never race with the data path).
+  TokenBucketPacer(TokenBucketPacer&& other) noexcept
+      : profile_(std::move(other.profile_)),
+        depth_(other.depth_),
+        tokens_(other.tokens_),
+        last_ns_(other.last_ns_) {
+    publish_tokens();
+  }
+  TokenBucketPacer& operator=(TokenBucketPacer&& other) noexcept {
+    profile_ = std::move(other.profile_);
+    depth_ = other.depth_;
+    tokens_ = other.tokens_;
+    last_ns_ = other.last_ns_;
+    publish_tokens();
+    return *this;
+  }
+
   bool unlimited() const { return !profile_.has_value(); }
 
   /// Refills from the profile up to `now_ns` and returns the whole bytes
@@ -53,12 +72,29 @@ class TokenBucketPacer {
 
   double tokens() const { return tokens_; }  ///< test introspection
 
+  /// Racy mirror of tokens() readable from ANY thread (telemetry scrapes;
+  /// the owning worker publishes after each refill/consume).  Negative
+  /// values are pacer debt: an overshoot still being paid back.
+  double tokens_approx() const {
+    return published_tokens_.load(std::memory_order_relaxed);
+  }
+
+  /// The capacity profile (nullptr when unlimited); immutable after
+  /// construction, so safe to read concurrently with the owning worker.
+  const RateProfile* profile() const {
+    return profile_.has_value() ? &*profile_ : nullptr;
+  }
+
  private:
   void refill(SimTime now_ns);
+  void publish_tokens() {
+    published_tokens_.store(tokens_, std::memory_order_relaxed);
+  }
 
   std::optional<RateProfile> profile_;
   double depth_;
   double tokens_;
+  std::atomic<double> published_tokens_{0.0};
   SimTime last_ns_ = 0;
 };
 

@@ -26,6 +26,7 @@
 // fine for control-plane rates (updates per second, not per packet).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -146,6 +147,22 @@ class Rcu {
 
   /// Current version counter (bumped once per publish); mostly for tests.
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Epochs between the global counter and the OLDEST epoch any reader is
+  /// still announcing (0 when every claimed slot is quiescent or current).
+  /// A persistently large value means some reader parks inside critical
+  /// sections; telemetry exports it as the RCU epoch-lag gauge.  Racy by
+  /// design: slots are scanned one relaxed load at a time.
+  std::uint64_t max_reader_lag() const {
+    const std::uint64_t now = epoch_.load(std::memory_order_relaxed);
+    std::uint64_t lag = 0;
+    for (std::size_t i = 0; i < kMaxReaders; ++i) {
+      if (!slots_[i].claimed.load(std::memory_order_relaxed)) continue;
+      const std::uint64_t e = slots_[i].epoch.load(std::memory_order_relaxed);
+      if (e != 0 && e < now) lag = std::max(lag, now - e);
+    }
+    return lag;
+  }
 
  private:
   struct alignas(kCacheLine) Slot {

@@ -54,6 +54,12 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes) {
   if (!ring.push(std::move(packet))) {
     ++rejected_;
     rt_.ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+    if (rt_.ring_full_warn_.allow()) {
+      MIDRR_LOG_WARN() << "ingress ring full (shard " << shard << ", producer "
+                       << producer_ << "); backpressure to caller ("
+                       << rt_.ring_full_warn_.take_suppressed()
+                       << " earlier rejects unreported)";
+    }
     return false;
   }
   ++offered_;
@@ -81,9 +87,27 @@ Runtime::Runtime(const RuntimeOptions& options)
                 "scheduler observers are not supported under the runtime "
                 "(they would run inside the shard locks)");
   MIDRR_REQUIRE(options_.burst_bytes > 0, "burst_bytes must be positive");
+  MIDRR_REQUIRE(options_.trace_events == 0 || options_.metrics != nullptr,
+                "trace_events requires a metrics registry (the recorder "
+                "chains behind the per-shard MetricsObserver)");
   for (std::size_t s = 0; s < options_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->sched = make_scheduler(options_.policy, options_.sched);
+    // User observers are rejected above (arbitrary code inside the shard
+    // locks); the internal MetricsObserver is the sanctioned exception --
+    // its callbacks are single relaxed increments, optionally chained to a
+    // bounded TraceRecorder for Chrome-trace export.
+    SchedulerOptions sched_opts = options_.sched;
+    if (options_.metrics != nullptr) {
+      if (options_.trace_events > 0) {
+        shard->recorder = std::make_unique<TraceRecorder>(options_.trace_events);
+      }
+      shard->observer = std::make_unique<telemetry::MetricsObserver>(
+          *options_.metrics,
+          telemetry::LabelSet{{"shard", std::to_string(s)}},
+          shard->recorder.get());
+      sched_opts.observer = shard->observer.get();
+    }
+    shard->sched = make_scheduler(options_.policy, sched_opts);
     for (std::size_t p = 0; p < options_.producers; ++p) {
       shard->ingress.push_back(
           std::make_unique<SpscRing<Packet>>(options_.ring_capacity));
@@ -167,6 +191,16 @@ void Runtime::start() {
   for (std::size_t w = 0; w < worker_count; ++w) {
     auto worker = std::make_unique<Worker>();
     worker->index = static_cast<std::uint32_t>(w);
+    if (options_.metrics != nullptr) {
+      worker->wait_hist = &options_.metrics->histogram(
+          "midrr_rt_packet_wait_ns",
+          "Enqueue-to-drain packet wait, nanoseconds.",
+          {{"worker", std::to_string(w)}});
+    }
+    if (options_.trace_spans > 0) {
+      worker->span_cap = options_.trace_spans;
+      worker->spans.reserve(options_.trace_spans);
+    }
     workers_.push_back(std::move(worker));
   }
   // Interfaces round-robin across workers; each shard's fan-in runs on a
@@ -189,6 +223,8 @@ void Runtime::start() {
       }
     }
   }
+
+  if (options_.metrics != nullptr) register_metrics();
 
   epoch_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
@@ -300,13 +336,16 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
     ring->pop_batch(scratch, kFanInBatch);
   }
   if (scratch.empty()) return false;
+  const SimTime span_begin = me.span_cap != 0 ? now_ns() : 0;
   std::uint64_t accepted = 0;
   std::uint64_t gone = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t moved_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (Packet& packet : scratch) {
       const FlowId global = packet.flow;
+      moved_bytes += packet.size_bytes;
       const FlowId local = global < shard.local_of_flow.size()
                                ? shard.local_of_flow[global]
                                : kInvalidFlow;
@@ -327,10 +366,28 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
       }
     }
   }
+  const std::uint64_t total = static_cast<std::uint64_t>(scratch.size());
   scratch.clear();
   me.enqueued.fetch_add(accepted, std::memory_order_relaxed);
   me.fanin_drops.fetch_add(gone, std::memory_order_relaxed);
   me.tail_drops.fetch_add(dropped, std::memory_order_relaxed);
+  if (me.span_cap != 0) {
+    telemetry::TraceSpan span;
+    span.kind = telemetry::TraceSpan::Kind::kFanIn;
+    span.worker = me.index;
+    span.begin_ns = span_begin;
+    span.end_ns = now_ns();
+    span.shard = shard_index;
+    span.packets = total;
+    span.bytes = moved_bytes;
+    record_span(me, span);
+  }
+  if (gone > 0 && straggler_warn_.allow()) {
+    MIDRR_LOG_WARN() << "dropped " << gone << " straggler packet(s) for "
+                     << "removed flows at shard " << shard_index << " fan-in ("
+                     << straggler_warn_.take_suppressed()
+                     << " earlier occurrences unreported)";
+  }
   if (accepted > 0) {
     for (const std::uint32_t w : shard.kick_on_enqueue) {
       if (w != me.index) kick(w);
@@ -342,7 +399,8 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
 bool Runtime::drain_iface(IfaceId iface, Worker& me,
                           std::vector<Packet>& burst) {
   IfaceRec& rec = *ifaces_[iface];
-  std::uint64_t budget = rec.pacer.budget_bytes(now_ns());
+  const SimTime t0 = now_ns();
+  std::uint64_t budget = rec.pacer.budget_bytes(t0);
   if (budget == 0) return false;
   budget = std::min(budget, options_.burst_bytes);
   Shard& shard = *shards_[rec.shard];
@@ -363,7 +421,10 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   for (const Packet& packet : burst) {
     bytes += packet.size_bytes;
     const SimTime waited = drained_at - packet.enqueued_at;
-    me.latency.record(waited > 0 ? static_cast<std::uint64_t>(waited) : 0);
+    const std::uint64_t wait_ns =
+        waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
+    me.latency.record(wait_ns);
+    if (me.wait_hist != nullptr) me.wait_hist->observe(wait_ns);
     sent_by_flow_[packet.flow].fetch_add(packet.size_bytes,
                                          std::memory_order_relaxed);
   }
@@ -373,8 +434,27 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   me.dequeued.fetch_add(count, std::memory_order_relaxed);
   me.dequeued_bytes.fetch_add(bytes, std::memory_order_relaxed);
   me.bursts.fetch_add(1, std::memory_order_relaxed);
+  if (me.span_cap != 0) {
+    telemetry::TraceSpan span;
+    span.kind = telemetry::TraceSpan::Kind::kDrain;
+    span.worker = me.index;
+    span.begin_ns = t0;
+    span.end_ns = drained_at;
+    span.iface = iface;
+    span.packets = count;
+    span.bytes = bytes;
+    record_span(me, span);
+  }
   burst.clear();
   return true;
+}
+
+void Runtime::record_span(Worker& me, telemetry::TraceSpan span) {
+  if (me.spans.size() < me.span_cap) {
+    me.spans.push_back(span);
+  } else {
+    me.spans_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool Runtime::ingress_pending(const Worker& me) const {
@@ -453,6 +533,177 @@ std::uint64_t Runtime::iface_sent_bytes(IfaceId iface) const {
 std::uint64_t Runtime::iface_sent_packets(IfaceId iface) const {
   MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
   return ifaces_[iface]->packets.load(std::memory_order_relaxed);
+}
+
+// --- Runtime: telemetry ---------------------------------------------------
+
+void Runtime::register_metrics() {
+  auto& reg = *options_.metrics;
+  const auto count_of = [](const std::atomic<std::uint64_t>& v) {
+    return [&v] { return static_cast<double>(v.load(std::memory_order_relaxed)); };
+  };
+  reg.counter_fn("midrr_rt_offered_packets_total",
+                 "Packets accepted into ingress rings.", {},
+                 count_of(offered_));
+  reg.counter_fn("midrr_rt_ring_rejects_total",
+                 "Offers refused: ingress ring full or no hosting shard.", {},
+                 count_of(ring_rejects_));
+  reg.gauge_fn("midrr_rt_rcu_epoch_lag",
+               "RCU epochs between the control plane and its slowest "
+               "in-flight reader (persistently > 0 means a reader parks "
+               "inside critical sections).",
+               {}, [this] {
+                 return static_cast<double>(control_->max_reader_lag());
+               });
+  reg.gauge_fn("midrr_rt_snapshot_version",
+               "Version of the currently published configuration snapshot.",
+               {}, [this] { return static_cast<double>(control_->version()); });
+
+  for (const auto& wp : workers_) {
+    Worker* w = wp.get();
+    const telemetry::LabelSet labels{{"worker", std::to_string(w->index)}};
+    reg.counter_fn("midrr_rt_enqueued_packets_total",
+                   "Packets handed to shard schedulers by fan-in.", labels,
+                   count_of(w->enqueued));
+    reg.counter_fn("midrr_rt_straggler_drops_total",
+                   "Ingress packets dropped at fan-in because their flow was "
+                   "removed after they entered the ring.",
+                   labels, count_of(w->fanin_drops));
+    reg.counter_fn("midrr_rt_tail_drops_total",
+                   "Packets refused by a flow's scheduler queue bound.",
+                   labels, count_of(w->tail_drops));
+    reg.counter_fn("midrr_rt_dequeued_packets_total",
+                   "Packets drained to interfaces.", labels,
+                   count_of(w->dequeued));
+    reg.counter_fn("midrr_rt_dequeued_bytes_total",
+                   "Bytes drained to interfaces.", labels,
+                   count_of(w->dequeued_bytes));
+    reg.counter_fn("midrr_rt_bursts_total",
+                   "dequeue_burst calls that moved at least one packet.",
+                   labels, count_of(w->bursts));
+    reg.counter_fn("midrr_rt_parks_total",
+                   "Times this worker went to sleep with nothing to do.",
+                   labels, count_of(w->parks));
+    if (options_.trace_spans > 0) {
+      reg.counter_fn("midrr_rt_trace_spans_dropped_total",
+                     "Work spans discarded because the per-worker trace "
+                     "buffer was full (the exported timeline is truncated).",
+                     labels, count_of(w->spans_dropped));
+    }
+  }
+
+  for (const auto& rp : ifaces_) {
+    IfaceRec* rec = rp.get();
+    const telemetry::LabelSet labels{{"iface", rec->name}};
+    reg.counter_fn("midrr_rt_iface_sent_packets_total",
+                   "Packets drained through this interface.", labels,
+                   count_of(rec->packets));
+    reg.counter_fn("midrr_rt_iface_sent_bytes_total",
+                   "Bytes drained through this interface.", labels,
+                   count_of(rec->bytes));
+    reg.gauge_fn("midrr_rt_pacer_tokens_bytes",
+                 "Token-bucket balance in bytes; negative values are pacer "
+                 "debt (an overshoot still being paid back).",
+                 labels, [rec] { return rec->pacer.tokens_approx(); });
+    if (rec->pacer.profile() != nullptr) {
+      reg.gauge_fn("midrr_rt_iface_capacity_bps",
+                   "Instantaneous configured link capacity (bits/s) from "
+                   "the interface's rate profile.",
+                   labels, [this, rec] {
+                     return rec->pacer.profile()->rate_at(now_ns());
+                   });
+    }
+  }
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard* shard = shards_[s].get();
+    const telemetry::LabelSet labels{{"shard", std::to_string(s)}};
+    reg.gauge_fn("midrr_rt_ingress_ring_occupancy",
+                 "Packets waiting in this shard's ingress rings (approximate"
+                 "; summed over producers).",
+                 labels, [shard] {
+                   std::uint64_t waiting = 0;
+                   for (const auto& ring : shard->ingress) {
+                     waiting += ring->size_approx();
+                   }
+                   return static_cast<double>(waiting);
+                 });
+    if (shard->recorder != nullptr) {
+      // overflowed() is written under the shard mutex; the scrape takes it
+      // too (leaf lock, scrape-rate only -- never under another lock here).
+      reg.counter_fn("midrr_rt_trace_events_lost_total",
+                     "Scheduler trace events evicted from the ring buffer "
+                     "(the captured timeline is truncated).",
+                     labels, [shard] {
+                       std::lock_guard<std::mutex> lock(shard->mu);
+                       return static_cast<double>(shard->recorder->overflowed());
+                     });
+    }
+  }
+}
+
+telemetry::FairnessSample Runtime::fairness_sample() {
+  MIDRR_REQUIRE(control_ != nullptr,
+                "fairness_sample needs the control plane (start() first)");
+  telemetry::FairnessSample out;
+  out.at_ns = now_ns();
+  const std::size_t iface_total = ifaces_.size();
+  out.capacities_bps.reserve(iface_total);
+  out.iface_sent_bytes.reserve(iface_total);
+  for (const auto& rec : ifaces_) {
+    const RateProfile* profile = rec->pacer.profile();
+    out.capacities_bps.push_back(
+        profile != nullptr ? profile->rate_at(out.at_ns) : -1.0);
+    out.iface_sent_bytes.push_back(
+        rec->bytes.load(std::memory_order_relaxed));
+  }
+  // A fresh reader per call claims and releases an RCU slot (one CAS scan);
+  // fine at sampler rates, and it keeps this callable from any thread.
+  auto reader = control_->reader();
+  {
+    const auto guard = reader.lock();
+    out.flows.reserve(guard->live.size());
+    for (const FlowId id : guard->live) {
+      const SnapshotFlow& flow = guard->flows[id];
+      telemetry::FairnessFlowSample fs;
+      fs.id = id;
+      fs.name = flow.name.empty() ? "flow" + std::to_string(id) : flow.name;
+      fs.weight = flow.weight;
+      fs.willing.assign(iface_total, false);
+      for (const IfaceId j : flow.willing) {
+        if (j < iface_total) fs.willing[j] = true;
+      }
+      fs.sent_bytes = sent_by_flow_[id].load(std::memory_order_relaxed);
+      out.flows.push_back(std::move(fs));
+    }
+  }
+  return out;
+}
+
+void Runtime::export_trace(telemetry::ChromeTraceBuilder& builder) const {
+  MIDRR_REQUIRE(!running(),
+                "export_trace requires a stopped runtime (recorders and "
+                "span buffers are written by worker threads while running)");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    if (shard.recorder == nullptr) continue;
+    const std::uint32_t pid = static_cast<std::uint32_t>(2 + s);
+    builder.set_process_name(pid, "shard " + std::to_string(s) + " scheduler");
+    builder.add_recorder(*shard.recorder, pid);
+  }
+  std::vector<telemetry::TraceSpan> spans;
+  for (const auto& worker : workers_) {
+    spans.insert(spans.end(), worker->spans.begin(), worker->spans.end());
+  }
+  if (!spans.empty()) {
+    builder.set_process_name(1, "runtime workers");
+    builder.add_spans(spans, 1);
+  }
+}
+
+const TraceRecorder* Runtime::shard_recorder(std::size_t shard) const {
+  MIDRR_REQUIRE(shard < shards_.size(), "unknown shard");
+  return shards_[shard]->recorder.get();
 }
 
 }  // namespace midrr::rt

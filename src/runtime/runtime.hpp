@@ -47,9 +47,15 @@
 #include "runtime/control_plane.hpp"
 #include "runtime/pacer.hpp"
 #include "runtime/spsc_ring.hpp"
+#include "sched/observer.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/rate_profile.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/fairness_drift.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/metrics_observer.hpp"
 #include "util/latency_histogram.hpp"
+#include "util/logging.hpp"
 #include "util/time.hpp"
 
 namespace midrr::rt {
@@ -64,6 +70,20 @@ struct RuntimeOptions {
   std::uint64_t burst_bytes = 64 * 1024;   ///< max bytes per dequeue_burst
   std::uint64_t pacer_depth_bytes = 0;     ///< 0 = auto from peak rate
   std::size_t max_flows = 4096;       ///< flow-id arena bound
+
+  // --- Telemetry (all optional; zero hot-path cost when disabled) --------
+  /// When non-null, the runtime registers its counters/gauges/histograms
+  /// here at start() and installs a wait-free MetricsObserver per shard
+  /// scheduler.  Must outlive the Runtime.
+  telemetry::MetricsRegistry* metrics = nullptr;
+  /// Per-shard TraceRecorder ring capacity for scheduler micro-events
+  /// (grants, flag skips, sends); 0 disables event capture.  Requires
+  /// `metrics` (the recorder chains behind the MetricsObserver).
+  std::size_t trace_events = 0;
+  /// Per-worker bound on recorded work spans (fan-in batches, drain
+  /// bursts) for Chrome-trace export; 0 disables span capture.  Spans past
+  /// the bound are dropped and counted, never reallocated.
+  std::size_t trace_spans = 0;
 };
 
 /// Aggregated counters; a consistent-enough racy snapshot (every counter is
@@ -122,7 +142,7 @@ class IngressPort {
   std::uint64_t rr_ = 0;  ///< round-robin cursor for multi-shard flows
 };
 
-class Runtime final : private ShardApplier {
+class Runtime final : public telemetry::FairnessSource, private ShardApplier {
  public:
   explicit Runtime(const RuntimeOptions& options);
   ~Runtime();
@@ -173,6 +193,23 @@ class Runtime final : private ShardApplier {
   std::size_t worker_count() const { return workers_.size(); }
   std::size_t iface_count() const { return ifaces_.size(); }
 
+  // --- Telemetry ----------------------------------------------------------
+
+  /// FairnessSource: the live (Pi, phi, C) + cumulative service state, read
+  /// through an RCU guard.  Callable from any thread after start(); feeds
+  /// telemetry::FairnessDriftSampler.
+  telemetry::FairnessSample fairness_sample() override;
+
+  /// Renders captured scheduler event streams (one process row per shard)
+  /// and worker spans (one thread row per worker) into `builder`.  Only
+  /// valid after stop() -- recorders and span buffers are written by worker
+  /// threads while running.  No-op unless trace capture was enabled.
+  void export_trace(telemetry::ChromeTraceBuilder& builder) const;
+
+  /// The per-shard scheduler event recorder (nullptr unless
+  /// options.trace_events > 0).  Read only after stop().
+  const TraceRecorder* shard_recorder(std::size_t shard) const;
+
  private:
   friend class IngressPort;
 
@@ -186,6 +223,11 @@ class Runtime final : private ShardApplier {
     std::vector<IfaceId> ifaces;          // global ids hosted here (pre-start)
     std::uint32_t home_worker = 0;        // runs this shard's fan-in
     std::vector<std::uint32_t> kick_on_enqueue;  // workers owning our ifaces
+    // Telemetry (optional; installed at construction, fire under mu).  The
+    // observer's callbacks are single relaxed increments -- the one
+    // observer shape allowed inside the shard locks.
+    std::unique_ptr<TraceRecorder> recorder;  // chained behind observer
+    std::unique_ptr<telemetry::MetricsObserver> observer;
   };
 
   struct IfaceRec {
@@ -211,6 +253,13 @@ class Runtime final : private ShardApplier {
     std::atomic<std::uint64_t> fanin_drops{0};
     std::atomic<std::uint64_t> tail_drops{0};
     std::atomic<std::uint64_t> parks{0};
+    // Telemetry (optional).  wait_hist doubles the latency accounting into
+    // a scrapable Prometheus histogram; spans is a bounded, preallocated
+    // buffer owned by the worker thread and read only after stop().
+    telemetry::Histogram* wait_hist = nullptr;
+    std::vector<telemetry::TraceSpan> spans;
+    std::size_t span_cap = 0;
+    std::atomic<std::uint64_t> spans_dropped{0};
     // Parking: kicked is the wakeup token, asleep gates the notify.
     std::mutex park_mu;
     std::condition_variable park_cv;
@@ -231,6 +280,8 @@ class Runtime final : private ShardApplier {
   bool drain_ingress(std::uint32_t shard_index, Worker& me,
                      std::vector<Packet>& scratch);
   bool drain_iface(IfaceId iface, Worker& me, std::vector<Packet>& burst);
+  void register_metrics();  ///< start()-time, when options_.metrics is set
+  void record_span(Worker& me, telemetry::TraceSpan span);
   void park(Worker& me, SimTime hint_ns);
   void kick(std::uint32_t worker);
   bool ingress_pending(const Worker& me) const;
@@ -242,6 +293,10 @@ class Runtime final : private ShardApplier {
   std::vector<std::atomic<std::uint64_t>> sent_by_flow_;  // [max_flows]
   std::atomic<std::uint64_t> offered_{0};
   std::atomic<std::uint64_t> ring_rejects_{0};
+  // Rate limiters for hot-path warnings (at most one line per second each;
+  // suppressed occurrences are reported on the next emitted line).
+  LogRateLimiter ring_full_warn_{std::chrono::seconds(1)};
+  LogRateLimiter straggler_warn_{std::chrono::seconds(1)};
   std::unique_ptr<ControlPlane> control_;  // built lazily at start()
   std::atomic<bool> running_{false};
   bool started_ = false;

@@ -21,7 +21,10 @@ TraceRecorder::TraceRecorder(std::size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRecorder::push(Entry entry) {
-  if (entries_.size() == capacity_) entries_.pop_front();
+  if (entries_.size() == capacity_) {
+    entries_.pop_front();
+    ++overflowed_;
+  }
   entries_.push_back(entry);
   ++total_;
 }
@@ -88,6 +91,7 @@ void TraceRecorder::clear() {
   skips_.clear();
   sends_.clear();
   total_ = 0;
+  overflowed_ = 0;
 }
 
 }  // namespace midrr

@@ -72,6 +72,13 @@ class TraceRecorder final : public SchedulerObserver {
   std::uint64_t sends(FlowId flow, IfaceId iface) const;
   std::uint64_t total_events() const { return total_; }
 
+  /// Events evicted because the ring was full: total_events() -
+  /// entries().size() once the buffer wraps.  Consumers check this to
+  /// detect truncation instead of silently analyzing a partial timeline;
+  /// the runtime exports it as a metric and the Chrome-trace exporter
+  /// embeds it as an `events_lost` annotation.
+  std::uint64_t overflowed() const { return overflowed_; }
+
   /// "t=12.5ms iface1 SKIP flow0" ... one line per recent entry.
   std::string render(std::size_t max_lines = 50) const;
 
@@ -85,6 +92,7 @@ class TraceRecorder final : public SchedulerObserver {
   std::size_t capacity_;
   std::deque<Entry> entries_;
   std::uint64_t total_ = 0;
+  std::uint64_t overflowed_ = 0;
   FlowIfaceMatrix<std::uint64_t> grants_;  // [flow][iface], flat
   FlowIfaceMatrix<std::uint64_t> skips_;
   FlowIfaceMatrix<std::uint64_t> sends_;

@@ -1,0 +1,210 @@
+#include "telemetry/exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "telemetry/prometheus.hpp"
+#include "util/logging.hpp"
+
+namespace midrr::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kIoTimeoutMs = 2000;
+
+const char* reason_for(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR)) continue;
+      return;  // client went away; nothing to do
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string render_response(int status, const std::string& content_type,
+                            const std::string& body) {
+  http::HttpResponse head;
+  head.status = status;
+  head.reason = reason_for(status);
+  head.set_header("Content-Type", content_type);
+  head.set_header("Content-Length", std::to_string(body.size()));
+  head.set_header("Connection", "close");
+  return head.serialize_head() + body;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer() : TelemetryServer(Options{}) {}
+
+TelemetryServer::TelemetryServer(Options options)
+    : options_(std::move(options)) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::handle(const std::string& path, Handler handler) {
+  std::lock_guard<std::mutex> lock(handlers_mu_);
+  handlers_[path] = std::move(handler);
+}
+
+void TelemetryServer::serve_registry(const MetricsRegistry& registry) {
+  handle("/metrics", [&registry](const http::HttpRequest&) {
+    HandlerResult r;
+    r.content_type = kPrometheusContentType;
+    r.body = render_prometheus(registry);
+    return r;
+  });
+  handle("/healthz", [](const http::HttpRequest&) {
+    HandlerResult r;
+    r.body = "ok\n";
+    return r;
+  });
+}
+
+void TelemetryServer::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("telemetry: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("telemetry: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("telemetry: bind/listen on " +
+                             options_.bind_address + ":" +
+                             std::to_string(options_.port) + " failed: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { accept_loop(); });
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Shut the listening socket down; accept()/poll() in the thread returns
+  // immediately with an error and the loop exits on the cleared flag.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::serve_connection(int fd) {
+  // Bound both reads and writes so a stuck scraper cannot wedge the loop.
+  timeval tv{};
+  tv.tv_sec = kIoTimeoutMs / 1000;
+  tv.tv_usec = (kIoTimeoutMs % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  std::string request;
+  char buf[4096];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t head_end = request.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    send_all(fd, render_response(400, "text/plain", "oversized request\n"));
+    return;
+  }
+  const auto parsed = http::HttpRequest::parse(request.substr(0, head_end + 4));
+  if (!parsed.has_value()) {
+    send_all(fd, render_response(400, "text/plain", "malformed request\n"));
+    return;
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (parsed->method != "GET" && parsed->method != "HEAD") {
+    send_all(fd, render_response(405, "text/plain", "GET only\n"));
+    return;
+  }
+  std::string path = parsed->target;
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
+  }
+  if (!handler) {
+    send_all(fd, render_response(404, "text/plain", "no such route\n"));
+    return;
+  }
+  HandlerResult result;
+  try {
+    result = handler(*parsed);
+  } catch (const std::exception& e) {
+    MIDRR_LOG_WARN() << "telemetry handler for " << path
+                     << " threw: " << e.what();
+    send_all(fd, render_response(500, "text/plain", "handler error\n"));
+    return;
+  }
+  if (parsed->method == "HEAD") result.body.clear();
+  send_all(fd, render_response(result.status, result.content_type,
+                               result.body));
+}
+
+}  // namespace midrr::telemetry

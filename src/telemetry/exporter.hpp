@@ -1,0 +1,86 @@
+// TelemetryServer: a tiny embedded HTTP/1.1 endpoint for scrapes, built on
+// the library's own src/http message code (the same parser the byte-range
+// proxy uses) over plain POSIX sockets.
+//
+// One accept thread serves one request per connection ("Connection:
+// close"), which is exactly the Prometheus scrape model -- no keep-alive,
+// no pipelining, no TLS.  Handlers run on the accept thread; they must be
+// thread-safe with respect to the rest of the process (the built-in
+// /metrics handler only reads relaxed atomics via MetricsRegistry).
+//
+// Default routes once serve_registry() is called:
+//   GET /metrics  -> Prometheus text exposition (version 0.0.4)
+//   GET /healthz  -> 200 "ok\n"
+// Additional routes (e.g. the runtime's /flows JSON) attach via handle().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "http/message.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace midrr::telemetry {
+
+/// What a route handler returns; serialized as an HTTP/1.1 response.
+struct HandlerResult {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+using Handler = std::function<HandlerResult(const http::HttpRequest&)>;
+
+class TelemetryServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral (read back via port())
+  };
+
+  TelemetryServer();  ///< loopback, ephemeral port
+  explicit TelemetryServer(Options options);
+  ~TelemetryServer();  ///< stops and joins
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Routes GET `path` (exact match, query string ignored) to `handler`.
+  void handle(const std::string& path, Handler handler);
+
+  /// Mounts /metrics and /healthz for `registry` (which must outlive the
+  /// server).
+  void serve_registry(const MetricsRegistry& registry);
+
+  /// Binds, listens, and starts the accept thread.  Throws on bind failure.
+  void start();
+  void stop();  ///< idempotent
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound port (valid after start(); resolves ephemeral port 0).
+  std::uint16_t port() const { return bound_port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  Options options_;
+  std::mutex handlers_mu_;
+  std::map<std::string, Handler> handlers_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace midrr::telemetry

@@ -1,0 +1,146 @@
+// Fairness-drift gauges: Theorem 2 as a live SLO.
+//
+// A background sampler periodically captures the live configuration
+// (Pi, phi, C) and cumulative service counters from a FairnessSource (the
+// runtime implements it from its RCU control-plane snapshot), runs the
+// weighted max-min reference solver over that instant's topology, and
+// compares each flow's MEASURED rate over the last window against the rate
+// the convex program says it should get.  The exported series:
+//
+//   midrr_fairness_rate_ratio{flow=...}   actual / max-min reference
+//   midrr_fairness_rate_actual_bps{flow=...}
+//   midrr_fairness_rate_maxmin_bps{flow=...}
+//   midrr_fairness_jain_index             Jain's index over the ratios
+//   midrr_fairness_ratio_min/max/mean     drift envelope without per-flow
+//                                         label cardinality
+//   midrr_fairness_samples_total          solver runs
+//   midrr_fairness_solver_ns              solver latency histogram
+//
+// A healthy miDRR deployment keeps every ratio near 1.0 (the e2e test pins
+// 10%); per-interface-WFQ-style drift shows up as a persistent spread.
+// Caveats: flows must be backlogged for "actual" to be meaningful (an idle
+// flow legitimately shows ratio << 1), and with shards > 1 cross-shard
+// coupling is intentionally absent, so the GLOBAL max-min reference may
+// legitimately diverge (see docs/RUNTIME.md on sharding semantics).
+// Unpaced interfaces report no capacity; the sampler substitutes the
+// interface's measured drain rate, making the reference "the fair split of
+// what the hardware actually moved".
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/time.hpp"
+
+namespace midrr::telemetry {
+
+struct FairnessFlowSample {
+  FlowId id = kInvalidFlow;
+  std::string name;
+  double weight = 1.0;
+  std::vector<bool> willing;      ///< by global IfaceId
+  std::uint64_t sent_bytes = 0;   ///< cumulative
+};
+
+/// One instant's (Pi, phi, C) + service state.
+struct FairnessSample {
+  SimTime at_ns = 0;
+  std::vector<FairnessFlowSample> flows;       ///< live flows only
+  std::vector<double> capacities_bps;          ///< by iface; < 0 = unpaced
+  std::vector<std::uint64_t> iface_sent_bytes; ///< cumulative, by iface
+};
+
+/// Where samples come from; implemented by rt::Runtime.  Must be callable
+/// from the sampler thread concurrently with the data path.
+class FairnessSource {
+ public:
+  virtual ~FairnessSource() = default;
+  virtual FairnessSample fairness_sample() = 0;
+};
+
+struct FlowDrift {
+  FlowId id = kInvalidFlow;
+  std::string name;
+  double actual_bps = 0.0;
+  double maxmin_bps = 0.0;
+  double ratio = 0.0;  ///< actual / maxmin (0 when maxmin is 0)
+};
+
+struct DriftReport {
+  bool valid = false;   ///< false until two samples bracket a window
+  SimTime at_ns = 0;
+  double window_s = 0.0;
+  std::vector<FlowDrift> flows;
+  double jain = 0.0;
+  double ratio_min = 0.0;
+  double ratio_max = 0.0;
+  double ratio_mean = 0.0;
+};
+
+struct FairnessDriftOptions {
+  SimDuration interval_ns = 500 * kMillisecond;
+  /// Per-flow labeled gauges are exported for at most this many flows
+  /// (lowest ids first) to bound scrape cardinality; the min/max/mean
+  /// envelope always covers every flow.
+  std::size_t max_labeled_flows = 64;
+};
+
+class FairnessDriftSampler {
+ public:
+  FairnessDriftSampler(FairnessSource& source, MetricsRegistry& registry,
+                       FairnessDriftOptions options = {});
+  ~FairnessDriftSampler();  ///< stops and joins
+
+  FairnessDriftSampler(const FairnessDriftSampler&) = delete;
+  FairnessDriftSampler& operator=(const FairnessDriftSampler&) = delete;
+
+  void start();
+  void stop();  ///< idempotent
+
+  /// Takes one sample and, once a window exists, refreshes the gauges.
+  /// Called by the background thread; callable directly in tests (do not
+  /// mix with a running thread).
+  void sample_once();
+
+  /// The most recent report (copy; `valid` false before the first window).
+  DriftReport last() const;
+
+ private:
+  void run();
+  void export_report(const DriftReport& report);
+
+  FairnessSource& source_;
+  MetricsRegistry& registry_;
+  FairnessDriftOptions options_;
+
+  Counter& samples_total_;
+  Histogram& solver_ns_;
+  Gauge& jain_;
+  Gauge& ratio_min_;
+  Gauge& ratio_max_;
+  Gauge& ratio_mean_;
+  Gauge& compared_flows_;
+
+  std::thread thread_;
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool running_ = false;
+
+  FairnessSample prev_;
+  bool has_prev_ = false;
+
+  mutable std::mutex last_mu_;
+  DriftReport last_;
+};
+
+/// Per-flow JSON rate table (the /flows endpoint): cumulative service from
+/// `sample` joined with the latest drift window (when valid).
+std::string flows_json(const FairnessSample& sample, const DriftReport& drift);
+
+}  // namespace midrr::telemetry

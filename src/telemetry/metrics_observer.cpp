@@ -1,0 +1,48 @@
+#include "telemetry/metrics_observer.hpp"
+
+namespace midrr::telemetry {
+
+MetricsObserver::MetricsObserver(MetricsRegistry& registry, LabelSet labels,
+                                 SchedulerObserver* chain)
+    : grants_(registry.counter(
+          "midrr_sched_turns_total",
+          "Service turns granted (each grant refreshes the flow's quantum)",
+          labels)),
+      skips_(registry.counter(
+          "midrr_sched_flag_skips_total",
+          "Algorithm 3.2 service-flag skips (flow served elsewhere)", labels)),
+      sends_(registry.counter("midrr_sched_packets_sent_total",
+                              "Packets handed to interfaces", labels)),
+      sent_bytes_(registry.counter("midrr_sched_sent_bytes_total",
+                                   "Bytes handed to interfaces", labels)),
+      drains_(registry.counter(
+          "midrr_sched_flow_drains_total",
+          "Flow queue drains (flow left the backlogged set)", labels)),
+      chain_(chain) {}
+
+void MetricsObserver::on_turn_granted(SimTime now, FlowId flow, IfaceId iface,
+                                      std::int64_t deficit_after) {
+  grants_.inc();
+  if (chain_ != nullptr) {
+    chain_->on_turn_granted(now, flow, iface, deficit_after);
+  }
+}
+
+void MetricsObserver::on_flag_skip(SimTime now, FlowId flow, IfaceId iface) {
+  skips_.inc();
+  if (chain_ != nullptr) chain_->on_flag_skip(now, flow, iface);
+}
+
+void MetricsObserver::on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
+                                     std::uint32_t bytes) {
+  sends_.inc();
+  sent_bytes_.inc(bytes);
+  if (chain_ != nullptr) chain_->on_packet_sent(now, flow, iface, bytes);
+}
+
+void MetricsObserver::on_flow_drained(SimTime now, FlowId flow) {
+  drains_.inc();
+  if (chain_ != nullptr) chain_->on_flow_drained(now, flow);
+}
+
+}  // namespace midrr::telemetry

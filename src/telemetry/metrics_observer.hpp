@@ -1,0 +1,48 @@
+// MetricsObserver: a SchedulerObserver whose callbacks are single relaxed
+// atomic increments, cheap enough to run inside the runtime's shard locks
+// (the reason plain observers are rejected there -- a TraceRecorder
+// allocates on push).  It turns the DRR family's micro-events into
+// counters: turn grants (each grant IS a quantum refresh -- Algorithm 3.1
+// adds Q_i exactly when a turn is granted), Algorithm 3.2 flag skips,
+// packet hand-offs, and queue drains.
+//
+// Optionally chains to a second observer (e.g. a bounded TraceRecorder for
+// Chrome-trace export) so one scheduler hook feeds both.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/observer.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace midrr::telemetry {
+
+class MetricsObserver final : public SchedulerObserver {
+ public:
+  /// Registers this observer's series in `registry` under `labels`
+  /// (typically {{"shard", "<n>"}}).  `chain`, if non-null, receives every
+  /// event after the counters are bumped and must outlive this observer.
+  MetricsObserver(MetricsRegistry& registry, LabelSet labels,
+                  SchedulerObserver* chain = nullptr);
+
+  void on_turn_granted(SimTime now, FlowId flow, IfaceId iface,
+                       std::int64_t deficit_after) override;
+  void on_flag_skip(SimTime now, FlowId flow, IfaceId iface) override;
+  void on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
+                      std::uint32_t bytes) override;
+  void on_flow_drained(SimTime now, FlowId flow) override;
+
+  std::uint64_t grants() const { return grants_.value(); }
+  std::uint64_t skips() const { return skips_.value(); }
+  std::uint64_t sends() const { return sends_.value(); }
+
+ private:
+  Counter& grants_;  ///< quantum refreshes
+  Counter& skips_;
+  Counter& sends_;
+  Counter& sent_bytes_;
+  Counter& drains_;
+  SchedulerObserver* chain_;
+};
+
+}  // namespace midrr::telemetry

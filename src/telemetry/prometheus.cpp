@@ -1,0 +1,106 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace midrr::telemetry {
+
+namespace {
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Prometheus values are floats, but integral values render cleaner (and
+/// counters stay exact) without a forced decimal point.
+std::string fmt_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::ostringstream out;
+    out << static_cast<long long>(v);
+    return out.str();
+  }
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+void render_labels(std::ostringstream& out, const LabelSet& labels,
+                   const char* extra_key = nullptr,
+                   const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << k << "=\"" << escape_label_value(v) << '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out << ',';
+    out << extra_key << "=\"" << extra_value << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const FamilySnapshot& family) {
+  std::ostringstream out;
+  if (!family.help.empty()) {
+    out << "# HELP " << family.name << ' ' << family.help << '\n';
+  }
+  out << "# TYPE " << family.name << ' ' << type_name(family.kind) << '\n';
+  for (const SampleSnapshot& s : family.samples) {
+    if (family.kind == MetricKind::kHistogram) {
+      for (const auto& [le, cumulative] : s.buckets) {
+        out << family.name << "_bucket";
+        render_labels(out, s.labels, "le", fmt_value(le));
+        out << ' ' << cumulative << '\n';
+      }
+      out << family.name << "_bucket";
+      render_labels(out, s.labels, "le", "+Inf");
+      out << ' ' << s.count << '\n';
+      out << family.name << "_sum";
+      render_labels(out, s.labels);
+      out << ' ' << fmt_value(s.sum) << '\n';
+      out << family.name << "_count";
+      render_labels(out, s.labels);
+      out << ' ' << s.count << '\n';
+    } else {
+      out << family.name;
+      render_labels(out, s.labels);
+      out << ' ' << fmt_value(s.value) << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  for (const FamilySnapshot& family : registry.snapshot()) {
+    out += render_prometheus(family);
+  }
+  return out;
+}
+
+}  // namespace midrr::telemetry

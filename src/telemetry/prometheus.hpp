@@ -1,0 +1,26 @@
+// Prometheus text exposition format (version 0.0.4) for a MetricsRegistry
+// snapshot: `# HELP` / `# TYPE` headers, escaped label values, histograms
+// as cumulative `_bucket{le=...}` series plus `_sum` / `_count`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace midrr::telemetry {
+
+/// The Content-Type the /metrics endpoint must serve.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+/// Renders one family snapshot (primarily for tests).
+std::string render_prometheus(const FamilySnapshot& family);
+
+/// Renders the full exposition page for a registry.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Escapes a label value per the exposition format (\\, \", \n).
+std::string escape_label_value(const std::string& value);
+
+}  // namespace midrr::telemetry

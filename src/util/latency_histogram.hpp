@@ -86,6 +86,30 @@ class LatencyHistogram {
                       std::memory_order_relaxed);
   }
 
+  /// Raw count of bucket `index` (telemetry exposition reads the grid
+  /// directly to build cumulative Prometheus buckets).
+  std::uint64_t bucket_count(std::size_t index) const {
+    return counts_[index].load(std::memory_order_relaxed);
+  }
+
+  /// Sum of all recorded values (racy companion to count()).
+  std::uint64_t sum_raw() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Largest value bucket i can hold (inclusive).
+  static double upper_bound(std::size_t index) {
+    if (index < (std::size_t{1} << (kSubBits + 1))) {
+      return static_cast<double>(index);
+    }
+    const unsigned octave = static_cast<unsigned>(index >> kSubBits);
+    const std::uint64_t sub = index & ((1u << kSubBits) - 1);
+    const std::uint64_t lo =
+        (std::uint64_t{1} << octave) | (sub << (octave - kSubBits));
+    const std::uint64_t width = std::uint64_t{1} << (octave - kSubBits);
+    return static_cast<double>(lo + width - 1);
+  }
+
   /// Midpoint of bucket i's value range (the value quantile() reports).
   static double representative(std::size_t index) {
     if (index < (std::size_t{1} << (kSubBits + 1))) {

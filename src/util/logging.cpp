@@ -24,11 +24,13 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
   sink_ = (sink != nullptr) ? sink : &std::cerr;
 }
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(sink_mu_);
   (*sink_) << "[" << to_string(level) << "] " << message << '\n';
 }
 

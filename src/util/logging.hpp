@@ -5,7 +5,11 @@
 // caller-provided std::ostream (stderr by default) so tests can capture it.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,26 +19,81 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, 
 
 const char* to_string(LogLevel level);
 
-/// Process-wide logger configuration; not thread-safe by design (the
-/// simulator is single-threaded; the kernel-bridge analog takes a lock
-/// around scheduling, not logging).
+/// Process-wide logger configuration.  Thread-safe: the level is an atomic
+/// (enabled() stays a single relaxed load on the fast path) and a mutex
+/// serializes sink writes so lines from the runtime's worker threads never
+/// interleave mid-line.  (The logger predates src/runtime and used to be
+/// single-thread-only; the real-time engine made that a bug.)
 class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   void set_sink(std::ostream* sink);
 
-  bool enabled(LogLevel level) const { return level >= level_; }
+  bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
   void write(LogLevel level, const std::string& message);
 
  private:
   Logger();
 
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex sink_mu_;  ///< guards sink_ pointer and every write through it
   std::ostream* sink_;
+};
+
+/// Wait-free token check for rate-limiting hot-path warnings (ring-full,
+/// straggler drops): at most one emission per `min_interval`, suppressed
+/// messages are counted so the next emitted line can report them.
+///
+///   static LogRateLimiter limiter(std::chrono::seconds(1));
+///   if (limiter.allow()) {
+///     MIDRR_LOG_WARN() << "ring full (" << limiter.take_suppressed()
+///                      << " earlier drops unreported)";
+///   }
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(std::chrono::nanoseconds min_interval)
+      : interval_ns_(min_interval.count()) {}
+
+  /// True if the caller may emit a message now; false counts a suppression.
+  bool allow() {
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    std::int64_t next = next_ns_.load(std::memory_order_relaxed);
+    if (now < next) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (next_ns_.compare_exchange_strong(next, now + interval_ns_,
+                                         std::memory_order_relaxed)) {
+      return true;
+    }
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Returns and resets the suppressed-message count.
+  std::uint64_t take_suppressed() {
+    return suppressed_.exchange(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::int64_t interval_ns_;
+  std::atomic<std::int64_t> next_ns_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
 };
 
 namespace detail {

@@ -10,7 +10,9 @@
 // stdout (what bench/rt_throughput collects into BENCH_rt.json).
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +21,10 @@
 #include "core/scenario_text.hpp"  // parse_rate_bps
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/fairness_drift.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace {
 
@@ -36,7 +42,11 @@ int usage() {
          "  --packet B      packet size in bytes (default 1000)\n"
          "  --policy P      midrr|drr|wfq|rr|fifo|priority (default midrr)\n"
          "  --churn         exercise the control plane during the run\n"
-         "  --json          machine-readable report on stdout\n";
+         "  --json          machine-readable report on stdout\n"
+         "  --telemetry P   serve /metrics, /healthz, /flows on 127.0.0.1:P\n"
+         "                  (0 = ephemeral; bound port printed to stderr)\n"
+         "  --trace-out F   capture scheduler events + worker spans, write\n"
+         "                  Chrome trace-event JSON to F after the run\n";
   return 2;
 }
 
@@ -57,6 +67,8 @@ int main(int argc, char** argv) {
   Policy policy = Policy::kMiDrr;
   bool churn = false;
   bool json = false;
+  int telemetry_port = -1;  // < 0 = no HTTP endpoint
+  std::string trace_out;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -77,6 +89,8 @@ int main(int argc, char** argv) {
       else if (key == "--policy") policy = parse_policy(value());
       else if (key == "--churn") churn = true;
       else if (key == "--json") json = true;
+      else if (key == "--telemetry") telemetry_port = std::stoi(value());
+      else if (key == "--trace-out") trace_out = value();
       else return usage();
     }
     if (flows == 0 || ifaces == 0 || duration_s <= 0.0) return usage();
@@ -97,6 +111,17 @@ int main(int argc, char** argv) {
   options.max_flows =
       flows + 16 +
       (churn ? static_cast<std::size_t>(duration_s * 1200.0) + 64 : 0);
+
+  // The registry outlives the runtime (its callbacks point into it).
+  telemetry::MetricsRegistry registry;
+  const bool telemetry_on = telemetry_port >= 0 || !trace_out.empty();
+  if (telemetry_on) {
+    options.metrics = &registry;
+    if (!trace_out.empty()) {
+      options.trace_events = 64 * 1024;  // per shard
+      options.trace_spans = 64 * 1024;   // per worker
+    }
+  }
 
   try {
     Runtime runtime(options);
@@ -122,6 +147,32 @@ int main(int argc, char** argv) {
     }
 
     runtime.start();
+
+    std::unique_ptr<telemetry::FairnessDriftSampler> sampler;
+    std::unique_ptr<telemetry::TelemetryServer> server;
+    if (telemetry_on) {
+      sampler =
+          std::make_unique<telemetry::FairnessDriftSampler>(runtime, registry);
+      sampler->start();
+    }
+    if (telemetry_port >= 0) {
+      telemetry::TelemetryServer::Options sopts;
+      sopts.port = static_cast<std::uint16_t>(telemetry_port);
+      server = std::make_unique<telemetry::TelemetryServer>(sopts);
+      server->serve_registry(registry);
+      telemetry::FairnessDriftSampler* drift = sampler.get();
+      Runtime* rt = &runtime;
+      server->handle("/flows", [rt, drift](const http::HttpRequest&) {
+        telemetry::HandlerResult r;
+        r.content_type = "application/json";
+        r.body = telemetry::flows_json(rt->fairness_sample(), drift->last());
+        return r;
+      });
+      server->start();
+      std::cerr << "telemetry: http://127.0.0.1:" << server->port()
+                << "/metrics\n";
+    }
+
     LoadGeneratorOptions load;
     load.producers = producers;
     load.packet_bytes = packet_bytes;
@@ -160,7 +211,22 @@ int main(int argc, char** argv) {
     }
 
     generator.stop();
+    if (server != nullptr) server->stop();
+    if (sampler != nullptr) sampler->stop();
     runtime.stop();
+    if (!trace_out.empty()) {
+      telemetry::ChromeTraceBuilder builder;
+      builder.set_process_name(1, "midrr_rt");
+      runtime.export_trace(builder);
+      std::ofstream trace_file(trace_out);
+      if (!trace_file) {
+        std::cerr << "error: cannot write " << trace_out << "\n";
+        return 1;
+      }
+      builder.write(trace_file);
+      std::cerr << "trace: " << builder.event_count() << " events -> "
+                << trace_out << "\n";
+    }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -188,6 +254,7 @@ int main(int argc, char** argv) {
           << "\"fanin_drops\":" << stats.fanin_drops << ","
           << "\"tail_drops\":" << stats.tail_drops << ","
           << "\"churn_ops\":" << churn_ops << ","
+          << "\"metrics_series\":" << registry.series_count() << ","
           << "\"pps\":" << pps << ","
           << "\"gbps\":" << gbps_out << ","
           << "\"latency_p50_ns\":" << stats.latency_p50_ns << ","
