@@ -3,16 +3,22 @@
 //
 //   rt_throughput [--duration S] [--out FILE]
 //
-// Sweeps workers in {1, 2, 4, 8} (shards = workers, the scaling
-// configuration) at 256 and 1024 flows over 8 unpaced interfaces, each
-// cell twice: telemetry off and telemetry on (a live MetricsRegistry with
-// the full runtime + per-shard scheduler instrumentation, no tracing).
-// The on/off pps ratio is the metrics hot-path overhead.  Each cell
-// saturates the runtime with one producer thread and reports the
-// steady-state drain rate.  NOTE: results depend on the host's core count;
-// the JSON records std::thread::hardware_concurrency() so a reader can
-// tell a 1-core CI box (where workers time-slice one core and pps cannot
-// scale) from a real multicore run.
+// Three sweeps, all over 8 unpaced interfaces with one producer thread:
+//   1. workers in {1, 2, 4, 8} (shards = workers, the scaling
+//      configuration) at 256 and 1024 flows, each cell twice: telemetry
+//      off and on (a live MetricsRegistry with the full runtime +
+//      per-shard scheduler instrumentation, no tracing).  The on/off pps
+//      ratio is the metrics hot-path overhead.
+//   2. fan-in batch size in {128 .. 2048} at the single-worker cell --
+//      how RuntimeOptions::fanin_batch trades shard-lock/wakeup
+//      amortization against burstiness.
+//   3. payload mode none/heap/pooled at the single-worker cell -- the
+//      cost of carrying real 1000-byte payloads, and how much of it the
+//      frame pool wins back (pool counters included for the pooled cell).
+// NOTE: results depend on the host's core count; the JSON records
+// std::thread::hardware_concurrency() so a reader can tell a 1-core CI
+// box (where workers time-slice one core and pps cannot scale) from a
+// real multicore run.
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -27,19 +33,34 @@
 
 namespace {
 
+using midrr::PacketPoolStats;
+using PayloadMode = midrr::rt::LoadGeneratorOptions::PayloadMode;
+
 struct Cell {
   std::size_t flows;
   std::size_t workers;
   bool telemetry = false;
+  std::size_t fanin_batch = 0;  // 0 = RuntimeOptions default
+  PayloadMode payload = PayloadMode::kNone;
   double pps = 0;
   double p50_ns = 0;
   double p99_ns = 0;
   std::uint64_t dequeued = 0;
   double duration_s = 0;
+  PacketPoolStats pool{};
 };
 
+const char* payload_name(PayloadMode mode) {
+  switch (mode) {
+    case PayloadMode::kHeap: return "heap";
+    case PayloadMode::kPooled: return "pooled";
+    default: return "none";
+  }
+}
+
 Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
-              bool telemetry) {
+              bool telemetry, std::size_t fanin_batch = 0,
+              PayloadMode payload = PayloadMode::kNone) {
   using namespace midrr;
   using namespace midrr::rt;
 
@@ -51,6 +72,7 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   options.shards = workers;  // the scaling configuration
   options.producers = 1;
   options.max_flows = flows;
+  if (fanin_batch != 0) options.fanin_batch = fanin_batch;
   if (telemetry) options.metrics = &registry;
 
   Runtime runtime(options);
@@ -68,6 +90,7 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   LoadGeneratorOptions load;
   load.producers = 1;
   load.packet_bytes = 1000;
+  load.payload = payload;
   LoadGenerator generator(runtime, load);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -84,12 +107,22 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   cell.flows = flows;
   cell.workers = workers;
   cell.telemetry = telemetry;
+  cell.fanin_batch = fanin_batch;
+  cell.payload = payload;
   cell.dequeued = stats.dequeued;
   cell.duration_s = elapsed;
   cell.pps = static_cast<double>(stats.dequeued) / elapsed;
   cell.p50_ns = stats.latency_p50_ns;
   cell.p99_ns = stats.latency_p99_ns;
+  cell.pool = generator.pool_stats();
   return cell;
+}
+
+void emit_cell_common(std::ostringstream& json, const Cell& c) {
+  json << "\"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
+       << ", \"duration_s\": " << c.duration_s
+       << ", \"latency_p50_ns\": " << c.p50_ns
+       << ", \"latency_p99_ns\": " << c.p99_ns;
 }
 
 }  // namespace
@@ -126,6 +159,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Fan-in batch sweep: single worker, 256 flows, telemetry off.
+  const std::vector<std::size_t> batch_sizes = {128, 256, 512, 1024, 2048};
+  std::vector<Cell> batch_cells;
+  for (const std::size_t batch : batch_sizes) {
+    std::cerr << "rt_throughput: fanin_batch " << batch << "..." << std::flush;
+    const Cell cell = run_cell(256, 1, duration_s, false, batch);
+    std::cerr << " " << cell.pps / 1e6 << " Mpps, p99 " << cell.p99_ns / 1e3
+              << " us\n";
+    batch_cells.push_back(cell);
+  }
+
+  // Payload sweep: what real payload bytes cost, and the pool's share.
+  std::vector<Cell> payload_cells;
+  for (const PayloadMode mode :
+       {PayloadMode::kNone, PayloadMode::kHeap, PayloadMode::kPooled}) {
+    std::cerr << "rt_throughput: payload " << payload_name(mode) << "..."
+              << std::flush;
+    const Cell cell = run_cell(256, 1, duration_s, false, 0, mode);
+    std::cerr << " " << cell.pps / 1e6 << " Mpps\n";
+    payload_cells.push_back(cell);
+  }
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"rt_throughput\",\n"
@@ -142,12 +197,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
     json << "    {\"flows\": " << c.flows << ", \"workers\": " << c.workers
-         << ", \"telemetry\": " << (c.telemetry ? "true" : "false")
-         << ", \"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
-         << ", \"duration_s\": " << c.duration_s
-         << ", \"latency_p50_ns\": " << c.p50_ns
-         << ", \"latency_p99_ns\": " << c.p99_ns << "}"
-         << (i + 1 < cells.size() ? "," : "") << "\n";
+         << ", \"telemetry\": " << (c.telemetry ? "true" : "false") << ", ";
+    emit_cell_common(json, c);
+    json << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   // Adjacent off/on pairs share a configuration; their ratio isolates the
   // metrics hot-path cost (relaxed atomic bumps in the observer + workers).
@@ -164,7 +216,29 @@ int main(int argc, char** argv) {
          << ", \"on_over_off\": " << (off.pps > 0 ? on.pps / off.pps : 0)
          << "}";
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n  \"fanin_batch_sweep\": [\n";
+  for (std::size_t i = 0; i < batch_cells.size(); ++i) {
+    const Cell& c = batch_cells[i];
+    json << "    {\"fanin_batch\": " << c.fanin_batch << ", ";
+    emit_cell_common(json, c);
+    json << "}" << (i + 1 < batch_cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"payload_sweep\": [\n";
+  for (std::size_t i = 0; i < payload_cells.size(); ++i) {
+    const Cell& c = payload_cells[i];
+    json << "    {\"payload\": \"" << payload_name(c.payload) << "\", ";
+    emit_cell_common(json, c);
+    if (c.payload == PayloadMode::kPooled) {
+      json << ", \"pool\": {\"slabs\": " << c.pool.slabs
+           << ", \"acquired\": " << c.pool.acquired
+           << ", \"released\": " << c.pool.released
+           << ", \"misses\": " << c.pool.misses
+           << ", \"cross_thread_returns\": " << c.pool.cross_thread_returns
+           << ", \"overflow_returns\": " << c.pool.overflow_returns << "}";
+    }
+    json << "}" << (i + 1 < payload_cells.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
 
   std::ofstream out(out_path);
   if (!out) {

@@ -59,7 +59,14 @@ std::optional<FlowId> VirtualBridge::send_from_app(net::Frame frame,
   }
 
   Packet packet(flow, static_cast<std::uint32_t>(frame.size()));
-  packet.frame = std::make_shared<net::Frame>(std::move(frame));
+  if (frame_pool_ != nullptr) {
+    // Pool slot instead of heap: mutex_ serializes the acquisition (the
+    // pool runs owner-detached); oversize/exhaustion falls back to the
+    // heap inside make_frame, counted as a miss.
+    packet.frame = frame_pool_->make_frame(frame.bytes());
+  } else {
+    packet.frame = std::make_shared<net::Frame>(std::move(frame));
+  }
   const EnqueueResult result = scheduler_->enqueue(std::move(packet), now);
   if (!result.accepted) {
     ++stats_.app_frames_dropped_queue;
@@ -136,6 +143,11 @@ void VirtualBridge::attach_tap(IfaceId iface, net::PcapWriter* tap) {
     taps_.resize(static_cast<std::size_t>(iface) + 1, nullptr);
   }
   taps_[iface] = tap;
+}
+
+void VirtualBridge::set_frame_pool(net::FramePool* pool) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  frame_pool_ = pool;
 }
 
 bool VirtualBridge::has_traffic(IfaceId iface) const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "bridge/classifier.hpp"
+#include "net/frame_pool.hpp"
 #include "net/packet.hpp"
 #include "net/pcap.hpp"
 #include "sched/scheduler.hpp"
@@ -88,6 +89,16 @@ class VirtualBridge {
   /// must outlive the bridge; pass nullptr to detach.
   void attach_tap(IfaceId iface, net::PcapWriter* tap);
 
+  /// Attaches a frame pool: queued app frames are copied into pool slots
+  /// instead of heap-allocated (send_from_app's make_shared disappears
+  /// from the enqueue path).  The pool should be owner-DETACHED
+  /// (PacketPool::detach_owner): the bridge acquires under its own mutex
+  /// -- which provides the required serialization -- from whichever thread
+  /// calls send_from_app, and dequeued frames may be released anywhere.
+  /// The pool must outlive every frame the bridge queued from it; pass
+  /// nullptr to go back to heap frames.
+  void set_frame_pool(net::FramePool* pool);
+
   // --- Outbound path -------------------------------------------------------
 
   /// An application sent a frame on the virtual interface.  Returns the
@@ -136,6 +147,7 @@ class VirtualBridge {
   // Return-path table: (iface, remote ip/port, local port, proto) -> conn.
   std::unordered_map<FiveTuple, TrackedConnection, FiveTupleHash> conntrack_;
   std::vector<net::PcapWriter*> taps_;  // by IfaceId; nullptr = no tap
+  net::FramePool* frame_pool_ = nullptr;  // optional; acquisitions under mutex_
   BridgeStats stats_;
   mutable std::mutex mutex_;
 };

@@ -4,8 +4,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "flow/packet.hpp"
 #include "util/time.hpp"
@@ -41,9 +41,9 @@ class FlowQueue {
   /// nullopt when empty.
   std::optional<std::uint32_t> head_size() const;
 
-  bool empty() const { return packets_.empty(); }
+  bool empty() const { return count_ == 0; }
   std::uint64_t backlog_bytes() const { return backlog_bytes_; }  ///< BL_i
-  std::size_t backlog_packets() const { return packets_.size(); }
+  std::size_t backlog_packets() const { return count_; }
 
   const FlowQueueStats& stats() const { return stats_; }
 
@@ -51,9 +51,18 @@ class FlowQueue {
   void clear();
 
  private:
+  void grow();
+
+  // Power-of-two circular buffer instead of std::deque: a deque allocates
+  // and frees a block every ~dozen packets, which on the runtime's data
+  // path happens under the shard mutex.  The ring grows geometrically and
+  // never shrinks, so a queue at steady state enqueues and dequeues with
+  // zero allocator traffic.
   std::uint64_t capacity_bytes_;
   std::uint64_t backlog_bytes_ = 0;
-  std::deque<Packet> packets_;
+  std::vector<Packet> ring_;  // size is a power of two (or 0 before first use)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   FlowQueueStats stats_;
 };
 

@@ -1,0 +1,55 @@
+// Pooled factory for shared immutable frames.
+//
+// A FramePool hands out `shared_ptr<const Frame>` whose payload bytes,
+// Frame object, *and* shared_ptr control block all live in one PacketPool
+// slot: creating and destroying a pooled frame performs zero heap
+// allocations.  The slot is released when the last reference drops -- on
+// whatever thread that happens -- via the pool's cross-thread return ring,
+// so the classic producer-allocates / worker-frees malloc contention
+// pattern never reaches the allocator.
+//
+// Exhaustion and oversized payloads degrade to plain heap frames (counted
+// as pool misses), so callers never see a failure mode that the un-pooled
+// path didn't have.
+//
+// Lifetime: every pooled frame co-owns the underlying PacketPool via one
+// keepalive shared_ptr placement-constructed at the tail of its slot's
+// header region (dropped only after the slot is released), so destroying
+// the FramePool while frames are still queued in a scheduler is safe --
+// the slab memory survives until the last frame drops, then the pool tears
+// itself down on whichever thread that happens.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "net/packet.hpp"
+#include "util/packet_pool.hpp"
+
+namespace midrr::net {
+
+class FramePool {
+ public:
+  /// Carves the first slab eagerly (a construction-time probe validates
+  /// that the configured header region fits this standard library's
+  /// shared_ptr control block; the probe slot is recycled immediately).
+  explicit FramePool(PacketPoolOptions options = {});
+
+  /// Pooled copy of `bytes`; heap fallback (counted) on miss.
+  std::shared_ptr<const Frame> make_frame(std::span<const Byte> bytes);
+
+  /// Pooled frame of `n` bytes of `fill` (load-generator payloads);
+  /// heap fallback (counted) on miss.
+  std::shared_ptr<const Frame> make_filled(std::size_t n, Byte fill);
+
+  /// The underlying slot pool: owner binding, stats, leak accounting.
+  PacketPool& pool() { return *pool_; }
+  const PacketPool& pool() const { return *pool_; }
+
+ private:
+  std::shared_ptr<const Frame> wrap(std::uint32_t slot, std::size_t n);
+
+  std::shared_ptr<PacketPool> pool_;  // co-owned by every pooled frame
+};
+
+}  // namespace midrr::net

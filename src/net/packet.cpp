@@ -6,7 +6,7 @@
 namespace midrr::net {
 
 std::optional<FrameView> Frame::parse() const {
-  BufReader r(bytes_);
+  BufReader r(cview());
   FrameView v;
   v.eth = EthernetHeader::read(r);
   if (v.eth.ether_type != EtherType::kIpv4) return std::nullopt;
@@ -15,7 +15,7 @@ std::optional<FrameView> Frame::parse() const {
   if (v.ip.total_length < v.ip.header_length()) {
     throw BufferOverrun("IPv4 total_length smaller than header");
   }
-  if (v.l3_offset + v.ip.total_length > bytes_.size()) {
+  if (v.l3_offset + v.ip.total_length > size()) {
     throw BufferOverrun("frame truncated relative to IPv4 total_length");
   }
   v.l4_offset = v.l3_offset + v.ip.header_length();
@@ -46,7 +46,7 @@ void Frame::rewrite_ip(bool rewrite_src, const MacAddress& mac,
 
   // Ethernet address (no checksum covers it).
   {
-    BufWriter w(bytes_);
+    BufWriter w(mutable_view());
     if (rewrite_src) {
       w.seek(6);  // src MAC follows the 6-byte dst MAC
     }
@@ -59,7 +59,7 @@ void Frame::rewrite_ip(bool rewrite_src, const MacAddress& mac,
 
   // IPv4 address field.
   {
-    BufWriter w(bytes_);
+    BufWriter w(mutable_view());
     w.seek(addr_offset);
     new_ip.write(w);
   }
@@ -68,7 +68,7 @@ void Frame::rewrite_ip(bool rewrite_src, const MacAddress& mac,
   {
     const std::uint16_t new_ip_csum = checksum_update32(
         view->ip.header_checksum, old_ip.value(), new_ip.value());
-    BufWriter w(bytes_);
+    BufWriter w(mutable_view());
     w.seek(view->l3_offset + 10);
     w.u16(new_ip_csum);
   }
@@ -77,13 +77,13 @@ void Frame::rewrite_ip(bool rewrite_src, const MacAddress& mac,
   if (view->tcp.has_value()) {
     const std::uint16_t new_csum = checksum_update32(
         view->tcp->checksum, old_ip.value(), new_ip.value());
-    BufWriter w(bytes_);
+    BufWriter w(mutable_view());
     w.seek(view->l4_offset + 16);
     w.u16(new_csum);
   } else if (view->udp.has_value() && view->udp->checksum != 0) {
     const std::uint16_t new_csum = checksum_update32(
         view->udp->checksum, old_ip.value(), new_ip.value());
-    BufWriter w(bytes_);
+    BufWriter w(mutable_view());
     w.seek(view->l4_offset + 6);
     w.u16(new_csum == 0 ? 0xFFFF : new_csum);  // UDP: 0 means "no checksum"
   }
@@ -104,14 +104,13 @@ bool Frame::checksums_valid() const {
   if (!view) return false;
 
   // IPv4 header checksum over the raw header bytes must fold to zero.
-  const auto ip_header = std::span<const Byte>(bytes_).subspan(
+  const auto ip_header = cview().subspan(
       view->l3_offset, view->ip.header_length());
   if (internet_checksum(ip_header) != 0) return false;
 
   const std::size_t l4_length =
       view->l3_offset + view->ip.total_length - view->l4_offset;
-  const auto segment =
-      std::span<const Byte>(bytes_).subspan(view->l4_offset, l4_length);
+  const auto segment = cview().subspan(view->l4_offset, l4_length);
   if (view->tcp.has_value()) {
     // Checksumming the segment with the checksum field in place folds to 0.
     ChecksumAccumulator acc;

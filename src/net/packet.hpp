@@ -6,6 +6,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 
 #include "net/headers.hpp"
 
@@ -24,19 +25,60 @@ struct FrameView {
   std::size_t payload_length = 0;
 };
 
-/// An Ethernet frame as a contiguous owned buffer.
+/// An Ethernet frame as a contiguous buffer.
 ///
 /// Frames are immutable from the scheduler's point of view; only the bridge
 /// rewrites them (addresses + checksums) via the explicit rewrite methods,
 /// which keep all checksums consistent.
+///
+/// Storage comes in two flavors:
+///   * owned: a heap ByteBuffer (the default everywhere in sim/tests);
+///   * external/pooled: the frame references bytes owned by a pool slot
+///     (see net::FramePool) whose lifetime strictly encloses the frame's.
+/// Copying a pooled frame deep-copies into owned heap storage, so a copy
+/// never outlives its source's slot.  Moving transfers the reference;
+/// pooled frames only ever live behind `shared_ptr<const Frame>`, which
+/// cannot be moved from, so transfer is safe in practice.
 class Frame {
  public:
+  /// Tag for pooled/external storage (bytes the frame does not own).
+  struct ExternalStorage {
+    Byte* data = nullptr;
+    std::size_t size = 0;
+  };
+
   Frame() = default;
   explicit Frame(ByteBuffer bytes) : bytes_(std::move(bytes)) {}
+  explicit Frame(ExternalStorage storage)
+      : ext_data_(storage.data), ext_size_(storage.size) {}
 
-  std::span<const Byte> bytes() const { return bytes_; }
-  std::size_t size() const { return bytes_.size(); }
-  bool empty() const { return bytes_.empty(); }
+  Frame(const Frame& other)
+      : bytes_(other.cview().begin(), other.cview().end()) {}
+  Frame& operator=(const Frame& other) {
+    if (this != &other) {
+      bytes_.assign(other.cview().begin(), other.cview().end());
+      ext_data_ = nullptr;
+      ext_size_ = 0;
+    }
+    return *this;
+  }
+  Frame(Frame&& other) noexcept
+      : bytes_(std::move(other.bytes_)),
+        ext_data_(std::exchange(other.ext_data_, nullptr)),
+        ext_size_(std::exchange(other.ext_size_, 0)) {}
+  Frame& operator=(Frame&& other) noexcept {
+    bytes_ = std::move(other.bytes_);
+    ext_data_ = std::exchange(other.ext_data_, nullptr);
+    ext_size_ = std::exchange(other.ext_size_, 0);
+    return *this;
+  }
+
+  std::span<const Byte> bytes() const { return cview(); }
+  std::size_t size() const { return ext_data_ ? ext_size_ : bytes_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// True when the frame references pool-slot storage it does not own.
+  bool pooled_storage() const { return ext_data_ != nullptr; }
 
   /// Parses the frame's headers.  Throws BufferOverrun on truncated or
   /// malformed frames; returns nullopt for non-IPv4 ether types.
@@ -62,7 +104,18 @@ class Frame {
   void rewrite_ip(bool rewrite_src, const MacAddress& mac,
                   const Ipv4Address& ip);
 
+  std::span<Byte> mutable_view() {
+    return ext_data_ ? std::span<Byte>(ext_data_, ext_size_)
+                     : std::span<Byte>(bytes_);
+  }
+  std::span<const Byte> cview() const {
+    return ext_data_ ? std::span<const Byte>(ext_data_, ext_size_)
+                     : std::span<const Byte>(bytes_);
+  }
+
   ByteBuffer bytes_;
+  Byte* ext_data_ = nullptr;
+  std::size_t ext_size_ = 0;
 };
 
 /// Builder for well-formed test/application frames.

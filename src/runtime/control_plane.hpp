@@ -114,6 +114,16 @@ class ControlPlane {
   Rcu<RuntimeSnapshot>::Reader reader() { return Rcu<RuntimeSnapshot>::Reader(cell_); }
 
   std::uint64_t version() const;
+
+  /// The RCU publication epoch (bumped once per publish).  One uncontended
+  /// acquire load -- cheap enough to read per packet.  Producers key their
+  /// per-flow route caches on this: a cached route tagged with the current
+  /// epoch is as fresh as a snapshot read, up to the instant between the
+  /// pointer swap and the epoch bump, where a reader can transiently act on
+  /// the previous configuration -- indistinguishable from a packet that was
+  /// already in flight, and absorbed by the same straggler-drop path.
+  std::uint64_t epoch() const { return cell_.epoch(); }
+
   std::size_t max_flows() const { return max_flows_; }
   std::size_t iface_count() const { return shard_of_iface_.size(); }
 

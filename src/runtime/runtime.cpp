@@ -14,10 +14,6 @@ namespace {
 /// to absorb several park periods (see auto_depth below).
 constexpr std::chrono::nanoseconds kParkSlice{500'000};  // 500 us
 
-/// Max packets pulled from ONE ingress ring per fan-in pass; bounds the
-/// shard-lock hold time of the fan-in stage.
-constexpr std::size_t kFanInBatch = 256;
-
 std::uint64_t auto_depth(const RateProfile& profile,
                          std::uint64_t configured,
                          std::uint64_t burst_bytes) {
@@ -34,26 +30,84 @@ std::uint64_t auto_depth(const RateProfile& profile,
 
 // --- IngressPort ---------------------------------------------------------
 
-bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes) {
+bool IngressPort::refresh_route(FlowId flow, std::uint64_t epoch) {
+  CachedRoute& route = routes_[flow];
+  const auto guard = reader_.lock();
+  const SnapshotFlow* entry = guard->flow(flow);
+  if (entry == nullptr || entry->shards.empty()) {
+    route.epoch = epoch;
+    route.count = 0;
+    route.uncacheable = false;
+    return false;
+  }
+  route.epoch = epoch;
+  route.uncacheable = entry->shards.size() > kRouteFanout;
+  if (route.uncacheable) {
+    // Too wide to cache inline: route this packet from the snapshot and
+    // leave the entry marked so later offers skip straight to the guard.
+    route.count = 1;
+    route.shards[0] = entry->shards[rr_++ % entry->shards.size()];
+    return true;
+  }
+  route.count = static_cast<std::uint8_t>(entry->shards.size());
+  for (std::size_t i = 0; i < entry->shards.size(); ++i) {
+    route.shards[i] = entry->shards[i];
+  }
+  return true;
+}
+
+void IngressPort::flush_counters() {
+  if (pending_offered_ != 0) {
+    rt_.offered_.fetch_add(pending_offered_, std::memory_order_relaxed);
+    pending_offered_ = 0;
+  }
+  if (pending_rejects_ != 0) {
+    rt_.ring_rejects_.fetch_add(pending_rejects_, std::memory_order_relaxed);
+    pending_rejects_ = 0;
+  }
+}
+
+bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
+                        std::shared_ptr<const net::Frame> frame) {
+  // Epoch first, THEN (on a miss) the guard: a publish racing the refresh
+  // tags the cache entry with the pre-publish epoch, forcing a re-read on
+  // the next offer instead of serving post-publish data as pre-publish.
+  const std::uint64_t epoch = rt_.control_->epoch();
   std::uint32_t shard;
-  {
-    const auto guard = reader_.lock();
-    const SnapshotFlow* entry = guard->flow(flow);
-    if (entry == nullptr || entry->shards.empty()) {
+  if (flow < routes_.size()) {
+    CachedRoute& route = routes_[flow];
+    if (route.epoch != epoch || route.uncacheable) {
+      if (!refresh_route(flow, epoch)) {
+        ++rejected_;
+        ++pending_rejects_;
+        flush_counters();  // rejects are rare; keep them promptly visible
+        return false;
+      }
+    } else if (route.count == 0) {  // cached no-route
       ++rejected_;
-      rt_.ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+      ++pending_rejects_;
+      flush_counters();
       return false;
     }
-    shard = entry->shards.size() == 1
-                ? entry->shards.front()
-                : entry->shards[rr_++ % entry->shards.size()];
+    shard = route.uncacheable || route.count == 1
+                ? route.shards[0]
+                : route.shards[rr_++ % route.count];
+  } else {
+    // Out-of-arena flow id: cannot be live (the control plane bounds ids
+    // by max_flows), so this is a plain reject.
+    ++rejected_;
+    ++pending_rejects_;
+    flush_counters();
+    return false;
   }
   Packet packet(flow, size_bytes);
   packet.enqueued_at = rt_.now_ns();
-  auto& ring = *rt_.shards_[shard]->ingress[producer_];
-  if (!ring.push(std::move(packet))) {
+  packet.frame = std::move(frame);
+  Runtime::Shard& target = *rt_.shards_[shard];
+  if (!target.ingress[producer_]->push(std::move(packet))) {
     ++rejected_;
-    rt_.ring_rejects_.fetch_add(1, std::memory_order_relaxed);
+    ++pending_rejects_;
+    flush_counters();
     if (rt_.ring_full_warn_.allow()) {
       MIDRR_LOG_WARN() << "ingress ring full (shard " << shard << ", producer "
                        << producer_ << "); backpressure to caller ("
@@ -63,8 +117,16 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes) {
     return false;
   }
   ++offered_;
-  rt_.offered_.fetch_add(1, std::memory_order_relaxed);
-  rt_.kick(rt_.shards_[shard]->home_worker);
+  // Batched: one shared-line fetch_add per 256 accepted packets (plus the
+  // destructor flush), instead of a cross-producer RMW per packet.
+  if (++pending_offered_ >= 256) flush_counters();
+  // Dekker hand-off with park(): the push above, this fence, then the
+  // asleep probe inside kick_if_asleep.  The parking worker stores asleep,
+  // fences, then re-checks the rings -- so one of the two sides always
+  // observes the other, and the 500 us park slice is only ever a latency
+  // bound for races with a THIRD state (no packet, no sleeper).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  rt_.kick_if_asleep(target.home_worker);
   return true;
 }
 
@@ -87,6 +149,7 @@ Runtime::Runtime(const RuntimeOptions& options)
                 "scheduler observers are not supported under the runtime "
                 "(they would run inside the shard locks)");
   MIDRR_REQUIRE(options_.burst_bytes > 0, "burst_bytes must be positive");
+  MIDRR_REQUIRE(options_.fanin_batch > 0, "fanin_batch must be positive");
   MIDRR_REQUIRE(options_.trace_events == 0 || options_.metrics != nullptr,
                 "trace_events requires a metrics registry (the recorder "
                 "chains behind the per-shard MetricsObserver)");
@@ -250,7 +313,7 @@ void Runtime::stop() {
 IngressPort Runtime::port(std::size_t producer) {
   MIDRR_REQUIRE(started_, "ports are available after start()");
   MIDRR_REQUIRE(producer < options_.producers, "producer index out of range");
-  return IngressPort(*this, producer, control().reader());
+  return IngressPort(*this, producer, control().reader(), options_.max_flows);
 }
 
 SimTime Runtime::now_ns() const {
@@ -313,7 +376,7 @@ void Runtime::shard_set_willing(std::uint32_t shard_index, FlowId flow,
 void Runtime::worker_main(std::uint32_t w) {
   Worker& me = *workers_[w];
   std::vector<Packet> scratch;
-  scratch.reserve(kFanInBatch * options_.producers);
+  scratch.reserve(options_.fanin_batch * options_.producers);
   std::vector<Packet> burst;
   burst.reserve(256);
   while (running_.load(std::memory_order_acquire)) {
@@ -333,7 +396,7 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   Shard& shard = *shards_[shard_index];
   scratch.clear();
   for (auto& ring : shard.ingress) {
-    ring->pop_batch(scratch, kFanInBatch);
+    ring->pop_batch(scratch, options_.fanin_batch);
   }
   if (scratch.empty()) return false;
   const SimTime span_begin = me.span_cap != 0 ? now_ns() : 0;
@@ -343,27 +406,33 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   std::uint64_t moved_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    for (Packet& packet : scratch) {
+    // Pass 1: translate global -> scheduler-local flow ids in place,
+    // compacting away stragglers (flows removed after their packets
+    // entered the ring; the control plane published first, so these are
+    // bounded).  Pass 2: ONE batched hand-off -- the scheduler amortizes
+    // its per-enqueue virtual dispatch and ring/flag touches across the
+    // whole batch; every packet keeps its own enqueued_at stamp.
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < scratch.size(); ++i) {
+      Packet& packet = scratch[i];
       const FlowId global = packet.flow;
       moved_bytes += packet.size_bytes;
       const FlowId local = global < shard.local_of_flow.size()
                                ? shard.local_of_flow[global]
                                : kInvalidFlow;
       if (local == kInvalidFlow) {
-        // The flow was removed after this packet entered the ring; the
-        // control plane published first, so this is a bounded straggler.
         ++gone;
         continue;
       }
       packet.flow = local;
-      const SimTime stamped = packet.enqueued_at;
-      const EnqueueResult result =
-          shard.sched->enqueue(std::move(packet), stamped);
-      if (result.accepted) {
-        ++accepted;
-      } else {
-        ++dropped;  // per-flow queue bound (tail drop)
-      }
+      if (keep != i) scratch[keep] = std::move(packet);
+      ++keep;
+    }
+    if (keep > 0) {
+      const EnqueueBatchResult result = shard.sched->enqueue_batch(
+          std::span<Packet>(scratch.data(), keep), /*now=*/0);
+      accepted = result.accepted;
+      dropped = result.dropped;  // per-flow queue bounds (tail drops)
     }
   }
   const std::uint64_t total = static_cast<std::uint64_t>(scratch.size());
@@ -408,7 +477,10 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   std::size_t count;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    count = shard.sched->dequeue_burst(rec.local_id, budget, now_ns(), burst);
+    // t0 doubles as the burst timestamp (observer events / traces); it is
+    // at most a lock acquisition older than "now", and reading the clock
+    // again under the shard mutex would stretch the critical section.
+    count = shard.sched->dequeue_burst(rec.local_id, budget, t0, burst);
     // Translate scheduler-local flow ids back to global ids while the maps
     // are still protected; everything after this runs lock-free.
     for (Packet& packet : burst) {
@@ -417,16 +489,32 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   }
   if (count == 0) return false;
   const SimTime drained_at = now_ns();
+  telemetry::Histogram* const wait_hist = me.wait_hist;
   std::uint64_t bytes = 0;
+  // Bursts are runs of same-flow packets (DRR serves a flow until its
+  // deficit runs out), so fold consecutive packets into one sent_by_flow_
+  // fetch_add per run instead of one per packet.
+  FlowId run_flow = kInvalidFlow;
+  std::uint64_t run_bytes = 0;
   for (const Packet& packet : burst) {
     bytes += packet.size_bytes;
     const SimTime waited = drained_at - packet.enqueued_at;
     const std::uint64_t wait_ns =
         waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
     me.latency.record(wait_ns);
-    if (me.wait_hist != nullptr) me.wait_hist->observe(wait_ns);
-    sent_by_flow_[packet.flow].fetch_add(packet.size_bytes,
-                                         std::memory_order_relaxed);
+    if (wait_hist != nullptr) wait_hist->observe(wait_ns);
+    if (packet.flow != run_flow) {
+      if (run_bytes != 0) {
+        sent_by_flow_[run_flow].fetch_add(run_bytes,
+                                          std::memory_order_relaxed);
+      }
+      run_flow = packet.flow;
+      run_bytes = 0;
+    }
+    run_bytes += packet.size_bytes;
+  }
+  if (run_bytes != 0) {
+    sent_by_flow_[run_flow].fetch_add(run_bytes, std::memory_order_relaxed);
   }
   rec.pacer.consume(bytes);
   rec.packets.fetch_add(count, std::memory_order_relaxed);
@@ -470,6 +558,13 @@ void Runtime::park(Worker& me, SimTime hint_ns) {
   me.parks.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(me.park_mu);
   me.asleep.store(true, std::memory_order_seq_cst);
+  // Fence-fence pairing with offer(): asleep is published before we
+  // re-check the rings, and the producer fences between its ring push and
+  // its asleep probe.  Whichever side's read happens "second" in the
+  // seq_cst order sees the other's write -- so a packet pushed while we
+  // park either finds asleep == true (and kicks) or is found by
+  // ingress_pending() below.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
   if (!me.kicked.load(std::memory_order_seq_cst) &&
       running_.load(std::memory_order_acquire) && !ingress_pending(me)) {
     me.park_cv.wait_for(lock, std::chrono::nanoseconds(hint_ns), [&] {
@@ -491,6 +586,15 @@ void Runtime::kick(std::uint32_t worker) {
     std::lock_guard<std::mutex> lock(target.park_mu);
     target.park_cv.notify_one();
   }
+}
+
+void Runtime::kick_if_asleep(std::uint32_t worker) {
+  if (worker >= workers_.size()) return;  // pre-start offers: nobody to wake
+  Worker& target = *workers_[worker];
+  // Relaxed probe is enough: the caller's seq_cst fence (after its ring
+  // push) paired with park()'s fence provides the Dekker guarantee; the
+  // full kick() path below re-checks with its own ordering.
+  if (target.asleep.load(std::memory_order_relaxed)) kick(worker);
 }
 
 // --- Runtime: introspection ----------------------------------------------

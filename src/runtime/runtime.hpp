@@ -41,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "flow/packet.hpp"
@@ -67,6 +68,13 @@ struct RuntimeOptions {
   std::size_t shards = 1;             ///< scheduler instances (>= 1)
   std::size_t producers = 1;          ///< ingress rings per shard (>= 1)
   std::size_t ring_capacity = 4096;   ///< per ingress ring (rounded to 2^k)
+  /// Max packets pulled from ONE ingress ring per fan-in pass; bounds the
+  /// shard-lock hold time of the fan-in stage (and sizes the batch handed
+  /// to Scheduler::enqueue_batch).  Larger batches amortize the lock and
+  /// the producer/worker wake handshake; the throughput bench sweeps this
+  /// (1024 won on the reference host).  Must stay <= ring_capacity to be
+  /// effective -- pulls are clamped by ring occupancy either way.
+  std::size_t fanin_batch = 1024;
   std::uint64_t burst_bytes = 64 * 1024;   ///< max bytes per dequeue_burst
   std::uint64_t pacer_depth_bytes = 0;     ///< 0 = auto from peak rate
   std::size_t max_flows = 4096;       ///< flow-id arena bound
@@ -111,6 +119,15 @@ class Runtime;
 /// A producer's handle into the runtime: routes packets to shards via the
 /// current RCU snapshot and pushes them into this producer's SPSC rings.
 /// One port per producer index, used by exactly one thread at a time.
+///
+/// Routing is cached per flow and keyed on the control plane's RCU epoch:
+/// the common case (stable configuration) costs one epoch load and one
+/// array index instead of a full RCU critical section per packet.  A
+/// cached route can be stale for the instant between a snapshot swap and
+/// its epoch bump; a packet misrouted in that window is dropped by the
+/// fan-in straggler check exactly like a packet that was already sitting
+/// in a ring when the flow was removed.  Flows spanning more than
+/// kRouteFanout shards skip the cache and take the guard path.
 class IngressPort {
  public:
   /// Offers a packet for `flow` of `size_bytes`.  Stamps the enqueue
@@ -119,7 +136,38 @@ class IngressPort {
   /// Returns false -- without blocking -- when the flow has no hosting
   /// shard or the target ring is full (backpressure; the caller retries or
   /// drops).
-  bool offer(FlowId flow, std::uint32_t size_bytes);
+  bool offer(FlowId flow, std::uint32_t size_bytes) {
+    return offer(flow, size_bytes, nullptr);
+  }
+
+  /// Same, with a wire frame attached (pooled or heap; see net::FramePool).
+  /// The frame rides the Packet through the scheduler and is released --
+  /// from whatever thread drains it -- when the last reference drops.
+  bool offer(FlowId flow, std::uint32_t size_bytes,
+             std::shared_ptr<const net::Frame> frame);
+
+  /// Flushes this port's batched contribution to the runtime-wide
+  /// offered/reject counters (RuntimeStats).  Ports batch those updates
+  /// (one shared-line RMW per ~256 packets instead of per packet) and
+  /// flush on destruction, so runtime-level counts are EXACT once the
+  /// port is gone -- and at most one batch stale while it lives.  The
+  /// port-local offered()/rejected() accessors are always exact.
+  void flush_counters();
+
+  ~IngressPort() { flush_counters(); }
+  IngressPort(IngressPort&& other) noexcept
+      : rt_(other.rt_),
+        producer_(other.producer_),
+        reader_(std::move(other.reader_)),
+        routes_(std::move(other.routes_)),
+        offered_(other.offered_),
+        rejected_(other.rejected_),
+        pending_offered_(std::exchange(other.pending_offered_, 0)),
+        pending_rejects_(std::exchange(other.pending_rejects_, 0)),
+        rr_(other.rr_) {}
+  IngressPort(const IngressPort&) = delete;
+  IngressPort& operator=(const IngressPort&) = delete;
+  IngressPort& operator=(IngressPort&&) = delete;
 
   /// Read access to the current configuration snapshot (for pick-a-flow
   /// loops); never hold the guard across blocking calls.
@@ -130,15 +178,37 @@ class IngressPort {
 
  private:
   friend class Runtime;
+
+  /// Routes cached inline per flow; beyond this fan-out the guard path runs
+  /// every time (such flows are rare and already pay round-robin spreading).
+  static constexpr std::size_t kRouteFanout = 4;
+
+  struct CachedRoute {
+    std::uint64_t epoch = 0;  ///< 0 = never filled (epochs start at 1)
+    std::uint32_t shards[kRouteFanout] = {};
+    std::uint8_t count = 0;          ///< 0 with epoch != 0 = cached no-route
+    bool uncacheable = false;        ///< fan-out exceeds kRouteFanout
+  };
+
   IngressPort(Runtime& rt, std::size_t producer,
-              Rcu<RuntimeSnapshot>::Reader reader)
-      : rt_(rt), producer_(producer), reader_(std::move(reader)) {}
+              Rcu<RuntimeSnapshot>::Reader reader, std::size_t max_flows)
+      : rt_(rt), producer_(producer), reader_(std::move(reader)),
+        routes_(max_flows) {}
+
+  /// Slow path: refresh `routes_[flow]` from the snapshot under an RCU
+  /// guard.  `epoch` must have been read BEFORE the guard was taken (a
+  /// publish racing the refresh then tags the entry with the older epoch,
+  /// which only causes one extra refresh).
+  bool refresh_route(FlowId flow, std::uint64_t epoch);
 
   Runtime& rt_;
   std::size_t producer_;
   Rcu<RuntimeSnapshot>::Reader reader_;
+  std::vector<CachedRoute> routes_;  ///< indexed by FlowId
   std::uint64_t offered_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t pending_offered_ = 0;  ///< not yet folded into rt_.offered_
+  std::uint64_t pending_rejects_ = 0;
   std::uint64_t rr_ = 0;  ///< round-robin cursor for multi-shard flows
 };
 
@@ -236,7 +306,10 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
     std::uint32_t worker = 0;
     IfaceId local_id = 0;
     TokenBucketPacer pacer;  // touched only by the owning worker thread
-    std::atomic<std::uint64_t> packets{0};
+    // Separate line: scrapers read these concurrently with the owning
+    // worker's per-burst updates; without the split every scrape would
+    // invalidate the pacer's line in the worker's cache.
+    alignas(kCacheLine) std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> bytes{0};
   };
 
@@ -246,7 +319,10 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
     std::vector<IfaceId> ifaces;             // owned (global ids)
     std::vector<std::uint32_t> home_shards;  // shards whose fan-in we run
     LatencyHistogram latency;
-    std::atomic<std::uint64_t> dequeued{0};
+    // Hot counters: written per burst by the owning worker, read at scrape
+    // rate elsewhere.  Their own line keeps scrapes (and neighbors in this
+    // struct) from bouncing the worker's write line.
+    alignas(kCacheLine) std::atomic<std::uint64_t> dequeued{0};
     std::atomic<std::uint64_t> dequeued_bytes{0};
     std::atomic<std::uint64_t> bursts{0};
     std::atomic<std::uint64_t> enqueued{0};
@@ -261,9 +337,13 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
     std::size_t span_cap = 0;
     std::atomic<std::uint64_t> spans_dropped{0};
     // Parking: kicked is the wakeup token, asleep gates the notify.
+    // `asleep` gets its own line: every producer polls it once per offer
+    // (the Dekker-style sleep check in IngressPort::offer), and sharing a
+    // line with the counters above would turn each worker counter bump
+    // into an invalidation of every producer's polled copy.
     std::mutex park_mu;
     std::condition_variable park_cv;
-    std::atomic<bool> asleep{false};
+    alignas(kCacheLine) std::atomic<bool> asleep{false};
     std::atomic<bool> kicked{false};
   };
 
@@ -284,6 +364,12 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   void record_span(Worker& me, telemetry::TraceSpan span);
   void park(Worker& me, SimTime hint_ns);
   void kick(std::uint32_t worker);
+  /// Producer-side wakeup: only touches the worker's park machinery when
+  /// its `asleep` flag reads true.  Callers must issue a seq_cst fence
+  /// between publishing work (the ring push) and calling this -- it pairs
+  /// with the fence in park() so either the producer sees `asleep` or the
+  /// parking worker sees the pushed packet (Dekker).
+  void kick_if_asleep(std::uint32_t worker);
   bool ingress_pending(const Worker& me) const;
 
   RuntimeOptions options_;
@@ -291,8 +377,11 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   std::vector<std::unique_ptr<IfaceRec>> ifaces_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::atomic<std::uint64_t>> sent_by_flow_;  // [max_flows]
-  std::atomic<std::uint64_t> offered_{0};
-  std::atomic<std::uint64_t> ring_rejects_{0};
+  // Each global counter on its own line: every producer hits offered_ per
+  // packet, and co-locating it with ring_rejects_ / running_ (read by all
+  // workers per loop) would couple unrelated threads' write sets.
+  alignas(kCacheLine) std::atomic<std::uint64_t> offered_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> ring_rejects_{0};
   // Rate limiters for hot-path warnings (at most one line per second each;
   // suppressed occurrences are reported on the next emitted line).
   LogRateLimiter ring_full_warn_{std::chrono::seconds(1)};

@@ -11,6 +11,23 @@ DrrFamilyScheduler::DrrFamilyScheduler(std::uint32_t quantum_base)
   MIDRR_REQUIRE(quantum_base > 0, "quantum base must be positive");
 }
 
+EnqueueBatchResult DrrFamilyScheduler::enqueue_batch(
+    std::span<Packet> packets, SimTime /*now*/) {
+  EnqueueBatchResult totals;
+  for (Packet& packet : packets) {
+    const FlowId flow = packet.flow;
+    FlowQueue& q = queue(flow);  // REQUIREs the flow exists
+    const bool was_empty = q.empty();
+    if (q.enqueue(std::move(packet))) {
+      ++totals.accepted;
+      if (was_empty) on_backlogged(flow);
+    } else {
+      ++totals.dropped;
+    }
+  }
+  return totals;
+}
+
 std::int64_t DrrFamilyScheduler::quantum_of(FlowId flow) const {
   // Quanta are normalized by the smallest live weight so that EVERY flow's
   // quantum is >= quantum_base (callers keep quantum_base >= MTU).  A

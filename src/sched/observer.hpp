@@ -39,6 +39,16 @@ class SchedulerObserver {
   virtual void on_packet_sent(SimTime /*now*/, FlowId /*flow*/,
                               IfaceId /*iface*/, std::uint32_t /*bytes*/) {}
 
+  /// Batched hand-off summary: one call per dequeue()/dequeue_burst() that
+  /// moved at least one packet, emitted after the per-packet
+  /// on_packet_sent events.  Counting observers (telemetry) fold their
+  /// per-packet increments into this one callback so a burst of N packets
+  /// costs two atomic bumps instead of 2N; tracing observers use the
+  /// per-packet events and ignore this.
+  virtual void on_packets_sent(SimTime /*now*/, IfaceId /*iface*/,
+                               std::uint64_t /*packets*/,
+                               std::uint64_t /*bytes*/) {}
+
   /// The flow's queue drained (it left the backlogged set).
   virtual void on_flow_drained(SimTime /*now*/, FlowId /*flow*/) {}
 };

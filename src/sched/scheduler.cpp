@@ -93,6 +93,21 @@ EnqueueResult Scheduler::enqueue(Packet packet, SimTime now) {
   return result;
 }
 
+EnqueueBatchResult Scheduler::enqueue_batch(std::span<Packet> packets,
+                                            SimTime /*now*/) {
+  EnqueueBatchResult totals;
+  for (Packet& packet : packets) {
+    const SimTime stamp = packet.enqueued_at;
+    const EnqueueResult result = enqueue(std::move(packet), stamp);
+    if (result.accepted) {
+      ++totals.accepted;
+    } else {
+      ++totals.dropped;
+    }
+  }
+  return totals;
+}
+
 void Scheduler::note_dequeued(const Packet& packet, IfaceId iface,
                               SimTime now) {
   MIDRR_ASSERT(prefs_.willing(packet.flow, iface),
@@ -111,6 +126,9 @@ std::optional<Packet> Scheduler::dequeue(IfaceId iface, SimTime now) {
   auto packet = select(iface, now);
   if (packet) {
     note_dequeued(*packet, iface, now);
+    if (observer_ != nullptr) {
+      observer_->on_packets_sent(now, iface, 1, packet->size_bytes);
+    }
   }
   return packet;
 }
@@ -131,6 +149,9 @@ std::size_t Scheduler::dequeue_burst(IfaceId iface, std::uint64_t byte_budget,
     bytes += packet->size_bytes;
     out.push_back(std::move(*packet));
     ++count;
+  }
+  if (count > 0 && observer_ != nullptr) {
+    observer_->on_packets_sent(now, iface, count, bytes);
   }
   return count;
 }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,12 @@
 namespace midrr {
 
 class SchedulerObserver;
+
+/// Totals of a batched enqueue (see Scheduler::enqueue_batch).
+struct EnqueueBatchResult {
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;  ///< capacity tail-drops
+};
 
 /// Result of an enqueue: whether the packet was accepted, and whether the
 /// flow transitioned from idle to backlogged (the caller should then kick
@@ -119,6 +126,19 @@ class Scheduler {
 
   /// Adds a packet to its flow's queue.
   EnqueueResult enqueue(Packet packet, SimTime now);
+
+  /// Batched enqueue: submits every packet in `packets` (consuming them)
+  /// with the same per-packet semantics as repeated enqueue() calls,
+  /// except that each packet keeps the `enqueued_at` stamp it already
+  /// carries -- producers stamp at ingress, and a single shared `now`
+  /// would clobber per-packet arrival times.  `now` is the batch
+  /// submission time (currently unused by the shipped policies).  The
+  /// base implementation loops over enqueue(); the DRR family overrides
+  /// it to skip per-packet virtual hook dispatch.  The point is the
+  /// caller's locking: one shard-lock acquisition and one call per
+  /// ingress fan-in batch instead of one per packet.
+  virtual EnqueueBatchResult enqueue_batch(std::span<Packet> packets,
+                                           SimTime now);
 
   /// Returns the next packet interface `iface` should transmit, or nullopt
   /// if no willing flow is backlogged.  Guaranteed to return a packet of a

@@ -35,9 +35,17 @@ void MetricsObserver::on_flag_skip(SimTime now, FlowId flow, IfaceId iface) {
 
 void MetricsObserver::on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
                                      std::uint32_t bytes) {
-  sends_.inc();
-  sent_bytes_.inc(bytes);
+  // Counting happens in on_packets_sent (one bump per burst); this hook
+  // only forwards to a chained tracer, which wants per-packet events.
   if (chain_ != nullptr) chain_->on_packet_sent(now, flow, iface, bytes);
+}
+
+void MetricsObserver::on_packets_sent(SimTime now, IfaceId iface,
+                                      std::uint64_t packets,
+                                      std::uint64_t bytes) {
+  sends_.inc(packets);
+  sent_bytes_.inc(bytes);
+  if (chain_ != nullptr) chain_->on_packets_sent(now, iface, packets, bytes);
 }
 
 void MetricsObserver::on_flow_drained(SimTime now, FlowId flow) {

@@ -4,7 +4,10 @@
 // allocates on push).  It turns the DRR family's micro-events into
 // counters: turn grants (each grant IS a quantum refresh -- Algorithm 3.1
 // adds Q_i exactly when a turn is granted), Algorithm 3.2 flag skips,
-// packet hand-offs, and queue drains.
+// packet hand-offs, and queue drains.  Packet/byte counting rides the
+// batched on_packets_sent summary (two bumps per dequeue burst instead of
+// two per packet); the per-packet on_packet_sent hook only feeds the
+// chained tracer.
 //
 // Optionally chains to a second observer (e.g. a bounded TraceRecorder for
 // Chrome-trace export) so one scheduler hook feeds both.
@@ -30,6 +33,8 @@ class MetricsObserver final : public SchedulerObserver {
   void on_flag_skip(SimTime now, FlowId flow, IfaceId iface) override;
   void on_packet_sent(SimTime now, FlowId flow, IfaceId iface,
                       std::uint32_t bytes) override;
+  void on_packets_sent(SimTime now, IfaceId iface, std::uint64_t packets,
+                       std::uint64_t bytes) override;
   void on_flow_drained(SimTime now, FlowId flow) override;
 
   std::uint64_t grants() const { return grants_.value(); }

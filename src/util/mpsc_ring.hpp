@@ -1,0 +1,126 @@
+// Bounded lock-free multi-producer / single-consumer ring.
+//
+// This is the Vyukov bounded-queue idiom specialized to many producers and
+// one consumer: each cell carries a sequence number that encodes whether it
+// is free for the producer claiming ticket `pos` (seq == pos) or ready for
+// the consumer (seq == pos + 1).  Producers claim a ticket with one CAS on
+// `tail_`; the consumer runs CAS-free.  A full ring fails the push (the
+// caller falls back to a mutex-protected overflow list -- see PacketPool),
+// so producers never block and never spin unbounded.
+//
+// The packet pool uses this as the *return* ring: worker threads that drop
+// the last reference to a pooled buffer push its slot index here, and the
+// pool's owner thread drains it back into the local freelist.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+/// Cache-line size used for padding shared indices (mirrors rt::kCacheLine;
+/// duplicated here because util must not depend on the runtime layer).
+inline constexpr std::size_t kUtilCacheLine = 64;
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; must be >= 2.
+  explicit MpscRing(std::size_t capacity_hint) {
+    std::size_t cap = 2;
+    while (cap < capacity_hint) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Multi-producer push.  Returns false when the ring is full (the value
+  /// is left untouched so the caller can divert it to a fallback path).
+  bool push(T value) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed `pos`; retry with the new ticket.
+      } else if (dif < 0) {
+        return false;  // full: the cell is still occupied one lap behind
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop.  Only one thread may call pop at a time (the
+  /// pool's owner); concurrent consumers are undefined behavior.
+  bool pop(T& out) {
+    const std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) <
+        0) {
+      return false;  // empty (or a producer still writing the next cell)
+    }
+    out = std::move(cell.value);
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Drains up to `max` elements into `out` (appended).  Single consumer.
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    std::size_t n = 0;
+    T value;
+    while (n < max && pop(value)) {
+      out.push_back(std::move(value));
+      ++n;
+    }
+    return n;
+  }
+
+  /// Approximate occupancy; exact only when producers and consumer are
+  /// quiescent.  Used for gauges and shutdown accounting.
+  std::size_t size_approx() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Producers contend on tail_; the consumer owns head_.  Keep them on
+  // separate cache lines so producer CAS traffic does not invalidate the
+  // consumer's line (layout-audit note: the unpadded version showed head_
+  // and tail_ sharing one line).
+  alignas(kUtilCacheLine) std::atomic<std::uint64_t> tail_{0};
+  alignas(kUtilCacheLine) std::atomic<std::uint64_t> head_{0};
+};
+
+}  // namespace midrr

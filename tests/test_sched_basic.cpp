@@ -416,6 +416,123 @@ TEST(DequeueBurst, StopsAtBudgetWithLastPacketOvershoot) {
       << "any positive budget sends at least the head packet";
 }
 
+// --- enqueue_batch ---------------------------------------------------------
+
+/// enqueue_batch must be an amortization of repeated enqueue() calls, never
+/// a different admission or scheduling discipline: same accept/drop
+/// decisions, and the drained packet sequence must match packet for packet
+/// across every policy (mirrors DequeueBurst.MatchesRepeatedSingleDequeue).
+TEST(EnqueueBatch, MatchesLoopOfSingleEnqueueAcrossPolicies) {
+  for (const Policy policy :
+       {Policy::kMiDrr, Policy::kNaiveDrr, Policy::kPerIfaceWfq,
+        Policy::kRoundRobin, Policy::kFifo, Policy::kStrictPriority}) {
+    SCOPED_TRACE(to_string(policy));
+    auto batch_sched = make_scheduler(policy);
+    auto loop_sched = make_scheduler(policy);
+    std::vector<FlowId> flows[2];
+    int k = 0;
+    for (Scheduler* s : {batch_sched.get(), loop_sched.get()}) {
+      const IfaceId j0 = s->add_interface("j0");
+      const IfaceId j1 = s->add_interface("j1");
+      flows[k].push_back(s->add_flow({.weight = 1.0, .willing = {j0}}));
+      flows[k].push_back(s->add_flow({.weight = 2.0, .willing = {j0, j1}}));
+      flows[k].push_back(s->add_flow({.weight = 0.5, .willing = {j1}}));
+      ++k;
+    }
+
+    // Interleaved multi-flow batch with varied sizes and arrival stamps.
+    const std::uint32_t sizes[] = {1500, 700, 40, 1500, 300, 1000};
+    std::vector<Packet> batch;
+    for (int i = 0; i < 24; ++i) {
+      Packet p(flows[0][static_cast<std::size_t>(i) % 3],
+               sizes[static_cast<std::size_t>(i) % 6]);
+      p.enqueued_at = static_cast<SimTime>(i);
+      batch.push_back(p);
+    }
+    std::vector<Packet> singles = batch;  // same content, loop path
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+      singles[i].flow = flows[1][i % 3];  // translate to loop_sched's ids
+    }
+
+    const EnqueueBatchResult result =
+        batch_sched->enqueue_batch(std::span<Packet>(batch), /*now=*/0);
+    EnqueueBatchResult looped;
+    for (Packet& p : singles) {
+      // Mirror the batch contract: single enqueue stamps enqueued_at = now,
+      // so pass each packet's own arrival time as `now`.
+      const SimTime stamp = p.enqueued_at;
+      if (loop_sched->enqueue(std::move(p), stamp).accepted) ++looped.accepted;
+      else ++looped.dropped;
+    }
+    EXPECT_EQ(result.accepted, looped.accepted);
+    EXPECT_EQ(result.dropped, looped.dropped);
+
+    for (IfaceId j = 0; j < 2u; ++j) {
+      for (;;) {
+        const auto got = batch_sched->dequeue(j, 0);
+        const auto want = loop_sched->dequeue(j, 0);
+        ASSERT_EQ(got.has_value(), want.has_value());
+        if (!got.has_value()) break;
+        EXPECT_EQ(got->size_bytes, want->size_bytes);
+        EXPECT_EQ(got->enqueued_at, want->enqueued_at)
+            << "batch path must preserve per-packet arrival stamps";
+      }
+    }
+  }
+}
+
+TEST(EnqueueBatch, TailDropsMatchSingleEnqueueOnBoundedQueues) {
+  for (const Policy policy : {Policy::kMiDrr, Policy::kNaiveDrr}) {
+    SCOPED_TRACE(to_string(policy));
+    auto batch_sched = make_scheduler(policy);
+    auto loop_sched = make_scheduler(policy);
+    FlowId bf = 0, lf = 0;
+    for (Scheduler* s : {batch_sched.get(), loop_sched.get()}) {
+      const IfaceId j = s->add_interface();
+      const FlowId f = s->add_flow(
+          {.weight = 1.0, .willing = {j}, .queue_capacity_bytes = 3000});
+      (s == batch_sched.get() ? bf : lf) = f;
+    }
+    std::vector<Packet> batch;
+    for (int i = 0; i < 6; ++i) batch.emplace_back(bf, 1000u);
+    const EnqueueBatchResult result =
+        batch_sched->enqueue_batch(std::span<Packet>(batch), 0);
+    EnqueueBatchResult looped;
+    for (int i = 0; i < 6; ++i) {
+      if (loop_sched->enqueue(Packet(lf, 1000u), 0).accepted) ++looped.accepted;
+      else ++looped.dropped;
+    }
+    EXPECT_EQ(result.accepted, looped.accepted);
+    EXPECT_EQ(result.dropped, looped.dropped);
+    EXPECT_EQ(result.accepted, 3u);  // 3000-byte bound, 1000-byte packets
+    EXPECT_EQ(result.dropped, 3u);
+  }
+}
+
+TEST(EnqueueBatch, UnknownFlowIsAPreconditionErrorLikeSingleEnqueue) {
+  // The runtime's fan-in stage translates flow ids and drops strays BEFORE
+  // batching, so an unknown flow inside a batch is a caller bug -- and it
+  // must fail the same way the single-packet path fails.
+  MiDrrScheduler s;
+  const IfaceId j = s.add_interface();
+  const FlowId f = s.add_flow({.weight = 1.0, .willing = {j}});
+  std::vector<Packet> batch;
+  batch.emplace_back(f + 100, 500u);  // never registered
+  EXPECT_THROW(s.enqueue(Packet(f + 100, 500u), 0), PreconditionError);
+  EXPECT_THROW(s.enqueue_batch(std::span<Packet>(batch), 0),
+               PreconditionError);
+}
+
+TEST(EnqueueBatch, EmptySpanIsANoOp) {
+  MiDrrScheduler s;
+  s.add_interface();
+  std::vector<Packet> none;
+  const EnqueueBatchResult result =
+      s.enqueue_batch(std::span<Packet>(none), 0);
+  EXPECT_EQ(result.accepted, 0u);
+  EXPECT_EQ(result.dropped, 0u);
+}
+
 TEST(DequeueBurst, CountsBytesAndEmitsObserverEvents) {
   TraceRecorder trace;
   auto s = make_scheduler(Policy::kMiDrr, {.observer = &trace});

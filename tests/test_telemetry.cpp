@@ -189,7 +189,11 @@ TEST(MetricsObserver, CountsEventsAndChains) {
   MetricsObserver obs(reg, {{"shard", "0"}}, &chained);
   obs.on_turn_granted(0, 1, 0, 1500);
   obs.on_flag_skip(1, 2, 0);
+  // The scheduler emits per-packet on_packet_sent events (feeding chained
+  // tracers) followed by ONE batched on_packets_sent summary per burst;
+  // the counting observer folds its increments into the summary only.
   obs.on_packet_sent(2, 1, 0, 1000);
+  obs.on_packets_sent(2, 0, 1, 1000);
   obs.on_flow_drained(3, 1);
   EXPECT_EQ(obs.grants(), 1u);
   EXPECT_EQ(obs.skips(), 1u);
@@ -199,6 +203,24 @@ TEST(MetricsObserver, CountsEventsAndChains) {
   EXPECT_NE(text.find("midrr_sched_turns_total{shard=\"0\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("midrr_sched_flag_skips_total{shard=\"0\"} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsObserver, BatchedSendSummaryCountsOncePerBurst) {
+  MetricsRegistry reg;
+  MetricsObserver obs(reg, {{"shard", "0"}}, nullptr);
+  // A 3-packet burst: three per-packet events (ignored by the counters),
+  // one summary carrying the totals.
+  obs.on_packet_sent(5, 1, 0, 100);
+  obs.on_packet_sent(5, 1, 0, 200);
+  obs.on_packet_sent(5, 2, 0, 300);
+  EXPECT_EQ(obs.sends(), 0u) << "per-packet events must not double-count";
+  obs.on_packets_sent(5, 0, 3, 600);
+  EXPECT_EQ(obs.sends(), 3u);
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("midrr_sched_packets_sent_total{shard=\"0\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("midrr_sched_sent_bytes_total{shard=\"0\"} 600"),
             std::string::npos);
 }
 

@@ -40,6 +40,12 @@ int usage() {
          "  --rate R        per-interface capacity, e.g. 100mbps"
          " (default: unpaced)\n"
          "  --packet B      packet size in bytes (default 1000)\n"
+         "  --payload M     none|heap|pooled: what each packet carries\n"
+         "                  (default none; pooled uses per-producer frame\n"
+         "                  pools with cross-thread recycling)\n"
+         "  --fanin-batch N max packets per ingress ring per fan-in pass\n"
+         "                  (default 1024)\n"
+         "  --burst-bytes B max bytes per dequeue burst (default 65536)\n"
          "  --policy P      midrr|drr|wfq|rr|fifo|priority (default midrr)\n"
          "  --churn         exercise the control plane during the run\n"
          "  --json          machine-readable report on stdout\n"
@@ -64,6 +70,9 @@ int main(int argc, char** argv) {
   double duration_s = 2.0;
   double rate_bps = 0.0;
   std::uint32_t packet_bytes = 1000;
+  auto payload = LoadGeneratorOptions::PayloadMode::kNone;
+  std::size_t fanin_batch = 0;     // 0 = runtime default
+  std::uint64_t burst_bytes = 0;   // 0 = runtime default
   Policy policy = Policy::kMiDrr;
   bool churn = false;
   bool json = false;
@@ -86,6 +95,17 @@ int main(int argc, char** argv) {
       else if (key == "--rate") rate_bps = parse_rate_bps(value());
       else if (key == "--packet")
         packet_bytes = static_cast<std::uint32_t>(std::stoul(value()));
+      else if (key == "--payload") {
+        const std::string mode = value();
+        if (mode == "none") payload = LoadGeneratorOptions::PayloadMode::kNone;
+        else if (mode == "heap")
+          payload = LoadGeneratorOptions::PayloadMode::kHeap;
+        else if (mode == "pooled")
+          payload = LoadGeneratorOptions::PayloadMode::kPooled;
+        else throw std::runtime_error("unknown payload mode: " + mode);
+      }
+      else if (key == "--fanin-batch") fanin_batch = std::stoul(value());
+      else if (key == "--burst-bytes") burst_bytes = std::stoull(value());
       else if (key == "--policy") policy = parse_policy(value());
       else if (key == "--churn") churn = true;
       else if (key == "--json") json = true;
@@ -106,6 +126,8 @@ int main(int argc, char** argv) {
   options.workers = workers;
   options.shards = shards;
   options.producers = producers;
+  if (fanin_batch != 0) options.fanin_batch = fanin_batch;
+  if (burst_bytes != 0) options.burst_bytes = burst_bytes;
   // Flow ids are never reused, so the arena must cover every churn add
   // (one per ~1 ms of runtime) on top of the static flows.
   options.max_flows =
@@ -176,7 +198,9 @@ int main(int argc, char** argv) {
     LoadGeneratorOptions load;
     load.producers = producers;
     load.packet_bytes = packet_bytes;
+    load.payload = payload;
     LoadGenerator generator(runtime, load);
+    if (telemetry_on) generator.register_pool_metrics(registry);
 
     const auto t0 = std::chrono::steady_clock::now();
     generator.start();
@@ -211,6 +235,22 @@ int main(int argc, char** argv) {
     }
 
     generator.stop();
+    if (payload == LoadGeneratorOptions::PayloadMode::kPooled) {
+      // Let the workers drain everything the generator offered so every
+      // pooled frame is released before we read the leak accounting
+      // (acquired == released).  Bounded: unpaced drains in microseconds;
+      // a paced run may legitimately time out with frames still queued.
+      const auto drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (std::chrono::steady_clock::now() < drain_deadline) {
+        const RuntimeStats s = runtime.stats();
+        if (s.offered == s.enqueued + s.fanin_drops &&
+            s.enqueued == s.dequeued + s.tail_drops) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     if (server != nullptr) server->stop();
     if (sampler != nullptr) sampler->stop();
     runtime.stop();
@@ -232,6 +272,9 @@ int main(int argc, char** argv) {
             .count();
 
     const RuntimeStats stats = runtime.stats();
+    const PacketPoolStats pool = generator.pool_stats();
+    const bool pooled =
+        payload == LoadGeneratorOptions::PayloadMode::kPooled;
     const double pps = static_cast<double>(stats.dequeued) / elapsed;
     const double gbps_out =
         static_cast<double>(stats.dequeued_bytes) * 8.0 / elapsed / 1e9;
@@ -254,7 +297,20 @@ int main(int argc, char** argv) {
           << "\"fanin_drops\":" << stats.fanin_drops << ","
           << "\"tail_drops\":" << stats.tail_drops << ","
           << "\"churn_ops\":" << churn_ops << ","
-          << "\"metrics_series\":" << registry.series_count() << ","
+          << "\"metrics_series\":" << registry.series_count() << ",";
+      if (pooled) {
+        out << "\"pool\":{"
+            << "\"slabs\":" << pool.slabs << ","
+            << "\"capacity_slots\":" << pool.capacity_slots << ","
+            << "\"acquired\":" << pool.acquired << ","
+            << "\"released\":" << pool.released << ","
+            << "\"outstanding\":" << pool.outstanding << ","
+            << "\"misses\":" << pool.misses << ","
+            << "\"cross_thread_returns\":" << pool.cross_thread_returns << ","
+            << "\"overflow_returns\":" << pool.overflow_returns
+            << "},";
+      }
+      out
           << "\"pps\":" << pps << ","
           << "\"gbps\":" << gbps_out << ","
           << "\"latency_p50_ns\":" << stats.latency_p50_ns << ","
@@ -276,6 +332,14 @@ int main(int argc, char** argv) {
                 << "  drops     " << stats.fanin_drops << " fan-in, "
                 << stats.tail_drops << " tail\n";
       if (churn) std::cout << "  churn     " << churn_ops << " control ops\n";
+      if (pooled) {
+        std::cout << "  pool      " << pool.acquired << " acquired / "
+                  << pool.released << " released (" << pool.outstanding
+                  << " outstanding), " << pool.misses << " misses, "
+                  << pool.cross_thread_returns << " cross-thread returns ("
+                  << pool.overflow_returns << " overflowed), " << pool.slabs
+                  << " slabs\n";
+      }
       std::cout << "  latency   p50 " << stats.latency_p50_ns / 1e3
                 << " us, p90 " << stats.latency_p90_ns / 1e3 << " us, p99 "
                 << stats.latency_p99_ns / 1e3 << " us, p99.9 "
