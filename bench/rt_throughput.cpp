@@ -118,6 +118,80 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   return cell;
 }
 
+// Overload cell: one paced interface, equal flows, the generator offering a
+// fixed multiple of capacity.  Records the Jain fairness index of per-flow
+// goodput over the settled window -- the number the shedding watermark is
+// supposed to protect -- plus where the excess went.
+struct OverloadCell {
+  std::uint64_t shed_bytes = 0;
+  double overload = 0;
+  double jain = 0;
+  double utilization = 0;
+  std::uint64_t shed_drops = 0;
+  std::uint64_t tail_drops = 0;
+  double duration_s = 0;
+};
+
+OverloadCell run_overload_cell(std::uint64_t shed_bytes, double overload,
+                               double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kFlows = 8;
+  const double capacity_bps = 200e6;
+  RuntimeOptions options;
+  options.shed_bytes = shed_bytes;
+  options.max_flows = kFlows;
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(capacity_bps));
+  std::vector<FlowId> flows;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    RtFlowSpec spec;
+    spec.willing.push_back(0);
+    spec.name = "f" + std::to_string(i);
+    flows.push_back(runtime.control().add_flow(spec));
+  }
+  runtime.start();
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  load.rate_pps = overload * capacity_bps / (8.0 * 1000.0);
+  LoadGenerator generator(runtime, load);
+  generator.start();
+
+  // Warm up 25% of the budget, measure goodput over the rest.
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s / 4));
+  std::vector<std::uint64_t> before;
+  before.reserve(kFlows);
+  for (const FlowId f : flows) before.push_back(runtime.sent_bytes(f));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(duration_s * 3 / 4));
+  double sum = 0, sq = 0, total = 0;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const double x =
+        static_cast<double>(runtime.sent_bytes(flows[i]) - before[i]);
+    sum += x;
+    sq += x * x;
+    total += x;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  generator.stop();
+  runtime.stop();
+
+  const RuntimeStats stats = runtime.stats();
+  OverloadCell cell;
+  cell.shed_bytes = shed_bytes;
+  cell.overload = overload;
+  cell.jain = sq > 0 ? sum * sum / (static_cast<double>(kFlows) * sq) : 1.0;
+  cell.utilization = total * 8.0 / elapsed / capacity_bps;
+  cell.shed_drops = stats.shed_drops;
+  cell.tail_drops = stats.tail_drops;
+  cell.duration_s = elapsed;
+  return cell;
+}
+
 void emit_cell_common(std::ostringstream& json, const Cell& c) {
   json << "\"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
        << ", \"duration_s\": " << c.duration_s
@@ -181,6 +255,19 @@ int main(int argc, char** argv) {
     payload_cells.push_back(cell);
   }
 
+  // Overload shedding: the same 2x-overloaded cell with the fan-in
+  // watermark off and on.  "Off" still has per-flow queue caps (tail
+  // drops); "on" sheds weight-aware at fan-in and must hold Jain >= 0.9.
+  std::vector<OverloadCell> overload_cells;
+  for (const std::uint64_t shed : {std::uint64_t{0}, std::uint64_t{262144}}) {
+    std::cerr << "rt_throughput: 2x overload, shed_bytes " << shed << "..."
+              << std::flush;
+    const OverloadCell cell = run_overload_cell(shed, 2.0, duration_s);
+    std::cerr << " jain " << cell.jain << ", utilization "
+              << cell.utilization << "\n";
+    overload_cells.push_back(cell);
+  }
+
   std::ostringstream json;
   json << "{\n"
        << "  \"bench\": \"rt_throughput\",\n"
@@ -237,6 +324,17 @@ int main(int argc, char** argv) {
            << ", \"overflow_returns\": " << c.pool.overflow_returns << "}";
     }
     json << "}" << (i + 1 < payload_cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"overload_shedding\": [\n";
+  for (std::size_t i = 0; i < overload_cells.size(); ++i) {
+    const OverloadCell& c = overload_cells[i];
+    json << "    {\"shed_bytes\": " << c.shed_bytes
+         << ", \"overload\": " << c.overload << ", \"jain\": " << c.jain
+         << ", \"utilization\": " << c.utilization
+         << ", \"shed_drops\": " << c.shed_drops
+         << ", \"tail_drops\": " << c.tail_drops
+         << ", \"duration_s\": " << c.duration_s << "}"
+         << (i + 1 < overload_cells.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";
 

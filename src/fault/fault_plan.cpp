@@ -1,0 +1,216 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/json.hpp"
+
+namespace midrr::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIfaceDown: return "iface_down";
+    case FaultKind::kIfaceUp: return "iface_up";
+    case FaultKind::kIfaceFlap: return "iface_flap";
+    case FaultKind::kIfaceScale: return "iface_scale";
+    case FaultKind::kWorkerStall: return "worker_stall";
+    case FaultKind::kIngressDrop: return "ingress_drop";
+    case FaultKind::kIngressDup: return "ingress_dup";
+    case FaultKind::kIngressDelay: return "ingress_delay";
+    case FaultKind::kPoolExhaust: return "pool_exhaust";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t index, const std::string& what) {
+  throw std::runtime_error("fault plan: event " + std::to_string(index) +
+                           ": " + what);
+}
+
+FaultKind parse_kind(std::size_t index, const std::string& name) {
+  for (const FaultKind k :
+       {FaultKind::kIfaceDown, FaultKind::kIfaceUp, FaultKind::kIfaceFlap,
+        FaultKind::kIfaceScale, FaultKind::kWorkerStall,
+        FaultKind::kIngressDrop, FaultKind::kIngressDup,
+        FaultKind::kIngressDelay, FaultKind::kPoolExhaust}) {
+    if (name == to_string(k)) return k;
+  }
+  fail(index, "unknown kind \"" + name + "\"");
+}
+
+/// Required fields per kind, beyond the universal at_ms/kind; everything
+/// else present must come from the optional set.
+struct FieldSpec {
+  std::set<std::string> required;
+  std::set<std::string> optional;
+};
+
+FieldSpec fields_for(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kIfaceDown: return {{"iface"}, {}};
+    case FaultKind::kIfaceUp: return {{"iface"}, {}};
+    case FaultKind::kIfaceFlap:
+      return {{"iface", "period_ms", "duration_ms"}, {"duty"}};
+    case FaultKind::kIfaceScale:
+      return {{"iface", "scale", "duration_ms"}, {}};
+    case FaultKind::kWorkerStall: return {{"worker", "duration_ms"}, {}};
+    case FaultKind::kIngressDrop:
+    case FaultKind::kIngressDup:
+      return {{"probability", "duration_ms"}, {}};
+    case FaultKind::kIngressDelay:
+      return {{"probability", "delay_ms", "duration_ms"}, {}};
+    case FaultKind::kPoolExhaust: return {{"duration_ms"}, {}};
+  }
+  return {};
+}
+
+SimDuration ms_to_ns(double ms) {
+  return static_cast<SimDuration>(ms * 1e6 + 0.5);
+}
+
+double number_field(const JsonValue& obj, std::size_t index,
+                    const std::string& key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(index, "missing field \"" + key + "\"");
+  try {
+    return v->as_number();
+  } catch (const std::exception&) {
+    fail(index, "field \"" + key + "\" must be a number");
+  }
+}
+
+}  // namespace
+
+SimTime FaultPlan::horizon_ns() const {
+  SimTime horizon = 0;
+  for (const FaultEvent& e : events) {
+    if (e.kind == FaultKind::kIfaceDown) {
+      // Open-ended unless a later iface_up revives this interface.
+      const bool revived = std::any_of(
+          events.begin(), events.end(), [&](const FaultEvent& later) {
+            return later.kind == FaultKind::kIfaceUp &&
+                   later.iface == e.iface && later.at_ns >= e.at_ns;
+          });
+      if (!revived) return kSimTimeMax;
+    }
+    horizon = std::max(horizon, e.at_ns + e.duration_ns);
+  }
+  return horizon;
+}
+
+FaultPlan FaultPlan::parse_json(std::string_view text) {
+  const JsonValue doc = JsonValue::parse(text);
+  if (!doc.is_object()) {
+    throw std::runtime_error("fault plan: top level must be an object");
+  }
+  for (const std::string& key : doc.keys()) {
+    if (key != "seed" && key != "events") {
+      throw std::runtime_error("fault plan: unknown top-level key \"" + key +
+                               "\"");
+    }
+  }
+  FaultPlan plan;
+  if (const JsonValue* seed = doc.find("seed"); seed != nullptr) {
+    const double s = seed->as_number();
+    if (s < 0 || s != std::floor(s)) {
+      throw std::runtime_error("fault plan: seed must be a whole number >= 0");
+    }
+    plan.seed = static_cast<std::uint64_t>(s);
+  }
+  const JsonValue* events = doc.find("events");
+  if (events == nullptr || !events->is_array()) {
+    throw std::runtime_error("fault plan: missing \"events\" array");
+  }
+  std::size_t index = 0;
+  for (const JsonValue& entry : events->as_array()) {
+    if (!entry.is_object()) fail(index, "must be an object");
+    const JsonValue* kind_v = entry.find("kind");
+    if (kind_v == nullptr) fail(index, "missing field \"kind\"");
+    FaultEvent e;
+    e.kind = parse_kind(index, kind_v->as_string());
+    const FieldSpec spec = fields_for(e.kind);
+    for (const std::string& key : entry.keys()) {
+      if (key == "kind" || key == "at_ms") continue;
+      if (spec.required.count(key) == 0 && spec.optional.count(key) == 0) {
+        fail(index, std::string("unknown field \"") + key + "\" for kind " +
+                        to_string(e.kind));
+      }
+    }
+    const double at_ms = number_field(entry, index, "at_ms");
+    if (at_ms < 0) fail(index, "at_ms must be >= 0");
+    e.at_ns = ms_to_ns(at_ms);
+    for (const std::string& key : spec.required) {
+      if (entry.find(key) == nullptr) {
+        fail(index, std::string("kind ") + to_string(e.kind) +
+                        " requires field \"" + key + "\"");
+      }
+    }
+    if (entry.find("iface") != nullptr) {
+      const double v = number_field(entry, index, "iface");
+      if (v < 0 || v != std::floor(v)) fail(index, "iface must be an index");
+      e.iface = static_cast<IfaceId>(v);
+    }
+    if (entry.find("worker") != nullptr) {
+      const double v = number_field(entry, index, "worker");
+      if (v < 0 || v != std::floor(v)) fail(index, "worker must be an index");
+      e.worker = static_cast<std::uint32_t>(v);
+    }
+    if (entry.find("duration_ms") != nullptr) {
+      const double v = number_field(entry, index, "duration_ms");
+      if (v <= 0) fail(index, "duration_ms must be > 0");
+      e.duration_ns = ms_to_ns(v);
+    }
+    if (entry.find("period_ms") != nullptr) {
+      const double v = number_field(entry, index, "period_ms");
+      if (v <= 0) fail(index, "period_ms must be > 0");
+      e.period_ns = ms_to_ns(v);
+    }
+    if (entry.find("delay_ms") != nullptr) {
+      const double v = number_field(entry, index, "delay_ms");
+      if (v <= 0) fail(index, "delay_ms must be > 0");
+      e.delay_ns = ms_to_ns(v);
+    }
+    if (entry.find("probability") != nullptr) {
+      e.probability = number_field(entry, index, "probability");
+      if (e.probability < 0.0 || e.probability > 1.0) {
+        fail(index, "probability must be in [0, 1]");
+      }
+    }
+    if (entry.find("scale") != nullptr) {
+      e.scale = number_field(entry, index, "scale");
+      if (e.scale < 0.0 || e.scale > 1.0) {
+        fail(index, "scale must be in [0, 1] (use iface_up to restore)");
+      }
+    }
+    if (entry.find("duty") != nullptr) {
+      e.duty = number_field(entry, index, "duty");
+      if (e.duty <= 0.0 || e.duty >= 1.0) {
+        fail(index, "duty must be in (0, 1)");
+      }
+    }
+    plan.events.push_back(e);
+    ++index;
+  }
+  std::stable_sort(
+      plan.events.begin(), plan.events.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_ns < b.at_ns; });
+  return plan;
+}
+
+FaultPlan FaultPlan::parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("fault plan: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_json(buffer.str());
+}
+
+}  // namespace midrr::fault

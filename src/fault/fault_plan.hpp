@@ -1,0 +1,95 @@
+// FaultPlan: a deterministic, declarative schedule of failures.
+//
+// The paper's headline dynamic claim is that miDRR "adjusts seamlessly"
+// when interfaces come, go, or change capacity.  A FaultPlan makes those
+// events -- and the uglier ones real multi-homed stacks see (flapping
+// radios, stalled threads, lossy ingress, exhausted buffer pools) -- a
+// first-class, replayable input: a seeded list of timed events that the
+// FaultInjector compiles into per-target timelines and applies to a live
+// Runtime.  Two runs with the same plan (same seed) inject byte-for-byte
+// the same faults, so chaos tests are regressions, not dice rolls.
+//
+// Wire format (JSON; see docs/ROBUSTNESS.md for the full schema):
+//
+//   {
+//     "seed": 42,
+//     "events": [
+//       {"at_ms": 500,  "kind": "iface_down", "iface": 1},
+//       {"at_ms": 900,  "kind": "iface_flap", "iface": 1,
+//        "period_ms": 100, "duty": 0.5, "duration_ms": 600},
+//       {"at_ms": 2000, "kind": "iface_up",   "iface": 1},
+//       {"at_ms": 300,  "kind": "iface_scale", "iface": 0, "scale": 0.25,
+//        "duration_ms": 400},
+//       {"at_ms": 400,  "kind": "worker_stall", "worker": 0,
+//        "duration_ms": 250},
+//       {"at_ms": 100,  "kind": "ingress_drop", "probability": 0.01,
+//        "duration_ms": 1000},
+//       {"at_ms": 100,  "kind": "ingress_dup", "probability": 0.01,
+//        "duration_ms": 1000},
+//       {"at_ms": 100,  "kind": "ingress_delay", "probability": 0.02,
+//        "delay_ms": 5, "duration_ms": 1000},
+//       {"at_ms": 600,  "kind": "pool_exhaust", "duration_ms": 200}
+//     ]
+//   }
+//
+// Times are milliseconds since Runtime::start().  Unknown keys, unknown
+// kinds, and missing required fields are hard parse errors -- a typo'd
+// chaos plan must fail loudly, not silently do nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "util/time.hpp"
+
+namespace midrr::fault {
+
+enum class FaultKind : std::uint8_t {
+  kIfaceDown,     ///< interface dead from `at` until a matching iface_up
+  kIfaceUp,       ///< revive an interface (cancels down/flap/scale)
+  kIfaceFlap,     ///< square-wave up/down with `duty` fraction up
+  kIfaceScale,    ///< capacity multiplied by `scale` for `duration`
+  kWorkerStall,   ///< worker parks at its safe point for `duration`
+  kIngressDrop,   ///< each offer dropped with `probability` (counted)
+  kIngressDup,    ///< each offer duplicated with `probability`
+  kIngressDelay,  ///< each offer delayed by `delay` with `probability`
+  kPoolExhaust,   ///< packet-pool acquires fail for `duration`
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kIfaceDown;
+  SimTime at_ns = 0;
+  SimDuration duration_ns = 0;  ///< 0 = until cancelled (iface_down) / no-op
+  IfaceId iface = kInvalidIface;       ///< iface_* kinds
+  std::uint32_t worker = 0;            ///< worker_stall
+  double probability = 0.0;            ///< ingress_* kinds
+  SimDuration delay_ns = 0;            ///< ingress_delay
+  double scale = 1.0;                  ///< iface_scale
+  SimDuration period_ns = 0;           ///< iface_flap
+  double duty = 0.5;                   ///< iface_flap: fraction of period up
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultEvent> events;  ///< sorted by at_ns after parsing
+
+  bool empty() const { return events.empty(); }
+
+  /// Last instant any event in the plan can still be active (kSimTimeMax
+  /// when an open-ended iface_down is never revived).
+  SimTime horizon_ns() const;
+
+  /// Parses and validates a JSON plan document.  Throws std::runtime_error
+  /// (or JsonError) with a message naming the offending event/field.
+  static FaultPlan parse_json(std::string_view text);
+
+  /// Reads and parses `path`; throws on I/O or parse failure.
+  static FaultPlan parse_file(const std::string& path);
+};
+
+}  // namespace midrr::fault

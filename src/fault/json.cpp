@@ -1,0 +1,270 @@
+#include "fault/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace midrr::fault {
+
+namespace {
+
+bool is_json_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue v = value();
+    skip_space();
+    if (pos_ != text_.size()) {
+      throw JsonError("trailing characters after JSON document", pos_);
+    }
+    return v;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() && is_json_space(text_[pos_])) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) throw JsonError("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      throw JsonError(std::string("expected '") + c + "'", pos_);
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue value() {
+    skip_space();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = string();
+        return v;
+      }
+      case 't':
+        if (consume_literal("true")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = true;
+          return v;
+        }
+        throw JsonError("bad literal", pos_);
+      case 'f':
+        if (consume_literal("false")) {
+          JsonValue v;
+          v.kind_ = JsonValue::Kind::kBool;
+          v.bool_ = false;
+          return v;
+        }
+        throw JsonError("bad literal", pos_);
+      case 'n':
+        if (consume_literal("null")) return JsonValue{};
+        throw JsonError("bad literal", pos_);
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    skip_space();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_space();
+      const std::string key = string();
+      skip_space();
+      expect(':');
+      if (!v.object_.emplace(key, value()).second) {
+        throw JsonError("duplicate key \"" + key + "\"", pos_);
+      }
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    skip_space();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(value());
+      skip_space();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        throw JsonError("unterminated string", pos_);
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        throw JsonError("raw control character in string", pos_ - 1);
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw JsonError("dangling escape", pos_);
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Plans are ASCII in practice; decode BMP code points to UTF-8 and
+          // reject surrogate pairs (nothing a fault plan needs).
+          if (pos_ + 4 > text_.size()) throw JsonError("bad \\u escape", pos_);
+          unsigned int cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else throw JsonError("bad \\u escape", pos_ - 1);
+          }
+          if (cp >= 0xD800 && cp <= 0xDFFF) {
+            throw JsonError("surrogate pairs unsupported", pos_);
+          }
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: throw JsonError("unknown escape", pos_ - 1);
+      }
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") throw JsonError("bad number", start);
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      throw JsonError("bad number \"" + token + "\"", start);
+    }
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kNumber;
+    v.number_ = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) {
+  return JsonParser(text).run();
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) {
+    throw std::runtime_error("JSON value is not a number");
+  }
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) {
+    throw std::runtime_error("JSON value is not a string");
+  }
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  if (kind_ != Kind::kArray) {
+    throw std::runtime_error("JSON value is not an array");
+  }
+  return array_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    throw std::runtime_error("JSON value is not an object");
+  }
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> JsonValue::keys() const {
+  if (kind_ != Kind::kObject) {
+    throw std::runtime_error("JSON value is not an object");
+  }
+  std::vector<std::string> out;
+  out.reserve(object_.size());
+  for (const auto& [k, v] : object_) out.push_back(k);
+  return out;
+}
+
+}  // namespace midrr::fault

@@ -1,0 +1,65 @@
+// Minimal JSON reader for fault plans.
+//
+// The library deliberately has no third-party dependencies, and until now
+// only WROTE JSON (Chrome traces, /flows).  Fault plans are the first
+// input that arrives as JSON, so this is the smallest conforming reader
+// that covers them: objects, arrays, strings (with escapes), numbers,
+// booleans, null.  It parses into an immutable Value tree; there is no
+// writer, no streaming, and no attempt to preserve key order or number
+// formatting -- plan files are small and parsed once at startup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace midrr::fault {
+
+/// Thrown on malformed input; carries a byte offset for error messages.
+struct JsonError : std::runtime_error {
+  JsonError(const std::string& what, std::size_t at)
+      : std::runtime_error(what + " (at byte " + std::to_string(at) + ")") {}
+};
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document; trailing non-whitespace is an error.
+  static JsonValue parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw JsonError-free std::runtime_error on kind
+  /// mismatch (schema errors, reported with the offending key by callers).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+
+  /// Object lookup; nullptr when the key is absent (callers decide whether
+  /// that is an error or a default).
+  const JsonValue* find(const std::string& key) const;
+
+  /// Keys present in an object (schema validation: reject unknown keys so
+  /// a typo'd "duraton_ms" fails loudly instead of silently defaulting).
+  std::vector<std::string> keys() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+
+  friend class JsonParser;
+};
+
+}  // namespace midrr::fault

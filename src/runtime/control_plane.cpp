@@ -53,6 +53,25 @@ std::vector<IfaceId> ControlPlane::willing_in_shard(
   return subset;
 }
 
+std::vector<IfaceId> ControlPlane::live_subset_locked(
+    const std::vector<IfaceId>& willing) const {
+  if (down_.empty()) return willing;
+  std::vector<IfaceId> live;
+  for (const IfaceId j : willing) {
+    if (!down_[j]) live.push_back(j);
+  }
+  return live;
+}
+
+RtFlowSpec ControlPlane::spec_of(const SnapshotFlow& entry) {
+  RtFlowSpec spec;
+  spec.weight = entry.weight;
+  spec.willing = entry.willing;
+  spec.name = entry.name;
+  spec.queue_capacity_bytes = entry.queue_capacity_bytes;
+  return spec;
+}
+
 FlowId ControlPlane::add_flow(const RtFlowSpec& spec) {
   MIDRR_REQUIRE(spec.weight > 0.0, "flow weight must be positive");
   std::lock_guard<std::mutex> lock(mu_);
@@ -66,8 +85,12 @@ FlowId ControlPlane::add_flow(const RtFlowSpec& spec) {
   std::sort(entry.willing.begin(), entry.willing.end());
   entry.willing.erase(std::unique(entry.willing.begin(), entry.willing.end()),
                       entry.willing.end());
-  entry.shards = shards_of(entry.willing);  // throws on unknown interfaces
+  shards_of(entry.willing);  // validates: throws on unknown interfaces
+  const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
+  entry.shards = shards_of(live_willing);
+  entry.quarantined = entry.shards.empty() && !entry.willing.empty();
   entry.name = spec.name;
+  entry.queue_capacity_bytes = spec.queue_capacity_bytes;
   MIDRR_REQUIRE(next_flow_ < max_flows_,
                 "flow arena exhausted (RuntimeOptions::max_flows)");
   const FlowId flow = next_flow_++;
@@ -77,7 +100,7 @@ FlowId ControlPlane::add_flow(const RtFlowSpec& spec) {
   // producer can route a packet to it.
   for (const std::uint32_t s : entry.shards) {
     applier_.shard_add_flow(s, flow, spec,
-                            willing_in_shard(entry.willing, s));
+                            willing_in_shard(live_willing, s));
   }
 
   if (latest_.flows.size() <= flow) latest_.flows.resize(flow + 1);
@@ -99,6 +122,7 @@ void ControlPlane::remove_flow(FlowId flow) {
   // the shards forget the flow (stragglers in ingress rings get dropped by
   // the fan-in stage).
   latest_.flows[flow].live = false;
+  latest_.flows[flow].quarantined = false;
   latest_.flows[flow].shards.clear();
   latest_.live.erase(
       std::find(latest_.live.begin(), latest_.live.end(), flow));
@@ -132,10 +156,6 @@ void ControlPlane::set_willing(FlowId flow, IfaceId iface, bool value) {
                                       entry.willing.end(), iface);
   if (had == value) return;
 
-  const std::uint32_t shard = shard_of_iface_[iface];
-  const bool hosted =
-      std::binary_search(entry.shards.begin(), entry.shards.end(), shard);
-
   std::vector<IfaceId> new_willing = entry.willing;
   if (value) {
     new_willing.insert(
@@ -145,41 +165,117 @@ void ControlPlane::set_willing(FlowId flow, IfaceId iface, bool value) {
     new_willing.erase(
         std::find(new_willing.begin(), new_willing.end(), iface));
   }
-  const bool still_hosted = !willing_in_shard(new_willing, shard).empty();
 
-  if (value && !hosted) {
-    // Coverage grows: register the flow in the new shard before publishing.
-    RtFlowSpec spec;
-    spec.weight = entry.weight;
-    spec.willing = new_willing;
-    spec.name = entry.name;
-    applier_.shard_add_flow(shard, flow, spec, {iface});
-    entry.shards.insert(
-        std::lower_bound(entry.shards.begin(), entry.shards.end(), shard),
-        shard);
-  } else if (value) {
-    applier_.shard_set_willing(shard, flow, iface, true);
+  // Hosting is computed over LIVE willing interfaces: flipping a bit on a
+  // dead interface edits Pi but moves nothing until a revive re-steers.
+  const std::uint32_t shard = shard_of_iface_[iface];
+  const bool iface_live = down_.empty() || !down_[iface];
+  const std::vector<IfaceId> new_live = live_subset_locked(new_willing);
+  const std::vector<std::uint32_t> old_shards = entry.shards;
+  const std::vector<std::uint32_t> new_shards = shards_of(new_live);
+  const bool was_hosted =
+      std::binary_search(old_shards.begin(), old_shards.end(), shard);
+  const bool now_hosted =
+      std::binary_search(new_shards.begin(), new_shards.end(), shard);
+
+  if (iface_live && value) {
+    // Coverage grows: register before publishing.
+    if (!was_hosted) {
+      RtFlowSpec spec = spec_of(entry);
+      spec.willing = new_willing;
+      applier_.shard_add_flow(shard, flow, spec,
+                              willing_in_shard(new_live, shard));
+    } else {
+      applier_.shard_set_willing(shard, flow, iface, true);
+    }
   }
 
   entry.willing = std::move(new_willing);
+  entry.shards = new_shards;
+  entry.quarantined = new_shards.empty() && !entry.willing.empty();
   ++latest_.version;
+  publish_locked(clone_locked());
 
-  if (!value && hosted && !still_hosted) {
+  if (iface_live && !value) {
     // Coverage shrinks: publish first, then drop the flow from the shard
     // (its queue there is discarded -- same as interface-loss semantics in
     // the simulator: packets stay with the flow only within a scheduler).
-    entry.shards.erase(
-        std::find(entry.shards.begin(), entry.shards.end(), shard));
-    publish_locked(clone_locked());
-    applier_.shard_remove_flow(shard, flow);
-    return;
+    if (was_hosted && !now_hosted) {
+      applier_.shard_remove_flow(shard, flow);
+    } else if (was_hosted) {
+      applier_.shard_set_willing(shard, flow, iface, false);
+    }
   }
-  if (!value && hosted) {
-    publish_locked(clone_locked());
-    applier_.shard_set_willing(shard, flow, iface, false);
-    return;
+}
+
+void ControlPlane::set_iface_down(IfaceId iface, bool down) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MIDRR_REQUIRE(iface < shard_of_iface_.size(),
+                "set_iface_down for unknown interface");
+  if (down_.empty()) down_.assign(shard_of_iface_.size(), false);
+  if (down_[iface] == down) return;
+  down_[iface] = down;
+  latest_.iface_down = down_;
+
+  struct Removal {
+    std::uint32_t shard;
+    FlowId flow;
+  };
+  std::vector<Removal> removals;
+  const std::uint32_t iface_shard = shard_of_iface_[iface];
+
+  for (const FlowId id : latest_.live) {
+    SnapshotFlow& entry = latest_.flows[id];
+    if (!std::binary_search(entry.willing.begin(), entry.willing.end(),
+                            iface)) {
+      continue;
+    }
+    const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
+    const std::vector<std::uint32_t> new_shards = shards_of(live_willing);
+
+    // Grow side before the publish: a producer may only route to a shard
+    // that already knows the flow.
+    for (const std::uint32_t s : new_shards) {
+      if (!std::binary_search(entry.shards.begin(), entry.shards.end(), s)) {
+        applier_.shard_add_flow(s, id, spec_of(entry),
+                                willing_in_shard(live_willing, s));
+      } else if (!down && s == iface_shard) {
+        // Shard hosted the flow throughout; make sure the revived
+        // interface's willing bit is set there (it is cleared when a
+        // re-add while the interface was dead registered only the live
+        // subset).  Idempotent when the bit never went away.
+        applier_.shard_set_willing(s, id, iface, true);
+      }
+    }
+    for (const std::uint32_t s : entry.shards) {
+      if (!std::binary_search(new_shards.begin(), new_shards.end(), s)) {
+        removals.push_back(Removal{s, id});
+      }
+    }
+    entry.shards = new_shards;
+    entry.quarantined = new_shards.empty() && !entry.willing.empty();
   }
+
+  ++latest_.version;
   publish_locked(clone_locked());
+
+  // Shrink side after the publish: producers already stopped routing here;
+  // queued packets become counted straggler drops at the shard.
+  for (const Removal& r : removals) applier_.shard_remove_flow(r.shard, r.flow);
+}
+
+bool ControlPlane::iface_down(IfaceId iface) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return iface < down_.size() && down_[iface];
+}
+
+std::size_t ControlPlane::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const FlowId id : latest_.live) {
+    if (latest_.flows[id].quarantined) ++n;
+  }
+  return n;
 }
 
 }  // namespace midrr::rt

@@ -47,10 +47,16 @@ struct RtFlowSpec {
 struct SnapshotFlow {
   FlowId id = kInvalidFlow;
   bool live = false;
+  /// Live with a non-empty Pi row but no LIVE willing interface: the flow
+  /// keeps its preferences and id, producers' offers are rejected and
+  /// counted (never silently dropped), and the next revive re-steers it
+  /// back onto the data plane.
+  bool quarantined = false;
   double weight = 1.0;
   std::vector<IfaceId> willing{};        ///< global iface ids, ascending
   std::vector<std::uint32_t> shards{};   ///< shards hosting this flow, ascending
   std::string name{};
+  std::uint64_t queue_capacity_bytes = 512 * 1024;
 };
 
 /// An immutable configuration snapshot.  Built by the control plane,
@@ -60,6 +66,9 @@ struct RuntimeSnapshot {
   std::vector<SnapshotFlow> flows{};  ///< indexed by FlowId (slots, not live count)
   std::vector<FlowId> live{};         ///< live flow ids, ascending
   std::size_t iface_count = 0;
+  /// Administratively-dead interfaces (supervisor verdicts); empty means
+  /// all up.  Indexed by global interface id when non-empty.
+  std::vector<bool> iface_down{};
 
   const SnapshotFlow* flow(FlowId id) const {
     return id < flows.size() && flows[id].live ? &flows[id] : nullptr;
@@ -107,6 +116,22 @@ class ControlPlane {
   /// remove_flow semantics there).
   void set_willing(FlowId flow, IfaceId iface, bool value);
 
+  /// Marks a global interface administratively dead (or revives it) and
+  /// re-steers every affected flow in ONE publish: hosting shards are
+  /// recomputed over live willing interfaces only, newly-covered shards are
+  /// registered before the publish, shards left without any live willing
+  /// interface are dropped after it (their queued packets become counted
+  /// straggler drops), and flows whose entire Pi row is dead are
+  /// quarantined -- preferences kept, offers rejected upstream -- until a
+  /// revive re-steers them back.  Pi itself is never edited: the supervisor
+  /// masks reality, the user still owns preferences (Section 4's contract).
+  void set_iface_down(IfaceId iface, bool down);
+
+  bool iface_down(IfaceId iface) const;
+
+  /// Number of currently-quarantined live flows (telemetry gauge).
+  std::size_t quarantined_count() const;
+
   // --- Read side ---------------------------------------------------------
 
   /// Claims a reader slot for the calling thread (hold one per thread,
@@ -136,10 +161,14 @@ class ControlPlane {
   std::vector<std::uint32_t> shards_of(const std::vector<IfaceId>& willing) const;
   std::vector<IfaceId> willing_in_shard(const std::vector<IfaceId>& willing,
                                         std::uint32_t shard) const;
+  std::vector<IfaceId> live_subset_locked(
+      const std::vector<IfaceId>& willing) const;
+  static RtFlowSpec spec_of(const SnapshotFlow& entry);
 
   ShardApplier& applier_;
   std::vector<std::uint32_t> shard_of_iface_;
   std::size_t max_flows_;
+  std::vector<bool> down_;  // guarded by mu_; empty until first set_iface_down
 
   mutable std::mutex mu_;      // serializes writers; guards latest_
   RuntimeSnapshot latest_;     // writer's working copy (source of truth)

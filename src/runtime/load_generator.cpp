@@ -192,6 +192,17 @@ void LoadGenerator::producer_main(std::size_t index) {
     if (cursor >= live.size()) cursor = 0;
     const FlowId flow = live[cursor];
     ++cursor;
+    // Injected pool exhaustion: the acquire fails as if every slab were
+    // pinned downstream; the packet is never built (counted by the
+    // injector AND as a producer-side reject).
+    if (fault::FaultInjector* const injector = rt_.fault();
+        injector != nullptr && injector->has_pool_faults() &&
+        injector->pool_exhausted(rt_.now_ns())) {
+      injector->note_pool_reject();
+      ++rejected;
+      std::this_thread::yield();
+      continue;
+    }
     std::shared_ptr<const net::Frame> frame;
     if (pool != nullptr) {
       frame = pool->make_filled(options_.packet_bytes,

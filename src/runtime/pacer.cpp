@@ -24,12 +24,36 @@ TokenBucketPacer::TokenBucketPacer(RateProfile profile,
   MIDRR_REQUIRE(depth_bytes > 0, "pacer depth must be positive");
 }
 
+namespace {
+
+/// Longest elapsed interval one refill will integrate.  Anything beyond it
+/// (suspend/resume, a worker stalled for seconds, a forward clock step) is
+/// forgiven rather than credited: the bucket cap already bounds the burst
+/// to `depth_bytes`, and the clamp bounds the integration walk over
+/// fast-switching profiles (a square wave with a 1 ms period must not cost
+/// a million segments after an hour of sleep).
+constexpr SimDuration kMaxCatchupNs = kSecond;
+
+}  // namespace
+
 void TokenBucketPacer::refill(SimTime now_ns) {
-  if (!profile_ || now_ns <= last_ns_) return;
+  if (!profile_) return;
+  if (now_ns < last_ns_) {
+    // Clock went backwards (step adjustment, cross-CPU skew surfacing
+    // through the runtime clock).  Re-anchor at the new "now" and grant
+    // nothing for the ambiguous interval: freezing until the old timeline
+    // catches up would mute the link for the entire step, and any
+    // double-credit after re-anchoring is capped at one bucket depth.
+    last_ns_ = now_ns;
+    publish_tokens();
+    return;
+  }
+  if (now_ns == last_ns_) return;
+  if (now_ns - last_ns_ > kMaxCatchupNs) last_ns_ = now_ns - kMaxCatchupNs;
   // Integrate the piecewise-constant profile over (last_ns_, now_ns].
   SimTime t = last_ns_;
   while (t < now_ns) {
-    const double rate_bps = profile_->rate_at(t);
+    const double rate_bps = profile_->rate_at(t) * scale_;
     const SimTime next = std::min(now_ns, profile_->next_change_after(t));
     if (rate_bps > 0.0) {
       tokens_ += rate_bps / 8.0 * to_seconds(next - t);
@@ -42,7 +66,7 @@ void TokenBucketPacer::refill(SimTime now_ns) {
 }
 
 std::uint64_t TokenBucketPacer::budget_bytes(SimTime now_ns) {
-  if (!profile_) return static_cast<std::uint64_t>(depth_);
+  if (!profile_) return static_cast<std::uint64_t>(depth_ * scale_);
   refill(now_ns);
   if (tokens_ < 1.0) return 0;
   return static_cast<std::uint64_t>(tokens_);
@@ -50,16 +74,23 @@ std::uint64_t TokenBucketPacer::budget_bytes(SimTime now_ns) {
 
 void TokenBucketPacer::consume(std::uint64_t bytes) {
   if (!profile_) return;
-  tokens_ -= static_cast<double>(bytes);
+  tokens_ = std::max(tokens_ - static_cast<double>(bytes), -depth_);
   publish_tokens();
 }
 
+void TokenBucketPacer::set_rate_scale(double scale, SimTime now_ns) {
+  MIDRR_REQUIRE(scale >= 0.0 && scale <= 1.0, "rate scale outside [0, 1]");
+  refill(now_ns);  // price already-elapsed time at the old scale
+  scale_ = scale;
+}
+
 SimTime TokenBucketPacer::ns_until_bytes(std::uint64_t bytes, SimTime now_ns) {
+  if (scale_ <= 0.0) return kSimTimeMax;  // killed: callers clamp the sleep
   if (!profile_) return 0;
   refill(now_ns);
   const double need = static_cast<double>(bytes) - tokens_;
   if (need <= 0.0) return 0;
-  const double rate_bps = profile_->rate_at(now_ns);
+  const double rate_bps = profile_->rate_at(now_ns) * scale_;
   if (rate_bps <= 0.0) {
     // Link is down: sleep until the profile's next change point (or
     // "forever", which callers clamp to their own maximum).

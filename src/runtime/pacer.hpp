@@ -43,6 +43,7 @@ class TokenBucketPacer {
       : profile_(std::move(other.profile_)),
         depth_(other.depth_),
         tokens_(other.tokens_),
+        scale_(other.scale_),
         last_ns_(other.last_ns_) {
     publish_tokens();
   }
@@ -50,6 +51,7 @@ class TokenBucketPacer {
     profile_ = std::move(other.profile_);
     depth_ = other.depth_;
     tokens_ = other.tokens_;
+    scale_ = other.scale_;
     last_ns_ = other.last_ns_;
     publish_tokens();
     return *this;
@@ -63,7 +65,20 @@ class TokenBucketPacer {
   std::uint64_t budget_bytes(SimTime now_ns);
 
   /// Spends `bytes` of budget; may overshoot what budget_bytes granted.
+  /// Debt is clamped to one bucket depth: a single pathological overshoot
+  /// (or a clock anomaly that starved the refill) can never mute the link
+  /// for longer than one full bucket of payback.
   void consume(std::uint64_t bytes);
+
+  /// Multiplies every grant -- profile integration and unlimited budgets --
+  /// by `scale` in [0, 1] from `now_ns` on.  0 kills the link, values in
+  /// between collapse its capacity, 1 restores it.  The fault layer and
+  /// supervisor drive this; the profile itself stays immutable.  Refills up
+  /// to `now_ns` first so the change does not re-price already-elapsed
+  /// time.  Same thread contract as the rest of the class: owning worker
+  /// only.
+  void set_rate_scale(double scale, SimTime now_ns);
+  double rate_scale() const { return scale_; }
 
   /// Hint: nanoseconds until roughly `bytes` of budget accumulate (0 if
   /// already available).  Workers use it to bound their idle sleep; it is
@@ -94,6 +109,7 @@ class TokenBucketPacer {
   std::optional<RateProfile> profile_;
   double depth_;
   double tokens_;
+  double scale_ = 1.0;
   std::atomic<double> published_tokens_{0.0};
   SimTime last_ns_ = 0;
 };

@@ -30,6 +30,25 @@ std::uint64_t auto_depth(const RateProfile& profile,
 
 // --- IngressPort ---------------------------------------------------------
 
+IngressPort::IngressPort(Runtime& rt, std::size_t producer,
+                         Rcu<RuntimeSnapshot>::Reader reader,
+                         std::size_t max_flows)
+    : rt_(rt),
+      producer_(producer),
+      reader_(std::move(reader)),
+      routes_(max_flows) {
+  if (rt_.options_.fault != nullptr && rt_.options_.fault->has_ingress_faults()) {
+    ingress_rng_ = rt_.options_.fault->fork_ingress_rng(producer);
+  }
+}
+
+IngressPort::~IngressPort() {
+  // Delayed packets must not silently die with the port: release them all
+  // now (ring-full releases become counted rejects).
+  flush_delayed(/*now=*/0, /*force=*/true);
+  flush_counters();
+}
+
 bool IngressPort::refresh_route(FlowId flow, std::uint64_t epoch) {
   CachedRoute& route = routes_[flow];
   const auto guard = reader_.lock();
@@ -38,9 +57,11 @@ bool IngressPort::refresh_route(FlowId flow, std::uint64_t epoch) {
     route.epoch = epoch;
     route.count = 0;
     route.uncacheable = false;
+    route.quarantined = entry != nullptr && entry->quarantined;
     return false;
   }
   route.epoch = epoch;
+  route.quarantined = false;
   route.uncacheable = entry->shards.size() > kRouteFanout;
   if (route.uncacheable) {
     // Too wide to cache inline: route this packet from the snapshot and
@@ -67,42 +88,7 @@ void IngressPort::flush_counters() {
   }
 }
 
-bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
-                        std::shared_ptr<const net::Frame> frame) {
-  // Epoch first, THEN (on a miss) the guard: a publish racing the refresh
-  // tags the cache entry with the pre-publish epoch, forcing a re-read on
-  // the next offer instead of serving post-publish data as pre-publish.
-  const std::uint64_t epoch = rt_.control_->epoch();
-  std::uint32_t shard;
-  if (flow < routes_.size()) {
-    CachedRoute& route = routes_[flow];
-    if (route.epoch != epoch || route.uncacheable) {
-      if (!refresh_route(flow, epoch)) {
-        ++rejected_;
-        ++pending_rejects_;
-        flush_counters();  // rejects are rare; keep them promptly visible
-        return false;
-      }
-    } else if (route.count == 0) {  // cached no-route
-      ++rejected_;
-      ++pending_rejects_;
-      flush_counters();
-      return false;
-    }
-    shard = route.uncacheable || route.count == 1
-                ? route.shards[0]
-                : route.shards[rr_++ % route.count];
-  } else {
-    // Out-of-arena flow id: cannot be live (the control plane bounds ids
-    // by max_flows), so this is a plain reject.
-    ++rejected_;
-    ++pending_rejects_;
-    flush_counters();
-    return false;
-  }
-  Packet packet(flow, size_bytes);
-  packet.enqueued_at = rt_.now_ns();
-  packet.frame = std::move(frame);
+bool IngressPort::push_to_shard(std::uint32_t shard, Packet&& packet) {
   Runtime::Shard& target = *rt_.shards_[shard];
   if (!target.ingress[producer_]->push(std::move(packet))) {
     ++rejected_;
@@ -128,6 +114,106 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
   std::atomic_thread_fence(std::memory_order_seq_cst);
   rt_.kick_if_asleep(target.home_worker);
   return true;
+}
+
+void IngressPort::flush_delayed(SimTime now, bool force) {
+  if (delayed_.empty()) return;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < delayed_.size(); ++i) {
+    Delayed& d = delayed_[i];
+    if (force || d.release_at <= now) {
+      push_to_shard(d.shard, std::move(d.packet));  // reject = counted
+    } else {
+      if (keep != i) delayed_[keep] = std::move(d);
+      ++keep;
+    }
+  }
+  delayed_.resize(keep);
+}
+
+bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
+                        std::shared_ptr<const net::Frame> frame) {
+  // Epoch first, THEN (on a miss) the guard: a publish racing the refresh
+  // tags the cache entry with the pre-publish epoch, forcing a re-read on
+  // the next offer instead of serving post-publish data as pre-publish.
+  const std::uint64_t epoch = rt_.control_->epoch();
+  std::uint32_t shard;
+  if (flow < routes_.size()) {
+    CachedRoute& route = routes_[flow];
+    if (route.epoch != epoch || route.uncacheable) {
+      if (!refresh_route(flow, epoch)) {
+        ++rejected_;
+        ++pending_rejects_;
+        if (route.quarantined) {
+          rt_.quarantine_rejects_.fetch_add(1, std::memory_order_relaxed);
+        }
+        flush_counters();  // rejects are rare; keep them promptly visible
+        return false;
+      }
+    } else if (route.count == 0) {  // cached no-route
+      ++rejected_;
+      ++pending_rejects_;
+      if (route.quarantined) {
+        rt_.quarantine_rejects_.fetch_add(1, std::memory_order_relaxed);
+      }
+      flush_counters();
+      return false;
+    }
+    shard = route.uncacheable || route.count == 1
+                ? route.shards[0]
+                : route.shards[rr_++ % route.count];
+  } else {
+    // Out-of-arena flow id: cannot be live (the control plane bounds ids
+    // by max_flows), so this is a plain reject.
+    ++rejected_;
+    ++pending_rejects_;
+    flush_counters();
+    return false;
+  }
+  Packet packet(flow, size_bytes);
+  packet.enqueued_at = rt_.now_ns();
+  packet.frame = std::move(frame);
+
+  // Fault seams (one null test in production).  Injected faults happen
+  // AFTER routing: they model loss/duplication/reordering on the ingress
+  // path, not admission decisions, so a dropped offer still returns true
+  // (the producer believes it sent) and is counted ONLY by the injector.
+  fault::FaultInjector* const injector = rt_.options_.fault;
+  if (injector != nullptr && injector->has_ingress_faults()) {
+    if (!delayed_.empty()) flush_delayed(packet.enqueued_at, /*force=*/false);
+    SimDuration hold = 0;
+    switch (injector->sample_ingress(packet.enqueued_at, ingress_rng_, hold)) {
+      case fault::IngressAction::kDrop:
+        return true;  // silently lost on the wire; injector counted it
+      case fault::IngressAction::kDup: {
+        Packet dup(flow, size_bytes);
+        dup.enqueued_at = packet.enqueued_at;
+        dup.frame = packet.frame;
+        push_to_shard(shard, std::move(dup));  // an extra, normal offer
+        break;
+      }
+      case fault::IngressAction::kDelay:
+        delayed_.push_back(Delayed{packet.enqueued_at + hold, shard,
+                                   std::move(packet)});
+        return true;  // accepted; enters the rings when the hold expires
+      case fault::IngressAction::kNone:
+        break;
+    }
+  }
+
+  // Admission control: refuse work for a shard already holding more than
+  // the watermark.  Checked after the fault seams so injected faults see
+  // the same offer stream with or without backpressure.
+  if (rt_.options_.backpressure_bytes != 0 &&
+      rt_.shards_[shard]->backlog_bytes.load(std::memory_order_relaxed) >=
+          rt_.options_.backpressure_bytes) {
+    ++rejected_;
+    ++pending_rejects_;
+    rt_.backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+    flush_counters();
+    return false;
+  }
+  return push_to_shard(shard, std::move(packet));
 }
 
 Rcu<RuntimeSnapshot>::Reader::Guard IngressPort::snapshot() {
@@ -288,26 +374,42 @@ void Runtime::start() {
   }
 
   if (options_.metrics != nullptr) register_metrics();
+  if (options_.fault != nullptr) {
+    // Compile the plan against the now-frozen topology; out-of-range
+    // targets throw here, before any thread runs.
+    options_.fault->attach(ifaces_.size(), worker_count);
+    if (options_.metrics != nullptr) {
+      options_.fault->register_metrics(*options_.metrics);
+    }
+  }
 
   epoch_ = std::chrono::steady_clock::now();
   running_.store(true, std::memory_order_release);
   for (auto& worker : workers_) {
     Worker* w = worker.get();
-    w->thread = std::thread([this, w] { worker_main(w->index); });
+    w->thread = std::thread([this, w] { worker_main(w->index, 0); });
   }
 }
 
 void Runtime::stop() {
+  // Unpark any injector-stalled worker first: a thread inside
+  // maybe_stall() cannot see running_ until the injector releases it.
+  if (options_.fault != nullptr) options_.fault->release_all();
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     for (auto& worker : workers_) {
       if (worker->thread.joinable()) worker->thread.join();
     }
-    return;
+  } else {
+    for (auto& worker : workers_) kick(worker->index);
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
   }
-  for (auto& worker : workers_) kick(worker->index);
-  for (auto& worker : workers_) {
-    if (worker->thread.joinable()) worker->thread.join();
+  std::lock_guard<std::mutex> lock(restart_mu_);
+  for (auto& thread : retired_) {
+    if (thread.joinable()) thread.join();
   }
+  retired_.clear();
 }
 
 IngressPort Runtime::port(std::size_t producer) {
@@ -345,6 +447,11 @@ void Runtime::shard_add_flow(std::uint32_t shard_index, FlowId flow,
     shard.global_of_flow.resize(local + 1, kInvalidFlow);
   }
   shard.global_of_flow[local] = flow;
+  if (shard.weight_of_local.size() <= local) {
+    shard.weight_of_local.resize(local + 1, 0.0);
+  }
+  shard.weight_of_local[local] = spec.weight;
+  shard.weight_sum += spec.weight;
 }
 
 void Runtime::shard_remove_flow(std::uint32_t shard_index, FlowId flow) {
@@ -353,14 +460,30 @@ void Runtime::shard_remove_flow(std::uint32_t shard_index, FlowId flow) {
   const FlowId local = shard.local_of_flow[flow];
   shard.local_of_flow[flow] = kInvalidFlow;
   shard.global_of_flow[local] = kInvalidFlow;
+  shard.weight_sum -= shard.weight_of_local[local];
+  shard.weight_of_local[local] = 0.0;
+  // The flow's queued packets die with it -- but never silently: they
+  // leave the shard's backlog and land in straggler_drops (the loss
+  // accounting identity offered == delivered + counted drops + in-flight
+  // survives a remove-during-drain).
+  const std::uint64_t doomed_packets = shard.sched->backlog_packets(local);
+  const std::uint64_t doomed_bytes = shard.sched->backlog_bytes(local);
   shard.sched->remove_flow(local);
+  if (doomed_packets > 0) {
+    shard.straggler_drops.fetch_add(doomed_packets,
+                                    std::memory_order_relaxed);
+    shard.backlog_bytes.fetch_sub(doomed_bytes, std::memory_order_relaxed);
+  }
 }
 
 void Runtime::shard_set_weight(std::uint32_t shard_index, FlowId flow,
                                double weight) {
   Shard& shard = *shards_[shard_index];
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.sched->set_weight(shard.local_of_flow[flow], weight);
+  const FlowId local = shard.local_of_flow[flow];
+  shard.weight_sum += weight - shard.weight_of_local[local];
+  shard.weight_of_local[local] = weight;
+  shard.sched->set_weight(local, weight);
 }
 
 void Runtime::shard_set_willing(std::uint32_t shard_index, FlowId flow,
@@ -373,13 +496,48 @@ void Runtime::shard_set_willing(std::uint32_t shard_index, FlowId flow,
 
 // --- Runtime: worker loops ------------------------------------------------
 
-void Runtime::worker_main(std::uint32_t w) {
+void Runtime::worker_main(std::uint32_t w, std::uint64_t my_generation) {
   Worker& me = *workers_[w];
   std::vector<Packet> scratch;
   scratch.reserve(options_.fanin_batch * options_.producers);
   std::vector<Packet> burst;
   burst.reserve(256);
+  fault::FaultInjector* const injector = options_.fault;
+  // Fault seam state, all thread-local to this spawn: timeline cursors and
+  // the last scale each owned pacer saw.  Seeded from the pacers so a
+  // RESTARTED worker does not re-apply (and re-log) transitions the old
+  // thread already made.
+  std::vector<std::size_t> fault_cursors;
+  std::vector<double> applied_scale;
+  if (injector != nullptr) {
+    fault_cursors.assign(ifaces_.size(), 0);
+    applied_scale.assign(ifaces_.size(), 1.0);
+    for (const IfaceId j : me.ifaces) {
+      applied_scale[j] = ifaces_[j]->pacer.rate_scale();
+    }
+  }
   while (running_.load(std::memory_order_acquire)) {
+    // Heartbeat: ticks every pass, including idle ones (park() returns at
+    // least every kParkSlice), so only a genuinely wedged thread freezes.
+    me.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    if (injector != nullptr) {
+      const SimTime now = now_ns();
+      for (const IfaceId j : me.ifaces) {
+        const double scale = injector->iface_scale(j, now, fault_cursors[j]);
+        if (scale != applied_scale[j]) {
+          ifaces_[j]->pacer.set_rate_scale(scale, now);
+          applied_scale[j] = scale;
+          injector->note_iface_transition(j, now, scale);
+        }
+      }
+      if (injector->maybe_stall(w, now, me.generation, my_generation) ==
+          fault::FaultInjector::StallOutcome::kSuperseded) {
+        // A watchdog restarted this slot while we were parked at the safe
+        // point; the replacement owns all state from here.  Exit without
+        // touching anything.
+        return;
+      }
+    }
     bool did_work = false;
     for (const std::uint32_t s : me.home_shards) {
       did_work |= drain_ingress(s, me, scratch);
@@ -403,7 +561,18 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   std::uint64_t accepted = 0;
   std::uint64_t gone = 0;
   std::uint64_t dropped = 0;
+  std::uint64_t shed = 0;
   std::uint64_t moved_bytes = 0;
+  // Overload shedding arms when the shard's backlog crosses the watermark.
+  // The verdict is per flow and weight-aware: a packet is shed only when
+  // its flow already holds at least its weighted fair share of the
+  // watermark (backlog_f / shed_bytes >= weight_f / weight_sum).  Light
+  // flows therefore keep landing packets while hoarders are trimmed --
+  // which is what keeps Jain's index high under overload.
+  const bool shedding =
+      options_.shed_bytes != 0 &&
+      shard.backlog_bytes.load(std::memory_order_relaxed) >=
+          options_.shed_bytes;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     // Pass 1: translate global -> scheduler-local flow ids in place,
@@ -424,6 +593,14 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
         ++gone;
         continue;
       }
+      if (shedding && shard.weight_sum > 0.0 &&
+          static_cast<double>(shard.sched->backlog_bytes(local)) *
+                  shard.weight_sum >=
+              static_cast<double>(options_.shed_bytes) *
+                  shard.weight_of_local[local]) {
+        ++shed;
+        continue;
+      }
       packet.flow = local;
       if (keep != i) scratch[keep] = std::move(packet);
       ++keep;
@@ -433,6 +610,8 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
           std::span<Packet>(scratch.data(), keep), /*now=*/0);
       accepted = result.accepted;
       dropped = result.dropped;  // per-flow queue bounds (tail drops)
+      shard.backlog_bytes.fetch_add(result.accepted_bytes,
+                                    std::memory_order_relaxed);
     }
   }
   const std::uint64_t total = static_cast<std::uint64_t>(scratch.size());
@@ -440,6 +619,7 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   me.enqueued.fetch_add(accepted, std::memory_order_relaxed);
   me.fanin_drops.fetch_add(gone, std::memory_order_relaxed);
   me.tail_drops.fetch_add(dropped, std::memory_order_relaxed);
+  me.shed_drops.fetch_add(shed, std::memory_order_relaxed);
   if (me.span_cap != 0) {
     telemetry::TraceSpan span;
     span.kind = telemetry::TraceSpan::Kind::kFanIn;
@@ -517,6 +697,7 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
     sent_by_flow_[run_flow].fetch_add(run_bytes, std::memory_order_relaxed);
   }
   rec.pacer.consume(bytes);
+  shard.backlog_bytes.fetch_sub(bytes, std::memory_order_relaxed);
   rec.packets.fetch_add(count, std::memory_order_relaxed);
   rec.bytes.fetch_add(bytes, std::memory_order_relaxed);
   me.dequeued.fetch_add(count, std::memory_order_relaxed);
@@ -613,8 +794,17 @@ RuntimeStats Runtime::stats() const {
         worker->dequeued_bytes.load(std::memory_order_relaxed);
     out.bursts += worker->bursts.load(std::memory_order_relaxed);
     out.parks += worker->parks.load(std::memory_order_relaxed);
+    out.shed_drops += worker->shed_drops.load(std::memory_order_relaxed);
     merged.merge_from(worker->latency);
   }
+  for (const auto& shard : shards_) {
+    out.straggler_drops +=
+        shard->straggler_drops.load(std::memory_order_relaxed);
+  }
+  out.backpressure_rejects =
+      backpressure_rejects_.load(std::memory_order_relaxed);
+  out.quarantine_rejects = quarantine_rejects_.load(std::memory_order_relaxed);
+  out.worker_restarts = worker_restarts_.load(std::memory_order_relaxed);
   out.latency_count = merged.count();
   out.latency_mean_ns = merged.mean_ns();
   out.latency_p50_ns = merged.quantile(0.50);
@@ -637,6 +827,61 @@ std::uint64_t Runtime::iface_sent_bytes(IfaceId iface) const {
 std::uint64_t Runtime::iface_sent_packets(IfaceId iface) const {
   MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
   return ifaces_[iface]->packets.load(std::memory_order_relaxed);
+}
+
+// --- Runtime: SupervisedRuntime (observe / actuate for fault::Supervisor) -
+
+std::string Runtime::iface_name(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return ifaces_[iface]->name;
+}
+
+double Runtime::iface_configured_bps(IfaceId iface, SimTime now) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  const RateProfile* profile = ifaces_[iface]->pacer.profile();
+  return profile != nullptr ? profile->rate_at(now) : 0.0;
+}
+
+double Runtime::iface_tokens(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return ifaces_[iface]->pacer.tokens_approx();
+}
+
+std::uint64_t Runtime::iface_backlog_bytes(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return shards_[ifaces_[iface]->shard]->backlog_bytes.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Runtime::worker_heartbeat(std::uint32_t worker) const {
+  MIDRR_REQUIRE(worker < workers_.size(), "unknown worker");
+  return workers_[worker]->heartbeat.load(std::memory_order_relaxed);
+}
+
+void Runtime::set_iface_down(IfaceId iface, bool down) {
+  control().set_iface_down(iface, down);
+}
+
+bool Runtime::restart_worker(std::uint32_t worker) {
+  if (options_.fault == nullptr || worker >= workers_.size()) return false;
+  std::lock_guard<std::mutex> lock(restart_mu_);
+  if (!running()) return false;
+  Worker& slot = *workers_[worker];
+  // begin_restart succeeds ONLY when the thread is parked at the stall
+  // safe point (holding no locks, mid-operation state impossible); it
+  // bumps the generation under the injector's stall mutex, so the old
+  // thread observes kSuperseded before touching anything, and preempts
+  // its park.  Shard state (scheduler queues, id maps, rings) lives in
+  // the Shard/IfaceRec structures, not the thread -- the replacement
+  // picks it all up untouched.
+  if (!options_.fault->begin_restart(worker, slot.generation)) return false;
+  retired_.push_back(std::move(slot.thread));
+  const std::uint64_t generation =
+      slot.generation.load(std::memory_order_relaxed);
+  slot.thread = std::thread(
+      [this, worker, generation] { worker_main(worker, generation); });
+  worker_restarts_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 // --- Runtime: telemetry ---------------------------------------------------
@@ -662,6 +907,22 @@ void Runtime::register_metrics() {
   reg.gauge_fn("midrr_rt_snapshot_version",
                "Version of the currently published configuration snapshot.",
                {}, [this] { return static_cast<double>(control_->version()); });
+  reg.counter_fn("midrr_rt_backpressure_rejects_total",
+                 "Offers refused by the shard-backlog admission watermark.",
+                 {}, count_of(backpressure_rejects_));
+  reg.counter_fn("midrr_rt_quarantine_rejects_total",
+                 "Offers refused because the flow has no live willing "
+                 "interface (quarantined until a revive re-steers it).",
+                 {}, count_of(quarantine_rejects_));
+  reg.counter_fn("midrr_rt_worker_restarts_total",
+                 "Worker drain loops respawned by the supervision watchdog.",
+                 {}, count_of(worker_restarts_));
+  reg.gauge_fn("midrr_rt_quarantined_flows",
+               "Live flows currently quarantined (non-empty Pi row, no live "
+               "willing interface).",
+               {}, [this] {
+                 return static_cast<double>(control_->quarantined_count());
+               });
 
   for (const auto& wp : workers_) {
     Worker* w = wp.get();
@@ -688,6 +949,14 @@ void Runtime::register_metrics() {
     reg.counter_fn("midrr_rt_parks_total",
                    "Times this worker went to sleep with nothing to do.",
                    labels, count_of(w->parks));
+    reg.counter_fn("midrr_rt_shed_drops_total",
+                   "Packets shed at fan-in by the overload watermark "
+                   "(weight-aware fair-share trimming).",
+                   labels, count_of(w->shed_drops));
+    reg.gauge_fn("midrr_rt_worker_heartbeat",
+                 "Drain-loop liveness tick; a frozen value marks a stalled "
+                 "worker.",
+                 labels, count_of(w->heartbeat));
     if (options_.trace_spans > 0) {
       reg.counter_fn("midrr_rt_trace_spans_dropped_total",
                      "Work spans discarded because the per-worker trace "
@@ -722,6 +991,15 @@ void Runtime::register_metrics() {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard* shard = shards_[s].get();
     const telemetry::LabelSet labels{{"shard", std::to_string(s)}};
+    reg.gauge_fn("midrr_rt_shard_backlog_bytes",
+                 "Bytes queued in this shard's scheduler (fan-in accepted "
+                 "minus drained minus removed-flow discards).",
+                 labels, count_of(shard->backlog_bytes));
+    reg.counter_fn("midrr_rt_flow_backlog_drops_total",
+                   "Queued packets discarded because their flow left this "
+                   "shard (remove or interface-death re-steer); every one "
+                   "is counted loss, never silent.",
+                   labels, count_of(shard->straggler_drops));
     reg.gauge_fn("midrr_rt_ingress_ring_occupancy",
                  "Packets waiting in this shard's ingress rings (approximate"
                  "; summed over producers).",

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/supervisor.hpp"
 #include "flow/packet.hpp"
 #include "runtime/control_plane.hpp"
 #include "runtime/pacer.hpp"
@@ -57,6 +58,7 @@
 #include "telemetry/metrics_observer.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace midrr::rt {
@@ -92,6 +94,23 @@ struct RuntimeOptions {
   /// bursts) for Chrome-trace export; 0 disables span capture.  Spans past
   /// the bound are dropped and counted, never reallocated.
   std::size_t trace_spans = 0;
+
+  // --- Fault tolerance (all optional; one pointer test when disabled) ----
+  /// Deterministic fault injector; attached to this runtime's topology at
+  /// start().  Must outlive the Runtime.  When null (production), every
+  /// fault seam compiles down to a single null test.
+  fault::FaultInjector* fault = nullptr;
+  /// Admission control at ingress: offers for a shard whose backlog is at
+  /// or past this watermark are refused (offer() returns false, counted as
+  /// backpressure_rejects).  0 disables.
+  std::uint64_t backpressure_bytes = 0;
+  /// Overload shedding at fan-in: while a shard's backlog is at or past
+  /// this watermark, packets of flows holding at least their weighted fair
+  /// share of it are dropped-with-count before enqueue.  Weight-aware by
+  /// construction: light flows keep their share, heavy hoarders pay.
+  /// 0 disables.  Set shed_bytes > backpressure_bytes to make shedding the
+  /// second line of defense rather than the first.
+  std::uint64_t shed_bytes = 0;
 };
 
 /// Aggregated counters; a consistent-enough racy snapshot (every counter is
@@ -106,6 +125,12 @@ struct RuntimeStats {
   std::uint64_t dequeued_bytes = 0;
   std::uint64_t bursts = 0;         ///< dequeue_burst calls that moved packets
   std::uint64_t parks = 0;          ///< times a worker went to sleep
+  std::uint64_t straggler_drops = 0;  ///< queued packets discarded when their
+                                      ///< flow left a shard (counted loss)
+  std::uint64_t shed_drops = 0;       ///< overload-shed packets (fan-in)
+  std::uint64_t backpressure_rejects = 0;  ///< offers refused at watermark
+  std::uint64_t quarantine_rejects = 0;    ///< offers for quarantined flows
+  std::uint64_t worker_restarts = 0;       ///< watchdog-driven respawns
   std::uint64_t latency_count = 0;  ///< samples behind the quantiles below
   double latency_mean_ns = 0;
   double latency_p50_ns = 0;
@@ -154,7 +179,7 @@ class IngressPort {
   /// port-local offered()/rejected() accessors are always exact.
   void flush_counters();
 
-  ~IngressPort() { flush_counters(); }
+  ~IngressPort();  ///< force-flushes delayed packets, then counters
   IngressPort(IngressPort&& other) noexcept
       : rt_(other.rt_),
         producer_(other.producer_),
@@ -164,7 +189,11 @@ class IngressPort {
         rejected_(other.rejected_),
         pending_offered_(std::exchange(other.pending_offered_, 0)),
         pending_rejects_(std::exchange(other.pending_rejects_, 0)),
-        rr_(other.rr_) {}
+        rr_(other.rr_),
+        ingress_rng_(other.ingress_rng_),
+        delayed_(std::move(other.delayed_)) {
+    other.delayed_.clear();  // moved-from must not re-flush them
+  }
   IngressPort(const IngressPort&) = delete;
   IngressPort& operator=(const IngressPort&) = delete;
   IngressPort& operator=(IngressPort&&) = delete;
@@ -188,12 +217,27 @@ class IngressPort {
     std::uint32_t shards[kRouteFanout] = {};
     std::uint8_t count = 0;          ///< 0 with epoch != 0 = cached no-route
     bool uncacheable = false;        ///< fan-out exceeds kRouteFanout
+    bool quarantined = false;        ///< no-route because no live iface
+  };
+
+  /// A packet held back by an injected ingress delay; released (in offer
+  /// order) once `release_at` passes, force-flushed at port destruction.
+  struct Delayed {
+    SimTime release_at = 0;
+    std::uint32_t shard = 0;
+    Packet packet;
   };
 
   IngressPort(Runtime& rt, std::size_t producer,
-              Rcu<RuntimeSnapshot>::Reader reader, std::size_t max_flows)
-      : rt_(rt), producer_(producer), reader_(std::move(reader)),
-        routes_(max_flows) {}
+              Rcu<RuntimeSnapshot>::Reader reader, std::size_t max_flows);
+
+  /// Pushes into `shard`'s ring with full offer accounting (counters,
+  /// Dekker fence, wake).  The terminal step of every accepted offer.
+  bool push_to_shard(std::uint32_t shard, Packet&& packet);
+
+  /// Releases every held packet whose delay expired (all of them when
+  /// `force`); ring-full releases become counted rejects.
+  void flush_delayed(SimTime now, bool force);
 
   /// Slow path: refresh `routes_[flow]` from the snapshot under an RCU
   /// guard.  `epoch` must have been read BEFORE the guard was taken (a
@@ -210,9 +254,15 @@ class IngressPort {
   std::uint64_t pending_offered_ = 0;  ///< not yet folded into rt_.offered_
   std::uint64_t pending_rejects_ = 0;
   std::uint64_t rr_ = 0;  ///< round-robin cursor for multi-shard flows
+  /// Per-producer deterministic stream for injected ingress faults (forked
+  /// from the plan seed at construction; unused when no injector is armed).
+  Rng ingress_rng_{0};
+  std::vector<Delayed> delayed_;  ///< injected-delay stash (usually empty)
 };
 
-class Runtime final : public telemetry::FairnessSource, private ShardApplier {
+class Runtime final : public telemetry::FairnessSource,
+                      public fault::SupervisedRuntime,
+                      private ShardApplier {
  public:
   explicit Runtime(const RuntimeOptions& options);
   ~Runtime();
@@ -246,7 +296,7 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   IngressPort port(std::size_t producer);
 
   /// Nanoseconds since start() on the runtime's steady clock.
-  SimTime now_ns() const;
+  SimTime now_ns() const override;
 
   // --- Introspection -----------------------------------------------------
 
@@ -256,12 +306,40 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   /// runtime-level S_i used by the fairness smoke test).
   std::uint64_t sent_bytes(FlowId flow) const;
 
-  std::uint64_t iface_sent_bytes(IfaceId iface) const;
+  std::uint64_t iface_sent_bytes(IfaceId iface) const override;
   std::uint64_t iface_sent_packets(IfaceId iface) const;
 
   std::size_t shard_count() const { return shards_.size(); }
-  std::size_t worker_count() const { return workers_.size(); }
-  std::size_t iface_count() const { return ifaces_.size(); }
+  std::size_t worker_count() const override { return workers_.size(); }
+  std::size_t iface_count() const override { return ifaces_.size(); }
+
+  /// The armed fault injector, or nullptr (production).  Producers (e.g.
+  /// LoadGenerator) use it for the pool-exhaustion seam.
+  fault::FaultInjector* fault() const { return options_.fault; }
+
+  // --- SupervisedRuntime (fault::Supervisor's observe/actuate surface) ---
+  // Everything here is callable from the supervisor thread concurrently
+  // with the data path; construct the Supervisor AFTER start() (worker
+  // slots exist only then).
+
+  std::string iface_name(IfaceId iface) const override;
+  /// Configured profile rate (bits/s) at `now`; deliberately NOT scaled by
+  /// injected faults -- the supervisor must see what the link is SUPPOSED
+  /// to do, and detect the rest from observables.  0 for unpaced.
+  double iface_configured_bps(IfaceId iface, SimTime now) const override;
+  double iface_tokens(IfaceId iface) const override;
+  /// Backlog of the shard hosting `iface` (its drain feed).
+  std::uint64_t iface_backlog_bytes(IfaceId iface) const override;
+  std::uint64_t worker_heartbeat(std::uint32_t worker) const override;
+  /// Forwards to ControlPlane::set_iface_down: one RCU re-steer of every
+  /// flow willing on `iface` onto its surviving interfaces.
+  void set_iface_down(IfaceId iface, bool down) override;
+  /// Restarts worker `worker`'s drain loop IF its thread is provably
+  /// parked at the fault injector's stall safe point (shard state is then
+  /// guaranteed untouched mid-operation).  Returns false otherwise --
+  /// including always when no injector is armed.  The superseded thread is
+  /// joined at stop().
+  bool restart_worker(std::uint32_t worker) override;
 
   // --- Telemetry ----------------------------------------------------------
 
@@ -293,6 +371,15 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
     std::vector<IfaceId> ifaces;          // global ids hosted here (pre-start)
     std::uint32_t home_worker = 0;        // runs this shard's fan-in
     std::vector<std::uint32_t> kick_on_enqueue;  // workers owning our ifaces
+    // Shed bookkeeping (guarded by mu): live weights by local flow id, and
+    // their sum, so fan-in can price a flow's fair share of the backlog
+    // without walking the scheduler.
+    std::vector<double> weight_of_local;
+    double weight_sum = 0.0;
+    // Backlog & loss accounting (atomics: fan-in and drain run on
+    // different workers, and ingress/supervision read them lock-free).
+    alignas(kCacheLine) std::atomic<std::uint64_t> backlog_bytes{0};
+    std::atomic<std::uint64_t> straggler_drops{0};  // removed-flow backlog
     // Telemetry (optional; installed at construction, fire under mu).  The
     // observer's callbacks are single relaxed increments -- the one
     // observer shape allowed inside the shard locks.
@@ -328,7 +415,16 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> fanin_drops{0};
     std::atomic<std::uint64_t> tail_drops{0};
+    std::atomic<std::uint64_t> shed_drops{0};
     std::atomic<std::uint64_t> parks{0};
+    // Liveness: bumped once per loop iteration by the slot's CURRENT
+    // thread (parked workers still tick every park slice); a frozen value
+    // is the watchdog's stall signal.  `generation` names which spawned
+    // thread owns the slot -- bumped under the injector's stall mutex by
+    // begin_restart, so a superseded thread provably observes it before
+    // touching any runtime state.
+    std::atomic<std::uint64_t> heartbeat{0};
+    std::atomic<std::uint64_t> generation{0};
     // Telemetry (optional).  wait_hist doubles the latency accounting into
     // a scrapable Prometheus histogram; spans is a bounded, preallocated
     // buffer owned by the worker thread and read only after stop().
@@ -356,7 +452,7 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   void shard_set_willing(std::uint32_t shard, FlowId flow, IfaceId iface,
                          bool value) override;
 
-  void worker_main(std::uint32_t w);
+  void worker_main(std::uint32_t w, std::uint64_t my_generation);
   bool drain_ingress(std::uint32_t shard_index, Worker& me,
                      std::vector<Packet>& scratch);
   bool drain_iface(IfaceId iface, Worker& me, std::vector<Packet>& burst);
@@ -382,6 +478,13 @@ class Runtime final : public telemetry::FairnessSource, private ShardApplier {
   // workers per loop) would couple unrelated threads' write sets.
   alignas(kCacheLine) std::atomic<std::uint64_t> offered_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> ring_rejects_{0};
+  alignas(kCacheLine) std::atomic<std::uint64_t> backpressure_rejects_{0};
+  std::atomic<std::uint64_t> quarantine_rejects_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  // Restart bookkeeping: serializes restart_worker against stop(), and
+  // holds superseded threads until stop() can join them.
+  std::mutex restart_mu_;
+  std::vector<std::thread> retired_;  ///< guarded by restart_mu_
   // Rate limiters for hot-path warnings (at most one line per second each;
   // suppressed occurrences are reported on the next emitted line).
   LogRateLimiter ring_full_warn_{std::chrono::seconds(1)};

@@ -16,10 +16,12 @@ EnqueueBatchResult DrrFamilyScheduler::enqueue_batch(
   EnqueueBatchResult totals;
   for (Packet& packet : packets) {
     const FlowId flow = packet.flow;
+    const std::uint32_t size = packet.size_bytes;
     FlowQueue& q = queue(flow);  // REQUIREs the flow exists
     const bool was_empty = q.empty();
     if (q.enqueue(std::move(packet))) {
       ++totals.accepted;
+      totals.accepted_bytes += size;
       if (was_empty) on_backlogged(flow);
     } else {
       ++totals.dropped;

@@ -98,9 +98,11 @@ EnqueueBatchResult Scheduler::enqueue_batch(std::span<Packet> packets,
   EnqueueBatchResult totals;
   for (Packet& packet : packets) {
     const SimTime stamp = packet.enqueued_at;
+    const std::uint32_t size = packet.size_bytes;
     const EnqueueResult result = enqueue(std::move(packet), stamp);
     if (result.accepted) {
       ++totals.accepted;
+      totals.accepted_bytes += size;
     } else {
       ++totals.dropped;
     }

@@ -43,6 +43,7 @@ class SchedulerObserver;
 struct EnqueueBatchResult {
   std::uint64_t accepted = 0;
   std::uint64_t dropped = 0;  ///< capacity tail-drops
+  std::uint64_t accepted_bytes = 0;  ///< bytes behind `accepted` (backlog accounting)
 };
 
 /// Result of an enqueue: whether the packet was accepted, and whether the

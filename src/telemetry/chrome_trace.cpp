@@ -137,6 +137,15 @@ void ChromeTraceBuilder::add_counter(std::uint32_t pid, const std::string& name,
   events_.push_back(e.str());
 }
 
+void ChromeTraceBuilder::add_instant(std::uint32_t pid, std::uint32_t tid,
+                                     const std::string& name, SimTime at) {
+  std::ostringstream e;
+  e << "{\"name\":\"" << escape_json(name)
+    << "\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"p\",\"ts\":" << us(at)
+    << ",\"pid\":" << pid << ",\"tid\":" << tid << "}";
+  events_.push_back(e.str());
+}
+
 std::string ChromeTraceBuilder::json() const {
   std::string out = "{\"traceEvents\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {

@@ -57,6 +57,11 @@ class ChromeTraceBuilder {
   void add_counter(std::uint32_t pid, const std::string& name, SimTime at,
                    double value);
 
+  /// Adds one process-scoped instant marker (fault injections, supervisor
+  /// verdicts) on thread row `tid` under `pid`.
+  void add_instant(std::uint32_t pid, std::uint32_t tid,
+                   const std::string& name, SimTime at);
+
   std::size_t event_count() const { return events_.size(); }
 
   /// The full {"traceEvents": [...]} document.

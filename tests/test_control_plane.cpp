@@ -180,6 +180,93 @@ TEST(ControlPlane, FlowIdsAreDenseAndNeverReused) {
   EXPECT_EQ(c, b + 1) << "removing a flow must not recycle its id";
 }
 
+TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
+  // Kill interface 0 under two flows: x{0, 1} survives on interface 1 (so
+  // it must LEAVE shard 0), y{0} has nowhere to go (so it is quarantined:
+  // still live, still holding its preferences, but routing nowhere).
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec x_spec;
+  x_spec.willing = {0, 1};
+  const FlowId x = cp.add_flow(x_spec);
+  RtFlowSpec y_spec;
+  y_spec.willing = {0};
+  const FlowId y = cp.add_flow(y_spec);
+  applier.ops.clear();
+
+  cp.set_iface_down(0, true);
+  EXPECT_TRUE(cp.iface_down(0));
+  EXPECT_EQ(cp.quarantined_count(), 1u);
+  ASSERT_EQ(applier.ops.size(), 2u);
+  EXPECT_EQ(applier.ops[0].kind, "remove");  // x leaves shard 0
+  EXPECT_EQ(applier.ops[0].shard, 0u);
+  EXPECT_EQ(applier.ops[0].flow, x);
+  EXPECT_EQ(applier.ops[1].kind, "remove");  // y leaves its only shard
+  EXPECT_EQ(applier.ops[1].flow, y);
+  {
+    auto reader = cp.reader();
+    const auto guard = reader.lock();
+    EXPECT_EQ(guard->flow(x)->shards, std::vector<std::uint32_t>{1});
+    EXPECT_FALSE(guard->flow(x)->quarantined);
+    EXPECT_EQ(guard->flow(x)->willing, (std::vector<IfaceId>{0, 1}))
+        << "preferences are reality-masked, not edited";
+    EXPECT_TRUE(guard->flow(y)->shards.empty());
+    EXPECT_TRUE(guard->flow(y)->quarantined);
+    EXPECT_EQ(guard->live, (std::vector<FlowId>{x, y}))
+        << "quarantined flows stay live (their offers are counted rejects)";
+    ASSERT_EQ(guard->iface_down.size(), 4u);
+    EXPECT_TRUE(guard->iface_down[0]);
+  }
+
+  applier.ops.clear();
+  cp.set_iface_down(0, false);
+  EXPECT_FALSE(cp.iface_down(0));
+  EXPECT_EQ(cp.quarantined_count(), 0u);
+  // Both flows are re-registered on shard 0 (with the interface-0 subset)
+  // BEFORE the publish that re-opens routing to it.
+  ASSERT_EQ(applier.ops.size(), 2u);
+  EXPECT_EQ(applier.ops[0].kind, "add");
+  EXPECT_EQ(applier.ops[0].shard, 0u);
+  EXPECT_EQ(applier.ops[0].flow, x);
+  EXPECT_EQ(applier.ops[0].willing_subset, std::vector<IfaceId>{0});
+  EXPECT_EQ(applier.ops[1].kind, "add");
+  EXPECT_EQ(applier.ops[1].flow, y);
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->flow(x)->shards, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(guard->flow(y)->quarantined);
+}
+
+TEST(ControlPlane, IfaceDownIsIdempotentAndValidated) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0};
+  cp.add_flow(spec);
+  EXPECT_THROW(cp.set_iface_down(9, true), PreconditionError);
+  cp.set_iface_down(0, true);
+  const std::uint64_t v = cp.version();
+  applier.ops.clear();
+  cp.set_iface_down(0, true);  // already down: no publish, no ops
+  EXPECT_TRUE(applier.ops.empty());
+  EXPECT_EQ(cp.version(), v);
+}
+
+TEST(ControlPlane, FlowsAddedWhileIfaceIsDownRouteAroundIt) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  cp.set_iface_down(0, true);
+  RtFlowSpec spec;
+  spec.willing = {0, 1};
+  const FlowId f = cp.add_flow(spec);
+  ASSERT_EQ(applier.ops.size(), 1u);
+  EXPECT_EQ(applier.ops[0].kind, "add");
+  EXPECT_EQ(applier.ops[0].shard, 1u) << "dead interface's shard is skipped";
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->flow(f)->shards, std::vector<std::uint32_t>{1});
+}
+
 TEST(ControlPlaneSwap, ReadersNeverSeeATornConfiguration) {
   // The writer cycles (1, {0}) -> (2, {0}) -> (2, {0, 1}) -> (2, {0}) ->
   // (1, {0}), one control-plane call per step.  Every PUBLISHED state has

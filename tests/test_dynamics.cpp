@@ -3,7 +3,12 @@
 // flows arriving late and leaving, capacity changes mid-run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "core/scenario.hpp"
+#include "fairness/maxmin.hpp"
 
 namespace midrr {
 namespace {
@@ -72,6 +77,56 @@ TEST(Dynamics, InterfaceOutageRedistributesLoad) {
   EXPECT_NEAR(result.flow_named("both").mean_rate_mbps(25 * kSecond,
                                                        34 * kSecond),
               2.0, 0.15);
+}
+
+TEST(Dynamics, InterfaceChurnReconvergesToTheReducedMaxMin) {
+  // Interface churn in two waves -- if2 dies at 10 s, then if1 degrades
+  // 3 -> 1 Mb/s at 20 s -- and after each wave the system must re-converge
+  // to the weighted max-min allocation OF THE REDUCED TOPOLOGY, computed
+  // here by the reference solver rather than hand-derived numbers.
+  Scenario sc;
+  sc.interface("if0",
+               RateProfile::steps({{0, mbps(4)}, {20 * kSecond, mbps(2)}}));
+  sc.interface("if1",
+               RateProfile::steps({{0, mbps(2)}, {10 * kSecond, 0.0}}));
+  sc.interface("if2", RateProfile(mbps(2)));
+  sc.backlogged_flow("a", 1.0, {"if0"});
+  sc.backlogged_flow("b", 1.0, {"if0", "if1"});
+  sc.backlogged_flow("c", 1.0, {"if1", "if2"});
+  sc.backlogged_flow("d", 1.0, {"if2"});
+  ScenarioRunner runner(sc, Policy::kMiDrr);
+  const auto result = runner.run(30 * kSecond);
+
+  const std::vector<std::string> names = {"a", "b", "c", "d"};
+  fair::MaxMinInput input;
+  input.weights = {1.0, 1.0, 1.0, 1.0};
+  input.willing = {{true, false, false},
+                   {true, true, false},
+                   {false, true, true},
+                   {false, false, true}};
+  struct Epoch {
+    const char* label;
+    std::vector<double> capacities_bps;
+    SimTime t0, t1;
+  };
+  const std::vector<Epoch> epochs = {
+      {"full topology", {mbps(4), mbps(2), mbps(2)}, 4 * kSecond,
+       9 * kSecond},
+      {"if1 dead", {mbps(4), 0.0, mbps(2)}, 14 * kSecond, 19 * kSecond},
+      {"if1 dead, if0 degraded", {mbps(2), 0.0, mbps(2)}, 24 * kSecond,
+       30 * kSecond},
+  };
+  for (const Epoch& epoch : epochs) {
+    input.capacities_bps = epoch.capacities_bps;
+    const auto reference = fair::solve_max_min(input);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const double want = to_mbps(reference.rates_bps[i]);
+      EXPECT_NEAR(result.flow_named(names[i]).mean_rate_mbps(epoch.t0,
+                                                             epoch.t1),
+                  want, std::max(0.12, want * 0.08))
+          << "flow " << names[i] << " during \"" << epoch.label << '"';
+    }
+  }
 }
 
 TEST(Dynamics, FlowCompletionFreesCapacityForCluster) {

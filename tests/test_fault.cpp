@@ -1,0 +1,674 @@
+// Fault layer: JSON reader, FaultPlan schema validation, injector timeline
+// compilation (down/up/flap/scale overlays), the stall/restart safe-point
+// protocol, deterministic ingress sampling, pool-exhaust windows, and the
+// Supervisor's link/worker state machines driven through a mock
+// SupervisedRuntime (no threads, fully deterministic probes).  The
+// end-to-end chaos runs against a live Runtime live in test_fault_e2e.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/json.hpp"
+#include "fault/supervisor.hpp"
+#include "telemetry/fairness_drift.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace midrr {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::IngressAction;
+using fault::JsonValue;
+using fault::LinkState;
+using fault::Supervisor;
+using fault::SupervisorOptions;
+
+// --- JSON reader ----------------------------------------------------------
+
+TEST(FaultJson, ParsesNestedDocument) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"s": "hi\n\"x\""}, "t": true, "n": null})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(a->as_array()[2].as_number(), -300.0);
+  const JsonValue* s = doc.find("b")->find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->as_string(), "hi\n\"x\"");
+  EXPECT_TRUE(doc.find("t")->as_bool());
+  EXPECT_TRUE(doc.find("n")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(FaultJson, RejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{\"a\": }"), fault::JsonError);
+  EXPECT_THROW(JsonValue::parse("{\"a\": 1} trailing"), fault::JsonError);
+  EXPECT_THROW(JsonValue::parse("[1, 2,"), fault::JsonError);
+  EXPECT_THROW(JsonValue::parse(""), fault::JsonError);
+  // Kind mismatches surface as runtime_error for schema-level reporting.
+  const JsonValue doc = JsonValue::parse(R"({"a": 1})");
+  EXPECT_THROW(doc.find("a")->as_string(), std::runtime_error);
+  EXPECT_THROW((void)doc.as_array(), std::runtime_error);
+}
+
+// --- FaultPlan parsing & validation ---------------------------------------
+
+constexpr const char* kEveryKindPlan = R"({
+  "seed": 42,
+  "events": [
+    {"at_ms": 2000, "kind": "iface_up",   "iface": 1},
+    {"at_ms": 500,  "kind": "iface_down", "iface": 1},
+    {"at_ms": 900,  "kind": "iface_flap", "iface": 1,
+     "period_ms": 100, "duty": 0.25, "duration_ms": 600},
+    {"at_ms": 300,  "kind": "iface_scale", "iface": 0, "scale": 0.25,
+     "duration_ms": 400},
+    {"at_ms": 400,  "kind": "worker_stall", "worker": 3,
+     "duration_ms": 250},
+    {"at_ms": 100,  "kind": "ingress_drop", "probability": 0.01,
+     "duration_ms": 1000},
+    {"at_ms": 100,  "kind": "ingress_dup", "probability": 0.5,
+     "duration_ms": 1000},
+    {"at_ms": 100,  "kind": "ingress_delay", "probability": 0.02,
+     "delay_ms": 5, "duration_ms": 1000},
+    {"at_ms": 600,  "kind": "pool_exhaust", "duration_ms": 200}
+  ]
+})";
+
+TEST(FaultPlanParse, ParsesEveryKindAndSortsByTime) {
+  const FaultPlan plan = FaultPlan::parse_json(kEveryKindPlan);
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.events.size(), 9u);
+  for (std::size_t i = 1; i < plan.events.size(); ++i) {
+    EXPECT_LE(plan.events[i - 1].at_ns, plan.events[i].at_ns);
+  }
+  const fault::FaultEvent& flap = plan.events[7];  // 900 ms
+  EXPECT_EQ(flap.kind, FaultKind::kIfaceFlap);
+  EXPECT_EQ(flap.iface, 1u);
+  EXPECT_EQ(flap.period_ns, 100 * kMillisecond);
+  EXPECT_DOUBLE_EQ(flap.duty, 0.25);
+  EXPECT_EQ(flap.duration_ns, 600 * kMillisecond);
+  const fault::FaultEvent& delay = plan.events[2];  // one of the 100 ms trio
+  EXPECT_EQ(delay.kind, FaultKind::kIngressDelay);
+  EXPECT_EQ(delay.delay_ns, 5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(delay.probability, 0.02);
+  // A finite plan's horizon is the last instant any event is active.
+  EXPECT_EQ(plan.horizon_ns(), 2 * kSecond);
+}
+
+TEST(FaultPlanParse, OpenEndedDownMakesTheHorizonUnbounded) {
+  const FaultPlan plan = FaultPlan::parse_json(
+      R"({"events": [{"at_ms": 100, "kind": "iface_down", "iface": 0}]})");
+  EXPECT_EQ(plan.horizon_ns(), kSimTimeMax);
+}
+
+TEST(FaultPlanParse, RejectsSchemaViolationsLoudly) {
+  const auto rejects = [](const char* text) {
+    EXPECT_THROW(FaultPlan::parse_json(text), std::runtime_error) << text;
+  };
+  rejects(R"({"events": [{"at_ms": 1, "kind": "iface_melt", "iface": 0}]})");
+  // A typo'd field must fail, not silently default.
+  rejects(R"({"events": [{"at_ms": 1, "kind": "pool_exhaust",
+              "duraton_ms": 5}]})");
+  // Fields from OTHER kinds are unknown for this kind.
+  rejects(R"({"events": [{"at_ms": 1, "kind": "iface_down", "iface": 0,
+              "scale": 0.5}]})");
+  rejects(R"({"events": [{"at_ms": 1, "kind": "iface_flap", "iface": 0,
+              "duration_ms": 10}]})");  // missing period_ms
+  rejects(R"({"events": [{"at_ms": -1, "kind": "iface_down", "iface": 0}]})");
+  rejects(R"({"events": [{"at_ms": 1, "kind": "ingress_drop",
+              "probability": 1.5, "duration_ms": 10}]})");
+  rejects(R"({"events": [{"at_ms": 1, "kind": "iface_flap", "iface": 0,
+              "period_ms": 10, "duration_ms": 10, "duty": 1.0}]})");
+  rejects(R"({"events": [{"at_ms": 1, "kind": "iface_scale", "iface": 0,
+              "scale": 2.0, "duration_ms": 10}]})");
+  rejects(R"({"seed": 1.5, "events": []})");
+  rejects(R"({"seeds": 1, "events": []})");  // unknown top-level key
+  rejects(R"({"seed": 1})");                 // missing events
+}
+
+// --- Injector: capacity timelines -----------------------------------------
+
+TEST(FaultInjector, DownUpCompilesToAStepTimeline) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 500,  "kind": "iface_down", "iface": 1},
+      {"at_ms": 2000, "kind": "iface_up",   "iface": 1}]})"));
+  inj.attach(2, 1);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 500 * kMillisecond - 1), 1.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 500 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 2 * kSecond), 1.0);
+  // The untouched interface never leaves 1.0.
+  EXPECT_EQ(inj.iface_timeline(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, kSecond), 1.0);
+}
+
+TEST(FaultInjector, CursorWalkMatchesTheSnapshotForm) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 100, "kind": "iface_scale", "iface": 0, "scale": 0.5,
+       "duration_ms": 200},
+      {"at_ms": 400, "kind": "iface_down", "iface": 0},
+      {"at_ms": 700, "kind": "iface_up", "iface": 0},
+      {"at_ms": 800, "kind": "iface_flap", "iface": 0,
+       "period_ms": 40, "duty": 0.5, "duration_ms": 200}]})"));
+  inj.attach(1, 1);
+  std::size_t cursor = 0;
+  for (SimTime t = 0; t <= 1200 * kMillisecond; t += kMillisecond) {
+    ASSERT_DOUBLE_EQ(inj.iface_scale(0, t, cursor), inj.iface_scale_at(0, t))
+        << "at t = " << t;
+  }
+}
+
+TEST(FaultInjector, FlapIsASquareWaveWithTheRequestedDuty) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 1000, "kind": "iface_flap", "iface": 0,
+       "period_ms": 100, "duty": 0.5, "duration_ms": 400}]})"));
+  inj.attach(1, 1);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 1020 * kMillisecond), 1.0);  // up half
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 1070 * kMillisecond), 0.0);  // down
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 1120 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 1170 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 1400 * kMillisecond), 1.0)
+      << "flap over, base state restored";
+}
+
+TEST(FaultInjector, IfaceUpCancelsARunningOverlay) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 300, "kind": "iface_scale", "iface": 0, "scale": 0.25,
+       "duration_ms": 1000},
+      {"at_ms": 600, "kind": "iface_up", "iface": 0}]})"));
+  inj.attach(1, 1);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 400 * kMillisecond), 0.25);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 700 * kMillisecond), 1.0)
+      << "iface_up truncates the scale window";
+}
+
+TEST(FaultInjector, AttachValidatesTargetsAgainstTheTopology) {
+  {
+    FaultInjector inj(FaultPlan::parse_json(
+        R"({"events": [{"at_ms": 1, "kind": "iface_down", "iface": 5}]})"));
+    EXPECT_THROW(inj.attach(2, 1), std::runtime_error);
+  }
+  {
+    FaultInjector inj(FaultPlan::parse_json(
+        R"({"events": [{"at_ms": 1, "kind": "worker_stall", "worker": 2,
+            "duration_ms": 10}]})"));
+    EXPECT_THROW(inj.attach(2, 2), std::runtime_error);
+  }
+  {
+    FaultInjector inj(FaultPlan::parse_json(R"({"events": []})"));
+    inj.attach(1, 1);
+    EXPECT_THROW(inj.attach(1, 1), std::runtime_error) << "attached twice";
+  }
+}
+
+// --- Injector: ingress sampling & pool windows ----------------------------
+
+TEST(FaultInjector, IngressSamplingIsDeterministicPerProducer) {
+  const char* text = R"({"seed": 9, "events": [
+      {"at_ms": 0, "kind": "ingress_drop", "probability": 0.3,
+       "duration_ms": 1000},
+      {"at_ms": 0, "kind": "ingress_delay", "probability": 0.3,
+       "delay_ms": 7, "duration_ms": 1000}]})";
+  FaultInjector a(FaultPlan::parse_json(text));
+  FaultInjector b(FaultPlan::parse_json(text));
+  a.attach(1, 1);
+  b.attach(1, 1);
+  Rng rng_a = a.fork_ingress_rng(0);
+  Rng rng_b = b.fork_ingress_rng(0);
+  Rng rng_other = a.fork_ingress_rng(1);
+  bool producers_diverged = false;
+  for (int i = 0; i < 256; ++i) {
+    const SimTime now = i * kMillisecond;
+    SimDuration d_a = 0, d_b = 0, d_o = 0;
+    const IngressAction act_a = a.sample_ingress(now, rng_a, d_a);
+    const IngressAction act_b = b.sample_ingress(now, rng_b, d_b);
+    ASSERT_EQ(act_a, act_b) << "same plan + producer must replay identically";
+    ASSERT_EQ(d_a, d_b);
+    if (act_a == IngressAction::kDelay) EXPECT_EQ(d_a, 7 * kMillisecond);
+    if (a.sample_ingress(now, rng_other, d_o) != act_b) {
+      producers_diverged = true;
+    }
+  }
+  EXPECT_TRUE(producers_diverged) << "producer streams must be independent";
+  EXPECT_GT(a.ingress_drops(), 0u);
+  EXPECT_GT(a.ingress_delays(), 0u);
+}
+
+TEST(FaultInjector, SamplingOutsideEveryWindowIsANoOp) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 100, "kind": "ingress_drop", "probability": 1.0,
+       "duration_ms": 100}]})"));
+  inj.attach(1, 1);
+  EXPECT_TRUE(inj.has_ingress_faults());
+  Rng rng = inj.fork_ingress_rng(0);
+  SimDuration delay = 0;
+  EXPECT_EQ(inj.sample_ingress(99 * kMillisecond, rng, delay),
+            IngressAction::kNone);
+  EXPECT_EQ(inj.sample_ingress(200 * kMillisecond, rng, delay),
+            IngressAction::kNone);
+  EXPECT_EQ(inj.sample_ingress(150 * kMillisecond, rng, delay),
+            IngressAction::kDrop);
+  EXPECT_EQ(inj.ingress_drops(), 1u);
+}
+
+TEST(FaultInjector, PoolExhaustWindowGatesAcquires) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 600, "kind": "pool_exhaust", "duration_ms": 200}]})"));
+  inj.attach(1, 1);
+  EXPECT_TRUE(inj.has_pool_faults());
+  EXPECT_FALSE(inj.pool_exhausted(599 * kMillisecond));
+  EXPECT_TRUE(inj.pool_exhausted(600 * kMillisecond));
+  EXPECT_TRUE(inj.pool_exhausted(799 * kMillisecond));
+  EXPECT_FALSE(inj.pool_exhausted(800 * kMillisecond));
+  inj.note_pool_reject();
+  inj.note_pool_reject();
+  EXPECT_EQ(inj.pool_rejects(), 2u);
+}
+
+// --- Injector: stall / restart safe-point protocol ------------------------
+
+/// Waits (bounded) until `worker` is provably parked at the safe point.
+bool wait_for_stall(const FaultInjector& inj, std::uint32_t worker) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inj.worker_in_stall(worker)) return true;
+    std::this_thread::yield();
+  }
+  return false;
+}
+
+TEST(FaultInjector, StallWindowExpiresBackIntoTheLoop) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 0, "kind": "worker_stall", "worker": 0,
+       "duration_ms": 30}]})"));
+  inj.attach(1, 1);
+  std::atomic<std::uint64_t> generation{0};
+  EXPECT_EQ(inj.maybe_stall(0, kMillisecond, generation, 0),
+            FaultInjector::StallOutcome::kResumed)
+      << "parks for the remaining ~29 ms, then resumes naturally";
+  EXPECT_EQ(inj.maybe_stall(0, 31 * kMillisecond, generation, 0),
+            FaultInjector::StallOutcome::kNotStalled)
+      << "window expired; cursor moves past it";
+  EXPECT_EQ(inj.stalls_entered(), 1u);
+}
+
+TEST(FaultInjector, RestartSupersedesAParkedWorkerExactlyOnce) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 0, "kind": "worker_stall", "worker": 0,
+       "duration_ms": 60000}]})"));
+  inj.attach(1, 2);
+  std::atomic<std::uint64_t> gen0{0};
+  std::atomic<std::uint64_t> gen1{0};
+  std::atomic<int> outcome{-1};
+  std::thread parked([&] {
+    outcome.store(static_cast<int>(inj.maybe_stall(0, kMillisecond, gen0, 0)),
+                  std::memory_order_release);
+  });
+  ASSERT_TRUE(wait_for_stall(inj, 0));
+  // A worker NOT at the safe point cannot be restarted.
+  EXPECT_FALSE(inj.begin_restart(1, gen1));
+  EXPECT_EQ(gen1.load(), 0u);
+  // The parked one can: generation bumps, the thread exits superseded.
+  EXPECT_TRUE(inj.begin_restart(0, gen0));
+  parked.join();
+  EXPECT_EQ(outcome.load(std::memory_order_acquire),
+            static_cast<int>(FaultInjector::StallOutcome::kSuperseded));
+  EXPECT_EQ(gen0.load(), 1u);
+  // The replacement must not re-enter the very window its predecessor was
+  // killed out of (the restart advanced the slot's cursor past it).
+  EXPECT_EQ(inj.maybe_stall(0, 2 * kMillisecond, gen0, 1),
+            FaultInjector::StallOutcome::kNotStalled);
+}
+
+TEST(FaultInjector, ReleaseAllUnparksForShutdown) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 0, "kind": "worker_stall", "worker": 0,
+       "duration_ms": 60000}]})"));
+  inj.attach(1, 1);
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<int> outcome{-1};
+  std::thread parked([&] {
+    outcome.store(static_cast<int>(
+                      inj.maybe_stall(0, kMillisecond, generation, 0)),
+                  std::memory_order_release);
+  });
+  ASSERT_TRUE(wait_for_stall(inj, 0));
+  inj.release_all();
+  parked.join();
+  EXPECT_EQ(outcome.load(std::memory_order_acquire),
+            static_cast<int>(FaultInjector::StallOutcome::kResumed));
+  EXPECT_EQ(generation.load(), 0u) << "shutdown is not a restart";
+}
+
+// --- Supervisor (mock runtime; probes driven by hand) ---------------------
+
+class MockRuntime : public fault::SupervisedRuntime {
+ public:
+  struct Link {
+    std::string name;
+    std::uint64_t sent_bytes = 0;
+    double configured_bps = 8e6;
+    double tokens = 0.0;
+    std::uint64_t backlog = 0;
+    bool down = false;  ///< last actuation received
+  };
+
+  std::vector<Link> links;
+  std::vector<std::uint64_t> heartbeats;
+  SimTime now = 0;
+  bool restart_result = false;
+  std::vector<std::uint32_t> restart_calls;
+  std::vector<std::pair<IfaceId, bool>> down_calls;
+
+  std::size_t iface_count() const override { return links.size(); }
+  std::size_t worker_count() const override { return heartbeats.size(); }
+  SimTime now_ns() const override { return now; }
+  std::string iface_name(IfaceId iface) const override {
+    return links[iface].name;
+  }
+  std::uint64_t iface_sent_bytes(IfaceId iface) const override {
+    return links[iface].sent_bytes;
+  }
+  double iface_configured_bps(IfaceId iface, SimTime) const override {
+    return links[iface].configured_bps;
+  }
+  double iface_tokens(IfaceId iface) const override {
+    return links[iface].tokens;
+  }
+  std::uint64_t iface_backlog_bytes(IfaceId iface) const override {
+    return links[iface].backlog;
+  }
+  std::uint64_t worker_heartbeat(std::uint32_t worker) const override {
+    return heartbeats[worker];
+  }
+  void set_iface_down(IfaceId iface, bool down) override {
+    links[iface].down = down;
+    down_calls.emplace_back(iface, down);
+  }
+  bool restart_worker(std::uint32_t worker) override {
+    restart_calls.push_back(worker);
+    return restart_result;
+  }
+};
+
+SupervisorOptions fast_options() {
+  SupervisorOptions options;
+  options.probe_interval_ns = kMillisecond;
+  options.dead_after_probes = 3;
+  options.healthy_after_probes = 2;
+  options.worker_stall_probes = 4;
+  options.replay_clustering = false;
+  return options;
+}
+
+/// Advances the mock clock one probe interval and probes once.
+void tick(MockRuntime& rt, Supervisor& sup) {
+  rt.now += kMillisecond;
+  sup.probe();
+}
+
+TEST(Supervisor, SilentLinkWithBacklogDiesAfterHysteresis) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi", .backlog = 10'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();  // baseline: no verdict from a zero-length window
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+
+  tick(rt, sup);  // silent probe 1 -> suspect
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect);
+  EXPECT_TRUE(sup.any_degraded());
+  EXPECT_TRUE(rt.down_calls.empty());
+  tick(rt, sup);  // 2
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect);
+  tick(rt, sup);  // 3 -> dead, one actuation
+  EXPECT_EQ(sup.link_state(0), LinkState::kDead);
+  ASSERT_EQ(rt.down_calls.size(), 1u);
+  EXPECT_EQ(rt.down_calls[0], (std::pair<IfaceId, bool>{0, true}));
+  tick(rt, sup);  // stays dead without re-actuating
+  EXPECT_EQ(rt.down_calls.size(), 1u);
+  EXPECT_GE(sup.transitions(), 2u);  // healthy->suspect, suspect->dead
+}
+
+TEST(Supervisor, ProgressResetsTheDeathCountdown) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi", .backlog = 10'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();
+  tick(rt, sup);
+  tick(rt, sup);  // two silent probes: one short of dead
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect);
+  rt.links[0].sent_bytes += 100'000;  // healthy drain resumes
+  tick(rt, sup);
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+  for (int i = 0; i < 2; ++i) tick(rt, sup);  // silence again: not dead yet
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect)
+      << "the countdown restarted from zero";
+  EXPECT_TRUE(rt.down_calls.empty());
+}
+
+TEST(Supervisor, TokenMotionRevivesADeadLink) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi", .backlog = 10'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();
+  for (int i = 0; i < 3; ++i) tick(rt, sup);
+  ASSERT_EQ(sup.link_state(0), LinkState::kDead);
+  // Dead links carry no traffic (their flows were re-steered away), so a
+  // refilling token bucket is the recovery signal.
+  rt.links[0].tokens = 2000.0;  // past revive_tokens (one MTU)
+  tick(rt, sup);                // good probe 1 of 2
+  EXPECT_EQ(sup.link_state(0), LinkState::kDead);
+  tick(rt, sup);  // 2 -> revived
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+  ASSERT_EQ(rt.down_calls.size(), 2u);
+  EXPECT_EQ(rt.down_calls.back(), (std::pair<IfaceId, bool>{0, false}));
+}
+
+TEST(Supervisor, FlappingTokensDoNotRevive) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi", .backlog = 10'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();
+  for (int i = 0; i < 3; ++i) tick(rt, sup);
+  ASSERT_EQ(sup.link_state(0), LinkState::kDead);
+  // One good probe, then the radio dies again: hysteresis holds the
+  // verdict, so the control plane never sees the blip.
+  rt.links[0].tokens = 2000.0;
+  tick(rt, sup);
+  rt.links[0].tokens = 0.0;
+  for (int i = 0; i < 8; ++i) tick(rt, sup);
+  EXPECT_EQ(sup.link_state(0), LinkState::kDead);
+  EXPECT_EQ(rt.down_calls.size(), 1u) << "exactly the original kill";
+}
+
+TEST(Supervisor, DegradedLinkIsFlaggedButNeverKilled) {
+  MockRuntime rt;
+  // Configured 80 Mb/s; moves ~8 KB per 1 ms probe = 64 Mb/s... make it
+  // crawl instead: 100 bytes per probe = 0.8 Mb/s = 1% of configured.
+  rt.links.push_back({.name = "lte", .configured_bps = 80e6,
+                      .backlog = 50'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();
+  for (int i = 0; i < 10; ++i) {
+    rt.links[0].sent_bytes += 100;
+    tick(rt, sup);
+    EXPECT_EQ(sup.link_state(0), LinkState::kSuspect)
+        << "slow-but-alive: killing it would strictly reduce capacity";
+  }
+  EXPECT_TRUE(rt.down_calls.empty());
+  // Full-rate drain clears the flag (10 KB per ms = 80 Mb/s).
+  rt.links[0].sent_bytes += 10'000;
+  tick(rt, sup);
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+}
+
+TEST(Supervisor, UnpacedAndIdleLinksAreNeverJudged) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "unpaced", .configured_bps = 0.0,
+                      .backlog = 10'000});
+  rt.links.push_back({.name = "idle", .configured_bps = 8e6, .backlog = 0});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  sup.probe();
+  for (int i = 0; i < 10; ++i) tick(rt, sup);
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy)
+      << "no configured rate means no 'should be moving' baseline";
+  EXPECT_EQ(sup.link_state(1), LinkState::kHealthy)
+      << "an idle link (no backlog) is not silent, just unused";
+  EXPECT_TRUE(rt.down_calls.empty());
+}
+
+TEST(Supervisor, FrozenHeartbeatTriggersOneRestartPerThreshold) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "if0"});
+  rt.heartbeats = {0, 0};  // both frozen from the start
+  rt.restart_result = true;
+  SupervisorOptions options = fast_options();
+  options.worker_stall_probes = 3;
+  Supervisor sup(rt, options);
+  for (int i = 0; i < 3; ++i) {
+    rt.now += kMillisecond;
+    sup.probe();
+  }
+  EXPECT_EQ(sup.restarts_attempted(), 2u) << "one per frozen worker";
+  EXPECT_EQ(sup.restarts_succeeded(), 2u);
+  EXPECT_EQ(rt.restart_calls.size(), 2u);
+  // A live heartbeat resets the countdown: bump one worker, freeze probes.
+  rt.heartbeats[0] = 8;
+  for (int i = 0; i < 3; ++i) {
+    rt.now += kMillisecond;
+    sup.probe();
+  }
+  EXPECT_EQ(sup.restarts_attempted(), 3u)
+      << "only the still-frozen worker earns a second attempt";
+}
+
+TEST(Supervisor, RefusedRestartsAreCountedNotRetriedBlindly) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "if0"});
+  rt.heartbeats = {0};
+  rt.restart_result = false;  // "not at the safe point"
+  SupervisorOptions options = fast_options();
+  options.worker_stall_probes = 2;
+  Supervisor sup(rt, options);
+  for (int i = 0; i < 4; ++i) {
+    rt.now += kMillisecond;
+    sup.probe();
+  }
+  EXPECT_EQ(sup.restarts_attempted(), 2u);
+  EXPECT_EQ(sup.restarts_refused(), 2u);
+  EXPECT_EQ(sup.restarts_succeeded(), 0u);
+  const auto log = sup.log();
+  EXPECT_FALSE(log.empty());
+}
+
+// --- Supervisor: Theorem-2 replay on survivors ----------------------------
+
+class StaticFairness : public telemetry::FairnessSource {
+ public:
+  telemetry::FairnessSample sample;
+  telemetry::FairnessSample fairness_sample() override { return sample; }
+};
+
+TEST(Supervisor, ReplaysClusteringOnTheSurvivingInterfaceSet) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "if0", .configured_bps = 10e6});
+  rt.links.push_back({.name = "if1", .configured_bps = 5e6,
+                      .backlog = 10'000});
+  rt.heartbeats = {0};
+
+  StaticFairness fairness;
+  fairness.sample.capacities_bps = {10e6, 5e6};
+  fairness.sample.iface_sent_bytes = {0, 0};
+  telemetry::FairnessFlowSample both;
+  both.id = 0;
+  both.name = "both";
+  both.willing = {true, true};
+  telemetry::FairnessFlowSample pinned;
+  pinned.id = 1;
+  pinned.name = "pinned";
+  pinned.willing = {false, true};
+  fairness.sample.flows = {both, pinned};
+
+  SupervisorOptions options = fast_options();
+  options.replay_clustering = true;
+  Supervisor sup(rt, options, &fairness);
+  sup.probe();
+  // Keep if0 visibly healthy while if1 goes silent.
+  for (int i = 0; i < 3; ++i) {
+    rt.links[0].sent_bytes += 10'000;
+    tick(rt, sup);
+  }
+  ASSERT_EQ(sup.link_state(1), LinkState::kDead);
+  // The kill triggered one replay: "pinned" has no surviving willing
+  // interface (quarantined, excluded), "both" gets all of if0 -- a
+  // consistent single-interface max-min instance.
+  EXPECT_EQ(sup.clustering_checks(), 1u);
+  EXPECT_EQ(sup.clustering_violations(), 0u);
+  EXPECT_EQ(sup.last_clustering_verdict(), "");
+  const auto log = sup.log();
+  bool saw_consistent = false;
+  for (const auto& entry : log) {
+    if (entry.what.find("clustering consistent") != std::string::npos) {
+      saw_consistent = true;
+    }
+  }
+  EXPECT_TRUE(saw_consistent);
+}
+
+// --- Metrics registration (names only; scrape correctness lives in the
+// telemetry suite) ---------------------------------------------------------
+
+TEST(FaultTelemetry, InjectorAndSupervisorSeriesAppearInTheRegistry) {
+  FaultInjector inj(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 0, "kind": "ingress_drop", "probability": 1.0,
+       "duration_ms": 10}]})"));
+  inj.attach(1, 1);
+  MockRuntime rt;
+  rt.links.push_back({.name = "if0"});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+
+  telemetry::MetricsRegistry registry;
+  inj.register_metrics(registry);
+  sup.register_metrics(registry);
+  const std::string text = telemetry::render_prometheus(registry);
+  for (const char* name :
+       {"midrr_fault_ingress_total", "midrr_fault_pool_rejects_total",
+        "midrr_fault_worker_stalls_total",
+        "midrr_fault_iface_transitions_total",
+        "midrr_supervisor_link_state",
+        "midrr_supervisor_link_transitions_total",
+        "midrr_supervisor_worker_restarts_total",
+        "midrr_supervisor_clustering_checks_total",
+        "midrr_supervisor_clustering_violations_total"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+}  // namespace
+}  // namespace midrr

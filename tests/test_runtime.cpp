@@ -57,6 +57,43 @@ TEST(Pacer, DownLinkGrantsNothingUntilTheProfileRecovers) {
   EXPECT_EQ(pacer.budget_bytes(kSecond + 1000 * kMicrosecond), 1000u);
 }
 
+// --- Pacer clock anomalies ------------------------------------------------
+// The runtime clock is steady, but restarted workers and suspended VMs can
+// hand the pacer timestamps that jump either way.  The contract: a backward
+// step re-anchors without minting credit, and a forward jump is clamped so
+// at most one second of catch-up budget materializes.
+
+TEST(Pacer, BackwardClockReanchorsWithoutCredit) {
+  TokenBucketPacer pacer(RateProfile(8e6), 2000);  // 1 byte per microsecond
+  EXPECT_EQ(pacer.budget_bytes(1000 * kMicrosecond), 1000u);
+  pacer.consume(1000);
+  // Time "rewinds" 500us: no budget appears, and no debt is invented.
+  EXPECT_EQ(pacer.budget_bytes(500 * kMicrosecond), 0u);
+  // The rewound instant is the new anchor: elapsed time is priced from
+  // there, so the 500us that already paid out does not pay out again.
+  EXPECT_EQ(pacer.budget_bytes(1500 * kMicrosecond), 1000u);
+}
+
+TEST(Pacer, HugeForwardJumpIsClampedToOneSecondOfCatchup) {
+  // Depth deliberately larger than an hour of accrual would be, so the
+  // clamp (not the bucket cap) is what bounds the grant.
+  TokenBucketPacer pacer(RateProfile(8e6), 10'000'000);
+  const SimTime hour = 3600 * kSecond;
+  EXPECT_EQ(pacer.budget_bytes(hour), 1'000'000u)
+      << "exactly one second of 8 Mb/s, not an hour of it";
+}
+
+TEST(Pacer, RateScalePricesElapsedTimeAtTheOldScale) {
+  TokenBucketPacer pacer(RateProfile(8e6), 10000);
+  // [0, 1000us) accrues at full rate even though the scale change is only
+  // applied at t = 1000us; [1000us, 2000us) accrues at half rate.
+  pacer.set_rate_scale(0.5, 1000 * kMicrosecond);
+  EXPECT_EQ(pacer.budget_bytes(2000 * kMicrosecond), 1500u);
+  EXPECT_DOUBLE_EQ(pacer.rate_scale(), 0.5);
+  EXPECT_THROW(pacer.set_rate_scale(1.5, 0), PreconditionError);
+  EXPECT_THROW(pacer.set_rate_scale(-0.1, 0), PreconditionError);
+}
+
 // --- LatencyHistogram -----------------------------------------------------
 
 TEST(LatencyHistogram, QuantilesWithinLogBucketError) {

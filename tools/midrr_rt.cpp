@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "core/scenario_text.hpp"  // parse_rate_bps
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/supervisor.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -48,6 +51,15 @@ int usage() {
          "  --burst-bytes B max bytes per dequeue burst (default 65536)\n"
          "  --policy P      midrr|drr|wfq|rr|fifo|priority (default midrr)\n"
          "  --churn         exercise the control plane during the run\n"
+         "  --fault-plan F  inject the deterministic fault plan in JSON\n"
+         "                  file F (see docs/ROBUSTNESS.md for the schema)\n"
+         "  --supervise     run the fault supervisor: link-death detection\n"
+         "                  and re-steering, worker watchdog, Theorem-2\n"
+         "                  replay; /healthz reports degraded links\n"
+         "  --backpressure-bytes B  refuse offers for shards holding >= B\n"
+         "                  bytes of backlog (0 = off, the default)\n"
+         "  --shed-bytes B  weight-aware overload shedding at fan-in past\n"
+         "                  B bytes of shard backlog (0 = off, the default)\n"
          "  --json          machine-readable report on stdout\n"
          "  --telemetry P   serve /metrics, /healthz, /flows on 127.0.0.1:P\n"
          "                  (0 = ephemeral; bound port printed to stderr)\n"
@@ -75,6 +87,10 @@ int main(int argc, char** argv) {
   std::uint64_t burst_bytes = 0;   // 0 = runtime default
   Policy policy = Policy::kMiDrr;
   bool churn = false;
+  std::string fault_plan_file;
+  bool supervise = false;
+  std::uint64_t backpressure_bytes = 0;
+  std::uint64_t shed_bytes = 0;
   bool json = false;
   int telemetry_port = -1;  // < 0 = no HTTP endpoint
   std::string trace_out;
@@ -108,6 +124,11 @@ int main(int argc, char** argv) {
       else if (key == "--burst-bytes") burst_bytes = std::stoull(value());
       else if (key == "--policy") policy = parse_policy(value());
       else if (key == "--churn") churn = true;
+      else if (key == "--fault-plan") fault_plan_file = value();
+      else if (key == "--supervise") supervise = true;
+      else if (key == "--backpressure-bytes")
+        backpressure_bytes = std::stoull(value());
+      else if (key == "--shed-bytes") shed_bytes = std::stoull(value());
       else if (key == "--json") json = true;
       else if (key == "--telemetry") telemetry_port = std::stoi(value());
       else if (key == "--trace-out") trace_out = value();
@@ -146,6 +167,24 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // The injector outlives the runtime (fault seams hold a pointer).
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!fault_plan_file.empty()) {
+      std::ifstream plan_file(fault_plan_file);
+      if (!plan_file) {
+        std::cerr << "error: cannot read " << fault_plan_file << "\n";
+        return 1;
+      }
+      std::ostringstream plan_text;
+      plan_text << plan_file.rdbuf();
+      injector =
+          std::make_unique<fault::FaultInjector>(
+              fault::FaultPlan::parse_json(plan_text.str()));
+      options.fault = injector.get();
+    }
+    options.backpressure_bytes = backpressure_bytes;
+    options.shed_bytes = shed_bytes;
+
     Runtime runtime(options);
     for (std::size_t j = 0; j < ifaces; ++j) {
       const std::string name = "if" + std::to_string(j);
@@ -170,6 +209,15 @@ int main(int argc, char** argv) {
 
     runtime.start();
 
+    // The supervisor probes AFTER start() (worker slots exist only then).
+    std::unique_ptr<fault::Supervisor> supervisor;
+    if (supervise) {
+      supervisor = std::make_unique<fault::Supervisor>(
+          runtime, fault::SupervisorOptions{}, &runtime);
+      if (telemetry_on) supervisor->register_metrics(registry);
+      supervisor->start();
+    }
+
     std::unique_ptr<telemetry::FairnessDriftSampler> sampler;
     std::unique_ptr<telemetry::TelemetryServer> server;
     if (telemetry_on) {
@@ -182,6 +230,27 @@ int main(int argc, char** argv) {
       sopts.port = static_cast<std::uint16_t>(telemetry_port);
       server = std::make_unique<telemetry::TelemetryServer>(sopts);
       server->serve_registry(registry);
+      if (supervisor != nullptr) {
+        // Health reflects supervision: 503 while any link is suspect or
+        // dead, so orchestrators see degradation (and recovery) live.
+        fault::Supervisor* sup = supervisor.get();
+        Runtime* rt = &runtime;
+        server->handle("/healthz", [sup, rt](const http::HttpRequest&) {
+          telemetry::HandlerResult r;
+          std::ostringstream body;
+          for (std::size_t j = 0; j < rt->iface_count(); ++j) {
+            const fault::LinkState state =
+                sup->link_state(static_cast<IfaceId>(j));
+            if (state != fault::LinkState::kHealthy) {
+              r.status = 503;
+              body << rt->iface_name(static_cast<IfaceId>(j)) << ": "
+                   << fault::to_string(state) << "\n";
+            }
+          }
+          r.body = r.status == 200 ? "ok\n" : "degraded\n" + body.str();
+          return r;
+        });
+      }
       telemetry::FairnessDriftSampler* drift = sampler.get();
       Runtime* rt = &runtime;
       server->handle("/flows", [rt, drift](const http::HttpRequest&) {
@@ -253,11 +322,20 @@ int main(int argc, char** argv) {
     }
     if (server != nullptr) server->stop();
     if (sampler != nullptr) sampler->stop();
+    if (supervisor != nullptr) supervisor->stop();
     runtime.stop();
     if (!trace_out.empty()) {
       telemetry::ChromeTraceBuilder builder;
       builder.set_process_name(1, "midrr_rt");
       runtime.export_trace(builder);
+      if (injector != nullptr) {
+        builder.set_process_name(2, "fault injector");
+        injector->export_trace(builder, 2);
+      }
+      if (supervisor != nullptr) {
+        builder.set_process_name(3, "supervisor");
+        supervisor->export_trace(builder, 3);
+      }
       std::ofstream trace_file(trace_out);
       if (!trace_file) {
         std::cerr << "error: cannot write " << trace_out << "\n";
@@ -296,8 +374,37 @@ int main(int argc, char** argv) {
           << "\"dequeued_bytes\":" << stats.dequeued_bytes << ","
           << "\"fanin_drops\":" << stats.fanin_drops << ","
           << "\"tail_drops\":" << stats.tail_drops << ","
+          << "\"straggler_drops\":" << stats.straggler_drops << ","
+          << "\"shed_drops\":" << stats.shed_drops << ","
+          << "\"backpressure_rejects\":" << stats.backpressure_rejects << ","
+          << "\"quarantine_rejects\":" << stats.quarantine_rejects << ","
+          << "\"worker_restarts\":" << stats.worker_restarts << ","
           << "\"churn_ops\":" << churn_ops << ","
           << "\"metrics_series\":" << registry.series_count() << ",";
+      if (injector != nullptr) {
+        out << "\"fault\":{"
+            << "\"ingress_drops\":" << injector->ingress_drops() << ","
+            << "\"ingress_dups\":" << injector->ingress_dups() << ","
+            << "\"ingress_delays\":" << injector->ingress_delays() << ","
+            << "\"pool_rejects\":" << injector->pool_rejects() << ","
+            << "\"worker_stalls\":" << injector->stalls_entered() << ","
+            << "\"iface_transitions\":" << injector->iface_transitions()
+            << "},";
+      }
+      if (supervisor != nullptr) {
+        out << "\"supervisor\":{"
+            << "\"link_transitions\":" << supervisor->transitions() << ","
+            << "\"restarts_attempted\":" << supervisor->restarts_attempted()
+            << ","
+            << "\"restarts_succeeded\":" << supervisor->restarts_succeeded()
+            << ","
+            << "\"restarts_refused\":" << supervisor->restarts_refused() << ","
+            << "\"clustering_checks\":" << supervisor->clustering_checks()
+            << ","
+            << "\"clustering_violations\":"
+            << supervisor->clustering_violations()
+            << "},";
+      }
       if (pooled) {
         out << "\"pool\":{"
             << "\"slabs\":" << pool.slabs << ","
@@ -330,8 +437,27 @@ int main(int argc, char** argv) {
                 << "  dequeued  " << stats.dequeued << " pkts  ("
                 << pps / 1e6 << " Mpps, " << gbps_out << " Gb/s)\n"
                 << "  drops     " << stats.fanin_drops << " fan-in, "
-                << stats.tail_drops << " tail\n";
+                << stats.tail_drops << " tail, " << stats.straggler_drops
+                << " straggler, " << stats.shed_drops << " shed ("
+                << stats.backpressure_rejects << " backpressure rejects, "
+                << stats.quarantine_rejects << " quarantine rejects)\n";
       if (churn) std::cout << "  churn     " << churn_ops << " control ops\n";
+      if (injector != nullptr) {
+        std::cout << "  faults    " << injector->ingress_drops() << " drops, "
+                  << injector->ingress_dups() << " dups, "
+                  << injector->ingress_delays() << " delays, "
+                  << injector->pool_rejects() << " pool rejects, "
+                  << injector->stalls_entered() << " stalls, "
+                  << injector->iface_transitions() << " iface transitions\n";
+      }
+      if (supervisor != nullptr) {
+        std::cout << "  supervise " << supervisor->transitions()
+                  << " link transitions, " << supervisor->restarts_succeeded()
+                  << "/" << supervisor->restarts_attempted()
+                  << " restarts, clustering "
+                  << supervisor->clustering_checks() << " checks / "
+                  << supervisor->clustering_violations() << " violations\n";
+      }
       if (pooled) {
         std::cout << "  pool      " << pool.acquired << " acquired / "
                   << pool.released << " released (" << pool.outstanding
