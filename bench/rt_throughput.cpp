@@ -19,6 +19,9 @@
 // std::thread::hardware_concurrency() so a reader can tell a 1-core CI
 // box (where workers time-slice one core and pps cannot scale) from a
 // real multicore run.
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -192,6 +195,116 @@ OverloadCell run_overload_cell(std::uint64_t shed_bytes, double overload,
   return cell;
 }
 
+// Million-flow scale cell: flows register in classes of `flows_per_class`
+// (one ClassSpec, one publish per batch), so the snapshot the control
+// plane publishes is O(classes), not O(flows).  Both sweep cells use the
+// SAME class count (1000) at 100x different flow counts; if publish cost
+// really is O(classes), the single-member publish latency must come out
+// ~equal -- that ratio is the number CI bounds.  RSS is read from
+// /proc/self/statm around registration, so rss_bytes_per_flow is the
+// marginal footprint of a registered flow (directory slot, queue, class
+// membership), not the process baseline.
+struct ScaleCell {
+  std::size_t flows = 0;
+  std::size_t flows_per_class = 0;
+  std::size_t classes = 0;
+  double register_s = 0;
+  long long rss_delta_bytes = 0;
+  double rss_bytes_per_flow = 0;
+  double publish_p50_ns = 0;
+  double pps = 0;
+  std::uint64_t dequeued = 0;
+  double duration_s = 0;
+};
+
+long long resident_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  long long pages = 0, resident = 0;
+  statm >> pages >> resident;
+  return resident * static_cast<long long>(sysconf(_SC_PAGESIZE));
+}
+
+ScaleCell run_scale_cell(std::size_t flows, std::size_t flows_per_class,
+                         double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kIfaces = 4;
+  RuntimeOptions options;
+  options.workers = 1;
+  options.shards = 1;
+  options.producers = 1;
+  options.max_flows = flows + 128;  // headroom for the publish probes
+  options.policy = Policy::kHierMiDrr;
+
+  Runtime runtime(options);
+  for (std::size_t j = 0; j < kIfaces; ++j) {
+    runtime.add_interface("if" + std::to_string(j));
+  }
+
+  ScaleCell cell;
+  cell.flows = flows;
+  cell.flows_per_class = flows_per_class;
+
+  const long long rss0 = resident_bytes();
+  const auto reg0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < flows; i += flows_per_class) {
+    const std::size_t batch = std::min(flows_per_class, flows - i);
+    const std::size_t group = i / flows_per_class;
+    ClassSpec spec;
+    spec.name = "c" + std::to_string(group);
+    spec.willing.push_back(static_cast<IfaceId>(group % kIfaces));
+    spec.willing.push_back(static_cast<IfaceId>((group + 1) % kIfaces));
+    // Classes intern by (weight, willing, queue capacity); a per-group
+    // capacity keeps the 1000 groups from collapsing into 4 willing-pairs.
+    spec.queue_capacity_bytes = 512 * 1024 + group;
+    runtime.control().add_members(spec, batch);
+  }
+  cell.register_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - reg0)
+          .count();
+  cell.rss_delta_bytes = resident_bytes() - rss0;
+  cell.rss_bytes_per_flow =
+      static_cast<double>(cell.rss_delta_bytes) / static_cast<double>(flows);
+  cell.classes = runtime.control().class_count();
+
+  // Publish latency for a one-member delta against the fully loaded
+  // table: join an existing class (no new snapshot entry), then leave.
+  ClassSpec probe;
+  probe.name = "c0";
+  probe.willing.push_back(0);
+  probe.willing.push_back(1);
+  std::vector<double> lat_ns;
+  for (int i = 0; i < 33; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const FlowId f = runtime.control().add_members(probe, 1);
+    lat_ns.push_back(std::chrono::duration<double, std::nano>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+    runtime.control().remove_member(f);
+  }
+  std::sort(lat_ns.begin(), lat_ns.end());
+  cell.publish_p50_ns = lat_ns[lat_ns.size() / 2];
+
+  runtime.start();
+  LoadGeneratorOptions load;
+  load.producers = 1;
+  load.packet_bytes = 1000;
+  LoadGenerator generator(runtime, load);
+  const auto t0 = std::chrono::steady_clock::now();
+  generator.start();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  generator.stop();
+  runtime.stop();
+  cell.duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const RuntimeStats stats = runtime.stats();
+  cell.dequeued = stats.dequeued;
+  cell.pps = static_cast<double>(stats.dequeued) / cell.duration_s;
+  return cell;
+}
+
 void emit_cell_common(std::ostringstream& json, const Cell& c) {
   json << "\"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
        << ", \"duration_s\": " << c.duration_s
@@ -204,17 +317,24 @@ void emit_cell_common(std::ostringstream& json, const Cell& c) {
 int main(int argc, char** argv) {
   double duration_s = 2.0;
   std::string out_path = "BENCH_rt.json";
-  for (int i = 1; i + 1 < argc; i += 2) {
+  bool scale_only = false;
+  for (int i = 1; i < argc; ++i) {
     const std::string key = argv[i];
-    if (key == "--duration") duration_s = std::stod(argv[i + 1]);
-    else if (key == "--out") out_path = argv[i + 1];
+    if (key == "--scale-only") scale_only = true;
+    else if (key == "--duration" && i + 1 < argc)
+      duration_s = std::stod(argv[++i]);
+    else if (key == "--out" && i + 1 < argc) out_path = argv[++i];
     else {
-      std::cerr << "usage: rt_throughput [--duration S] [--out FILE]\n";
+      std::cerr << "usage: rt_throughput [--duration S] [--out FILE] "
+                   "[--scale-only]\n";
       return 2;
     }
   }
 
-  const std::vector<std::size_t> flow_counts = {256, 1024};
+  const std::vector<std::size_t> flow_counts = scale_only
+                                                   ? std::vector<std::size_t>{}
+                                                   : std::vector<std::size_t>{
+                                                         256, 1024};
   const std::vector<std::size_t> worker_counts = {1, 2, 4, 8};
 
   std::vector<Cell> cells;
@@ -234,7 +354,9 @@ int main(int argc, char** argv) {
   }
 
   // Fan-in batch sweep: single worker, 256 flows, telemetry off.
-  const std::vector<std::size_t> batch_sizes = {128, 256, 512, 1024, 2048};
+  const std::vector<std::size_t> batch_sizes =
+      scale_only ? std::vector<std::size_t>{}
+                 : std::vector<std::size_t>{128, 256, 512, 1024, 2048};
   std::vector<Cell> batch_cells;
   for (const std::size_t batch : batch_sizes) {
     std::cerr << "rt_throughput: fanin_batch " << batch << "..." << std::flush;
@@ -246,26 +368,49 @@ int main(int argc, char** argv) {
 
   // Payload sweep: what real payload bytes cost, and the pool's share.
   std::vector<Cell> payload_cells;
-  for (const PayloadMode mode :
-       {PayloadMode::kNone, PayloadMode::kHeap, PayloadMode::kPooled}) {
-    std::cerr << "rt_throughput: payload " << payload_name(mode) << "..."
-              << std::flush;
-    const Cell cell = run_cell(256, 1, duration_s, false, 0, mode);
-    std::cerr << " " << cell.pps / 1e6 << " Mpps\n";
-    payload_cells.push_back(cell);
+  if (!scale_only) {
+    for (const PayloadMode mode :
+         {PayloadMode::kNone, PayloadMode::kHeap, PayloadMode::kPooled}) {
+      std::cerr << "rt_throughput: payload " << payload_name(mode) << "..."
+                << std::flush;
+      const Cell cell = run_cell(256, 1, duration_s, false, 0, mode);
+      std::cerr << " " << cell.pps / 1e6 << " Mpps\n";
+      payload_cells.push_back(cell);
+    }
   }
 
   // Overload shedding: the same 2x-overloaded cell with the fan-in
   // watermark off and on.  "Off" still has per-flow queue caps (tail
   // drops); "on" sheds weight-aware at fan-in and must hold Jain >= 0.9.
   std::vector<OverloadCell> overload_cells;
-  for (const std::uint64_t shed : {std::uint64_t{0}, std::uint64_t{262144}}) {
-    std::cerr << "rt_throughput: 2x overload, shed_bytes " << shed << "..."
-              << std::flush;
-    const OverloadCell cell = run_overload_cell(shed, 2.0, duration_s);
-    std::cerr << " jain " << cell.jain << ", utilization "
-              << cell.utilization << "\n";
-    overload_cells.push_back(cell);
+  if (!scale_only) {
+    for (const std::uint64_t shed :
+         {std::uint64_t{0}, std::uint64_t{262144}}) {
+      std::cerr << "rt_throughput: 2x overload, shed_bytes " << shed << "..."
+                << std::flush;
+      const OverloadCell cell = run_overload_cell(shed, 2.0, duration_s);
+      std::cerr << " jain " << cell.jain << ", utilization "
+                << cell.utilization << "\n";
+      overload_cells.push_back(cell);
+    }
+  }
+
+  // Class-aggregation scale sweep: same 1000 classes at 10k and 1M flows.
+  // Registration batches by class, the runtime schedules hmidrr, and the
+  // publish probe measures a one-member delta against the loaded table.
+  std::vector<ScaleCell> scale_cells;
+  for (const auto& cfg : std::vector<std::pair<std::size_t, std::size_t>>{
+           {10'000, 10}, {1'000'000, 1'000}}) {
+    std::cerr << "rt_throughput: scale " << cfg.first << " flows / "
+              << cfg.second << " per class..." << std::flush;
+    const ScaleCell cell =
+        run_scale_cell(cfg.first, cfg.second, std::min(duration_s, 2.0));
+    std::cerr << " " << cell.classes << " classes, register "
+              << cell.register_s << " s, publish p50 "
+              << cell.publish_p50_ns / 1e3 << " us, rss/flow "
+              << cell.rss_bytes_per_flow << " B, " << cell.pps / 1e6
+              << " Mpps\n";
+    scale_cells.push_back(cell);
   }
 
   std::ostringstream json;
@@ -336,7 +481,28 @@ int main(int argc, char** argv) {
          << ", \"duration_s\": " << c.duration_s << "}"
          << (i + 1 < overload_cells.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  // Equal class counts at 100x different flow counts: the publish-latency
+  // ratio is the evidence that control-plane cost tracks classes, not
+  // flows.  CI bounds the ratio and the per-flow resident bytes.
+  json << "  ],\n  \"scale_sweep\": [\n";
+  for (std::size_t i = 0; i < scale_cells.size(); ++i) {
+    const ScaleCell& c = scale_cells[i];
+    json << "    {\"flows\": " << c.flows
+         << ", \"flows_per_class\": " << c.flows_per_class
+         << ", \"classes\": " << c.classes
+         << ", \"register_s\": " << c.register_s
+         << ", \"rss_delta_bytes\": " << c.rss_delta_bytes
+         << ", \"rss_bytes_per_flow\": " << c.rss_bytes_per_flow
+         << ", \"publish_p50_ns\": " << c.publish_p50_ns
+         << ", \"pps\": " << c.pps << ", \"dequeued\": " << c.dequeued
+         << ", \"duration_s\": " << c.duration_s << "}"
+         << (i + 1 < scale_cells.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"scale_publish_ratio\": "
+       << (scale_cells.size() == 2 && scale_cells[0].publish_p50_ns > 0
+               ? scale_cells[1].publish_p50_ns / scale_cells[0].publish_p50_ns
+               : 0)
+       << "\n}\n";
 
   std::ofstream out(out_path);
   if (!out) {

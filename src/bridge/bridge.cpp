@@ -1,5 +1,6 @@
 #include "bridge/bridge.hpp"
 
+#include "sched/hier_midrr.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
 #include "util/logging.hpp"
@@ -30,11 +31,16 @@ FlowId VirtualBridge::add_flow(const FlowSpec& spec) {
   return scheduler_->add_flow(spec);
 }
 
-FlowId VirtualBridge::add_flow(double weight,
-                               const std::vector<IfaceId>& willing,
-                               std::string name) {
-  return add_flow(
-      FlowSpec{.weight = weight, .willing = willing, .name = std::move(name)});
+std::size_t VirtualBridge::class_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto* hier = dynamic_cast<const HierMiDrrScheduler*>(scheduler_.get());
+  return hier != nullptr ? hier->class_count() : 0;
+}
+
+ClassId VirtualBridge::class_of(FlowId flow) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto* hier = dynamic_cast<const HierMiDrrScheduler*>(scheduler_.get());
+  return hier != nullptr ? hier->class_of(flow) : kInvalidClass;
 }
 
 std::optional<FlowId> VirtualBridge::send_from_app(net::Frame frame,

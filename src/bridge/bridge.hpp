@@ -65,10 +65,13 @@ class VirtualBridge {
   /// Registers a policy flow; returns its id.
   FlowId add_flow(const FlowSpec& spec);
 
-  /// Registers a policy flow (weight + willing interfaces); returns its id.
-  [[deprecated("use add_flow(const FlowSpec&)")]] FlowId add_flow(
-      double weight, const std::vector<IfaceId>& willing,
-      std::string name = {});
+  /// Number of live flow classes, when the bridge's scheduler aggregates
+  /// flows into classes (Policy::kHierMiDrr); 0 for flat policies.
+  std::size_t class_count() const;
+
+  /// The class of a flow under a class-aggregating scheduler; kInvalidClass
+  /// for flat policies or detached flows.
+  ClassId class_of(FlowId flow) const;
 
   FlowClassifier& classifier() { return classifier_; }
   Scheduler& scheduler() { return *scheduler_; }

@@ -127,6 +127,7 @@ std::uint64_t parse_bytes(const std::string& raw) {
 Policy parse_policy(const std::string& raw) {
   const std::string text = lower(trim(raw));
   if (text == "midrr") return Policy::kMiDrr;
+  if (text == "hmidrr" || text == "hier-midrr") return Policy::kHierMiDrr;
   if (text == "naive-drr" || text == "drr") return Policy::kNaiveDrr;
   if (text == "wfq" || text == "per-iface-wfq") return Policy::kPerIfaceWfq;
   if (text == "rr" || text == "round-robin") return Policy::kRoundRobin;

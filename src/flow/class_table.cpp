@@ -1,0 +1,74 @@
+#include "flow/class_table.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/assert.hpp"
+
+namespace midrr {
+
+std::size_t ClassKeyHash::operator()(const ClassKey& key) const {
+  // FNV-1a over the weight bits, the queue bound, and the willing row.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  mix(std::bit_cast<std::uint64_t>(key.weight));
+  mix(key.queue_capacity_bytes);
+  for (const IfaceId j : key.willing) mix(j);
+  return static_cast<std::size_t>(h);
+}
+
+void normalize_key(ClassKey& key) {
+  std::sort(key.willing.begin(), key.willing.end());
+  key.willing.erase(std::unique(key.willing.begin(), key.willing.end()),
+                    key.willing.end());
+}
+
+ClassId ClassTable::intern(const ClassKey& key) {
+  const auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  const ClassId cls = static_cast<ClassId>(entries_.size());
+  entries_.push_back(Entry{key, 0});
+  by_key_.emplace(key, cls);
+  return cls;
+}
+
+ClassId ClassTable::find(const ClassKey& key) const {
+  const auto it = by_key_.find(key);
+  return it != by_key_.end() ? it->second : kInvalidClass;
+}
+
+void ClassTable::add_member(ClassId cls, std::size_t count) {
+  MIDRR_ASSERT(cls < entries_.size(), "add_member for unknown class");
+  Entry& e = entries_[cls];
+  if (e.members == 0 && count > 0) ++live_;
+  e.members += count;
+}
+
+void ClassTable::remove_member(ClassId cls) {
+  MIDRR_ASSERT(cls < entries_.size(), "remove_member for unknown class");
+  Entry& e = entries_[cls];
+  MIDRR_ASSERT(e.members > 0, "remove_member from an empty class");
+  if (--e.members == 0) --live_;
+}
+
+std::size_t ClassTable::member_count(ClassId cls) const {
+  return cls < entries_.size() ? entries_[cls].members : 0;
+}
+
+const ClassKey& ClassTable::key(ClassId cls) const {
+  MIDRR_ASSERT(cls < entries_.size(), "key for unknown class");
+  return entries_[cls].key;
+}
+
+std::vector<ClassId> ClassTable::live() const {
+  std::vector<ClassId> out;
+  out.reserve(live_);
+  for (ClassId c = 0; c < entries_.size(); ++c) {
+    if (entries_[c].members > 0) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace midrr

@@ -1,0 +1,82 @@
+// ClassTable: interning of flow classes.
+//
+// A flow class is the equivalence class of flows that share an identical
+// preference row Pi, rate weight phi, and queue bound.  Aggregating such
+// flows into one schedulable unit is what collapses per-flow state and
+// publish cost from O(flows) to O(classes) at million-flow scale: the DRR
+// quantum results carry over because members are indistinguishable to the
+// allocator (each contributes the same phi to the same interfaces).
+//
+// The table maps ClassKey -> dense ClassId.  Ids are never reused: a class
+// whose last member leaves stays interned with zero members and revives
+// under the SAME id when a matching flow appears again, so per-class flat
+// arenas (deficit matrices, rings, counters) stay valid across churn.
+// Weight comparison is exact (bitwise double equality): two flows share a
+// class only when their phis are literally equal, which is the common case
+// when weights come from a small set of service tiers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/ids.hpp"
+
+namespace midrr {
+
+/// Everything that defines class identity.  `willing` must be sorted
+/// ascending and deduplicated (normalize_key() does both).
+struct ClassKey {
+  double weight = 1.0;
+  std::vector<IfaceId> willing{};
+  std::uint64_t queue_capacity_bytes = 0;
+
+  bool operator==(const ClassKey& other) const = default;
+};
+
+struct ClassKeyHash {
+  std::size_t operator()(const ClassKey& key) const;
+};
+
+/// Sorts and deduplicates the willing row in place.
+void normalize_key(ClassKey& key);
+
+class ClassTable {
+ public:
+  /// Find-or-create: returns the id of the class with `key`, minting a new
+  /// dense id on first sight.  `key` must be normalized.  Does NOT change
+  /// the member count.
+  ClassId intern(const ClassKey& key);
+
+  /// Lookup without creation; kInvalidClass when absent.
+  ClassId find(const ClassKey& key) const;
+
+  void add_member(ClassId cls, std::size_t count = 1);
+  void remove_member(ClassId cls);
+
+  std::size_t member_count(ClassId cls) const;
+  const ClassKey& key(ClassId cls) const;
+
+  /// One past the largest id ever minted (per-class arenas size by this).
+  std::size_t slots() const { return entries_.size(); }
+
+  /// Classes currently holding at least one member.
+  std::size_t live_count() const { return live_; }
+
+  /// Live class ids, ascending (O(slots) scan; control-path only).
+  std::vector<ClassId> live() const;
+
+ private:
+  struct Entry {
+    ClassKey key;
+    std::size_t members = 0;
+  };
+
+  std::unordered_map<ClassKey, ClassId, ClassKeyHash> by_key_;
+  std::vector<Entry> entries_;  // by ClassId
+  std::size_t live_ = 0;
+};
+
+}  // namespace midrr

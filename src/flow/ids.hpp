@@ -14,7 +14,14 @@ namespace midrr {
 using FlowId = std::uint32_t;
 using IfaceId = std::uint32_t;
 
+/// Names a flow class: the equivalence class of flows sharing one
+/// preference row Pi, one weight phi, and one queue bound.  Dense ids
+/// minted by ClassTable; never reused (an emptied class keeps its id and
+/// revives when a matching flow appears again).
+using ClassId = std::uint32_t;
+
 inline constexpr FlowId kInvalidFlow = std::numeric_limits<FlowId>::max();
 inline constexpr IfaceId kInvalidIface = std::numeric_limits<IfaceId>::max();
+inline constexpr ClassId kInvalidClass = std::numeric_limits<ClassId>::max();
 
 }  // namespace midrr

@@ -44,6 +44,7 @@ class FlowQueue {
   bool empty() const { return count_ == 0; }
   std::uint64_t backlog_bytes() const { return backlog_bytes_; }  ///< BL_i
   std::size_t backlog_packets() const { return count_; }
+  std::uint64_t capacity_bytes() const { return capacity_bytes_; }  ///< 0 = unbounded
 
   const FlowQueueStats& stats() const { return stats_; }
 

@@ -6,12 +6,22 @@
 
 namespace midrr::rt {
 
+namespace {
+
+// Works for shard lists and Pi rows alike (IfaceId is std::uint32_t).
+bool contains(const std::vector<std::uint32_t>& sorted, std::uint32_t value) {
+  return std::binary_search(sorted.begin(), sorted.end(), value);
+}
+
+}  // namespace
+
 ControlPlane::ControlPlane(ShardApplier& applier,
                            std::vector<std::uint32_t> shard_of_iface,
                            std::size_t max_flows)
     : applier_(applier),
       shard_of_iface_(std::move(shard_of_iface)),
       max_flows_(max_flows),
+      dir_(std::make_unique<std::atomic<std::uint32_t>[]>(max_flows)),
       cell_(std::make_unique<RuntimeSnapshot>()) {
   MIDRR_REQUIRE(max_flows_ > 0, "max_flows must be positive");
   latest_.iface_count = shard_of_iface_.size();
@@ -30,6 +40,11 @@ void ControlPlane::publish_locked(std::unique_ptr<RuntimeSnapshot> next) {
 std::uint64_t ControlPlane::version() const {
   std::lock_guard<std::mutex> lock(mu_);
   return latest_.version;
+}
+
+std::size_t ControlPlane::class_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_.live.size();
 }
 
 std::vector<std::uint32_t> ControlPlane::shards_of(
@@ -63,7 +78,7 @@ std::vector<IfaceId> ControlPlane::live_subset_locked(
   return live;
 }
 
-RtFlowSpec ControlPlane::spec_of(const SnapshotFlow& entry) {
+RtFlowSpec ControlPlane::spec_of(const SnapshotClass& entry) {
   RtFlowSpec spec;
   spec.weight = entry.weight;
   spec.willing = entry.willing;
@@ -72,140 +87,259 @@ RtFlowSpec ControlPlane::spec_of(const SnapshotFlow& entry) {
   return spec;
 }
 
-FlowId ControlPlane::add_flow(const RtFlowSpec& spec) {
-  MIDRR_REQUIRE(spec.weight > 0.0, "flow weight must be positive");
-  std::lock_guard<std::mutex> lock(mu_);
-
-  // Validate everything BEFORE consuming a flow id: a rejected add must
-  // not burn a slot of the (never-reused) id space.
-  SnapshotFlow entry;
-  entry.live = true;
-  entry.weight = spec.weight;
-  entry.willing = spec.willing;
-  std::sort(entry.willing.begin(), entry.willing.end());
-  entry.willing.erase(std::unique(entry.willing.begin(), entry.willing.end()),
-                      entry.willing.end());
-  shards_of(entry.willing);  // validates: throws on unknown interfaces
-  const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
-  entry.shards = shards_of(live_willing);
-  entry.quarantined = entry.shards.empty() && !entry.willing.empty();
-  entry.name = spec.name;
-  entry.queue_capacity_bytes = spec.queue_capacity_bytes;
-  MIDRR_REQUIRE(next_flow_ < max_flows_,
-                "flow arena exhausted (RuntimeOptions::max_flows)");
-  const FlowId flow = next_flow_++;
-  entry.id = flow;
-
-  // Data plane first: every hosting shard must know the flow before any
-  // producer can route a packet to it.
-  for (const std::uint32_t s : entry.shards) {
-    applier_.shard_add_flow(s, flow, spec,
-                            willing_in_shard(live_willing, s));
+ClassId ControlPlane::intern_locked(const ClassSpec& spec) {
+  MIDRR_REQUIRE(spec.weight > 0.0, "class weight must be positive");
+  ClassKey key;
+  key.weight = spec.weight;
+  key.willing = spec.willing;
+  key.queue_capacity_bytes = spec.queue_capacity_bytes;
+  normalize_key(key);
+  shards_of(key.willing);  // validates: throws on unknown interfaces
+  const ClassId cid = table_.intern(key);
+  if (latest_.classes.size() <= cid) latest_.classes.resize(cid + 1);
+  SnapshotClass& entry = latest_.classes[cid];
+  if (!entry.live) {
+    // Fresh mint or revival: (re)build the snapshot entry from the key.
+    entry.id = cid;
+    entry.weight = key.weight;
+    entry.willing = key.willing;
+    entry.queue_capacity_bytes = key.queue_capacity_bytes;
+    entry.members = 0;
+    const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
+    entry.shards = shards_of(live_willing);
+    entry.quarantined = entry.shards.empty() && !entry.willing.empty();
   }
-
-  if (latest_.flows.size() <= flow) latest_.flows.resize(flow + 1);
-  latest_.flows[flow] = std::move(entry);
-  latest_.live.insert(
-      std::lower_bound(latest_.live.begin(), latest_.live.end(), flow), flow);
-  ++latest_.version;
-  publish_locked(clone_locked());
-  return flow;
+  if (entry.name.empty() && !spec.name.empty()) entry.name = spec.name;
+  return cid;
 }
 
-void ControlPlane::remove_flow(FlowId flow) {
-  std::lock_guard<std::mutex> lock(mu_);
-  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
-                "removing unknown flow");
-  const std::vector<std::uint32_t> shards = latest_.flows[flow].shards;
+void ControlPlane::refresh_liveness_locked(ClassId cls) {
+  SnapshotClass& entry = latest_.classes[cls];
+  const bool was_live = entry.live;
+  entry.live = entry.members > 0;
+  if (entry.live && !was_live) {
+    latest_.live.insert(
+        std::lower_bound(latest_.live.begin(), latest_.live.end(), cls), cls);
+  } else if (!entry.live && was_live) {
+    latest_.live.erase(
+        std::find(latest_.live.begin(), latest_.live.end(), cls));
+    entry.quarantined = false;
+    entry.shards.clear();
+  }
+}
 
-  // Publish first: producers holding the new snapshot stop offering, then
-  // the shards forget the flow (stragglers in ingress rings get dropped by
-  // the fan-in stage).
-  latest_.flows[flow].live = false;
-  latest_.flows[flow].quarantined = false;
-  latest_.flows[flow].shards.clear();
-  latest_.live.erase(
-      std::find(latest_.live.begin(), latest_.live.end(), flow));
+void ControlPlane::dir_store(FlowId flow, ClassId cls) {
+  const std::uint32_t prev =
+      dir_[flow].exchange(cls + 1, std::memory_order_release);
+  if (prev == 0) live_flows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ControlPlane::dir_clear(FlowId flow) {
+  const std::uint32_t prev = dir_[flow].exchange(0, std::memory_order_release);
+  if (prev != 0) live_flows_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<FlowId> ControlPlane::live_flows() const {
+  std::vector<FlowId> out;
+  out.reserve(live_flows_.load(std::memory_order_relaxed));
+  for (FlowId f = 0; f < max_flows_; ++f) {
+    if (dir_[f].load(std::memory_order_acquire) != 0) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<FlowId> ControlPlane::members_of(ClassId cls) const {
+  std::vector<FlowId> out;
+  for (FlowId f = 0; f < max_flows_; ++f) {
+    if (dir_[f].load(std::memory_order_acquire) == cls + 1) out.push_back(f);
+  }
+  return out;
+}
+
+FlowId ControlPlane::add_members(const ClassSpec& spec, std::size_t count) {
+  MIDRR_REQUIRE(count > 0, "add_members of zero flows");
+  std::lock_guard<std::mutex> lock(mu_);
+  const ClassId cid = intern_locked(spec);  // validates weight + interfaces
+  MIDRR_REQUIRE(next_flow_ + count <= max_flows_,
+                "flow arena exhausted (RuntimeOptions::max_flows)");
+  SnapshotClass& entry = latest_.classes[cid];
+  const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
+  const RtFlowSpec reg = spec_of(entry);
+  const FlowId first = next_flow_;
+
+  // Data plane first: every hosting shard must know a flow before any
+  // producer can route a packet to it.  Per-shard subsets are computed once
+  // for the whole batch.
+  for (const std::uint32_t s : entry.shards) {
+    const std::vector<IfaceId> subset = willing_in_shard(live_willing, s);
+    for (std::size_t k = 0; k < count; ++k) {
+      applier_.shard_add_flow(s, first + static_cast<FlowId>(k), reg, subset);
+    }
+  }
+  next_flow_ += static_cast<FlowId>(count);
+  entry.members += count;
+  refresh_liveness_locked(cid);
+  ++latest_.version;
+  publish_locked(clone_locked());  // ONE publish for the whole batch
+
+  // Directory last: a producer that resolves flow -> class must find the
+  // class in the snapshot it reads.
+  for (std::size_t k = 0; k < count; ++k) {
+    dir_store(first + static_cast<FlowId>(k), cid);
+  }
+  return first;
+}
+
+void ControlPlane::remove_member(FlowId flow) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const ClassId cid = class_of(flow);
+  MIDRR_REQUIRE(cid != kInvalidClass, "removing unknown flow");
+  SnapshotClass& entry = latest_.classes[cid];
+
+  // Directory first (producers stop resolving the flow), then the publish
+  // bumps the epoch, invalidating cached routes; stragglers already queued
+  // get dropped by the fan-in stage.
+  dir_clear(flow);
+  const std::vector<std::uint32_t> shards = entry.shards;
+  --entry.members;
+  refresh_liveness_locked(cid);
   ++latest_.version;
   publish_locked(clone_locked());
 
   for (const std::uint32_t s : shards) applier_.shard_remove_flow(s, flow);
 }
 
-void ControlPlane::set_weight(FlowId flow, double weight) {
-  MIDRR_REQUIRE(weight > 0.0, "flow weight must be positive");
+void ControlPlane::move_member(FlowId flow, const ClassSpec& spec) {
   std::lock_guard<std::mutex> lock(mu_);
-  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
-                "reweighting unknown flow");
-  for (const std::uint32_t s : latest_.flows[flow].shards) {
-    applier_.shard_set_weight(s, flow, weight);
+  const ClassId old_cid = class_of(flow);
+  MIDRR_REQUIRE(old_cid != kInvalidClass, "moving unknown flow");
+  const ClassId new_cid = intern_locked(spec);
+  if (new_cid == old_cid) return;  // identical identity: nothing to move
+  // References only AFTER the last intern (it may resize classes).
+  SnapshotClass& oldc = latest_.classes[old_cid];
+  SnapshotClass& newc = latest_.classes[new_cid];
+  const std::vector<IfaceId> old_live = live_subset_locked(oldc.willing);
+  const std::vector<IfaceId> new_live = live_subset_locked(newc.willing);
+
+  // Coverage diff.  Queues survive on shards hosting both classes; the
+  // flow is re-registered on new-only shards (before the publish) and
+  // dropped from old-only shards (after it).
+  for (const std::uint32_t s : newc.shards) {
+    if (!contains(oldc.shards, s)) {
+      applier_.shard_add_flow(s, flow, spec_of(newc),
+                              willing_in_shard(new_live, s));
+      continue;
+    }
+    if (newc.weight != oldc.weight) {
+      applier_.shard_set_weight(s, flow, newc.weight);
+    }
+    for (const IfaceId j : willing_in_shard(old_live, s)) {
+      if (!contains(new_live, j)) applier_.shard_set_willing(s, flow, j, false);
+    }
+    for (const IfaceId j : willing_in_shard(new_live, s)) {
+      if (!contains(old_live, j)) applier_.shard_set_willing(s, flow, j, true);
+    }
   }
-  latest_.flows[flow].weight = weight;
+
+  const std::vector<std::uint32_t> old_shards = oldc.shards;
+  --oldc.members;
+  newc.members += 1;
+  refresh_liveness_locked(old_cid);
+  refresh_liveness_locked(new_cid);
   ++latest_.version;
   publish_locked(clone_locked());
+  dir_store(flow, new_cid);
+
+  for (const std::uint32_t s : old_shards) {
+    if (!contains(latest_.classes[new_cid].shards, s)) {
+      applier_.shard_remove_flow(s, flow);
+    }
+  }
+}
+
+ClassId ControlPlane::reweight_class(ClassId cls, double weight) {
+  MIDRR_REQUIRE(weight > 0.0, "class weight must be positive");
+  std::lock_guard<std::mutex> lock(mu_);
+  MIDRR_REQUIRE(cls < latest_.classes.size() && latest_.classes[cls].live,
+                "reweighting unknown class");
+  if (latest_.classes[cls].weight == weight) return cls;
+
+  ClassSpec spec = spec_of(latest_.classes[cls]);
+  spec.weight = weight;
+  const std::vector<FlowId> members = members_of(cls);
+  const ClassId target = intern_locked(spec);  // mint, revive, or MERGE
+  SnapshotClass& oldc = latest_.classes[cls];
+  SnapshotClass& newc = latest_.classes[target];
+
+  // Same Pi row => same hosting shards; every member's queue survives, only
+  // its scheduler weight changes.
+  for (const FlowId f : members) {
+    for (const std::uint32_t s : newc.shards) {
+      applier_.shard_set_weight(s, f, weight);
+    }
+  }
+  newc.members += members.size();
+  oldc.members = 0;
+  refresh_liveness_locked(cls);
+  refresh_liveness_locked(target);
+  ++latest_.version;
+  publish_locked(clone_locked());  // ONE publish for the whole class
+  for (const FlowId f : members) dir_store(f, target);
+  return target;
+}
+
+FlowId ControlPlane::apply(const ControlDelta& delta) {
+  switch (delta.kind) {
+    case ControlDelta::Kind::kAddMembers:
+      return add_members(delta.spec, delta.count);
+    case ControlDelta::Kind::kRemoveMember:
+      remove_member(delta.flow);
+      return kInvalidFlow;
+    case ControlDelta::Kind::kMoveMember:
+      move_member(delta.flow, delta.spec);
+      return kInvalidFlow;
+    case ControlDelta::Kind::kReweightClass:
+      reweight_class(delta.cls, delta.weight);
+      return kInvalidFlow;
+  }
+  MIDRR_REQUIRE(false, "unknown delta kind");
+  return kInvalidFlow;
+}
+
+void ControlPlane::set_weight(FlowId flow, double weight) {
+  MIDRR_REQUIRE(weight > 0.0, "flow weight must be positive");
+  ClassSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const ClassId cid = class_of(flow);
+    MIDRR_REQUIRE(cid != kInvalidClass, "reweighting unknown flow");
+    spec = spec_of(latest_.classes[cid]);
+  }
+  spec.weight = weight;
+  move_member(flow, spec);
 }
 
 void ControlPlane::set_willing(FlowId flow, IfaceId iface, bool value) {
-  std::lock_guard<std::mutex> lock(mu_);
-  MIDRR_REQUIRE(flow < latest_.flows.size() && latest_.flows[flow].live,
-                "set_willing for unknown flow");
-  MIDRR_REQUIRE(iface < shard_of_iface_.size(),
-                "set_willing for unknown interface");
-  SnapshotFlow& entry = latest_.flows[flow];
-  const bool had = std::binary_search(entry.willing.begin(),
-                                      entry.willing.end(), iface);
-  if (had == value) return;
-
-  std::vector<IfaceId> new_willing = entry.willing;
-  if (value) {
-    new_willing.insert(
-        std::lower_bound(new_willing.begin(), new_willing.end(), iface),
-        iface);
-  } else {
-    new_willing.erase(
-        std::find(new_willing.begin(), new_willing.end(), iface));
-  }
-
-  // Hosting is computed over LIVE willing interfaces: flipping a bit on a
-  // dead interface edits Pi but moves nothing until a revive re-steers.
-  const std::uint32_t shard = shard_of_iface_[iface];
-  const bool iface_live = down_.empty() || !down_[iface];
-  const std::vector<IfaceId> new_live = live_subset_locked(new_willing);
-  const std::vector<std::uint32_t> old_shards = entry.shards;
-  const std::vector<std::uint32_t> new_shards = shards_of(new_live);
-  const bool was_hosted =
-      std::binary_search(old_shards.begin(), old_shards.end(), shard);
-  const bool now_hosted =
-      std::binary_search(new_shards.begin(), new_shards.end(), shard);
-
-  if (iface_live && value) {
-    // Coverage grows: register before publishing.
-    if (!was_hosted) {
-      RtFlowSpec spec = spec_of(entry);
-      spec.willing = new_willing;
-      applier_.shard_add_flow(shard, flow, spec,
-                              willing_in_shard(new_live, shard));
+  ClassSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MIDRR_REQUIRE(iface < shard_of_iface_.size(),
+                  "set_willing for unknown interface");
+    const ClassId cid = class_of(flow);
+    MIDRR_REQUIRE(cid != kInvalidClass, "set_willing for unknown flow");
+    spec = spec_of(latest_.classes[cid]);
+    const bool had = contains(spec.willing, iface);
+    if (had == value) return;
+    if (value) {
+      spec.willing.insert(
+          std::lower_bound(spec.willing.begin(), spec.willing.end(), iface),
+          iface);
     } else {
-      applier_.shard_set_willing(shard, flow, iface, true);
+      spec.willing.erase(
+          std::find(spec.willing.begin(), spec.willing.end(), iface));
     }
   }
-
-  entry.willing = std::move(new_willing);
-  entry.shards = new_shards;
-  entry.quarantined = new_shards.empty() && !entry.willing.empty();
-  ++latest_.version;
-  publish_locked(clone_locked());
-
-  if (iface_live && !value) {
-    // Coverage shrinks: publish first, then drop the flow from the shard
-    // (its queue there is discarded -- same as interface-loss semantics in
-    // the simulator: packets stay with the flow only within a scheduler).
-    if (was_hosted && !now_hosted) {
-      applier_.shard_remove_flow(shard, flow);
-    } else if (was_hosted) {
-      applier_.shard_set_willing(shard, flow, iface, false);
-    }
-  }
+  move_member(flow, spec);
 }
 
 void ControlPlane::set_iface_down(IfaceId iface, bool down) {
@@ -217,6 +351,14 @@ void ControlPlane::set_iface_down(IfaceId iface, bool down) {
   down_[iface] = down;
   latest_.iface_down = down_;
 
+  // One directory scan gives every affected class's member list (the only
+  // O(max_flows) step; everything else is O(classes) + O(moved members)).
+  std::vector<std::vector<FlowId>> members(latest_.classes.size());
+  for (FlowId f = 0; f < next_flow_; ++f) {
+    const std::uint32_t v = dir_[f].load(std::memory_order_acquire);
+    if (v != 0) members[v - 1].push_back(f);
+  }
+
   struct Removal {
     std::uint32_t shard;
     FlowId flow;
@@ -224,32 +366,37 @@ void ControlPlane::set_iface_down(IfaceId iface, bool down) {
   std::vector<Removal> removals;
   const std::uint32_t iface_shard = shard_of_iface_[iface];
 
-  for (const FlowId id : latest_.live) {
-    SnapshotFlow& entry = latest_.flows[id];
-    if (!std::binary_search(entry.willing.begin(), entry.willing.end(),
-                            iface)) {
-      continue;
-    }
+  for (const ClassId cid : latest_.live) {
+    SnapshotClass& entry = latest_.classes[cid];
+    if (!contains(entry.willing, iface)) continue;
     const std::vector<IfaceId> live_willing = live_subset_locked(entry.willing);
     const std::vector<std::uint32_t> new_shards = shards_of(live_willing);
 
     // Grow side before the publish: a producer may only route to a shard
     // that already knows the flow.
     for (const std::uint32_t s : new_shards) {
-      if (!std::binary_search(entry.shards.begin(), entry.shards.end(), s)) {
-        applier_.shard_add_flow(s, id, spec_of(entry),
-                                willing_in_shard(live_willing, s));
-      } else if (!down && s == iface_shard) {
-        // Shard hosted the flow throughout; make sure the revived
-        // interface's willing bit is set there (it is cleared when a
-        // re-add while the interface was dead registered only the live
-        // subset).  Idempotent when the bit never went away.
-        applier_.shard_set_willing(s, id, iface, true);
+      if (!contains(entry.shards, s)) {
+        const std::vector<IfaceId> subset = willing_in_shard(live_willing, s);
+        for (const FlowId f : members[cid]) {
+          applier_.shard_add_flow(s, f, spec_of(entry), subset);
+        }
+      } else if (s == iface_shard) {
+        // The shard hosts the class on both sides of the transition (some
+        // OTHER willing interface there is live), so only the transitioning
+        // interface's willing bit flips: cleared on death -- the scheduler
+        // must stop granting the dead interface turns -- and restored on
+        // revival (a re-add while the interface was dead registered only
+        // the live subset).  Idempotent when the bit never went away.
+        for (const FlowId f : members[cid]) {
+          applier_.shard_set_willing(s, f, iface, !down);
+        }
       }
     }
     for (const std::uint32_t s : entry.shards) {
-      if (!std::binary_search(new_shards.begin(), new_shards.end(), s)) {
-        removals.push_back(Removal{s, id});
+      if (!contains(new_shards, s)) {
+        for (const FlowId f : members[cid]) {
+          removals.push_back(Removal{s, f});
+        }
       }
     }
     entry.shards = new_shards;
@@ -257,7 +404,7 @@ void ControlPlane::set_iface_down(IfaceId iface, bool down) {
   }
 
   ++latest_.version;
-  publish_locked(clone_locked());
+  publish_locked(clone_locked());  // ONE publish for the whole transition
 
   // Shrink side after the publish: producers already stopped routing here;
   // queued packets become counted straggler drops at the shard.
@@ -272,8 +419,9 @@ bool ControlPlane::iface_down(IfaceId iface) const {
 std::size_t ControlPlane::quarantined_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::size_t n = 0;
-  for (const FlowId id : latest_.live) {
-    if (latest_.flows[id].quarantined) ++n;
+  for (const ClassId cid : latest_.live) {
+    const SnapshotClass& entry = latest_.classes[cid];
+    if (entry.quarantined) n += entry.members;
   }
   return n;
 }

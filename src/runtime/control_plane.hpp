@@ -1,78 +1,123 @@
-// ControlPlane: the runtime's slow path.  Flow add/remove and (Pi, phi)
-// preference edits are applied to the shard schedulers under their locks,
-// then published to the lock-free fast path as a new immutable
-// RuntimeSnapshot via an epoch-RCU cell (runtime/rcu.hpp).
+// ControlPlane: the runtime's slow path, redesigned around FLOW CLASSES.
+//
+// Flows sharing one preference row Pi, one weight phi, and one queue bound
+// are interned into a class (flow/class_table.hpp); the published
+// configuration (RuntimeSnapshot) describes CLASSES, not flows, so its size
+// -- and therefore the cost of every publish -- is O(classes x interfaces)
+// no matter how many flows are registered.  Per-flow state shrinks to one
+// lock-free directory word mapping FlowId -> ClassId; producers resolve a
+// packet's route as flow -> class -> hosting shards.
+//
+// Mutations are CLASS DELTAS (ControlDelta): add members to a class, remove
+// a member, move a member between classes, reweight a whole class.  Each
+// delta applies its shard-side changes and then publishes ONE new snapshot;
+// registering a million same-class flows via add_members(spec, 1'000'000)
+// costs one publish.  The flow-level veneer (add_flow / remove_flow /
+// set_weight / set_willing) is expressed in those deltas, so existing
+// callers keep working while paying class-level publish costs.
 //
 // The paper's Section 4 requires that preference dynamics never disturb
 // in-flight scheduling; here that translates to: producers and workers
-// read a consistent (Pi, phi) snapshot without blocking, and an update
-// becomes visible as one atomic pointer swap -- a reader sees either the
-// whole old configuration or the whole new one, never a torn mix (the
-// snapshot-swap test pins exactly this).
+// read a consistent class snapshot without blocking, and an update becomes
+// visible as one atomic pointer swap -- a reader sees either the whole old
+// configuration or the whole new one, never a torn mix.
 //
 // The control plane does not touch schedulers directly; it drives a
 // ShardApplier (implemented by Runtime) so the registry/diff logic is unit
-// testable without threads.  Update ordering:
-//   * add_flow / willingness growth: apply to shards FIRST, then publish --
-//     a producer can only route a packet to a shard after the shard knows
-//     the flow.
-//   * remove_flow / willingness shrink: publish FIRST, then apply --
-//     producers stop offering before the shard forgets the flow; packets
-//     already sitting in ingress rings for a forgotten flow are dropped by
-//     the fan-in stage (counted, never fatal).
+// testable without threads.  Shards keep PER-FLOW state (each member has
+// its own queue there), so shard calls stay flow-grained.  Update ordering:
+//   * member/coverage growth: apply to shards FIRST, then publish, then
+//     point the directory at the class -- a producer can only route a
+//     packet once the shard knows the flow AND the snapshot knows the
+//     class.
+//   * member/coverage shrink: clear the directory, publish, THEN drop the
+//     flow from shards -- producers stop offering before a shard forgets
+//     the flow; packets already sitting in ingress rings for a forgotten
+//     flow are dropped by the fan-in stage (counted, never fatal).
 // Writers are serialized by an internal mutex; readers never block.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "flow/class_table.hpp"
 #include "flow/ids.hpp"
 #include "runtime/rcu.hpp"
 
 namespace midrr::rt {
 
-/// Flow registration for the runtime: like sched::FlowSpec but with GLOBAL
+/// Class identity + registration options for the runtime, with GLOBAL
 /// interface ids (the runtime translates to per-shard scheduler ids).
-struct RtFlowSpec {
+/// Flows registered with equal (weight, willing, queue_capacity_bytes)
+/// land in the same class; `name` labels the class (first writer wins) and
+/// is not part of its identity.
+struct ClassSpec {
   double weight = 1.0;
   std::vector<IfaceId> willing{};  ///< global interface ids
   std::string name{};
-  std::uint64_t queue_capacity_bytes = 512 * 1024;  ///< per shard; 0 = unbounded
+  std::uint64_t queue_capacity_bytes = 512 * 1024;  ///< per member per shard; 0 = unbounded
 };
 
-/// One flow's entry in the published configuration.
-struct SnapshotFlow {
-  FlowId id = kInvalidFlow;
-  bool live = false;
-  /// Live with a non-empty Pi row but no LIVE willing interface: the flow
-  /// keeps its preferences and id, producers' offers are rejected and
-  /// counted (never silently dropped), and the next revive re-steers it
-  /// back onto the data plane.
+/// Flow-level registration is the same record: a flow is a one-member use
+/// of its class.  Kept as an alias so shard-side code (which is per-flow)
+/// and veneer callers share the type.
+using RtFlowSpec = ClassSpec;
+
+/// One class's entry in the published configuration.
+struct SnapshotClass {
+  ClassId id = kInvalidClass;
+  bool live = false;  ///< has at least one member
+  /// Live with a non-empty Pi row but no LIVE willing interface: members
+  /// keep their preferences and ids, producers' offers are rejected and
+  /// counted (never silently dropped), and the next revive re-steers the
+  /// whole class back onto the data plane.
   bool quarantined = false;
-  double weight = 1.0;
-  std::vector<IfaceId> willing{};        ///< global iface ids, ascending
-  std::vector<std::uint32_t> shards{};   ///< shards hosting this flow, ascending
+  double weight = 1.0;              ///< per member
+  std::uint64_t members = 0;
+  std::vector<IfaceId> willing{};       ///< global iface ids, ascending
+  std::vector<std::uint32_t> shards{};  ///< shards hosting the class, ascending
   std::string name{};
   std::uint64_t queue_capacity_bytes = 512 * 1024;
 };
 
 /// An immutable configuration snapshot.  Built by the control plane,
-/// published via RCU, read lock-free by producers and workers.
+/// published via RCU, read lock-free by producers and workers.  O(classes),
+/// never O(flows): flow membership lives in the control plane's directory
+/// (ControlPlane::class_of), not here.
 struct RuntimeSnapshot {
   std::uint64_t version = 0;
-  std::vector<SnapshotFlow> flows{};  ///< indexed by FlowId (slots, not live count)
-  std::vector<FlowId> live{};         ///< live flow ids, ascending
+  std::vector<SnapshotClass> classes{};  ///< indexed by ClassId (slots)
+  std::vector<ClassId> live{};           ///< live class ids, ascending
   std::size_t iface_count = 0;
   /// Administratively-dead interfaces (supervisor verdicts); empty means
   /// all up.  Indexed by global interface id when non-empty.
   std::vector<bool> iface_down{};
 
-  const SnapshotFlow* flow(FlowId id) const {
-    return id < flows.size() && flows[id].live ? &flows[id] : nullptr;
+  const SnapshotClass* cls(ClassId id) const {
+    return id < classes.size() && classes[id].live ? &classes[id] : nullptr;
   }
+};
+
+/// One mutation of the class configuration, reified.  apply() is the
+/// single entry point scripts/tools drive the control plane through; the
+/// named methods below are the same deltas with direct signatures.
+struct ControlDelta {
+  enum class Kind {
+    kAddMembers,     ///< register `count` flows under `spec`'s class
+    kRemoveMember,   ///< deregister flow `flow`
+    kMoveMember,     ///< re-register flow `flow` under `spec`'s class
+    kReweightClass,  ///< set class `cls`'s per-member weight to `weight`
+  };
+  Kind kind = Kind::kAddMembers;
+  ClassSpec spec{};            ///< kAddMembers / kMoveMember: target class
+  std::size_t count = 1;       ///< kAddMembers: number of flows to mint
+  FlowId flow = kInvalidFlow;  ///< kRemoveMember / kMoveMember
+  ClassId cls = kInvalidClass; ///< kReweightClass
+  double weight = 1.0;         ///< kReweightClass
 };
 
 /// What the control plane needs from the data plane: apply one mutation to
@@ -99,40 +144,89 @@ class ControlPlane {
   ControlPlane(ShardApplier& applier, std::vector<std::uint32_t> shard_of_iface,
                std::size_t max_flows);
 
-  // --- Mutations (any thread; serialized internally) ---------------------
+  // --- Class deltas (any thread; serialized internally) -------------------
 
-  /// Registers a flow; returns its global id.  Ids are dense and never
-  /// reused (same contract as Preferences).
-  FlowId add_flow(const RtFlowSpec& spec);
+  /// Registers `count` flows as members of the class identified by `spec`
+  /// (interned on first sight, revived if it had emptied).  Returns the
+  /// first of `count` consecutive dense flow ids; ids are never reused
+  /// (same contract as Preferences).  ONE publish regardless of `count`.
+  FlowId add_members(const ClassSpec& spec, std::size_t count = 1);
 
-  void remove_flow(FlowId flow);
+  /// Deregisters one member; its queued packets in shards are discarded
+  /// (counted as straggler drops at fan-in).  The class retires when its
+  /// last member leaves and revives under the same id on a matching
+  /// add_members.
+  void remove_member(FlowId flow);
 
-  /// phi update: applied to every hosting shard, published atomically.
+  /// Re-registers an existing member under `spec`'s class, preserving the
+  /// flow id.  Shard coverage is diffed: queues survive on shards common
+  /// to both classes; departed shards discard, new shards start empty.
+  void move_member(FlowId flow, const ClassSpec& spec);
+
+  /// Changes a whole class's per-member weight in one delta: every member
+  /// moves to the class identified by the reweighted key (minted fresh, or
+  /// MERGED into an existing class when the key collides).  Returns the
+  /// members' new class id.  Shard queues survive (same Pi row, same
+  /// hosting shards).
+  ClassId reweight_class(ClassId cls, double weight);
+
+  /// Applies one reified delta; returns the first minted flow id for
+  /// kAddMembers, kInvalidFlow otherwise.
+  FlowId apply(const ControlDelta& delta);
+
+  // --- Flow-level veneer (the pre-class API, expressed as deltas) ---------
+
+  /// Registers one flow (one-member delta).  Returns its global id.
+  FlowId add_flow(const RtFlowSpec& spec) { return add_members(spec, 1); }
+
+  void remove_flow(FlowId flow) { remove_member(flow); }
+
+  /// phi update for ONE flow: moves it into the class with the new weight.
   void set_weight(FlowId flow, double weight);
 
-  /// Pi update: may grow or shrink the flow's shard coverage; the control
-  /// plane computes the diff and adds/removes the flow from shards as
-  /// needed (packets queued in a departed shard are discarded, mirroring
-  /// remove_flow semantics there).
+  /// Pi update for ONE flow: moves it into the class with the edited row.
   void set_willing(FlowId flow, IfaceId iface, bool value);
 
   /// Marks a global interface administratively dead (or revives it) and
-  /// re-steers every affected flow in ONE publish: hosting shards are
-  /// recomputed over live willing interfaces only, newly-covered shards are
-  /// registered before the publish, shards left without any live willing
-  /// interface are dropped after it (their queued packets become counted
-  /// straggler drops), and flows whose entire Pi row is dead are
-  /// quarantined -- preferences kept, offers rejected upstream -- until a
-  /// revive re-steers them back.  Pi itself is never edited: the supervisor
-  /// masks reality, the user still owns preferences (Section 4's contract).
+  /// re-steers every affected CLASS in ONE publish: hosting shards are
+  /// recomputed over live willing interfaces only, newly-covered shards
+  /// are registered (per member) before the publish, shards left without
+  /// any live willing interface are dropped after it (their queued packets
+  /// become counted straggler drops), and classes whose entire Pi row is
+  /// dead are quarantined -- preferences kept, offers rejected upstream --
+  /// until a revive re-steers them back.  Pi itself is never edited: the
+  /// supervisor masks reality, the user still owns preferences (Section
+  /// 4's contract).
   void set_iface_down(IfaceId iface, bool down);
 
   bool iface_down(IfaceId iface) const;
 
-  /// Number of currently-quarantined live flows (telemetry gauge).
+  /// Number of currently-quarantined live flows, i.e. summed members of
+  /// quarantined classes (telemetry gauge; O(classes)).
   std::size_t quarantined_count() const;
 
   // --- Read side ---------------------------------------------------------
+
+  /// The class a flow currently belongs to; kInvalidClass if the flow is
+  /// not registered.  Lock-free (one acquire load of the directory word);
+  /// safe from any thread, any rate.
+  ClassId class_of(FlowId flow) const {
+    if (flow >= max_flows_) return kInvalidClass;
+    const std::uint32_t v = dir_[flow].load(std::memory_order_acquire);
+    return v == 0 ? kInvalidClass : static_cast<ClassId>(v - 1);
+  }
+
+  /// Number of registered flows (lock-free gauge).
+  std::size_t flow_count() const {
+    return live_flows_.load(std::memory_order_relaxed);
+  }
+
+  /// Live flow ids, ascending.  O(max_flows) directory scan -- control
+  /// path and epoch-change refreshes only, never per packet.
+  std::vector<FlowId> live_flows() const;
+
+  /// Members of one class, ascending.  O(max_flows) scan (control path).
+  std::vector<FlowId> members_of(ClassId cls) const;
 
   /// Claims a reader slot for the calling thread (hold one per thread,
   /// reuse it for every read).
@@ -152,6 +246,9 @@ class ControlPlane {
   std::size_t max_flows() const { return max_flows_; }
   std::size_t iface_count() const { return shard_of_iface_.size(); }
 
+  /// Classes with at least one member (telemetry gauge).
+  std::size_t class_count() const;
+
   /// RCU epoch distance to the slowest in-flight reader (telemetry gauge).
   std::uint64_t max_reader_lag() const { return cell_.max_reader_lag(); }
 
@@ -163,16 +260,34 @@ class ControlPlane {
                                         std::uint32_t shard) const;
   std::vector<IfaceId> live_subset_locked(
       const std::vector<IfaceId>& willing) const;
-  static RtFlowSpec spec_of(const SnapshotFlow& entry);
+  static RtFlowSpec spec_of(const SnapshotClass& entry);
+
+  /// Interns `spec`'s class in latest_, (re)initializing its snapshot
+  /// entry if it is not currently live, and recomputing hosting shards.
+  /// Does not change member count and does not publish.
+  ClassId intern_locked(const ClassSpec& spec);
+
+  /// Bookkeeping after a membership change: live-list membership and
+  /// quarantine state of one class.
+  void refresh_liveness_locked(ClassId cls);
+
+  /// Directory write, paired with the live-flow gauge.
+  void dir_store(FlowId flow, ClassId cls);
+  void dir_clear(FlowId flow);
 
   ShardApplier& applier_;
   std::vector<std::uint32_t> shard_of_iface_;
   std::size_t max_flows_;
   std::vector<bool> down_;  // guarded by mu_; empty until first set_iface_down
 
-  mutable std::mutex mu_;      // serializes writers; guards latest_
+  mutable std::mutex mu_;      // serializes writers; guards latest_ + table_
   RuntimeSnapshot latest_;     // writer's working copy (source of truth)
+  ClassTable table_;           // ClassKey -> ClassId interning (global ids)
   FlowId next_flow_ = 0;
+  // flow -> class + 1; 0 = not registered.  Lock-free readers; writers
+  // under mu_.  Sized max_flows once, so readers never race a reallocation.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> dir_;
+  std::atomic<std::size_t> live_flows_{0};
   Rcu<RuntimeSnapshot> cell_;
 };
 

@@ -148,10 +148,9 @@ void LoadGenerator::producer_main(std::size_t index) {
 
   // Local copy of the live-flow list, refreshed when the control plane
   // publishes.  The steady-state check is one epoch load; only an actual
-  // publish pays for an RCU guard + list copy.  Copying under a short
-  // guard (released before offer(), which takes its own guard from the
-  // same Reader on a route-cache miss) keeps the no-nested-guards rule
-  // intact.
+  // publish pays for the O(max_flows) directory scan behind live_flows()
+  // (snapshots describe classes, not members, so the member list comes
+  // from the directory, not from an RCU guard).
   ControlPlane& control = rt_.control();
   std::vector<FlowId> live;
   std::uint64_t seen_epoch = 0;
@@ -169,10 +168,9 @@ void LoadGenerator::producer_main(std::size_t index) {
   while (running_.load(std::memory_order_acquire)) {
     const std::uint64_t epoch = control.epoch();
     if (epoch != seen_epoch) {
-      seen_epoch = epoch;  // read BEFORE the guard: worst case, one
+      seen_epoch = epoch;  // read BEFORE the scan: worst case, one
                            // redundant refresh on the next iteration
-      const auto guard = port.snapshot();
-      live = guard->live;
+      live = control.live_flows();
       if (cursor >= live.size()) cursor = index;
     }
     if (live.empty()) {

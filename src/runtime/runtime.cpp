@@ -51,8 +51,15 @@ IngressPort::~IngressPort() {
 
 bool IngressPort::refresh_route(FlowId flow, std::uint64_t epoch) {
   CachedRoute& route = routes_[flow];
+  // Flow -> class through the lock-free directory, then class -> hosting
+  // shards from the snapshot.  The control plane stores the directory word
+  // only after the class is published (growth) and clears it before the
+  // class shrinks, so a directory hit normally finds its class below; the
+  // residual races surface as one counted reject and a refresh on the next
+  // offer, never a misroute.
+  const ClassId cls = rt_.control_->class_of(flow);
   const auto guard = reader_.lock();
-  const SnapshotFlow* entry = guard->flow(flow);
+  const SnapshotClass* entry = cls == kInvalidClass ? nullptr : guard->cls(cls);
   if (entry == nullptr || entry->shards.empty()) {
     route.epoch = epoch;
     route.count = 0;
@@ -923,6 +930,18 @@ void Runtime::register_metrics() {
                {}, [this] {
                  return static_cast<double>(control_->quarantined_count());
                });
+  reg.gauge_fn("midrr_rt_flow_classes",
+               "Live flow classes: distinct (Pi row, weight, queue bound) "
+               "tuples currently holding members.  Publish cost and snapshot "
+               "size scale with this, not with registered flows.",
+               {}, [this] {
+                 return static_cast<double>(control_->class_count());
+               });
+  reg.gauge_fn("midrr_rt_registered_flows",
+               "Registered flows (summed members across live classes).", {},
+               [this] {
+                 return static_cast<double>(control_->flow_count());
+               });
 
   for (const auto& wp : workers_) {
     Worker* w = wp.get();
@@ -1044,18 +1063,32 @@ telemetry::FairnessSample Runtime::fairness_sample() {
   auto reader = control_->reader();
   {
     const auto guard = reader.lock();
+    // One pass over the flow directory folds per-flow service counters
+    // into per-class totals: O(max_flows) relaxed loads at sampler rate,
+    // and everything downstream (rows, solver) stays O(classes).  A flow
+    // removed mid-window takes its bytes out of its class's total; the
+    // sampler clamps the resulting negative window delta to zero.
+    std::vector<std::uint64_t> class_sent(guard->classes.size(), 0);
+    for (FlowId f = 0; f < sent_by_flow_.size(); ++f) {
+      const std::uint64_t bytes =
+          sent_by_flow_[f].load(std::memory_order_relaxed);
+      if (bytes == 0) continue;
+      const ClassId c = control_->class_of(f);
+      if (c != kInvalidClass && c < class_sent.size()) class_sent[c] += bytes;
+    }
     out.flows.reserve(guard->live.size());
-    for (const FlowId id : guard->live) {
-      const SnapshotFlow& flow = guard->flows[id];
+    for (const ClassId id : guard->live) {
+      const SnapshotClass& entry = guard->classes[id];
       telemetry::FairnessFlowSample fs;
       fs.id = id;
-      fs.name = flow.name.empty() ? "flow" + std::to_string(id) : flow.name;
-      fs.weight = flow.weight;
+      fs.name = entry.name.empty() ? "class" + std::to_string(id) : entry.name;
+      fs.weight = entry.weight;
+      fs.members = entry.members;
       fs.willing.assign(iface_total, false);
-      for (const IfaceId j : flow.willing) {
+      for (const IfaceId j : entry.willing) {
         if (j < iface_total) fs.willing[j] = true;
       }
-      fs.sent_bytes = sent_by_flow_[id].load(std::memory_order_relaxed);
+      fs.sent_bytes = class_sent[id];
       out.flows.push_back(std::move(fs));
     }
   }

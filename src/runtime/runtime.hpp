@@ -344,7 +344,10 @@ class Runtime final : public telemetry::FairnessSource,
   // --- Telemetry ----------------------------------------------------------
 
   /// FairnessSource: the live (Pi, phi, C) + cumulative service state, read
-  /// through an RCU guard.  Callable from any thread after start(); feeds
+  /// through an RCU guard.  One row per live flow CLASS (weight = per-member
+  /// phi, `members` = member count, sent_bytes summed over members via one
+  /// directory pass), so the sampler's solver stays O(classes) at a million
+  /// registered flows.  Callable from any thread after start(); feeds
   /// telemetry::FairnessDriftSampler.
   telemetry::FairnessSample fairness_sample() override;
 

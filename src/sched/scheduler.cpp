@@ -2,6 +2,7 @@
 
 #include "sched/drr.hpp"
 #include "sched/fifo.hpp"
+#include "sched/hier_midrr.hpp"
 #include "sched/midrr.hpp"
 #include "sched/observer.hpp"
 #include "sched/priority.hpp"
@@ -34,17 +35,6 @@ FlowId Scheduler::add_flow(const FlowSpec& spec) {
   sent_.fill_row(flow, 0);
   on_flow_added(flow);
   return flow;
-}
-
-FlowId Scheduler::add_flow(double weight, const std::vector<IfaceId>& willing,
-                           std::string name,
-                           std::uint64_t queue_capacity_bytes) {
-  FlowSpec spec;
-  spec.weight = weight;
-  spec.willing = willing;
-  spec.name = std::move(name);
-  spec.queue_capacity_bytes = queue_capacity_bytes;
-  return add_flow(spec);
 }
 
 void Scheduler::remove_flow(FlowId flow) {
@@ -199,6 +189,7 @@ std::uint64_t Scheduler::sent_bytes(FlowId flow) const {
 const char* to_string(Policy policy) {
   switch (policy) {
     case Policy::kMiDrr: return "miDRR";
+    case Policy::kHierMiDrr: return "hier-miDRR";
     case Policy::kNaiveDrr: return "naive-DRR";
     case Policy::kPerIfaceWfq: return "per-iface-WFQ";
     case Policy::kRoundRobin: return "round-robin";
@@ -216,6 +207,9 @@ std::unique_ptr<Scheduler> make_scheduler(Policy policy,
     case Policy::kMiDrr:
       sched = std::make_unique<MiDrrScheduler>(options.quantum_base,
                                                options.shared_deficit);
+      break;
+    case Policy::kHierMiDrr:
+      sched = std::make_unique<HierMiDrrScheduler>(options.quantum_base);
       break;
     case Policy::kNaiveDrr:
       sched = std::make_unique<NaiveDrrScheduler>(options.quantum_base);
@@ -241,13 +235,6 @@ std::unique_ptr<Scheduler> make_scheduler(Policy policy,
   MIDRR_REQUIRE(sched != nullptr, "unknown policy");
   if (options.observer != nullptr) sched->set_observer(options.observer);
   return sched;
-}
-
-std::unique_ptr<Scheduler> make_scheduler(Policy policy,
-                                          std::uint32_t quantum_base) {
-  SchedulerOptions options;
-  options.quantum_base = quantum_base;
-  return make_scheduler(policy, options);
 }
 
 }  // namespace midrr

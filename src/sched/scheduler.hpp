@@ -97,11 +97,6 @@ class Scheduler {
   /// Registers a flow from a named-field spec; returns its id.
   FlowId add_flow(const FlowSpec& spec);
 
-  /// Deprecated positional form; migrate to add_flow(const FlowSpec&).
-  [[deprecated("use add_flow(const FlowSpec&)")]]
-  FlowId add_flow(double weight, const std::vector<IfaceId>& willing,
-                  std::string name = {}, std::uint64_t queue_capacity_bytes = 0);
-
   /// Deregisters a flow and discards its queue.
   void remove_flow(FlowId flow);
 
@@ -215,6 +210,8 @@ class Scheduler {
 /// The scheduling policies this library ships.
 enum class Policy {
   kMiDrr,           ///< the paper's contribution (Alg 3.1 + 3.2)
+  kHierMiDrr,       ///< miDRR over flow classes, DRR within a class
+                    ///< (million-flow scale; see HierMiDrrScheduler)
   kNaiveDrr,        ///< DRR independently per interface (no service flags)
   kPerIfaceWfq,     ///< SCFQ-style weighted fair queueing per interface
   kRoundRobin,      ///< packet-by-packet round robin per interface
@@ -230,11 +227,5 @@ const char* to_string(Policy policy);
 /// deficit counters, and no observer.
 std::unique_ptr<Scheduler> make_scheduler(Policy policy,
                                           const SchedulerOptions& options = {});
-
-/// Deprecated positional form; migrate to
-/// make_scheduler(policy, SchedulerOptions{...}).
-[[deprecated("use make_scheduler(Policy, const SchedulerOptions&)")]]
-std::unique_ptr<Scheduler> make_scheduler(Policy policy,
-                                          std::uint32_t quantum_base);
 
 }  // namespace midrr

@@ -131,7 +131,14 @@ void FairnessDriftSampler::sample_once() {
     input.weights.reserve(joined.size());
     input.willing.reserve(joined.size());
     for (const Joined& j : joined) {
-      input.weights.push_back(j.now->weight > 0.0 ? j.now->weight : 1.0);
+      // A class row represents `members` flows sharing one phi: it claims
+      // weight phi x members in the reference program, so the solve stays
+      // O(classes) while preserving exactly the rates a per-flow program
+      // would hand the members in aggregate.
+      const double base = j.now->weight > 0.0 ? j.now->weight : 1.0;
+      const double members =
+          j.now->members > 0 ? static_cast<double>(j.now->members) : 1.0;
+      input.weights.push_back(base * members);
       std::vector<bool> row(iface_count, false);
       for (std::size_t k = 0; k < iface_count && k < j.now->willing.size();
            ++k) {
@@ -154,6 +161,7 @@ void FairnessDriftSampler::sample_once() {
         FlowDrift drift;
         drift.id = joined[i].now->id;
         drift.name = flow_label(*joined[i].now);
+        drift.members = joined[i].now->members > 0 ? joined[i].now->members : 1;
         drift.actual_bps = joined[i].actual_bps;
         drift.maxmin_bps = reference.rates_bps[i];
         if (drift.maxmin_bps > 0.0) {
@@ -216,6 +224,20 @@ void FairnessDriftSampler::export_report(const DriftReport& report) {
         .gauge("midrr_fairness_rate_maxmin_bps",
                "Per-flow weighted max-min reference rate", labels)
         .set(drift.maxmin_bps);
+    // Member gauges expand lazily: only rows that actually aggregate more
+    // than one flow pay the extra label cardinality.
+    if (drift.members > 1) {
+      const double members = static_cast<double>(drift.members);
+      registry_
+          .gauge("midrr_fairness_class_members",
+                 "Flows aggregated into this class row", labels)
+          .set(members);
+      registry_
+          .gauge("midrr_fairness_rate_per_member_bps",
+                 "Measured per-member rate (class aggregate / members)",
+                 labels)
+          .set(drift.actual_bps / members);
+    }
   }
 }
 
@@ -233,7 +255,7 @@ std::string flows_json(const FairnessSample& sample, const DriftReport& drift) {
     if (!first) out << ',';
     first = false;
     out << "{\"id\":" << flow.id << ",\"name\":\"" << flow_label(flow)
-        << "\",\"weight\":" << flow.weight
+        << "\",\"weight\":" << flow.weight << ",\"members\":" << flow.members
         << ",\"sent_bytes\":" << flow.sent_bytes;
     const auto it = std::find_if(
         drift.flows.begin(), drift.flows.end(),

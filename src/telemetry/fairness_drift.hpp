@@ -18,6 +18,15 @@
 //
 // A healthy miDRR deployment keeps every ratio near 1.0 (the e2e test pins
 // 10%); per-interface-WFQ-style drift shows up as a persistent spread.
+//
+// Under the class-aggregated runtime every sample row is a FLOW CLASS, so
+// one solver run costs O(classes x interfaces) no matter how many member
+// flows are registered: a class enters the reference program with weight
+// phi x members, its measured rate is the members' summed service, and the
+// exported ratio compares aggregate to aggregate (which equals the
+// per-member comparison, both sides dividing by the same member count).
+// Per-member rate gauges expand lazily -- only for labeled rows that
+// actually aggregate more than one flow.
 // Caveats: flows must be backlogged for "actual" to be meaningful (an idle
 // flow legitimately shows ratio << 1), and with shards > 1 cross-shard
 // coupling is intentionally absent, so the GLOBAL max-min reference may
@@ -40,12 +49,18 @@
 
 namespace midrr::telemetry {
 
+/// One row of a fairness sample.  Under the class-aggregated runtime a row
+/// is a FLOW CLASS: `id` is the class id, `weight` the per-member phi,
+/// `members` the member count, and `sent_bytes` the class's summed
+/// service.  A plain per-flow source leaves `members` at 1 and everything
+/// reads as before.
 struct FairnessFlowSample {
   FlowId id = kInvalidFlow;
   std::string name;
-  double weight = 1.0;
+  double weight = 1.0;            ///< per member
+  std::uint64_t members = 1;      ///< flows aggregated into this row
   std::vector<bool> willing;      ///< by global IfaceId
-  std::uint64_t sent_bytes = 0;   ///< cumulative
+  std::uint64_t sent_bytes = 0;   ///< cumulative, summed over members
 };
 
 /// One instant's (Pi, phi, C) + service state.
@@ -67,8 +82,9 @@ class FairnessSource {
 struct FlowDrift {
   FlowId id = kInvalidFlow;
   std::string name;
-  double actual_bps = 0.0;
-  double maxmin_bps = 0.0;
+  std::uint64_t members = 1;  ///< flows behind this row (class aggregation)
+  double actual_bps = 0.0;    ///< aggregate over members
+  double maxmin_bps = 0.0;    ///< aggregate reference (weight x members)
   double ratio = 0.0;  ///< actual / maxmin (0 when maxmin is 0)
 };
 

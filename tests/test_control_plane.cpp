@@ -1,7 +1,8 @@
-// ControlPlane + Rcu: registry/diff logic against a mock ShardApplier
-// (apply-vs-publish ordering, shard coverage growth and shrink), and the
-// snapshot-swap guarantee -- concurrent readers see a whole old or whole
-// new configuration, never a torn mix.
+// ControlPlane + Rcu: class-delta registry logic against a mock
+// ShardApplier (apply-vs-publish ordering, Pi-row interning and dedup,
+// shard coverage growth and shrink, batch registration with one publish),
+// and the snapshot-swap guarantee -- concurrent readers see a whole old or
+// whole new configuration, never a torn mix.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -63,30 +64,32 @@ TEST(ControlPlane, AddFlowReachesEveryHostingShardWithLocalSubset) {
   EXPECT_EQ(applier.ops[1].shard, 1u);
   EXPECT_EQ(applier.ops[1].willing_subset, (std::vector<IfaceId>{1}));
 
+  const ClassId cls = cp.class_of(f);
+  ASSERT_NE(cls, kInvalidClass);
   auto reader = cp.reader();
   const auto guard = reader.lock();
-  const SnapshotFlow* entry = guard->flow(f);
+  const SnapshotClass* entry = guard->cls(cls);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->shards, (std::vector<std::uint32_t>{0, 1}));
-  EXPECT_EQ(guard->live, std::vector<FlowId>{f});
+  EXPECT_EQ(entry->members, 1u);
+  EXPECT_EQ(guard->live, std::vector<ClassId>{cls});
 }
 
-TEST(ControlPlane, AddAppliesBeforePublishRemovePublishesBefore) {
+TEST(ControlPlane, AddAppliesBeforeDirectoryRemoveClearsDirectoryBefore) {
   // The ordering invariant, observed through the applier: at the moment
-  // shard_add_flow runs the snapshot must NOT yet route to the flow; at the
-  // moment shard_remove_flow runs the snapshot must ALREADY have dropped it.
+  // shard_add_flow runs, producers must not yet resolve the flow (its
+  // directory word is stored only after the publish); at the moment
+  // shard_remove_flow runs the directory must ALREADY have dropped it.
   class OrderChecker : public ShardApplier {
    public:
     void shard_add_flow(std::uint32_t, FlowId flow, const RtFlowSpec&,
                         const std::vector<IfaceId>&) override {
-      auto reader = cp->reader();
-      EXPECT_EQ(reader.lock()->flow(flow), nullptr)
-          << "flow routable before the shard knew it";
+      EXPECT_EQ(cp->class_of(flow), kInvalidClass)
+          << "flow resolvable before the shard knew it";
     }
     void shard_remove_flow(std::uint32_t, FlowId flow) override {
-      auto reader = cp->reader();
-      EXPECT_EQ(reader.lock()->flow(flow), nullptr)
-          << "flow still routable after the shard forgot it";
+      EXPECT_EQ(cp->class_of(flow), kInvalidClass)
+          << "flow still resolvable after the shard forgot it";
     }
     void shard_set_weight(std::uint32_t, FlowId, double) override {}
     void shard_set_willing(std::uint32_t, FlowId, IfaceId, bool) override {}
@@ -99,7 +102,151 @@ TEST(ControlPlane, AddAppliesBeforePublishRemovePublishesBefore) {
   RtFlowSpec spec;
   spec.willing = {0, 1};
   const FlowId f = cp.add_flow(spec);
+  EXPECT_NE(cp.class_of(f), kInvalidClass);
   cp.remove_flow(f);
+  EXPECT_EQ(cp.class_of(f), kInvalidClass);
+}
+
+TEST(ControlPlane, EqualSpecsInternIntoOneClass) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0, 1};
+  const FlowId a = cp.add_flow(spec);
+  const FlowId b = cp.add_flow(spec);
+  EXPECT_EQ(cp.class_of(a), cp.class_of(b));
+  EXPECT_EQ(cp.class_count(), 1u);
+  EXPECT_EQ(cp.flow_count(), 2u);
+
+  RtFlowSpec heavier = spec;
+  heavier.weight = 2.0;
+  const FlowId c = cp.add_flow(heavier);
+  EXPECT_NE(cp.class_of(c), cp.class_of(a)) << "weight is class identity";
+  RtFlowSpec bounded = spec;
+  bounded.queue_capacity_bytes = 1024;
+  const FlowId d = cp.add_flow(bounded);
+  EXPECT_NE(cp.class_of(d), cp.class_of(a)) << "queue bound is class identity";
+  EXPECT_EQ(cp.class_count(), 3u);
+  EXPECT_EQ(cp.members_of(cp.class_of(a)), (std::vector<FlowId>{a, b}));
+}
+
+TEST(ControlPlane, AddMembersRegistersABatchUnderOnePublish) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 64);
+  const std::uint64_t v0 = cp.version();
+  ClassSpec spec;
+  spec.willing = {0, 1};
+  const FlowId first = cp.add_members(spec, 40);
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(cp.version(), v0 + 1) << "one publish for the whole batch";
+  EXPECT_EQ(applier.ops.size(), 80u) << "40 members x 2 hosting shards";
+  EXPECT_EQ(cp.flow_count(), 40u);
+  const ClassId cls = cp.class_of(first);
+  for (FlowId f = first; f < first + 40; ++f) {
+    EXPECT_EQ(cp.class_of(f), cls) << "batch members land in one class";
+  }
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  ASSERT_NE(guard->cls(cls), nullptr);
+  EXPECT_EQ(guard->cls(cls)->members, 40u);
+  EXPECT_EQ(guard->live.size(), 1u) << "snapshot size is O(classes)";
+}
+
+TEST(ControlPlane, ApplyDrivesEveryDeltaKind) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  ControlDelta add;
+  add.kind = ControlDelta::Kind::kAddMembers;
+  add.spec.willing = {0};
+  add.count = 3;
+  const FlowId first = cp.apply(add);
+  EXPECT_EQ(cp.flow_count(), 3u);
+
+  ControlDelta move;
+  move.kind = ControlDelta::Kind::kMoveMember;
+  move.flow = first;
+  move.spec.willing = {1};
+  EXPECT_EQ(cp.apply(move), kInvalidFlow);
+  EXPECT_NE(cp.class_of(first), cp.class_of(first + 1));
+
+  ControlDelta reweight;
+  reweight.kind = ControlDelta::Kind::kReweightClass;
+  reweight.cls = cp.class_of(first + 1);
+  reweight.weight = 2.0;
+  cp.apply(reweight);
+  {
+    auto reader = cp.reader();
+    const auto guard = reader.lock();
+    EXPECT_EQ(guard->cls(cp.class_of(first + 1))->weight, 2.0);
+  }
+
+  ControlDelta remove;
+  remove.kind = ControlDelta::Kind::kRemoveMember;
+  remove.flow = first + 2;
+  cp.apply(remove);
+  EXPECT_EQ(cp.flow_count(), 2u);
+}
+
+TEST(ControlPlane, ClassRetiresAndRevivesUnderTheSameId) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0, 1};
+  const FlowId a = cp.add_flow(spec);
+  const ClassId cls = cp.class_of(a);
+  cp.remove_flow(a);
+  EXPECT_EQ(cp.class_count(), 0u);
+  {
+    auto reader = cp.reader();
+    EXPECT_EQ(reader.lock()->cls(cls), nullptr) << "emptied class retired";
+  }
+  const FlowId b = cp.add_flow(spec);
+  EXPECT_EQ(cp.class_of(b), cls) << "matching key revives the same class id";
+  EXPECT_EQ(b, a + 1) << "flow ids are never recycled";
+}
+
+TEST(ControlPlane, ReweightClassMovesEveryMemberInOnePublish) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  ClassSpec spec;
+  spec.willing = {0, 1};
+  const FlowId first = cp.add_members(spec, 3);
+  const ClassId before = cp.class_of(first);
+  applier.ops.clear();
+  const std::uint64_t v = cp.version();
+
+  const ClassId after = cp.reweight_class(before, 2.0);
+  EXPECT_NE(after, before);
+  EXPECT_EQ(cp.version(), v + 1) << "one publish for the whole class";
+  EXPECT_EQ(applier.ops.size(), 6u) << "3 members x 2 hosting shards";
+  for (const auto& op : applier.ops) EXPECT_EQ(op.kind, "weight");
+  for (FlowId f = first; f < first + 3; ++f) {
+    EXPECT_EQ(cp.class_of(f), after);
+  }
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->cls(before), nullptr) << "source class retired";
+  ASSERT_NE(guard->cls(after), nullptr);
+  EXPECT_EQ(guard->cls(after)->members, 3u);
+  EXPECT_EQ(guard->cls(after)->weight, 2.0);
+}
+
+TEST(ControlPlane, ReweightMergesIntoAnExistingClass) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  ClassSpec spec;
+  spec.willing = {0};
+  const FlowId light = cp.add_members(spec, 2);
+  ClassSpec heavy = spec;
+  heavy.weight = 2.0;
+  const FlowId anchor = cp.add_flow(heavy);
+  const ClassId target = cp.class_of(anchor);
+
+  EXPECT_EQ(cp.reweight_class(cp.class_of(light), 2.0), target);
+  EXPECT_EQ(cp.class_of(light), target);
+  EXPECT_EQ(cp.class_count(), 1u);
+  auto reader = cp.reader();
+  EXPECT_EQ(reader.lock()->cls(target)->members, 3u);
 }
 
 TEST(ControlPlane, SetWillingGrowsAndShrinksShardCoverage) {
@@ -131,11 +278,32 @@ TEST(ControlPlane, SetWillingGrowsAndShrinksShardCoverage) {
 
   auto reader = cp.reader();
   const auto guard = reader.lock();
-  EXPECT_EQ(guard->flow(f)->shards, std::vector<std::uint32_t>{0});
-  EXPECT_EQ(guard->flow(f)->willing, std::vector<IfaceId>{0});
+  const SnapshotClass* entry = guard->cls(cp.class_of(f));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->shards, std::vector<std::uint32_t>{0});
+  EXPECT_EQ(entry->willing, std::vector<IfaceId>{0});
 }
 
-TEST(ControlPlane, RedundantWillingFlipIsANoOp) {
+TEST(ControlPlane, MoveBetweenClassesPreservesTheFlowId) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0, 1};
+  const FlowId f = cp.add_flow(spec);
+  cp.add_flow(spec);  // keeps the source class alive after the move
+  const ClassId before = cp.class_of(f);
+
+  cp.set_weight(f, 3.0);
+  const ClassId after = cp.class_of(f);
+  EXPECT_NE(after, before);
+  auto reader = cp.reader();
+  const auto guard = reader.lock();
+  EXPECT_EQ(guard->cls(before)->members, 1u);
+  EXPECT_EQ(guard->cls(after)->members, 1u);
+  EXPECT_EQ(guard->cls(after)->weight, 3.0);
+}
+
+TEST(ControlPlane, RedundantUpdatesAreNoOps) {
   RecordingApplier applier;
   ControlPlane cp(applier, two_shards(), 16);
   RtFlowSpec spec;
@@ -145,6 +313,8 @@ TEST(ControlPlane, RedundantWillingFlipIsANoOp) {
   applier.ops.clear();
   cp.set_willing(f, 0, true);   // already willing
   cp.set_willing(f, 1, false);  // already not
+  cp.set_weight(f, 1.0);        // same weight: same class identity
+  cp.reweight_class(cp.class_of(f), 1.0);
   EXPECT_TRUE(applier.ops.empty());
   EXPECT_EQ(cp.version(), v);
 }
@@ -163,6 +333,8 @@ TEST(ControlPlane, RejectsBadInputs) {
   cp.add_flow(ok);
   EXPECT_THROW(cp.add_flow(ok), PreconditionError) << "arena bound";
   EXPECT_THROW(cp.set_weight(f, -1.0), PreconditionError);
+  EXPECT_THROW(cp.reweight_class(kInvalidClass, 2.0), PreconditionError);
+  EXPECT_THROW(cp.add_members(ok, 0), PreconditionError);
   cp.remove_flow(f);
   EXPECT_THROW(cp.set_weight(f, 1.0), PreconditionError) << "dead flow";
 }
@@ -181,9 +353,10 @@ TEST(ControlPlane, FlowIdsAreDenseAndNeverReused) {
 }
 
 TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
-  // Kill interface 0 under two flows: x{0, 1} survives on interface 1 (so
-  // it must LEAVE shard 0), y{0} has nowhere to go (so it is quarantined:
-  // still live, still holding its preferences, but routing nowhere).
+  // Kill interface 0 under two classes: x{0, 1} survives on interface 1
+  // (so its member must LEAVE shard 0), y{0} has nowhere to go (so the
+  // class is quarantined: still live, still holding its preferences, but
+  // routing nowhere).
   RecordingApplier applier;
   ControlPlane cp(applier, two_shards(), 16);
   RtFlowSpec x_spec;
@@ -193,9 +366,11 @@ TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
   y_spec.willing = {0};
   const FlowId y = cp.add_flow(y_spec);
   applier.ops.clear();
+  const std::uint64_t v = cp.version();
 
   cp.set_iface_down(0, true);
   EXPECT_TRUE(cp.iface_down(0));
+  EXPECT_EQ(cp.version(), v + 1) << "one publish for the whole transition";
   EXPECT_EQ(cp.quarantined_count(), 1u);
   ASSERT_EQ(applier.ops.size(), 2u);
   EXPECT_EQ(applier.ops[0].kind, "remove");  // x leaves shard 0
@@ -206,14 +381,18 @@ TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
   {
     auto reader = cp.reader();
     const auto guard = reader.lock();
-    EXPECT_EQ(guard->flow(x)->shards, std::vector<std::uint32_t>{1});
-    EXPECT_FALSE(guard->flow(x)->quarantined);
-    EXPECT_EQ(guard->flow(x)->willing, (std::vector<IfaceId>{0, 1}))
+    const SnapshotClass* xc = guard->cls(cp.class_of(x));
+    const SnapshotClass* yc = guard->cls(cp.class_of(y));
+    ASSERT_NE(xc, nullptr);
+    ASSERT_NE(yc, nullptr);
+    EXPECT_EQ(xc->shards, std::vector<std::uint32_t>{1});
+    EXPECT_FALSE(xc->quarantined);
+    EXPECT_EQ(xc->willing, (std::vector<IfaceId>{0, 1}))
         << "preferences are reality-masked, not edited";
-    EXPECT_TRUE(guard->flow(y)->shards.empty());
-    EXPECT_TRUE(guard->flow(y)->quarantined);
-    EXPECT_EQ(guard->live, (std::vector<FlowId>{x, y}))
-        << "quarantined flows stay live (their offers are counted rejects)";
+    EXPECT_TRUE(yc->shards.empty());
+    EXPECT_TRUE(yc->quarantined);
+    EXPECT_EQ(guard->live.size(), 2u)
+        << "quarantined classes stay live (their offers are counted rejects)";
     ASSERT_EQ(guard->iface_down.size(), 4u);
     EXPECT_TRUE(guard->iface_down[0]);
   }
@@ -222,7 +401,7 @@ TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
   cp.set_iface_down(0, false);
   EXPECT_FALSE(cp.iface_down(0));
   EXPECT_EQ(cp.quarantined_count(), 0u);
-  // Both flows are re-registered on shard 0 (with the interface-0 subset)
+  // Both members are re-registered on shard 0 (with the interface-0 subset)
   // BEFORE the publish that re-opens routing to it.
   ASSERT_EQ(applier.ops.size(), 2u);
   EXPECT_EQ(applier.ops[0].kind, "add");
@@ -233,8 +412,40 @@ TEST(ControlPlane, IfaceDownReSteersAndQuarantinesInOnePublish) {
   EXPECT_EQ(applier.ops[1].flow, y);
   auto reader = cp.reader();
   const auto guard = reader.lock();
-  EXPECT_EQ(guard->flow(x)->shards, (std::vector<std::uint32_t>{0, 1}));
-  EXPECT_FALSE(guard->flow(y)->quarantined);
+  EXPECT_EQ(guard->cls(cp.class_of(x))->shards,
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(guard->cls(cp.class_of(y))->quarantined);
+}
+
+TEST(ControlPlane, IfaceDownFlipsWillingOnAStillHostingShard) {
+  // Class {0, 2}: both interfaces live on shard 0.  Killing interface 0
+  // must not drop the shard (interface 2 still hosts the class there) but
+  // MUST clear the dead interface's willing bit in the shard scheduler --
+  // otherwise miDRR keeps granting turns to a dead link.
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0, 2};
+  const FlowId f = cp.add_flow(spec);
+  applier.ops.clear();
+
+  cp.set_iface_down(0, true);
+  ASSERT_EQ(applier.ops.size(), 1u);
+  EXPECT_EQ(applier.ops[0].kind, "willing-");
+  EXPECT_EQ(applier.ops[0].shard, 0u);
+  EXPECT_EQ(applier.ops[0].willing_subset, std::vector<IfaceId>{0});
+  {
+    auto reader = cp.reader();
+    const auto guard = reader.lock();
+    EXPECT_EQ(guard->cls(cp.class_of(f))->shards,
+              std::vector<std::uint32_t>{0});
+  }
+
+  applier.ops.clear();
+  cp.set_iface_down(0, false);
+  ASSERT_EQ(applier.ops.size(), 1u);
+  EXPECT_EQ(applier.ops[0].kind, "willing+");
+  EXPECT_EQ(applier.ops[0].willing_subset, std::vector<IfaceId>{0});
 }
 
 TEST(ControlPlane, IfaceDownIsIdempotentAndValidated) {
@@ -264,18 +475,32 @@ TEST(ControlPlane, FlowsAddedWhileIfaceIsDownRouteAroundIt) {
   EXPECT_EQ(applier.ops[0].shard, 1u) << "dead interface's shard is skipped";
   auto reader = cp.reader();
   const auto guard = reader.lock();
-  EXPECT_EQ(guard->flow(f)->shards, std::vector<std::uint32_t>{1});
+  EXPECT_EQ(guard->cls(cp.class_of(f))->shards, std::vector<std::uint32_t>{1});
+}
+
+TEST(ControlPlane, LiveFlowsScansTheDirectory) {
+  RecordingApplier applier;
+  ControlPlane cp(applier, two_shards(), 16);
+  RtFlowSpec spec;
+  spec.willing = {0};
+  const FlowId a = cp.add_flow(spec);
+  const FlowId b = cp.add_flow(spec);
+  const FlowId c = cp.add_flow(spec);
+  cp.remove_flow(b);
+  EXPECT_EQ(cp.live_flows(), (std::vector<FlowId>{a, c}));
+  EXPECT_EQ(cp.flow_count(), 2u);
 }
 
 TEST(ControlPlaneSwap, ReadersNeverSeeATornConfiguration) {
-  // The writer cycles (1, {0}) -> (2, {0}) -> (2, {0, 1}) -> (2, {0}) ->
-  // (1, {0}), one control-plane call per step.  Every PUBLISHED state has
-  // the invariant "willing {0, 1} implies weight 2"; the state (1, {0, 1})
-  // never exists.  Reader threads continuously validate that whichever
-  // snapshot they hold is one of the three published states -- seeing the
-  // never-published mix (or a live list disagreeing with the flow slot)
-  // means a torn read.  Under TSan this doubles as the data-race check on
-  // the RCU cell.
+  // The writer cycles one flow (1, {0}) -> (2, {0}) -> (2, {0, 1}) ->
+  // (2, {0}) -> (1, {0}), one control-plane call per step; each step moves
+  // the flow between interned classes.  Every PUBLISHED snapshot therefore
+  // contains exactly one populated class, and its (weight, willing) pair is
+  // one of the three published states -- the state (1, {0, 1}) never
+  // exists.  Reader threads continuously validate whichever snapshot they
+  // hold; seeing the never-published mix, a live class without members, or
+  // more than one populated class means a torn read.  Under TSan this
+  // doubles as the data-race check on the RCU cell.
   RecordingApplier applier;
   ControlPlane cp(applier, two_shards(), 4);
   RtFlowSpec spec;
@@ -291,19 +516,22 @@ TEST(ControlPlaneSwap, ReadersNeverSeeATornConfiguration) {
       auto reader = cp.reader();
       while (!stop.load(std::memory_order_acquire)) {
         const auto guard = reader.lock();
-        const SnapshotFlow* entry = guard->flow(f);
-        if (entry == nullptr) {
-          ++torn;  // the flow is never removed in this test
+        if (guard->live.size() != 1) {
+          ++torn;  // exactly one class holds the flow in every published state
+          continue;
+        }
+        const SnapshotClass& entry = guard->classes[guard->live[0]];
+        if (!entry.live || entry.members != 1) {
+          ++torn;
           continue;
         }
         const bool narrow =  // willing {0}: weight may be mid-cycle 1 or 2
-            entry->willing == std::vector<IfaceId>{0} &&
-            (entry->weight == 1.0 || entry->weight == 2.0);
+            entry.willing == std::vector<IfaceId>{0} &&
+            (entry.weight == 1.0 || entry.weight == 2.0);
         const bool wide =    // willing {0, 1} only ever published with 2
-            entry->weight == 2.0 &&
-            entry->willing == std::vector<IfaceId>{0, 1};
+            entry.weight == 2.0 &&
+            entry.willing == (std::vector<IfaceId>{0, 1});
         if (!(narrow || wide)) ++torn;
-        if (guard->live != std::vector<FlowId>{f}) ++torn;
       }
     });
   }
@@ -334,8 +562,10 @@ TEST(ControlPlaneSwap, TornWindowExistsMidUpdate) {
   cp.set_weight(f, 2.0);
   auto reader = cp.reader();
   const auto guard = reader.lock();
-  EXPECT_EQ(guard->flow(f)->weight, 2.0);
-  EXPECT_EQ(guard->flow(f)->willing, std::vector<IfaceId>{0});
+  const SnapshotClass* entry = guard->cls(cp.class_of(f));
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->weight, 2.0);
+  EXPECT_EQ(entry->willing, std::vector<IfaceId>{0});
 }
 
 TEST(Rcu, PublishWaitsForInCriticalSectionReader) {

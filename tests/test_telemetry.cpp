@@ -433,6 +433,9 @@ TEST(FairnessDrift, LiveRuntimeStaysWithinTenPercentOfMaxMin) {
     rt::RtFlowSpec spec;
     spec.name = "f" + std::to_string(i);
     spec.willing = {0, 1};
+    // Distinct queue capacities keep the four flows in four singleton
+    // classes -- this test pins the flat (one row per flow) exposition.
+    spec.queue_capacity_bytes = 512 * 1024 + i;
     runtime.control().add_flow(spec);
   }
   runtime.start();
@@ -459,6 +462,7 @@ TEST(FairnessDrift, LiveRuntimeStaysWithinTenPercentOfMaxMin) {
     EXPECT_NEAR(flow.ratio, 1.0, 0.10)
         << flow.name << " got " << flow.actual_bps << " vs max-min "
         << flow.maxmin_bps;
+    EXPECT_EQ(flow.members, 1u);
   }
   EXPECT_GT(report.jain, 0.99);
 
@@ -473,6 +477,62 @@ TEST(FairnessDrift, LiveRuntimeStaysWithinTenPercentOfMaxMin) {
       flows_json(runtime.fairness_sample(), sampler.last());
   EXPECT_NE(json.find("\"name\":\"f0\""), std::string::npos);
   EXPECT_NE(json.find("\"jain\""), std::string::npos);
+}
+
+TEST(FairnessDrift, AggregatedClassRowCarriesMemberCountAndPerMemberRate) {
+  // The same four equal flows, but registered as ONE class of four
+  // members: the sampler must fold their byte counters into a single
+  // row whose solver weight is phi x members, so the class's aggregate
+  // lands on the whole 160 Mb/s and the lazy per-member gauges export.
+  MetricsRegistry reg;
+  rt::RuntimeOptions options;
+  options.workers = 2;
+  options.shards = 1;
+  options.metrics = &reg;
+  rt::Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(80e6));
+  runtime.add_interface("if1", RateProfile(80e6));
+  rt::ClassSpec spec;
+  spec.name = "bundle";
+  spec.willing = {0, 1};
+  runtime.control().add_members(spec, 4);
+  runtime.start();
+  rt::LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  rt::LoadGenerator generator(runtime, load);
+  generator.start();
+
+  FairnessDriftOptions drift_options;
+  drift_options.interval_ns = 250 * kMillisecond;
+  FairnessDriftSampler sampler(runtime, reg, drift_options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  sampler.sample_once();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  sampler.sample_once();
+
+  const DriftReport report = sampler.last();
+  generator.stop();
+  runtime.stop();
+
+  ASSERT_TRUE(report.valid);
+  ASSERT_EQ(report.flows.size(), 1u) << "four members, one class row";
+  const FlowDrift& row = report.flows[0];
+  EXPECT_EQ(row.members, 4u);
+  EXPECT_NEAR(row.ratio, 1.0, 0.10)
+      << row.name << " got " << row.actual_bps << " vs max-min "
+      << row.maxmin_bps;
+  // Both links together: the class aggregate is the whole 160 Mb/s.
+  EXPECT_NEAR(row.maxmin_bps, 160e6, 1e6);
+
+  const std::string text = render_prometheus(reg);
+  EXPECT_NE(text.find("midrr_fairness_class_members{flow=\"bundle\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("midrr_fairness_rate_per_member_bps{flow=\"bundle\"}"),
+            std::string::npos);
+
+  const std::string json =
+      flows_json(runtime.fairness_sample(), sampler.last());
+  EXPECT_NE(json.find("\"members\":4"), std::string::npos);
 }
 
 TEST(RuntimeTelemetry, RegistersRuntimeSeriesAndCapturesTrace) {

@@ -35,6 +35,9 @@ int usage() {
   std::cerr
       << "usage: midrr_rt [options]\n"
          "  --flows N       flows, willing on 2 interfaces each (default 64)\n"
+         "  --flows-per-class N  register flows in batches of N sharing one\n"
+         "                  flow class (one Pi row, one weight; default 1).\n"
+         "                  Pair with --policy hmidrr for two-level DRR\n"
          "  --ifaces N      interfaces (default 4)\n"
          "  --workers N     worker threads (default 1)\n"
          "  --shards N      scheduler shards (default = workers)\n"
@@ -49,7 +52,9 @@ int usage() {
          "  --fanin-batch N max packets per ingress ring per fan-in pass\n"
          "                  (default 1024)\n"
          "  --burst-bytes B max bytes per dequeue burst (default 65536)\n"
-         "  --policy P      midrr|drr|wfq|rr|fifo|priority (default midrr)\n"
+         "  --policy P      midrr|hmidrr|drr|wfq|rr|fifo|priority\n"
+         "                  (default midrr; hmidrr = miDRR across classes,\n"
+         "                  DRR among a class's members)\n"
          "  --churn         exercise the control plane during the run\n"
          "  --fault-plan F  inject the deterministic fault plan in JSON\n"
          "                  file F (see docs/ROBUSTNESS.md for the schema)\n"
@@ -61,7 +66,7 @@ int usage() {
          "  --shed-bytes B  weight-aware overload shedding at fan-in past\n"
          "                  B bytes of shard backlog (0 = off, the default)\n"
          "  --json          machine-readable report on stdout\n"
-         "  --telemetry P   serve /metrics, /healthz, /flows on 127.0.0.1:P\n"
+         "  --telemetry P   serve /metrics, /healthz, /flows, /classes on\n                  127.0.0.1:P\n"
          "                  (0 = ephemeral; bound port printed to stderr)\n"
          "  --trace-out F   capture scheduler events + worker spans, write\n"
          "                  Chrome trace-event JSON to F after the run\n";
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   using namespace midrr::rt;
 
   std::size_t flows = 64;
+  std::size_t flows_per_class = 1;
   std::size_t ifaces = 4;
   std::size_t workers = 1;
   std::size_t shards = 0;  // 0 = match workers
@@ -103,6 +109,7 @@ int main(int argc, char** argv) {
         return argv[++i];
       };
       if (key == "--flows") flows = std::stoul(value());
+      else if (key == "--flows-per-class") flows_per_class = std::stoul(value());
       else if (key == "--ifaces") ifaces = std::stoul(value());
       else if (key == "--workers") workers = std::stoul(value());
       else if (key == "--shards") shards = std::stoul(value());
@@ -134,7 +141,8 @@ int main(int argc, char** argv) {
       else if (key == "--trace-out") trace_out = value();
       else return usage();
     }
-    if (flows == 0 || ifaces == 0 || duration_s <= 0.0) return usage();
+    if (flows == 0 || flows_per_class == 0 || ifaces == 0 || duration_s <= 0.0)
+      return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage();
@@ -194,17 +202,21 @@ int main(int argc, char** argv) {
         runtime.add_interface(name);
       }
     }
-    // Each flow is willing on two adjacent interfaces (wrap-around), the
+    // Each class is willing on two adjacent interfaces (wrap-around), the
     // minimal topology where miDRR's cross-interface coupling matters.
-    for (std::size_t i = 0; i < flows; ++i) {
+    // --flows-per-class registers whole batches under one Pi row: one
+    // class-delta publish per batch, not one per flow.
+    for (std::size_t i = 0; i < flows; i += flows_per_class) {
+      const std::size_t batch = std::min(flows_per_class, flows - i);
+      const std::size_t group = i / flows_per_class;
       RtFlowSpec spec;
       spec.weight = 1.0;
-      spec.name = "f" + std::to_string(i);
-      spec.willing.push_back(static_cast<IfaceId>(i % ifaces));
+      spec.name = (flows_per_class == 1 ? "f" : "c") + std::to_string(group);
+      spec.willing.push_back(static_cast<IfaceId>(group % ifaces));
       if (ifaces > 1) {
-        spec.willing.push_back(static_cast<IfaceId>((i + 1) % ifaces));
+        spec.willing.push_back(static_cast<IfaceId>((group + 1) % ifaces));
       }
-      runtime.control().add_flow(spec);
+      runtime.control().add_members(spec, batch);
     }
 
     runtime.start();
@@ -257,6 +269,43 @@ int main(int argc, char** argv) {
         telemetry::HandlerResult r;
         r.content_type = "application/json";
         r.body = telemetry::flows_json(rt->fairness_sample(), drift->last());
+        return r;
+      });
+      // The interned class table: one row per live class (the unit the
+      // control plane publishes and the hierarchical scheduler serves).
+      ControlPlane* control = &runtime.control();
+      server->handle("/classes", [control](const http::HttpRequest&) {
+        telemetry::HandlerResult r;
+        r.content_type = "application/json";
+        auto reader = control->reader();
+        const auto guard = reader.lock();
+        std::ostringstream body;
+        body << "{\"classes\":" << guard->live.size()
+             << ",\"flows\":" << control->flow_count()
+             << ",\"version\":" << guard->version << ",\"rows\":[";
+        bool first = true;
+        for (const ClassId id : guard->live) {
+          const SnapshotClass& c = guard->classes[id];
+          if (!first) body << ',';
+          first = false;
+          body << "{\"id\":" << id << ",\"name\":\""
+               << (c.name.empty() ? "class" + std::to_string(id) : c.name)
+               << "\",\"weight\":" << c.weight
+               << ",\"members\":" << c.members << ",\"quarantined\":"
+               << (c.quarantined ? "true" : "false") << ",\"willing\":[";
+          for (std::size_t k = 0; k < c.willing.size(); ++k) {
+            if (k != 0) body << ',';
+            body << c.willing[k];
+          }
+          body << "],\"shards\":[";
+          for (std::size_t k = 0; k < c.shards.size(); ++k) {
+            if (k != 0) body << ',';
+            body << c.shards[k];
+          }
+          body << "]}";
+        }
+        body << "]}";
+        r.body = body.str();
         return r;
       });
       server->start();
@@ -362,6 +411,8 @@ int main(int argc, char** argv) {
       out << "{"
           << "\"policy\":\"" << to_string(policy) << "\","
           << "\"flows\":" << flows << ","
+          << "\"flows_per_class\":" << flows_per_class << ","
+          << "\"classes\":" << runtime.control().class_count() << ","
           << "\"ifaces\":" << ifaces << ","
           << "\"workers\":" << workers << ","
           << "\"shards\":" << shards << ","
@@ -429,7 +480,8 @@ int main(int argc, char** argv) {
       std::cout << out.str() << "\n";
     } else {
       std::cout << "midrr_rt: " << to_string(policy) << ", " << flows
-                << " flows x " << ifaces << " ifaces, " << workers
+                << " flows in " << runtime.control().class_count()
+                << " classes x " << ifaces << " ifaces, " << workers
                 << " workers / " << shards << " shards, " << elapsed
                 << " s\n"
                 << "  offered   " << stats.offered << " pkts ("
