@@ -25,11 +25,13 @@
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "io/udp_backend.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/metrics.hpp"
@@ -192,6 +194,90 @@ OverloadCell run_overload_cell(std::uint64_t shed_bytes, double overload,
   cell.shed_drops = stats.shed_drops;
   cell.tail_drops = stats.tail_drops;
   cell.duration_s = elapsed;
+  return cell;
+}
+
+// Egress cell: the same unpaced 4-iface / 64-flow topology drained into
+// either the sim sink or real UDP sockets over loopback (destination
+// ports nobody listens on -- the kernel pays the full loopback delivery
+// path and then drops, which is exactly the sendmmsg cost we want to
+// meter without a receiver skewing the box).  The udp cells sweep
+// UdpBackendOptions::max_batch to show syscall amortization: batch 1 is
+// one sendmmsg per packet, 256 is the deep-burst limit.  HONESTY NOTE:
+// loopback is not NIC-bound -- these numbers bound per-syscall and
+// serialization overhead, not wire throughput; a real NIC adds driver
+// rings, IRQ moderation, and line-rate ceilings the loopback path
+// never sees.
+struct EgressCell {
+  const char* backend = "sim";
+  std::size_t max_batch = 0;  // 0 = not applicable (sim)
+  double pps = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t syscalls = 0;
+  std::uint64_t requeued = 0;
+  std::uint64_t io_drops = 0;
+  double duration_s = 0;
+};
+
+EgressCell run_egress_cell(bool udp, std::size_t max_batch,
+                           double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kIfaces = 4;
+  constexpr std::size_t kFlows = 64;
+  RuntimeOptions options;
+  options.workers = 2;
+  options.shards = 2;
+  options.producers = 1;
+  options.max_flows = kFlows;
+  std::unique_ptr<io::UdpBackend> backend;
+  if (udp) {
+    io::UdpBackendOptions uopts;
+    uopts.base_port = 19800;  // unbound on purpose; see the note above
+    uopts.max_batch = max_batch;
+    backend = std::make_unique<io::UdpBackend>(uopts);
+    options.egress = backend.get();
+  }
+  Runtime runtime(options);
+  for (std::size_t j = 0; j < kIfaces; ++j) {
+    runtime.add_interface("if" + std::to_string(j));
+  }
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    RtFlowSpec spec;
+    spec.willing.push_back(static_cast<IfaceId>(i % kIfaces));
+    spec.willing.push_back(static_cast<IfaceId>((i + 1) % kIfaces));
+    runtime.control().add_flow(spec);
+  }
+  runtime.start();
+  LoadGeneratorOptions load;
+  load.producers = 1;
+  load.packet_bytes = 1000;
+  load.payload = PayloadMode::kPooled;  // real bytes on the wire
+  LoadGenerator generator(runtime, load);
+  const auto t0 = std::chrono::steady_clock::now();
+  generator.start();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  generator.stop();
+  runtime.stop();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const RuntimeStats stats = runtime.stats();
+  EgressCell cell;
+  cell.backend = udp ? "udp" : "sim";
+  cell.max_batch = udp ? max_batch : 0;
+  cell.sent = stats.sent;
+  cell.syscalls = stats.io_syscalls;
+  cell.requeued = stats.io_requeued;
+  cell.io_drops = stats.io_drops;
+  cell.duration_s = elapsed;
+  cell.pps = static_cast<double>(stats.sent) / elapsed;
+  cell.p50_ns = stats.latency_p50_ns;
+  cell.p99_ns = stats.latency_p99_ns;
   return cell;
 }
 
@@ -395,6 +481,28 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Egress backend sweep: sim sink vs real UDP sockets over loopback,
+  // with the udp cells sweeping the sendmmsg batch cap.
+  std::vector<EgressCell> egress_cells;
+  if (!scale_only) {
+    egress_cells.push_back(run_egress_cell(false, 0, duration_s));
+    std::cerr << "rt_throughput: egress sim... "
+              << egress_cells.back().pps / 1e6 << " Mpps\n";
+    for (const std::size_t batch :
+         {std::size_t{1}, std::size_t{32}, std::size_t{256}}) {
+      std::cerr << "rt_throughput: egress udp, batch " << batch << "..."
+                << std::flush;
+      const EgressCell cell = run_egress_cell(true, batch, duration_s);
+      std::cerr << " " << cell.pps / 1e6 << " Mpps, "
+                << (cell.syscalls > 0
+                        ? static_cast<double>(cell.sent) /
+                              static_cast<double>(cell.syscalls)
+                        : 0)
+                << " pkts/syscall\n";
+      egress_cells.push_back(cell);
+    }
+  }
+
   // Class-aggregation scale sweep: same 1000 classes at 10k and 1M flows.
   // Registration batches by class, the runtime schedules hmidrr, and the
   // publish probe measures a one-member delta against the loaded table.
@@ -480,6 +588,29 @@ int main(int argc, char** argv) {
          << ", \"tail_drops\": " << c.tail_drops
          << ", \"duration_s\": " << c.duration_s << "}"
          << (i + 1 < overload_cells.size() ? "," : "") << "\n";
+  }
+  // Sim vs loopback-UDP egress.  The note travels with the data because
+  // these cells are easy to misread as a NIC throughput claim.
+  json << "  ],\n  \"egress_sweep_note\": \"loopback is not NIC-bound: udp "
+          "cells meter sendmmsg/serialization overhead and syscall "
+          "amortization across max_batch, not wire throughput\",\n"
+          "  \"egress_sweep\": [\n";
+  for (std::size_t i = 0; i < egress_cells.size(); ++i) {
+    const EgressCell& c = egress_cells[i];
+    json << "    {\"backend\": \"" << c.backend << "\"";
+    if (c.max_batch != 0) json << ", \"max_batch\": " << c.max_batch;
+    json << ", \"pps\": " << c.pps << ", \"sent\": " << c.sent
+         << ", \"syscalls\": " << c.syscalls
+         << ", \"pkts_per_syscall\": "
+         << (c.syscalls > 0 ? static_cast<double>(c.sent) /
+                                  static_cast<double>(c.syscalls)
+                            : 0)
+         << ", \"io_requeued\": " << c.requeued
+         << ", \"io_drops\": " << c.io_drops
+         << ", \"latency_p50_ns\": " << c.p50_ns
+         << ", \"latency_p99_ns\": " << c.p99_ns
+         << ", \"duration_s\": " << c.duration_s << "}"
+         << (i + 1 < egress_cells.size() ? "," : "") << "\n";
   }
   // Equal class counts at 100x different flow counts: the publish-latency
   // ratio is the evidence that control-plane cost tracks classes, not

@@ -84,13 +84,24 @@ void Supervisor::probe_links(SimTime now) {
     LinkHealth& h = links_[j];
     const std::uint64_t bytes = rt_.iface_sent_bytes(j);
     const double tokens = rt_.iface_tokens(j);
+    const std::uint64_t send_errors = rt_.iface_send_errors(j);
     if (last_probe_ns_ < 0) {
       // First probe establishes baselines; no verdicts from a zero window.
       h.last_bytes = bytes;
       h.last_tokens = tokens;
+      h.last_send_errors = send_errors;
       continue;
     }
     const bool progressed = bytes > h.last_bytes;
+    // Egress send errors: a window with NEW hard transmit failures counts
+    // against the link even when the pacer looks normal (the socket is
+    // rejecting work the scheduler already granted).
+    if (send_errors > h.last_send_errors) {
+      ++h.error_probes;
+    } else {
+      h.error_probes = 0;
+    }
+    h.last_send_errors = send_errors;
 
     if (h.state == LinkState::kDead) {
       // Recovery.  Death required backlog against a silent link, which
@@ -126,6 +137,11 @@ void Supervisor::probe_links(SimTime now) {
     const bool silent = configured > 0.0 && backlog > 0 && !progressed;
     const bool degraded = configured > 0.0 && backlog > 0 && progressed &&
                           measured_bps < options_.degraded_fraction * configured;
+    // Sustained send errors degrade the link through the same suspect
+    // machinery as a slow pacer: flagged, surfaced in /healthz, but not
+    // killed -- the socket may still be moving most of the traffic.
+    const bool erroring = options_.send_error_probes > 0 &&
+                          h.error_probes >= options_.send_error_probes;
     if (silent) {
       if (h.state == LinkState::kHealthy) {
         transition(j, h, LinkState::kSuspect, now);
@@ -135,7 +151,7 @@ void Supervisor::probe_links(SimTime now) {
         rt_.set_iface_down(j, true);
         topology_changed = true;
       }
-    } else if (degraded) {
+    } else if (degraded || erroring) {
       // Degraded links are flagged but not killed: the pacer still moves
       // bytes, and killing a slow link strictly reduces capacity.
       h.bad_probes = 0;

@@ -76,6 +76,14 @@ class SupervisedRuntime {
   virtual std::uint64_t iface_backlog_bytes(IfaceId iface) const = 0;
   /// Monotone per-loop tick of the worker's drain loop.
   virtual std::uint64_t worker_heartbeat(std::uint32_t worker) const = 0;
+  /// Cumulative hard transmit errors reported by the egress backend for
+  /// this interface.  Defaulted to 0 so pacer-only runtimes (and mocks)
+  /// need not implement it; real I/O backends feed it, and a sustained
+  /// error rate marks the link suspect (degraded) without killing it.
+  virtual std::uint64_t iface_send_errors(IfaceId iface) const {
+    (void)iface;
+    return 0;
+  }
 
   // --- Actuation ----------------------------------------------------------
 
@@ -97,6 +105,11 @@ struct SupervisorOptions {
   /// Measured drain below this fraction of configured capacity (with
   /// backlog present) marks a link degraded (suspect) without killing it.
   double degraded_fraction = 0.10;
+  /// Egress send errors accumulating in at least this many consecutive
+  /// probe windows mark the link suspect (degraded) -- the socket is
+  /// rejecting work even if the pacer looks normal.  Recovery is the
+  /// usual hysteresis once the error counter stops moving.  0 disables.
+  std::uint32_t send_error_probes = 2;
   /// Heartbeat frozen for this many probes triggers a restart attempt.
   std::uint32_t worker_stall_probes = 8;
   bool restart_stalled_workers = true;
@@ -170,7 +183,10 @@ class Supervisor {
     LinkState state = LinkState::kHealthy;
     std::uint32_t bad_probes = 0;
     std::uint32_t good_probes = 0;
+    std::uint32_t error_probes = 0;  ///< consecutive windows with new
+                                     ///< egress send errors
     std::uint64_t last_bytes = 0;
+    std::uint64_t last_send_errors = 0;
     double last_tokens = 0.0;
   };
   struct WorkerHealth {

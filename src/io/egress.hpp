@@ -1,0 +1,117 @@
+// Egress backends: where a paced burst actually goes.
+//
+// The runtime's per-interface drain loop (Runtime::drain_iface) pulls a
+// pacer-budgeted burst out of the shard scheduler and hands it to ONE of
+// these.  The backend decides each packet's fate:
+//
+//   kSent     -- the packet left the process (or, for SimBackend, was
+//                accounted as if it had).  Terminal, counted as delivery.
+//   kRequeued -- the transmit path pushed back (EAGAIN/ENOBUFS/partial
+//                sendmmsg return).  The runtime parks the packet in a
+//                worker-local per-interface stash and retries it FIRST on
+//                the next drain pass -- never re-entering the scheduler,
+//                so per-flow FIFO order survives and the packet is
+//                dequeued exactly once.  The pacer was already charged at
+//                dequeue time, so a requeued tail sits as paid pacer debt
+//                (the link slot it reserved is not re-priced on retry).
+//   kDropped  -- terminal backend-side loss (oversized datagram, hard
+//                errno).  Counted, never silent: it appears in
+//                RuntimeStats::io_drops and midrr_io_drops_total.
+//
+// Threading contract: send_burst(iface, ...) is called only by the worker
+// thread that owns `iface` (same contract as TokenBucketPacer).  Distinct
+// interfaces may be driven concurrently from distinct workers, so any
+// per-interface state inside a backend must be independent per iface;
+// cross-interface aggregates must be atomics.  Accessors (send_errors,
+// syscalls) are scrape-rate reads from other threads.
+//
+// Burst-buffer ownership: the spans passed to send_burst point into the
+// runtime's scratch vector and are valid ONLY for the duration of the
+// call.  Packets carry their net::Frame by shared_ptr (possibly from a
+// pooled FramePool slot); a backend that needs bytes past the call must
+// copy them -- UdpBackend serializes into per-interface scratch buffers
+// for exactly this reason, so frames recycle to their pool the moment the
+// runtime drops the packet, regardless of socket progress.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/ids.hpp"
+#include "flow/packet.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/time.hpp"
+
+namespace midrr::io {
+
+/// Per-packet outcome of one send_burst call.
+enum class SendDisposition : std::uint8_t {
+  kSent = 0,
+  kRequeued = 1,
+  kDropped = 2,
+};
+
+/// Aggregate outcome of one send_burst call.  When `clean` is true the
+/// whole burst was sent and `dispositions` MAY not have been written
+/// (SimBackend never touches it) -- the runtime keeps its zero-overhead
+/// accounting loop and must not read it.  When false, `dispositions`
+/// holds one entry per input packet and the totals below are consistent
+/// with it.
+struct EgressResult {
+  bool clean = true;
+  std::size_t sent = 0;
+  std::uint64_t sent_bytes = 0;
+  std::size_t requeued = 0;
+  std::uint64_t requeued_bytes = 0;
+  std::size_t dropped = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+
+class EgressBackend {
+ public:
+  virtual ~EgressBackend() = default;
+
+  /// Human-readable backend name ("sim", "udp", "uring") for reports,
+  /// /healthz detail, and metric labels.
+  virtual std::string name() const = 0;
+
+  /// Called once at Runtime::start(), before any worker thread runs.
+  /// `iface_names[j]` is the runtime's name for global interface j; the
+  /// backend sizes its per-interface state (sockets, scratch buffers)
+  /// here and may throw to abort startup (e.g. socket/bind failure).
+  virtual void attach(const std::vector<std::string>& iface_names) = 0;
+
+  /// Transmit (or account) one paced burst for `iface`.  See the file
+  /// comment for the disposition contract.  `now` is the runtime clock at
+  /// dequeue time.  Must not block.
+  virtual EgressResult send_burst(IfaceId iface, std::span<const Packet> burst,
+                                  SimTime now,
+                                  std::vector<SendDisposition>& dispositions) = 0;
+
+  /// One last chance to move stashed bytes at Runtime::stop(), called
+  /// single-threaded after workers joined, once per interface per round.
+  /// Default: nothing buffered inside the backend, nothing to do.
+  virtual void flush(IfaceId iface) { (void)iface; }
+
+  /// Cumulative hard send errors on `iface` (EAGAIN/ENOBUFS requeues are
+  /// NOT errors; this counts failed syscalls / terminal drops).  Feeds
+  /// the Supervisor's link-health verdicts.  Thread-safe.
+  virtual std::uint64_t send_errors(IfaceId iface) const {
+    (void)iface;
+    return 0;
+  }
+
+  /// Cumulative transmit syscalls issued (0 for SimBackend).  Thread-safe.
+  virtual std::uint64_t syscalls() const { return 0; }
+
+  /// Registers backend-specific midrr_io_* series.  Called at start()
+  /// when the runtime has a registry; default registers nothing.
+  virtual void register_metrics(telemetry::MetricsRegistry& registry) {
+    (void)registry;
+  }
+};
+
+}  // namespace midrr::io

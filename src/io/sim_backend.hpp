@@ -1,0 +1,48 @@
+// SimBackend: the pacer-only sink the runtime has always had, now behind
+// the EgressBackend seam.
+//
+// Every packet is kSent the instant it arrives -- no sockets, no
+// syscalls, no requeues -- so a runtime configured with SimBackend (the
+// default) is byte-for-byte identical to the pre-backend drain loop:
+// same counters, same pacer math, same latency stamps.  It exists so the
+// fast-path accounting in drain_iface stays the single shared code path
+// and so tests can assert backend-vs-sim equivalence.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "io/egress.hpp"
+
+namespace midrr::io {
+
+class SimBackend final : public EgressBackend {
+ public:
+  std::string name() const override { return "sim"; }
+
+  void attach(const std::vector<std::string>& iface_names) override {
+    (void)iface_names;
+  }
+
+  EgressResult send_burst(IfaceId iface, std::span<const Packet> burst,
+                          SimTime now,
+                          std::vector<SendDisposition>& dispositions) override {
+    (void)iface;
+    (void)now;
+    (void)dispositions;  // clean result: the runtime keeps its fast path
+    EgressResult result;
+    result.sent = burst.size();
+    for (const Packet& packet : burst) result.sent_bytes += packet.size_bytes;
+    bursts_.fetch_add(1, std::memory_order_relaxed);
+    return result;
+  }
+
+  std::uint64_t bursts() const {
+    return bursts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> bursts_{0};
+};
+
+}  // namespace midrr::io

@@ -1,0 +1,55 @@
+#include "io/uring_backend.hpp"
+
+#include <stdexcept>
+
+namespace midrr::io {
+
+bool uring_supported() {
+#ifdef MIDRR_WITH_URING
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef MIDRR_WITH_URING
+
+void UringBackend::attach(const std::vector<std::string>& iface_names) {
+  (void)iface_names;
+}
+
+EgressResult UringBackend::send_burst(
+    IfaceId iface, std::span<const Packet> burst, SimTime now,
+    std::vector<SendDisposition>& dispositions) {
+  (void)iface;
+  (void)now;
+  (void)dispositions;
+  // Stub: account the burst as one ring submission that completed
+  // immediately.  The real path (sqe batching, completion reaping,
+  // registered buffers) is tracked in ROADMAP.md.
+  EgressResult result;
+  result.sent = burst.size();
+  for (const Packet& packet : burst) result.sent_bytes += packet.size_bytes;
+  submissions_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+std::uint64_t UringBackend::syscalls() const {
+  return submissions_.load(std::memory_order_relaxed);
+}
+
+std::unique_ptr<EgressBackend> make_uring_backend() {
+  return std::make_unique<UringBackend>();
+}
+
+#else  // !MIDRR_WITH_URING
+
+std::unique_ptr<EgressBackend> make_uring_backend() {
+  throw std::runtime_error(
+      "io_uring egress backend not built: reconfigure with "
+      "-DMIDRR_WITH_URING=ON");
+}
+
+#endif  // MIDRR_WITH_URING
+
+}  // namespace midrr::io

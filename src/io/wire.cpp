@@ -1,0 +1,29 @@
+#include "io/wire.hpp"
+
+namespace midrr::io {
+
+void WireHeader::encode(net::BufWriter& writer) const {
+  writer.u32(kMagic);
+  writer.u8(kVersion);
+  writer.u8(0);  // flags
+  writer.u16(payload_bytes);
+  writer.u32(flow);
+  writer.u64(seq);
+  writer.u32(size_bytes);
+}
+
+std::optional<WireHeader> WireHeader::decode(std::span<const net::Byte> data) {
+  if (data.size() < kSize) return std::nullopt;
+  net::BufReader reader(data);
+  if (reader.u32() != kMagic) return std::nullopt;
+  if (reader.u8() != kVersion) return std::nullopt;
+  reader.skip(1);  // flags
+  WireHeader out;
+  out.payload_bytes = reader.u16();
+  out.flow = reader.u32();
+  out.seq = reader.u64();
+  out.size_bytes = reader.u32();
+  return out;
+}
+
+}  // namespace midrr::io

@@ -1,0 +1,56 @@
+// The midrr_net datagram header: how a scheduled packet is identified on
+// a real wire.
+//
+// LoadGenerator payloads are filler bytes, not self-describing frames, so
+// every UDP datagram the egress path emits is prefixed with this compact
+// header.  The receiver (tools/midrr_rx, the loopback e2e tests) parses
+// it to credit delivered bytes to the right flow and to check per-flow
+// FIFO order -- which is what lets CI compare real-socket delivery
+// against the max-min solver's ideal.
+//
+//   offset  size  field
+//        0     4  magic "MIDR"
+//        4     1  version (kVersion)
+//        5     1  flags (reserved, 0)
+//        6     2  payload bytes following this header
+//        8     4  flow id (runtime-global FlowId)
+//       12     8  per-flow sequence number
+//       20     4  scheduler-visible packet size in bytes
+//
+// `size_bytes` is the SCHEDULER's byte count for the packet (what the
+// pacer charged and what sent_by_flow_ accumulates), not the datagram
+// length: the receiver credits flows with this value, so its per-flow
+// totals are directly comparable to the solver/runtime accounting even
+// when payloads are truncated or absent on the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "flow/ids.hpp"
+#include "net/bytes.hpp"
+
+namespace midrr::io {
+
+struct WireHeader {
+  static constexpr std::uint32_t kMagic = 0x4D494452;  // "MIDR"
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kSize = 24;
+
+  std::uint16_t payload_bytes = 0;  ///< datagram bytes after the header
+  FlowId flow = kInvalidFlow;
+  std::uint64_t seq = 0;
+  std::uint32_t size_bytes = 0;  ///< scheduler-visible packet size
+
+  /// Writes kSize bytes at the writer's cursor (throws net::BufferOverrun
+  /// if the buffer is too small).
+  void encode(net::BufWriter& writer) const;
+
+  /// Parses a header from `data`; nullopt on short buffer, bad magic, or
+  /// unknown version (a receiver counts these, it does not throw).
+  static std::optional<WireHeader> decode(std::span<const net::Byte> data);
+};
+
+}  // namespace midrr::io

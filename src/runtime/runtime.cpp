@@ -380,6 +380,16 @@ void Runtime::start() {
     }
   }
 
+  // Bind and attach the egress backend before any thread runs; a backend
+  // that cannot set up (socket/bind failure) aborts startup here.
+  egress_ = options_.egress != nullptr ? options_.egress : &sim_backend_;
+  {
+    std::vector<std::string> iface_names;
+    iface_names.reserve(ifaces_.size());
+    for (const auto& rec : ifaces_) iface_names.push_back(rec->name);
+    egress_->attach(iface_names);
+  }
+
   if (options_.metrics != nullptr) register_metrics();
   if (options_.fault != nullptr) {
     // Compile the plan against the now-frozen topology; out-of-range
@@ -412,11 +422,42 @@ void Runtime::stop() {
       if (worker->thread.joinable()) worker->thread.join();
     }
   }
-  std::lock_guard<std::mutex> lock(restart_mu_);
-  for (auto& thread : retired_) {
-    if (thread.joinable()) thread.join();
+  {
+    std::lock_guard<std::mutex> lock(restart_mu_);
+    for (auto& thread : retired_) {
+      if (thread.joinable()) thread.join();
+    }
+    retired_.clear();
   }
-  retired_.clear();
+  // Workers are gone; give every parked egress tail a bounded,
+  // single-threaded last chance, then convert the remainder to counted
+  // drops so the conservation identity closes at quiescence.
+  flush_egress();
+}
+
+void Runtime::flush_egress() {
+  if (egress_ == nullptr || workers_.empty()) return;
+  constexpr int kFinalFlushRounds = 3;
+  for (IfaceId j = 0; j < ifaces_.size(); ++j) {
+    IfaceRec& rec = *ifaces_[j];
+    if (rec.pending.empty()) continue;
+    Worker& owner = *workers_[rec.worker];
+    for (int round = 0; round < kFinalFlushRounds && !rec.pending.empty();
+         ++round) {
+      if (!send_pending(j, owner)) break;  // no progress; retrying is moot
+    }
+    egress_->flush(j);
+    if (!rec.pending.empty()) {
+      owner.io_drops.fetch_add(rec.pending.size(),
+                               std::memory_order_relaxed);
+      MIDRR_LOG_WARN() << "egress backend could not flush "
+                       << rec.pending.size() << " packet(s) on interface '"
+                       << rec.name << "' at stop(); counted as io_drops";
+      rec.pending.clear();
+      rec.pending_packets.store(0, std::memory_order_relaxed);
+      rec.pending_bytes.store(0, std::memory_order_relaxed);
+    }
+  }
 }
 
 IngressPort Runtime::port(std::size_t producer) {
@@ -652,9 +693,69 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   return true;
 }
 
+void Runtime::account_sent(IfaceRec& rec, Worker& me, const Packet& packet,
+                           SimTime sent_at) {
+  const SimTime waited = sent_at - packet.enqueued_at;
+  const std::uint64_t wait_ns =
+      waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
+  me.latency.record(wait_ns);
+  if (me.wait_hist != nullptr) me.wait_hist->observe(wait_ns);
+  sent_by_flow_[packet.flow].fetch_add(packet.size_bytes,
+                                       std::memory_order_relaxed);
+  rec.packets.fetch_add(1, std::memory_order_relaxed);
+  rec.bytes.fetch_add(packet.size_bytes, std::memory_order_relaxed);
+  me.sent.fetch_add(1, std::memory_order_relaxed);
+  me.sent_bytes.fetch_add(packet.size_bytes, std::memory_order_relaxed);
+}
+
+bool Runtime::send_pending(IfaceId iface, Worker& me) {
+  IfaceRec& rec = *ifaces_[iface];
+  const SimTime now = now_ns();
+  const io::EgressResult result = egress_->send_burst(
+      iface, std::span<const Packet>(rec.pending.data(), rec.pending.size()),
+      now, me.dispositions);
+  if (result.requeued == rec.pending.size()) {
+    // Whole stash pushed back again; count the event, nothing moved.
+    me.io_requeued.fetch_add(result.requeued, std::memory_order_relaxed);
+    return false;
+  }
+  std::size_t keep = 0;
+  std::uint64_t keep_bytes = 0;
+  for (std::size_t i = 0; i < rec.pending.size(); ++i) {
+    Packet& packet = rec.pending[i];
+    const io::SendDisposition verdict =
+        result.clean ? io::SendDisposition::kSent : me.dispositions[i];
+    switch (verdict) {
+      case io::SendDisposition::kSent:
+        account_sent(rec, me, packet, now);
+        break;
+      case io::SendDisposition::kRequeued:
+        keep_bytes += packet.size_bytes;
+        if (keep != i) rec.pending[keep] = std::move(packet);
+        ++keep;
+        break;
+      case io::SendDisposition::kDropped:
+        me.io_drops.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+  rec.pending.resize(keep);
+  rec.pending_packets.store(keep, std::memory_order_relaxed);
+  rec.pending_bytes.store(keep_bytes, std::memory_order_relaxed);
+  if (result.requeued > 0) {
+    me.io_requeued.fetch_add(result.requeued, std::memory_order_relaxed);
+  }
+  return true;
+}
+
 bool Runtime::drain_iface(IfaceId iface, Worker& me,
                           std::vector<Packet>& burst) {
   IfaceRec& rec = *ifaces_[iface];
+  // A parked tail goes first: those packets were dequeued and
+  // pacer-charged already, only the socket gates them.  No new dequeue
+  // until the stash clears -- per-flow order is preserved and the stash
+  // can never exceed one burst.
+  if (!rec.pending.empty()) return send_pending(iface, me);
   const SimTime t0 = now_ns();
   std::uint64_t budget = rec.pacer.budget_bytes(t0);
   if (budget == 0) return false;
@@ -676,37 +777,75 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   }
   if (count == 0) return false;
   const SimTime drained_at = now_ns();
+  const io::EgressResult outcome = egress_->send_burst(
+      iface, std::span<const Packet>(burst.data(), burst.size()), drained_at,
+      me.dispositions);
   telemetry::Histogram* const wait_hist = me.wait_hist;
   std::uint64_t bytes = 0;
-  // Bursts are runs of same-flow packets (DRR serves a flow until its
-  // deficit runs out), so fold consecutive packets into one sent_by_flow_
-  // fetch_add per run instead of one per packet.
-  FlowId run_flow = kInvalidFlow;
-  std::uint64_t run_bytes = 0;
-  for (const Packet& packet : burst) {
-    bytes += packet.size_bytes;
-    const SimTime waited = drained_at - packet.enqueued_at;
-    const std::uint64_t wait_ns =
-        waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
-    me.latency.record(wait_ns);
-    if (wait_hist != nullptr) wait_hist->observe(wait_ns);
-    if (packet.flow != run_flow) {
-      if (run_bytes != 0) {
-        sent_by_flow_[run_flow].fetch_add(run_bytes,
-                                          std::memory_order_relaxed);
+  if (outcome.clean) {
+    // Everything left: the historical fast path, untouched.  Bursts are
+    // runs of same-flow packets (DRR serves a flow until its deficit runs
+    // out), so fold consecutive packets into one sent_by_flow_ fetch_add
+    // per run instead of one per packet.
+    FlowId run_flow = kInvalidFlow;
+    std::uint64_t run_bytes = 0;
+    for (const Packet& packet : burst) {
+      bytes += packet.size_bytes;
+      const SimTime waited = drained_at - packet.enqueued_at;
+      const std::uint64_t wait_ns =
+          waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
+      me.latency.record(wait_ns);
+      if (wait_hist != nullptr) wait_hist->observe(wait_ns);
+      if (packet.flow != run_flow) {
+        if (run_bytes != 0) {
+          sent_by_flow_[run_flow].fetch_add(run_bytes,
+                                            std::memory_order_relaxed);
+        }
+        run_flow = packet.flow;
+        run_bytes = 0;
       }
-      run_flow = packet.flow;
-      run_bytes = 0;
+      run_bytes += packet.size_bytes;
     }
-    run_bytes += packet.size_bytes;
+    if (run_bytes != 0) {
+      sent_by_flow_[run_flow].fetch_add(run_bytes, std::memory_order_relaxed);
+    }
+    rec.packets.fetch_add(count, std::memory_order_relaxed);
+    rec.bytes.fetch_add(bytes, std::memory_order_relaxed);
+    me.sent.fetch_add(count, std::memory_order_relaxed);
+    me.sent_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  } else {
+    // Mixed verdicts: per-packet accounting.  Requeued packets park in
+    // dequeue order (the backend only pushes back suffixes, but the loop
+    // does not rely on that); dropped packets are already counted inside
+    // the backend's own series, here they feed the runtime identity.
+    std::uint64_t pending_bytes = 0;
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      Packet& packet = burst[i];
+      bytes += packet.size_bytes;
+      switch (me.dispositions[i]) {
+        case io::SendDisposition::kSent:
+          account_sent(rec, me, packet, drained_at);
+          break;
+        case io::SendDisposition::kRequeued:
+          pending_bytes += packet.size_bytes;
+          rec.pending.push_back(std::move(packet));
+          break;
+        case io::SendDisposition::kDropped:
+          me.io_drops.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    rec.pending_packets.store(rec.pending.size(), std::memory_order_relaxed);
+    rec.pending_bytes.store(pending_bytes, std::memory_order_relaxed);
+    if (outcome.requeued > 0) {
+      me.io_requeued.fetch_add(outcome.requeued, std::memory_order_relaxed);
+    }
   }
-  if (run_bytes != 0) {
-    sent_by_flow_[run_flow].fetch_add(run_bytes, std::memory_order_relaxed);
-  }
+  // Pacer and backlog are charged for the WHOLE dequeued burst at dequeue
+  // time: a requeued tail holds the link slot it already paid for (pacer
+  // debt) and is not re-priced on retry.
   rec.pacer.consume(bytes);
   shard.backlog_bytes.fetch_sub(bytes, std::memory_order_relaxed);
-  rec.packets.fetch_add(count, std::memory_order_relaxed);
-  rec.bytes.fetch_add(bytes, std::memory_order_relaxed);
   me.dequeued.fetch_add(count, std::memory_order_relaxed);
   me.dequeued_bytes.fetch_add(bytes, std::memory_order_relaxed);
   me.bursts.fetch_add(1, std::memory_order_relaxed);
@@ -799,6 +938,10 @@ RuntimeStats Runtime::stats() const {
     out.dequeued += worker->dequeued.load(std::memory_order_relaxed);
     out.dequeued_bytes +=
         worker->dequeued_bytes.load(std::memory_order_relaxed);
+    out.sent += worker->sent.load(std::memory_order_relaxed);
+    out.sent_bytes += worker->sent_bytes.load(std::memory_order_relaxed);
+    out.io_requeued += worker->io_requeued.load(std::memory_order_relaxed);
+    out.io_drops += worker->io_drops.load(std::memory_order_relaxed);
     out.bursts += worker->bursts.load(std::memory_order_relaxed);
     out.parks += worker->parks.load(std::memory_order_relaxed);
     out.shed_drops += worker->shed_drops.load(std::memory_order_relaxed);
@@ -808,6 +951,12 @@ RuntimeStats Runtime::stats() const {
     out.straggler_drops +=
         shard->straggler_drops.load(std::memory_order_relaxed);
   }
+  for (IfaceId j = 0; j < ifaces_.size(); ++j) {
+    out.io_pending +=
+        ifaces_[j]->pending_packets.load(std::memory_order_relaxed);
+    if (egress_ != nullptr) out.io_send_errors += egress_->send_errors(j);
+  }
+  if (egress_ != nullptr) out.io_syscalls = egress_->syscalls();
   out.backpressure_rejects =
       backpressure_rejects_.load(std::memory_order_relaxed);
   out.quarantine_rejects = quarantine_rejects_.load(std::memory_order_relaxed);
@@ -834,6 +983,16 @@ std::uint64_t Runtime::iface_sent_bytes(IfaceId iface) const {
 std::uint64_t Runtime::iface_sent_packets(IfaceId iface) const {
   MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
   return ifaces_[iface]->packets.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Runtime::iface_send_errors(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return egress_ != nullptr ? egress_->send_errors(iface) : 0;
+}
+
+const io::EgressBackend& Runtime::egress() const {
+  MIDRR_REQUIRE(egress_ != nullptr, "egress backend is bound at start()");
+  return *egress_;
 }
 
 // --- Runtime: SupervisedRuntime (observe / actuate for fault::Supervisor) -
@@ -957,11 +1116,28 @@ void Runtime::register_metrics() {
                    "Packets refused by a flow's scheduler queue bound.",
                    labels, count_of(w->tail_drops));
     reg.counter_fn("midrr_rt_dequeued_packets_total",
-                   "Packets drained to interfaces.", labels,
-                   count_of(w->dequeued));
+                   "Packets pulled out of shard schedulers (handed to the "
+                   "egress backend; not terminal -- see "
+                   "midrr_rt_sent_packets_total).",
+                   labels, count_of(w->dequeued));
     reg.counter_fn("midrr_rt_dequeued_bytes_total",
-                   "Bytes drained to interfaces.", labels,
+                   "Bytes pulled out of shard schedulers.", labels,
                    count_of(w->dequeued_bytes));
+    reg.counter_fn("midrr_rt_sent_packets_total",
+                   "Packets the egress backend delivered (== dequeued under "
+                   "the sim backend).",
+                   labels, count_of(w->sent));
+    reg.counter_fn("midrr_rt_sent_bytes_total",
+                   "Scheduler bytes of delivered packets.", labels,
+                   count_of(w->sent_bytes));
+    reg.counter_fn("midrr_rt_io_requeued_total",
+                   "Egress requeue events in packets (socket pushback "
+                   "parked for retry; retries that push back count again).",
+                   labels, count_of(w->io_requeued));
+    reg.counter_fn("midrr_rt_io_drops_total",
+                   "Packets terminally dropped by the egress backend "
+                   "(oversize, hard errno, unflushable at stop).",
+                   labels, count_of(w->io_drops));
     reg.counter_fn("midrr_rt_bursts_total",
                    "dequeue_burst calls that moved at least one packet.",
                    labels, count_of(w->bursts));
@@ -997,6 +1173,11 @@ void Runtime::register_metrics() {
                  "Token-bucket balance in bytes; negative values are pacer "
                  "debt (an overshoot still being paid back).",
                  labels, [rec] { return rec->pacer.tokens_approx(); });
+    reg.gauge_fn("midrr_rt_io_pending_packets",
+                 "Packets parked by the egress backend awaiting a retry "
+                 "(already dequeued and pacer-charged; bounded by one "
+                 "burst).",
+                 labels, count_of(rec->pending_packets));
     if (rec->pacer.profile() != nullptr) {
       reg.gauge_fn("midrr_rt_iface_capacity_bps",
                    "Instantaneous configured link capacity (bits/s) from "
@@ -1041,6 +1222,14 @@ void Runtime::register_metrics() {
                      });
     }
   }
+
+  // Egress: one info-style gauge naming the active backend, then whatever
+  // midrr_io_* series the backend itself exports (syscalls, batch sizes,
+  // send errors...).
+  reg.gauge_fn("midrr_rt_egress_backend",
+               "Constant 1; the label names the active egress backend.",
+               {{"backend", egress_->name()}}, [] { return 1.0; });
+  egress_->register_metrics(reg);
 }
 
 telemetry::FairnessSample Runtime::fairness_sample() {

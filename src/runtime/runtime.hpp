@@ -46,6 +46,8 @@
 
 #include "fault/supervisor.hpp"
 #include "flow/packet.hpp"
+#include "io/egress.hpp"
+#include "io/sim_backend.hpp"
 #include "runtime/control_plane.hpp"
 #include "runtime/pacer.hpp"
 #include "runtime/spsc_ring.hpp"
@@ -111,18 +113,54 @@ struct RuntimeOptions {
   /// 0 disables.  Set shed_bytes > backpressure_bytes to make shedding the
   /// second line of defense rather than the first.
   std::uint64_t shed_bytes = 0;
+
+  // --- Egress (where a drained burst actually goes) ----------------------
+  /// The I/O backend every paced dequeue_burst is handed to.  Null (the
+  /// default) keeps an internal io::SimBackend -- the historical
+  /// pacer-only sink, byte-for-byte identical to the pre-backend drain
+  /// loop.  A real backend (io::UdpBackend) may push back: its unsent
+  /// tail is parked per interface and retried before the next dequeue,
+  /// so packets leave the scheduler exactly once and per-flow order
+  /// survives (see io/egress.hpp for the full contract).  Must outlive
+  /// the Runtime; attach() is called at start().
+  io::EgressBackend* egress = nullptr;
 };
 
 /// Aggregated counters; a consistent-enough racy snapshot (every counter is
-/// monotone, so deltas between two stats() calls are meaningful).
+/// monotone except io_pending, so deltas between two stats() calls are
+/// meaningful).
+///
+/// Conservation identity (asserted by the e2e tests at quiescence):
+///   offered == dequeued + fanin_drops + tail_drops + shed_drops
+///              + straggler_drops
+/// and, now that drain is no longer terminal, the egress split
+///   dequeued == sent + io_drops + io_pending
+/// where io_pending is the parked-for-retry stash (0 once stop() has run
+/// its final flush; under SimBackend, sent == dequeued always).
 struct RuntimeStats {
   std::uint64_t offered = 0;        ///< packets accepted into ingress rings
   std::uint64_t ring_rejects = 0;   ///< offers refused (ring full / no route)
   std::uint64_t enqueued = 0;       ///< packets handed to shard schedulers
   std::uint64_t fanin_drops = 0;    ///< ingress packets for flows gone at fan-in
   std::uint64_t tail_drops = 0;     ///< scheduler queue-capacity drops
-  std::uint64_t dequeued = 0;       ///< packets drained by workers
+  /// Packets pulled out of shard schedulers by drain workers.  NOT
+  /// terminal delivery: the burst is handed to the egress backend, which
+  /// may send, park for retry, or drop each packet -- see `sent`,
+  /// `io_pending`, `io_drops` and the identity above.
+  std::uint64_t dequeued = 0;
   std::uint64_t dequeued_bytes = 0;
+  std::uint64_t sent = 0;           ///< packets the egress backend delivered
+  std::uint64_t sent_bytes = 0;     ///< scheduler bytes of sent packets
+  /// Requeue events, in packets: every time the backend pushed a packet
+  /// back (EAGAIN/ENOBUFS/partial sendmmsg) it counts here -- a packet
+  /// parked three times counts three times (a pressure signal, not a
+  /// population; the live stash is io_pending).
+  std::uint64_t io_requeued = 0;
+  std::uint64_t io_drops = 0;       ///< terminal backend drops (oversize,
+                                    ///< hard errno, unflushable at stop)
+  std::uint64_t io_pending = 0;     ///< packets parked awaiting retry (gauge)
+  std::uint64_t io_send_errors = 0; ///< hard transmit syscall failures
+  std::uint64_t io_syscalls = 0;    ///< transmit syscalls issued (0 for sim)
   std::uint64_t bursts = 0;         ///< dequeue_burst calls that moved packets
   std::uint64_t parks = 0;          ///< times a worker went to sleep
   std::uint64_t straggler_drops = 0;  ///< queued packets discarded when their
@@ -309,6 +347,15 @@ class Runtime final : public telemetry::FairnessSource,
   std::uint64_t iface_sent_bytes(IfaceId iface) const override;
   std::uint64_t iface_sent_packets(IfaceId iface) const;
 
+  /// Hard transmit errors on `iface`, straight from the egress backend
+  /// (0 for SimBackend, or before start()).  Feeds the Supervisor's
+  /// send-error link-health verdicts.
+  std::uint64_t iface_send_errors(IfaceId iface) const override;
+
+  /// The active egress backend ("sim" unless RuntimeOptions::egress was
+  /// set).  Valid after start().
+  const io::EgressBackend& egress() const;
+
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t worker_count() const override { return workers_.size(); }
   std::size_t iface_count() const override { return ifaces_.size(); }
@@ -396,11 +443,21 @@ class Runtime final : public telemetry::FairnessSource,
     std::uint32_t worker = 0;
     IfaceId local_id = 0;
     TokenBucketPacer pacer;  // touched only by the owning worker thread
+    // Egress retry stash: packets the backend pushed back, already
+    // dequeued and pacer-charged.  Owned by the interface's worker
+    // thread (single-threaded again during stop()'s final flush); while
+    // non-empty, drain_iface retries it INSTEAD of dequeuing, so
+    // per-flow order survives and the stash is bounded by one burst.
+    std::vector<Packet> pending;
     // Separate line: scrapers read these concurrently with the owning
     // worker's per-burst updates; without the split every scrape would
     // invalidate the pacer's line in the worker's cache.
     alignas(kCacheLine) std::atomic<std::uint64_t> packets{0};
     std::atomic<std::uint64_t> bytes{0};
+    // Stash occupancy mirrors for stats()/telemetry (the vector itself is
+    // worker-private).
+    std::atomic<std::uint64_t> pending_packets{0};
+    std::atomic<std::uint64_t> pending_bytes{0};
   };
 
   struct Worker {
@@ -414,6 +471,10 @@ class Runtime final : public telemetry::FairnessSource,
     // struct) from bouncing the worker's write line.
     alignas(kCacheLine) std::atomic<std::uint64_t> dequeued{0};
     std::atomic<std::uint64_t> dequeued_bytes{0};
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> sent_bytes{0};
+    std::atomic<std::uint64_t> io_requeued{0};
+    std::atomic<std::uint64_t> io_drops{0};
     std::atomic<std::uint64_t> bursts{0};
     std::atomic<std::uint64_t> enqueued{0};
     std::atomic<std::uint64_t> fanin_drops{0};
@@ -432,6 +493,9 @@ class Runtime final : public telemetry::FairnessSource,
     // a scrapable Prometheus histogram; spans is a bounded, preallocated
     // buffer owned by the worker thread and read only after stop().
     telemetry::Histogram* wait_hist = nullptr;
+    /// Per-packet verdict scratch for EgressBackend::send_burst (owned by
+    /// the worker thread; reused across bursts, never shrunk).
+    std::vector<io::SendDisposition> dispositions;
     std::vector<telemetry::TraceSpan> spans;
     std::size_t span_cap = 0;
     std::atomic<std::uint64_t> spans_dropped{0};
@@ -459,6 +523,16 @@ class Runtime final : public telemetry::FairnessSource,
   bool drain_ingress(std::uint32_t shard_index, Worker& me,
                      std::vector<Packet>& scratch);
   bool drain_iface(IfaceId iface, Worker& me, std::vector<Packet>& burst);
+  /// Delivery-side accounting for ONE packet the backend reported sent:
+  /// latency sample, per-flow and per-interface service counters.
+  void account_sent(IfaceRec& rec, Worker& me, const Packet& packet,
+                    SimTime sent_at);
+  /// One retry attempt for `iface`'s parked tail; returns true when any
+  /// packet left the stash (sent or terminally dropped).
+  bool send_pending(IfaceId iface, Worker& me);
+  /// stop()-time bounded retry of every stash; the remainder becomes
+  /// counted io_drops (never silent loss).  Single-threaded.
+  void flush_egress();
   void register_metrics();  ///< start()-time, when options_.metrics is set
   void record_span(Worker& me, telemetry::TraceSpan span);
   void park(Worker& me, SimTime hint_ns);
@@ -472,6 +546,10 @@ class Runtime final : public telemetry::FairnessSource,
   bool ingress_pending(const Worker& me) const;
 
   RuntimeOptions options_;
+  /// The default pacer-only sink; egress_ points here unless options_
+  /// supplied a backend.  Bound at start().
+  io::SimBackend sim_backend_;
+  io::EgressBackend* egress_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<IfaceRec>> ifaces_;
   std::vector<std::unique_ptr<Worker>> workers_;

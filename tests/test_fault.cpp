@@ -242,7 +242,9 @@ TEST(FaultInjector, IngressSamplingIsDeterministicPerProducer) {
     const IngressAction act_b = b.sample_ingress(now, rng_b, d_b);
     ASSERT_EQ(act_a, act_b) << "same plan + producer must replay identically";
     ASSERT_EQ(d_a, d_b);
-    if (act_a == IngressAction::kDelay) EXPECT_EQ(d_a, 7 * kMillisecond);
+    if (act_a == IngressAction::kDelay) {
+      EXPECT_EQ(d_a, 7 * kMillisecond);
+    }
     if (a.sample_ingress(now, rng_other, d_o) != act_b) {
       producers_diverged = true;
     }
@@ -369,6 +371,7 @@ class MockRuntime : public fault::SupervisedRuntime {
     double configured_bps = 8e6;
     double tokens = 0.0;
     std::uint64_t backlog = 0;
+    std::uint64_t send_errors = 0;  ///< cumulative egress hard errors
     bool down = false;  ///< last actuation received
   };
 
@@ -399,6 +402,9 @@ class MockRuntime : public fault::SupervisedRuntime {
   }
   std::uint64_t worker_heartbeat(std::uint32_t worker) const override {
     return heartbeats[worker];
+  }
+  std::uint64_t iface_send_errors(IfaceId iface) const override {
+    return links[iface].send_errors;
   }
   void set_iface_down(IfaceId iface, bool down) override {
     links[iface].down = down;
@@ -465,6 +471,36 @@ TEST(Supervisor, ProgressResetsTheDeathCountdown) {
   EXPECT_EQ(sup.link_state(0), LinkState::kSuspect)
       << "the countdown restarted from zero";
   EXPECT_TRUE(rt.down_calls.empty());
+}
+
+TEST(Supervisor, SustainedSendErrorsMarkTheLinkSuspectNotDead) {
+  // The egress-error path: the pacer moves bytes every window (the link
+  // is NOT silent), but the socket keeps reporting new hard transmit
+  // failures.  Two consecutive erroring windows (send_error_probes) mark
+  // the link suspect; it must never be killed on errors alone, and it
+  // recovers through the usual hysteresis once the counter stops moving.
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi"});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());  // send_error_probes = 2 (default)
+  sup.probe();                         // baseline
+  const auto advance = [&](bool erroring) {
+    rt.links[0].sent_bytes += 100'000;  // healthy drain: never silent
+    if (erroring) rt.links[0].send_errors += 3;
+    tick(rt, sup);
+  };
+  advance(true);  // one erroring window: not yet sustained
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+  advance(true);  // two consecutive -> suspect
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect);
+  EXPECT_TRUE(sup.any_degraded());
+  for (int i = 0; i < 4; ++i) advance(true);  // errors persist
+  EXPECT_EQ(sup.link_state(0), LinkState::kSuspect)
+      << "erroring links are degraded, never killed";
+  EXPECT_TRUE(rt.down_calls.empty());
+  advance(false);  // counter stops moving: streak resets, link recovers
+  EXPECT_EQ(sup.link_state(0), LinkState::kHealthy);
+  EXPECT_FALSE(sup.any_degraded());
 }
 
 TEST(Supervisor, TokenMotionRevivesADeadLink) {

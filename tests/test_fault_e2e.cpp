@@ -5,11 +5,15 @@
 // headline kill -> flap -> revive chaos run with a Supervisor closing the
 // loop.  Every test asserts the conservation identity at quiescence:
 //
-//   offered == dequeued + fanin_drops + tail_drops + shed_drops
-//              + straggler_drops
+//   offered  == dequeued + fanin_drops + tail_drops + shed_drops
+//               + straggler_drops
+//   dequeued == sent + io_drops + io_pending   (egress split; under the
+//               sim backend used here sent == dequeued and the rest are 0)
 //
 // i.e. any packet the runtime accepted is either delivered or shows up in
 // exactly one named drop counter -- zero silent loss, even mid-chaos.
+// test_io_e2e.cpp re-runs the headline chaos plan with the UDP backend,
+// where the egress split carries real socket outcomes.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -455,6 +459,8 @@ TEST(FaultE2E, KillFlapReviveConservesPacketsAndRecoversFairness) {
 
   const RuntimeStats stats = runtime.stats();
   EXPECT_EQ(stats.offered, accounted(stats)) << "zero silent packet loss";
+  EXPECT_EQ(stats.dequeued, stats.sent + stats.io_drops + stats.io_pending)
+      << "the egress split must also close (sim: sent == dequeued)";
   EXPECT_GE(supervisor.transitions(), 2u) << "at least kill and revive";
   EXPECT_GT(stats.quarantine_rejects, 0u);
   EXPECT_GT(stats.straggler_drops + stats.fanin_drops, 0u)

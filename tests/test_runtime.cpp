@@ -417,8 +417,12 @@ TEST(RuntimeStress, PooledPayloadChurnRecyclesEveryBuffer) {
       std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (std::chrono::steady_clock::now() < deadline) {
     const RuntimeStats s = runtime.stats();
+    // Dequeue is not terminal any more: the egress split (dequeued ==
+    // sent + io_drops, i.e. no packets parked in a requeue stash) is part
+    // of quiescence.  Under the default sim backend sent == dequeued.
     if (s.offered == s.enqueued + s.fanin_drops &&
         s.enqueued == s.dequeued + s.tail_drops &&
+        s.dequeued == s.sent + s.io_drops &&
         generator.pool_stats().outstanding == 0) {
       break;
     }

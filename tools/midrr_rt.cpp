@@ -22,6 +22,8 @@
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/supervisor.hpp"
+#include "io/udp_backend.hpp"
+#include "io/uring_backend.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/chrome_trace.hpp"
@@ -65,6 +67,17 @@ int usage() {
          "                  bytes of backlog (0 = off, the default)\n"
          "  --shed-bytes B  weight-aware overload shedding at fan-in past\n"
          "                  B bytes of shard backlog (0 = off, the default)\n"
+         "  --egress B      sim|udp|uring: where dequeued bursts go\n"
+         "                  (default sim = pacer-only sink; udp emits real\n"
+         "                  datagrams via sendmmsg, see --udp-* below;\n"
+         "                  uring needs -DMIDRR_WITH_URING=ON)\n"
+         "  --udp-dest D    iface=host:port destination mapping, repeatable\n"
+         "                  (e.g. --udp-dest if0=127.0.0.1:9000)\n"
+         "  --udp-base-port P  fallback for unmapped interfaces: iface j\n"
+         "                  sends to 127.0.0.1:P+j (pairs with midrr_rx)\n"
+         "  --udp-batch N   messages per sendmmsg call (default 64)\n"
+         "  --udp-payload B frame bytes copied per datagram after the\n"
+         "                  24-byte header (default 1400, truncating)\n"
          "  --json          machine-readable report on stdout\n"
          "  --telemetry P   serve /metrics, /healthz, /flows, /classes on\n                  127.0.0.1:P\n"
          "                  (0 = ephemeral; bound port printed to stderr)\n"
@@ -97,6 +110,11 @@ int main(int argc, char** argv) {
   bool supervise = false;
   std::uint64_t backpressure_bytes = 0;
   std::uint64_t shed_bytes = 0;
+  std::string egress_name = "sim";
+  std::vector<std::string> udp_dests;
+  std::uint16_t udp_base_port = 0;
+  std::size_t udp_batch = 64;
+  std::size_t udp_payload = 1400;
   bool json = false;
   int telemetry_port = -1;  // < 0 = no HTTP endpoint
   std::string trace_out;
@@ -136,6 +154,12 @@ int main(int argc, char** argv) {
       else if (key == "--backpressure-bytes")
         backpressure_bytes = std::stoull(value());
       else if (key == "--shed-bytes") shed_bytes = std::stoull(value());
+      else if (key == "--egress") egress_name = value();
+      else if (key == "--udp-dest") udp_dests.push_back(value());
+      else if (key == "--udp-base-port")
+        udp_base_port = static_cast<std::uint16_t>(std::stoul(value()));
+      else if (key == "--udp-batch") udp_batch = std::stoul(value());
+      else if (key == "--udp-payload") udp_payload = std::stoul(value());
       else if (key == "--json") json = true;
       else if (key == "--telemetry") telemetry_port = std::stoi(value());
       else if (key == "--trace-out") trace_out = value();
@@ -193,6 +217,40 @@ int main(int argc, char** argv) {
     options.backpressure_bytes = backpressure_bytes;
     options.shed_bytes = shed_bytes;
 
+    // The egress backend outlives the runtime (stop()'s final flush and
+    // the report both reach into it).  Null = the built-in sim backend.
+    std::unique_ptr<io::EgressBackend> egress;
+    if (egress_name == "udp") {
+      io::UdpBackendOptions uopts;
+      // `--egress udp` with no mapping at all pairs with midrr_rx's
+      // defaults: iface j -> 127.0.0.1:19000+j.
+      uopts.base_port = udp_base_port != 0 ? udp_base_port
+                        : udp_dests.empty() ? std::uint16_t{19000}
+                                            : std::uint16_t{0};
+      uopts.max_batch = udp_batch;
+      uopts.max_payload_bytes = udp_payload;
+      for (const std::string& spec : udp_dests) {
+        const auto eq = spec.find('=');
+        const auto colon = spec.rfind(':');
+        if (eq == std::string::npos || colon == std::string::npos ||
+            colon < eq) {
+          throw std::runtime_error(
+              "bad --udp-dest (want iface=host:port): " + spec);
+        }
+        io::UdpDestination dest;
+        dest.host = spec.substr(eq + 1, colon - eq - 1);
+        dest.port =
+            static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)));
+        uopts.dest_by_name[spec.substr(0, eq)] = dest;
+      }
+      egress = std::make_unique<io::UdpBackend>(uopts);
+    } else if (egress_name == "uring") {
+      egress = io::make_uring_backend();  // throws unless MIDRR_WITH_URING
+    } else if (egress_name != "sim") {
+      throw std::runtime_error("unknown egress backend: " + egress_name);
+    }
+    options.egress = egress.get();
+
     Runtime runtime(options);
     for (std::size_t j = 0; j < ifaces; ++j) {
       const std::string name = "if" + std::to_string(j);
@@ -242,24 +300,42 @@ int main(int argc, char** argv) {
       sopts.port = static_cast<std::uint16_t>(telemetry_port);
       server = std::make_unique<telemetry::TelemetryServer>(sopts);
       server->serve_registry(registry);
-      if (supervisor != nullptr) {
+      {
         // Health reflects supervision: 503 while any link is suspect or
         // dead, so orchestrators see degradation (and recovery) live.
-        fault::Supervisor* sup = supervisor.get();
+        // The detail lines always include the egress backend's view
+        // (syscalls, hard send errors) -- sustained send errors are what
+        // drive the supervisor's suspect verdicts under real I/O.
+        fault::Supervisor* sup = supervisor.get();  // may be null
         Runtime* rt = &runtime;
         server->handle("/healthz", [sup, rt](const http::HttpRequest&) {
           telemetry::HandlerResult r;
           std::ostringstream body;
-          for (std::size_t j = 0; j < rt->iface_count(); ++j) {
-            const fault::LinkState state =
-                sup->link_state(static_cast<IfaceId>(j));
-            if (state != fault::LinkState::kHealthy) {
-              r.status = 503;
-              body << rt->iface_name(static_cast<IfaceId>(j)) << ": "
-                   << fault::to_string(state) << "\n";
+          if (sup != nullptr) {
+            for (std::size_t j = 0; j < rt->iface_count(); ++j) {
+              const fault::LinkState state =
+                  sup->link_state(static_cast<IfaceId>(j));
+              if (state != fault::LinkState::kHealthy) {
+                r.status = 503;
+                body << rt->iface_name(static_cast<IfaceId>(j)) << ": "
+                     << fault::to_string(state) << "\n";
+              }
             }
           }
-          r.body = r.status == 200 ? "ok\n" : "degraded\n" + body.str();
+          const RuntimeStats s = rt->stats();
+          std::ostringstream detail;
+          detail << "egress: " << rt->egress().name() << " syscalls="
+                 << s.io_syscalls << " send_errors=" << s.io_send_errors;
+          for (std::size_t j = 0; j < rt->iface_count(); ++j) {
+            const std::uint64_t errs =
+                rt->iface_send_errors(static_cast<IfaceId>(j));
+            if (errs != 0) {
+              detail << " " << rt->iface_name(static_cast<IfaceId>(j))
+                     << "_errors=" << errs;
+            }
+          }
+          r.body = (r.status == 200 ? "ok\n" : "degraded\n" + body.str()) +
+                   detail.str() + "\n";
           return r;
         });
       }
@@ -362,8 +438,14 @@ int main(int argc, char** argv) {
           std::chrono::steady_clock::now() + std::chrono::seconds(2);
       while (std::chrono::steady_clock::now() < drain_deadline) {
         const RuntimeStats s = runtime.stats();
+        // Dequeue is no longer terminal: a frame stays live while its
+        // packet sits in an egress requeue stash, so quiescence also
+        // needs the egress split (dequeued == sent + io_drops, i.e.
+        // io_pending == 0).  Under --egress sim, sent == dequeued and
+        // this reduces to the old check.
         if (s.offered == s.enqueued + s.fanin_drops &&
-            s.enqueued == s.dequeued + s.tail_drops) {
+            s.enqueued == s.dequeued + s.tail_drops &&
+            s.dequeued == s.sent + s.io_drops) {
           break;
         }
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -431,7 +513,17 @@ int main(int argc, char** argv) {
           << "\"quarantine_rejects\":" << stats.quarantine_rejects << ","
           << "\"worker_restarts\":" << stats.worker_restarts << ","
           << "\"churn_ops\":" << churn_ops << ","
-          << "\"metrics_series\":" << registry.series_count() << ",";
+          << "\"metrics_series\":" << registry.series_count() << ","
+          << "\"egress\":{"
+          << "\"backend\":\"" << runtime.egress().name() << "\","
+          << "\"sent\":" << stats.sent << ","
+          << "\"sent_bytes\":" << stats.sent_bytes << ","
+          << "\"io_requeued\":" << stats.io_requeued << ","
+          << "\"io_drops\":" << stats.io_drops << ","
+          << "\"io_pending\":" << stats.io_pending << ","
+          << "\"send_errors\":" << stats.io_send_errors << ","
+          << "\"syscalls\":" << stats.io_syscalls
+          << "},";
       if (injector != nullptr) {
         out << "\"fault\":{"
             << "\"ingress_drops\":" << injector->ingress_drops() << ","
@@ -492,7 +584,13 @@ int main(int argc, char** argv) {
                 << stats.tail_drops << " tail, " << stats.straggler_drops
                 << " straggler, " << stats.shed_drops << " shed ("
                 << stats.backpressure_rejects << " backpressure rejects, "
-                << stats.quarantine_rejects << " quarantine rejects)\n";
+                << stats.quarantine_rejects << " quarantine rejects)\n"
+                << "  egress    " << runtime.egress().name() << ": "
+                << stats.sent << " sent, " << stats.io_requeued
+                << " requeue events, " << stats.io_drops << " io drops, "
+                << stats.io_pending << " pending, " << stats.io_syscalls
+                << " syscalls, " << stats.io_send_errors
+                << " send errors\n";
       if (churn) std::cout << "  churn     " << churn_ops << " control ops\n";
       if (injector != nullptr) {
         std::cout << "  faults    " << injector->ingress_drops() << " drops, "

@@ -1,0 +1,263 @@
+// midrr_rx: loopback verification receiver for the UDP egress backend.
+//
+//   midrr_rx --ports 4 --base-port 9000 --duration 12 --json
+//
+// Binds one non-blocking UDP socket per "interface" (127.0.0.1:base+j),
+// parses the WireHeader on every datagram, and credits each flow with the
+// SCHEDULER's size_bytes from the header -- so the per-flow totals it
+// prints are directly comparable to the max-min solver's ideal allocation
+// and to the runtime's own sent_by_flow accounting, regardless of how
+// payloads were truncated on the wire.
+//
+// Exit conditions (whichever comes first):
+//   * --duration seconds of wall clock, or
+//   * --idle-ms of silence AFTER at least one datagram arrived (so CI can
+//     start the receiver first, run midrr_rt, and have the receiver exit
+//     shortly after the sender finishes instead of sleeping out the full
+//     window).
+//
+// Sequence numbers are per (port, flow): a jump forward is a gap (real
+// datagram loss -- the sender rewinds sequence numbers for requeued
+// packets, so transient EAGAIN pushback never shows up here), and a jump
+// backward is counted as a reorder.  Loopback should show zero of both.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/wire.hpp"
+
+namespace {
+
+struct FlowTally {
+  std::uint64_t datagrams = 0;
+  std::uint64_t credited_bytes = 0;  // sum of WireHeader::size_bytes
+  std::uint64_t wire_bytes = 0;      // datagram bytes actually received
+};
+
+struct PortTally {
+  std::uint64_t datagrams = 0;
+  std::uint64_t wire_bytes = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t gaps = 0;      // datagrams skipped (seq jumped forward)
+  std::uint64_t reorders = 0;  // seq stepped backward
+  std::map<std::uint32_t, std::uint64_t> next_seq;  // flow -> expected seq
+};
+
+int usage() {
+  std::cerr << "usage: midrr_rx [options]\n"
+               "  --ports N      UDP sockets to bind (default 4)\n"
+               "  --base-port P  first port; socket j binds 127.0.0.1:P+j\n"
+               "                 (default 19000)\n"
+               "  --duration S   max seconds to listen (default 30)\n"
+               "  --idle-ms M    exit after M ms of silence once traffic has\n"
+               "                 been seen (0 = wait out --duration;\n"
+               "                 default 1000)\n"
+               "  --json         machine-readable report on stdout\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using midrr::io::WireHeader;
+
+  std::size_t ports = 4;
+  std::uint16_t base_port = 19000;
+  double duration_s = 30.0;
+  long idle_ms = 1000;
+  bool json = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string key = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw std::runtime_error("missing value for " + key);
+        return argv[++i];
+      };
+      if (key == "--ports") ports = std::stoul(value());
+      else if (key == "--base-port")
+        base_port = static_cast<std::uint16_t>(std::stoul(value()));
+      else if (key == "--duration") duration_s = std::stod(value());
+      else if (key == "--idle-ms") idle_ms = std::stol(value());
+      else if (key == "--json") json = true;
+      else return usage();
+    }
+    if (ports == 0 || base_port == 0 || duration_s <= 0.0) return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return usage();
+  }
+
+  std::vector<int> fds;
+  fds.reserve(ports);
+  for (std::size_t j = 0; j < ports; ++j) {
+    const int fd =
+        ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      std::cerr << "error: socket: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(base_port + j));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      std::cerr << "error: bind 127.0.0.1:" << base_port + j << ": "
+                << std::strerror(errno) << "\n";
+      return 1;
+    }
+    fds.push_back(fd);
+  }
+  std::cerr << "midrr_rx: listening on 127.0.0.1:" << base_port << "-"
+            << base_port + ports - 1 << "\n";
+
+  std::vector<PortTally> by_port(ports);
+  std::map<std::uint32_t, FlowTally> by_flow;
+  std::uint64_t total_datagrams = 0;
+
+  std::vector<pollfd> pfds(ports);
+  for (std::size_t j = 0; j < ports; ++j) {
+    pfds[j].fd = fds[j];
+    pfds[j].events = POLLIN;
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(duration_s));
+  auto last_rx = t0;
+  std::vector<midrr::net::Byte> buf(65536);
+
+  while (true) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) break;
+    if (idle_ms > 0 && total_datagrams > 0 &&
+        now - last_rx > std::chrono::milliseconds(idle_ms)) {
+      break;
+    }
+    const auto until = std::min(
+        deadline, last_rx + std::chrono::milliseconds(
+                                idle_ms > 0 ? idle_ms : 250));
+    const long wait_ms = std::max<long>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(until - now)
+               .count());
+    const int ready = ::poll(pfds.data(), pfds.size(),
+                             static_cast<int>(std::min<long>(wait_ms, 250)));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "error: poll: " << std::strerror(errno) << "\n";
+      return 1;
+    }
+    if (ready == 0) continue;
+    for (std::size_t j = 0; j < ports; ++j) {
+      if ((pfds[j].revents & POLLIN) == 0) continue;
+      PortTally& port = by_port[j];
+      // Drain the socket: non-blocking reads until EAGAIN, so one poll
+      // wake-up consumes a whole burst.
+      while (true) {
+        const ssize_t n = ::recvfrom(fds[j], buf.data(), buf.size(), 0,
+                                     nullptr, nullptr);
+        if (n < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+          std::cerr << "error: recvfrom: " << std::strerror(errno) << "\n";
+          return 1;
+        }
+        last_rx = std::chrono::steady_clock::now();
+        ++total_datagrams;
+        ++port.datagrams;
+        port.wire_bytes += static_cast<std::uint64_t>(n);
+        const auto header = WireHeader::decode(
+            std::span<const midrr::net::Byte>(buf.data(),
+                                              static_cast<std::size_t>(n)));
+        if (!header.has_value()) {
+          ++port.parse_errors;
+          continue;
+        }
+        FlowTally& flow = by_flow[header->flow];
+        ++flow.datagrams;
+        flow.credited_bytes += header->size_bytes;
+        flow.wire_bytes += static_cast<std::uint64_t>(n);
+        auto [it, fresh] = port.next_seq.try_emplace(header->flow, 0);
+        if (!fresh || header->seq != 0) {
+          if (header->seq > it->second) {
+            port.gaps += header->seq - it->second;
+          } else if (header->seq < it->second) {
+            ++port.reorders;
+          }
+        }
+        it->second = std::max(it->second, header->seq) + 1;
+      }
+    }
+  }
+
+  for (const int fd : fds) ::close(fd);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::uint64_t credited = 0, wire = 0, parse_errors = 0, gaps = 0,
+                reorders = 0;
+  for (const auto& [flow, tally] : by_flow) credited += tally.credited_bytes;
+  for (const PortTally& port : by_port) {
+    wire += port.wire_bytes;
+    parse_errors += port.parse_errors;
+    gaps += port.gaps;
+    reorders += port.reorders;
+  }
+
+  if (json) {
+    std::ostringstream out;
+    out << "{"
+        << "\"ports\":" << ports << ","
+        << "\"base_port\":" << base_port << ","
+        << "\"duration_s\":" << elapsed << ","
+        << "\"datagrams\":" << total_datagrams << ","
+        << "\"wire_bytes\":" << wire << ","
+        << "\"credited_bytes\":" << credited << ","
+        << "\"parse_errors\":" << parse_errors << ","
+        << "\"gaps\":" << gaps << ","
+        << "\"reorders\":" << reorders << ","
+        << "\"flows\":[";
+    bool first = true;
+    for (const auto& [flow, tally] : by_flow) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"flow\":" << flow << ",\"datagrams\":" << tally.datagrams
+          << ",\"credited_bytes\":" << tally.credited_bytes
+          << ",\"wire_bytes\":" << tally.wire_bytes << "}";
+    }
+    out << "],\"by_port\":[";
+    for (std::size_t j = 0; j < ports; ++j) {
+      if (j != 0) out << ',';
+      out << "{\"port\":" << base_port + j << ",\"datagrams\":"
+          << by_port[j].datagrams << ",\"wire_bytes\":" << by_port[j].wire_bytes
+          << ",\"parse_errors\":" << by_port[j].parse_errors
+          << ",\"gaps\":" << by_port[j].gaps << ",\"reorders\":"
+          << by_port[j].reorders << "}";
+    }
+    out << "]}";
+    std::cout << out.str() << "\n";
+  } else {
+    std::cout << "midrr_rx: " << total_datagrams << " datagrams / " << wire
+              << " wire bytes on " << ports << " ports in " << elapsed
+              << " s\n"
+              << "  credited  " << credited << " scheduler bytes across "
+              << by_flow.size() << " flows\n"
+              << "  anomalies " << parse_errors << " parse errors, " << gaps
+              << " gaps, " << reorders << " reorders\n";
+  }
+  return 0;
+}
