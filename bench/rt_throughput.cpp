@@ -15,6 +15,13 @@
 //   3. payload mode none/heap/pooled at the single-worker cell -- the
 //      cost of carrying real 1000-byte payloads, and how much of it the
 //      frame pool wins back (pool counters included for the pooled cell).
+//   4. latency attribution at the single-worker cell: stage tracing off
+//      vs the default 1-in-64 sampling.  The pps ratio is the tracing
+//      hot-path overhead (budget: >= 0.95), and the traced cell reports
+//      the per-stage breakdown the tracer exists to produce.
+//   5. slo burn: the 2x-overload cell with a deliberately tight p99
+//      objective bound to every class; sustained overload must push the
+//      burn rate above 1 (the paging threshold).
 // NOTE: results depend on the host's core count; the JSON records
 // std::thread::hardware_concurrency() so a reader can tell a 1-core CI
 // box (where workers time-slice one core and pps cannot scale) from a
@@ -35,11 +42,19 @@
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/stage_latency.hpp"
+#include "util/latency_histogram.hpp"
 
 namespace {
 
 using midrr::PacketPoolStats;
 using PayloadMode = midrr::rt::LoadGeneratorOptions::PayloadMode;
+
+struct StageQuantiles {
+  double p50_ns = 0;
+  double p99_ns = 0;
+};
 
 struct Cell {
   std::size_t flows;
@@ -47,12 +62,22 @@ struct Cell {
   bool telemetry = false;
   std::size_t fanin_batch = 0;  // 0 = RuntimeOptions default
   PayloadMode payload = PayloadMode::kNone;
+  std::uint32_t stage_sample = 0;  // 0 = tracing off
   double pps = 0;
   double p50_ns = 0;
   double p99_ns = 0;
   std::uint64_t dequeued = 0;
   double duration_s = 0;
   PacketPoolStats pool{};
+  // Tracer accounting + per-stage breakdown (stage_sample > 0 only);
+  // quantiles are over the per-iface grids merged into one.
+  std::uint64_t trace_started = 0;
+  std::uint64_t trace_completed = 0;
+  std::uint64_t trace_lost = 0;
+  std::uint64_t trace_dropped = 0;
+  StageQuantiles stages[midrr::telemetry::kStageCount]{};
+  StageQuantiles e2e{};
+  double reconciliation_error = 0;
 };
 
 const char* payload_name(PayloadMode mode) {
@@ -65,7 +90,8 @@ const char* payload_name(PayloadMode mode) {
 
 Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
               bool telemetry, std::size_t fanin_batch = 0,
-              PayloadMode payload = PayloadMode::kNone) {
+              PayloadMode payload = PayloadMode::kNone,
+              std::uint32_t stage_sample = 0) {
   using namespace midrr;
   using namespace midrr::rt;
 
@@ -79,6 +105,7 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   options.max_flows = flows;
   if (fanin_batch != 0) options.fanin_batch = fanin_batch;
   if (telemetry) options.metrics = &registry;
+  options.stage_sample_every = stage_sample;
 
   Runtime runtime(options);
   for (std::size_t j = 0; j < kIfaces; ++j) {
@@ -114,12 +141,35 @@ Cell run_cell(std::size_t flows, std::size_t workers, double duration_s,
   cell.telemetry = telemetry;
   cell.fanin_batch = fanin_batch;
   cell.payload = payload;
+  cell.stage_sample = stage_sample;
   cell.dequeued = stats.dequeued;
   cell.duration_s = elapsed;
   cell.pps = static_cast<double>(stats.dequeued) / elapsed;
   cell.p50_ns = stats.latency_p50_ns;
   cell.p99_ns = stats.latency_p99_ns;
   cell.pool = generator.pool_stats();
+  if (const telemetry::StageTracer* tracer = runtime.stage_tracer()) {
+    cell.trace_started = tracer->started();
+    cell.trace_completed = tracer->completed();
+    cell.trace_lost = tracer->lost();
+    cell.trace_dropped = tracer->dropped();
+    cell.reconciliation_error = tracer->reconciliation_error();
+    for (std::size_t s = 0; s < telemetry::kStageCount; ++s) {
+      LatencyHistogram merged;
+      for (std::size_t j = 0; j < kIfaces; ++j) {
+        merged.merge_from(tracer->stage_grid(static_cast<IfaceId>(j),
+                                             static_cast<telemetry::Stage>(s)));
+      }
+      cell.stages[s].p50_ns = merged.quantile(0.5);
+      cell.stages[s].p99_ns = merged.quantile(0.99);
+    }
+    LatencyHistogram merged_e2e;
+    for (std::size_t j = 0; j < kIfaces; ++j) {
+      merged_e2e.merge_from(tracer->e2e_grid(static_cast<IfaceId>(j)));
+    }
+    cell.e2e.p50_ns = merged_e2e.quantile(0.5);
+    cell.e2e.p99_ns = merged_e2e.quantile(0.99);
+  }
   return cell;
 }
 
@@ -194,6 +244,75 @@ OverloadCell run_overload_cell(std::uint64_t shed_bytes, double overload,
   cell.shed_drops = stats.shed_drops;
   cell.tail_drops = stats.tail_drops;
   cell.duration_s = elapsed;
+  return cell;
+}
+
+// SLO burn cell: the 2x-overloaded paced topology with a deliberately
+// tight p99 objective bound to every class.  Under sustained overload the
+// queues hold packets for tens of milliseconds, so nearly every sampled
+// packet violates the target and the burn rate -- violating fraction over
+// the 1% error budget -- must land well above 1 (the paging threshold).
+// This is the end-to-end validation that tracer -> SLO plumbing fires
+// under real load, not just in unit tests.
+struct SloCell {
+  std::uint64_t target_ns = 0;
+  double overload = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t violations = 0;
+  double burn_short = 0;
+  double burn_long = 0;
+  double duration_s = 0;
+};
+
+SloCell run_slo_cell(std::uint64_t target_ns, double overload,
+                     double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kFlows = 8;
+  const double capacity_bps = 200e6;
+  telemetry::SloEngine slo({{"bench", target_ns}}, kFlows);
+  RuntimeOptions options;
+  options.max_flows = kFlows;
+  options.stage_sample_every = 64;
+  options.slo = &slo;
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(capacity_bps));
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    RtFlowSpec spec;
+    spec.willing.push_back(0);
+    spec.name = "f" + std::to_string(i);
+    runtime.control().add_flow(spec);
+  }
+  {
+    // Bind every interned class to the one declared objective, the same
+    // way midrr_rt binds after registration and before start().
+    auto reader = runtime.control().reader();
+    const auto guard = reader.lock();
+    for (const ClassId id : guard->live) slo.bind_class(id, "bench");
+  }
+  runtime.start();
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  load.rate_pps = overload * capacity_bps / (8.0 * 1000.0);
+  LoadGenerator generator(runtime, load);
+  const auto t0 = std::chrono::steady_clock::now();
+  generator.start();
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  generator.stop();
+  const std::uint64_t now = static_cast<std::uint64_t>(runtime.now_ns());
+  runtime.stop();
+
+  SloCell cell;
+  cell.target_ns = target_ns;
+  cell.overload = overload;
+  cell.samples = slo.samples(0);
+  cell.violations = slo.violations(0);
+  cell.burn_short = slo.short_burn(0, now);
+  cell.burn_long = slo.long_burn(0, now);
+  cell.duration_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   return cell;
 }
 
@@ -465,6 +584,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Latency attribution: the single-worker cell with stage tracing off
+  // vs the default 1-in-64 sampling.  The pps ratio is the tracing
+  // overhead (budget >= 0.95); the traced cell carries the per-stage
+  // breakdown so the bench output doubles as a worked example.
+  std::vector<Cell> attribution_cells;
+  if (!scale_only) {
+    for (const std::uint32_t sample : {0u, 64u}) {
+      std::cerr << "rt_throughput: stage_sample " << sample << "..."
+                << std::flush;
+      const Cell cell = run_cell(256, 1, duration_s, false, 0,
+                                 PayloadMode::kNone, sample);
+      std::cerr << " " << cell.pps / 1e6 << " Mpps";
+      if (sample > 0) {
+        std::cerr << ", " << cell.trace_completed << " samples, e2e p99 "
+                  << cell.e2e.p99_ns / 1e3 << " us";
+      }
+      std::cerr << "\n";
+      attribution_cells.push_back(cell);
+    }
+  }
+
+  // SLO burn under sustained 2x overload: a 5 ms p99 objective against
+  // ~20 ms queue residence must burn far above 1 on both windows.
+  std::vector<SloCell> slo_cells;
+  if (!scale_only) {
+    std::cerr << "rt_throughput: slo burn, 2x overload, p99 target 5 ms..."
+              << std::flush;
+    slo_cells.push_back(run_slo_cell(5'000'000, 2.0, duration_s));
+    std::cerr << " burn short " << slo_cells.back().burn_short << " / long "
+              << slo_cells.back().burn_long << " ("
+              << slo_cells.back().violations << "/"
+              << slo_cells.back().samples << " violations)\n";
+  }
+
   // Overload shedding: the same 2x-overloaded cell with the fan-in
   // watermark off and on.  "Off" still has per-flow queue caps (tail
   // drops); "on" sheds weight-aware at fan-in and must hold Jain >= 0.9.
@@ -578,7 +731,47 @@ int main(int argc, char** argv) {
     }
     json << "}" << (i + 1 < payload_cells.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"overload_shedding\": [\n";
+  // Tracing off vs 1-in-64 at the same configuration; traced_over_base is
+  // the number the <= 5% overhead budget bounds in CI.
+  json << "  ],\n  \"latency_attribution\": ";
+  if (attribution_cells.size() == 2) {
+    const Cell& base = attribution_cells[0];
+    const Cell& traced = attribution_cells[1];
+    json << "{\n    \"sample_every\": " << traced.stage_sample
+         << ", \"pps_base\": " << base.pps
+         << ", \"pps_traced\": " << traced.pps << ", \"traced_over_base\": "
+         << (base.pps > 0 ? traced.pps / base.pps : 0) << ",\n"
+         << "    \"trace\": {\"started\": " << traced.trace_started
+         << ", \"completed\": " << traced.trace_completed
+         << ", \"lost\": " << traced.trace_lost
+         << ", \"dropped\": " << traced.trace_dropped << "},\n"
+         << "    \"reconciliation_error\": " << traced.reconciliation_error
+         << ",\n    \"stages\": [";
+    for (std::size_t s = 0; s < midrr::telemetry::kStageCount; ++s) {
+      json << (s > 0 ? ", " : "") << "{\"stage\": \""
+           << midrr::telemetry::to_string(
+                  static_cast<midrr::telemetry::Stage>(s))
+           << "\", \"p50_ns\": " << traced.stages[s].p50_ns
+           << ", \"p99_ns\": " << traced.stages[s].p99_ns << "}";
+    }
+    json << "],\n    \"e2e\": {\"p50_ns\": " << traced.e2e.p50_ns
+         << ", \"p99_ns\": " << traced.e2e.p99_ns << "}\n  }";
+  } else {
+    json << "null";
+  }
+  json << ",\n  \"slo_burn\": ";
+  if (!slo_cells.empty()) {
+    const SloCell& c = slo_cells.front();
+    json << "{\"target_p99_ns\": " << c.target_ns
+         << ", \"overload\": " << c.overload << ", \"samples\": " << c.samples
+         << ", \"violations\": " << c.violations
+         << ", \"burn_short\": " << c.burn_short
+         << ", \"burn_long\": " << c.burn_long
+         << ", \"duration_s\": " << c.duration_s << "}";
+  } else {
+    json << "null";
+  }
+  json << ",\n  \"overload_shedding\": [\n";
   for (std::size_t i = 0; i < overload_cells.size(); ++i) {
     const OverloadCell& c = overload_cells[i];
     json << "    {\"shed_bytes\": " << c.shed_bytes

@@ -208,6 +208,14 @@ void Supervisor::transition(IfaceId iface, LinkHealth& health, LinkState to,
   state_mirror_[iface].store(static_cast<std::uint8_t>(to),
                              std::memory_order_relaxed);
   transitions_.fetch_add(1, std::memory_order_relaxed);
+  if (flight_ != nullptr) {
+    telemetry::FlightCode code = telemetry::FlightCode::kLinkHealthy;
+    if (to == LinkState::kSuspect) code = telemetry::FlightCode::kLinkSuspect;
+    if (to == LinkState::kDead) code = telemetry::FlightCode::kLinkDead;
+    flight_->log(static_cast<std::uint64_t>(now),
+                 telemetry::FlightCategory::kSupervisor, code, iface,
+                 static_cast<std::uint64_t>(from));
+  }
   std::ostringstream what;
   what << "link " << rt_.iface_name(iface) << " " << to_string(from) << " -> "
        << to_string(to);

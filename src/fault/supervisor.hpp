@@ -46,6 +46,7 @@
 
 #include "fault/injector.hpp"
 #include "telemetry/fairness_drift.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/time.hpp"
 
 namespace midrr::fault {
@@ -171,6 +172,11 @@ class Supervisor {
   /// Registers midrr_supervisor_* series; `registry` must outlive this.
   void register_metrics(telemetry::MetricsRegistry& registry);
 
+  /// Mirrors link verdicts into a flight-recorder lane.  The lane is
+  /// written only by the probe thread (single-writer contract); set it
+  /// before start() and leave it for the supervisor's lifetime.
+  void set_flight_log(telemetry::FlightLog* log) { flight_ = log; }
+
   /// Copy of the verdict/event log (probe-thread written, wall order).
   std::vector<FaultLogEntry> log() const;
 
@@ -205,6 +211,7 @@ class Supervisor {
   SupervisedRuntime& rt_;
   SupervisorOptions options_;
   telemetry::FairnessSource* fairness_;
+  telemetry::FlightLog* flight_ = nullptr;  ///< probe-thread only
 
   // Probe-thread-owned verdict state; mirrors for cross-thread readers.
   std::vector<LinkHealth> links_;

@@ -22,6 +22,7 @@ struct Packet {
   std::uint32_t size_bytes = 0;
   std::uint64_t seq = 0;         ///< per-flow sequence number (FIFO check)
   SimTime enqueued_at = 0;       ///< when the packet entered its flow queue
+  std::uint64_t trace = 0;       ///< stage-trace tag; 0 = untraced
   std::shared_ptr<const net::Frame> frame;  ///< wire frame, if any
 
   Packet() = default;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "util/logging.hpp"
+#include "util/time.hpp"
 
 namespace midrr::io {
 
@@ -123,7 +124,10 @@ EgressResult UdpBackend::send_burst(IfaceId iface,
         packet.frame != nullptr ? packet.frame->size() : 0;
     const std::size_t payload =
         std::min(frame_bytes, options_.max_payload_bytes);
-    if (WireHeader::kSize + payload > kMaxDatagramBytes) {
+    const std::size_t header_bytes =
+        WireHeader::kSize +
+        (packet.trace != 0 ? WireHeader::kTimestampSize : 0);
+    if (header_bytes + payload > kMaxDatagramBytes) {
       // Could never leave the host; terminal, counted apart from socket
       // errors so a misconfigured payload cap is distinguishable.
       dispositions[i] = SendDisposition::kDropped;
@@ -140,11 +144,17 @@ EgressResult UdpBackend::send_burst(IfaceId iface,
     header.flow = packet.flow;
     header.seq = st.seq_next[packet.flow]++;
     header.size_bytes = packet.size_bytes;
+    if (packet.trace != 0) {
+      // Stage-traced packet: carry the send stamp so a same-host receiver
+      // can extend the latency attribution to on-wire delivery.
+      header.flags |= WireHeader::kFlagTxTimestamp;
+      header.tx_timestamp_ns = mono_now_ns();
+    }
     net::BufWriter writer(std::span<net::Byte>(st.headers[msg_count]));
     header.encode(writer);
     iovec* iov = &st.iovs[2 * msg_count];
     iov[0].iov_base = st.headers[msg_count].data();
-    iov[0].iov_len = WireHeader::kSize;
+    iov[0].iov_len = header.wire_size();
     std::size_t iov_count = 1;
     if (payload > 0) {
       // iovec wants void*; the kernel only reads from a transmit iovec.

@@ -110,9 +110,13 @@ class UdpBackend final : public EgressBackend {
     sockaddr_in dest{};
     // Worker-owned scratch, sized on first use: one mmsghdr + two iovecs
     // (header, payload) + one serialized header per in-flight message.
+    // Header buffers are sized for the tx-timestamp trailer; untraced
+    // packets only transmit the first kSize bytes.
     std::vector<mmsghdr> msgs;
     std::vector<iovec> iovs;
-    std::vector<std::array<net::Byte, WireHeader::kSize>> headers;
+    std::vector<
+        std::array<net::Byte, WireHeader::kSize + WireHeader::kTimestampSize>>
+        headers;
     std::vector<std::size_t> packet_of_msg;  // msg index -> burst index
     std::vector<std::uint64_t> seq_next;     // per-flow, grown lazily
     // Scrape-rate counters (read by telemetry/supervisor threads).

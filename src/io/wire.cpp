@@ -5,11 +5,12 @@ namespace midrr::io {
 void WireHeader::encode(net::BufWriter& writer) const {
   writer.u32(kMagic);
   writer.u8(kVersion);
-  writer.u8(0);  // flags
+  writer.u8(flags);
   writer.u16(payload_bytes);
   writer.u32(flow);
   writer.u64(seq);
   writer.u32(size_bytes);
+  if (has_tx_timestamp()) writer.u64(tx_timestamp_ns);
 }
 
 std::optional<WireHeader> WireHeader::decode(std::span<const net::Byte> data) {
@@ -17,12 +18,16 @@ std::optional<WireHeader> WireHeader::decode(std::span<const net::Byte> data) {
   net::BufReader reader(data);
   if (reader.u32() != kMagic) return std::nullopt;
   if (reader.u8() != kVersion) return std::nullopt;
-  reader.skip(1);  // flags
   WireHeader out;
+  out.flags = reader.u8();
   out.payload_bytes = reader.u16();
   out.flow = reader.u32();
   out.seq = reader.u64();
   out.size_bytes = reader.u32();
+  if (out.has_tx_timestamp()) {
+    if (data.size() < kSize + kTimestampSize) return std::nullopt;
+    out.tx_timestamp_ns = reader.u64();
+  }
   return out;
 }
 

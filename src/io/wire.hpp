@@ -11,11 +11,18 @@
 //   offset  size  field
 //        0     4  magic "MIDR"
 //        4     1  version (kVersion)
-//        5     1  flags (reserved, 0)
-//        6     2  payload bytes following this header
+//        5     1  flags (kFlagTxTimestamp)
+//        6     2  payload bytes following the header (trailer excluded)
 //        8     4  flow id (runtime-global FlowId)
 //       12     8  per-flow sequence number
 //       20     4  scheduler-visible packet size in bytes
+//      [24     8  tx timestamp, absolute CLOCK_MONOTONIC ns -- only when
+//                 kFlagTxTimestamp is set]
+//
+// The optional trailer carries the sender's steady-clock send time for
+// stage-traced packets, so a same-host receiver (midrr_rx, the loopback
+// e2e test) can extend latency attribution to on-wire delivery without
+// clock sync.  Untraced packets pay zero extra bytes.
 //
 // `size_bytes` is the SCHEDULER's byte count for the packet (what the
 // pacer charged and what sent_by_flow_ accumulates), not the datagram
@@ -38,14 +45,27 @@ struct WireHeader {
   static constexpr std::uint32_t kMagic = 0x4D494452;  // "MIDR"
   static constexpr std::uint8_t kVersion = 1;
   static constexpr std::size_t kSize = 24;
+  /// Extra bytes when kFlagTxTimestamp is set.
+  static constexpr std::size_t kTimestampSize = 8;
+  /// An 8-byte absolute CLOCK_MONOTONIC send stamp follows the header.
+  static constexpr std::uint8_t kFlagTxTimestamp = 0x01;
 
+  std::uint8_t flags = 0;
   std::uint16_t payload_bytes = 0;  ///< datagram bytes after the header
   FlowId flow = kInvalidFlow;
   std::uint64_t seq = 0;
   std::uint32_t size_bytes = 0;  ///< scheduler-visible packet size
+  std::uint64_t tx_timestamp_ns = 0;  ///< valid iff kFlagTxTimestamp
 
-  /// Writes kSize bytes at the writer's cursor (throws net::BufferOverrun
-  /// if the buffer is too small).
+  bool has_tx_timestamp() const { return (flags & kFlagTxTimestamp) != 0; }
+
+  /// Bytes this header occupies on the wire (payload starts here).
+  std::size_t wire_size() const {
+    return kSize + (has_tx_timestamp() ? kTimestampSize : 0);
+  }
+
+  /// Writes wire_size() bytes at the writer's cursor (throws
+  /// net::BufferOverrun if the buffer is too small).
   void encode(net::BufWriter& writer) const;
 
   /// Parses a header from `data`; nullopt on short buffer, bad magic, or

@@ -98,6 +98,9 @@ void IngressPort::flush_counters() {
 bool IngressPort::push_to_shard(std::uint32_t shard, Packet&& packet) {
   Runtime::Shard& target = *rt_.shards_[shard];
   if (!target.ingress[producer_]->push(std::move(packet))) {
+    // push() moves nothing on failure; the packet (and its trace tag) is
+    // still ours to account for.
+    rt_.drop_trace(packet);
     ++rejected_;
     ++pending_rejects_;
     flush_counters();
@@ -180,6 +183,13 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
   Packet packet(flow, size_bytes);
   packet.enqueued_at = rt_.now_ns();
   packet.frame = std::move(frame);
+  if (rt_.tracer_ != nullptr) {
+    // Deterministic 1-in-N per flow; the tag rides the packet through the
+    // whole pipeline.  Claimed before the fault seams so an injected drop
+    // shows up in the sample accounting instead of leaking a record.
+    packet.trace = rt_.tracer_->maybe_begin(
+        producer_, flow, static_cast<std::uint64_t>(packet.enqueued_at));
+  }
 
   // Fault seams (one null test in production).  Injected faults happen
   // AFTER routing: they model loss/duplication/reordering on the ingress
@@ -191,6 +201,7 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
     SimDuration hold = 0;
     switch (injector->sample_ingress(packet.enqueued_at, ingress_rng_, hold)) {
       case fault::IngressAction::kDrop:
+        rt_.drop_trace(packet);
         return true;  // silently lost on the wire; injector counted it
       case fault::IngressAction::kDup: {
         Packet dup(flow, size_bytes);
@@ -217,6 +228,7 @@ bool IngressPort::offer(FlowId flow, std::uint32_t size_bytes,
     ++rejected_;
     ++pending_rejects_;
     rt_.backpressure_rejects_.fetch_add(1, std::memory_order_relaxed);
+    rt_.drop_trace(packet);
     flush_counters();
     return false;
   }
@@ -281,6 +293,7 @@ IfaceId Runtime::add_interface(std::string name, RateProfile capacity) {
   const IfaceId iface = static_cast<IfaceId>(ifaces_.size());
   auto rec = std::make_unique<IfaceRec>();
   rec->name = std::move(name);
+  rec->id = iface;
   rec->shard = static_cast<std::uint32_t>(iface % shards_.size());
   const std::uint64_t depth =
       auto_depth(capacity, options_.pacer_depth_bytes, options_.burst_bytes);
@@ -303,6 +316,7 @@ IfaceId Runtime::add_interface(std::string name) {
   const IfaceId iface = static_cast<IfaceId>(ifaces_.size());
   auto rec = std::make_unique<IfaceRec>();
   rec->name = std::move(name);
+  rec->id = iface;
   rec->shard = static_cast<std::uint32_t>(iface % shards_.size());
   rec->pacer = TokenBucketPacer(
       options_.pacer_depth_bytes != 0 ? options_.pacer_depth_bytes
@@ -343,10 +357,26 @@ void Runtime::start() {
   control();  // materialize the control plane before any thread runs
   started_ = true;
 
+  if (options_.stage_sample_every > 0) {
+    telemetry::StageTracer::Options topts;
+    topts.sample_every = options_.stage_sample_every;
+    topts.slots_per_lane = options_.stage_slots_per_lane;
+    tracer_ = std::make_unique<telemetry::StageTracer>(
+        options_.producers, ifaces_.size(), options_.max_flows, topts);
+  }
+
   const auto worker_count = options_.workers;
   for (std::size_t w = 0; w < worker_count; ++w) {
     auto worker = std::make_unique<Worker>();
     worker->index = static_cast<std::uint32_t>(w);
+    if (options_.flight != nullptr) {
+      // One flight-log lane per worker SLOT (not per spawn): a restarted
+      // thread inherits its slot's lane, and the superseded thread never
+      // writes again (it exits at the stall safe point without logging),
+      // so the single-writer contract holds across watchdog restarts.
+      worker->flight =
+          &options_.flight->add_writer("worker" + std::to_string(w));
+    }
     if (options_.metrics != nullptr) {
       worker->wait_hist = &options_.metrics->histogram(
           "midrr_rt_packet_wait_ns",
@@ -450,6 +480,15 @@ void Runtime::flush_egress() {
     if (!rec.pending.empty()) {
       owner.io_drops.fetch_add(rec.pending.size(),
                                std::memory_order_relaxed);
+      for (const Packet& packet : rec.pending) drop_trace(packet);
+      if (owner.flight != nullptr) {
+        // Worker threads are joined by now; writing their lane here keeps
+        // the single-writer invariant (one live writer at a time).
+        owner.flight->log(static_cast<std::uint64_t>(now_ns()),
+                          telemetry::FlightCategory::kIo,
+                          telemetry::FlightCode::kIoFlushDrops, j,
+                          rec.pending.size());
+      }
       MIDRR_LOG_WARN() << "egress backend could not flush "
                        << rec.pending.size() << " packet(s) on interface '"
                        << rec.name << "' at stop(); counted as io_drops";
@@ -546,6 +585,13 @@ void Runtime::shard_set_willing(std::uint32_t shard_index, FlowId flow,
 
 void Runtime::worker_main(std::uint32_t w, std::uint64_t my_generation) {
   Worker& me = *workers_[w];
+  if (me.flight != nullptr) {
+    me.flight->log(static_cast<std::uint64_t>(now_ns()),
+                   telemetry::FlightCategory::kRuntime,
+                   my_generation > 0 ? telemetry::FlightCode::kWorkerRestart
+                                     : telemetry::FlightCode::kWorkerStart,
+                   w, my_generation);
+  }
   std::vector<Packet> scratch;
   scratch.reserve(options_.fanin_batch * options_.producers);
   std::vector<Packet> burst;
@@ -576,6 +622,12 @@ void Runtime::worker_main(std::uint32_t w, std::uint64_t my_generation) {
           ifaces_[j]->pacer.set_rate_scale(scale, now);
           applied_scale[j] = scale;
           injector->note_iface_transition(j, now, scale);
+          if (me.flight != nullptr) {
+            me.flight->log(static_cast<std::uint64_t>(now),
+                           telemetry::FlightCategory::kFault,
+                           telemetry::FlightCode::kFaultScale, j,
+                           static_cast<std::uint64_t>(scale * 1000.0));
+          }
         }
       }
       if (injector->maybe_stall(w, now, me.generation, my_generation) ==
@@ -595,6 +647,11 @@ void Runtime::worker_main(std::uint32_t w, std::uint64_t my_generation) {
     }
     if (!did_work) park(me, kParkSlice.count());
   }
+  if (me.flight != nullptr) {
+    me.flight->log(static_cast<std::uint64_t>(now_ns()),
+                   telemetry::FlightCategory::kRuntime,
+                   telemetry::FlightCode::kWorkerExit, w, my_generation);
+  }
 }
 
 bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
@@ -606,6 +663,11 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   }
   if (scratch.empty()) return false;
   const SimTime span_begin = me.span_cap != 0 ? now_ns() : 0;
+  // One clock read covers the whole batch: the fan-in stamp separates
+  // "waiting in an SPSC ring" from "queued in the scheduler", and a
+  // per-packet read here would cost more than the distinction is worth.
+  const SimTime t_fanin =
+      tracer_ != nullptr ? (me.span_cap != 0 ? span_begin : now_ns()) : 0;
   std::uint64_t accepted = 0;
   std::uint64_t gone = 0;
   std::uint64_t dropped = 0;
@@ -639,6 +701,7 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
                                : kInvalidFlow;
       if (local == kInvalidFlow) {
         ++gone;
+        drop_trace(packet);
         continue;
       }
       if (shedding && shard.weight_sum > 0.0 &&
@@ -647,7 +710,12 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
               static_cast<double>(options_.shed_bytes) *
                   shard.weight_of_local[local]) {
         ++shed;
+        drop_trace(packet);
         continue;
+      }
+      if (tracer_ != nullptr && packet.trace != 0) {
+        tracer_->stamp_fanin(packet.trace,
+                             static_cast<std::uint64_t>(t_fanin));
       }
       packet.flow = local;
       if (keep != i) scratch[keep] = std::move(packet);
@@ -668,6 +736,25 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   me.fanin_drops.fetch_add(gone, std::memory_order_relaxed);
   me.tail_drops.fetch_add(dropped, std::memory_order_relaxed);
   me.shed_drops.fetch_add(shed, std::memory_order_relaxed);
+  // Tail-dropped packets were already moved into the scheduler's batch;
+  // any trace tags among them are unreachable here, so their records age
+  // out as "lost" rather than "dropped" (started >= completed+lost+dropped).
+  if (me.flight != nullptr && (shed > 0 || gone > 0 || dropped > 0)) {
+    const std::uint64_t t_flight = static_cast<std::uint64_t>(
+        me.span_cap != 0 ? span_begin : now_ns());
+    if (shed > 0) {
+      me.flight->log(t_flight, telemetry::FlightCategory::kRuntime,
+                     telemetry::FlightCode::kShedDrops, shed);
+    }
+    if (gone > 0) {
+      me.flight->log(t_flight, telemetry::FlightCategory::kRuntime,
+                     telemetry::FlightCode::kStragglerDrops, gone);
+    }
+    if (dropped > 0) {
+      me.flight->log(t_flight, telemetry::FlightCategory::kRuntime,
+                     telemetry::FlightCode::kTailDrops, dropped);
+    }
+  }
   if (me.span_cap != 0) {
     telemetry::TraceSpan span;
     span.kind = telemetry::TraceSpan::Kind::kFanIn;
@@ -691,6 +778,22 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
     }
   }
   return true;
+}
+
+void Runtime::complete_trace(const Packet& packet, IfaceId iface,
+                             SimTime sent_at) {
+  std::uint64_t e2e = 0;
+  // packet.flow was rewritten to a shard-local scheduler id at fan-in;
+  // the tracer kept the GLOBAL id from the claim, which is the one the
+  // control plane's class directory is indexed by.
+  FlowId global_flow = kInvalidFlow;
+  const bool ok = tracer_->complete(
+      packet.trace, static_cast<std::uint64_t>(packet.enqueued_at),
+      static_cast<std::uint64_t>(sent_at), iface, &e2e, &global_flow);
+  if (ok && options_.slo != nullptr && global_flow != kInvalidFlow) {
+    options_.slo->record(control_->class_of(global_flow), e2e,
+                         static_cast<std::uint64_t>(sent_at));
+  }
 }
 
 void Runtime::account_sent(IfaceRec& rec, Worker& me, const Packet& packet,
@@ -719,6 +822,9 @@ bool Runtime::send_pending(IfaceId iface, Worker& me) {
     me.io_requeued.fetch_add(result.requeued, std::memory_order_relaxed);
     return false;
   }
+  // `now` was read before the send; traced completions take a fresh
+  // post-send stamp so the egress stage includes the syscall itself.
+  const SimTime sent_at = tracer_ != nullptr ? now_ns() : now;
   std::size_t keep = 0;
   std::uint64_t keep_bytes = 0;
   for (std::size_t i = 0; i < rec.pending.size(); ++i) {
@@ -728,6 +834,9 @@ bool Runtime::send_pending(IfaceId iface, Worker& me) {
     switch (verdict) {
       case io::SendDisposition::kSent:
         account_sent(rec, me, packet, now);
+        if (tracer_ != nullptr && packet.trace != 0) {
+          complete_trace(packet, iface, sent_at);
+        }
         break;
       case io::SendDisposition::kRequeued:
         keep_bytes += packet.size_bytes;
@@ -736,6 +845,7 @@ bool Runtime::send_pending(IfaceId iface, Worker& me) {
         break;
       case io::SendDisposition::kDropped:
         me.io_drops.fetch_add(1, std::memory_order_relaxed);
+        drop_trace(packet);
         break;
     }
   }
@@ -777,9 +887,23 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
   }
   if (count == 0) return false;
   const SimTime drained_at = now_ns();
+  if (tracer_ != nullptr) {
+    // The dequeue stamp closes the queue stage at the same instant the
+    // existing wait accounting uses (drained_at); the egress stage opens
+    // here and absorbs the send syscall below.
+    for (const Packet& packet : burst) {
+      if (packet.trace != 0) {
+        tracer_->stamp_dequeue(packet.trace,
+                               static_cast<std::uint64_t>(drained_at));
+      }
+    }
+  }
   const io::EgressResult outcome = egress_->send_burst(
       iface, std::span<const Packet>(burst.data(), burst.size()), drained_at,
       me.dispositions);
+  // Disabled tracing keeps the historical single clock read per burst;
+  // enabled tracing pays one extra read so the egress stage is real.
+  const SimTime sent_at = tracer_ != nullptr ? now_ns() : drained_at;
   telemetry::Histogram* const wait_hist = me.wait_hist;
   std::uint64_t bytes = 0;
   if (outcome.clean) {
@@ -805,6 +929,9 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
         run_bytes = 0;
       }
       run_bytes += packet.size_bytes;
+      if (tracer_ != nullptr && packet.trace != 0) {
+        complete_trace(packet, iface, sent_at);
+      }
     }
     if (run_bytes != 0) {
       sent_by_flow_[run_flow].fetch_add(run_bytes, std::memory_order_relaxed);
@@ -819,12 +946,16 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
     // does not rely on that); dropped packets are already counted inside
     // the backend's own series, here they feed the runtime identity.
     std::uint64_t pending_bytes = 0;
+    std::uint64_t io_dropped = 0;
     for (std::size_t i = 0; i < burst.size(); ++i) {
       Packet& packet = burst[i];
       bytes += packet.size_bytes;
       switch (me.dispositions[i]) {
         case io::SendDisposition::kSent:
           account_sent(rec, me, packet, drained_at);
+          if (tracer_ != nullptr && packet.trace != 0) {
+            complete_trace(packet, iface, sent_at);
+          }
           break;
         case io::SendDisposition::kRequeued:
           pending_bytes += packet.size_bytes;
@@ -832,6 +963,8 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
           break;
         case io::SendDisposition::kDropped:
           me.io_drops.fetch_add(1, std::memory_order_relaxed);
+          ++io_dropped;
+          drop_trace(packet);
           break;
       }
     }
@@ -839,6 +972,12 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
     rec.pending_bytes.store(pending_bytes, std::memory_order_relaxed);
     if (outcome.requeued > 0) {
       me.io_requeued.fetch_add(outcome.requeued, std::memory_order_relaxed);
+    }
+    if (me.flight != nullptr) {
+      me.flight->log(static_cast<std::uint64_t>(sent_at),
+                     telemetry::FlightCategory::kIo,
+                     telemetry::FlightCode::kIoPushback, outcome.requeued,
+                     io_dropped);
     }
   }
   // Pacer and backlog are charged for the WHOLE dequeued burst at dequeue
@@ -1230,6 +1369,31 @@ void Runtime::register_metrics() {
                "Constant 1; the label names the active egress backend.",
                {{"backend", egress_->name()}}, [] { return 1.0; });
   egress_->register_metrics(reg);
+
+  if (tracer_ != nullptr) {
+    std::vector<std::string> iface_names;
+    iface_names.reserve(ifaces_.size());
+    for (const auto& rec : ifaces_) iface_names.push_back(rec->name);
+    tracer_->register_metrics(reg, iface_names);
+  }
+  if (options_.slo != nullptr) {
+    options_.slo->register_metrics(
+        reg, [this] { return static_cast<std::uint64_t>(now_ns()); });
+  }
+  if (options_.flight != nullptr) {
+    telemetry::FlightRecorder* flight = options_.flight;
+    reg.counter_fn("midrr_flight_events_total",
+                   "Events logged into flight-recorder rings (all writers; "
+                   "not capped by ring capacity).",
+                   {}, [flight] {
+                     return static_cast<double>(flight->events_logged());
+                   });
+    reg.counter_fn("midrr_flight_dumps_total",
+                   "Post-mortem flight-recorder dumps written to disk.", {},
+                   [flight] {
+                     return static_cast<double>(flight->dumps());
+                   });
+  }
 }
 
 telemetry::FairnessSample Runtime::fairness_sample() {

@@ -56,8 +56,11 @@
 #include "sim/rate_profile.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/fairness_drift.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/metrics_observer.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/stage_latency.hpp"
 #include "util/latency_histogram.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -96,6 +99,25 @@ struct RuntimeOptions {
   /// bursts) for Chrome-trace export; 0 disables span capture.  Spans past
   /// the bound are dropped and counted, never reallocated.
   std::size_t trace_spans = 0;
+  /// Stage-latency attribution: trace every Nth packet of each flow (per
+  /// producer) through ring/queue/egress stage histograms.  0 disables
+  /// (the hot path then pays one null test per seam); 1 traces everything
+  /// (tests).  See telemetry/stage_latency.hpp.
+  std::uint32_t stage_sample_every = 0;
+  /// In-flight stage-trace records per producer lane (bounds memory and
+  /// the concurrent traced-packet population).
+  std::uint32_t stage_slots_per_lane = 1024;
+  /// Per-class SLO engine fed with every completed stage sample (class
+  /// resolved through the control plane's lock-free directory).  Must
+  /// outlive the Runtime; bind_class/register_metrics stay the caller's
+  /// job.  Requires stage_sample_every > 0 to ever see a sample.
+  telemetry::SloEngine* slo = nullptr;
+  /// Flight recorder for post-mortem event timelines.  The runtime adds
+  /// one writer per worker at start() and logs lifecycle/drop/pushback
+  /// events; the caller must add ITS writers (supervisor, health) before
+  /// start() and must not add any afterwards (the writer list is read
+  /// lock-free by scrapes).  Must outlive the Runtime.
+  telemetry::FlightRecorder* flight = nullptr;
 
   // --- Fault tolerance (all optional; one pointer test when disabled) ----
   /// Deterministic fault injector; attached to this runtime's topology at
@@ -408,6 +430,11 @@ class Runtime final : public telemetry::FairnessSource,
   /// options.trace_events > 0).  Read only after stop().
   const TraceRecorder* shard_recorder(std::size_t shard) const;
 
+  /// The stage-latency tracer (nullptr unless options.stage_sample_every
+  /// > 0).  Valid after start(); counters and grids are readable from any
+  /// thread while running.
+  const telemetry::StageTracer* stage_tracer() const { return tracer_.get(); }
+
  private:
   friend class IngressPort;
 
@@ -439,6 +466,7 @@ class Runtime final : public telemetry::FairnessSource,
 
   struct IfaceRec {
     std::string name;
+    IfaceId id = 0;  ///< global id (the index into ifaces_), for attribution
     std::uint32_t shard = 0;
     std::uint32_t worker = 0;
     IfaceId local_id = 0;
@@ -493,6 +521,11 @@ class Runtime final : public telemetry::FairnessSource,
     // a scrapable Prometheus histogram; spans is a bounded, preallocated
     // buffer owned by the worker thread and read only after stop().
     telemetry::Histogram* wait_hist = nullptr;
+    /// Flight-recorder lane (null unless RuntimeOptions::flight).  Written
+    /// by the slot's CURRENT thread only; a superseded thread logs nothing
+    /// after observing kSuperseded, so the single-writer contract holds
+    /// across watchdog restarts.
+    telemetry::FlightLog* flight = nullptr;
     /// Per-packet verdict scratch for EgressBackend::send_burst (owned by
     /// the worker thread; reused across bursts, never shrunk).
     std::vector<io::SendDisposition> dispositions;
@@ -530,6 +563,15 @@ class Runtime final : public telemetry::FairnessSource,
   /// One retry attempt for `iface`'s parked tail; returns true when any
   /// packet left the stash (sent or terminally dropped).
   bool send_pending(IfaceId iface, Worker& me);
+  /// Stage-trace completion for one delivered packet: fold the stage
+  /// durations into `iface`'s histograms and feed the SLO engine.  No-op
+  /// for untraced packets; call only when tracer_ is non-null.
+  void complete_trace(const Packet& packet, IfaceId iface, SimTime sent_at);
+  /// The traced packet died before delivery (injected drop, reject, shed,
+  /// straggler, io drop): pure accounting.  Safe on untraced packets.
+  void drop_trace(const Packet& packet) {
+    if (tracer_ != nullptr && packet.trace != 0) tracer_->drop_sample();
+  }
   /// stop()-time bounded retry of every stash; the remainder becomes
   /// counted io_drops (never silent loss).  Single-threaded.
   void flush_egress();
@@ -546,6 +588,10 @@ class Runtime final : public telemetry::FairnessSource,
   bool ingress_pending(const Worker& me) const;
 
   RuntimeOptions options_;
+  /// Stage-latency tracer; created at start() when stage_sample_every > 0
+  /// (one claim lane per producer).  Null = tracing off, every seam is a
+  /// single null test.
+  std::unique_ptr<telemetry::StageTracer> tracer_;
   /// The default pacer-only sink; egress_ points here unless options_
   /// supplied a backend.  Bound at start().
   io::SimBackend sim_backend_;

@@ -60,7 +60,9 @@ void ChromeTraceBuilder::add_recorder(const TraceRecorder& recorder,
   constexpr std::uint32_t kDrainTid = 9999;
   std::vector<bool> named;
   bool drain_named = false;
+  SimTime last_at = 0;
   for (const TraceRecorder::Entry& entry : recorder.entries()) {
+    if (entry.at > last_at) last_at = entry.at;
     std::uint32_t tid;
     if (entry.iface == kInvalidIface) {
       tid = kDrainTid;
@@ -90,9 +92,19 @@ void ChromeTraceBuilder::add_recorder(const TraceRecorder& recorder,
     events_.push_back(e.str());
   }
   if (recorder.overflowed() > 0) {
+    // The metadata record survives for tooling, but viewers do not render
+    // "ph":"M" on the timeline -- a truncated capture used to look merely
+    // sparse.  The global instant below puts a visible marker at the time
+    // of the last retained event, where the missing history would end.
+    std::ostringstream meta;
+    meta << "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"args\":{\"events_lost\":" << recorder.overflowed() << "}}";
+    events_.push_back(meta.str());
     std::ostringstream e;
-    e << "{\"name\":\"trace_truncated\",\"ph\":\"M\",\"pid\":" << pid
-      << ",\"args\":{\"events_lost\":" << recorder.overflowed() << "}}";
+    e << "{\"name\":\"trace_overflow\",\"cat\":\"sched\",\"ph\":\"i\","
+      << "\"s\":\"g\",\"ts\":" << us(last_at) << ",\"pid\":" << pid
+      << ",\"tid\":0,\"args\":{\"events_lost\":" << recorder.overflowed()
+      << "}}";
     events_.push_back(e.str());
   }
 }

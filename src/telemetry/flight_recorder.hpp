@@ -1,0 +1,178 @@
+// Flight recorder: bounded per-writer event rings that survive until the
+// moment you need them -- a post-mortem JSON snapshot of the last N
+// scheduler/fault/io/control events, dumped when /healthz degrades, when a
+// conservation identity trips, or on a fatal signal.
+//
+// Design:
+//   * One FlightLog per writer thread (runtime workers, the supervisor,
+//     the tool's health monitor).  log() is wait-free: the single writer
+//     fills the next slot's relaxed-atomic fields, then publishes a head
+//     counter with release.  Event rates are transition-rate, not
+//     packet-rate -- this is a black box, not a tracer.
+//   * Readers (the dumper) never block writers: copy the ring, then use a
+//     reserve counter (bumped BEFORE the slot is written) to discard any
+//     entry the writer may have been overwriting mid-copy.
+//   * FlightRecorder merges every writer's surviving entries into one
+//     timeline sorted by timestamp and renders JSON.
+//   * The fatal-signal path is async-signal-safe: the dump fd is opened
+//     when the handler is armed, and the handler formats integers into a
+//     stack buffer with write(2) only -- no malloc, no streams, no locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace midrr::telemetry {
+
+enum class FlightCategory : std::uint16_t {
+  kRuntime = 0,   ///< worker lifecycle, drops, shedding
+  kIo = 1,        ///< egress pushback / errors
+  kFault = 2,     ///< injected transitions
+  kSupervisor = 3,///< link verdicts, restarts
+  kHealth = 4,    ///< /healthz transitions, identity checks
+};
+
+enum class FlightCode : std::uint16_t {
+  kWorkerStart = 0,
+  kWorkerExit = 1,
+  kWorkerRestart = 2,
+  kShedDrops = 3,        ///< a = packets shed (one fan-in batch)
+  kStragglerDrops = 4,   ///< a = packets dropped for removed flows
+  kTailDrops = 5,        ///< a = queue-bound drops
+  kIoPushback = 6,       ///< a = requeued, b = dropped (one burst)
+  kIoFlushDrops = 7,     ///< a = packets unflushable at stop
+  kFaultScale = 8,       ///< a = iface, b = rate scale in 1/1000
+  kLinkSuspect = 9,      ///< a = iface
+  kLinkDead = 10,        ///< a = iface
+  kLinkHealthy = 11,     ///< a = iface
+  kHealthDegraded = 12,
+  kHealthRecovered = 13,
+  kConservationTrip = 14,///< a = lhs of the identity, b = rhs
+  kNote = 15,            ///< free-form marker (a, b caller-defined)
+};
+
+const char* to_string(FlightCategory category);
+const char* to_string(FlightCode code);
+
+/// One recorded event, as surfaced by a dump.
+struct FlightEvent {
+  std::uint64_t t_ns = 0;
+  FlightCategory category = FlightCategory::kRuntime;
+  FlightCode code = FlightCode::kNote;
+  std::uint32_t writer = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Single-writer lock-free ring.  Obtain via FlightRecorder::add_writer.
+class FlightLog {
+ public:
+  void log(std::uint64_t t_ns, FlightCategory category, FlightCode code,
+           std::uint64_t a = 0, std::uint64_t b = 0) {
+    const std::uint64_t i = reserve_.load(std::memory_order_relaxed);
+    // Reserve first: a concurrent dumper copying this slot sees reserve_
+    // past it and discards the possibly-torn entry.
+    reserve_.store(i + 1, std::memory_order_release);
+    Slot& slot = slots_[i % slots_.size()];
+    slot.t_ns.store(t_ns, std::memory_order_relaxed);
+    slot.meta.store(pack(category, code), std::memory_order_relaxed);
+    slot.a.store(a, std::memory_order_relaxed);
+    slot.b.store(b, std::memory_order_relaxed);
+    head_.store(i + 1, std::memory_order_release);
+  }
+
+  std::uint64_t logged() const { return head_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  std::uint32_t id() const { return id_; }
+
+ private:
+  friend class FlightRecorder;
+
+  struct Slot {
+    std::atomic<std::uint64_t> t_ns{0};
+    std::atomic<std::uint32_t> meta{0};  ///< category << 16 | code
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+
+  FlightLog(std::size_t capacity, std::uint32_t id, std::string name)
+      : slots_(capacity), id_(id), name_(std::move(name)) {}
+
+  static std::uint32_t pack(FlightCategory category, FlightCode code) {
+    return (static_cast<std::uint32_t>(category) << 16) |
+           static_cast<std::uint32_t>(code);
+  }
+
+  /// Copies the surviving window into `out` (appending).  Entries the
+  /// writer overwrote mid-copy are discarded, never torn.
+  void snapshot(std::vector<FlightEvent>& out) const;
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> reserve_{0};  ///< bumped before a slot write
+  std::atomic<std::uint64_t> head_{0};     ///< bumped after (published)
+  std::uint32_t id_ = 0;
+  std::string name_;
+};
+
+class FlightRecorder {
+ public:
+  /// `per_writer_capacity` events are retained per writer ring.
+  explicit FlightRecorder(std::size_t per_writer_capacity = 256);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Registers a writer ring.  NOT thread-safe against concurrent dumps or
+  /// other add_writer calls: wire every writer up before threads run (the
+  /// runtime does this at start()).  The returned log lives as long as the
+  /// recorder.
+  FlightLog& add_writer(std::string name);
+
+  /// Merged timeline (sorted by t_ns) of every writer's surviving window.
+  std::vector<FlightEvent> snapshot() const;
+
+  /// Renders {"reason", "dumped_at_ns", "writers", "events": [...]} with
+  /// events in timestamp order.
+  std::string dump_json(const std::string& reason,
+                        std::uint64_t now_ns) const;
+
+  /// dump_json to `path` (overwriting).  Returns false on I/O failure.
+  /// Bumps dumps(); callers typically gate on a transition so a flapping
+  /// health state does not rewrite the post-mortem every probe.
+  bool dump_to_file(const std::string& path, const std::string& reason,
+                    std::uint64_t now_ns);
+
+  std::uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+  /// Total events logged across all writers (not capped by ring capacity).
+  std::uint64_t events_logged() const {
+    std::uint64_t total = 0;
+    for (const auto& log : logs_) total += log->logged();
+    return total;
+  }
+
+  /// Arms an async-signal-safe fatal dump: opens `path` now and installs
+  /// handlers for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT that write a
+  /// minimal JSON dump (unsorted, integer codes) using only write(2),
+  /// then re-raise with default disposition.  One recorder per process
+  /// may be armed; re-arming replaces the previous target.
+  bool arm_fatal_dump(const std::string& path);
+
+  /// The fatal handler's body: a minimal JSON dump to `fd` using only
+  /// write(2) and stack buffers (async-signal-safe; categories and codes
+  /// are emitted as integers, events per writer in ring order, unsorted).
+  /// Public so the signal handler can reach it; callable from tests.
+  void write_signal_dump(int fd, int signo) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<FlightLog>> logs_;
+  std::atomic<std::uint64_t> dumps_{0};
+};
+
+}  // namespace midrr::telemetry

@@ -1,0 +1,340 @@
+#include "telemetry/promlint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace midrr::telemetry {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.size() >= 2 && name[0] == '_' && name[1] == '_') return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+bool known_type(const std::string& type) {
+  return type == "counter" || type == "gauge" || type == "histogram" ||
+         type == "summary" || type == "untyped";
+}
+
+bool parse_sample_value(const std::string& text, double* out) {
+  if (text == "+Inf" || text == "Inf") {
+    *out = HUGE_VAL;
+    return true;
+  }
+  if (text == "-Inf") {
+    *out = -HUGE_VAL;
+    return true;
+  }
+  if (text == "NaN") {
+    *out = NAN;
+    return true;
+  }
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+struct ParsedSample {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::string value_text;
+};
+
+/// Parses `name{k="v",...} value` (labels optional).  Returns false with a
+/// diagnostic in *error on any syntax problem.
+bool parse_sample(const std::string& line, ParsedSample* out,
+                  std::string* error) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out->name = line.substr(0, i);
+  if (!valid_metric_name(out->name)) {
+    *error = "invalid metric name '" + out->name + "'";
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;  // consume '{'
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = i;
+      while (eq < line.size() && line[eq] != '=') ++eq;
+      if (eq >= line.size()) {
+        *error = "label without '='";
+        return false;
+      }
+      const std::string key = line.substr(i, eq - i);
+      if (!valid_label_name(key)) {
+        *error = "invalid label name '" + key + "'";
+        return false;
+      }
+      i = eq + 1;
+      if (i >= line.size() || line[i] != '"') {
+        *error = "label value for '" + key + "' not quoted";
+        return false;
+      }
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i];
+        if (c == '\\') {
+          if (i + 1 >= line.size()) {
+            *error = "dangling backslash in label value";
+            return false;
+          }
+          const char esc = line[i + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') {
+            *error = std::string("unknown escape '\\") + esc +
+                     "' in label value";
+            return false;
+          }
+          value += esc == 'n' ? '\n' : esc;
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        value += c;
+        ++i;
+      }
+      if (!closed) {
+        *error = "unterminated label value";
+        return false;
+      }
+      out->labels.emplace_back(key, value);
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *error = "unterminated label set";
+      return false;
+    }
+    ++i;  // consume '}'
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *error = "sample has no value";
+    return false;
+  }
+  ++i;
+  out->value_text = line.substr(i);
+  // Timestamps (a second space-separated field) are legal in the format
+  // but our renderer never emits them; accept and ignore.
+  const std::size_t space = out->value_text.find(' ');
+  if (space != std::string::npos) {
+    out->value_text = out->value_text.substr(0, space);
+  }
+  return true;
+}
+
+/// The family a sample belongs to: for declared histograms the
+/// _bucket/_sum/_count suffixes fold back onto the base name.
+std::string owning_family(const std::string& name,
+                          const std::map<std::string, std::string>& types) {
+  static const char* kSuffixes[] = {"_bucket", "_sum", "_count"};
+  for (const char* suffix : kSuffixes) {
+    const std::size_t n = std::string(suffix).size();
+    if (name.size() > n && name.compare(name.size() - n, n, suffix) == 0) {
+      const std::string base = name.substr(0, name.size() - n);
+      const auto it = types.find(base);
+      if (it != types.end() && it->second == "histogram") return base;
+    }
+  }
+  return name;
+}
+
+std::string label_key(
+    const std::vector<std::pair<std::string, std::string>>& labels,
+    bool drop_le) {
+  std::vector<std::pair<std::string, std::string>> sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  for (const auto& [k, v] : sorted) {
+    if (drop_le && k == "le") continue;
+    out << k << '\x1f' << v << '\x1e';
+  }
+  return out.str();
+}
+
+/// Per-(histogram family, base labels) running validation state.
+struct HistogramSeries {
+  std::size_t first_line = 0;
+  double last_le = -HUGE_VAL;
+  double last_cumulative = -1.0;
+  bool saw_inf = false;
+  double inf_value = 0.0;
+  bool saw_sum = false;
+  bool saw_count = false;
+  double count_value = 0.0;
+};
+
+}  // namespace
+
+std::vector<LintIssue> lint_prometheus(const std::string& text) {
+  std::vector<LintIssue> issues;
+  const auto issue = [&issues](std::size_t line, std::string message) {
+    issues.push_back({line, std::move(message)});
+  };
+
+  std::map<std::string, std::string> types;  ///< family -> TYPE
+  std::set<std::string> helped;
+  std::set<std::string> closed;      ///< families we moved past (contiguity)
+  std::set<std::string> seen_keys;   ///< name + labels dedup
+  std::map<std::string, HistogramSeries> histograms;
+  std::string current_family;
+
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream comment(line);
+      std::string hash, keyword, name;
+      comment >> hash >> keyword >> name;
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // plain comment
+      if (!valid_metric_name(name)) {
+        issue(line_no, "# " + keyword + " for invalid metric name '" + name +
+                           "'");
+        continue;
+      }
+      if (keyword == "TYPE") {
+        std::string type;
+        comment >> type;
+        if (!known_type(type)) {
+          issue(line_no, "unknown TYPE '" + type + "' for " + name);
+          continue;
+        }
+        if (types.count(name) != 0) {
+          issue(line_no, "duplicate # TYPE for " + name);
+          continue;
+        }
+        if (closed.count(name) != 0) {
+          issue(line_no, "family " + name + " reopened (samples must be "
+                         "contiguous)");
+        }
+        types[name] = type;
+        if (!current_family.empty() && current_family != name) {
+          closed.insert(current_family);
+        }
+        current_family = name;
+      } else {  // HELP
+        if (!helped.insert(name).second) {
+          issue(line_no, "duplicate # HELP for " + name);
+        }
+        if (types.count(name) != 0) {
+          issue(line_no, "# HELP for " + name + " after its # TYPE");
+        }
+      }
+      continue;
+    }
+
+    ParsedSample sample;
+    std::string error;
+    if (!parse_sample(line, &sample, &error)) {
+      issue(line_no, error);
+      continue;
+    }
+    double value = 0.0;
+    if (!parse_sample_value(sample.value_text, &value)) {
+      issue(line_no, "unparseable value '" + sample.value_text + "' for " +
+                         sample.name);
+      continue;
+    }
+    const std::string family = owning_family(sample.name, types);
+    const auto type_it = types.find(family);
+    if (type_it == types.end()) {
+      issue(line_no, "sample " + sample.name + " has no preceding # TYPE");
+      continue;
+    }
+    if (family != current_family) {
+      issue(line_no, "sample " + sample.name + " interleaved outside its "
+                     "family block (" + family + ")");
+    }
+    if (!seen_keys.insert(sample.name + '\x1d' +
+                          label_key(sample.labels, /*drop_le=*/false))
+             .second) {
+      issue(line_no, "duplicate sample " + sample.name + " (same labels)");
+    }
+
+    if (type_it->second != "histogram") continue;
+
+    // Histogram bookkeeping keyed by the series' base labels.
+    const std::string series_key =
+        family + '\x1d' + label_key(sample.labels, /*drop_le=*/true);
+    HistogramSeries& series = histograms[series_key];
+    if (series.first_line == 0) series.first_line = line_no;
+    if (sample.name == family + "_bucket") {
+      std::string le_text;
+      for (const auto& [k, v] : sample.labels) {
+        if (k == "le") le_text = v;
+      }
+      double le = 0.0;
+      if (le_text.empty() || !parse_sample_value(le_text, &le)) {
+        issue(line_no, family + "_bucket without a parseable le label");
+        continue;
+      }
+      if (le <= series.last_le) {
+        issue(line_no, family + " le buckets not strictly ascending");
+      }
+      if (value < series.last_cumulative) {
+        issue(line_no, family + " cumulative bucket counts regress");
+      }
+      series.last_le = le;
+      series.last_cumulative = value;
+      if (std::isinf(le) && le > 0) {
+        series.saw_inf = true;
+        series.inf_value = value;
+      }
+    } else if (sample.name == family + "_sum") {
+      series.saw_sum = true;
+    } else if (sample.name == family + "_count") {
+      series.saw_count = true;
+      series.count_value = value;
+    }
+  }
+
+  for (const auto& [key, series] : histograms) {
+    const std::string family = key.substr(0, key.find('\x1d'));
+    if (!series.saw_inf) {
+      issue(series.first_line, family + " series missing the +Inf bucket");
+    }
+    if (!series.saw_sum || !series.saw_count) {
+      issue(series.first_line, family + " series missing _sum or _count");
+    }
+    if (series.saw_inf && series.saw_count &&
+        series.inf_value != series.count_value) {
+      issue(series.first_line,
+            family + " +Inf bucket disagrees with _count");
+    }
+  }
+  return issues;
+}
+
+}  // namespace midrr::telemetry

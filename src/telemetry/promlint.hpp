@@ -1,0 +1,35 @@
+// Prometheus text-exposition linter (format 0.0.4): the check half of
+// prometheus.cpp's render half.  CI scrapes a live /metrics and fails on
+// any issue, so a renderer regression (broken escaping, a histogram whose
+// cumulative buckets regress, a family emitted twice) is caught where it
+// bites -- on the wire, not in a unit test of the writer.
+//
+// Checks, per line and per family:
+//   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, label names
+//     [a-zA-Z_][a-zA-Z0-9_]* and never start "__";
+//   * every sample follows a # TYPE for its family (histogram samples may
+//     use the _bucket/_sum/_count suffixes), TYPE is one of the known
+//     kinds and appears once, HELP at most once and before samples;
+//   * families are contiguous (no interleaving) and no (name, labels)
+//     sample repeats;
+//   * label values use only the \\ \" \n escapes, values parse as floats
+//     (+Inf/-Inf/NaN accepted);
+//   * histograms: le ascending, cumulative counts non-decreasing, +Inf
+//     bucket present and equal to the _count sample, _sum/_count present.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midrr::telemetry {
+
+struct LintIssue {
+  std::size_t line = 0;  ///< 1-based; 0 = end-of-input (family-level) check
+  std::string message;
+};
+
+/// Lints one exposition page.  Empty result = clean.
+std::vector<LintIssue> lint_prometheus(const std::string& text);
+
+}  // namespace midrr::telemetry

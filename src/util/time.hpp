@@ -7,6 +7,7 @@
 // to the next nanosecond, so a link can never send faster than its rate.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -53,6 +54,18 @@ inline SimDuration transmission_time(std::uint64_t bytes, double rate_bps) {
 inline double rate_bps(std::uint64_t bytes, SimDuration d) {
   MIDRR_REQUIRE(d > 0, "rate over an empty interval");
   return static_cast<double>(bytes) * 8.0 / to_seconds(d);
+}
+
+/// Absolute steady-clock nanoseconds (CLOCK_MONOTONIC).  Unlike a
+/// Runtime's now_ns() -- which is relative to that runtime's start() --
+/// this is comparable across processes on the same host, which is what
+/// the wire-level latency attribution (tx stamp in the WireHeader, rx
+/// stamp in midrr_rx) needs.
+inline std::uint64_t mono_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Convenience literals-ish helpers (Mb/s is the paper's reporting unit).

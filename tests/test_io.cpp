@@ -86,6 +86,48 @@ TEST(WireHeader, DecodeRejectsShortBadMagicAndBadVersion) {
   EXPECT_FALSE(WireHeader::decode(bad_version).has_value());
 }
 
+TEST(WireHeader, TxTimestampTrailerRoundTrips) {
+  WireHeader header;
+  header.flags = WireHeader::kFlagTxTimestamp;
+  header.flow = 7;
+  header.seq = 9;
+  header.size_bytes = 1500;
+  header.tx_timestamp_ns = 0x1122334455667788ull;
+  ASSERT_TRUE(header.has_tx_timestamp());
+  EXPECT_EQ(header.wire_size(), WireHeader::kSize + WireHeader::kTimestampSize);
+
+  std::vector<net::Byte> buf(header.wire_size());
+  net::BufWriter writer(buf);
+  header.encode(writer);
+
+  const auto parsed = WireHeader::decode(buf);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->has_tx_timestamp());
+  EXPECT_EQ(parsed->tx_timestamp_ns, header.tx_timestamp_ns);
+  EXPECT_EQ(parsed->flow, 7u);
+
+  // A flagged header whose buffer is too short for the trailer must be
+  // rejected whole, not parsed with a garbage timestamp.
+  EXPECT_FALSE(WireHeader::decode(
+                   std::span<const net::Byte>(buf.data(), buf.size() - 1))
+                   .has_value());
+  EXPECT_FALSE(WireHeader::decode(
+                   std::span<const net::Byte>(buf.data(), WireHeader::kSize))
+                   .has_value());
+
+  // An untraced header is byte-identical to the pre-trailer format: the
+  // flag byte is zero and decode never looks past kSize.
+  WireHeader untraced;
+  untraced.flow = 7;
+  std::vector<net::Byte> plain(WireHeader::kSize);
+  net::BufWriter plain_writer(plain);
+  untraced.encode(plain_writer);
+  const auto plain_parsed = WireHeader::decode(plain);
+  ASSERT_TRUE(plain_parsed.has_value());
+  EXPECT_FALSE(plain_parsed->has_tx_timestamp());
+  EXPECT_EQ(plain_parsed->tx_timestamp_ns, 0u);
+}
+
 // --- SimBackend -------------------------------------------------------------
 
 TEST(SimBackend, AccountsWholeBurstWithoutTouchingDispositions) {
@@ -327,6 +369,33 @@ TEST(UdpBackend, StampsHeadersWithPerFlowSequencesAndCappedPayload) {
   EXPECT_EQ(backend.sent_datagrams(0), 3u);
   EXPECT_EQ(backend.sent_wire_bytes(0),
             3 * WireHeader::kSize + 100u + 40u);
+}
+
+TEST(UdpBackend, StageTracedPacketsCarryTxTimestampTrailer) {
+  MockSocketApi api;
+  UdpBackend backend(mock_options(api));
+  backend.attach({"if0"});
+
+  std::vector<Packet> burst = {Packet(1, 500), Packet(2, 500)};
+  burst[0].trace = 0x42;  // stage-traced: gets the 8-byte trailer
+  burst[0].frame = frame_of(20);
+  burst[1].frame = frame_of(20);  // untraced: zero extra bytes
+
+  std::vector<SendDisposition> dispositions;
+  const EgressResult result = backend.send_burst(0, burst, 0, dispositions);
+  EXPECT_TRUE(result.clean);
+  ASSERT_EQ(result.sent, 2u);
+
+  const auto captured = api.captured();
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_TRUE(captured[0].header.has_tx_timestamp());
+  EXPECT_GT(captured[0].header.tx_timestamp_ns, 0u)
+      << "traced datagrams stamp CLOCK_MONOTONIC at egress";
+  EXPECT_EQ(captured[0].wire_bytes,
+            WireHeader::kSize + WireHeader::kTimestampSize + 20u);
+  EXPECT_FALSE(captured[1].header.has_tx_timestamp());
+  EXPECT_EQ(captured[1].wire_bytes, WireHeader::kSize + 20u)
+      << "untraced packets pay zero extra bytes";
 }
 
 TEST(UdpBackend, ChunksLargeBurstsToMaxBatch) {

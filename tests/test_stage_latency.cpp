@@ -1,0 +1,200 @@
+// StageTracer: deterministic sampling, the sum-reconciliation invariant,
+// and the recycled-slot loss accounting that keeps histograms uncorrupt.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/stage_latency.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using midrr::IfaceId;
+using midrr::telemetry::MetricsRegistry;
+using midrr::telemetry::Stage;
+using midrr::telemetry::StageTracer;
+
+StageTracer::Options trace_all(std::uint32_t slots = 64) {
+  StageTracer::Options o;
+  o.sample_every = 1;
+  o.slots_per_lane = slots;
+  return o;
+}
+
+TEST(StageTracer, SamplesDeterministicallyOneInNPerFlow) {
+  StageTracer::Options o;
+  o.sample_every = 4;
+  o.slots_per_lane = 64;
+  StageTracer tracer(/*lanes=*/2, /*ifaces=*/1, /*max_flows=*/8, o);
+  for (std::uint32_t offer = 0; offer < 20; ++offer) {
+    const std::uint64_t tag = tracer.maybe_begin(0, /*flow=*/3, 1000 + offer);
+    EXPECT_EQ(tag != 0, offer % 4 == 0) << "offer " << offer;
+  }
+  // Counters are per (lane, flow): a different lane or flow starts fresh.
+  EXPECT_NE(tracer.maybe_begin(1, 3, 1), 0u);
+  EXPECT_NE(tracer.maybe_begin(0, 5, 1), 0u);
+  // Out-of-arena flow ids are never sampled.
+  EXPECT_EQ(tracer.maybe_begin(0, /*flow=*/8, 1), 0u);
+  EXPECT_EQ(tracer.started(), 7u);
+}
+
+TEST(StageTracer, CompleteFoldsAllFourDurations) {
+  StageTracer tracer(1, /*ifaces=*/2, 4, trace_all());
+  const std::uint64_t tag = tracer.maybe_begin(0, 0, /*t_offer=*/100);
+  ASSERT_NE(tag, 0u);
+  tracer.stamp_fanin(tag, 130);    // ring   = 30
+  tracer.stamp_dequeue(tag, 170);  // queue  = 40
+  std::uint64_t e2e = 0;
+  ASSERT_TRUE(tracer.complete(tag, 100, /*t_sent=*/250, /*iface=*/1, &e2e));
+  EXPECT_EQ(e2e, 150u);  // egress = 80
+
+  EXPECT_EQ(tracer.stage_grid(1, Stage::kRing).sum_raw(), 30u);
+  EXPECT_EQ(tracer.stage_grid(1, Stage::kQueue).sum_raw(), 40u);
+  EXPECT_EQ(tracer.stage_grid(1, Stage::kEgress).sum_raw(), 80u);
+  EXPECT_EQ(tracer.e2e_grid(1).sum_raw(), 150u);
+  // Attributed to iface 1 only.
+  EXPECT_EQ(tracer.e2e_grid(0).count(), 0u);
+  EXPECT_EQ(tracer.completed(), 1u);
+  EXPECT_EQ(tracer.lost(), 0u);
+}
+
+// The tentpole invariant: ring + queue + egress partition e2e EXACTLY, so
+// the histogram sums reconcile with zero error no matter what the stamps
+// were.  Randomized stamps across lanes, flows, and interfaces.
+TEST(StageTracer, ReconciliationInvariantHoldsOnSumsExactly) {
+  constexpr std::size_t kIfaces = 3;
+  StageTracer tracer(/*lanes=*/2, kIfaces, /*max_flows=*/16, trace_all(256));
+  midrr::Rng rng(20260808);
+  const auto below = [&rng](std::int64_t n) {
+    return static_cast<std::uint64_t>(rng.uniform_int(0, n - 1));
+  };
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t lane = below(2);
+    const std::uint64_t t_offer = 1 + below(1'000'000);
+    const std::uint64_t tag = tracer.maybe_begin(
+        lane, static_cast<midrr::FlowId>(below(16)), t_offer);
+    ASSERT_NE(tag, 0u);
+    const std::uint64_t t_fanin = t_offer + below(10'000);
+    const std::uint64_t t_dequeue = t_fanin + below(100'000);
+    const std::uint64_t t_sent = t_dequeue + below(50'000);
+    tracer.stamp_fanin(tag, t_fanin);
+    tracer.stamp_dequeue(tag, t_dequeue);
+    ASSERT_TRUE(tracer.complete(tag, t_offer, t_sent,
+                                static_cast<IfaceId>(below(kIfaces)),
+                                nullptr));
+  }
+  EXPECT_EQ(tracer.completed(), 500u);
+  std::uint64_t stage_sum = 0, e2e_sum = 0, e2e_count = 0;
+  for (IfaceId j = 0; j < kIfaces; ++j) {
+    for (std::size_t s = 0; s < midrr::telemetry::kStageCount; ++s) {
+      stage_sum += tracer.stage_grid(j, static_cast<Stage>(s)).sum_raw();
+    }
+    e2e_sum += tracer.e2e_grid(j).sum_raw();
+    e2e_count += tracer.e2e_grid(j).count();
+  }
+  EXPECT_EQ(stage_sum, e2e_sum);
+  EXPECT_EQ(e2e_count, 500u);
+  EXPECT_EQ(tracer.reconciliation_error(), 0.0);
+}
+
+TEST(StageTracer, RecycledSlotIsLostNeverCorrupt) {
+  StageTracer tracer(1, 1, 4, trace_all(/*slots=*/2));
+  const std::uint64_t first = tracer.maybe_begin(0, 0, 10);
+  tracer.stamp_fanin(first, 20);
+  tracer.stamp_dequeue(first, 30);
+  // Two more claims wrap the 2-slot lane and recycle `first`'s slot.
+  const std::uint64_t second = tracer.maybe_begin(0, 1, 11);
+  const std::uint64_t third = tracer.maybe_begin(0, 2, 12);
+  ASSERT_NE(third, 0u);
+  // Late stamps on the recycled tag must not touch the new occupant.
+  tracer.stamp_dequeue(first, 99);
+  EXPECT_FALSE(tracer.complete(first, 10, 40, 0, nullptr));
+  EXPECT_EQ(tracer.lost(), 1u);
+  EXPECT_EQ(tracer.e2e_grid(0).count(), 0u) << "nothing may be folded";
+  // The live occupants still complete normally.
+  tracer.stamp_fanin(second, 21);
+  tracer.stamp_dequeue(second, 31);
+  EXPECT_TRUE(tracer.complete(second, 11, 41, 0, nullptr));
+}
+
+TEST(StageTracer, IncoherentStampsAreDiscarded) {
+  StageTracer tracer(1, 1, 4, trace_all());
+  // Wrong offer cross-check (tag aliasing defense).
+  std::uint64_t tag = tracer.maybe_begin(0, 0, 100);
+  tracer.stamp_fanin(tag, 110);
+  tracer.stamp_dequeue(tag, 120);
+  EXPECT_FALSE(tracer.complete(tag, /*t_offer_expected=*/999, 130, 0,
+                               nullptr));
+  // Missing fan-in stamp.
+  tag = tracer.maybe_begin(0, 0, 100);
+  tracer.stamp_dequeue(tag, 120);
+  EXPECT_FALSE(tracer.complete(tag, 100, 130, 0, nullptr));
+  // Non-monotone: sent before dequeue.
+  tag = tracer.maybe_begin(0, 0, 100);
+  tracer.stamp_fanin(tag, 110);
+  tracer.stamp_dequeue(tag, 120);
+  EXPECT_FALSE(tracer.complete(tag, 100, /*t_sent=*/119, 0, nullptr));
+  // Unknown interface.
+  tag = tracer.maybe_begin(0, 0, 100);
+  tracer.stamp_fanin(tag, 110);
+  tracer.stamp_dequeue(tag, 120);
+  EXPECT_FALSE(tracer.complete(tag, 100, 130, /*iface=*/7, nullptr));
+  EXPECT_EQ(tracer.lost(), 4u);
+  EXPECT_EQ(tracer.completed(), 0u);
+}
+
+// The record remembers the GLOBAL flow id it was claimed for.  Completion
+// must hand it back, because by then the packet's own flow field has been
+// rewritten to a shard-local scheduler id -- attributing the sample to a
+// class via the packet would mis-account every multi-shard run.
+TEST(StageTracer, CompleteReturnsTheFlowItWasClaimedFor) {
+  StageTracer tracer(1, 1, /*max_flows=*/8, trace_all());
+  const std::uint64_t tag = tracer.maybe_begin(0, /*flow=*/5, 100);
+  ASSERT_NE(tag, 0u);
+  tracer.stamp_fanin(tag, 110);
+  tracer.stamp_dequeue(tag, 120);
+  std::uint64_t e2e = 0;
+  midrr::FlowId flow = midrr::kInvalidFlow;
+  ASSERT_TRUE(tracer.complete(tag, 100, 130, 0, &e2e, &flow));
+  EXPECT_EQ(flow, 5u);
+  // A failed completion leaves the out-param untouched.
+  flow = midrr::kInvalidFlow;
+  EXPECT_FALSE(tracer.complete(tag, /*t_offer_expected=*/999, 130, 0,
+                               nullptr, &flow));
+  EXPECT_EQ(flow, midrr::kInvalidFlow);
+}
+
+TEST(StageTracer, DroppedSamplesAreCountedSeparately) {
+  StageTracer tracer(1, 1, 4, trace_all());
+  const std::uint64_t tag = tracer.maybe_begin(0, 0, 100);
+  ASSERT_NE(tag, 0u);
+  tracer.drop_sample();  // the packet was shed before egress
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(tracer.lost(), 0u);
+}
+
+TEST(StageTracer, RegistersMetricsAndMirrorsSamples) {
+  StageTracer tracer(1, 1, 4, trace_all());
+  MetricsRegistry registry;
+  tracer.register_metrics(registry, {"wifi"});
+  const std::uint64_t tag = tracer.maybe_begin(0, 0, 100);
+  tracer.stamp_fanin(tag, 110);
+  tracer.stamp_dequeue(tag, 120);
+  ASSERT_TRUE(tracer.complete(tag, 100, 130, 0, nullptr));
+  const std::string page = midrr::telemetry::render_prometheus(registry);
+  EXPECT_NE(page.find("midrr_stage_samples_total{outcome=\"completed\"} 1"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("midrr_stage_latency_ns_count{iface=\"wifi\","
+                      "stage=\"ring\"} 1"),
+            std::string::npos)
+      << page;
+  EXPECT_NE(page.find("midrr_stage_reconciliation_error_ratio 0"),
+            std::string::npos)
+      << page;
+}
+
+}  // namespace

@@ -266,6 +266,38 @@ TEST(ChromeTrace, MarksTruncatedRecorders) {
   EXPECT_NE(builder.json().find("events_lost"), std::string::npos);
 }
 
+// Regression: the truncation marker used to be only a "ph":"M" metadata
+// record, which viewers do not render -- a truncated capture looked merely
+// sparse.  add_recorder must also emit a VISIBLE global instant, placed at
+// the last retained event's timestamp (where the missing history ends).
+TEST(ChromeTrace, OverflowEmitsVisibleInstantAtLastRetainedEvent) {
+  TraceRecorder recorder(2);
+  for (const SimTime at : {10'000, 20'000, 30'000, 40'000, 50'000}) {
+    recorder.on_packet_sent(at, 0, 0, 1);
+  }
+  ChromeTraceBuilder builder;
+  builder.add_recorder(recorder, 1);
+  const std::string json = builder.json();
+  const std::size_t instant = json.find("\"name\":\"trace_overflow\"");
+  ASSERT_NE(instant, std::string::npos) << json;
+  const std::string event = json.substr(instant, 220);
+  EXPECT_NE(event.find("\"ph\":\"i\""), std::string::npos)
+      << "must be a renderable instant, not metadata: " << event;
+  EXPECT_NE(event.find("\"s\":\"g\""), std::string::npos)
+      << "global scope so it is visible on every track: " << event;
+  // 50'000 ns = 50 us, the newest retained event.
+  EXPECT_NE(event.find("\"ts\":50"), std::string::npos) << event;
+  EXPECT_NE(event.find("\"events_lost\":3"), std::string::npos) << event;
+  // The machine-readable metadata record is still present for tooling.
+  EXPECT_NE(json.find("\"name\":\"trace_truncated\""), std::string::npos);
+  // A full capture emits neither marker.
+  TraceRecorder roomy(16);
+  roomy.on_packet_sent(10'000, 0, 0, 1);
+  ChromeTraceBuilder clean;
+  clean.add_recorder(roomy, 1);
+  EXPECT_EQ(clean.json().find("trace_overflow"), std::string::npos);
+}
+
 // --- TelemetryServer ------------------------------------------------------
 
 std::string http_request(std::uint16_t port, const std::string& raw) {
@@ -435,7 +467,7 @@ TEST(FairnessDrift, LiveRuntimeStaysWithinTenPercentOfMaxMin) {
     spec.willing = {0, 1};
     // Distinct queue capacities keep the four flows in four singleton
     // classes -- this test pins the flat (one row per flow) exposition.
-    spec.queue_capacity_bytes = 512 * 1024 + i;
+    spec.queue_capacity_bytes = 512 * 1024 + static_cast<std::uint64_t>(i);
     runtime.control().add_flow(spec);
   }
   runtime.start();

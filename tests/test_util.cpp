@@ -1,9 +1,16 @@
 // Unit tests for the measurement substrate (stats, time, rng, csv).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <sstream>
+#include <vector>
 
 #include "util/csv.hpp"
+#include "util/latency_histogram.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -179,6 +186,85 @@ TEST(Csv, TimeSeriesLongFormat) {
   std::ostringstream out;
   write_time_series_csv(out, {&ts});
   EXPECT_EQ(out.str(), "series,t_seconds,value\nrate,1,2.5\n");
+}
+
+// --- LatencyHistogram -------------------------------------------------------
+
+TEST(LatencyHistogram, ExactRegionAndCountsAndMean) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {0u, 1u, 5u, 15u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_raw(), 21u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 21.0 / 4.0);
+  // Values below 2^(kSubBits+1) land in exact buckets: quantiles are exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 15.0);
+  EXPECT_EQ(h.quantile(0.5), 1.0);
+}
+
+TEST(LatencyHistogram, QuantileErrorBoundedByOneSubBucket) {
+  // The documented contract: log-bucketing bounds the quantile error to
+  // one sub-bucket, i.e. <= 12.5% of the value with 8 sub-buckets per
+  // octave.  Check across several magnitudes with a deterministic sweep.
+  LatencyHistogram h;
+  std::vector<std::uint64_t> values;
+  Rng rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    // Log-uniform-ish spread over [1us, ~1s).
+    const double mag = rng.uniform(3.0, 9.0);
+    values.push_back(static_cast<std::uint64_t>(std::pow(10.0, mag)));
+  }
+  for (const std::uint64_t v : values) h.record(v);
+  std::sort(values.begin(), values.end());
+  for (const double q : {0.25, 0.5, 0.9, 0.99}) {
+    const double estimated = h.quantile(q);
+    const double exact = static_cast<double>(values[static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1))]);
+    EXPECT_NEAR(estimated, exact, exact * 0.125)
+        << "q=" << q << " exact=" << exact;
+  }
+}
+
+TEST(LatencyHistogram, MergeFromAddsCountersAndSums) {
+  LatencyHistogram a, b;
+  a.record(100);
+  a.record(1000);
+  b.record(100);
+  b.record(1'000'000);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum_raw(), 100u + 1000u + 100u + 1'000'000u);
+  EXPECT_EQ(a.bucket_count(LatencyHistogram::index_of(100)), 2u);
+}
+
+TEST(LatencyHistogram, BucketBoundsBracketEveryValue) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 16ull, 17ull, 1023ull, 1024ull, 123'456'789ull}) {
+    const std::size_t i = LatencyHistogram::index_of(v);
+    EXPECT_LE(LatencyHistogram::lower_bound(i), static_cast<double>(v));
+    EXPECT_GE(LatencyHistogram::upper_bound(i), static_cast<double>(v));
+  }
+}
+
+// --- LogRateLimiter ---------------------------------------------------------
+
+TEST(LogRateLimiter, SuppressesWithinIntervalAndCounts) {
+  LogRateLimiter limiter(std::chrono::hours(1));
+  EXPECT_TRUE(limiter.allow()) << "first message always passes";
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(limiter.allow()) << "within the interval";
+  }
+  EXPECT_EQ(limiter.suppressed(), 5u);
+  // take_suppressed drains the count exactly once.
+  EXPECT_EQ(limiter.take_suppressed(), 5u);
+  EXPECT_EQ(limiter.suppressed(), 0u);
+  EXPECT_EQ(limiter.take_suppressed(), 0u);
+}
+
+TEST(LogRateLimiter, ZeroIntervalNeverSuppresses) {
+  LogRateLimiter limiter(std::chrono::nanoseconds(0));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(limiter.allow());
+  EXPECT_EQ(limiter.suppressed(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// midrr_lint: Prometheus exposition linter for CI.
+//
+//   midrr_lint --port 9300            # scrape http://127.0.0.1:PORT/metrics
+//   midrr_lint page.txt               # lint a saved exposition page
+//   some_tool | midrr_lint -          # lint stdin
+//
+// Wraps telemetry::lint_prometheus so the pipeline can gate on a LIVE
+// /metrics page: a renderer regression (broken escaping, histogram whose
+// cumulative buckets regress, duplicated family) fails the build where it
+// would bite real scrapers, not just in a unit test of the writer.
+//
+// Exit codes: 0 clean, 1 lint issues found, 2 usage/fetch error.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/promlint.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: midrr_lint [--port P | FILE | -]\n"
+               "  --port P   GET http://127.0.0.1:P/metrics and lint the body\n"
+               "  FILE       lint a saved exposition page ('-' = stdin)\n";
+  return 2;
+}
+
+/// Minimal blocking HTTP GET against loopback; returns the raw response
+/// (headers + body) or "" on connect/IO failure.
+std::string http_get_metrics(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nHost: lint\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = -1;
+  std::string file;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--port") {
+      if (i + 1 >= argc) return usage();
+      try {
+        port = std::stoi(argv[++i]);
+      } catch (const std::exception&) {
+        return usage();
+      }
+    } else if (!key.empty() && key[0] == '-' && key != "-") {
+      return usage();
+    } else if (file.empty()) {
+      file = key;
+    } else {
+      return usage();
+    }
+  }
+  if ((port >= 0) == !file.empty()) return usage();  // exactly one source
+
+  std::string page;
+  std::string source;
+  if (port >= 0) {
+    source = "127.0.0.1:" + std::to_string(port) + "/metrics";
+    const std::string response =
+        http_get_metrics(static_cast<std::uint16_t>(port));
+    if (response.empty()) {
+      std::cerr << "midrr_lint: cannot scrape " << source << "\n";
+      return 2;
+    }
+    if (response.find("200 OK") == std::string::npos) {
+      std::cerr << "midrr_lint: non-200 from " << source << "\n";
+      return 2;
+    }
+    const std::size_t body = response.find("\r\n\r\n");
+    if (body == std::string::npos) {
+      std::cerr << "midrr_lint: malformed HTTP response from " << source
+                << "\n";
+      return 2;
+    }
+    page = response.substr(body + 4);
+  } else if (file == "-") {
+    source = "<stdin>";
+    std::ostringstream buf;
+    buf << std::cin.rdbuf();
+    page = buf.str();
+  } else {
+    source = file;
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::cerr << "midrr_lint: cannot read " << file << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    page = buf.str();
+  }
+
+  const auto issues = midrr::telemetry::lint_prometheus(page);
+  for (const auto& issue : issues) {
+    std::cerr << source << ":" << issue.line << ": " << issue.message << "\n";
+  }
+  if (!issues.empty()) {
+    std::cerr << "midrr_lint: " << issues.size() << " issue(s) in " << source
+              << "\n";
+    return 1;
+  }
+  std::cout << "midrr_lint: " << source << " clean ("
+            << std::count(page.begin(), page.end(), '\n') << " lines)\n";
+  return 0;
+}

@@ -26,10 +26,14 @@
 #include "io/uring_backend.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/build_info.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/fairness_drift.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/slo.hpp"
+#include "telemetry/stage_latency.hpp"
 
 namespace {
 
@@ -47,6 +51,9 @@ int usage() {
          "  --duration S    seconds to run (default 2)\n"
          "  --rate R        per-interface capacity, e.g. 100mbps"
          " (default: unpaced)\n"
+         "  --load-pps R    aggregate offered rate in packets/s (default 0\n"
+         "                  = saturate; pace it to study latency under a\n"
+         "                  controlled load instead of full overload)\n"
          "  --packet B      packet size in bytes (default 1000)\n"
          "  --payload M     none|heap|pooled: what each packet carries\n"
          "                  (default none; pooled uses per-producer frame\n"
@@ -78,8 +85,18 @@ int usage() {
          "  --udp-batch N   messages per sendmmsg call (default 64)\n"
          "  --udp-payload B frame bytes copied per datagram after the\n"
          "                  24-byte header (default 1400, truncating)\n"
+         "  --stage-sample N  trace every Nth packet per flow through the\n"
+         "                  ring/queue/egress stages (0 = off, the default;\n"
+         "                  exports midrr_stage_* latency breakdowns)\n"
+         "  --slo S         declare an objective \"class=NAME:p99_ms=X\"\n"
+         "                  (repeatable; enables burn-rate gauges and the\n"
+         "                  /slo route; implies --stage-sample 64 if unset)\n"
+         "  --flight-dump F arm the flight recorder: post-mortem JSON to F\n"
+         "                  on /healthz degrade or a conservation-identity\n"
+         "                  trip at stop (fatal signals write F.fatal)\n"
          "  --json          machine-readable report on stdout\n"
-         "  --telemetry P   serve /metrics, /healthz, /flows, /classes on\n                  127.0.0.1:P\n"
+         "  --telemetry P   serve /metrics, /healthz, /flows, /classes,\n"
+         "                  /buildinfo (and /slo with --slo) on 127.0.0.1:P\n"
          "                  (0 = ephemeral; bound port printed to stderr)\n"
          "  --trace-out F   capture scheduler events + worker spans, write\n"
          "                  Chrome trace-event JSON to F after the run\n";
@@ -100,6 +117,7 @@ int main(int argc, char** argv) {
   std::size_t producers = 1;
   double duration_s = 2.0;
   double rate_bps = 0.0;
+  double load_pps = 0.0;  // 0 = saturate
   std::uint32_t packet_bytes = 1000;
   auto payload = LoadGeneratorOptions::PayloadMode::kNone;
   std::size_t fanin_batch = 0;     // 0 = runtime default
@@ -118,6 +136,9 @@ int main(int argc, char** argv) {
   bool json = false;
   int telemetry_port = -1;  // < 0 = no HTTP endpoint
   std::string trace_out;
+  std::uint32_t stage_sample = 0;
+  std::vector<std::string> slo_texts;
+  std::string flight_dump;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -134,6 +155,7 @@ int main(int argc, char** argv) {
       else if (key == "--producers") producers = std::stoul(value());
       else if (key == "--duration") duration_s = std::stod(value());
       else if (key == "--rate") rate_bps = parse_rate_bps(value());
+      else if (key == "--load-pps") load_pps = std::stod(value());
       else if (key == "--packet")
         packet_bytes = static_cast<std::uint32_t>(std::stoul(value()));
       else if (key == "--payload") {
@@ -163,10 +185,17 @@ int main(int argc, char** argv) {
       else if (key == "--json") json = true;
       else if (key == "--telemetry") telemetry_port = std::stoi(value());
       else if (key == "--trace-out") trace_out = value();
+      else if (key == "--stage-sample")
+        stage_sample = static_cast<std::uint32_t>(std::stoul(value()));
+      else if (key == "--slo") slo_texts.push_back(value());
+      else if (key == "--flight-dump") flight_dump = value();
       else return usage();
     }
     if (flows == 0 || flows_per_class == 0 || ifaces == 0 || duration_s <= 0.0)
       return usage();
+    // Burn rates consume the tracer's sampled e2e latencies; an SLO with
+    // no tracer would sit silently at 0 forever.
+    if (!slo_texts.empty() && stage_sample == 0) stage_sample = 64;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage();
@@ -192,6 +221,7 @@ int main(int argc, char** argv) {
   const bool telemetry_on = telemetry_port >= 0 || !trace_out.empty();
   if (telemetry_on) {
     options.metrics = &registry;
+    telemetry::register_build_info(registry);
     if (!trace_out.empty()) {
       options.trace_events = 64 * 1024;  // per shard
       options.trace_spans = 64 * 1024;   // per worker
@@ -216,6 +246,42 @@ int main(int argc, char** argv) {
     }
     options.backpressure_bytes = backpressure_bytes;
     options.shed_bytes = shed_bytes;
+    options.stage_sample_every = stage_sample;
+
+    // SLO engine and flight recorder outlive the runtime (hot-path and
+    // scrape callbacks hold pointers).  Every flight lane the TOOL writes
+    // is registered here, before start() -- the runtime adds its worker
+    // lanes inside start(), and nothing may add one after.
+    std::unique_ptr<telemetry::SloEngine> slo;
+    if (!slo_texts.empty()) {
+      std::vector<telemetry::SloSpec> specs;
+      for (const std::string& text : slo_texts) {
+        telemetry::SloSpec spec;
+        if (!telemetry::parse_slo_spec(text, &spec)) {
+          throw std::runtime_error(
+              "bad --slo (want class=NAME:p99_ms=X): " + text);
+        }
+        specs.push_back(std::move(spec));
+      }
+      slo = std::make_unique<telemetry::SloEngine>(std::move(specs),
+                                                   options.max_flows);
+      options.slo = slo.get();
+    }
+    std::unique_ptr<telemetry::FlightRecorder> flight;
+    telemetry::FlightLog* health_flight = nullptr;   // server thread
+    telemetry::FlightLog* tool_flight = nullptr;     // main thread
+    telemetry::FlightLog* supervisor_flight = nullptr;  // probe thread
+    if (!flight_dump.empty()) {
+      flight = std::make_unique<telemetry::FlightRecorder>();
+      tool_flight = &flight->add_writer("tool");
+      health_flight = &flight->add_writer("health");
+      if (supervise) supervisor_flight = &flight->add_writer("supervisor");
+      options.flight = flight.get();
+      if (!flight->arm_fatal_dump(flight_dump + ".fatal")) {
+        std::cerr << "warning: cannot arm fatal dump at " << flight_dump
+                  << ".fatal\n";
+      }
+    }
 
     // The egress backend outlives the runtime (stop()'s final flush and
     // the report both reach into it).  Null = the built-in sim backend.
@@ -277,6 +343,19 @@ int main(int argc, char** argv) {
       runtime.control().add_members(spec, batch);
     }
 
+    // Bind declared objectives to the ClassIds the registration above
+    // interned.  A spec naming no live class stays unbound (its burn rate
+    // reads 0); churn-created classes are deliberately not bound.
+    if (slo != nullptr) {
+      auto reader = runtime.control().reader();
+      const auto guard = reader.lock();
+      for (const ClassId id : guard->live) {
+        const SnapshotClass& c = guard->classes[id];
+        slo->bind_class(id, c.name.empty() ? "class" + std::to_string(id)
+                                           : c.name);
+      }
+    }
+
     runtime.start();
 
     // The supervisor probes AFTER start() (worker slots exist only then).
@@ -284,6 +363,9 @@ int main(int argc, char** argv) {
     if (supervise) {
       supervisor = std::make_unique<fault::Supervisor>(
           runtime, fault::SupervisorOptions{}, &runtime);
+      if (supervisor_flight != nullptr) {
+        supervisor->set_flight_log(supervisor_flight);
+      }
       if (telemetry_on) supervisor->register_metrics(registry);
       supervisor->start();
     }
@@ -308,7 +390,14 @@ int main(int argc, char** argv) {
         // drive the supervisor's suspect verdicts under real I/O.
         fault::Supervisor* sup = supervisor.get();  // may be null
         Runtime* rt = &runtime;
-        server->handle("/healthz", [sup, rt](const http::HttpRequest&) {
+        telemetry::FlightRecorder* fr = flight.get();  // may be null
+        telemetry::FlightLog* health_log = health_flight;
+        // Degrade-edge latch: the post-mortem is written on the healthy ->
+        // degraded TRANSITION, not on every probe of a flapping state.
+        auto was_degraded = std::make_shared<std::atomic<bool>>(false);
+        const std::string dump_path = flight_dump;
+        server->handle("/healthz", [sup, rt, fr, health_log, was_degraded,
+                                    dump_path](const http::HttpRequest&) {
           telemetry::HandlerResult r;
           std::ostringstream body;
           if (sup != nullptr) {
@@ -320,6 +409,20 @@ int main(int argc, char** argv) {
                 body << rt->iface_name(static_cast<IfaceId>(j)) << ": "
                      << fault::to_string(state) << "\n";
               }
+            }
+          }
+          const bool degraded_now = r.status != 200;
+          if (fr != nullptr &&
+              degraded_now != was_degraded->exchange(degraded_now)) {
+            const std::uint64_t t = static_cast<std::uint64_t>(rt->now_ns());
+            if (health_log != nullptr) {
+              health_log->log(t, telemetry::FlightCategory::kHealth,
+                              degraded_now
+                                  ? telemetry::FlightCode::kHealthDegraded
+                                  : telemetry::FlightCode::kHealthRecovered);
+            }
+            if (degraded_now) {
+              fr->dump_to_file(dump_path, "healthz degraded", t);
             }
           }
           const RuntimeStats s = rt->stats();
@@ -384,6 +487,23 @@ int main(int argc, char** argv) {
         r.body = body.str();
         return r;
       });
+      server->handle("/buildinfo", [](const http::HttpRequest&) {
+        telemetry::HandlerResult r;
+        r.content_type = "application/json";
+        r.body = telemetry::build_info_json();
+        return r;
+      });
+      if (slo != nullptr) {
+        telemetry::SloEngine* slo_ptr = slo.get();
+        Runtime* rt2 = &runtime;
+        server->handle("/slo", [slo_ptr, rt2](const http::HttpRequest&) {
+          telemetry::HandlerResult r;
+          r.content_type = "application/json";
+          r.body =
+              slo_ptr->json(static_cast<std::uint64_t>(rt2->now_ns()));
+          return r;
+        });
+      }
       server->start();
       std::cerr << "telemetry: http://127.0.0.1:" << server->port()
                 << "/metrics\n";
@@ -393,6 +513,7 @@ int main(int argc, char** argv) {
     load.producers = producers;
     load.packet_bytes = packet_bytes;
     load.payload = payload;
+    load.rate_pps = load_pps;
     LoadGenerator generator(runtime, load);
     if (telemetry_on) generator.register_pool_metrics(registry);
 
@@ -455,6 +576,28 @@ int main(int argc, char** argv) {
     if (sampler != nullptr) sampler->stop();
     if (supervisor != nullptr) supervisor->stop();
     runtime.stop();
+    if (flight != nullptr) {
+      // stop() flushed or counted every parked egress tail, so the egress
+      // split must close exactly; a mismatch is an accounting bug worth a
+      // post-mortem.  Either way the run ends with a dump on disk -- the
+      // quiescent timeline is the artifact CI archives.
+      const RuntimeStats s = runtime.stats();
+      const std::uint64_t now =
+          static_cast<std::uint64_t>(runtime.now_ns());
+      if (s.dequeued != s.sent + s.io_drops) {
+        tool_flight->log(now, telemetry::FlightCategory::kHealth,
+                         telemetry::FlightCode::kConservationTrip, s.dequeued,
+                         s.sent + s.io_drops);
+        flight->dump_to_file(flight_dump, "conservation identity tripped",
+                             now);
+        std::cerr << "flight: conservation identity tripped (dequeued="
+                  << s.dequeued << " != sent+io_drops="
+                  << s.sent + s.io_drops << "), dump -> " << flight_dump
+                  << "\n";
+      } else {
+        flight->dump_to_file(flight_dump, "shutdown snapshot", now);
+      }
+    }
     if (!trace_out.empty()) {
       telemetry::ChromeTraceBuilder builder;
       builder.set_process_name(1, "midrr_rt");
@@ -524,6 +667,44 @@ int main(int argc, char** argv) {
           << "\"send_errors\":" << stats.io_send_errors << ","
           << "\"syscalls\":" << stats.io_syscalls
           << "},";
+      if (const telemetry::StageTracer* tracer = runtime.stage_tracer()) {
+        LatencyHistogram merged[telemetry::kStageCount];
+        LatencyHistogram e2e;
+        for (std::size_t j = 0; j < ifaces; ++j) {
+          for (std::size_t st = 0; st < telemetry::kStageCount; ++st) {
+            merged[st].merge_from(tracer->stage_grid(
+                static_cast<IfaceId>(j), static_cast<telemetry::Stage>(st)));
+          }
+          e2e.merge_from(tracer->e2e_grid(static_cast<IfaceId>(j)));
+        }
+        out << "\"stage\":{"
+            << "\"sample_every\":" << tracer->sample_every() << ","
+            << "\"started\":" << tracer->started() << ","
+            << "\"completed\":" << tracer->completed() << ","
+            << "\"lost\":" << tracer->lost() << ","
+            << "\"dropped\":" << tracer->dropped() << ","
+            << "\"reconciliation_error\":" << tracer->reconciliation_error();
+        for (std::size_t st = 0; st < telemetry::kStageCount; ++st) {
+          const char* name =
+              telemetry::to_string(static_cast<telemetry::Stage>(st));
+          out << ",\"" << name << "_p50_ns\":" << merged[st].quantile(0.50)
+              << ",\"" << name << "_p99_ns\":" << merged[st].quantile(0.99);
+        }
+        out << ",\"e2e_p50_ns\":" << e2e.quantile(0.50)
+            << ",\"e2e_p99_ns\":" << e2e.quantile(0.99)
+            << "},";
+      }
+      if (slo != nullptr) {
+        out << "\"slo\":"
+            << slo->json(static_cast<std::uint64_t>(runtime.now_ns()))
+            << ",";
+      }
+      if (flight != nullptr) {
+        out << "\"flight\":{"
+            << "\"events\":" << flight->events_logged() << ","
+            << "\"dumps\":" << flight->dumps() << ","
+            << "\"dump_path\":\"" << flight_dump << "\"},";
+      }
       if (injector != nullptr) {
         out << "\"fault\":{"
             << "\"ingress_drops\":" << injector->ingress_drops() << ","
@@ -622,6 +803,41 @@ int main(int argc, char** argv) {
                 << stats.latency_p999_ns / 1e3 << " us (mean "
                 << stats.latency_mean_ns / 1e3 << " us, n="
                 << stats.latency_count << ")\n";
+      if (const telemetry::StageTracer* tracer = runtime.stage_tracer()) {
+        LatencyHistogram merged[telemetry::kStageCount];
+        for (std::size_t j = 0; j < ifaces; ++j) {
+          for (std::size_t st = 0; st < telemetry::kStageCount; ++st) {
+            merged[st].merge_from(tracer->stage_grid(
+                static_cast<IfaceId>(j), static_cast<telemetry::Stage>(st)));
+          }
+        }
+        std::cout << "  stages    1/" << tracer->sample_every() << " sampled: "
+                  << tracer->completed() << " completed, " << tracer->lost()
+                  << " lost, " << tracer->dropped() << " dropped | p99 ring "
+                  << static_cast<double>(merged[0].quantile(0.99)) / 1e3
+                  << " us, queue "
+                  << static_cast<double>(merged[1].quantile(0.99)) / 1e3
+                  << " us, egress "
+                  << static_cast<double>(merged[2].quantile(0.99)) / 1e3
+                  << " us\n";
+      }
+      if (slo != nullptr) {
+        const std::uint64_t now =
+            static_cast<std::uint64_t>(runtime.now_ns());
+        for (std::size_t i = 0; i < slo->specs().size(); ++i) {
+          std::cout << "  slo       " << slo->specs()[i].class_name
+                    << " p99<"
+                    << static_cast<double>(slo->specs()[i].p99_target_ns) / 1e6
+                    << "ms: " << slo->violations(i) << "/" << slo->samples(i)
+                    << " violations, burn short " << slo->short_burn(i, now)
+                    << " / long " << slo->long_burn(i, now) << "\n";
+        }
+      }
+      if (flight != nullptr) {
+        std::cout << "  flight    " << flight->events_logged()
+                  << " events, " << flight->dumps() << " dump(s) -> "
+                  << flight_dump << "\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -26,17 +26,23 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "io/wire.hpp"
+#include "telemetry/build_info.hpp"
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/time.hpp"
 
 namespace {
 
@@ -46,13 +52,15 @@ struct FlowTally {
   std::uint64_t wire_bytes = 0;      // datagram bytes actually received
 };
 
+// Counters are relaxed atomics: the receive loop is the only writer, but
+// --telemetry scrapes them live from the server thread.
 struct PortTally {
-  std::uint64_t datagrams = 0;
-  std::uint64_t wire_bytes = 0;
-  std::uint64_t parse_errors = 0;
-  std::uint64_t gaps = 0;      // datagrams skipped (seq jumped forward)
-  std::uint64_t reorders = 0;  // seq stepped backward
-  std::map<std::uint32_t, std::uint64_t> next_seq;  // flow -> expected seq
+  std::atomic<std::uint64_t> datagrams{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<std::uint64_t> parse_errors{0};
+  std::atomic<std::uint64_t> gaps{0};      // datagrams skipped (seq jumped)
+  std::atomic<std::uint64_t> reorders{0};  // seq stepped backward
+  std::map<std::uint32_t, std::uint64_t> next_seq;  // loop-owned, unscraped
 };
 
 int usage() {
@@ -64,7 +72,9 @@ int usage() {
                "  --idle-ms M    exit after M ms of silence once traffic has\n"
                "                 been seen (0 = wait out --duration;\n"
                "                 default 1000)\n"
-               "  --json         machine-readable report on stdout\n";
+               "  --json         machine-readable report on stdout\n"
+               "  --telemetry P  serve Prometheus /metrics on 127.0.0.1:P\n"
+               "                 while listening (0 = ephemeral port)\n";
   return 2;
 }
 
@@ -78,6 +88,7 @@ int main(int argc, char** argv) {
   double duration_s = 30.0;
   long idle_ms = 1000;
   bool json = false;
+  int telemetry_port = -1;  // <0 = telemetry off
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -92,6 +103,7 @@ int main(int argc, char** argv) {
       else if (key == "--duration") duration_s = std::stod(value());
       else if (key == "--idle-ms") idle_ms = std::stol(value());
       else if (key == "--json") json = true;
+      else if (key == "--telemetry") telemetry_port = std::stoi(value());
       else return usage();
     }
     if (ports == 0 || base_port == 0 || duration_s <= 0.0) return usage();
@@ -127,6 +139,69 @@ int main(int argc, char** argv) {
   std::vector<PortTally> by_port(ports);
   std::map<std::uint32_t, FlowTally> by_flow;
   std::uint64_t total_datagrams = 0;
+  std::atomic<std::uint64_t> traced_datagrams{0};
+
+  // Registry lives whether or not --telemetry is given: the wire-latency
+  // histogram doubles as the report's data source (Histogram wraps the
+  // same LatencyHistogram grid, and observe() is one relaxed fetch_add).
+  // Declared after by_port so scrape callbacks never outlive the tallies.
+  midrr::telemetry::MetricsRegistry registry;
+  midrr::telemetry::Histogram& wire_hist = registry.histogram(
+      "midrr_rx_wire_latency_ns",
+      "One-way wire latency: receive time minus the sender's WireHeader tx "
+      "timestamp (traced datagrams only)");
+  registry.counter_fn(
+      "midrr_rx_traced_datagrams_total",
+      "Datagrams carrying a tx timestamp (latency-attribution samples)", {},
+      [&traced_datagrams] {
+        return static_cast<double>(
+            traced_datagrams.load(std::memory_order_relaxed));
+      });
+  for (std::size_t j = 0; j < ports; ++j) {
+    const std::string port_label = std::to_string(base_port + j);
+    const auto count_of = [](const std::atomic<std::uint64_t>& c) {
+      return [&c] {
+        return static_cast<double>(c.load(std::memory_order_relaxed));
+      };
+    };
+    using midrr::telemetry::LabelSet;
+    registry.counter_fn("midrr_rx_datagrams_total", "Datagrams received",
+                        LabelSet{{"port", port_label}},
+                        count_of(by_port[j].datagrams));
+    registry.counter_fn("midrr_rx_wire_bytes_total",
+                        "Datagram bytes received off the wire",
+                        LabelSet{{"port", port_label}},
+                        count_of(by_port[j].wire_bytes));
+    registry.counter_fn("midrr_rx_parse_errors_total",
+                        "Datagrams that failed WireHeader::decode",
+                        LabelSet{{"port", port_label}},
+                        count_of(by_port[j].parse_errors));
+    registry.counter_fn("midrr_rx_gaps_total",
+                        "Sequence numbers skipped (real datagram loss)",
+                        LabelSet{{"port", port_label}},
+                        count_of(by_port[j].gaps));
+    registry.counter_fn("midrr_rx_reorders_total",
+                        "Sequence numbers that stepped backward",
+                        LabelSet{{"port", port_label}},
+                        count_of(by_port[j].reorders));
+  }
+
+  std::unique_ptr<midrr::telemetry::TelemetryServer> server;
+  if (telemetry_port >= 0) {
+    midrr::telemetry::register_build_info(registry);
+    midrr::telemetry::TelemetryServer::Options sopts;
+    sopts.port = static_cast<std::uint16_t>(telemetry_port);
+    server = std::make_unique<midrr::telemetry::TelemetryServer>(sopts);
+    server->serve_registry(registry);
+    try {
+      server->start();
+    } catch (const std::exception& e) {
+      std::cerr << "error: telemetry: " << e.what() << "\n";
+      return 1;
+    }
+    std::cerr << "midrr_rx: telemetry on http://127.0.0.1:" << server->port()
+              << "/metrics\n";
+  }
 
   std::vector<pollfd> pfds(ports);
   for (std::size_t j = 0; j < ports; ++j) {
@@ -177,14 +252,27 @@ int main(int argc, char** argv) {
         }
         last_rx = std::chrono::steady_clock::now();
         ++total_datagrams;
-        ++port.datagrams;
-        port.wire_bytes += static_cast<std::uint64_t>(n);
+        port.datagrams.fetch_add(1, std::memory_order_relaxed);
+        port.wire_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
         const auto header = WireHeader::decode(
             std::span<const midrr::net::Byte>(buf.data(),
                                               static_cast<std::size_t>(n)));
         if (!header.has_value()) {
-          ++port.parse_errors;
+          port.parse_errors.fetch_add(1, std::memory_order_relaxed);
           continue;
+        }
+        if (header->has_tx_timestamp()) {
+          // The sender stamps CLOCK_MONOTONIC at egress for traced packets;
+          // both processes share the clock on loopback, so the delta is the
+          // true one-way wire+stack latency.  Clamp at zero rather than
+          // wrap when the clocks disagree (e.g. a cross-host capture).
+          const std::uint64_t now_ns = midrr::mono_now_ns();
+          const std::uint64_t lat = now_ns > header->tx_timestamp_ns
+                                        ? now_ns - header->tx_timestamp_ns
+                                        : 0;
+          traced_datagrams.fetch_add(1, std::memory_order_relaxed);
+          wire_hist.observe(lat);
         }
         FlowTally& flow = by_flow[header->flow];
         ++flow.datagrams;
@@ -193,9 +281,10 @@ int main(int argc, char** argv) {
         auto [it, fresh] = port.next_seq.try_emplace(header->flow, 0);
         if (!fresh || header->seq != 0) {
           if (header->seq > it->second) {
-            port.gaps += header->seq - it->second;
+            port.gaps.fetch_add(header->seq - it->second,
+                                std::memory_order_relaxed);
           } else if (header->seq < it->second) {
-            ++port.reorders;
+            port.reorders.fetch_add(1, std::memory_order_relaxed);
           }
         }
         it->second = std::max(it->second, header->seq) + 1;
@@ -204,6 +293,7 @@ int main(int argc, char** argv) {
   }
 
   for (const int fd : fds) ::close(fd);
+  if (server) server->stop();
 
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -212,11 +302,14 @@ int main(int argc, char** argv) {
                 reorders = 0;
   for (const auto& [flow, tally] : by_flow) credited += tally.credited_bytes;
   for (const PortTally& port : by_port) {
-    wire += port.wire_bytes;
-    parse_errors += port.parse_errors;
-    gaps += port.gaps;
-    reorders += port.reorders;
+    wire += port.wire_bytes.load(std::memory_order_relaxed);
+    parse_errors += port.parse_errors.load(std::memory_order_relaxed);
+    gaps += port.gaps.load(std::memory_order_relaxed);
+    reorders += port.reorders.load(std::memory_order_relaxed);
   }
+  const std::uint64_t traced = traced_datagrams.load(std::memory_order_relaxed);
+  const double wire_p50_ns = traced > 0 ? wire_hist.quantile(0.50) : 0.0;
+  const double wire_p99_ns = traced > 0 ? wire_hist.quantile(0.99) : 0.0;
 
   if (json) {
     std::ostringstream out;
@@ -230,6 +323,9 @@ int main(int argc, char** argv) {
         << "\"parse_errors\":" << parse_errors << ","
         << "\"gaps\":" << gaps << ","
         << "\"reorders\":" << reorders << ","
+        << "\"traced_datagrams\":" << traced << ","
+        << "\"wire_p50_ns\":" << wire_p50_ns << ","
+        << "\"wire_p99_ns\":" << wire_p99_ns << ","
         << "\"flows\":[";
     bool first = true;
     for (const auto& [flow, tally] : by_flow) {
@@ -242,11 +338,16 @@ int main(int argc, char** argv) {
     out << "],\"by_port\":[";
     for (std::size_t j = 0; j < ports; ++j) {
       if (j != 0) out << ',';
+      const PortTally& port = by_port[j];
       out << "{\"port\":" << base_port + j << ",\"datagrams\":"
-          << by_port[j].datagrams << ",\"wire_bytes\":" << by_port[j].wire_bytes
-          << ",\"parse_errors\":" << by_port[j].parse_errors
-          << ",\"gaps\":" << by_port[j].gaps << ",\"reorders\":"
-          << by_port[j].reorders << "}";
+          << port.datagrams.load(std::memory_order_relaxed)
+          << ",\"wire_bytes\":"
+          << port.wire_bytes.load(std::memory_order_relaxed)
+          << ",\"parse_errors\":"
+          << port.parse_errors.load(std::memory_order_relaxed)
+          << ",\"gaps\":" << port.gaps.load(std::memory_order_relaxed)
+          << ",\"reorders\":"
+          << port.reorders.load(std::memory_order_relaxed) << "}";
     }
     out << "]}";
     std::cout << out.str() << "\n";
@@ -258,6 +359,11 @@ int main(int argc, char** argv) {
               << by_flow.size() << " flows\n"
               << "  anomalies " << parse_errors << " parse errors, " << gaps
               << " gaps, " << reorders << " reorders\n";
+    if (traced > 0) {
+      std::cout << "  wire      " << traced << " traced datagrams, latency p50 "
+                << wire_p50_ns / 1e3 << " us / p99 " << wire_p99_ns / 1e3
+                << " us\n";
+    }
   }
   return 0;
 }
