@@ -30,6 +30,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -39,6 +40,8 @@
 #include <vector>
 
 #include "io/udp_backend.hpp"
+#include "io/uring_backend.hpp"
+#include "io/wire.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/metrics.hpp"
@@ -329,7 +332,7 @@ SloCell run_slo_cell(std::uint64_t target_ns, double overload,
 // never sees.
 struct EgressCell {
   const char* backend = "sim";
-  std::size_t max_batch = 0;  // 0 = not applicable (sim)
+  std::size_t max_batch = 0;  // 0 = not applicable (sim/uring)
   double pps = 0;
   double p50_ns = 0;
   double p99_ns = 0;
@@ -337,10 +340,19 @@ struct EgressCell {
   std::uint64_t syscalls = 0;
   std::uint64_t requeued = 0;
   std::uint64_t io_drops = 0;
+  std::uint64_t peak_inflight = 0;  // uring: max sampled in-flight depth
+  std::uint64_t fixed_sends = 0;    // uring: zero-copy registered-buffer sends
+  std::uint64_t fallback_sends = 0; // uring: copying sendmsg sends
   double duration_s = 0;
 };
 
-EgressCell run_egress_cell(bool udp, std::size_t max_batch,
+// kUring meters the SEND_ZC registered-buffer path; kUringCopy forces the
+// sendmsg-over-uring fallback (zerocopy=false).  On loopback the kernel
+// copies either way, so the copy cell isolates what SEND_ZC's second CQE
+// (buffer-release notification) costs when zero-copy cannot pay off.
+enum class EgressKind { kSim, kUdp, kUring, kUringCopy };
+
+EgressCell run_egress_cell(EgressKind kind, std::size_t max_batch,
                            double duration_s) {
   using namespace midrr;
   using namespace midrr::rt;
@@ -352,12 +364,34 @@ EgressCell run_egress_cell(bool udp, std::size_t max_batch,
   options.shards = 2;
   options.producers = 1;
   options.max_flows = kFlows;
-  std::unique_ptr<io::UdpBackend> backend;
-  if (udp) {
+  // Deep dequeue bursts (4000 packets at 1000 B) so the PER-CALL caps --
+  // sendmmsg's max_batch vs one io_uring submit for the whole burst --
+  // are what bound syscall amortization, not the dequeue window itself.
+  // Identical across every cell of the sweep; only the backend varies.
+  options.burst_bytes = 4 * 1024 * 1024;
+  std::unique_ptr<io::EgressBackend> backend;
+  io::UringBackend* uring = nullptr;
+  if (kind == EgressKind::kUdp) {
     io::UdpBackendOptions uopts;
     uopts.base_port = 19800;  // unbound on purpose; see the note above
     uopts.max_batch = max_batch;
     backend = std::make_unique<io::UdpBackend>(uopts);
+    options.egress = backend.get();
+  } else if (kind == EgressKind::kUring || kind == EgressKind::kUringCopy) {
+    io::UringBackendOptions uopts;
+    uopts.base_port = 19800;
+    uopts.sq_entries = 4096;     // one submit swallows a whole deep burst
+    uopts.inflight_limit = 8192;
+    uopts.zerocopy = kind == EgressKind::kUring;
+    // Doorbell coalescing: let SQEs from several bursts share one
+    // io_uring_enter.  This is the knob the cell sweeps against sendmmsg's
+    // max_batch -- both bound how many packets one syscall can carry.  32
+    // quiet polls of headroom means the half-SQ threshold (2048 SQEs),
+    // not the idle trigger, is what usually rings the doorbell.
+    uopts.submit_coalesce_polls = 32;
+    auto owned = std::make_unique<io::UringBackend>(uopts);
+    uring = owned.get();
+    backend = std::move(owned);
     options.egress = backend.get();
   }
   Runtime runtime(options);
@@ -375,10 +409,37 @@ EgressCell run_egress_cell(bool udp, std::size_t max_batch,
   load.producers = 1;
   load.packet_bytes = 1000;
   load.payload = PayloadMode::kPooled;  // real bytes on the wire
+  if (uring != nullptr) {
+    // Slab-resident payloads with wire headroom: the cell meters the
+    // registered-buffer zero-copy path, not the copying fallback.
+    load.frame_headroom = io::kWireScratchBytes;
+    load.pool.precarve = true;
+    load.pool.max_slabs = 32;  // 16k slots >> inflight_limit
+  }
   LoadGenerator generator(runtime, load);
+  if (kind == EgressKind::kUring) {  // copy cell: fallback path on purpose
+    for (std::size_t p = 0; p < load.producers; ++p) {
+      if (const net::FramePool* pool = generator.frame_pool(p)) {
+        uring->register_frame_pool(*pool);
+      }
+    }
+  }
   const auto t0 = std::chrono::steady_clock::now();
   generator.start();
-  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s));
+  // Sample in-flight depth while the load runs (uring only; the gauge is
+  // scrape-rate safe) instead of sleeping blind.
+  std::uint64_t peak_inflight = 0;
+  const auto deadline = t0 + std::chrono::duration<double>(duration_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (uring != nullptr) {
+      std::uint64_t inflight = 0;
+      for (std::size_t j = 0; j < kIfaces; ++j) {
+        inflight += uring->inflight_packets(static_cast<IfaceId>(j));
+      }
+      peak_inflight = std::max(peak_inflight, inflight);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
   generator.stop();
   runtime.stop();
   const double elapsed =
@@ -387,12 +448,22 @@ EgressCell run_egress_cell(bool udp, std::size_t max_batch,
 
   const RuntimeStats stats = runtime.stats();
   EgressCell cell;
-  cell.backend = udp ? "udp" : "sim";
-  cell.max_batch = udp ? max_batch : 0;
+  cell.backend = kind == EgressKind::kSim         ? "sim"
+                 : kind == EgressKind::kUdp       ? "udp"
+                 : kind == EgressKind::kUring     ? "uring"
+                                                  : "uring-copy";
+  cell.max_batch = kind == EgressKind::kUdp ? max_batch : 0;
   cell.sent = stats.sent;
   cell.syscalls = stats.io_syscalls;
   cell.requeued = stats.io_requeued;
   cell.io_drops = stats.io_drops;
+  cell.peak_inflight = peak_inflight;
+  if (uring != nullptr) {
+    for (std::size_t j = 0; j < kIfaces; ++j) {
+      cell.fixed_sends += uring->fixed_sends(static_cast<IfaceId>(j));
+      cell.fallback_sends += uring->fallback_sends(static_cast<IfaceId>(j));
+    }
+  }
   cell.duration_s = elapsed;
   cell.pps = static_cast<double>(stats.sent) / elapsed;
   cell.p50_ns = stats.latency_p50_ns;
@@ -638,14 +709,15 @@ int main(int argc, char** argv) {
   // with the udp cells sweeping the sendmmsg batch cap.
   std::vector<EgressCell> egress_cells;
   if (!scale_only) {
-    egress_cells.push_back(run_egress_cell(false, 0, duration_s));
+    egress_cells.push_back(run_egress_cell(EgressKind::kSim, 0, duration_s));
     std::cerr << "rt_throughput: egress sim... "
               << egress_cells.back().pps / 1e6 << " Mpps\n";
     for (const std::size_t batch :
          {std::size_t{1}, std::size_t{32}, std::size_t{256}}) {
       std::cerr << "rt_throughput: egress udp, batch " << batch << "..."
                 << std::flush;
-      const EgressCell cell = run_egress_cell(true, batch, duration_s);
+      const EgressCell cell =
+          run_egress_cell(EgressKind::kUdp, batch, duration_s);
       std::cerr << " " << cell.pps / 1e6 << " Mpps, "
                 << (cell.syscalls > 0
                         ? static_cast<double>(cell.sent) /
@@ -653,6 +725,35 @@ int main(int argc, char** argv) {
                         : 0)
                 << " pkts/syscall\n";
       egress_cells.push_back(cell);
+    }
+    // io_uring cell: same topology and burst depth, one submit per burst.
+    // Skipped VISIBLY when the build or kernel lacks io_uring -- a silent
+    // skip would read as "not faster" instead of "not measured".
+    if (!midrr::io::uring_supported()) {
+      std::cerr << "rt_throughput: egress uring SKIPPED (built without "
+                   "-DMIDRR_WITH_URING=ON)\n";
+    } else if (int probe_errno = 0;
+               !midrr::io::uring_runtime_available(&probe_errno)) {
+      std::cerr << "rt_throughput: egress uring SKIPPED (kernel denies "
+                   "io_uring_setup: "
+                << std::strerror(probe_errno) << ")\n";
+    } else {
+      for (const EgressKind kind :
+           {EgressKind::kUring, EgressKind::kUringCopy}) {
+        const char* label =
+            kind == EgressKind::kUring ? "uring" : "uring-copy";
+        std::cerr << "rt_throughput: egress " << label << "..." << std::flush;
+        const EgressCell cell = run_egress_cell(kind, 0, duration_s);
+        std::cerr << " " << cell.pps / 1e6 << " Mpps, "
+                  << (cell.syscalls > 0
+                          ? static_cast<double>(cell.sent) /
+                                static_cast<double>(cell.syscalls)
+                          : 0)
+                  << " pkts/syscall, peak inflight " << cell.peak_inflight
+                  << ", " << cell.fixed_sends << " zero-copy / "
+                  << cell.fallback_sends << " fallback sends\n";
+        egress_cells.push_back(cell);
+      }
     }
   }
 
@@ -785,8 +886,14 @@ int main(int argc, char** argv) {
   // Sim vs loopback-UDP egress.  The note travels with the data because
   // these cells are easy to misread as a NIC throughput claim.
   json << "  ],\n  \"egress_sweep_note\": \"loopback is not NIC-bound: udp "
-          "cells meter sendmmsg/serialization overhead and syscall "
-          "amortization across max_batch, not wire throughput\",\n"
+          "and uring cells meter serialization overhead and syscall "
+          "amortization (sendmmsg max_batch vs coalesced io_uring "
+          "submits), not wire throughput; SEND_ZC on loopback always "
+          "copies kernel-side (zero-copy cannot pay off here, and the "
+          "per-packet notification CQE plus completion-driven double "
+          "handling cost a single-core host some pps vs sendmmsg), so "
+          "uring-copy (sendmsg fallback, one CQE per packet) isolates "
+          "the notification cost\",\n"
           "  \"egress_sweep\": [\n";
   for (std::size_t i = 0; i < egress_cells.size(); ++i) {
     const EgressCell& c = egress_cells[i];
@@ -799,8 +906,13 @@ int main(int argc, char** argv) {
                                   static_cast<double>(c.syscalls)
                             : 0)
          << ", \"io_requeued\": " << c.requeued
-         << ", \"io_drops\": " << c.io_drops
-         << ", \"latency_p50_ns\": " << c.p50_ns
+         << ", \"io_drops\": " << c.io_drops;
+    if (std::string(c.backend).rfind("uring", 0) == 0) {
+      json << ", \"peak_inflight\": " << c.peak_inflight
+           << ", \"fixed_sends\": " << c.fixed_sends
+           << ", \"fallback_sends\": " << c.fallback_sends;
+    }
+    json << ", \"latency_p50_ns\": " << c.p50_ns
          << ", \"latency_p99_ns\": " << c.p99_ns
          << ", \"duration_s\": " << c.duration_s << "}"
          << (i + 1 < egress_cells.size() ? "," : "") << "\n";

@@ -1,0 +1,79 @@
+#include "io/dest.hpp"
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace midrr::io {
+
+sockaddr_in resolve_dest(const DestConfig& config, const std::string& name,
+                         std::size_t j, const UdpDestination** conf_out) {
+  const UdpDestination* conf = nullptr;
+  const auto it = config.dest_by_name.find(name);
+  if (it != config.dest_by_name.end()) conf = &it->second;
+  if (conf_out != nullptr) *conf_out = conf;
+
+  const std::string host = conf != nullptr && !conf->host.empty()
+                               ? conf->host
+                               : config.default_host;
+  std::uint16_t port = conf != nullptr ? conf->port : 0;
+  if (port == 0) {
+    if (config.base_port == 0) {
+      throw std::runtime_error("egress: no destination for interface '" +
+                               name + "' (configure dest_by_name or "
+                               "base_port)");
+    }
+    port = static_cast<std::uint16_t>(config.base_port + j);
+  }
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &dest.sin_addr) != 1) {
+    throw std::runtime_error("egress: bad IPv4 address '" + host +
+                             "' for interface '" + name + "'");
+  }
+  return dest;
+}
+
+int open_egress_socket(SocketApi& api, const UdpDestination* conf,
+                       const std::string& name) {
+  const int fd = api.open_udp();
+  if (fd < 0) {
+    throw std::runtime_error("egress: socket() failed for '" + name +
+                             "': " + std::strerror(errno));
+  }
+  if (conf != nullptr && !conf->device.empty()) {
+    if (api.bind_to_device(fd, conf->device) != 0) {
+      MIDRR_LOG_WARN() << "egress: SO_BINDTODEVICE('" << conf->device
+                       << "') failed for interface '" << name
+                       << "': " << std::strerror(errno)
+                       << " (continuing unbound)";
+    }
+  }
+  if (conf != nullptr && !conf->source_host.empty()) {
+    sockaddr_in src{};
+    src.sin_family = AF_INET;
+    src.sin_port = 0;  // any source port
+    if (::inet_pton(AF_INET, conf->source_host.c_str(), &src.sin_addr) != 1) {
+      api.close_fd(fd);
+      throw std::runtime_error("egress: bad source address '" +
+                               conf->source_host + "' for interface '" +
+                               name + "'");
+    }
+    if (api.bind_source(fd, reinterpret_cast<const sockaddr*>(&src),
+                        sizeof(src)) != 0) {
+      const int err = errno;
+      api.close_fd(fd);
+      throw std::runtime_error("egress: bind('" + conf->source_host +
+                               "') failed for interface '" + name +
+                               "': " + std::strerror(err));
+    }
+  }
+  return fd;
+}
+
+}  // namespace midrr::io

@@ -1,0 +1,55 @@
+// Shared destination resolution + socket setup for the real egress
+// backends (UdpBackend, UringBackend).
+//
+// Both backends speak the same configuration surface: an explicit
+// per-interface destination table, or a default_host:base_port+j fallback
+// keyed on the interface's global index.  Factoring the resolution (and
+// the open/bind/SO_BINDTODEVICE dance) here keeps the two attach() paths
+// byte-for-byte consistent -- `--egress udp` and `--egress uring` with the
+// same flags must land datagrams on the same ports.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "io/socket_api.hpp"
+
+namespace midrr::io {
+
+/// Where one interface's datagrams go, and how its socket is bound.
+struct UdpDestination {
+  std::string host;          ///< IPv4 dotted quad
+  std::uint16_t port = 0;
+  std::string source_host;   ///< optional bind() source address
+  std::string device;        ///< optional SO_BINDTODEVICE device name
+};
+
+/// Per-interface destination configuration shared by the backends.
+struct DestConfig {
+  /// Explicit per-interface destinations, keyed by interface name.
+  std::unordered_map<std::string, UdpDestination> dest_by_name;
+  /// Fallback for interfaces absent from dest_by_name: global interface
+  /// index j goes to default_host:base_port+j.  base_port == 0 means "no
+  /// fallback" and an unmapped interface is a configuration error.
+  std::string default_host = "127.0.0.1";
+  std::uint16_t base_port = 0;
+};
+
+/// Resolves the destination sockaddr for interface `name` at global index
+/// `j`.  Throws std::runtime_error on a missing mapping or a bad address.
+/// `conf_out` (optional) receives the explicit table entry, or nullptr
+/// when the fallback was used.
+sockaddr_in resolve_dest(const DestConfig& config, const std::string& name,
+                         std::size_t j, const UdpDestination** conf_out);
+
+/// Opens a non-blocking UDP socket for `name` and applies the optional
+/// source-bind / device-bind from `conf` (which may be null).  Throws on
+/// socket()/bind() failure; SO_BINDTODEVICE failure is a warning only
+/// (needs CAP_NET_RAW; unprivileged loopback runs must still work).
+int open_egress_socket(SocketApi& api, const UdpDestination* conf,
+                       const std::string& name);
+
+}  // namespace midrr::io

@@ -17,6 +17,10 @@
 //   kDropped  -- terminal backend-side loss (oversized datagram, hard
 //                errno).  Counted, never silent: it appears in
 //                RuntimeStats::io_drops and midrr_io_drops_total.
+//   kInflight -- (completion-driven backends only) the packet entered the
+//                kernel's submission queue; its fate arrives later via
+//                poll_completions.  See the completion-driven section of
+//                EgressBackend below.
 //
 // Threading contract: send_burst(iface, ...) is called only by the worker
 // thread that owns `iface` (same contract as TokenBucketPacer).  Distinct
@@ -47,11 +51,27 @@
 
 namespace midrr::io {
 
-/// Per-packet outcome of one send_burst call.
+/// Per-packet outcome of one send_burst call.  kInflight only appears for
+/// completion-driven backends (io_uring): the packet was accepted into the
+/// kernel's submission queue and its terminal fate (sent / requeued /
+/// dropped) arrives later through poll_completions.  The backend holds its
+/// own copy of the packet (keeping the frame -- and its pool slot -- alive
+/// until the completion resolves), so the runtime simply stops tracking it
+/// until the completion hands it back.
 enum class SendDisposition : std::uint8_t {
   kSent = 0,
   kRequeued = 1,
   kDropped = 2,
+  kInflight = 3,
+};
+
+/// A resolved in-flight packet handed back by poll_completions.  `verdict`
+/// is terminal-or-parked: kSent (account delivery), kDropped (counted
+/// loss), or kRequeued (park in the runtime stash for a fresh send_burst);
+/// never kInflight.
+struct EgressCompletion {
+  Packet packet;
+  SendDisposition verdict = SendDisposition::kSent;
 };
 
 /// Aggregate outcome of one send_burst call.  When `clean` is true the
@@ -68,6 +88,8 @@ struct EgressResult {
   std::uint64_t requeued_bytes = 0;
   std::size_t dropped = 0;
   std::uint64_t dropped_bytes = 0;
+  std::size_t inflight = 0;
+  std::uint64_t inflight_bytes = 0;
 };
 
 class EgressBackend {
@@ -83,6 +105,58 @@ class EgressBackend {
   /// backend sizes its per-interface state (sockets, scratch buffers)
   /// here and may throw to abort startup (e.g. socket/bind failure).
   virtual void attach(const std::vector<std::string>& iface_names) = 0;
+
+  /// Called by the runtime immediately BEFORE attach():
+  /// `worker_of_iface[j]` is the worker thread that will drive interface
+  /// j.  A completion-driven backend uses this to share one submission
+  /// ring among all interfaces of a worker (the ring is then only ever
+  /// touched by that thread).  Default: topology-blind backends ignore it.
+  virtual void attach_topology(
+      const std::vector<std::uint32_t>& worker_of_iface) {
+    (void)worker_of_iface;
+  }
+
+  // --- Completion-driven extension (io_uring) ----------------------------
+  // A backend returning true here may answer kInflight from send_burst and
+  // MUST eventually resolve every in-flight packet through
+  // poll_completions (or reclaim_inflight at shutdown).  The runtime then
+  // polls completions at the top of each drain pass and extends the
+  // conservation identity with the in-flight term:
+  //   dequeued == sent + io_drops + io_pending + io_inflight
+  // (io_inflight drains to zero at quiescence -- stop() loops flush /
+  // poll until the backend reports none, then reclaims stragglers as
+  // counted drops).
+
+  /// True when send_burst may defer packet fates to completions.
+  virtual bool completion_driven() const { return false; }
+
+  /// Appends every resolved completion for `iface` to `out` and returns
+  /// how many were appended.  Same threading contract as send_burst (the
+  /// owning worker; single-threaded during stop()).  Must not block.
+  virtual std::size_t poll_completions(IfaceId iface,
+                                       std::vector<EgressCompletion>& out) {
+    (void)iface;
+    (void)out;
+    return 0;
+  }
+
+  /// Packets accepted by send_burst whose completion has not yet been
+  /// handed back through poll_completions.  Thread-safe (scrape-rate).
+  virtual std::uint64_t inflight_packets(IfaceId iface) const {
+    (void)iface;
+    return 0;
+  }
+
+  /// stop()-time last resort: force-resolves every still-unresolved
+  /// in-flight packet on `iface` (appended to `out`, normally with
+  /// verdict kDropped) so the conservation identity closes even when the
+  /// kernel never delivered a completion.  Single-threaded, after flush.
+  virtual std::size_t reclaim_inflight(IfaceId iface,
+                                       std::vector<EgressCompletion>& out) {
+    (void)iface;
+    (void)out;
+    return 0;
+  }
 
   /// Transmit (or account) one paced burst for `iface`.  See the file
   /// comment for the disposition contract.  `now` is the runtime clock at

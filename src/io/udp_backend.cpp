@@ -34,70 +34,19 @@ UdpBackend::~UdpBackend() {
   }
 }
 
-const UdpDestination* UdpBackend::configured_dest(
-    const std::string& name) const {
-  const auto it = options_.dest_by_name.find(name);
-  return it == options_.dest_by_name.end() ? nullptr : &it->second;
-}
-
 void UdpBackend::attach(const std::vector<std::string>& iface_names) {
   if (!states_.empty()) {
     throw std::runtime_error("UdpBackend: attached twice");
   }
+  DestConfig dest_config{options_.dest_by_name, options_.default_host,
+                         options_.base_port};
   states_.reserve(iface_names.size());
   for (std::size_t j = 0; j < iface_names.size(); ++j) {
     auto st = std::make_unique<IfaceState>();
     st->name = iface_names[j];
-    const UdpDestination* conf = configured_dest(st->name);
-    const std::string host =
-        conf != nullptr && !conf->host.empty() ? conf->host
-                                               : options_.default_host;
-    std::uint16_t port = conf != nullptr ? conf->port : 0;
-    if (port == 0) {
-      if (options_.base_port == 0) {
-        throw std::runtime_error(
-            "UdpBackend: no destination for interface '" + st->name +
-            "' (configure dest_by_name or base_port)");
-      }
-      port = static_cast<std::uint16_t>(options_.base_port + j);
-    }
-    st->dest.sin_family = AF_INET;
-    st->dest.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &st->dest.sin_addr) != 1) {
-      throw std::runtime_error("UdpBackend: bad IPv4 address '" + host +
-                               "' for interface '" + st->name + "'");
-    }
-    st->fd = api().open_udp();
-    if (st->fd < 0) {
-      throw std::runtime_error("UdpBackend: socket() failed for '" + st->name +
-                               "': " + std::strerror(errno));
-    }
-    if (conf != nullptr && !conf->device.empty()) {
-      if (api().bind_to_device(st->fd, conf->device) != 0) {
-        // SO_BINDTODEVICE needs CAP_NET_RAW; unprivileged loopback runs
-        // must still work, so this is a warning, not a startup failure.
-        MIDRR_LOG_WARN() << "UdpBackend: SO_BINDTODEVICE('" << conf->device
-                         << "') failed for interface '" << st->name
-                         << "': " << std::strerror(errno)
-                         << " (continuing unbound)";
-      }
-    }
-    if (conf != nullptr && !conf->source_host.empty()) {
-      sockaddr_in src{};
-      src.sin_family = AF_INET;
-      src.sin_port = 0;  // any source port
-      if (::inet_pton(AF_INET, conf->source_host.c_str(), &src.sin_addr) != 1) {
-        throw std::runtime_error("UdpBackend: bad source address '" +
-                                 conf->source_host + "' for interface '" +
-                                 st->name + "'");
-      }
-      if (api().bind_source(st->fd, reinterpret_cast<const sockaddr*>(&src),
-                            sizeof(src)) != 0) {
-        throw std::runtime_error("UdpBackend: bind('" + conf->source_host +
-                                 "') failed for interface '" + st->name +
-                                 "': " + std::strerror(errno));
-      }
-    }
+    const UdpDestination* conf = nullptr;
+    st->dest = resolve_dest(dest_config, st->name, j, &conf);
+    st->fd = open_egress_socket(api(), conf, st->name);
     states_.push_back(std::move(st));
   }
 }

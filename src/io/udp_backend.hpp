@@ -42,19 +42,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "io/dest.hpp"
 #include "io/egress.hpp"
 #include "io/socket_api.hpp"
 #include "io/wire.hpp"
 
 namespace midrr::io {
-
-/// Where one interface's datagrams go, and how its socket is bound.
-struct UdpDestination {
-  std::string host;          ///< IPv4 dotted quad
-  std::uint16_t port = 0;
-  std::string source_host;   ///< optional bind() source address
-  std::string device;        ///< optional SO_BINDTODEVICE device name
-};
 
 struct UdpBackendOptions {
   /// Explicit per-interface destinations, keyed by interface name.
@@ -132,7 +125,6 @@ class UdpBackend final : public EgressBackend {
   };
 
   SocketApi& api() { return options_.api != nullptr ? *options_.api : real_; }
-  const UdpDestination* configured_dest(const std::string& name) const;
 
   UdpBackendOptions options_;
   RealSocketApi real_;

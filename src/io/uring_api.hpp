@@ -1,0 +1,149 @@
+// The io_uring syscall seam under UringBackend -- the mirror of SocketApi.
+//
+// UringBackend's submission/completion logic (slot lifecycle, CQE
+// classification, internal transient retry, zero-copy notification
+// tracking, SQ-full pushback) is where the bugs live, so it is tested
+// against a mocked UringApi that can script CQE results, SQ exhaustion,
+// short writes and overflow deterministically -- on hosts where real
+// io_uring is denied (seccomp, EPERM) or not even compiled in.
+//
+// RealUringApi is a self-contained mini-liburing over the raw
+// io_uring_setup/enter/register syscalls and mmap'd rings (no liburing
+// dependency; the kernel UAPI header is all it needs).  It is only
+// functional when built with -DMIDRR_WITH_URING=ON; otherwise every entry
+// point reports -ENOSYS and uring_runtime_available() is false.
+//
+// Threading: ring_create/ring_destroy/register_buffer run single-threaded
+// at backend attach/teardown.  push/submit/reap/overflow_count for a given
+// ring are called only by the worker thread that owns that ring (the
+// UringBackend maps every interface of a worker onto one ring).
+// syscalls() is a scrape-rate read from any thread.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <cstddef>
+#include <cstdint>
+
+struct msghdr;
+
+namespace midrr::io {
+
+/// One submission the backend asks to be queued.
+struct UringOp {
+  enum class Kind : std::uint8_t {
+    kSendmsg,      ///< IORING_OP_SENDMSG: msg (header iovec + payload iovec)
+    kSendmsgZc,    ///< IORING_OP_SENDMSG_ZC: same shape, zero-copy + notif
+    kSendZcFixed,  ///< IORING_OP_SEND_ZC over a registered buffer:
+                   ///< contiguous [buf, buf+len) at table slot buf_index
+  };
+  Kind kind = Kind::kSendmsg;
+  int fd = -1;
+  std::uint64_t user_data = 0;
+  /// kSendmsg / kSendmsgZc: scatter-gather message (must stay valid until
+  /// the completion arrives -- the backend's slot owns it).
+  const msghdr* msg = nullptr;
+  /// kSendZcFixed: contiguous wire bytes inside a registered buffer.
+  const void* buf = nullptr;
+  std::size_t len = 0;
+  std::uint16_t buf_index = 0;
+  const sockaddr* addr = nullptr;
+  socklen_t addr_len = 0;
+};
+
+/// One reaped completion.  `more` mirrors IORING_CQE_F_MORE (a zero-copy
+/// send whose buffer-release notification is still coming); `notif`
+/// mirrors IORING_CQE_F_NOTIF (that notification: the kernel is done with
+/// the buffer).  `zc_copied` is set on a notif whose data was copied
+/// after all (loopback always copies -- an honesty signal, not an error).
+struct UringCqe {
+  std::uint64_t user_data = 0;
+  std::int32_t res = 0;
+  bool more = false;
+  bool notif = false;
+  bool zc_copied = false;
+};
+
+class UringApi {
+ public:
+  virtual ~UringApi() = default;
+
+  /// Creates a ring with at least `sq_entries` submission slots and a
+  /// sparse registered-buffer table of `buf_table` entries.  Returns a
+  /// non-negative ring handle, or -errno (-EPERM/-ENOSYS when the kernel
+  /// forbids io_uring, -ENOSYS when not compiled in).
+  virtual int ring_create(unsigned sq_entries, unsigned buf_table) = 0;
+  virtual void ring_destroy(int ring) = 0;
+
+  /// Fills table slot `index` with [base, base+len).  0 or -errno
+  /// (-EOPNOTSUPP when the kernel lacks sparse tables, -ENOMEM/-EFAULT on
+  /// memlock pressure); the backend treats failure as "use the non-fixed
+  /// path for this region", never fatal.
+  virtual int register_buffer(int ring, unsigned index, void* base,
+                              std::size_t len) = 0;
+
+  /// True when the kernel supports IORING_OP_SEND_ZC / SENDMSG_ZC.
+  virtual bool supports_zerocopy(int ring) = 0;
+
+  /// Queues one op; false when the submission queue is full (the caller
+  /// submits and retries, or pushes the tail back to the runtime).
+  virtual bool push(int ring, const UringOp& op) = 0;
+
+  /// Submits everything pushed since the last submit.  Returns the number
+  /// submitted or -errno.
+  virtual int submit(int ring) = 0;
+
+  /// Reaps up to `max` completions into `out`; when none are ready and
+  /// `wait_ns` > 0, blocks up to that long for at least one.  Returns the
+  /// count (0 when none).
+  virtual int reap(int ring, UringCqe* out, unsigned max,
+                   std::uint64_t wait_ns) = 0;
+
+  /// Cumulative CQ overflow events observed on `ring` (completions the
+  /// kernel had to park in its overflow list; reaped normally afterwards,
+  /// but a sizing signal worth a counter).
+  virtual std::uint64_t overflow_count(int ring) = 0;
+
+  /// Cumulative io_uring_enter calls (the transmit-path syscalls).
+  /// Thread-safe.
+  virtual std::uint64_t syscalls() const = 0;
+};
+
+/// Raw-syscall implementation (mini-liburing).  All entry points report
+/// -ENOSYS unless built with MIDRR_WITH_URING.
+class RealUringApi final : public UringApi {
+ public:
+  RealUringApi();
+  ~RealUringApi() override;
+
+  RealUringApi(const RealUringApi&) = delete;
+  RealUringApi& operator=(const RealUringApi&) = delete;
+
+  int ring_create(unsigned sq_entries, unsigned buf_table) override;
+  void ring_destroy(int ring) override;
+  int register_buffer(int ring, unsigned index, void* base,
+                      std::size_t len) override;
+  bool supports_zerocopy(int ring) override;
+  bool push(int ring, const UringOp& op) override;
+  int submit(int ring) override;
+  int reap(int ring, UringCqe* out, unsigned max,
+           std::uint64_t wait_ns) override;
+  std::uint64_t overflow_count(int ring) override;
+  std::uint64_t syscalls() const override;
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+/// True when this build carries the real io_uring path
+/// (-DMIDRR_WITH_URING=ON).
+bool uring_supported();
+
+/// Probes whether THIS process may create a ring right now (built with
+/// uring AND io_uring_setup succeeds -- seccomp/EPERM/ENOSYS make this
+/// false on locked-down hosts).  `errno_out` (optional) receives the
+/// probe's errno on failure, 0 on success.
+bool uring_runtime_available(int* errno_out = nullptr);
+
+}  // namespace midrr::io

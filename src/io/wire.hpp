@@ -73,4 +73,11 @@ struct WireHeader {
   static std::optional<WireHeader> decode(std::span<const net::Byte> data);
 };
 
+/// Frame headroom that fits any WireHeader variant (header + optional
+/// tx-timestamp trailer).  The io_uring fast path asks FramePool for this
+/// much headroom so the serialized header lands contiguously in front of
+/// the pooled payload -- one registered-buffer range, zero copies.
+inline constexpr std::size_t kWireScratchBytes =
+    WireHeader::kSize + WireHeader::kTimestampSize;
+
 }  // namespace midrr::io

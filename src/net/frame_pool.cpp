@@ -77,8 +77,11 @@ struct SlotAllocator {
 
 }  // namespace
 
-FramePool::FramePool(PacketPoolOptions options)
-    : pool_(std::make_shared<PacketPool>(options)) {
+FramePool::FramePool(PacketPoolOptions options, std::size_t headroom_bytes)
+    : pool_(std::make_shared<PacketPool>(options)),
+      headroom_(headroom_bytes) {
+  MIDRR_REQUIRE(headroom_ < pool_->buffer_bytes(),
+                "FramePool: headroom must leave payload capacity");
   auto probe = make_filled(1, 0);
   MIDRR_REQUIRE(probe != nullptr && probe->pooled_storage(),
                 "FramePool: header region cannot host this standard "
@@ -93,12 +96,13 @@ std::shared_ptr<const Frame> FramePool::wrap(std::uint32_t slot,
   new (keepalive_of(*pool_, slot)) PoolRef(pool_);
   return std::allocate_shared<Frame>(
       SlotAllocator<Frame>(pool_.get(), slot),
-      Frame::ExternalStorage{pool_->buffer_of(slot), n});
+      Frame::ExternalStorage{pool_->buffer_of(slot) + headroom_, n,
+                             headroom_});
 }
 
 std::shared_ptr<const Frame> FramePool::make_frame(
     std::span<const Byte> bytes) {
-  if (bytes.size() > pool_->buffer_bytes()) {
+  if (bytes.size() > payload_capacity()) {
     pool_->count_miss();
     return std::make_shared<const Frame>(
         ByteBuffer(bytes.begin(), bytes.end()));
@@ -109,14 +113,15 @@ std::shared_ptr<const Frame> FramePool::make_frame(
         ByteBuffer(bytes.begin(), bytes.end()));
   }
   if (!bytes.empty()) {
-    std::memcpy(pool_->buffer_of(slot), bytes.data(), bytes.size());
+    std::memcpy(pool_->buffer_of(slot) + headroom_, bytes.data(),
+                bytes.size());
   }
   return wrap(slot, bytes.size());
 }
 
 std::shared_ptr<const Frame> FramePool::make_filled(std::size_t n,
                                                     Byte fill) {
-  if (n > pool_->buffer_bytes()) {
+  if (n > payload_capacity()) {
     pool_->count_miss();
     return std::make_shared<const Frame>(ByteBuffer(n, fill));
   }
@@ -125,7 +130,7 @@ std::shared_ptr<const Frame> FramePool::make_filled(std::size_t n,
     return std::make_shared<const Frame>(ByteBuffer(n, fill));
   }
   if (n > 0) {
-    std::memset(pool_->buffer_of(slot), fill, n);
+    std::memset(pool_->buffer_of(slot) + headroom_, fill, n);
   }
   return wrap(slot, n);
 }

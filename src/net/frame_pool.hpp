@@ -33,7 +33,15 @@ class FramePool {
   /// Carves the first slab eagerly (a construction-time probe validates
   /// that the configured header region fits this standard library's
   /// shared_ptr control block; the probe slot is recycled immediately).
-  explicit FramePool(PacketPoolOptions options = {});
+  ///
+  /// `headroom_bytes` reserves that many scratch bytes at the FRONT of
+  /// every pooled payload (payload capacity shrinks accordingly), exposed
+  /// via Frame::headroom_data().  The io_uring egress path writes its wire
+  /// header there so [header|payload] is one contiguous registered-buffer
+  /// range; heap-fallback frames have no headroom and take the copying
+  /// path instead.
+  explicit FramePool(PacketPoolOptions options = {},
+                     std::size_t headroom_bytes = 0);
 
   /// Pooled copy of `bytes`; heap fallback (counted) on miss.
   std::shared_ptr<const Frame> make_frame(std::span<const Byte> bytes);
@@ -46,10 +54,19 @@ class FramePool {
   PacketPool& pool() { return *pool_; }
   const PacketPool& pool() const { return *pool_; }
 
+  /// Headroom reserved in front of every pooled payload.
+  std::size_t headroom_bytes() const { return headroom_; }
+  /// Pooled payload capacity (buffer_bytes minus headroom); larger
+  /// requests fall back to the heap.
+  std::size_t payload_capacity() const {
+    return pool_->buffer_bytes() - headroom_;
+  }
+
  private:
   std::shared_ptr<const Frame> wrap(std::uint32_t slot, std::size_t n);
 
   std::shared_ptr<PacketPool> pool_;  // co-owned by every pooled frame
+  std::size_t headroom_ = 0;
 };
 
 }  // namespace midrr::net

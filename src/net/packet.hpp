@@ -42,15 +42,23 @@ struct FrameView {
 class Frame {
  public:
   /// Tag for pooled/external storage (bytes the frame does not own).
+  /// `headroom` scratch bytes live immediately BEFORE `data` in the same
+  /// slot, so a wire header written there is contiguous with the payload
+  /// (the io_uring fast path sends [header|payload] as one fixed-buffer
+  /// range with zero copies).  Headroom is not part of the frame's
+  /// identity: parse/checksum/size ignore it and copies drop it.
   struct ExternalStorage {
     Byte* data = nullptr;
     std::size_t size = 0;
+    std::size_t headroom = 0;
   };
 
   Frame() = default;
   explicit Frame(ByteBuffer bytes) : bytes_(std::move(bytes)) {}
   explicit Frame(ExternalStorage storage)
-      : ext_data_(storage.data), ext_size_(storage.size) {}
+      : ext_data_(storage.data),
+        ext_size_(storage.size),
+        ext_headroom_(storage.headroom) {}
 
   Frame(const Frame& other)
       : bytes_(other.cview().begin(), other.cview().end()) {}
@@ -59,17 +67,20 @@ class Frame {
       bytes_.assign(other.cview().begin(), other.cview().end());
       ext_data_ = nullptr;
       ext_size_ = 0;
+      ext_headroom_ = 0;
     }
     return *this;
   }
   Frame(Frame&& other) noexcept
       : bytes_(std::move(other.bytes_)),
         ext_data_(std::exchange(other.ext_data_, nullptr)),
-        ext_size_(std::exchange(other.ext_size_, 0)) {}
+        ext_size_(std::exchange(other.ext_size_, 0)),
+        ext_headroom_(std::exchange(other.ext_headroom_, 0)) {}
   Frame& operator=(Frame&& other) noexcept {
     bytes_ = std::move(other.bytes_);
     ext_data_ = std::exchange(other.ext_data_, nullptr);
     ext_size_ = std::exchange(other.ext_size_, 0);
+    ext_headroom_ = std::exchange(other.ext_headroom_, 0);
     return *this;
   }
 
@@ -79,6 +90,17 @@ class Frame {
 
   /// True when the frame references pool-slot storage it does not own.
   bool pooled_storage() const { return ext_data_ != nullptr; }
+
+  /// Scratch bytes immediately preceding the payload (0 for heap frames).
+  /// Writable through a const Frame on purpose: headroom is egress
+  /// scratch, not frame content -- the writer must be the frame's sole
+  /// owner at the time (the uring backend checks use_count() == 1 before
+  /// taking this path, so a fault-injected duplicate sharing the frame
+  /// can never race the header bytes of an in-flight send).
+  std::size_t headroom_bytes() const { return ext_data_ ? ext_headroom_ : 0; }
+  Byte* headroom_data() const {
+    return ext_data_ != nullptr ? ext_data_ - ext_headroom_ : nullptr;
+  }
 
   /// Parses the frame's headers.  Throws BufferOverrun on truncated or
   /// malformed frames; returns nullopt for non-IPv4 ether types.
@@ -116,6 +138,7 @@ class Frame {
   ByteBuffer bytes_;
   Byte* ext_data_ = nullptr;
   std::size_t ext_size_ = 0;
+  std::size_t ext_headroom_ = 0;
 };
 
 /// Builder for well-formed test/application frames.

@@ -21,9 +21,10 @@ LoadGenerator::LoadGenerator(Runtime& rt, LoadGeneratorOptions options)
     // working set: thousands of slots cycle through the backlog, so a
     // 2048-byte default buffer for 1000-byte packets nearly doubles the
     // bytes the memset path drags through the cache.
-    options_.pool.buffer_bytes = options_.packet_bytes;
+    options_.pool.buffer_bytes = options_.packet_bytes + options_.frame_headroom;
     for (std::size_t p = 0; p < options_.producers; ++p) {
-      pools_.push_back(std::make_unique<net::FramePool>(options_.pool));
+      pools_.push_back(std::make_unique<net::FramePool>(
+          options_.pool, options_.frame_headroom));
       // The producer thread rebinds itself as owner at start(); until then
       // (and after stop()) the pool is detached so stray releases from
       // worker threads take the cross-thread path.

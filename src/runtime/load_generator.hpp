@@ -47,6 +47,11 @@ struct LoadGeneratorOptions {
   PayloadMode payload = PayloadMode::kNone;
   /// Pool geometry for kPooled (one pool per producer thread).
   PacketPoolOptions pool{};
+  /// Scratch bytes reserved in front of every pooled payload (see
+  /// net::FramePool).  The io_uring egress path asks for
+  /// io::kWireScratchBytes so it can prepend the wire header in place and
+  /// send [header|payload] as one registered-buffer range.
+  std::size_t frame_headroom = 0;
 };
 
 class LoadGenerator {

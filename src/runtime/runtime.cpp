@@ -414,11 +414,19 @@ void Runtime::start() {
   // that cannot set up (socket/bind failure) aborts startup here.
   egress_ = options_.egress != nullptr ? options_.egress : &sim_backend_;
   {
+    // Topology first: a completion-driven backend shares one submission
+    // ring among all interfaces of a worker, so it needs the iface ->
+    // worker map before it sizes per-interface state in attach().
+    std::vector<std::uint32_t> worker_of_iface;
+    worker_of_iface.reserve(ifaces_.size());
+    for (const auto& rec : ifaces_) worker_of_iface.push_back(rec->worker);
+    egress_->attach_topology(worker_of_iface);
     std::vector<std::string> iface_names;
     iface_names.reserve(ifaces_.size());
     for (const auto& rec : ifaces_) iface_names.push_back(rec->name);
     egress_->attach(iface_names);
   }
+  egress_completion_driven_ = egress_->completion_driven();
 
   if (options_.metrics != nullptr) register_metrics();
   if (options_.fault != nullptr) {
@@ -470,13 +478,32 @@ void Runtime::flush_egress() {
   constexpr int kFinalFlushRounds = 3;
   for (IfaceId j = 0; j < ifaces_.size(); ++j) {
     IfaceRec& rec = *ifaces_[j];
-    if (rec.pending.empty()) continue;
     Worker& owner = *workers_[rec.worker];
-    for (int round = 0; round < kFinalFlushRounds && !rec.pending.empty();
-         ++round) {
-      if (!send_pending(j, owner)) break;  // no progress; retrying is moot
+    if (egress_completion_driven_) {
+      // Drain to quiescence: each round flushes the ring (submitting any
+      // internally-retried packets and waiting briefly for CQEs), harvests
+      // the verdicts, and retries the stash.  Done when both the stash and
+      // the in-flight population are empty.
+      for (int round = 0; round < kFinalFlushRounds; ++round) {
+        egress_->flush(j);
+        reap_egress(j, owner);
+        if (!rec.pending.empty() && !send_pending(j, owner)) break;
+        if (rec.pending.empty() && egress_->inflight_packets(j) == 0) break;
+      }
+      // Whatever the kernel never answered is force-resolved (normally as
+      // counted drops) so io_inflight provably reaches zero.
+      owner.completions.clear();
+      egress_->reclaim_inflight(j, owner.completions);
+      absorb_completions(j, owner);
+    } else if (rec.pending.empty()) {
+      continue;
+    } else {
+      for (int round = 0; round < kFinalFlushRounds && !rec.pending.empty();
+           ++round) {
+        if (!send_pending(j, owner)) break;  // no progress; retrying is moot
+      }
+      egress_->flush(j);
     }
-    egress_->flush(j);
     if (!rec.pending.empty()) {
       owner.io_drops.fetch_add(rec.pending.size(),
                                std::memory_order_relaxed);
@@ -811,6 +838,51 @@ void Runtime::account_sent(IfaceRec& rec, Worker& me, const Packet& packet,
   me.sent_bytes.fetch_add(packet.size_bytes, std::memory_order_relaxed);
 }
 
+void Runtime::absorb_completions(IfaceId iface, Worker& me) {
+  IfaceRec& rec = *ifaces_[iface];
+  // One clock read for the whole batch: a completion's latency sample runs
+  // enqueue -> kernel-confirmed send, so the egress stage of a traced
+  // packet absorbs submit-to-CQE time (the attribution PR 8 promised).
+  const SimTime done_at = now_ns();
+  std::uint64_t parked_bytes = 0;
+  bool parked = false;
+  for (io::EgressCompletion& done : me.completions) {
+    switch (done.verdict) {
+      case io::SendDisposition::kSent:
+        account_sent(rec, me, done.packet, done_at);
+        if (tracer_ != nullptr && done.packet.trace != 0) {
+          complete_trace(done.packet, iface, done_at);
+        }
+        break;
+      case io::SendDisposition::kRequeued:
+        parked_bytes += done.packet.size_bytes;
+        rec.pending.push_back(std::move(done.packet));
+        parked = true;
+        me.io_requeued.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case io::SendDisposition::kDropped:
+      case io::SendDisposition::kInflight:  // contract: never handed back
+        me.io_drops.fetch_add(1, std::memory_order_relaxed);
+        drop_trace(done.packet);
+        break;
+    }
+  }
+  if (parked) {
+    rec.pending_packets.store(rec.pending.size(), std::memory_order_relaxed);
+    rec.pending_bytes.store(
+        rec.pending_bytes.load(std::memory_order_relaxed) + parked_bytes,
+        std::memory_order_relaxed);
+  }
+  me.completions.clear();
+}
+
+bool Runtime::reap_egress(IfaceId iface, Worker& me) {
+  me.completions.clear();
+  if (egress_->poll_completions(iface, me.completions) == 0) return false;
+  absorb_completions(iface, me);
+  return true;
+}
+
 bool Runtime::send_pending(IfaceId iface, Worker& me) {
   IfaceRec& rec = *ifaces_[iface];
   const SimTime now = now_ns();
@@ -847,6 +919,10 @@ bool Runtime::send_pending(IfaceId iface, Worker& me) {
         me.io_drops.fetch_add(1, std::memory_order_relaxed);
         drop_trace(packet);
         break;
+      case io::SendDisposition::kInflight:
+        // Accepted into the backend's submission queue: it left the stash
+        // and will come back through reap_egress with a real verdict.
+        break;
     }
   }
   rec.pending.resize(keep);
@@ -861,14 +937,19 @@ bool Runtime::send_pending(IfaceId iface, Worker& me) {
 bool Runtime::drain_iface(IfaceId iface, Worker& me,
                           std::vector<Packet>& burst) {
   IfaceRec& rec = *ifaces_[iface];
+  // Completion-driven backends resolve packets asynchronously: harvest
+  // their verdicts before anything else so delivery accounting (and the
+  // stash, when a completion parks a retry) is current for this pass.
+  bool reaped = false;
+  if (egress_completion_driven_) reaped = reap_egress(iface, me);
   // A parked tail goes first: those packets were dequeued and
   // pacer-charged already, only the socket gates them.  No new dequeue
   // until the stash clears -- per-flow order is preserved and the stash
   // can never exceed one burst.
-  if (!rec.pending.empty()) return send_pending(iface, me);
+  if (!rec.pending.empty()) return send_pending(iface, me) || reaped;
   const SimTime t0 = now_ns();
   std::uint64_t budget = rec.pacer.budget_bytes(t0);
-  if (budget == 0) return false;
+  if (budget == 0) return reaped;
   budget = std::min(budget, options_.burst_bytes);
   Shard& shard = *shards_[rec.shard];
   burst.clear();
@@ -885,7 +966,7 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
       packet.flow = shard.global_of_flow[packet.flow];
     }
   }
-  if (count == 0) return false;
+  if (count == 0) return reaped;
   const SimTime drained_at = now_ns();
   if (tracer_ != nullptr) {
     // The dequeue stamp closes the queue stage at the same instant the
@@ -966,14 +1047,23 @@ bool Runtime::drain_iface(IfaceId iface, Worker& me,
           ++io_dropped;
           drop_trace(packet);
           break;
+        case io::SendDisposition::kInflight:
+          // The backend holds its own reference; the verdict arrives via
+          // reap_egress at the top of a later drain pass.  Nothing is
+          // accounted here -- the packet is in the io_inflight term.
+          break;
       }
     }
     rec.pending_packets.store(rec.pending.size(), std::memory_order_relaxed);
-    rec.pending_bytes.store(pending_bytes, std::memory_order_relaxed);
+    rec.pending_bytes.store(
+        rec.pending_bytes.load(std::memory_order_relaxed) + pending_bytes,
+        std::memory_order_relaxed);
     if (outcome.requeued > 0) {
       me.io_requeued.fetch_add(outcome.requeued, std::memory_order_relaxed);
     }
-    if (me.flight != nullptr) {
+    if (me.flight != nullptr && (outcome.requeued > 0 || io_dropped > 0)) {
+      // Under a completion-driven backend every burst takes this branch
+      // (fates deferred), so only real pushback/loss earns a flight entry.
       me.flight->log(static_cast<std::uint64_t>(sent_at),
                      telemetry::FlightCategory::kIo,
                      telemetry::FlightCode::kIoPushback, outcome.requeued,
@@ -1093,7 +1183,10 @@ RuntimeStats Runtime::stats() const {
   for (IfaceId j = 0; j < ifaces_.size(); ++j) {
     out.io_pending +=
         ifaces_[j]->pending_packets.load(std::memory_order_relaxed);
-    if (egress_ != nullptr) out.io_send_errors += egress_->send_errors(j);
+    if (egress_ != nullptr) {
+      out.io_send_errors += egress_->send_errors(j);
+      out.io_inflight += egress_->inflight_packets(j);
+    }
   }
   if (egress_ != nullptr) out.io_syscalls = egress_->syscalls();
   out.backpressure_rejects =
@@ -1317,6 +1410,17 @@ void Runtime::register_metrics() {
                  "(already dequeued and pacer-charged; bounded by one "
                  "burst).",
                  labels, count_of(rec->pending_packets));
+    if (egress_completion_driven_) {
+      const IfaceId rec_id = rec->id;
+      reg.gauge_fn(
+          "midrr_rt_io_inflight_packets",
+          "Packets inside the completion-driven egress backend (accepted "
+          "into the kernel, verdict pending; the io_inflight term of the "
+          "conservation identity -- zero at quiescence).",
+          labels, [this, rec_id] {
+            return static_cast<double>(egress_->inflight_packets(rec_id));
+          });
+    }
     if (rec->pacer.profile() != nullptr) {
       reg.gauge_fn("midrr_rt_iface_capacity_bps",
                    "Instantaneous configured link capacity (bits/s) from "

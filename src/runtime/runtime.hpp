@@ -156,9 +156,11 @@ struct RuntimeOptions {
 ///   offered == dequeued + fanin_drops + tail_drops + shed_drops
 ///              + straggler_drops
 /// and, now that drain is no longer terminal, the egress split
-///   dequeued == sent + io_drops + io_pending
-/// where io_pending is the parked-for-retry stash (0 once stop() has run
-/// its final flush; under SimBackend, sent == dequeued always).
+///   dequeued == sent + io_drops + io_pending + io_inflight
+/// where io_pending is the parked-for-retry stash and io_inflight is the
+/// completion-driven backend's accepted-but-unresolved population (both 0
+/// once stop() has run its final flush; under SimBackend, sent == dequeued
+/// always).
 struct RuntimeStats {
   std::uint64_t offered = 0;        ///< packets accepted into ingress rings
   std::uint64_t ring_rejects = 0;   ///< offers refused (ring full / no route)
@@ -181,6 +183,10 @@ struct RuntimeStats {
   std::uint64_t io_drops = 0;       ///< terminal backend drops (oversize,
                                     ///< hard errno, unflushable at stop)
   std::uint64_t io_pending = 0;     ///< packets parked awaiting retry (gauge)
+  /// Packets inside a completion-driven backend (accepted into the kernel
+  /// submission queue, completion not yet handed back); 0 for sim/udp and
+  /// at quiescence (gauge).
+  std::uint64_t io_inflight = 0;
   std::uint64_t io_send_errors = 0; ///< hard transmit syscall failures
   std::uint64_t io_syscalls = 0;    ///< transmit syscalls issued (0 for sim)
   std::uint64_t bursts = 0;         ///< dequeue_burst calls that moved packets
@@ -529,6 +535,9 @@ class Runtime final : public telemetry::FairnessSource,
     /// Per-packet verdict scratch for EgressBackend::send_burst (owned by
     /// the worker thread; reused across bursts, never shrunk).
     std::vector<io::SendDisposition> dispositions;
+    /// Resolved-completion scratch for EgressBackend::poll_completions /
+    /// reclaim_inflight (owned by the worker thread; reused, never shrunk).
+    std::vector<io::EgressCompletion> completions;
     std::vector<telemetry::TraceSpan> spans;
     std::size_t span_cap = 0;
     std::atomic<std::uint64_t> spans_dropped{0};
@@ -561,8 +570,16 @@ class Runtime final : public telemetry::FairnessSource,
   void account_sent(IfaceRec& rec, Worker& me, const Packet& packet,
                     SimTime sent_at);
   /// One retry attempt for `iface`'s parked tail; returns true when any
-  /// packet left the stash (sent or terminally dropped).
+  /// packet left the stash (sent, terminally dropped, or accepted in
+  /// flight by a completion-driven backend).
   bool send_pending(IfaceId iface, Worker& me);
+  /// Harvests resolved completions from a completion-driven backend and
+  /// accounts each (sent / dropped / parked in the stash).  Returns true
+  /// when any completion was processed.  Owning worker only.
+  bool reap_egress(IfaceId iface, Worker& me);
+  /// Accounting for the completions staged in `me.completions` (the tail
+  /// of reap_egress, shared with flush_egress's reclaim pass).
+  void absorb_completions(IfaceId iface, Worker& me);
   /// Stage-trace completion for one delivered packet: fold the stage
   /// durations into `iface`'s histograms and feed the SLO engine.  No-op
   /// for untraced packets; call only when tracer_ is non-null.
@@ -596,6 +613,9 @@ class Runtime final : public telemetry::FairnessSource,
   /// supplied a backend.  Bound at start().
   io::SimBackend sim_backend_;
   io::EgressBackend* egress_ = nullptr;
+  /// Cached egress_->completion_driven() (bound at start(): the drain loop
+  /// polls completions at the top of every pass only when true).
+  bool egress_completion_driven_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<IfaceRec>> ifaces_;
   std::vector<std::unique_ptr<Worker>> workers_;

@@ -35,6 +35,10 @@ PacketPool::PacketPool(PacketPoolOptions options)
   slabs_.reserve(options_.max_slabs);
   free_.reserve(options_.slab_slots);
   owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  if (options_.precarve) {
+    free_.reserve(options_.max_slabs * options_.slab_slots);
+    while (slabs_.size() < options_.max_slabs) carve_slab();
+  }
 }
 
 PacketPool::~PacketPool() {
@@ -128,6 +132,14 @@ void PacketPool::release_slot(std::uint32_t slot) {
     overflow_.push_back(slot);
     overflow_returns_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+std::vector<SlabRegion> PacketPool::slab_regions() const {
+  std::vector<SlabRegion> regions;
+  regions.reserve(slabs_.size());
+  const std::size_t bytes = stride_ * options_.slab_slots;
+  for (const Slab& slab : slabs_) regions.push_back({slab.base, bytes});
+  return regions;
 }
 
 PacketPoolStats PacketPool::stats() const {

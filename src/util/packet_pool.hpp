@@ -53,6 +53,18 @@ struct PacketPoolOptions {
   std::size_t max_slabs = 64;
   /// Capacity of the lock-free cross-thread return ring.
   std::size_t return_ring_capacity = 8192;
+  /// Carve every slab up front (construction time) instead of lazily on
+  /// exhaustion.  Costs max_slabs * slab_slots * stride bytes immediately,
+  /// but freezes the slab directory: slab_regions() is then complete and
+  /// stable for the pool's lifetime, which is what lets an io_uring egress
+  /// backend register the slabs as fixed buffers exactly once.
+  bool precarve = false;
+};
+
+/// One slab's memory range (base is kUtilCacheLine-aligned).
+struct SlabRegion {
+  std::uint8_t* base = nullptr;
+  std::size_t bytes = 0;
 };
 
 /// Monotonic counters + occupancy snapshot (approximate while threads run,
@@ -112,6 +124,12 @@ class PacketPool {
   std::size_t header_bytes() const { return options_.header_bytes; }
 
   PacketPoolStats stats() const;
+
+  /// The memory ranges of every slab carved so far.  With precarve this is
+  /// the pool's complete, immutable slab directory, callable from any
+  /// thread; without it the directory may still grow, so only the owner
+  /// thread may call this (same contract as acquire_slot).
+  std::vector<SlabRegion> slab_regions() const;
 
  private:
   static constexpr std::uint8_t kFree = 0;

@@ -475,6 +475,53 @@ TEST(UdpBackend, EagainStormRequeuesEverythingWithoutLoss) {
   EXPECT_EQ(captured[2].header.seq, 0u) << "flow 2's first datagram";
 }
 
+TEST(UdpBackend, RepeatedEnobufsBurstsKeepSequencesGapFree) {
+  MockSocketApi api;
+  UdpBackend backend(mock_options(api));
+  backend.attach({"if0"});
+
+  // Three consecutive pushback bursts, each making partial progress
+  // before the NIC queue fills again: accept 2, choke, accept 1, choke,
+  // choke again with zero progress, then drain.  Every choke rewinds the
+  // unsent suffix's sequences; a single off-by-one in any rewind leaves a
+  // permanent receiver-visible gap or duplicate.
+  api.plan.push_back({.accept = 2});
+  api.plan.push_back({.accept = -1, .err = ENOBUFS});
+  api.plan.push_back({.accept = 1});
+  api.plan.push_back({.accept = -1, .err = ENOBUFS});
+  api.plan.push_back({.accept = -1, .err = ENOBUFS});
+
+  std::vector<Packet> pending;
+  for (std::uint32_t i = 0; i < 8; ++i)
+    pending.emplace_back(i % 2 == 0 ? 1 : 2, 100);
+  std::vector<SendDisposition> dispositions;
+  std::uint64_t drops = 0;
+  for (int round = 0; round < 8 && !pending.empty(); ++round) {
+    const EgressResult r = backend.send_burst(0, pending, 0, dispositions);
+    drops += r.dropped;
+    // The stash contract: the requeued suffix is retried verbatim as the
+    // FRONT of the next burst (nothing new is dequeued past it).
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<std::ptrdiff_t>(
+                                        pending.size() - r.requeued));
+  }
+  ASSERT_TRUE(pending.empty());
+  EXPECT_EQ(drops, 0u) << "ENOBUFS is pushback, never loss";
+  EXPECT_EQ(backend.send_errors(0), 0u);
+
+  const auto captured = api.captured();
+  ASSERT_EQ(captured.size(), 8u);
+  std::uint64_t next_seq[3] = {0, 0, 0};
+  for (const CapturedDatagram& dgram : captured) {
+    ASSERT_LT(dgram.header.flow, 3u);
+    EXPECT_EQ(dgram.header.seq, next_seq[dgram.header.flow]++)
+        << "flow " << dgram.header.flow
+        << " skipped or repeated a sequence across the choke/rewind cycles";
+  }
+  EXPECT_EQ(next_seq[1], 4u);
+  EXPECT_EQ(next_seq[2], 4u);
+}
+
 TEST(UdpBackend, ZeroReturnIsDefensivelyRequeuedNotSpun) {
   MockSocketApi api;
   api.plan.push_back({.accept = 0});
@@ -609,6 +656,52 @@ TEST(RuntimeEgress, EagainStormStashesAndDeliversEverything) {
   EXPECT_GT(stats.io_requeued, 0u);
   EXPECT_EQ(stats.io_send_errors, 0u);
   EXPECT_EQ(api.captured().size(), 100u);
+}
+
+TEST(RuntimeEgress, RepeatedEnobufsBurstsDrainInOrderWithoutGaps) {
+  MockSocketApi api;
+  // Not one storm but several: the socket chokes, recovers a little,
+  // chokes again -- so the runtime's per-interface stash is refilled
+  // across multiple pushback cycles while fresh dequeues keep arriving
+  // behind it.  The stash must always retry BEFORE new dequeues and the
+  // rewound sequences must re-stamp identically, or the receiver ledger
+  // shows gaps/duplicates that never happened on the wire.
+  for (int burst = 0; burst < 6; ++burst) {
+    api.plan.push_back({.accept = -1, .err = ENOBUFS});
+    api.plan.push_back({.accept = 3});
+    api.plan.push_back({.accept = -1, .err = ENOBUFS});
+  }
+  UdpBackend backend(mock_options(api));
+
+  RuntimeOptions options;
+  options.egress = &backend;
+  Runtime runtime(options);
+  runtime.add_interface("if0");
+  const FlowId f = runtime.control().add_flow(
+      {.willing = {0}, .queue_capacity_bytes = 0});
+  runtime.start();
+  {
+    IngressPort port = runtime.port(0);
+    for (int i = 0; i < 100; ++i) {
+      while (!port.offer(f, 1000)) std::this_thread::yield();
+    }
+  }
+  ASSERT_TRUE(wait_for(10.0, [&] { return runtime.stats().sent == 100; }));
+  runtime.stop();
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.sent, 100u);
+  EXPECT_EQ(stats.io_drops, 0u) << "every choke cycle is pushback, not loss";
+  EXPECT_EQ(stats.io_pending, 0u);
+  EXPECT_EQ(stats.io_send_errors, 0u);
+  EXPECT_GT(stats.io_requeued, 0u) << "the chokes actually happened";
+
+  // Gap-free AND duplicate-free: the flow's captured sequence numbers
+  // are exactly 0..99 in order, through every stash refill.
+  const auto captured = api.captured();
+  ASSERT_EQ(captured.size(), 100u);
+  for (std::uint64_t m = 0; m < captured.size(); ++m) {
+    EXPECT_EQ(captured[m].header.seq, m) << "datagram " << m;
+  }
 }
 
 TEST(RuntimeEgress, StopFlushDropsUndeliverableStashWithCount) {

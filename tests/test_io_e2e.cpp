@@ -37,6 +37,7 @@
 #include "fault/injector.hpp"
 #include "fault/supervisor.hpp"
 #include "io/udp_backend.hpp"
+#include "io/uring_backend.hpp"
 #include "io/wire.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
@@ -369,6 +370,231 @@ TEST(IoE2E, KillFlapReviveUnderUdpKeepsExtendedIdentity) {
   EXPECT_GT(stats.quarantine_rejects, 0u);
 
   // Wire-level closure: delivered + gaps == sent, per flow and in total.
+  wait_for(5.0, [&] {
+    return receiver.total_datagrams() + receiver.gaps() >= stats.sent;
+  });
+  receiver.stop();
+  EXPECT_EQ(receiver.parse_errors(), 0u);
+  EXPECT_EQ(receiver.total_datagrams() + receiver.gaps(), stats.sent);
+  for (const FlowId f : {a, b, c}) {
+    EXPECT_EQ(receiver.credited_bytes(f),
+              receiver.datagrams(f) * load.packet_bytes)
+        << "every delivered datagram credits its scheduler bytes";
+    EXPECT_LE(receiver.credited_bytes(f), runtime.sent_bytes(f));
+  }
+  EXPECT_GT(receiver.datagrams(a), 0u);
+  EXPECT_GT(receiver.datagrams(b), 0u);
+  EXPECT_GT(receiver.datagrams(c), 0u) << "flow c must recover post-revive";
+}
+
+// --- io_uring over real loopback --------------------------------------------
+//
+// The same two headline claims, now through the completion-driven fast
+// path: real rings, SEND_ZC from registered PacketPool slabs, and the
+// extended identity (dequeued == sent + io_drops + io_pending +
+// io_inflight) draining to zero at quiescence.  Skipped VISIBLY -- not
+// silently green -- when the build lacks MIDRR_WITH_URING or the kernel
+// denies io_uring_setup (seccomp/EPERM on locked-down CI hosts).
+
+/// Gate for every uring e2e test; GTEST_SKIP must run in the test body.
+#define MIDRR_REQUIRE_URING_RUNTIME()                                       \
+  do {                                                                      \
+    if (!uring_supported())                                                 \
+      GTEST_SKIP() << "built without -DMIDRR_WITH_URING=ON";                \
+    int probe_errno_ = 0;                                                   \
+    if (!uring_runtime_available(&probe_errno_))                            \
+      GTEST_SKIP() << "kernel denies io_uring_setup: "                      \
+                   << std::strerror(probe_errno_);                          \
+  } while (0)
+
+UringBackendOptions uring_options_for(const LoopbackReceiver& receiver,
+                                      std::size_t ifaces) {
+  UringBackendOptions options;
+  for (std::size_t j = 0; j < ifaces; ++j) {
+    UdpDestination dest;
+    dest.host = "127.0.0.1";
+    dest.port = receiver.port(j);
+    options.dest_by_name["if" + std::to_string(j)] = dest;
+  }
+  return options;
+}
+
+/// Pooled payloads with wire headroom so the backend's registered-buffer
+/// zero-copy path is the one under test, not the sendmsg fallback.
+LoadGeneratorOptions pooled_load_for_uring() {
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  load.payload = LoadGeneratorOptions::PayloadMode::kPooled;
+  load.frame_headroom = kWireScratchBytes;
+  load.pool.precarve = true;
+  load.pool.max_slabs = 8;  // ~4k slots; bounds the precarve footprint
+  return load;
+}
+
+TEST(IoE2E, UringLoopbackDeliveryMatchesMaxMinReference) {
+  MIDRR_REQUIRE_URING_RUNTIME();
+  const double cap = mbps(20);
+  fair::MaxMinInput input;
+  input.capacities_bps = {cap, cap};
+  input.weights = {1.0, 1.0, 1.0, 1.0};
+  input.willing = {{true, true}, {true, true}, {true, true}, {true, true}};
+  const auto reference = fair::solve_max_min(input);
+
+  LoopbackReceiver receiver(2);
+  receiver.start();
+  UringBackend backend(uring_options_for(receiver, 2));
+
+  RuntimeOptions options;
+  options.workers = 2;
+  options.shards = 1;
+  options.egress = &backend;
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(cap));
+  runtime.add_interface("if1", RateProfile(cap));
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 4; ++i) {
+    flows.push_back(runtime.control().add_flow(
+        {.willing = {0, 1}, .name = "f" + std::to_string(i)}));
+  }
+  runtime.start();
+
+  LoadGeneratorOptions load = pooled_load_for_uring();
+  LoadGenerator generator(runtime, load);
+  for (std::size_t p = 0; p < load.producers; ++p) {
+    if (const net::FramePool* pool = generator.frame_pool(p)) {
+      backend.register_frame_pool(*pool);
+    }
+  }
+  generator.start();
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  std::vector<std::uint64_t> before;
+  for (const FlowId f : flows) before.push_back(receiver.credited_bytes(f));
+  const SimTime t0 = runtime.now_ns();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  const SimTime t1 = runtime.now_ns();
+  std::vector<double> measured_bps;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const std::uint64_t delta =
+        receiver.credited_bytes(flows[i]) - before[i];
+    measured_bps.push_back(rate_bps(delta, t1 - t0));
+  }
+
+  generator.stop();
+  // Quiescence with the in-flight term: every dequeued packet must reach
+  // a terminal fate AND the kernel must hand every completion back.
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    const RuntimeStats s = runtime.stats();
+    return s.offered == accounted(s) &&
+           s.dequeued == s.sent + s.io_drops && s.io_inflight == 0;
+  })) << "the extended identity must drain to quiescence";
+  runtime.stop();
+  const RuntimeStats stats = runtime.stats();
+  wait_for(5.0, [&] {
+    return receiver.total_datagrams() + receiver.gaps() >= stats.sent;
+  });
+  receiver.stop();
+
+  EXPECT_EQ(stats.io_pending, 0u);
+  EXPECT_EQ(stats.io_inflight, 0u);
+  EXPECT_EQ(stats.io_send_errors, 0u) << "loopback must not error";
+  EXPECT_EQ(receiver.parse_errors(), 0u);
+  // Exact wire ledger through real rings: every packet the runtime
+  // counted as sent either arrived or is a visible sequence gap.
+  EXPECT_EQ(receiver.total_datagrams() + receiver.gaps(), stats.sent);
+  // The zero-copy path must actually have carried traffic when the
+  // kernel supports SEND_ZC; otherwise the test would be green while
+  // silently benchmarking the fallback.
+  if (backend.zerocopy_active()) {
+    EXPECT_GT(backend.registered_buffers(), 0u);
+    EXPECT_GT(backend.fixed_sends(0) + backend.fixed_sends(1), 0u)
+        << "pooled frames should ride the registered-buffer path";
+  }
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const double want = reference.rates_bps[i];
+    EXPECT_NEAR(measured_bps[i], want, want * kRateTolerance)
+        << "flow " << i << " delivered " << to_mbps(measured_bps[i])
+        << " Mb/s on the wire, reference " << to_mbps(want) << " Mb/s";
+  }
+}
+
+TEST(IoE2E, UringKillFlapReviveKeepsExtendedIdentity) {
+  MIDRR_REQUIRE_URING_RUNTIME();
+  // The UDP chaos plan on the completion-driven path: link verdicts and
+  // re-steers while CQEs are still in flight must not open a hole in the
+  // identity -- the in-flight term makes the window visible instead of
+  // hiding it.
+  fault::FaultInjector injector(fault::FaultPlan::parse_json(
+      R"({"seed": 11, "events": [
+      {"at_ms": 300,  "kind": "iface_down", "iface": 1},
+      {"at_ms": 900,  "kind": "iface_up",   "iface": 1},
+      {"at_ms": 1200, "kind": "iface_flap", "iface": 1,
+       "period_ms": 60, "duty": 0.5, "duration_ms": 300}]})"));
+
+  LoopbackReceiver receiver(2);
+  receiver.start();
+  UringBackend backend(uring_options_for(receiver, 2));
+
+  RuntimeOptions options;
+  options.workers = 2;
+  options.shards = 1;
+  options.fault = &injector;
+  options.egress = &backend;
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(mbps(30)));
+  runtime.add_interface("if1", RateProfile(mbps(30)));
+  const FlowId a = runtime.control().add_flow({.willing = {0}, .name = "a"});
+  const FlowId b =
+      runtime.control().add_flow({.willing = {0, 1}, .name = "b"});
+  const FlowId c = runtime.control().add_flow({.willing = {1}, .name = "c"});
+  runtime.start();
+
+  fault::SupervisorOptions sup_options;
+  sup_options.probe_interval_ns = 10 * kMillisecond;
+  sup_options.dead_after_probes = 8;
+  sup_options.healthy_after_probes = 3;
+  fault::Supervisor supervisor(runtime, sup_options, &runtime);
+  supervisor.start();
+
+  LoadGeneratorOptions load = pooled_load_for_uring();
+  LoadGenerator generator(runtime, load);
+  for (std::size_t p = 0; p < load.producers; ++p) {
+    if (const net::FramePool* pool = generator.frame_pool(p)) {
+      backend.register_frame_pool(*pool);
+    }
+  }
+  generator.start();
+
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    return supervisor.link_state(1) == fault::LinkState::kDead;
+  }));
+  ASSERT_TRUE(
+      wait_for(10.0, [&] { return runtime.stats().quarantine_rejects > 0; }));
+  ASSERT_TRUE(wait_for(15.0, [&] {
+    return runtime.now_ns() > 1600 * kMillisecond &&
+           supervisor.link_state(1) == fault::LinkState::kHealthy &&
+           !runtime.control().iface_down(1);
+  }));
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  generator.stop();
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    const RuntimeStats s = runtime.stats();
+    return s.offered == accounted(s) &&
+           s.dequeued == s.sent + s.io_drops && s.io_inflight == 0;
+  })) << "both layers of the extended identity must close";
+  supervisor.stop();
+  runtime.stop();
+
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.offered, accounted(stats)) << "zero silent packet loss";
+  EXPECT_EQ(stats.dequeued, stats.sent + stats.io_drops + stats.io_pending +
+                                stats.io_inflight);
+  EXPECT_EQ(stats.io_pending, 0u);
+  EXPECT_EQ(stats.io_inflight, 0u);
+  EXPECT_GE(supervisor.transitions(), 2u) << "at least kill and revive";
+  EXPECT_GT(stats.quarantine_rejects, 0u);
+
   wait_for(5.0, [&] {
     return receiver.total_datagrams() + receiver.gaps() >= stats.sent;
   });

@@ -10,12 +10,14 @@
 // stdout (what bench/rt_throughput collects into BENCH_rt.json).
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/scenario_text.hpp"  // parse_rate_bps
@@ -24,6 +26,7 @@
 #include "fault/supervisor.hpp"
 #include "io/udp_backend.hpp"
 #include "io/uring_backend.hpp"
+#include "io/wire.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
 #include "telemetry/build_info.hpp"
@@ -74,10 +77,13 @@ int usage() {
          "                  bytes of backlog (0 = off, the default)\n"
          "  --shed-bytes B  weight-aware overload shedding at fan-in past\n"
          "                  B bytes of shard backlog (0 = off, the default)\n"
-         "  --egress B      sim|udp|uring: where dequeued bursts go\n"
+         "  --egress B      sim|udp|uring|auto: where dequeued bursts go\n"
          "                  (default sim = pacer-only sink; udp emits real\n"
          "                  datagrams via sendmmsg, see --udp-* below;\n"
-         "                  uring needs -DMIDRR_WITH_URING=ON)\n"
+         "                  uring needs -DMIDRR_WITH_URING=ON; auto probes\n"
+         "                  at startup: uring if built and the kernel\n"
+         "                  permits io_uring_setup, else udp if a --udp-*\n"
+         "                  destination is configured, else sim)\n"
          "  --udp-dest D    iface=host:port destination mapping, repeatable\n"
          "                  (e.g. --udp-dest if0=127.0.0.1:9000)\n"
          "  --udp-base-port P  fallback for unmapped interfaces: iface j\n"
@@ -283,35 +289,85 @@ int main(int argc, char** argv) {
       }
     }
 
+    // Destination resolution, shared by the udp and uring backends: with
+    // no mapping at all, pair with midrr_rx's defaults (iface j ->
+    // 127.0.0.1:19000+j).
+    const std::uint16_t dest_base_port =
+        udp_base_port != 0 ? udp_base_port
+        : udp_dests.empty() ? std::uint16_t{19000}
+                            : std::uint16_t{0};
+    const auto parse_dests =
+        [&udp_dests](
+            std::unordered_map<std::string, io::UdpDestination>& out) {
+          for (const std::string& spec : udp_dests) {
+            const auto eq = spec.find('=');
+            const auto colon = spec.rfind(':');
+            if (eq == std::string::npos || colon == std::string::npos ||
+                colon < eq) {
+              throw std::runtime_error(
+                  "bad --udp-dest (want iface=host:port): " + spec);
+            }
+            io::UdpDestination dest;
+            dest.host = spec.substr(eq + 1, colon - eq - 1);
+            dest.port = static_cast<std::uint16_t>(
+                std::stoul(spec.substr(colon + 1)));
+            out[spec.substr(0, eq)] = dest;
+          }
+        };
+
+    // `--egress auto`: probe once at startup and report the verdict.  The
+    // chosen name then flows through the normal construction below, the
+    // midrr_rt_egress_backend info gauge, and /buildinfo.
+    if (egress_name == "auto") {
+      int probe_errno = 0;
+      if (io::uring_supported() && io::uring_runtime_available(&probe_errno)) {
+        egress_name = "uring";
+        std::cerr << "egress: auto -> uring (io_uring_setup permitted)\n";
+      } else if (!udp_dests.empty() || udp_base_port != 0) {
+        egress_name = "udp";
+        std::cerr << "egress: auto -> udp ("
+                  << (!io::uring_supported()
+                          ? "uring not built"
+                          : std::string("io_uring_setup failed: ") +
+                                std::strerror(probe_errno))
+                  << "; udp destination configured)\n";
+      } else {
+        egress_name = "sim";
+        std::cerr << "egress: auto -> sim ("
+                  << (!io::uring_supported()
+                          ? "uring not built"
+                          : std::string("io_uring_setup failed: ") +
+                                std::strerror(probe_errno))
+                  << "; no udp destination)\n";
+      }
+    }
+
     // The egress backend outlives the runtime (stop()'s final flush and
     // the report both reach into it).  Null = the built-in sim backend.
     std::unique_ptr<io::EgressBackend> egress;
+    io::UringBackend* uring = nullptr;  // set iff the uring backend is live
     if (egress_name == "udp") {
       io::UdpBackendOptions uopts;
-      // `--egress udp` with no mapping at all pairs with midrr_rx's
-      // defaults: iface j -> 127.0.0.1:19000+j.
-      uopts.base_port = udp_base_port != 0 ? udp_base_port
-                        : udp_dests.empty() ? std::uint16_t{19000}
-                                            : std::uint16_t{0};
+      uopts.base_port = dest_base_port;
       uopts.max_batch = udp_batch;
       uopts.max_payload_bytes = udp_payload;
-      for (const std::string& spec : udp_dests) {
-        const auto eq = spec.find('=');
-        const auto colon = spec.rfind(':');
-        if (eq == std::string::npos || colon == std::string::npos ||
-            colon < eq) {
-          throw std::runtime_error(
-              "bad --udp-dest (want iface=host:port): " + spec);
-        }
-        io::UdpDestination dest;
-        dest.host = spec.substr(eq + 1, colon - eq - 1);
-        dest.port =
-            static_cast<std::uint16_t>(std::stoul(spec.substr(colon + 1)));
-        uopts.dest_by_name[spec.substr(0, eq)] = dest;
-      }
+      parse_dests(uopts.dest_by_name);
       egress = std::make_unique<io::UdpBackend>(uopts);
     } else if (egress_name == "uring") {
-      egress = io::make_uring_backend();  // throws unless MIDRR_WITH_URING
+      if (!io::uring_supported()) {
+        throw std::runtime_error(
+            "io_uring egress backend not built: reconfigure with "
+            "-DMIDRR_WITH_URING=ON");
+      }
+      io::UringBackendOptions uopts;
+      uopts.base_port = dest_base_port;
+      uopts.max_payload_bytes = udp_payload;
+      parse_dests(uopts.dest_by_name);
+      // Constructed concretely (not via the factory) so the tool can hand
+      // the load generator's precarved slabs to register_frame_pool below.
+      auto backend = std::make_unique<io::UringBackend>(std::move(uopts));
+      uring = backend.get();
+      egress = std::move(backend);
     } else if (egress_name != "sim") {
       throw std::runtime_error("unknown egress backend: " + egress_name);
     }
@@ -487,10 +543,16 @@ int main(int argc, char** argv) {
         r.body = body.str();
         return r;
       });
-      server->handle("/buildinfo", [](const http::HttpRequest&) {
+      // Build facts plus the one runtime fact orchestrators ask for:
+      // which egress backend `--egress auto` (or the operator) picked.
+      const std::string egress_label = runtime.egress().name();
+      server->handle("/buildinfo", [egress_label](const http::HttpRequest&) {
         telemetry::HandlerResult r;
         r.content_type = "application/json";
-        r.body = telemetry::build_info_json();
+        std::string body = telemetry::build_info_json();
+        body.insert(body.rfind('}'),
+                    ",\"egress\":\"" + egress_label + "\"");
+        r.body = body;
         return r;
       });
       if (slo != nullptr) {
@@ -514,8 +576,23 @@ int main(int argc, char** argv) {
     load.packet_bytes = packet_bytes;
     load.payload = payload;
     load.rate_pps = load_pps;
+    if (uring != nullptr &&
+        payload == LoadGeneratorOptions::PayloadMode::kPooled) {
+      // Zero-copy prerequisites: headroom so the wire header prepends in
+      // place, and a frozen slab directory so every slab can be registered
+      // as a fixed buffer exactly once, below.
+      load.frame_headroom = io::kWireScratchBytes;
+      load.pool.precarve = true;
+    }
     LoadGenerator generator(runtime, load);
     if (telemetry_on) generator.register_pool_metrics(registry);
+    if (uring != nullptr) {
+      for (std::size_t p = 0; p < producers; ++p) {
+        if (const net::FramePool* fp = generator.frame_pool(p)) {
+          uring->register_frame_pool(*fp);
+        }
+      }
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     generator.start();
@@ -560,10 +637,12 @@ int main(int argc, char** argv) {
       while (std::chrono::steady_clock::now() < drain_deadline) {
         const RuntimeStats s = runtime.stats();
         // Dequeue is no longer terminal: a frame stays live while its
-        // packet sits in an egress requeue stash, so quiescence also
-        // needs the egress split (dequeued == sent + io_drops, i.e.
-        // io_pending == 0).  Under --egress sim, sent == dequeued and
-        // this reduces to the old check.
+        // packet sits in an egress requeue stash (io_pending) or inside a
+        // completion-driven backend awaiting its CQE (io_inflight), so
+        // quiescence also needs the egress split to close with both
+        // residual terms at zero: dequeued == sent + io_drops.  Under
+        // --egress sim, sent == dequeued and this reduces to the old
+        // check.
         if (s.offered == s.enqueued + s.fanin_drops &&
             s.enqueued == s.dequeued + s.tail_drops &&
             s.dequeued == s.sent + s.io_drops) {
@@ -664,9 +743,35 @@ int main(int argc, char** argv) {
           << "\"io_requeued\":" << stats.io_requeued << ","
           << "\"io_drops\":" << stats.io_drops << ","
           << "\"io_pending\":" << stats.io_pending << ","
+          << "\"io_inflight\":" << stats.io_inflight << ","
           << "\"send_errors\":" << stats.io_send_errors << ","
-          << "\"syscalls\":" << stats.io_syscalls
-          << "},";
+          << "\"syscalls\":" << stats.io_syscalls;
+      if (uring != nullptr) {
+        std::uint64_t fixed = 0, fallback = 0, requeues = 0, shorts = 0;
+        std::uint64_t notifs = 0, copied = 0;
+        for (std::size_t j = 0; j < ifaces; ++j) {
+          const auto id = static_cast<IfaceId>(j);
+          fixed += uring->fixed_sends(id);
+          fallback += uring->fallback_sends(id);
+          requeues += uring->cqe_requeues(id);
+          shorts += uring->short_writes(id);
+          notifs += uring->zc_notifs(id);
+          copied += uring->zc_copied(id);
+        }
+        out << ",\"uring\":{"
+            << "\"zerocopy_active\":"
+            << (uring->zerocopy_active() ? "true" : "false") << ","
+            << "\"registered_buffers\":" << uring->registered_buffers() << ","
+            << "\"fixed_sends\":" << fixed << ","
+            << "\"fallback_sends\":" << fallback << ","
+            << "\"cqe_requeues\":" << requeues << ","
+            << "\"short_writes\":" << shorts << ","
+            << "\"zc_notifs\":" << notifs << ","
+            << "\"zc_copied\":" << copied << ","
+            << "\"cq_overflows\":" << uring->cq_overflows()
+            << "}";
+      }
+      out << "},";
       if (const telemetry::StageTracer* tracer = runtime.stage_tracer()) {
         LatencyHistogram merged[telemetry::kStageCount];
         LatencyHistogram e2e;
@@ -769,9 +874,22 @@ int main(int argc, char** argv) {
                 << "  egress    " << runtime.egress().name() << ": "
                 << stats.sent << " sent, " << stats.io_requeued
                 << " requeue events, " << stats.io_drops << " io drops, "
-                << stats.io_pending << " pending, " << stats.io_syscalls
-                << " syscalls, " << stats.io_send_errors
-                << " send errors\n";
+                << stats.io_pending << " pending, " << stats.io_inflight
+                << " inflight, " << stats.io_syscalls << " syscalls, "
+                << stats.io_send_errors << " send errors\n";
+      if (uring != nullptr) {
+        std::uint64_t fixed = 0, fallback = 0;
+        for (std::size_t j = 0; j < ifaces; ++j) {
+          fixed += uring->fixed_sends(static_cast<IfaceId>(j));
+          fallback += uring->fallback_sends(static_cast<IfaceId>(j));
+        }
+        std::cout << "  uring     " << fixed << " zero-copy sends / "
+                  << fallback << " fallback sends, "
+                  << uring->registered_buffers() << " registered buffers, "
+                  << uring->cq_overflows() << " cq overflows (zerocopy "
+                  << (uring->zerocopy_active() ? "active" : "inactive")
+                  << ")\n";
+      }
       if (churn) std::cout << "  churn     " << churn_ops << " control ops\n";
       if (injector != nullptr) {
         std::cout << "  faults    " << injector->ingress_drops() << " drops, "
