@@ -144,6 +144,7 @@ bool UringBackend::register_frame_pool(const net::FramePool& pool) {
       break;
     }
     bool ok = true;
+    std::size_t rings_registered = 0;
     for (const auto& ring : rings_) {
       const int rc =
           api().register_buffer(ring->handle, index, slab.base, slab.bytes);
@@ -155,8 +156,18 @@ bool UringBackend::register_frame_pool(const net::FramePool& pool) {
         ok = false;
         break;
       }
+      ++rings_registered;
     }
-    if (!ok) continue;
+    if (!ok) {
+      if (rings_registered > 0) {
+        // Some rings now hold this slab at `index`.  Burn the slot so the
+        // next slab cannot silently replace a partial registration; the
+        // fast path keys off the region table, which never learns this
+        // index, so the stale per-ring entries are inert.
+        next_buf_index_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
     next_buf_index_.fetch_add(1, std::memory_order_relaxed);
     table->push_back(Region{slab.base, slab.bytes, index});
   }
@@ -194,11 +205,14 @@ void UringBackend::release_slot(RingState& ring, std::uint32_t idx) {
   ring.free_slots.push_back(idx);
 }
 
-std::size_t UringBackend::reap_ring(RingState& ring) {
+std::size_t UringBackend::reap_ring(RingState& ring, std::uint64_t wait_ns) {
   std::size_t total = 0;
   for (;;) {
+    // Only the FIRST reap may block (flush's straggler wait); once
+    // something arrived the rest of the drain is non-blocking.
     const int n = api().reap(ring.handle, ring.cqes.data(),
-                             static_cast<unsigned>(ring.cqes.size()), 0);
+                             static_cast<unsigned>(ring.cqes.size()),
+                             total == 0 ? wait_ns : 0);
     if (n <= 0) break;
     if (cqe_batch_hist_ != nullptr) {
       cqe_batch_hist_->observe(static_cast<std::uint64_t>(n));
@@ -209,6 +223,15 @@ std::size_t UringBackend::reap_ring(RingState& ring) {
       MIDRR_ASSERT(idx < ring.slots.size(), "uring CQE with bogus user_data");
       Slot& slot = ring.slots[idx];
       IfaceState& st = *states_[slot.iface];
+      if (slot.state == Slot::State::kReclaimed) {
+        // Late kernel answer for a slot reclaim_inflight() already
+        // force-dropped: the ledger recorded the drop, so the CQE only
+        // retires the slot.  A SEND_ZC result (F_MORE) still has its
+        // buffer-release notification coming -- stay parked until then.
+        if (!cqe.more) release_slot(ring, idx);
+        ++total;
+        continue;
+      }
       if (cqe.notif) {
         // Buffer-release notification of a SEND_ZC: the kernel is done
         // reading the slab bytes; the packet itself was resolved when the
@@ -403,7 +426,6 @@ EgressResult UringBackend::send_burst(
       op.buf_index = region->index;
       op.addr = reinterpret_cast<const sockaddr*>(&st.dest);
       op.addr_len = sizeof(st.dest);
-      st.fixed_sends.fetch_add(1, std::memory_order_relaxed);
     } else {
       // Fallback: header in the slot's arena bytes, payload gathered from
       // the frame, plain SENDMSG (kernel copies -- exactly the UDP
@@ -427,7 +449,6 @@ EgressResult UringBackend::send_burst(
       slot.msg.msg_iovlen = iov_count;
       op.kind = UringOp::Kind::kSendmsg;
       op.msg = &slot.msg;
-      st.fallback_sends.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (!api().push(ring.handle, op)) {
@@ -445,6 +466,14 @@ EgressResult UringBackend::send_burst(
     ring.free_slots.pop_back();
     ++ring.pushed_since_submit;
     ++st.seq_next[packet.flow];
+    // Path counters tick only once the ring accepted the SQE -- an
+    // SQ-full requeue would otherwise count the same packet again on
+    // its resend.
+    if (region != nullptr) {
+      st.fixed_sends.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      st.fallback_sends.fetch_add(1, std::memory_order_relaxed);
+    }
     slot.state = Slot::State::kInflight;
     slot.iface = iface;
     slot.wire_bytes = static_cast<std::uint32_t>(wire_bytes);
@@ -526,50 +555,75 @@ void UringBackend::flush(IfaceId iface) {
   RingState& ring = *rings_[st.ring];
   push_retries(ring);
   submit_ring(ring);
-  if (st.inflight.load(std::memory_order_relaxed) >
-      st.completions.size()) {
-    // Unresolved slots remain: give the kernel a bounded beat to answer.
-    const int n = api().reap(ring.handle, ring.cqes.data(),
-                             static_cast<unsigned>(ring.cqes.size()),
-                             kFlushWaitNs);
-    (void)n;
-  }
-  reap_ring(ring);
+  // Unresolved slots remain: give the kernel a bounded beat to answer.
+  // The wait happens INSIDE reap_ring so the harvested CQEs go through
+  // the normal classification -- a waited-for completion must resolve
+  // its slot (sent/retry/release), not just be counted and dropped.
+  const bool stragglers =
+      st.inflight.load(std::memory_order_relaxed) > st.completions.size();
+  reap_ring(ring, stragglers ? kFlushWaitNs : 0);
 }
 
 std::size_t UringBackend::reclaim_inflight(IfaceId iface,
                                            std::vector<EgressCompletion>& out) {
   IfaceState& st = *states_[iface];
   RingState& ring = *rings_[st.ring];
+  // Harvest whatever the kernel already answered, then splice the staged
+  // completions (real verdicts) directly.  Deliberately NOT
+  // poll_completions(): that path resubmits kRetryPending slots, and the
+  // force-drop loop below would then retire slots with a fresh SQE in
+  // flight -- the late CQE would land on a recycled slot.
   reap_ring(ring);
-  // Resolved-but-unpolled completions first (they have real verdicts),
-  // then force-drop every slot the kernel never answered for.
-  std::size_t n = poll_completions(iface, out);
+  std::size_t n = st.completions.size();
+  if (n > 0) {
+    out.insert(out.end(), std::make_move_iterator(st.completions.begin()),
+               std::make_move_iterator(st.completions.end()));
+    st.completions.clear();
+    st.inflight.fetch_sub(n, std::memory_order_relaxed);
+  }
+  // Force-drop every slot the kernel never answered for.  Slots still
+  // owed a CQE are parked as kReclaimed rather than freed, so a late
+  // answer retires them silently (see reap_ring).
+  std::size_t forced = 0;
   for (std::uint32_t idx = 0; idx < ring.slots.size(); ++idx) {
     Slot& slot = ring.slots[idx];
-    if (slot.state == Slot::State::kFree || slot.iface != iface) continue;
+    if (slot.state == Slot::State::kFree ||
+        slot.state == Slot::State::kReclaimed || slot.iface != iface) {
+      continue;
+    }
     if (slot.state == Slot::State::kAwaitNotif && !slot.retry_after_notif) {
       // Packet already resolved and handed back; only the buffer-release
-      // notification is missing.  Freeing the slot here is safe: the
-      // rings are torn down before the frame pool.
-      release_slot(ring, idx);
+      // notification is missing.  Park with the keepalive intact -- the
+      // kernel may still read the slab bytes.
+      slot.retry_after_notif = false;
+      slot.state = Slot::State::kReclaimed;
       continue;
     }
     EgressCompletion done;
     done.packet = std::move(slot.packet);
     done.verdict = SendDisposition::kDropped;
-    out.push_back(std::move(done));
     st.error_drops.fetch_add(1, std::memory_order_relaxed);
     st.reclaimed.fetch_add(1, std::memory_order_relaxed);
     st.inflight.fetch_sub(1, std::memory_order_relaxed);
     if (slot.state == Slot::State::kRetryPending) {
+      // Its transient-failure CQE was already consumed: nothing is owed,
+      // the slot can recycle immediately.
       ring.retry.erase(std::remove(ring.retry.begin(), ring.retry.end(), idx),
                        ring.retry.end());
+      release_slot(ring, idx);
+    } else {
+      // kInflight, or a ZC retry still awaiting its buffer-release
+      // notification: a CQE is outstanding.  Pin the slab bytes (the
+      // kernel may read them yet) and park.
+      slot.frame_keepalive = done.packet.frame;
+      slot.retry_after_notif = false;
+      slot.state = Slot::State::kReclaimed;
     }
-    release_slot(ring, idx);
+    out.push_back(std::move(done));
+    ++forced;
     ++n;
   }
-  if (n > 0) {
+  if (forced > 0) {
     MIDRR_LOG_WARN() << "uring egress: reclaimed "
                      << st.reclaimed.load(std::memory_order_relaxed)
                      << " unanswered in-flight packet(s) on " << st.name

@@ -44,9 +44,11 @@
 // their CQEs; reclaim_inflight force-drops whatever the kernel never
 // answered, so stop() always closes the ledger).
 //
-// Threading: attach/attach_topology/register_frame_pool run before or
-// between bursts (registration swaps an immutable region table behind an
-// atomic shared_ptr, so workers never observe a half-built table).
+// Threading: attach/attach_topology/register_frame_pool run before the
+// workers start driving bursts (matching UringApi's attach-time contract
+// for ring_create/register_buffer; registration additionally swaps an
+// immutable region table behind an atomic shared_ptr, so a reader racing
+// the publish still sees a complete old-or-new table).
 // send_burst/poll_completions/flush/reclaim_inflight for an interface run
 // only on its owning worker (single-threaded during stop()).
 #pragma once
@@ -135,8 +137,13 @@ class UringBackend final : public EgressBackend {
   /// fast path for frames living in those slabs.  The pool should be
   /// precarved (PacketPoolOptions::precarve) so the slab directory is
   /// complete; requires headroom >= kWireScratchBytes for the contiguous
-  /// [header|payload] trick.  Callable after attach(), including while
-  /// workers run.  Returns false (with a warning, never a throw) when the
+  /// [header|payload] trick.  Call after attach() and before workers
+  /// start driving the ring: register_buffer shares UringApi's
+  /// attach-time threading contract (the region table is still published
+  /// atomically, so a send_burst racing the publish sees old-or-new and
+  /// stays correct -- but the register syscall itself is not part of the
+  /// worker-concurrent API).  Returns false (with a warning, never a
+  /// throw) when the
   /// kernel lacks sparse tables / SEND_ZC or the pool has no headroom --
   /// the backend then runs entirely on the fallback path.
   bool register_frame_pool(const net::FramePool& pool);
@@ -166,9 +173,14 @@ class UringBackend final : public EgressBackend {
   struct Slot {
     enum class State : std::uint8_t {
       kFree = 0,
-      kInflight = 1,     ///< SQE pushed, awaiting result CQE
-      kAwaitNotif = 2,   ///< result seen, awaiting ZC buffer-release CQE
-      kRetryPending = 3  ///< transient failure, waiting for resubmit
+      kInflight = 1,      ///< SQE pushed, awaiting result CQE
+      kAwaitNotif = 2,    ///< result seen, awaiting ZC buffer-release CQE
+      kRetryPending = 3,  ///< transient failure, waiting for resubmit
+      /// Force-dropped by reclaim_inflight while the kernel still owed a
+      /// CQE.  The slot is parked (never freed, never resubmitted) so a
+      /// late CQE retires it silently instead of landing on a recycled
+      /// slot and tripping the state asserts.
+      kReclaimed = 4
     };
     State state = State::kFree;
     bool retry_after_notif = false;  ///< transient failure seen under F_MORE
@@ -237,8 +249,12 @@ class UringBackend final : public EgressBackend {
     return options_.sockets != nullptr ? *options_.sockets : real_sockets_;
   }
   /// Drains CQEs of `ring`, classifying each into its slot's interface
-  /// (stage / internal retry / release).  Returns CQEs processed.
-  std::size_t reap_ring(RingState& ring);
+  /// (stage / internal retry / release).  When `wait_ns` > 0 and no CQE
+  /// is immediately ready, blocks up to that long for the first batch
+  /// (flush's bounded straggler wait) -- waited-for completions go
+  /// through the same classification as polled ones, never discarded.
+  /// Returns CQEs processed.
+  std::size_t reap_ring(RingState& ring, std::uint64_t wait_ns = 0);
   /// Pushes kRetryPending slots back onto the SQ (stops at SQ-full).
   void push_retries(RingState& ring);
   int submit_ring(RingState& ring);

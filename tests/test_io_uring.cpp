@@ -96,6 +96,7 @@ class MockUringApi final : public UringApi {
   std::size_t sq_capacity = 1024;
   bool zerocopy = true;
   int register_result = 0;
+  int register_fail_at = -1;  ///< fail the Nth register_buffer call (0-based)
   bool mark_zc_copied = false;
   std::uint64_t overflows = 0;
 
@@ -108,7 +109,9 @@ class MockUringApi final : public UringApi {
   int register_buffer(int, unsigned index, void* base,
                       std::size_t len) override {
     std::lock_guard<std::mutex> lock(mu_);
+    const int call = register_calls_++;
     if (register_result != 0) return register_result;
+    if (call == register_fail_at) return -ENOMEM;
     registered_.push_back({index, base, len});
     return 0;
   }
@@ -243,6 +246,7 @@ class MockUringApi final : public UringApi {
 
   mutable std::mutex mu_;
   int rings_created_ = 0;
+  int register_calls_ = 0;
   std::uint64_t submits_ = 0;
   std::vector<UringOp> pushed_;
   std::deque<UringCqe> ready_;
@@ -427,6 +431,8 @@ TEST(UringBackend, SqFullSuffixIsRequeuedUnstampedWithoutSequenceGap) {
   for (std::uint64_t m = 0; m < 5; ++m) {
     EXPECT_EQ(captured[m].header.seq, m) << "datagram " << m;
   }
+  EXPECT_EQ(backend.fallback_sends(0), 5u)
+      << "path counters tick once per ring-ACCEPTED SQE, not per attempt";
 }
 
 TEST(UringBackend, SlotArenaExhaustionRequeuesSuffix) {
@@ -670,6 +676,35 @@ TEST(UringBackend, RegisterFramePoolRefusalsAreNonFatal) {
   }
 }
 
+TEST(UringBackend, PartialBufferRegistrationBurnsTableIndex) {
+  MockUringApi api;
+  StubSocketApi sockets;
+  api.register_fail_at = 1;  // slab A registers on ring 0, fails on ring 1
+  UringBackend backend(mock_options(api, sockets));
+  backend.attach_topology({0, 1});  // two workers -> two rings
+  backend.attach({"if0", "if1"});
+
+  PacketPoolOptions options;
+  options.buffer_bytes = 512;
+  options.slab_slots = 4;
+  options.max_slabs = 2;
+  options.precarve = true;
+  net::FramePool pool(options, kWireScratchBytes);
+
+  EXPECT_TRUE(backend.register_frame_pool(pool));
+  EXPECT_EQ(backend.registered_buffers(), 1u) << "only the clean slab";
+  // Slab A's partial registration left table index 0 occupied on ring 0;
+  // slab B must take a FRESH index on both rings, never silently replace
+  // the half-registered one.
+  const auto regs = api.registered();
+  ASSERT_EQ(regs.size(), 3u);
+  EXPECT_EQ(regs[0].index, 0u) << "slab A on ring 0 (before the failure)";
+  EXPECT_EQ(regs[1].index, 1u) << "slab B burns past the poisoned index";
+  EXPECT_EQ(regs[2].index, 1u) << "slab B, same index on the second ring";
+  EXPECT_EQ(regs[1].base, regs[2].base);
+  EXPECT_NE(regs[1].base, regs[0].base);
+}
+
 // --- Shutdown reclaim -------------------------------------------------------
 
 TEST(UringBackend, ReclaimForceDropsUnansweredSlots) {
@@ -699,6 +734,92 @@ TEST(UringBackend, ReclaimForceDropsUnansweredSlots) {
   EXPECT_EQ(backend.inflight_packets(0), 0u)
       << "reclaim must close the in-flight term of the identity";
   EXPECT_EQ(backend.error_drops(0), 2u);
+}
+
+TEST(UringBackend, FlushClassifiesWaitedForCompletions) {
+  MockUringApi api;
+  StubSocketApi sockets;
+  UringBackendOptions options = mock_options(api, sockets);
+  options.submit_coalesce_polls = 4;  // hold the doorbell past send_burst
+  UringBackend backend(options);
+  backend.attach_topology({0});
+  backend.attach({"if0"});
+
+  std::vector<Packet> burst = {Packet(1, 100)};
+  std::vector<SendDisposition> dispositions;
+  backend.send_burst(0, burst, 0, dispositions);
+  EXPECT_EQ(api.submits(), 0u) << "coalescing deferred the submit";
+
+  // flush submits the straggler and then waits for its CQE.  The waited-
+  // for completion must be CLASSIFIED, not merely consumed: a discarded
+  // CQE leaves the slot kInflight and reclaim would misreport the sent
+  // packet as a drop.
+  backend.flush(0);
+  std::vector<EgressCompletion> out;
+  const std::size_t n = backend.reclaim_inflight(0, out);
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, SendDisposition::kSent);
+  EXPECT_EQ(backend.sent_datagrams(0), 1u);
+  EXPECT_EQ(backend.error_drops(0), 0u) << "nothing was force-dropped";
+  EXPECT_EQ(backend.inflight_packets(0), 0u);
+}
+
+TEST(UringBackend, ReclaimDoesNotResubmitParkedRetries) {
+  MockUringApi api;
+  StubSocketApi sockets;
+  api.plan.push_back({.res = -ENOBUFS});
+  UringBackend backend(mock_options(api, sockets));
+  backend.attach_topology({0});
+  backend.attach({"if0"});
+
+  std::vector<Packet> burst = {Packet(3, 100)};
+  std::vector<SendDisposition> dispositions;
+  backend.send_burst(0, burst, 0, dispositions);  // transient CQE parks a retry
+  EXPECT_EQ(backend.cqe_requeues(0), 1u);
+
+  // Shutdown reclaim must turn the parked retry into a forced drop, not
+  // a fresh SQE: resubmitting here would free the slot with a completion
+  // still owed by the kernel, landing the late CQE on a recycled slot.
+  std::vector<EgressCompletion> out;
+  const std::size_t n = backend.reclaim_inflight(0, out);
+  EXPECT_EQ(n, 1u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].verdict, SendDisposition::kDropped);
+  EXPECT_EQ(api.submits(), 1u) << "reclaim must not ring the doorbell";
+  EXPECT_EQ(backend.inflight_packets(0), 0u);
+  EXPECT_EQ(backend.error_drops(0), 1u);
+}
+
+TEST(UringBackend, LateNotifAfterReclaimRetiresSlotSilently) {
+  MockUringApi api;
+  StubSocketApi sockets;
+  api.plan.push_back({.defer_notif = true});
+  UringBackend backend(mock_options(api, sockets));
+  backend.attach_topology({0});
+  backend.attach({"if0"});
+
+  net::FramePool pool = headroom_pool();
+  ASSERT_TRUE(backend.register_frame_pool(pool));
+  auto frame = pool.make_filled(64, net::Byte{1});
+  std::vector<Packet> burst = {Packet(1, 64)};
+  burst[0].frame = std::move(frame);
+  std::vector<SendDisposition> dispositions;
+  backend.send_burst(0, burst, 0, dispositions);
+  auto done = drain(backend, 0);
+  ASSERT_EQ(done.size(), 1u) << "resolved; only the ZC notif is missing";
+
+  std::vector<EgressCompletion> out;
+  EXPECT_EQ(backend.reclaim_inflight(0, out), 0u);
+  EXPECT_TRUE(out.empty()) << "the packet was already handed back";
+
+  // The buffer-release notification lands AFTER reclaim parked the slot:
+  // it must retire the slot silently, not trip the slot-state asserts or
+  // stage a bogus completion.
+  api.release_notifs();
+  out.clear();
+  EXPECT_EQ(backend.poll_completions(0, out), 0u);
+  EXPECT_TRUE(out.empty());
 }
 
 TEST(UringBackend, RegistersUringMetricsSeries) {
