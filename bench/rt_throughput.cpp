@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/adapt.hpp"
+#include "fault/supervisor.hpp"
 #include "io/udp_backend.hpp"
 #include "io/uring_backend.hpp"
 #include "io/wire.hpp"
@@ -244,6 +246,103 @@ OverloadCell run_overload_cell(std::uint64_t shed_bytes, double overload,
   cell.overload = overload;
   cell.jain = sq > 0 ? sum * sum / (static_cast<double>(kFlows) * sq) : 1.0;
   cell.utilization = total * 8.0 / elapsed / capacity_bps;
+  cell.shed_drops = stats.shed_drops;
+  cell.tail_drops = stats.tail_drops;
+  cell.duration_s = elapsed;
+  return cell;
+}
+
+// Adaptive-shedding cell: the same 2x-overloaded topology, but instead of
+// a fixed watermark the operator states a p99 objective and the closed
+// loop (supervisor probes -> AdaptiveController -> shed watermark) derives
+// shed_bytes live from the measured drain rate.  Reports the watermark the
+// loop converged to, the windowed p99 it measured, and the same Jain /
+// utilization numbers as the fixed-watermark cells for comparison.
+struct AdaptiveCell {
+  std::uint64_t target_p99_ns = 0;
+  double overload = 0;
+  double jain = 0;
+  double utilization = 0;
+  std::uint64_t final_shed_bytes = 0;
+  double windowed_p99_ns = 0;
+  double correction = 0;
+  std::uint64_t retunes = 0;
+  std::uint64_t shed_engages = 0;
+  std::uint64_t shed_drops = 0;
+  std::uint64_t tail_drops = 0;
+  double duration_s = 0;
+};
+
+AdaptiveCell run_adaptive_cell(std::uint64_t target_p99_ns, double overload,
+                               double duration_s) {
+  using namespace midrr;
+  using namespace midrr::rt;
+
+  constexpr std::size_t kFlows = 8;
+  const double capacity_bps = 200e6;
+  RuntimeOptions options;
+  options.max_flows = kFlows;
+  options.stage_sample_every = 64;  // the loop's windowed p99 source
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(capacity_bps));
+  std::vector<FlowId> flows;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    RtFlowSpec spec;
+    spec.willing.push_back(0);
+    spec.name = "f" + std::to_string(i);
+    flows.push_back(runtime.control().add_flow(spec));
+  }
+  runtime.start();
+
+  fault::Supervisor supervisor(runtime, fault::SupervisorOptions{}, &runtime);
+  fault::AdaptOptions aopts;
+  aopts.target_p99_ns = static_cast<SimDuration>(target_p99_ns);
+  fault::AdaptiveController adapt(runtime, aopts);
+  runtime.set_capacity_overlay(&adapt);
+  supervisor.set_adaptive(&adapt);
+  supervisor.start();
+
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  load.rate_pps = overload * capacity_bps / (8.0 * 1000.0);
+  LoadGenerator generator(runtime, load);
+  generator.start();
+
+  // Warm up 25% of the budget (lets the controller seed its drain EWMA
+  // and converge), measure goodput over the rest.
+  std::this_thread::sleep_for(std::chrono::duration<double>(duration_s / 4));
+  std::vector<std::uint64_t> before;
+  before.reserve(kFlows);
+  for (const FlowId f : flows) before.push_back(runtime.sent_bytes(f));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(duration_s * 3 / 4));
+  double sum = 0, sq = 0, total = 0;
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    const double x =
+        static_cast<double>(runtime.sent_bytes(flows[i]) - before[i]);
+    sum += x;
+    sq += x * x;
+    total += x;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  generator.stop();
+  supervisor.stop();
+  runtime.stop();
+
+  const RuntimeStats stats = runtime.stats();
+  AdaptiveCell cell;
+  cell.target_p99_ns = target_p99_ns;
+  cell.overload = overload;
+  cell.jain = sq > 0 ? sum * sum / (static_cast<double>(kFlows) * sq) : 1.0;
+  cell.utilization = total * 8.0 / elapsed / capacity_bps;
+  cell.final_shed_bytes = runtime.shed_bytes();
+  cell.windowed_p99_ns = adapt.windowed_p99_ns();
+  cell.correction = adapt.correction();
+  cell.retunes = adapt.retunes();
+  cell.shed_engages = adapt.shed_engages();
   cell.shed_drops = stats.shed_drops;
   cell.tail_drops = stats.tail_drops;
   cell.duration_s = elapsed;
@@ -705,6 +804,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Adaptive shedding: same overload, but the watermark is derived live
+  // from measured drain rate + a 5 ms p99 objective instead of a fixed
+  // byte count.  Comparable Jain / utilization to the fixed cells above.
+  std::vector<AdaptiveCell> adaptive_cells;
+  if (!scale_only) {
+    std::cerr << "rt_throughput: 2x overload, adaptive shed (target p99 5 "
+                 "ms)..."
+              << std::flush;
+    const AdaptiveCell cell = run_adaptive_cell(5'000'000, 2.0, duration_s);
+    std::cerr << " jain " << cell.jain << ", utilization " << cell.utilization
+              << ", shed_bytes -> " << cell.final_shed_bytes << " ("
+              << cell.retunes << " retunes)\n";
+    adaptive_cells.push_back(cell);
+  }
+
   // Egress backend sweep: sim sink vs real UDP sockets over loopback,
   // with the udp cells sweeping the sendmmsg batch cap.
   std::vector<EgressCell> egress_cells;
@@ -883,9 +997,26 @@ int main(int argc, char** argv) {
          << ", \"duration_s\": " << c.duration_s << "}"
          << (i + 1 < overload_cells.size() ? "," : "") << "\n";
   }
+  json << "  ],\n  \"adaptive_shedding\": ";
+  if (!adaptive_cells.empty()) {
+    const AdaptiveCell& c = adaptive_cells.front();
+    json << "{\"target_p99_ns\": " << c.target_p99_ns
+         << ", \"overload\": " << c.overload << ", \"jain\": " << c.jain
+         << ", \"utilization\": " << c.utilization
+         << ", \"final_shed_bytes\": " << c.final_shed_bytes
+         << ", \"windowed_p99_ns\": " << c.windowed_p99_ns
+         << ", \"correction\": " << c.correction
+         << ", \"retunes\": " << c.retunes
+         << ", \"shed_engages\": " << c.shed_engages
+         << ", \"shed_drops\": " << c.shed_drops
+         << ", \"tail_drops\": " << c.tail_drops
+         << ", \"duration_s\": " << c.duration_s << "}";
+  } else {
+    json << "null";
+  }
   // Sim vs loopback-UDP egress.  The note travels with the data because
   // these cells are easy to misread as a NIC throughput claim.
-  json << "  ],\n  \"egress_sweep_note\": \"loopback is not NIC-bound: udp "
+  json << ",\n  \"egress_sweep_note\": \"loopback is not NIC-bound: udp "
           "and uring cells meter serialization overhead and syscall "
           "amortization (sendmmsg max_batch vs coalesced io_uring "
           "submits), not wire throughput; SEND_ZC on loopback always "

@@ -1,7 +1,9 @@
 #include "fault/fault_plan.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -85,6 +87,46 @@ double number_field(const JsonValue& obj, std::size_t index,
   }
 }
 
+/// Shortest representation that strtod round-trips to the same double.
+std::string number_str(double v) {
+  char buf[64];
+  const std::to_chars_result res = std::to_chars(buf, buf + sizeof buf, v);
+  return std::string(buf, res.ptr);
+}
+
+/// Nanoseconds as milliseconds: integral values without a decimal point so
+/// hand-written plans ("at_ms": 100) survive a round trip byte-identical.
+/// Fractional values print shortest-round-trip; ms_to_ns recovers the
+/// exact nanosecond count because the absolute error of ns/1e6*1e6 is far
+/// below the +0.5 rounding slack for any ns < 2^51.
+std::string ms_str(SimDuration ns) {
+  if (ns % 1'000'000 == 0) return std::to_string(ns / 1'000'000);
+  return number_str(static_cast<double>(ns) / 1e6);
+}
+
+std::string json_escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 SimTime FaultPlan::horizon_ns() const {
@@ -110,7 +152,7 @@ FaultPlan FaultPlan::parse_json(std::string_view text) {
     throw std::runtime_error("fault plan: top level must be an object");
   }
   for (const std::string& key : doc.keys()) {
-    if (key != "seed" && key != "events") {
+    if (key != "seed" && key != "events" && key != "observed") {
       throw std::runtime_error("fault plan: unknown top-level key \"" + key +
                                "\"");
     }
@@ -200,7 +242,114 @@ FaultPlan FaultPlan::parse_json(std::string_view text) {
   std::stable_sort(
       plan.events.begin(), plan.events.end(),
       [](const FaultEvent& a, const FaultEvent& b) { return a.at_ns < b.at_ns; });
+  if (const JsonValue* observed = doc.find("observed"); observed != nullptr) {
+    if (!observed->is_array()) {
+      throw std::runtime_error("fault plan: \"observed\" must be an array");
+    }
+    std::size_t note_index = 0;
+    for (const JsonValue& entry : observed->as_array()) {
+      const auto note_fail = [&](const std::string& what) -> void {
+        throw std::runtime_error("fault plan: observed " +
+                                 std::to_string(note_index) + ": " + what);
+      };
+      if (!entry.is_object()) note_fail("must be an object");
+      for (const std::string& key : entry.keys()) {
+        if (key != "at_ms" && key != "note") {
+          note_fail("unknown field \"" + key + "\"");
+        }
+      }
+      const JsonValue* at = entry.find("at_ms");
+      const JsonValue* note = entry.find("note");
+      if (at == nullptr) note_fail("missing field \"at_ms\"");
+      if (note == nullptr) note_fail("missing field \"note\"");
+      const double at_ms = at->as_number();
+      if (at_ms < 0) note_fail("at_ms must be >= 0");
+      plan.observed.push_back(ObservedNote{ms_to_ns(at_ms), note->as_string()});
+      ++note_index;
+    }
+    std::stable_sort(plan.observed.begin(), plan.observed.end(),
+                     [](const ObservedNote& a, const ObservedNote& b) {
+                       return a.at_ns < b.at_ns;
+                     });
+  }
   return plan;
+}
+
+std::string FaultPlan::to_json() const {
+  std::vector<FaultEvent> sorted = events;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at_ns < b.at_ns; });
+  std::vector<ObservedNote> notes = observed;
+  std::stable_sort(notes.begin(), notes.end(),
+                   [](const ObservedNote& a, const ObservedNote& b) {
+                     return a.at_ns < b.at_ns;
+                   });
+  std::ostringstream out;
+  out << "{\n  \"seed\": " << seed << ",\n  \"events\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const FaultEvent& e = sorted[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"at_ms\": " << ms_str(e.at_ns)
+        << ", \"kind\": \"" << to_string(e.kind) << '"';
+    switch (e.kind) {
+      case FaultKind::kIfaceDown:
+      case FaultKind::kIfaceUp:
+        out << ", \"iface\": " << e.iface;
+        break;
+      case FaultKind::kIfaceFlap:
+        out << ", \"iface\": " << e.iface
+            << ", \"period_ms\": " << ms_str(e.period_ns)
+            << ", \"duty\": " << number_str(e.duty)
+            << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+      case FaultKind::kIfaceScale:
+        out << ", \"iface\": " << e.iface
+            << ", \"scale\": " << number_str(e.scale)
+            << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+      case FaultKind::kWorkerStall:
+        out << ", \"worker\": " << e.worker
+            << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+      case FaultKind::kIngressDrop:
+      case FaultKind::kIngressDup:
+        out << ", \"probability\": " << number_str(e.probability)
+            << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+      case FaultKind::kIngressDelay:
+        out << ", \"probability\": " << number_str(e.probability)
+            << ", \"delay_ms\": " << ms_str(e.delay_ns)
+            << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+      case FaultKind::kPoolExhaust:
+        out << ", \"duration_ms\": " << ms_str(e.duration_ns);
+        break;
+    }
+    out << '}';
+  }
+  out << (sorted.empty() ? "]" : "\n  ]");
+  if (!notes.empty()) {
+    out << ",\n  \"observed\": [";
+    for (std::size_t i = 0; i < notes.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    {\"at_ms\": "
+          << ms_str(notes[i].at_ns) << ", \"note\": \""
+          << json_escaped(notes[i].note) << "\"}";
+    }
+    out << "\n  ]";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+void FaultPlan::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("fault plan: cannot write " + path);
+  }
+  out << to_json();
+  if (!out.flush()) {
+    throw std::runtime_error("fault plan: write failed for " + path);
+  }
 }
 
 FaultPlan FaultPlan::parse_file(const std::string& path) {

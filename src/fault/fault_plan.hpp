@@ -74,9 +74,19 @@ struct FaultEvent {
   double duty = 0.5;                   ///< iface_flap: fraction of period up
 };
 
+/// A timestamped annotation captured by the FaultPlanRecorder (shed
+/// episodes, watermark moves, capacity-drift readings).  The injector
+/// ignores notes on replay; they exist so a recorded incident plan is
+/// self-describing when read by a human or a triage script.
+struct ObservedNote {
+  SimTime at_ns = 0;
+  std::string note;
+};
+
 struct FaultPlan {
   std::uint64_t seed = 1;
   std::vector<FaultEvent> events;  ///< sorted by at_ns after parsing
+  std::vector<ObservedNote> observed;  ///< annotations; not replayed
 
   bool empty() const { return events.empty(); }
 
@@ -90,6 +100,16 @@ struct FaultPlan {
 
   /// Reads and parses `path`; throws on I/O or parse failure.
   static FaultPlan parse_file(const std::string& path);
+
+  /// Canonical serialization: events stably sorted by at_ns, fixed key
+  /// order per kind, shortest round-trip number formatting (integral
+  /// millisecond values print without a decimal point).  The invariant the
+  /// recorder and the round-trip test lean on: for any plan P,
+  /// parse_json(P.to_json()).to_json() == P.to_json() byte-for-byte.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; throws on I/O failure.
+  void write_file(const std::string& path) const;
 };
 
 }  // namespace midrr::fault

@@ -1,0 +1,84 @@
+#include "fault/recorder.hpp"
+
+#include <algorithm>
+
+namespace midrr::fault {
+
+FaultPlanRecorder::FaultPlanRecorder(std::uint64_t seed) : seed_(seed) {}
+
+void FaultPlanRecorder::record_link_dead(IfaceId iface, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kIfaceDown;
+  e.at_ns = at;
+  e.iface = iface;
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(e);
+}
+
+void FaultPlanRecorder::record_link_revived(IfaceId iface, SimTime at) {
+  FaultEvent e;
+  e.kind = FaultKind::kIfaceUp;
+  e.at_ns = at;
+  e.iface = iface;
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(e);
+}
+
+void FaultPlanRecorder::record_iface_scale(IfaceId iface, SimTime begin,
+                                           SimTime end, double scale) {
+  FaultEvent e;
+  e.kind = FaultKind::kIfaceScale;
+  e.at_ns = begin;
+  e.duration_ns = std::max<SimDuration>(end - begin, kMillisecond);
+  e.iface = iface;
+  e.scale = std::clamp(scale, 0.0, 1.0);
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(e);
+}
+
+void FaultPlanRecorder::record_worker_stall(std::uint32_t worker,
+                                            SimTime begin,
+                                            SimDuration duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kWorkerStall;
+  e.at_ns = begin;
+  e.duration_ns = std::max<SimDuration>(duration, kMillisecond);
+  e.worker = worker;
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(e);
+}
+
+void FaultPlanRecorder::note(SimTime at, std::string what) {
+  std::lock_guard<std::mutex> lk(mu_);
+  notes_.push_back(ObservedNote{at, std::move(what)});
+}
+
+std::size_t FaultPlanRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+std::size_t FaultPlanRecorder::note_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return notes_.size();
+}
+
+FaultPlan FaultPlanRecorder::plan() const {
+  FaultPlan out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.seed = seed_;
+  out.events = events_;
+  out.observed = notes_;
+  return out;
+}
+
+bool FaultPlanRecorder::write_file(const std::string& path) const {
+  try {
+    plan().write_file(path);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace midrr::fault

@@ -1,0 +1,66 @@
+// FaultPlanRecorder: closes the record/replay loop.
+//
+// PR 5 made scripted chaos replayable; this records the OBSERVED side so
+// an unscripted incident becomes a script.  The supervisor mirrors its
+// terminal link verdicts (dead -> iface_down, dead->healthy -> iface_up)
+// and observed worker stalls (worker_stall spanning the freeze window);
+// the adaptive controller mirrors capacity-droop episodes (iface_scale
+// with the episode's lowest measured drift ratio) and annotates shed
+// engage/disengage edges as replay-inert "observed" notes.  plan() yields
+// a FaultPlan whose canonical to_json() feeds straight back into the
+// FaultInjector, so the regression test for a production incident is the
+// incident itself.
+//
+// Timestamps arrive in runtime nanoseconds-since-start, exactly the
+// clock FaultPlan events use.  All methods are mutex-guarded appends --
+// callers are the supervisor probe thread today, but nothing here cares.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+#include "flow/ids.hpp"
+#include "util/time.hpp"
+
+namespace midrr::fault {
+
+class FaultPlanRecorder {
+ public:
+  /// `seed` becomes the recorded plan's seed (replays of a recorded plan
+  /// should inject ingress noise, if any is added by hand, deterministically
+  /// against the same seed the incident run used).
+  explicit FaultPlanRecorder(std::uint64_t seed = 1);
+
+  void record_link_dead(IfaceId iface, SimTime at);
+  void record_link_revived(IfaceId iface, SimTime at);
+  /// One observed capacity-droop episode, closed: capacity was `scale` x
+  /// configured from `begin` to `end`.  Spans shorter than 1 ms are
+  /// widened to 1 ms (the plan schema requires a positive duration).
+  void record_iface_scale(IfaceId iface, SimTime begin, SimTime end,
+                          double scale);
+  void record_worker_stall(std::uint32_t worker, SimTime begin,
+                           SimDuration duration);
+  /// Replay-inert annotation (shed episodes, watermark moves).
+  void note(SimTime at, std::string what);
+
+  std::size_t event_count() const;
+  std::size_t note_count() const;
+
+  /// Snapshot of everything recorded so far as a plan (to_json() orders
+  /// it canonically).
+  FaultPlan plan() const;
+
+  /// plan().write_file(path); returns false (with no throw) on I/O error
+  /// so a bad --record-faults path degrades to a warning, not a crash.
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+  std::vector<ObservedNote> notes_;
+};
+
+}  // namespace midrr::fault

@@ -6,6 +6,8 @@
 
 #include "fairness/clusters.hpp"
 #include "fairness/maxmin.hpp"
+#include "fault/adapt.hpp"
+#include "fault/recorder.hpp"
 #include "telemetry/chrome_trace.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/assert.hpp"
@@ -80,6 +82,13 @@ void Supervisor::probe() {
 
 void Supervisor::probe_links(SimTime now) {
   bool topology_changed = false;
+  const double window_s =
+      last_probe_ns_ >= 0 ? static_cast<double>(now - last_probe_ns_) / 1e9
+                          : 0.0;
+  // Per-window measured drain rates and verdicts, handed to the adaptive
+  // controller after the pass (it judges drift and re-derives shed_bytes).
+  std::vector<double> window_bps(links_.size(), 0.0);
+  std::vector<LinkState> verdicts(links_.size(), LinkState::kHealthy);
   for (IfaceId j = 0; j < links_.size(); ++j) {
     LinkHealth& h = links_[j];
     const std::uint64_t bytes = rt_.iface_sent_bytes(j);
@@ -92,6 +101,10 @@ void Supervisor::probe_links(SimTime now) {
       h.last_send_errors = send_errors;
       continue;
     }
+    window_bps[j] =
+        window_s > 0.0
+            ? static_cast<double>(bytes - h.last_bytes) * 8.0 / window_s
+            : 0.0;
     const bool progressed = bytes > h.last_bytes;
     // Egress send errors: a window with NEW hard transmit failures counts
     // against the link even when the pacer looks normal (the socket is
@@ -121,17 +134,13 @@ void Supervisor::probe_links(SimTime now) {
       }
       h.last_bytes = bytes;
       h.last_tokens = tokens;
+      verdicts[j] = h.state;
       continue;
     }
 
     const double configured = rt_.iface_configured_bps(j, now);
     const std::uint64_t backlog = rt_.iface_backlog_bytes(j);
-    const double window_s =
-        static_cast<double>(now - last_probe_ns_) / 1e9;
-    const double measured_bps =
-        window_s > 0.0
-            ? static_cast<double>(bytes - h.last_bytes) * 8.0 / window_s
-            : 0.0;
+    const double measured_bps = window_bps[j];
     // An unpaced link (configured == 0) has no "should be moving"
     // baseline and is never judged.  Silent = work waiting, nothing sent.
     const bool silent = configured > 0.0 && backlog > 0 && !progressed;
@@ -166,6 +175,10 @@ void Supervisor::probe_links(SimTime now) {
     }
     h.last_bytes = bytes;
     h.last_tokens = tokens;
+    verdicts[j] = h.state;
+  }
+  if (adapt_ != nullptr && last_probe_ns_ >= 0) {
+    adapt_->on_probe(now, window_s, window_bps, verdicts);
   }
   if (topology_changed && options_.replay_clustering && fairness_ != nullptr) {
     replay_clustering(now);
@@ -183,6 +196,15 @@ void Supervisor::probe_workers() {
     }
     if (++wh.frozen_probes < options_.worker_stall_probes) continue;
     wh.frozen_probes = 0;  // one attempt per freeze threshold, not per probe
+    if (recorder_ != nullptr) {
+      // The freeze threshold just fired: the stall began (at least)
+      // worker_stall_probes windows ago.  Recorded regardless of whether
+      // the restart below is taken -- the stall was observed either way.
+      const SimDuration span = static_cast<SimDuration>(
+          options_.worker_stall_probes) * options_.probe_interval_ns;
+      const SimTime at = rt_.now_ns();
+      recorder_->record_worker_stall(w, at > span ? at - span : 0, span);
+    }
     if (!options_.restart_stalled_workers) continue;
     restarts_attempted_.fetch_add(1, std::memory_order_relaxed);
     const SimTime now = rt_.now_ns();
@@ -220,6 +242,26 @@ void Supervisor::transition(IfaceId iface, LinkHealth& health, LinkState to,
   what << "link " << rt_.iface_name(iface) << " " << to_string(from) << " -> "
        << to_string(to);
   append_log(now, what.str());
+  // Terminal verdicts feed the determinism signature and the recorder;
+  // suspect flicker deliberately does not (it is probe-timing sensitive).
+  if (to == LinkState::kDead) {
+    {
+      std::lock_guard<std::mutex> lk(verdict_mu_);
+      verdicts_.push_back(rt_.iface_name(iface) + ":dead");
+    }
+    if (recorder_ != nullptr) recorder_->record_link_dead(iface, now);
+  } else if (from == LinkState::kDead && to == LinkState::kHealthy) {
+    {
+      std::lock_guard<std::mutex> lk(verdict_mu_);
+      verdicts_.push_back(rt_.iface_name(iface) + ":revived");
+    }
+    if (recorder_ != nullptr) recorder_->record_link_revived(iface, now);
+  }
+}
+
+std::vector<std::string> Supervisor::verdict_sequence() const {
+  std::lock_guard<std::mutex> lk(verdict_mu_);
+  return verdicts_;
 }
 
 void Supervisor::replay_clustering(SimTime now) {

@@ -85,6 +85,21 @@ class SupervisedRuntime {
     (void)iface;
     return 0;
   }
+  /// Shard topology, for per-shard drain-capacity aggregation by the
+  /// adaptive controller.  Defaulted to a single shard so mocks and
+  /// pacer-only runtimes need not implement it.
+  virtual std::size_t shard_count() const { return 1; }
+  virtual std::uint32_t iface_shard(IfaceId iface) const {
+    (void)iface;
+    return 0;
+  }
+  /// Cumulative end-to-end stage-latency bucket counts (LatencyHistogram
+  /// grid order), summed over interfaces; false when no tracer is wired.
+  /// The adaptive controller diffs successive snapshots for windowed p99.
+  virtual bool sample_e2e_buckets(std::vector<std::uint64_t>& out) const {
+    (void)out;
+    return false;
+  }
 
   // --- Actuation ----------------------------------------------------------
 
@@ -92,6 +107,10 @@ class SupervisedRuntime {
   /// Attempts a safe in-process restart of worker `worker`'s drain loop;
   /// false when the thread is not provably parked at a safe point.
   virtual bool restart_worker(std::uint32_t worker) = 0;
+  /// Current / new overload-shedding byte watermark (0 = shedding off).
+  /// Defaulted no-ops so mocks without an overload path stay valid.
+  virtual std::uint64_t shed_bytes() const { return 0; }
+  virtual void set_shed_bytes(std::uint64_t bytes) { (void)bytes; }
 };
 
 struct SupervisorOptions {
@@ -121,6 +140,9 @@ struct SupervisorOptions {
 
 enum class LinkState : std::uint8_t { kHealthy = 0, kSuspect = 1, kDead = 2 };
 const char* to_string(LinkState state);
+
+class AdaptiveController;
+class FaultPlanRecorder;
 
 class Supervisor {
  public:
@@ -177,6 +199,19 @@ class Supervisor {
   /// before start() and leave it for the supervisor's lifetime.
   void set_flight_log(telemetry::FlightLog* log) { flight_ = log; }
 
+  /// Drives an adaptive controller's on_probe() from each link probe with
+  /// the window's measured drain rates and verdicts.  Set before start().
+  void set_adaptive(AdaptiveController* adapt) { adapt_ = adapt; }
+
+  /// Mirrors dead/revive edges and observed worker stalls into a FaultPlan
+  /// recorder.  Set before start().
+  void set_recorder(FaultPlanRecorder* recorder) { recorder_ = recorder; }
+
+  /// Ordered terminal link verdicts ("name:dead" / "name:revived"), the
+  /// record->replay determinism signature.  Suspect flicker is excluded on
+  /// purpose: it is timing-sensitive, terminal verdicts are not.
+  std::vector<std::string> verdict_sequence() const;
+
   /// Copy of the verdict/event log (probe-thread written, wall order).
   std::vector<FaultLogEntry> log() const;
 
@@ -211,7 +246,9 @@ class Supervisor {
   SupervisedRuntime& rt_;
   SupervisorOptions options_;
   telemetry::FairnessSource* fairness_;
-  telemetry::FlightLog* flight_ = nullptr;  ///< probe-thread only
+  telemetry::FlightLog* flight_ = nullptr;    ///< probe-thread only
+  AdaptiveController* adapt_ = nullptr;       ///< probe-thread only
+  FaultPlanRecorder* recorder_ = nullptr;     ///< probe-thread only
 
   // Probe-thread-owned verdict state; mirrors for cross-thread readers.
   std::vector<LinkHealth> links_;
@@ -229,6 +266,7 @@ class Supervisor {
   mutable std::mutex verdict_mu_;
   std::string clustering_verdict_;
   std::vector<FaultLogEntry> log_;
+  std::vector<std::string> verdicts_;  ///< guarded by verdict_mu_
 
   std::thread thread_;
   std::mutex wake_mu_;

@@ -32,6 +32,13 @@ Selector Selector::low_latency(SimDuration bound) {
   return s;
 }
 
+Selector Selector::min_capacity(double fraction) {
+  Selector s;
+  s.kind = Kind::kMinCapacity;
+  s.capacity_fraction = fraction;
+  return s;
+}
+
 Selector Selector::any() { return Selector{}; }
 
 bool Selector::matches(const InterfaceAttributes& iface) const {
@@ -44,6 +51,8 @@ bool Selector::matches(const InterfaceAttributes& iface) const {
       return !iface.metered;
     case Kind::kLowLatency:
       return iface.typical_latency <= latency_bound;
+    case Kind::kMinCapacity:
+      return iface.capacity_scale >= capacity_fraction;
     case Kind::kAny:
       return true;
   }
@@ -89,6 +98,16 @@ void PreferenceCompiler::set_base_weight(const std::string& app,
                                          double weight) {
   MIDRR_REQUIRE(weight > 0.0, "base weight must be positive");
   base_weights_[app] = weight;
+}
+
+void PreferenceCompiler::set_capacity_scale(const std::string& name,
+                                            double scale) {
+  for (auto& iface : ifaces_) {
+    if (iface.name == name) {
+      iface.capacity_scale = std::clamp(scale, 0.0, 1.0);
+      return;
+    }
+  }
 }
 
 AppPolicy PreferenceCompiler::compile(const std::string& app,

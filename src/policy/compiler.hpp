@@ -32,6 +32,10 @@ struct InterfaceAttributes {
   bool metered = false;               ///< counts against a data cap
   SimDuration typical_latency = 20 * kMillisecond;
   std::uint64_t data_cap_bytes = 0;   ///< 0 = uncapped
+  /// Measured/configured capacity ratio, fed from the supervisor's
+  /// drift measurement (see fault::AdaptiveController); 1.0 = at spec.
+  /// Policies can react to droops via Selector::min_capacity.
+  double capacity_scale = 1.0;
 };
 
 enum class Verb { kRequire, kForbid, kPrefer, kBoost };
@@ -43,14 +47,25 @@ struct Selector {
   static Selector unmetered();
   /// Latency at or below `bound`.
   static Selector low_latency(SimDuration bound = 30 * kMillisecond);
+  /// Measured capacity at or above `fraction` of configured ("prefer
+  /// links actually delivering >= 80% of spec": min_capacity(0.8)).
+  static Selector min_capacity(double fraction);
   static Selector any();
 
   bool matches(const InterfaceAttributes& iface) const;
 
-  enum class Kind { kByName, kMetered, kUnmetered, kLowLatency, kAny };
+  enum class Kind {
+    kByName,
+    kMetered,
+    kUnmetered,
+    kLowLatency,
+    kMinCapacity,
+    kAny,
+  };
   Kind kind = Kind::kAny;
   std::string name;
   SimDuration latency_bound = 0;
+  double capacity_fraction = 0.0;
 };
 
 struct PolicyRule {
@@ -92,6 +107,13 @@ class PreferenceCompiler {
 
   /// Base weight for an app (before kBoost rules); default 1.
   void set_base_weight(const std::string& app, double weight);
+
+  /// Updates `name`'s measured/configured capacity ratio (clamped to
+  /// [0, 1]; unknown names ignored, matching apply()'s tolerance for
+  /// absent interfaces).  The feedback edge of the closed loop: callers
+  /// push fault::AdaptiveController::drift_ratio here and re-compile, so
+  /// min_capacity policies re-lower to measured conditions.
+  void set_capacity_scale(const std::string& name, double scale);
 
   /// Lowers the rules to (willing, weight) for `app`.  `caps`, when given,
   /// masks out cap-exhausted metered interfaces (unless required by name).

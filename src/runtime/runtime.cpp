@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/adapt.hpp"
 #include "util/assert.hpp"
 
 namespace midrr::rt {
@@ -255,6 +256,7 @@ Runtime::Runtime(const RuntimeOptions& options)
                 "(they would run inside the shard locks)");
   MIDRR_REQUIRE(options_.burst_bytes > 0, "burst_bytes must be positive");
   MIDRR_REQUIRE(options_.fanin_batch > 0, "fanin_batch must be positive");
+  shed_bytes_.store(options_.shed_bytes, std::memory_order_relaxed);
   MIDRR_REQUIRE(options_.trace_events == 0 || options_.metrics != nullptr,
                 "trace_events requires a metrics registry (the recorder "
                 "chains behind the per-shard MetricsObserver)");
@@ -705,13 +707,24 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
   // its flow already holds at least its weighted fair share of the
   // watermark (backlog_f / shed_bytes >= weight_f / weight_sum).  Light
   // flows therefore keep landing packets while hoarders are trimmed --
-  // which is what keeps Jain's index high under overload.
-  const bool shedding =
-      options_.shed_bytes != 0 &&
-      shard.backlog_bytes.load(std::memory_order_relaxed) >=
-          options_.shed_bytes;
+  // which is what keeps Jain's index high under overload.  The watermark
+  // is read once per pass (the adaptive controller retunes it live, and
+  // arming and per-flow verdicts must agree within a pass), but both the
+  // arming check and the per-flow shares fold in bytes accepted EARLIER
+  // IN THIS PASS: the scheduler's backlog counters only move at the
+  // batched enqueue below, and a verdict blind to its own pass admits
+  // the whole batch in one gulp whenever the backlog dips under the
+  // watermark.
+  const std::uint64_t shed_watermark =
+      shed_bytes_.load(std::memory_order_relaxed);
+  const std::uint64_t backlog_before =
+      shard.backlog_bytes.load(std::memory_order_relaxed);
+  std::uint64_t pass_accepted_bytes = 0;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.pass_bytes_of_local.size() < shard.weight_of_local.size()) {
+      shard.pass_bytes_of_local.resize(shard.weight_of_local.size(), 0);
+    }
     // Pass 1: translate global -> scheduler-local flow ids in place,
     // compacting away stragglers (flows removed after their packets
     // entered the ring; the control plane published first, so these are
@@ -731,15 +744,22 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
         drop_trace(packet);
         continue;
       }
-      if (shedding && shard.weight_sum > 0.0 &&
-          static_cast<double>(shard.sched->backlog_bytes(local)) *
+      if (shed_watermark != 0 && shard.weight_sum > 0.0 &&
+          backlog_before + pass_accepted_bytes >= shed_watermark &&
+          static_cast<double>(shard.sched->backlog_bytes(local) +
+                              shard.pass_bytes_of_local[local]) *
                   shard.weight_sum >=
-              static_cast<double>(options_.shed_bytes) *
+              static_cast<double>(shed_watermark) *
                   shard.weight_of_local[local]) {
         ++shed;
         drop_trace(packet);
         continue;
       }
+      if (shard.pass_bytes_of_local[local] == 0) {
+        shard.pass_touched.push_back(local);
+      }
+      shard.pass_bytes_of_local[local] += packet.size_bytes;
+      pass_accepted_bytes += packet.size_bytes;
       if (tracer_ != nullptr && packet.trace != 0) {
         tracer_->stamp_fanin(packet.trace,
                              static_cast<std::uint64_t>(t_fanin));
@@ -756,6 +776,10 @@ bool Runtime::drain_ingress(std::uint32_t shard_index, Worker& me,
       shard.backlog_bytes.fetch_add(result.accepted_bytes,
                                     std::memory_order_relaxed);
     }
+    for (const FlowId touched : shard.pass_touched) {
+      shard.pass_bytes_of_local[touched] = 0;
+    }
+    shard.pass_touched.clear();
   }
   const std::uint64_t total = static_cast<std::uint64_t>(scratch.size());
   scratch.clear();
@@ -1256,6 +1280,23 @@ std::uint64_t Runtime::worker_heartbeat(std::uint32_t worker) const {
   return workers_[worker]->heartbeat.load(std::memory_order_relaxed);
 }
 
+std::uint32_t Runtime::iface_shard(IfaceId iface) const {
+  MIDRR_REQUIRE(iface < ifaces_.size(), "unknown interface");
+  return static_cast<std::uint32_t>(ifaces_[iface]->shard);
+}
+
+bool Runtime::sample_e2e_buckets(std::vector<std::uint64_t>& out) const {
+  if (tracer_ == nullptr) return false;
+  out.assign(LatencyHistogram::kBuckets, 0);
+  for (IfaceId j = 0; j < ifaces_.size(); ++j) {
+    const LatencyHistogram& grid = tracer_->e2e_grid(j);
+    for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      out[i] += grid.bucket_count(i);
+    }
+  }
+  return true;
+}
+
 void Runtime::set_iface_down(IfaceId iface, bool down) {
   control().set_iface_down(iface, down);
 }
@@ -1508,12 +1549,25 @@ telemetry::FairnessSample Runtime::fairness_sample() {
   const std::size_t iface_total = ifaces_.size();
   out.capacities_bps.reserve(iface_total);
   out.iface_sent_bytes.reserve(iface_total);
+  // Measured-capacity re-lowering: with an overlay armed, drooped links
+  // report their EFFECTIVE capacity (configured x clamped drift ratio).
+  // Every consumer of this sample -- the max-min solver, the fairness
+  // drift sampler, the supervisor's Theorem-2 replay -- then reasons about
+  // the link the hardware is actually providing, not the configured one.
+  const fault::AdaptiveController* overlay =
+      capacity_overlay_.load(std::memory_order_acquire);
+  IfaceId overlay_iface = 0;
   for (const auto& rec : ifaces_) {
     const RateProfile* profile = rec->pacer.profile();
-    out.capacities_bps.push_back(
-        profile != nullptr ? profile->rate_at(out.at_ns) : -1.0);
+    double capacity =
+        profile != nullptr ? profile->rate_at(out.at_ns) : -1.0;
+    if (overlay != nullptr && capacity > 0.0) {
+      capacity = overlay->effective_capacity_bps(overlay_iface, capacity);
+    }
+    out.capacities_bps.push_back(capacity);
     out.iface_sent_bytes.push_back(
         rec->bytes.load(std::memory_order_relaxed));
+    ++overlay_iface;
   }
   // A fresh reader per call claims and releases an RCU slot (one CAS scan);
   // fine at sampler rates, and it keeps this callable from any thread.

@@ -384,7 +384,7 @@ class Runtime final : public telemetry::FairnessSource,
   /// set).  Valid after start().
   const io::EgressBackend& egress() const;
 
-  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_count() const override { return shards_.size(); }
   std::size_t worker_count() const override { return workers_.size(); }
   std::size_t iface_count() const override { return ifaces_.size(); }
 
@@ -415,6 +415,29 @@ class Runtime final : public telemetry::FairnessSource,
   /// including always when no injector is armed.  The superseded thread is
   /// joined at stop().
   bool restart_worker(std::uint32_t worker) override;
+  /// Shard hosting `iface` (adaptive shedding aggregates drain capacity
+  /// per shard, the unit the watermark actually guards).
+  std::uint32_t iface_shard(IfaceId iface) const override;
+  /// Cumulative end-to-end stage-latency bucket counts summed over
+  /// interfaces; false when no tracer is armed.
+  bool sample_e2e_buckets(std::vector<std::uint64_t>& out) const override;
+  /// Live overload-shedding watermark.  Seeded from
+  /// RuntimeOptions::shed_bytes; the adaptive controller retunes it while
+  /// workers run (drain loops read it per fan-in pass, relaxed).
+  std::uint64_t shed_bytes() const override {
+    return shed_bytes_.load(std::memory_order_relaxed);
+  }
+  void set_shed_bytes(std::uint64_t bytes) override {
+    shed_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  /// Substitutes the controller's re-lowered effective capacities into
+  /// fairness_sample() -- one hook that feeds the max-min solver, the
+  /// fairness-drift sampler, and the supervisor's Theorem-2 replay alike.
+  /// Set before probing starts; the controller must outlive the runtime's
+  /// last fairness_sample() call.
+  void set_capacity_overlay(const fault::AdaptiveController* overlay) {
+    capacity_overlay_.store(overlay, std::memory_order_release);
+  }
 
   // --- Telemetry ----------------------------------------------------------
 
@@ -459,6 +482,16 @@ class Runtime final : public telemetry::FairnessSource,
     // without walking the scheduler.
     std::vector<double> weight_of_local;
     double weight_sum = 0.0;
+    // Fan-in pass scratch (home worker only, under mu): bytes accepted
+    // per local flow WITHIN the current pass.  The scheduler's per-flow
+    // backlog only moves at enqueue_batch, after the verdict loop, so
+    // without this a single pass would admit up to a whole fan-in batch
+    // per flow once the backlog dipped under the watermark -- a sawtooth
+    // whose amplitude (the batch, ~1 MB) swamps the watermark the
+    // adaptive loop is steering.  Cleared at the end of every pass via
+    // the touched list, so cost scales with flows seen, not max_flows.
+    std::vector<std::uint64_t> pass_bytes_of_local;
+    std::vector<FlowId> pass_touched;
     // Backlog & loss accounting (atomics: fan-in and drain run on
     // different workers, and ingress/supervision read them lock-free).
     alignas(kCacheLine) std::atomic<std::uint64_t> backlog_bytes{0};
@@ -587,7 +620,9 @@ class Runtime final : public telemetry::FairnessSource,
   /// The traced packet died before delivery (injected drop, reject, shed,
   /// straggler, io drop): pure accounting.  Safe on untraced packets.
   void drop_trace(const Packet& packet) {
-    if (tracer_ != nullptr && packet.trace != 0) tracer_->drop_sample();
+    if (tracer_ != nullptr && packet.trace != 0) {
+      tracer_->drop_sample(packet.trace);
+    }
   }
   /// stop()-time bounded retry of every stash; the remainder becomes
   /// counted io_drops (never silent loss).  Single-threaded.
@@ -628,6 +663,10 @@ class Runtime final : public telemetry::FairnessSource,
   alignas(kCacheLine) std::atomic<std::uint64_t> backpressure_rejects_{0};
   std::atomic<std::uint64_t> quarantine_rejects_{0};
   std::atomic<std::uint64_t> worker_restarts_{0};
+  // Live shedding watermark (seeded from options, retuned by the adaptive
+  // controller) and the capacity overlay for fairness_sample().
+  std::atomic<std::uint64_t> shed_bytes_{0};
+  std::atomic<const fault::AdaptiveController*> capacity_overlay_{nullptr};
   // Restart bookkeeping: serializes restart_worker against stop(), and
   // holds superseded threads until stop() can join them.
   std::mutex restart_mu_;

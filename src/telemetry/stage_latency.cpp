@@ -35,13 +35,31 @@ std::uint64_t StageTracer::maybe_begin(std::size_t lane_index, FlowId flow,
   Lane& lane = lanes_[lane_index];
   if (flow >= lane.flow_count.size()) return 0;  // out-of-arena: never live
   if (lane.flow_count[flow]++ % options_.sample_every != 0) return 0;
-  const std::uint32_t local = lane.cursor++ % options_.slots_per_lane;
-  const std::uint32_t generation = ++lane.generation[local];  // starts at 1
+  const std::uint32_t local = lane.cursor % options_.slots_per_lane;
   const std::uint64_t slot =
       static_cast<std::uint64_t>(lane_index) * options_.slots_per_lane + local;
+  Record& rec = records_[slot];
+  if (options_.reuse_grace_ns > 0) {
+    // A held slot means its packet is still in flight (completion and
+    // death both release).  Trampling it would starve the histograms of
+    // completions exactly when a saturating producer outruns the drain --
+    // skip this sample instead, and advance the cursor so consecutive
+    // skips sweep the lane for out-of-order frees.  Holds older than the
+    // grace are leaked records; fall through and recycle those.
+    const std::uint64_t occupant = rec.tag.load(std::memory_order_acquire);
+    if (occupant != 0) {
+      const std::uint64_t held = rec.t_offer.load(std::memory_order_relaxed);
+      if (t_offer >= held && t_offer - held < options_.reuse_grace_ns) {
+        ++lane.cursor;
+        skipped_.fetch_add(1, std::memory_order_relaxed);
+        return 0;
+      }
+    }
+  }
+  ++lane.cursor;
+  const std::uint32_t generation = ++lane.generation[local];  // starts at 1
   const std::uint64_t tag = (static_cast<std::uint64_t>(generation) << 32) |
                             slot;
-  Record& rec = records_[slot];
   // Invalidate first so a racing completion of the PREVIOUS occupant fails
   // its tag check instead of reading half-reset stamps, then publish the
   // new tag last.
@@ -100,6 +118,7 @@ bool StageTracer::complete(std::uint64_t tag, std::uint64_t t_offer_expected,
       t_dequeue < t_fanin || t_sent < t_dequeue || t_fanin == 0 ||
       t_dequeue == 0) {
     lost_.fetch_add(1, std::memory_order_relaxed);
+    release(tag);  // this packet's record: done with it either way
     return false;
   }
   IfaceStats& stats = *stats_[iface];
@@ -115,9 +134,21 @@ bool StageTracer::complete(std::uint64_t tag, std::uint64_t t_offer_expected,
   stats.e2e.record(e2e);
   if (stats.e2e_hist != nullptr) stats.e2e_hist->observe(e2e);
   completed_.fetch_add(1, std::memory_order_relaxed);
+  release(tag);
   if (e2e_ns != nullptr) *e2e_ns = e2e;
   if (flow_out != nullptr) *flow_out = flow;
   return true;
+}
+
+void StageTracer::release(std::uint64_t tag) {
+  const std::uint64_t slot = tag & 0xffffffffULL;
+  if (tag == 0 || slot >= records_.size()) return;
+  // CAS: only free the record if this sample still owns it -- a lane that
+  // already trampled and re-claimed the slot must not lose its occupant.
+  std::uint64_t expected = tag;
+  records_[slot].tag.compare_exchange_strong(expected, 0,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed);
 }
 
 double StageTracer::reconciliation_error() const {
@@ -165,6 +196,12 @@ void StageTracer::register_metrics(
                       "Stage-traced packets that died before egress "
                       "(shed, straggler, io drop).",
                       {{"outcome", "dropped"}}, count_of(dropped_));
+  registry.counter_fn("midrr_stage_samples_total",
+                      "Claims skipped because every lane slot was held by "
+                      "an in-flight sample (producer outrunning the drain; "
+                      "sampling degrades to the completion rate instead of "
+                      "trampling live records).",
+                      {{"outcome", "skipped"}}, count_of(skipped_));
   registry.gauge_fn("midrr_stage_reconciliation_error_ratio",
                     "|sum(ring)+sum(queue)+sum(egress) - sum(e2e)| / "
                     "sum(e2e) across all interfaces.  The stages partition "

@@ -27,11 +27,17 @@
 // generation-tagged records; the Packet carries only a 64-bit trace tag
 // (0 = untraced).  Each producer lane owns a private slot range used
 // round-robin -- no freelist, no cross-thread coordination on the claim
-// path.  A slot recycled while its old packet is still in flight is
-// DETECTED at completion (tag mismatch, t_offer cross-check, stage
-// monotonicity) and counted as a lost sample; it can never corrupt the
-// histograms.  Every record field is a relaxed atomic, so concurrent
-// stale writers are benign races by construction (TSan-clean).
+// path.  Completion and death release the record (a single CAS), and a
+// claim SKIPS a slot still held by an in-flight sample younger than
+// `reuse_grace_ns` rather than trampling it -- otherwise a saturating
+// producer (offer rate >> drain rate) recycles every live record before
+// its packet completes and the histograms starve of samples exactly when
+// overload control needs them.  Slots held past the grace (a leaked
+// record whose packet died on an unaccounted path) are reclaimed by the
+// old trample-and-detect rule: the stale completion fails its tag check
+// and is counted lost; it can never corrupt the histograms.  Every record
+// field is a relaxed atomic, so concurrent stale writers are benign races
+// by construction (TSan-clean).
 //
 // Sampling is deterministic 1-in-N per flow per lane: lane-local per-flow
 // offer counters, sample when count % N == 0.  N == 1 traces everything
@@ -66,6 +72,11 @@ class StageTracer {
     /// is still in flight loses that one sample (counted), so this bounds
     /// lanes * slots concurrent traced packets.
     std::uint32_t slots_per_lane = 1024;
+    /// A claim finding its slot held by a sample younger than this skips
+    /// (counted) instead of recycling the live record; older holds are
+    /// presumed leaked and trampled as before.  0 restores unconditional
+    /// recycling.
+    std::uint64_t reuse_grace_ns = 100'000'000;
   };
 
   /// `lanes` = producer count (one claim cursor each); `ifaces` sizes the
@@ -108,8 +119,12 @@ class StageTracer {
                 FlowId* flow_out = nullptr);
 
   /// The traced packet died before egress (shed, straggler, io drop...).
-  /// Pure accounting; the slot is reclaimed by lane round-robin as usual.
-  void drop_sample() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  /// Counts the death and releases the record (if still this sample's) so
+  /// the lane can re-claim the slot immediately.
+  void drop_sample(std::uint64_t tag) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    release(tag);
+  }
 
   // --- Exposition ---------------------------------------------------------
 
@@ -131,6 +146,9 @@ class StageTracer {
   std::uint64_t lost() const { return lost_.load(std::memory_order_relaxed); }
   std::uint64_t dropped() const {
     return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t skipped() const {
+    return skipped_.load(std::memory_order_relaxed);
   }
 
   const LatencyHistogram& stage_grid(IfaceId iface, Stage stage) const {
@@ -174,6 +192,9 @@ class StageTracer {
   };
 
   void stamp(std::uint64_t tag, std::uint64_t t, unsigned field);
+  /// Frees `tag`'s record if it is still the live occupant (a CAS, so a
+  /// slot already re-claimed by the lane is left alone).
+  void release(std::uint64_t tag);
 
   Options options_;
   std::vector<Record> records_;  ///< [lane * slots_per_lane + local]
@@ -183,6 +204,7 @@ class StageTracer {
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> lost_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> skipped_{0};
 };
 
 }  // namespace midrr::telemetry

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -15,22 +16,28 @@
 #include <utility>
 #include <vector>
 
+#include "fault/adapt.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/json.hpp"
+#include "fault/recorder.hpp"
 #include "fault/supervisor.hpp"
 #include "telemetry/fairness_drift.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
+#include "util/latency_histogram.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
 namespace midrr {
 namespace {
 
+using fault::AdaptiveController;
+using fault::AdaptOptions;
 using fault::FaultInjector;
 using fault::FaultKind;
 using fault::FaultPlan;
+using fault::FaultPlanRecorder;
 using fault::IngressAction;
 using fault::JsonValue;
 using fault::LinkState;
@@ -141,6 +148,117 @@ TEST(FaultPlanParse, RejectsSchemaViolationsLoudly) {
   rejects(R"({"seed": 1.5, "events": []})");
   rejects(R"({"seeds": 1, "events": []})");  // unknown top-level key
   rejects(R"({"seed": 1})");                 // missing events
+}
+
+// --- FaultPlan canonical serialization ------------------------------------
+
+TEST(FaultPlanJson, RoundTripIsByteIdenticalForEveryKind) {
+  // kEveryKindPlan covers every fault class the chaos CI plan uses (all 9
+  // kinds).  Canonical form is a fixpoint: parse(to_json()).to_json() must
+  // be byte-identical, per kind, with events stably time-sorted.
+  const FaultPlan plan = FaultPlan::parse_json(kEveryKindPlan);
+  const std::string canonical = plan.to_json();
+  const FaultPlan reparsed = FaultPlan::parse_json(canonical);
+  EXPECT_EQ(reparsed.to_json(), canonical);
+  ASSERT_EQ(reparsed.events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].kind, plan.events[i].kind) << i;
+    EXPECT_EQ(reparsed.events[i].at_ns, plan.events[i].at_ns) << i;
+    EXPECT_EQ(reparsed.events[i].duration_ns, plan.events[i].duration_ns)
+        << i;
+  }
+  EXPECT_EQ(reparsed.seed, 42u);
+  // Integral millisecond timestamps print as integers, so a hand-written
+  // plan's "at_ms": 500 survives the round trip verbatim.
+  EXPECT_NE(canonical.find("\"at_ms\": 500"), std::string::npos);
+  EXPECT_EQ(canonical.find(".000000"), std::string::npos);
+}
+
+TEST(FaultPlanJson, FractionalMillisecondsSurviveTheRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 0.25, "kind": "iface_scale", "iface": 0, "scale": 0.125,
+       "duration_ms": 1.5}]})");
+  EXPECT_EQ(plan.events[0].at_ns, 250 * kMicrosecond);
+  EXPECT_EQ(plan.events[0].duration_ns, 1500 * kMicrosecond);
+  const std::string canonical = plan.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical);
+  EXPECT_NE(canonical.find("\"at_ms\": 0.25"), std::string::npos);
+}
+
+TEST(FaultPlanJson, ObservedNotesRoundTripAndStayReplayInert) {
+  const char* text = R"({
+    "seed": 3,
+    "events": [{"at_ms": 100, "kind": "iface_down", "iface": 0}],
+    "observed": [
+      {"at_ms": 250, "note": "shed engaged watermark_bytes=8192"},
+      {"at_ms": 120, "note": "second \"quoted\" note"}
+    ]
+  })";
+  const FaultPlan plan = FaultPlan::parse_json(text);
+  ASSERT_EQ(plan.observed.size(), 2u);
+  // Stable-sorted by time, like events.
+  EXPECT_EQ(plan.observed[0].at_ns, 120 * kMillisecond);
+  EXPECT_EQ(plan.observed[1].note, "shed engaged watermark_bytes=8192");
+  const std::string canonical = plan.to_json();
+  const FaultPlan reparsed = FaultPlan::parse_json(canonical);
+  EXPECT_EQ(reparsed.to_json(), canonical);
+  ASSERT_EQ(reparsed.observed.size(), 2u);
+  EXPECT_EQ(reparsed.observed[1].note, "shed engaged watermark_bytes=8192");
+  // Replay-inert: the injector compiles the same timeline with or without
+  // the annotations.
+  FaultInjector inj(plan);
+  inj.attach(1, 1);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 200 * kMillisecond), 0.0);
+  // Unknown fields inside an observed entry fail loudly, like events.
+  EXPECT_THROW(FaultPlan::parse_json(
+                   R"({"events": [], "observed": [
+                       {"at_ms": 1, "note": "x", "extra": 2}]})"),
+               std::runtime_error);
+  EXPECT_THROW(FaultPlan::parse_json(
+                   R"({"events": [], "observed": [{"at_ms": -1,
+                       "note": "x"}]})"),
+               std::runtime_error);
+}
+
+// --- FaultPlanRecorder ----------------------------------------------------
+
+TEST(FaultRecorder, RecordedTransitionsReplayThroughAnInjector) {
+  FaultPlanRecorder rec(7);
+  rec.record_link_dead(1, 500 * kMillisecond);
+  rec.record_link_revived(1, 900 * kMillisecond);
+  rec.record_iface_scale(0, 300 * kMillisecond, 700 * kMillisecond, 0.5);
+  rec.record_worker_stall(2, 100 * kMillisecond, 250 * kMillisecond);
+  rec.note(600 * kMillisecond, "shed engaged watermark_bytes=4096");
+  EXPECT_EQ(rec.event_count(), 4u);
+  EXPECT_EQ(rec.note_count(), 1u);
+
+  const FaultPlan plan = rec.plan();
+  EXPECT_EQ(plan.seed, 7u);
+  const std::string canonical = plan.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical)
+      << "a recorded incident is itself a canonical plan";
+
+  // The recorded plan drives an injector: the dead window is a scale-0
+  // step, the droop a 0.5 overlay, both bounded exactly as observed.
+  FaultInjector inj(FaultPlan::parse_json(canonical));
+  inj.attach(2, 3);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 600 * kMillisecond), 0.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(1, 1000 * kMillisecond), 1.0);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 400 * kMillisecond), 0.5);
+  EXPECT_DOUBLE_EQ(inj.iface_scale_at(0, 800 * kMillisecond), 1.0);
+}
+
+TEST(FaultRecorder, SubMillisecondEpisodesWidenToTheSchemaMinimum) {
+  FaultPlanRecorder rec;
+  rec.record_iface_scale(0, 100 * kMillisecond, 100 * kMillisecond, 0.4);
+  rec.record_worker_stall(0, 0, 10);  // 10 ns observed freeze window
+  const FaultPlan plan = rec.plan();
+  ASSERT_EQ(plan.events.size(), 2u);
+  for (const auto& event : plan.events) {
+    EXPECT_GE(event.duration_ns, kMillisecond);
+  }
+  const std::string canonical = plan.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical);
 }
 
 // --- Injector: capacity timelines -----------------------------------------
@@ -676,6 +794,290 @@ TEST(Supervisor, ReplaysClusteringOnTheSurvivingInterfaceSet) {
   EXPECT_TRUE(saw_consistent);
 }
 
+// --- AdaptiveController (probes driven by hand) ---------------------------
+
+/// MockRuntime plus the overload-control seams the adaptive loop drives.
+class AdaptMockRuntime : public MockRuntime {
+ public:
+  std::uint64_t shed = 0;
+  std::vector<std::uint64_t> set_shed_calls;
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> shard_of;  ///< per-iface; empty = all shard 0
+  bool has_tracer = false;
+  std::vector<std::uint64_t> e2e;  ///< cumulative bucket counts
+
+  std::size_t shard_count() const override { return shards; }
+  std::uint32_t iface_shard(IfaceId iface) const override {
+    return iface < shard_of.size() ? shard_of[iface] : 0;
+  }
+  bool sample_e2e_buckets(std::vector<std::uint64_t>& out) const override {
+    if (!has_tracer) return false;
+    out = e2e;
+    return true;
+  }
+  std::uint64_t shed_bytes() const override { return shed; }
+  void set_shed_bytes(std::uint64_t bytes) override {
+    shed = bytes;
+    set_shed_calls.push_back(bytes);
+  }
+};
+
+/// alpha = 1 makes the EWMA track the latest window exactly, so hysteresis
+/// arithmetic in the tests stays integral.
+AdaptOptions unit_options() {
+  AdaptOptions options;
+  options.ewma_alpha = 1.0;
+  return options;
+}
+
+TEST(AdaptiveController, DroopEntersAndExitsThroughHysteresis) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "lte", .configured_bps = 8e6,
+                      .backlog = 10'000});
+  AdaptiveController adapt(rt, unit_options());
+  const std::vector<LinkState> healthy = {LinkState::kHealthy};
+
+  // Two low windows: inside the entry streak, capacity still believed.
+  adapt.on_probe(kMillisecond, 1e-3, {4e6}, healthy);
+  adapt.on_probe(2 * kMillisecond, 1e-3, {4e6}, healthy);
+  EXPECT_FALSE(adapt.drooped(0));
+  EXPECT_DOUBLE_EQ(adapt.effective_capacity_bps(0, 8e6), 8e6);
+  EXPECT_DOUBLE_EQ(adapt.drift_ratio(0), 0.5);
+
+  // Third consecutive low window crosses droop_enter_probes.
+  adapt.on_probe(3 * kMillisecond, 1e-3, {4e6}, healthy);
+  EXPECT_TRUE(adapt.drooped(0));
+  EXPECT_EQ(adapt.droop_enters(), 1u);
+  EXPECT_DOUBLE_EQ(adapt.effective_capacity_bps(0, 8e6), 4e6)
+      << "fairness should believe the measured capacity while drooped";
+
+  // Recovery: two high windows hold the droop, the third clears it.
+  adapt.on_probe(4 * kMillisecond, 1e-3, {8e6}, healthy);
+  adapt.on_probe(5 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_TRUE(adapt.drooped(0));
+  adapt.on_probe(6 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_FALSE(adapt.drooped(0));
+  EXPECT_EQ(adapt.droop_exits(), 1u);
+  EXPECT_DOUBLE_EQ(adapt.effective_capacity_bps(0, 8e6), 8e6);
+}
+
+TEST(AdaptiveController, IdleAndMidBandWindowsBreakTheEntryStreak) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "lte", .configured_bps = 8e6,
+                      .backlog = 10'000});
+  AdaptiveController adapt(rt, unit_options());
+  const std::vector<LinkState> healthy = {LinkState::kHealthy};
+  adapt.on_probe(kMillisecond, 1e-3, {4e6}, healthy);
+  adapt.on_probe(2 * kMillisecond, 1e-3, {4e6}, healthy);
+  // An idle window (no backlog) is not capacity evidence: streak resets.
+  rt.links[0].backlog = 0;
+  adapt.on_probe(3 * kMillisecond, 1e-3, {0.0}, healthy);
+  rt.links[0].backlog = 10'000;
+  adapt.on_probe(4 * kMillisecond, 1e-3, {4e6}, healthy);
+  adapt.on_probe(5 * kMillisecond, 1e-3, {4e6}, healthy);
+  EXPECT_FALSE(adapt.drooped(0)) << "the idle window reset the countdown";
+  // A window inside the hysteresis band (0.70..0.90) also resets it.
+  adapt.on_probe(6 * kMillisecond, 1e-3, {6.4e6}, healthy);  // ratio 0.8
+  adapt.on_probe(7 * kMillisecond, 1e-3, {4e6}, healthy);
+  adapt.on_probe(8 * kMillisecond, 1e-3, {4e6}, healthy);
+  EXPECT_FALSE(adapt.drooped(0));
+  adapt.on_probe(9 * kMillisecond, 1e-3, {4e6}, healthy);
+  EXPECT_TRUE(adapt.drooped(0));
+}
+
+TEST(AdaptiveController, DeadLinksAreTopologyNotDrift) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "a", .configured_bps = 8e6, .backlog = 5'000});
+  rt.links.push_back({.name = "b", .configured_bps = 8e6, .backlog = 5'000});
+  FaultPlanRecorder rec;
+  AdaptiveController adapt(rt, unit_options());
+  adapt.set_recorder(&rec);
+  const std::vector<LinkState> healthy = {LinkState::kHealthy,
+                                          LinkState::kHealthy};
+  for (int i = 1; i <= 3; ++i) {
+    adapt.on_probe(i * kMillisecond, 1e-3, {4e6, 4e6}, healthy);
+  }
+  ASSERT_TRUE(adapt.drooped(0));
+  ASSERT_TRUE(adapt.drooped(1));
+  // Link 1 dies: its open droop closes into the recorder (episodes must
+  // not overlap the recorded iface_down window on replay).
+  adapt.on_probe(4 * kMillisecond, 1e-3, {4e6, 0.0},
+                 {LinkState::kHealthy, LinkState::kDead});
+  EXPECT_TRUE(adapt.drooped(0));
+  EXPECT_FALSE(adapt.drooped(1));
+  EXPECT_EQ(rec.event_count(), 1u);
+  // finalize() closes the remaining episode at shutdown.
+  adapt.finalize(10 * kMillisecond);
+  EXPECT_FALSE(adapt.drooped(0));
+  const FaultPlan plan = rec.plan();
+  ASSERT_EQ(plan.events.size(), 2u);
+  for (const auto& event : plan.events) {
+    EXPECT_EQ(event.kind, FaultKind::kIfaceScale);
+    EXPECT_DOUBLE_EQ(event.scale, 0.5)
+        << "the episode records its lowest measured drift ratio";
+  }
+  const std::string canonical = plan.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical);
+}
+
+TEST(AdaptiveController, WatermarkFollowsLittlesLawOnTheSlowestShard) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "a", .configured_bps = 8e6, .backlog = 1'000});
+  rt.links.push_back({.name = "b", .configured_bps = 16e6, .backlog = 1'000});
+  rt.shards = 2;
+  rt.shard_of = {0, 1};
+  AdaptOptions options = unit_options();
+  options.target_p99_ns = 10 * kMillisecond;
+  AdaptiveController adapt(rt, options);
+  const std::vector<LinkState> healthy = {LinkState::kHealthy,
+                                          LinkState::kHealthy};
+  // No tracer wired: the correction stays at 1, so the watermark is the
+  // pure Little's-law bound of the slowest shard: 8e6/8 * 10 ms = 10 kB.
+  adapt.on_probe(kMillisecond, 1e-3, {8e6, 16e6}, healthy);
+  EXPECT_EQ(rt.shed, 10'000u);
+  EXPECT_EQ(adapt.current_shed_bytes(), 10'000u);
+  EXPECT_DOUBLE_EQ(adapt.correction(), 1.0);
+  EXPECT_FALSE(adapt.shed_active()) << "backlog sits below the watermark";
+
+  // The slow shard droops to 4 Mb/s: the watermark halves with it.
+  adapt.on_probe(2 * kMillisecond, 1e-3, {4e6, 16e6}, healthy);
+  EXPECT_EQ(rt.shed, 5'000u);
+
+  // A dead slow link leaves the fast shard as the binding one.
+  adapt.on_probe(3 * kMillisecond, 1e-3, {0.0, 16e6},
+                 {LinkState::kDead, LinkState::kHealthy});
+  EXPECT_EQ(rt.shed, 20'000u);
+
+  // Floor clamp: a millisecond-scale target cannot shed everything.
+  adapt.set_target_p99_ns(kMillisecond / 1000);  // 1 us
+  adapt.on_probe(4 * kMillisecond, 1e-3, {8e6, 16e6}, healthy);
+  EXPECT_EQ(rt.shed, options.shed_floor_bytes);
+  EXPECT_EQ(adapt.retunes(), 1u);
+
+  // Target 0 disarms the shedding half without touching the watermark.
+  adapt.set_target_p99_ns(0);
+  const std::uint64_t before = rt.shed;
+  adapt.on_probe(5 * kMillisecond, 1e-3, {8e6, 16e6}, healthy);
+  EXPECT_EQ(rt.shed, before);
+  EXPECT_FALSE(adapt.shed_active());
+}
+
+TEST(AdaptiveController, ShedEngageEdgesAreRecordedWithTheWatermark) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "a", .configured_bps = 8e6,
+                      .backlog = 50'000});
+  FaultPlanRecorder rec;
+  AdaptOptions options = unit_options();
+  options.target_p99_ns = 10 * kMillisecond;
+  AdaptiveController adapt(rt, options);
+  adapt.set_recorder(&rec);
+  const std::vector<LinkState> healthy = {LinkState::kHealthy};
+  // Backlog 50 kB >= watermark 10 kB: shedding arms, one engage edge.
+  adapt.on_probe(kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_TRUE(adapt.shed_active());
+  EXPECT_EQ(adapt.shed_engages(), 1u);
+  adapt.on_probe(2 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_EQ(adapt.shed_engages(), 1u) << "edge-triggered, not per probe";
+  rt.links[0].backlog = 1'000;
+  adapt.on_probe(3 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_FALSE(adapt.shed_active());
+  EXPECT_EQ(rec.note_count(), 2u) << "engage and disengage annotations";
+  const FaultPlan plan = rec.plan();
+  ASSERT_EQ(plan.observed.size(), 2u);
+  EXPECT_NE(plan.observed[0].note.find("shed engaged watermark_bytes=10000"),
+            std::string::npos)
+      << plan.observed[0].note;
+}
+
+TEST(AdaptiveController, WindowedP99DrivesTheMultiplicativeCorrection) {
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "a", .configured_bps = 8e6, .backlog = 1'000});
+  rt.has_tracer = true;
+  rt.e2e.assign(LatencyHistogram::kBuckets, 0);
+  AdaptOptions options = unit_options();
+  options.target_p99_ns = 10 * kMillisecond;
+  AdaptiveController adapt(rt, options);
+  const std::vector<LinkState> healthy = {LinkState::kHealthy};
+
+  // Window 1: 100 samples at ~1 ms, an order of magnitude under target.
+  // The correction rises by exactly exp(gain * 1) (the log error clamps).
+  rt.e2e[LatencyHistogram::index_of(kMillisecond)] = 100;
+  adapt.on_probe(kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_GT(adapt.windowed_p99_ns(), 0.0);
+  EXPECT_LT(adapt.windowed_p99_ns(), 2.0 * kMillisecond);
+  const double risen = adapt.correction();
+  EXPECT_NEAR(risen, std::exp(options.gain), 1e-9);
+
+  // Window 2: no new samples -- too thin to judge, correction held.
+  adapt.on_probe(2 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_DOUBLE_EQ(adapt.correction(), risen);
+
+  // Window 3: 100 fresh samples at ~100 ms, far above target: backs off.
+  rt.e2e[LatencyHistogram::index_of(100 * kMillisecond)] += 100;
+  adapt.on_probe(3 * kMillisecond, 1e-3, {8e6}, healthy);
+  EXPECT_LT(adapt.correction(), risen);
+  EXPECT_GT(adapt.windowed_p99_ns(), 10.0 * kMillisecond);
+}
+
+// --- Supervisor feeds the controller + verdict sequence -------------------
+
+TEST(Supervisor, MeasuredDrainFeedsDriftNotConfiguredCapacity) {
+  // The probe window measures what the link actually moved.  A link
+  // draining at half its configured rate must push the controller's drift
+  // ratio toward 0.5 -- the estimate tracks the measured rate, never the
+  // configured one (that is the entire point of re-lowering).
+  AdaptMockRuntime rt;
+  rt.links.push_back({.name = "lte", .configured_bps = 8e6,
+                      .backlog = 50'000});
+  rt.heartbeats = {0};
+  Supervisor sup(rt, fast_options());
+  AdaptOptions options = unit_options();
+  AdaptiveController adapt(rt, options);
+  sup.set_adaptive(&adapt);
+  sup.probe();  // baseline window (zero-length: controller not fed)
+  for (int i = 0; i < 4; ++i) {
+    // 500 bytes per 1 ms probe window = 4 Mb/s against 8 Mb/s configured.
+    rt.links[0].sent_bytes += 500;
+    tick(rt, sup);
+  }
+  EXPECT_NEAR(adapt.drift_ratio(0), 0.5, 1e-9);
+  EXPECT_TRUE(adapt.drooped(0)) << "three sub-0.70 windows entered a droop";
+  EXPECT_EQ(adapt.updates(), 4u);
+}
+
+TEST(Supervisor, VerdictSequenceAndRecorderMirrorTerminalTransitions) {
+  MockRuntime rt;
+  rt.links.push_back({.name = "wifi", .backlog = 10'000});
+  rt.heartbeats = {0};
+  FaultPlanRecorder rec(5);
+  SupervisorOptions options = fast_options();
+  // The mock's heartbeat never moves; keep the worker watchdog out of the
+  // recorded plan so only the link edges land in it.
+  options.worker_stall_probes = 1000;
+  Supervisor sup(rt, options);
+  sup.set_recorder(&rec);
+  sup.probe();
+  for (int i = 0; i < 3; ++i) tick(rt, sup);
+  ASSERT_EQ(sup.link_state(0), LinkState::kDead);
+  EXPECT_EQ(sup.verdict_sequence(),
+            (std::vector<std::string>{"wifi:dead"}));
+  rt.links[0].tokens = 2000.0;
+  tick(rt, sup);
+  tick(rt, sup);  // healthy_after_probes = 2
+  ASSERT_EQ(sup.link_state(0), LinkState::kHealthy);
+  EXPECT_EQ(sup.verdict_sequence(),
+            (std::vector<std::string>{"wifi:dead", "wifi:revived"}));
+  // The recorder holds the same two edges as a replayable plan.
+  const FaultPlan plan = rec.plan();
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kIfaceDown);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kIfaceUp);
+  EXPECT_LT(plan.events[0].at_ns, plan.events[1].at_ns);
+  EXPECT_EQ(plan.seed, 5u);
+  const std::string canonical = plan.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical);
+}
+
 // --- Metrics registration (names only; scrape correctness lives in the
 // telemetry suite) ---------------------------------------------------------
 
@@ -689,9 +1091,12 @@ TEST(FaultTelemetry, InjectorAndSupervisorSeriesAppearInTheRegistry) {
   rt.heartbeats = {0};
   Supervisor sup(rt, fast_options());
 
+  AdaptiveController adapt(rt, AdaptOptions{});
+
   telemetry::MetricsRegistry registry;
   inj.register_metrics(registry);
   sup.register_metrics(registry);
+  adapt.register_metrics(registry);
   const std::string text = telemetry::render_prometheus(registry);
   for (const char* name :
        {"midrr_fault_ingress_total", "midrr_fault_pool_rejects_total",
@@ -701,7 +1106,12 @@ TEST(FaultTelemetry, InjectorAndSupervisorSeriesAppearInTheRegistry) {
         "midrr_supervisor_link_transitions_total",
         "midrr_supervisor_worker_restarts_total",
         "midrr_supervisor_clustering_checks_total",
-        "midrr_supervisor_clustering_violations_total"}) {
+        "midrr_supervisor_clustering_violations_total",
+        "midrr_adapt_shed_bytes", "midrr_adapt_target_p99_ns",
+        "midrr_adapt_windowed_p99_ns", "midrr_adapt_correction",
+        "midrr_adapt_shedding_active", "midrr_adapt_updates_total",
+        "midrr_adapt_retunes_total", "midrr_adapt_droop_events_total",
+        "midrr_supervisor_capacity_drift_ratio"}) {
     EXPECT_NE(text.find(name), std::string::npos) << name;
   }
 }

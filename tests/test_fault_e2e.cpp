@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "fairness/maxmin.hpp"
+#include "fault/adapt.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "fault/recorder.hpp"
 #include "fault/supervisor.hpp"
 #include "runtime/load_generator.hpp"
 #include "runtime/runtime.hpp"
@@ -475,6 +477,202 @@ TEST(FaultE2E, KillFlapReviveConservesPacketsAndRecoversFairness) {
         << "flow " << i << " measured " << to_mbps(measured[i])
         << " Mb/s post-recovery, reference " << to_mbps(want) << " Mb/s";
   }
+}
+
+// --- The closed loop: measured capacity, adaptive shedding, recording -----
+
+TEST(AdaptE2E, DrainMeasurementTracksThePacerScaleNotTheConfig) {
+  // A 50% capacity droop injected at the pacer (`set_rate_scale`) while
+  // iface_configured_bps keeps reporting the profile rate: the supervisor's
+  // window measurement must see the SCALED drain, push the controller's
+  // drift ratio toward 0.5, and enter a droop -- without ever declaring the
+  // link dead (it still moves bytes).
+  FaultInjector injector(FaultPlan::parse_json(R"({"events": [
+      {"at_ms": 200, "kind": "iface_scale", "iface": 0, "scale": 0.5,
+       "duration_ms": 600000}]})"));
+  RuntimeOptions options;
+  options.fault = &injector;
+  options.backpressure_bytes = 256 * 1024;  // bound memory; keep backlog
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(mbps(20)));
+  runtime.control().add_flow({.willing = {0}, .name = "f"});
+
+  fault::AdaptiveController adapt(runtime, fault::AdaptOptions{});
+  runtime.set_capacity_overlay(&adapt);
+  runtime.start();
+
+  SupervisorOptions sup_options;
+  sup_options.probe_interval_ns = 10 * kMillisecond;
+  sup_options.dead_after_probes = 8;
+  sup_options.replay_clustering = false;
+  Supervisor supervisor(runtime, sup_options);
+  supervisor.set_adaptive(&adapt);
+  supervisor.start();
+
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;
+  LoadGenerator generator(runtime, load);
+  generator.start();
+
+  ASSERT_TRUE(wait_for(15.0, [&] { return adapt.drooped(0); }))
+      << "three backlogged sub-0.70 windows must enter a droop";
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));  // EWMA settle
+  EXPECT_NEAR(adapt.drift_ratio(0), 0.5, 0.15)
+      << "the estimate tracks the scaled pacer, not the configured rate";
+  EXPECT_EQ(supervisor.link_state(0), LinkState::kHealthy)
+      << "a drooped link still moves bytes: degraded capacity is not death";
+  EXPECT_NEAR(adapt.effective_capacity_bps(0, mbps(20)),
+              adapt.drift_ratio(0) * mbps(20), 1.0)
+      << "fairness inputs re-lower to measured capacity while drooped";
+  EXPECT_GE(adapt.droop_enters(), 1u);
+
+  generator.stop();
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    const RuntimeStats s = runtime.stats();
+    return s.offered == accounted(s);
+  }));
+  supervisor.stop();
+  runtime.stop();
+}
+
+TEST(AdaptE2E, ClosedLoopHoldsP99AndFairnessThroughAnUnscriptedDroop) {
+  // The acceptance run: 2x+ overload with an unscripted 50% capacity droop
+  // on one of two interfaces.  The closed loop must (a) derive a shed
+  // watermark that holds traced p99 near the stated target, (b) re-lower
+  // fairness shares to measured capacity (Jain stays high on symmetric
+  // flows), and (c) record the whole incident as a FaultPlan that replays
+  // through the injector with the conservation identity exact and the same
+  // supervisor verdict sequence.
+  constexpr SimDuration kTarget = 20 * kMillisecond;
+  FaultInjector injector(FaultPlan::parse_json(R"({"seed": 3, "events": [
+      {"at_ms": 600, "kind": "iface_scale", "iface": 1, "scale": 0.5,
+       "duration_ms": 2500}]})"));
+  RuntimeOptions options;
+  options.fault = &injector;
+  options.stage_sample_every = 1;           // the p99 the loop steers by
+  options.backpressure_bytes = 4 * 1024 * 1024;  // far above the watermark:
+                                                 // shedding is the control
+  Runtime runtime(options);
+  runtime.add_interface("if0", RateProfile(mbps(20)));
+  runtime.add_interface("if1", RateProfile(mbps(20)));
+  std::vector<FlowId> flows;
+  for (int i = 0; i < 4; ++i) {
+    flows.push_back(runtime.control().add_flow(
+        {.willing = {0, 1}, .name = "f" + std::to_string(i)}));
+  }
+
+  fault::FaultPlanRecorder recorder(3);
+  fault::AdaptOptions aopts;
+  aopts.target_p99_ns = kTarget;
+  fault::AdaptiveController adapt(runtime, aopts);
+  adapt.set_recorder(&recorder);
+  runtime.set_capacity_overlay(&adapt);
+  runtime.start();
+
+  SupervisorOptions sup_options;
+  sup_options.probe_interval_ns = 10 * kMillisecond;
+  sup_options.dead_after_probes = 8;
+  sup_options.healthy_after_probes = 3;
+  Supervisor supervisor(runtime, sup_options, &runtime);
+  supervisor.set_adaptive(&adapt);
+  supervisor.set_recorder(&recorder);
+  supervisor.start();
+
+  LoadGeneratorOptions load;
+  load.packet_bytes = 1000;  // unthrottled: far past 2x the link rates
+  LoadGenerator generator(runtime, load);
+  generator.start();
+
+  // The droop is unscripted from the supervisor's point of view: it must
+  // be DISCOVERED from the drain measurement.
+  ASSERT_TRUE(wait_for(15.0, [&] { return adapt.drooped(1); }))
+      << "the capacity droop must be discovered, not configured";
+  EXPECT_EQ(supervisor.link_state(1), LinkState::kHealthy);
+  ASSERT_TRUE(wait_for(10.0, [&] { return runtime.stats().shed_drops > 0; }))
+      << "the derived watermark must engage under 2x overload";
+
+  // Steady state inside the droop window: p99 near target, Jain high.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));  // settle
+  std::vector<std::uint64_t> before;
+  for (const FlowId f : flows) before.push_back(runtime.sent_bytes(f));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  std::vector<double> rates;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    rates.push_back(
+        static_cast<double>(runtime.sent_bytes(flows[i]) - before[i]));
+  }
+  EXPECT_GE(jain(rates), 0.95)
+      << "weight-aware shedding on re-lowered shares keeps symmetric flows "
+         "symmetric";
+  const double p99 = adapt.windowed_p99_ns();
+  const double leeway = kRateTolerance > 0.2 ? 4.0 : 2.0;  // sanitizers
+  EXPECT_GT(p99, 0.0) << "the tracer window must be thick enough to judge";
+  EXPECT_LE(p99, leeway * static_cast<double>(kTarget))
+      << "the correction loop holds traced p99 near the stated objective";
+  EXPECT_NEAR(adapt.drift_ratio(1), 0.5, 0.15);
+
+  generator.stop();
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    const RuntimeStats s = runtime.stats();
+    return s.offered == accounted(s);
+  })) << "conservation identity must close once ingress stops";
+  supervisor.stop();
+  adapt.finalize(runtime.now_ns());
+  runtime.stop();
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.offered, accounted(stats));
+  EXPECT_GT(stats.shed_drops, 0u);
+
+  // The incident became a script: canonical, replayable, deterministic.
+  const FaultPlan recorded = recorder.plan();
+  const std::string canonical = recorded.to_json();
+  EXPECT_EQ(FaultPlan::parse_json(canonical).to_json(), canonical);
+  bool saw_droop_episode = false;
+  for (const auto& event : recorded.events) {
+    if (event.kind == fault::FaultKind::kIfaceScale && event.iface == 1) {
+      saw_droop_episode = true;
+      EXPECT_GE(event.scale, 0.2);
+      EXPECT_LE(event.scale, 0.75);
+    }
+  }
+  EXPECT_TRUE(saw_droop_episode)
+      << "the recorder must hold the observed droop as an iface_scale event";
+
+  // Replay the recorded plan against a fresh runtime: same verdicts, exact
+  // conservation.  (The CI chaos gate runs the richer kill-laden variant.)
+  FaultInjector replay(FaultPlan::parse_json(canonical));
+  RuntimeOptions ropts;
+  ropts.fault = &replay;
+  ropts.stage_sample_every = 1;
+  ropts.backpressure_bytes = 4 * 1024 * 1024;
+  Runtime rerun(ropts);
+  rerun.add_interface("if0", RateProfile(mbps(20)));
+  rerun.add_interface("if1", RateProfile(mbps(20)));
+  for (int i = 0; i < 4; ++i) {
+    rerun.control().add_flow(
+        {.willing = {0, 1}, .name = "f" + std::to_string(i)});
+  }
+  fault::AdaptiveController replay_adapt(rerun, aopts);
+  rerun.set_capacity_overlay(&replay_adapt);
+  rerun.start();
+  Supervisor replay_sup(rerun, sup_options, &rerun);
+  replay_sup.set_adaptive(&replay_adapt);
+  replay_sup.start();
+  LoadGenerator replay_gen(rerun, load);
+  replay_gen.start();
+  const SimTime horizon = recorded.horizon_ns();
+  ASSERT_TRUE(wait_for(20.0, [&] { return rerun.now_ns() > horizon; }));
+  replay_gen.stop();
+  ASSERT_TRUE(wait_for(10.0, [&] {
+    const RuntimeStats s = rerun.stats();
+    return s.offered == accounted(s);
+  })) << "the replayed incident must conserve packets exactly";
+  replay_sup.stop();
+  rerun.stop();
+  const RuntimeStats replay_stats = rerun.stats();
+  EXPECT_EQ(replay_stats.offered, accounted(replay_stats));
+  EXPECT_EQ(replay_sup.verdict_sequence(), supervisor.verdict_sequence())
+      << "record -> replay must walk the same terminal verdict sequence";
 }
 
 }  // namespace

@@ -65,6 +65,50 @@ TEST(Compiler, PreferIsSoft) {
   EXPECT_EQ(c2.compile("voip").willing.size(), 3u);
 }
 
+TEST(Selector, MinCapacityReadsTheMeasuredScale) {
+  InterfaceAttributes lte{"lte", true, 45 * kMillisecond, 0};
+  EXPECT_TRUE(Selector::min_capacity(0.8).matches(lte))
+      << "capacity_scale defaults to 1.0 (at spec)";
+  lte.capacity_scale = 0.5;
+  EXPECT_FALSE(Selector::min_capacity(0.8).matches(lte));
+  EXPECT_TRUE(Selector::min_capacity(0.5).matches(lte));
+}
+
+TEST(Compiler, CapacityScaleRelowersMinCapacityPolicies) {
+  // The closed loop's policy edge: the supervisor measures a droop, the
+  // caller pushes drift_ratio here, and a min_capacity PREFER re-lowers
+  // away from the drooped link -- then back when it recovers.
+  auto c = phone();
+  c.add_rule({"video", Verb::kPrefer, Selector::min_capacity(0.8)});
+  EXPECT_EQ(c.compile("video").willing.size(), 3u);
+
+  c.set_capacity_scale("wifi", 0.5);  // measured at half spec
+  EXPECT_EQ(c.compile("video").willing,
+            (std::vector<std::string>{"lte", "ethernet"}));
+
+  c.set_capacity_scale("wifi", 1.0);  // recovered
+  EXPECT_EQ(c.compile("video").willing.size(), 3u);
+
+  // A REQUIRE with every link drooped empties the willing set (the
+  // scheduler's guard rails own that case, not the compiler).
+  auto strict = phone();
+  strict.add_rule({"video", Verb::kRequire, Selector::min_capacity(0.9)});
+  strict.set_capacity_scale("wifi", 0.3);
+  strict.set_capacity_scale("lte", 0.3);
+  strict.set_capacity_scale("ethernet", 0.3);
+  EXPECT_TRUE(strict.compile("video").willing.empty());
+}
+
+TEST(Compiler, CapacityScaleClampsAndIgnoresUnknownNames) {
+  auto c = phone();
+  c.set_capacity_scale("wifi", 1.7);   // over-delivering links cap at spec
+  c.set_capacity_scale("lte", -0.25);  // garbage measurement clamps to 0
+  c.set_capacity_scale("ghost", 0.5);  // absent interface: tolerated
+  EXPECT_DOUBLE_EQ(c.interfaces()[0].capacity_scale, 1.0);
+  EXPECT_DOUBLE_EQ(c.interfaces()[1].capacity_scale, 0.0);
+  EXPECT_FALSE(Selector::min_capacity(0.1).matches(c.interfaces()[1]));
+}
+
 TEST(Compiler, RulesStackInOrder) {
   auto c = phone();
   c.add_rule({"sync", Verb::kForbid, Selector::metered()});

@@ -101,7 +101,9 @@ TEST(StageTracer, ReconciliationInvariantHoldsOnSumsExactly) {
 }
 
 TEST(StageTracer, RecycledSlotIsLostNeverCorrupt) {
-  StageTracer tracer(1, 1, 4, trace_all(/*slots=*/2));
+  StageTracer::Options o = trace_all(/*slots=*/2);
+  o.reuse_grace_ns = 0;  // unconditional recycling: the trample contract
+  StageTracer tracer(1, 1, 4, o);
   const std::uint64_t first = tracer.maybe_begin(0, 0, 10);
   tracer.stamp_fanin(first, 20);
   tracer.stamp_dequeue(first, 30);
@@ -171,9 +173,38 @@ TEST(StageTracer, DroppedSamplesAreCountedSeparately) {
   StageTracer tracer(1, 1, 4, trace_all());
   const std::uint64_t tag = tracer.maybe_begin(0, 0, 100);
   ASSERT_NE(tag, 0u);
-  tracer.drop_sample();  // the packet was shed before egress
+  tracer.drop_sample(tag);  // the packet was shed before egress
   EXPECT_EQ(tracer.dropped(), 1u);
   EXPECT_EQ(tracer.lost(), 0u);
+}
+
+TEST(StageTracer, InFlightSlotsAreSkippedNotTrampled) {
+  // One slot, default grace: while a sample is in flight the lane refuses
+  // to recycle it -- a saturating producer must not starve completions of
+  // the records they need (the adaptive shed loop reads windowed p99 from
+  // exactly these histograms under exactly that overload).
+  StageTracer tracer(1, 1, 4, trace_all(/*slots=*/1));
+  const std::uint64_t first = tracer.maybe_begin(0, 0, 1000);
+  ASSERT_NE(first, 0u);
+  EXPECT_EQ(tracer.maybe_begin(0, 1, 1001), 0u) << "slot held: skip";
+  EXPECT_EQ(tracer.maybe_begin(0, 2, 1002), 0u);
+  EXPECT_EQ(tracer.skipped(), 2u);
+  // Completion releases the record; the very next claim takes the slot.
+  tracer.stamp_fanin(first, 1100);
+  tracer.stamp_dequeue(first, 1200);
+  ASSERT_TRUE(tracer.complete(first, 1000, 1300, 0, nullptr));
+  const std::uint64_t second = tracer.maybe_begin(0, 3, 2000);
+  EXPECT_NE(second, 0u);
+  // Death releases it too.
+  tracer.drop_sample(second);
+  EXPECT_NE(tracer.maybe_begin(0, 0, 3000), 0u)
+      << "sample_every=1: flow 0's next offer claims the freed slot";
+  // A hold older than the grace is presumed leaked and recycled.
+  const std::uint64_t grace = StageTracer::Options{}.reuse_grace_ns;
+  const std::uint64_t stale = tracer.maybe_begin(0, 1, 5000);
+  ASSERT_EQ(stale, 0u) << "slot still held by the previous claim";
+  EXPECT_NE(tracer.maybe_begin(0, 2, 5000 + grace), 0u)
+      << "past the grace the leaked record is trampled";
 }
 
 TEST(StageTracer, RegistersMetricsAndMirrorsSamples) {

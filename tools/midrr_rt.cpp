@@ -9,6 +9,7 @@
 // percentiles.  With `--json` the report is a single JSON object on
 // stdout (what bench/rt_throughput collects into BENCH_rt.json).
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -21,8 +22,10 @@
 #include <vector>
 
 #include "core/scenario_text.hpp"  // parse_rate_bps
+#include "fault/adapt.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "fault/recorder.hpp"
 #include "fault/supervisor.hpp"
 #include "io/udp_backend.hpp"
 #include "io/uring_backend.hpp"
@@ -77,6 +80,16 @@ int usage() {
          "                  bytes of backlog (0 = off, the default)\n"
          "  --shed-bytes B  weight-aware overload shedding at fan-in past\n"
          "                  B bytes of shard backlog (0 = off, the default)\n"
+         "  --shed-target-p99-ms T  adaptive shedding (needs --supervise):\n"
+         "                  derive the shed watermark live from measured\n"
+         "                  drain rates + traced p99 to hold end-to-end p99\n"
+         "                  near T ms; retune via /adapt?target_p99_ms=X\n"
+         "                  (implies --stage-sample 64 if unset; overrides\n"
+         "                  --shed-bytes once the first probe lands)\n"
+         "  --record-faults F  record observed transitions (link dead/\n"
+         "                  revive edges, capacity droops, worker stalls,\n"
+         "                  shed episodes) as a replayable FaultPlan JSON\n"
+         "                  at F on exit (needs --supervise)\n"
          "  --egress B      sim|udp|uring|auto: where dequeued bursts go\n"
          "                  (default sim = pacer-only sink; udp emits real\n"
          "                  datagrams via sendmmsg, see --udp-* below;\n"
@@ -102,7 +115,8 @@ int usage() {
          "                  trip at stop (fatal signals write F.fatal)\n"
          "  --json          machine-readable report on stdout\n"
          "  --telemetry P   serve /metrics, /healthz, /flows, /classes,\n"
-         "                  /buildinfo (and /slo with --slo) on 127.0.0.1:P\n"
+         "                  /buildinfo (/slo with --slo, /adapt with\n"
+         "                  --shed-target-p99-ms) on 127.0.0.1:P\n"
          "                  (0 = ephemeral; bound port printed to stderr)\n"
          "  --trace-out F   capture scheduler events + worker spans, write\n"
          "                  Chrome trace-event JSON to F after the run\n";
@@ -134,6 +148,8 @@ int main(int argc, char** argv) {
   bool supervise = false;
   std::uint64_t backpressure_bytes = 0;
   std::uint64_t shed_bytes = 0;
+  double shed_target_p99_ms = 0.0;  // 0 = static watermark
+  std::string record_faults_file;
   std::string egress_name = "sim";
   std::vector<std::string> udp_dests;
   std::uint16_t udp_base_port = 0;
@@ -182,6 +198,9 @@ int main(int argc, char** argv) {
       else if (key == "--backpressure-bytes")
         backpressure_bytes = std::stoull(value());
       else if (key == "--shed-bytes") shed_bytes = std::stoull(value());
+      else if (key == "--shed-target-p99-ms")
+        shed_target_p99_ms = std::stod(value());
+      else if (key == "--record-faults") record_faults_file = value();
       else if (key == "--egress") egress_name = value();
       else if (key == "--udp-dest") udp_dests.push_back(value());
       else if (key == "--udp-base-port")
@@ -200,8 +219,18 @@ int main(int argc, char** argv) {
     if (flows == 0 || flows_per_class == 0 || ifaces == 0 || duration_s <= 0.0)
       return usage();
     // Burn rates consume the tracer's sampled e2e latencies; an SLO with
-    // no tracer would sit silently at 0 forever.
+    // no tracer would sit silently at 0 forever.  Same for the adaptive
+    // shedding loop's windowed p99.
     if (!slo_texts.empty() && stage_sample == 0) stage_sample = 64;
+    if (shed_target_p99_ms > 0.0 && stage_sample == 0) stage_sample = 64;
+    if (shed_target_p99_ms > 0.0 && !supervise) {
+      throw std::runtime_error("--shed-target-p99-ms needs --supervise "
+                               "(the loop runs off the probe cadence)");
+    }
+    if (!record_faults_file.empty() && !supervise) {
+      throw std::runtime_error("--record-faults needs --supervise (the "
+                               "recorder mirrors supervisor verdicts)");
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return usage();
@@ -416,13 +445,32 @@ int main(int argc, char** argv) {
 
     // The supervisor probes AFTER start() (worker slots exist only then).
     std::unique_ptr<fault::Supervisor> supervisor;
+    std::unique_ptr<fault::AdaptiveController> adapt;
+    std::unique_ptr<fault::FaultPlanRecorder> recorder;
     if (supervise) {
       supervisor = std::make_unique<fault::Supervisor>(
           runtime, fault::SupervisorOptions{}, &runtime);
       if (supervisor_flight != nullptr) {
         supervisor->set_flight_log(supervisor_flight);
       }
-      if (telemetry_on) supervisor->register_metrics(registry);
+      // The closed loop rides the probe cadence: each probe window feeds
+      // measured drain rates into the controller, which re-lowers the
+      // capacities fairness sampling sees and retunes the shed watermark.
+      fault::AdaptOptions aopts;
+      aopts.target_p99_ns = static_cast<SimDuration>(
+          shed_target_p99_ms * 1e6 + 0.5);
+      adapt = std::make_unique<fault::AdaptiveController>(runtime, aopts);
+      runtime.set_capacity_overlay(adapt.get());
+      supervisor->set_adaptive(adapt.get());
+      if (!record_faults_file.empty()) {
+        recorder = std::make_unique<fault::FaultPlanRecorder>(1);
+        supervisor->set_recorder(recorder.get());
+        adapt->set_recorder(recorder.get());
+      }
+      if (telemetry_on) {
+        supervisor->register_metrics(registry);
+        adapt->register_metrics(registry);
+      }
       supervisor->start();
     }
 
@@ -445,6 +493,7 @@ int main(int argc, char** argv) {
         // (syscalls, hard send errors) -- sustained send errors are what
         // drive the supervisor's suspect verdicts under real I/O.
         fault::Supervisor* sup = supervisor.get();  // may be null
+        fault::AdaptiveController* ad = adapt.get();  // may be null
         Runtime* rt = &runtime;
         telemetry::FlightRecorder* fr = flight.get();  // may be null
         telemetry::FlightLog* health_log = health_flight;
@@ -452,7 +501,7 @@ int main(int argc, char** argv) {
         // degraded TRANSITION, not on every probe of a flapping state.
         auto was_degraded = std::make_shared<std::atomic<bool>>(false);
         const std::string dump_path = flight_dump;
-        server->handle("/healthz", [sup, rt, fr, health_log, was_degraded,
+        server->handle("/healthz", [sup, ad, rt, fr, health_log, was_degraded,
                                     dump_path](const http::HttpRequest&) {
           telemetry::HandlerResult r;
           std::ostringstream body;
@@ -492,6 +541,15 @@ int main(int argc, char** argv) {
               detail << " " << rt->iface_name(static_cast<IfaceId>(j))
                      << "_errors=" << errs;
             }
+          }
+          if (ad != nullptr) {
+            // Shedding state rides along so orchestrators can tell "503
+            // because a link died" apart from "200 but actively shedding
+            // to hold the latency target".
+            detail << "\nshedding active=" << (ad->shed_active() ? 1 : 0)
+                   << " shed_bytes=" << rt->shed_bytes()
+                   << " target_p99_ms="
+                   << static_cast<double>(ad->target_p99_ns()) / 1e6;
           }
           r.body = (r.status == 200 ? "ok\n" : "degraded\n" + body.str()) +
                    detail.str() + "\n";
@@ -563,6 +621,60 @@ int main(int argc, char** argv) {
           r.content_type = "application/json";
           r.body =
               slo_ptr->json(static_cast<std::uint64_t>(rt2->now_ns()));
+          return r;
+        });
+      }
+      if (adapt != nullptr) {
+        // Live view of the closed loop, plus the retune knob: GET
+        // /adapt?target_p99_ms=X moves the latency target without a
+        // restart (0 disarms adaptive shedding).
+        fault::AdaptiveController* ad = adapt.get();
+        Runtime* rt3 = &runtime;
+        server->handle("/adapt", [ad, rt3](const http::HttpRequest& req) {
+          telemetry::HandlerResult r;
+          r.content_type = "application/json";
+          const std::string key = "target_p99_ms=";
+          const std::size_t query = req.target.find('?');
+          if (query != std::string::npos) {
+            const std::size_t at = req.target.find(key, query + 1);
+            if (at != std::string::npos) {
+              try {
+                const double ms =
+                    std::stod(req.target.substr(at + key.size()));
+                if (ms < 0.0 || !std::isfinite(ms)) throw std::out_of_range("");
+                ad->set_target_p99_ns(
+                    static_cast<SimDuration>(ms * 1e6 + 0.5));
+              } catch (const std::exception&) {
+                r.status = 400;
+                r.content_type = "text/plain";
+                r.body = "bad target_p99_ms\n";
+                return r;
+              }
+            }
+          }
+          std::ostringstream body;
+          body << "{\"target_p99_ns\":" << ad->target_p99_ns()
+               << ",\"shed_bytes\":" << rt3->shed_bytes()
+               << ",\"shedding_active\":"
+               << (ad->shed_active() ? "true" : "false")
+               << ",\"windowed_p99_ns\":" << ad->windowed_p99_ns()
+               << ",\"correction\":" << ad->correction()
+               << ",\"updates\":" << ad->updates()
+               << ",\"retunes\":" << ad->retunes()
+               << ",\"shed_engages\":" << ad->shed_engages()
+               << ",\"droop_enters\":" << ad->droop_enters()
+               << ",\"droop_exits\":" << ad->droop_exits()
+               << ",\"ifaces\":[";
+          for (std::size_t j = 0; j < rt3->iface_count(); ++j) {
+            const auto id = static_cast<IfaceId>(j);
+            if (j != 0) body << ',';
+            body << "{\"name\":\"" << rt3->iface_name(id)
+                 << "\",\"drift_ratio\":" << ad->drift_ratio(id)
+                 << ",\"drooped\":" << (ad->drooped(id) ? "true" : "false")
+                 << "}";
+          }
+          body << "]}";
+          r.body = body.str();
           return r;
         });
       }
@@ -654,6 +766,20 @@ int main(int argc, char** argv) {
     if (server != nullptr) server->stop();
     if (sampler != nullptr) sampler->stop();
     if (supervisor != nullptr) supervisor->stop();
+    if (adapt != nullptr) {
+      // Probing has stopped; close any droop episode still open so the
+      // recorded plan carries its full span.
+      adapt->finalize(runtime.now_ns());
+    }
+    if (recorder != nullptr) {
+      if (recorder->write_file(record_faults_file)) {
+        std::cerr << "faults: " << recorder->event_count() << " events, "
+                  << recorder->note_count() << " notes -> "
+                  << record_faults_file << "\n";
+      } else {
+        std::cerr << "warning: cannot write " << record_faults_file << "\n";
+      }
+    }
     runtime.stop();
     if (flight != nullptr) {
       // stop() flushed or counted every parked egress tail, so the egress
@@ -831,8 +957,39 @@ int main(int argc, char** argv) {
             << "\"clustering_checks\":" << supervisor->clustering_checks()
             << ","
             << "\"clustering_violations\":"
-            << supervisor->clustering_violations()
-            << "},";
+            << supervisor->clustering_violations() << ","
+            << "\"verdict_sequence\":[";
+        const std::vector<std::string> verdicts =
+            supervisor->verdict_sequence();
+        for (std::size_t i = 0; i < verdicts.size(); ++i) {
+          if (i != 0) out << ',';
+          out << '"' << verdicts[i] << '"';
+        }
+        out << "]},";
+      }
+      if (adapt != nullptr) {
+        out << "\"adapt\":{"
+            << "\"target_p99_ns\":" << adapt->target_p99_ns() << ","
+            << "\"shed_bytes\":" << runtime.shed_bytes() << ","
+            << "\"shedding_active\":"
+            << (adapt->shed_active() ? "true" : "false") << ","
+            << "\"windowed_p99_ns\":" << adapt->windowed_p99_ns() << ","
+            << "\"correction\":" << adapt->correction() << ","
+            << "\"updates\":" << adapt->updates() << ","
+            << "\"retunes\":" << adapt->retunes() << ","
+            << "\"shed_engages\":" << adapt->shed_engages() << ","
+            << "\"droop_enters\":" << adapt->droop_enters() << ","
+            << "\"droop_exits\":" << adapt->droop_exits() << ","
+            << "\"drift\":[";
+        for (std::size_t j = 0; j < ifaces; ++j) {
+          const auto id = static_cast<IfaceId>(j);
+          if (j != 0) out << ',';
+          out << "{\"iface\":\"" << runtime.iface_name(id)
+              << "\",\"ratio\":" << adapt->drift_ratio(id)
+              << ",\"drooped\":" << (adapt->drooped(id) ? "true" : "false")
+              << "}";
+        }
+        out << "]},";
       }
       if (pooled) {
         out << "\"pool\":{"
@@ -906,6 +1063,14 @@ int main(int argc, char** argv) {
                   << " restarts, clustering "
                   << supervisor->clustering_checks() << " checks / "
                   << supervisor->clustering_violations() << " violations\n";
+      }
+      if (adapt != nullptr) {
+        std::cout << "  adapt     " << adapt->updates() << " updates, "
+                  << adapt->retunes() << " retunes (shed_bytes="
+                  << runtime.shed_bytes() << ", "
+                  << adapt->shed_engages() << " engages), droop "
+                  << adapt->droop_enters() << " enters / "
+                  << adapt->droop_exits() << " exits\n";
       }
       if (pooled) {
         std::cout << "  pool      " << pool.acquired << " acquired / "
